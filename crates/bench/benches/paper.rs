@@ -1,0 +1,163 @@
+//! Criterion benchmarks regenerating the paper's evaluation artifacts:
+//!
+//! * `e1_swish_verify` / `e2_water_verify` / `e3_lu_verify` — end-to-end
+//!   verification time of the three §5 case studies (the paper's analogue
+//!   is Coq proof-checking of 330/310/315-line scripts);
+//! * `e1_swish_execute` / `e2_water_execute` / `e3_lu_execute` — dynamic
+//!   original+relaxed execution of the verified kernels on their
+//!   workloads;
+//! * `e5_tradeoff_perforation` — the §1 performance/accuracy sweep;
+//! * `e6_metatheory_enumeration` — bounded model checking of a corpus
+//!   program (the empirical soundness check);
+//! * `smt_*` — microbenchmarks of the solver substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relaxed_bench::{lu_state, run_pair, water_state};
+use relaxed_core::verify_acceptability;
+use relaxed_interp::{run_all, run_relaxed, EnumConfig, ExtremalOracle, Mode};
+use relaxed_lang::{parse_program, parse_stmt, State, Stmt};
+use relaxed_programs::casestudies;
+use relaxed_smt::ast::ITerm;
+use relaxed_smt::Solver;
+use relaxed_transforms::perforate_loop;
+
+fn verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    let (swish, swish_spec) = casestudies::swish();
+    group.bench_function("e1_swish_verify", |b| {
+        b.iter(|| {
+            let report = verify_acceptability(&swish, &swish_spec).unwrap();
+            assert!(report.relaxed_progress());
+        })
+    });
+    let (water, water_spec) = casestudies::water();
+    group.bench_function("e2_water_verify", |b| {
+        b.iter(|| {
+            let report = verify_acceptability(&water, &water_spec).unwrap();
+            assert!(report.relaxed_progress());
+        })
+    });
+    let (lu, lu_spec) = casestudies::lu();
+    group.bench_function("e3_lu_verify", |b| {
+        b.iter(|| {
+            let report = verify_acceptability(&lu, &lu_spec).unwrap();
+            assert!(report.relaxed_progress());
+        })
+    });
+    group.finish();
+}
+
+fn execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute");
+    let (swish, _) = casestudies::swish();
+    for n in [10i64, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("e1_swish_execute", n), &n, |b, &n| {
+            let sigma = State::from_ints([("max_r", 40), ("N", n), ("num_r", 0)]);
+            b.iter(|| run_pair(&swish, sigma.clone(), 7, 0, 100, "num_r"))
+        });
+    }
+    let (water, _) = casestudies::water();
+    for n in [16i64, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("e2_water_execute", n), &n, |b, &n| {
+            let sigma = water_state(n);
+            b.iter(|| run_pair(&water, sigma.clone(), 11, 0, 99, "K"))
+        });
+    }
+    let (lu, _) = casestudies::lu();
+    for n in [16i64, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("e3_lu_execute", n), &n, |b, &n| {
+            let sigma = lu_state(n, 2);
+            b.iter(|| run_pair(&lu, sigma.clone(), 13, -200, 200, "max"))
+        });
+    }
+    group.finish();
+}
+
+fn tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_tradeoff");
+    let header = parse_stmt("i = 0; s = 0; n = 240;").unwrap();
+    let work = parse_stmt("while (i < n) { s = s + i; i = i + 1; }").unwrap();
+    for stride in [1i64, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("perforation", stride),
+            &stride,
+            |b, &stride| {
+                let program = Stmt::seq([header.clone(), perforate_loop(&work, stride)]);
+                b.iter(|| {
+                    let mut oracle = ExtremalOracle::maximizing();
+                    run_relaxed(&program, State::new(), &mut oracle, 1_000_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn metatheory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_metatheory");
+    group.sample_size(10);
+    let program = parse_program(
+        "x0 = x;
+         relax (x) st (x0 <= x && x <= x0 + 2);
+         assert x >= x0;
+         relate drift : x<o> <= x<r> && x<r> - x<o> <= 2;",
+    )
+    .unwrap();
+    group.bench_function("enumerate_all_executions", |b| {
+        let config = EnumConfig {
+            lo: -3,
+            hi: 3,
+            fuel: 10_000,
+            max_outcomes: 100_000,
+        };
+        b.iter(|| {
+            let o = run_all(program.body(), State::from_ints([("x", 0)]), Mode::Original, config);
+            let r = run_all(program.body(), State::from_ints([("x", 0)]), Mode::Relaxed, config);
+            assert!(!o.outcomes.iter().any(|x| x.is_err()));
+            assert!(!r.outcomes.iter().any(|x| x.is_err()));
+        })
+    });
+    group.finish();
+}
+
+fn smt_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt");
+    group.bench_function("lia_valid_transitive_chain", |b| {
+        // x1 ≤ x2 ≤ … ≤ x8 ⇒ x1 ≤ x8
+        let mut hyp = relaxed_smt::BTerm::True;
+        for i in 1..8 {
+            hyp = hyp.and(
+                ITerm::var(format!("x{i}")).le(ITerm::var(format!("x{}", i + 1))),
+            );
+        }
+        let goal = hyp.implies(ITerm::var("x1").le(ITerm::var("x8")));
+        b.iter(|| {
+            assert!(Solver::new().check_valid(&goal).is_valid());
+        })
+    });
+    group.bench_function("lia_unsat_integer_cut", |b| {
+        // 2x == 2y + 1 is integer-infeasible.
+        let phi = ITerm::Const(2)
+            .mul(ITerm::var("x"))
+            .eq_term(ITerm::Const(2).mul(ITerm::var("y")).add(ITerm::Const(1)))
+            .and(ITerm::var("x").ge(ITerm::Const(-50)))
+            .and(ITerm::var("x").le(ITerm::Const(50)));
+        b.iter(|| {
+            assert_eq!(Solver::new().check_sat(&phi), relaxed_smt::SmtResult::Unsat);
+        })
+    });
+    group.bench_function("quantified_havoc_vc", |b| {
+        // The shape the WP calculus emits for bounded havoc.
+        let v = ITerm::var("v");
+        let pred = ITerm::var("lo").le(v.clone()).and(v.clone().le(ITerm::var("hi")));
+        let vc = pred.clone().implies(v.ge(ITerm::var("lo"))).forall("v");
+        b.iter(|| {
+            assert!(Solver::new().check_valid(&vc).is_valid());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, verification, execution, tradeoff, metatheory, smt_micro);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! # relaxed-bench
+//!
+//! Benchmarks and report generation reproducing the evaluation artifacts
+//! of Carbin et al. (PLDI 2012). See `benches/paper.rs` for the Criterion
+//! benchmarks (E1, E2, E3, E5, E6 plus solver microbenchmarks) and
+//! `src/bin/paper_report.rs` for the paper-vs-measured tables recorded in
+//! `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+use relaxed_interp::oracle::{IdentityOracle, RandomOracle};
+use relaxed_interp::{run_original, run_relaxed, Outcome};
+use relaxed_lang::{Program, State, Var};
+
+/// Builds the Water workload state for `n` molecules.
+pub fn water_state(n: i64) -> State {
+    let rs: Vec<i64> = (0..n).map(|i| (i * 37) % 100).collect();
+    let mut sigma = State::from_ints([("N", n), ("K", 0), ("gCUT2", 50), ("len_FF", n)]);
+    sigma.set("RS", rs);
+    sigma.set("FF", vec![0; n as usize]);
+    sigma
+}
+
+/// Builds the LU workload state for a column of length `n` and bound `e`.
+pub fn lu_state(n: i64, e: i64) -> State {
+    let col: Vec<i64> = (0..n).map(|i| ((i * 73 + 11) % 200) - 100).collect();
+    let mut sigma = State::from_ints([("N", n), ("e", e), ("i", 0)]);
+    sigma.set("col", col);
+    sigma
+}
+
+/// Runs a program under both semantics and returns `(value_o, value_r)`
+/// for `var` (panics on error outcomes — these are verified programs).
+pub fn run_pair(program: &Program, sigma: State, seed: u64, lo: i64, hi: i64, var: &str) -> (i64, i64) {
+    let fuel = 100_000_000;
+    let o = run_original(program.body(), sigma.clone(), &mut IdentityOracle, fuel);
+    let mut oracle = RandomOracle::new(seed, lo, hi);
+    let r = run_relaxed(program.body(), sigma, &mut oracle, fuel);
+    let get = |out: &Outcome| {
+        out.state()
+            .unwrap_or_else(|| panic!("verified program errored: {out}"))
+            .get_int(&Var::new(var))
+            .expect("variable bound")
+    };
+    (get(&o), get(&r))
+}

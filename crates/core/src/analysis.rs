@@ -1,0 +1,327 @@
+//! Static analyses over relaxed programs: array-variable detection and the
+//! relaxation-dependence (taint) analysis behind automated noninterference
+//! reasoning.
+
+use relaxed_lang::free::{bool_expr_vars, int_expr_vars};
+use relaxed_lang::{BoolExpr, Formula, IntExpr, RelFormula, RelIntExpr, Stmt, Var};
+use std::collections::BTreeSet;
+
+/// Variables used as arrays (`x[e]` or `len(x)`) anywhere in the statement
+/// or its annotations.
+///
+/// The language is untyped, so "is an array" is a usage property; the VC
+/// generator needs it to route `havoc`/`relax`/store targets to the right
+/// rule.
+pub fn array_vars(s: &Stmt) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    walk_stmt(s, &mut out);
+    out
+}
+
+/// Array variables used in a unary formula.
+pub fn formula_array_vars(p: &Formula) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    walk_formula(p, &mut out);
+    out
+}
+
+/// Array variables used in a relational formula.
+pub fn rel_formula_array_vars(p: &RelFormula) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    walk_rel_formula(p, &mut out);
+    out
+}
+
+fn walk_int(e: &IntExpr, out: &mut BTreeSet<Var>) {
+    match e {
+        IntExpr::Const(_) | IntExpr::Var(_) => {}
+        IntExpr::Bin(_, lhs, rhs) => {
+            walk_int(lhs, out);
+            walk_int(rhs, out);
+        }
+        IntExpr::Select(v, index) => {
+            out.insert(v.clone());
+            walk_int(index, out);
+        }
+        IntExpr::Len(v) => {
+            out.insert(v.clone());
+        }
+    }
+}
+
+fn walk_bool(b: &BoolExpr, out: &mut BTreeSet<Var>) {
+    match b {
+        BoolExpr::Const(_) => {}
+        BoolExpr::Cmp(_, lhs, rhs) => {
+            walk_int(lhs, out);
+            walk_int(rhs, out);
+        }
+        BoolExpr::Bin(_, lhs, rhs) => {
+            walk_bool(lhs, out);
+            walk_bool(rhs, out);
+        }
+        BoolExpr::Not(inner) => walk_bool(inner, out),
+    }
+}
+
+fn walk_formula(p: &Formula, out: &mut BTreeSet<Var>) {
+    match p {
+        Formula::True | Formula::False => {}
+        Formula::Cmp(_, lhs, rhs) => {
+            walk_int(lhs, out);
+            walk_int(rhs, out);
+        }
+        Formula::And(l, r) | Formula::Or(l, r) | Formula::Implies(l, r) => {
+            walk_formula(l, out);
+            walk_formula(r, out);
+        }
+        Formula::Not(inner) => walk_formula(inner, out),
+        Formula::Exists(_, body) | Formula::Forall(_, body) => walk_formula(body, out),
+    }
+}
+
+fn walk_rel_int(e: &RelIntExpr, out: &mut BTreeSet<Var>) {
+    match e {
+        RelIntExpr::Const(_) | RelIntExpr::Var(_, _) => {}
+        RelIntExpr::Bin(_, lhs, rhs) => {
+            walk_rel_int(lhs, out);
+            walk_rel_int(rhs, out);
+        }
+        RelIntExpr::Select(v, _, index) => {
+            out.insert(v.clone());
+            walk_rel_int(index, out);
+        }
+        RelIntExpr::Len(v, _) => {
+            out.insert(v.clone());
+        }
+    }
+}
+
+fn walk_rel_formula(p: &RelFormula, out: &mut BTreeSet<Var>) {
+    match p {
+        RelFormula::True | RelFormula::False => {}
+        RelFormula::Cmp(_, lhs, rhs) => {
+            walk_rel_int(lhs, out);
+            walk_rel_int(rhs, out);
+        }
+        RelFormula::And(l, r) | RelFormula::Or(l, r) | RelFormula::Implies(l, r) => {
+            walk_rel_formula(l, out);
+            walk_rel_formula(r, out);
+        }
+        RelFormula::Not(inner) => walk_rel_formula(inner, out),
+        RelFormula::Exists(_, _, body) | RelFormula::Forall(_, _, body) => {
+            walk_rel_formula(body, out)
+        }
+    }
+}
+
+fn walk_stmt(s: &Stmt, out: &mut BTreeSet<Var>) {
+    match s {
+        Stmt::Skip => {}
+        Stmt::Assign(_, e) => walk_int(e, out),
+        Stmt::Store(v, index, value) => {
+            out.insert(v.clone());
+            walk_int(index, out);
+            walk_int(value, out);
+        }
+        Stmt::Havoc(_, b) | Stmt::Relax(_, b) | Stmt::Assume(b) | Stmt::Assert(b) => {
+            walk_bool(b, out)
+        }
+        Stmt::Relate(_, b) => {
+            walk_rel_formula(&RelFormula::from_rel_bool_expr(b), out);
+        }
+        Stmt::If(i) => {
+            walk_bool(&i.cond, out);
+            if let Some(c) = &i.diverge {
+                if let Some(p) = &c.pre_o {
+                    walk_formula(p, out);
+                }
+                if let Some(p) = &c.pre_r {
+                    walk_formula(p, out);
+                }
+                walk_formula(&c.post_o, out);
+                walk_formula(&c.post_r, out);
+            }
+            walk_stmt(&i.then_branch, out);
+            walk_stmt(&i.else_branch, out);
+        }
+        Stmt::While(w) => {
+            walk_bool(&w.cond, out);
+            if let Some(inv) = &w.invariant {
+                walk_formula(inv, out);
+            }
+            if let Some(rinv) = &w.rel_invariant {
+                walk_rel_formula(rinv, out);
+            }
+            if let Some(c) = &w.diverge {
+                if let Some(p) = &c.pre_o {
+                    walk_formula(p, out);
+                }
+                if let Some(p) = &c.pre_r {
+                    walk_formula(p, out);
+                }
+                walk_formula(&c.post_o, out);
+                walk_formula(&c.post_r, out);
+            }
+            walk_stmt(&w.body, out);
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                walk_stmt(s, out);
+            }
+        }
+    }
+}
+
+/// Computes the set of variables whose *relaxed-execution* values may
+/// differ from their original-execution values — the relaxation-dependence
+/// ("taint") analysis.
+///
+/// Seeds: every `relax` target. Propagation: data flow through
+/// assignments/stores and control flow through tainted branch/loop
+/// conditions (anything assigned under tainted control is tainted, since
+/// the two executions may take different paths). `havoc` targets are *not*
+/// seeded: the paper's relational havoc picks the values for both
+/// executions — but a havoc whose predicate reads tainted variables, or
+/// that sits under tainted control flow, taints its targets.
+///
+/// The complement of the result is the set the automated noninterference
+/// invariant `x<o> == x<r>` is sound for; see
+/// [`crate::noninterference`].
+pub fn relaxation_tainted(s: &Stmt) -> BTreeSet<Var> {
+    let mut tainted: BTreeSet<Var> = BTreeSet::new();
+    // Iterate to a fixpoint; the program is finite so this terminates.
+    loop {
+        let before = tainted.len();
+        taint_pass(s, false, &mut tainted);
+        if tainted.len() == before {
+            return tainted;
+        }
+    }
+}
+
+fn expr_tainted(vars: &BTreeSet<Var>, tainted: &BTreeSet<Var>) -> bool {
+    vars.iter().any(|v| tainted.contains(v))
+}
+
+fn taint_pass(s: &Stmt, under_tainted_control: bool, tainted: &mut BTreeSet<Var>) {
+    match s {
+        Stmt::Skip | Stmt::Assume(_) | Stmt::Assert(_) | Stmt::Relate(_, _) => {}
+        Stmt::Assign(x, e) => {
+            if under_tainted_control || expr_tainted(&int_expr_vars(e), tainted) {
+                tainted.insert(x.clone());
+            }
+        }
+        Stmt::Store(x, index, value) => {
+            let mut vars = int_expr_vars(index);
+            vars.extend(int_expr_vars(value));
+            if under_tainted_control || expr_tainted(&vars, tainted) {
+                tainted.insert(x.clone());
+            }
+        }
+        Stmt::Relax(targets, _) => {
+            tainted.extend(targets.iter().cloned());
+        }
+        Stmt::Havoc(targets, pred) => {
+            if under_tainted_control || expr_tainted(&bool_expr_vars(pred), tainted) {
+                tainted.extend(targets.iter().cloned());
+            }
+        }
+        Stmt::If(i) => {
+            let cond_tainted = under_tainted_control
+                || expr_tainted(&bool_expr_vars(&i.cond), tainted);
+            taint_pass(&i.then_branch, cond_tainted, tainted);
+            taint_pass(&i.else_branch, cond_tainted, tainted);
+        }
+        Stmt::While(w) => {
+            let cond_tainted = under_tainted_control
+                || expr_tainted(&bool_expr_vars(&w.cond), tainted);
+            taint_pass(&w.body, cond_tainted, tainted);
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                taint_pass(s, under_tainted_control, tainted);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::parse_stmt;
+
+    fn vars(names: &[&str]) -> BTreeSet<Var> {
+        names.iter().map(Var::new).collect()
+    }
+
+    #[test]
+    fn arrays_detected_from_uses() {
+        let s = parse_stmt("x = a[0]; b[1] = x; y = len(d);").unwrap();
+        assert_eq!(array_vars(&s), vars(&["a", "b", "d"]));
+    }
+
+    #[test]
+    fn relax_targets_are_tainted() {
+        let s = parse_stmt("relax (x) st (true); y = x + 1; z = w;").unwrap();
+        assert_eq!(relaxation_tainted(&s), vars(&["x", "y"]));
+    }
+
+    #[test]
+    fn control_dependence_taints() {
+        let s = parse_stmt(
+            "relax (x) st (true);
+             if (x > 0) { y = 1; } else { skip; }
+             z = 2;",
+        )
+        .unwrap();
+        // y is assigned under a tainted branch; z is not.
+        assert_eq!(relaxation_tainted(&s), vars(&["x", "y"]));
+    }
+
+    #[test]
+    fn taint_reaches_fixpoint_through_loops() {
+        // The taint flows x → y on iteration 2 only if the pass iterates.
+        let s = parse_stmt(
+            "relax (x) st (true);
+             while (i < n) { y = c; c = x; i = i + 1; }",
+        )
+        .unwrap();
+        let t = relaxation_tainted(&s);
+        assert!(t.contains(&Var::new("c")));
+        assert!(t.contains(&Var::new("y")), "taint must flow through c into y");
+        assert!(!t.contains(&Var::new("i")));
+    }
+
+    #[test]
+    fn havoc_is_untainted_by_default() {
+        let s = parse_stmt("havoc (x) st (0 <= x); y = x;").unwrap();
+        assert!(relaxation_tainted(&s).is_empty());
+    }
+
+    #[test]
+    fn havoc_under_tainted_predicate_taints() {
+        let s = parse_stmt("relax (t) st (true); havoc (x) st (x > t);").unwrap();
+        assert_eq!(relaxation_tainted(&s), vars(&["t", "x"]));
+    }
+
+    #[test]
+    fn water_kernel_taint_shape() {
+        // §5.2: RS is relaxed; K and len_FF stay synchronized; FF is
+        // tainted because its store sits under an RS-dependent branch.
+        let s = parse_stmt(
+            "relax (RS) st (true);
+             K = 0;
+             while (K < N) {
+               if (RS[K] < gCUT2) { FF[K] = RS[K] * 2; } else { skip; }
+               K = K + 1;
+             }",
+        )
+        .unwrap();
+        let t = relaxation_tainted(&s);
+        assert!(t.contains(&Var::new("RS")));
+        assert!(t.contains(&Var::new("FF")));
+        assert!(!t.contains(&Var::new("K")));
+        assert!(!t.contains(&Var::new("N")));
+    }
+}

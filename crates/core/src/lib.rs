@@ -1,0 +1,80 @@
+//! # relaxed-core
+//!
+//! The verification framework of Carbin, Kim, Misailovic & Rinard,
+//! *“Proving Acceptability Properties of Relaxed Nondeterministic
+//! Approximate Programs”* (PLDI 2012), reproduced in Rust.
+//!
+//! A **relaxed program** extends an ordinary imperative program with
+//! `relax (X) st (B)` statements — no-ops in the *original* semantics,
+//! nondeterministic reassignments in the *relaxed* semantics. The paper's
+//! contribution is a staged, relational verification methodology for the
+//! *acceptability properties* (integrity + accuracy) of such programs:
+//!
+//! 1. **`⊢o` — axiomatic original semantics** (Fig. 7): a standard Hoare
+//!    logic for the original program. Verifying it gives *Original
+//!    Progress Modulo Assumptions* (Lemma 2): no original execution goes
+//!    `wr`.
+//! 2. **`⊢r` — axiomatic relaxed semantics** (Fig. 8): a relational Hoare
+//!    logic over lockstep pairs of original/relaxed executions, with
+//!    `relate` assertions, relational transfer for `assert`/`assume`, and
+//!    the **diverge** rule for control flow the relaxation desynchronizes.
+//!    Verifying it gives *Soundness of Relational Assertions* (Theorem 6)
+//!    and *Relative Relaxed Progress* (Theorem 7).
+//! 3. **`⊢i` — axiomatic intermediate semantics** (Fig. 9): the unary
+//!    logic the diverge rule uses for the relaxed execution on its own
+//!    (Lemma 4).
+//!
+//! Together the stages give *Relaxed Progress* (Theorem 8) and its
+//! debuggability corollary (Corollary 9): an error in the relaxed program
+//! implies a violated assumption reproducible in the original program.
+//!
+//! ## Crate layout
+//!
+//! * [`vcgen`] — weakest-precondition VC generation for all three logics,
+//!   driven by in-program annotations (`invariant`, `rinvariant`,
+//!   `diverge` contracts);
+//! * [`rules`] — the paper's proof rules as explicit derivation trees with
+//!   a rule-by-rule checker (the analogue of the paper's Coq artifact);
+//! * [`encode`] — lowering of assertion-logic formulas to the
+//!   `relaxed-smt` solver;
+//! * [`analysis`] — array detection and relaxation-dependence (taint)
+//!   analysis;
+//! * [`noninterference`] — automatic `x<o> == x<r>` bridging invariants;
+//! * [`verify`] — end-to-end drivers and the theorem-level reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use relaxed_core::verify::{verify_acceptability, Spec};
+//! use relaxed_lang::parse_program;
+//!
+//! // LU-pivot-style bounded-error relaxation (paper §5.3, simplified):
+//! let program = parse_program(
+//!     "original_a = a;
+//!      relax (a) st (original_a - e <= a && a <= original_a + e);
+//!      relate l1 : a<o> - a<r> <= e<o> && a<r> - a<o> <= e<o>;",
+//! )?;
+//! let spec = Spec {
+//!     pre: relaxed_lang::parse_formula("e >= 0")?,
+//!     post: relaxed_lang::Formula::True,
+//!     rel_pre: relaxed_lang::parse_rel_formula("a<o> == a<r> && e<o> == e<r> && e<o> >= 0")?,
+//!     rel_post: relaxed_lang::RelFormula::True,
+//! };
+//! let report = verify_acceptability(&program, &spec)?;
+//! assert!(report.relaxed_progress());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod encode;
+pub mod noninterference;
+pub mod rules;
+pub mod vcgen;
+pub mod verify;
+
+pub use verify::{
+    discharge, verify_acceptability, verify_intermediate, verify_original, verify_relaxed,
+    AcceptabilityReport, Report, Spec, VcResult,
+};

@@ -1,0 +1,102 @@
+//! Verification conditions and generator errors.
+
+use relaxed_lang::{Formula, RelFormula};
+use std::fmt;
+
+/// The logical content of a verification condition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VcBody {
+    /// A unary formula that must be valid.
+    Unary(Formula),
+    /// A relational formula that must be valid.
+    Rel(RelFormula),
+}
+
+/// One proof obligation with provenance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Vc {
+    /// A short name, e.g. `invariant-preserved`.
+    pub name: String,
+    /// Where in the program the obligation arose.
+    pub context: String,
+    /// The formula to prove valid.
+    pub body: VcBody,
+}
+
+impl fmt::Display for Vc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: ", self.context, self.name)?;
+        match &self.body {
+            VcBody::Unary(p) => write!(f, "{p}"),
+            VcBody::Rel(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Why VC generation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VcgenError {
+    /// A `while` loop lacks the invariant annotation the calculus needs.
+    MissingInvariant {
+        /// `invariant` or `rinvariant`.
+        kind: &'static str,
+        /// Where the loop is.
+        context: String,
+    },
+    /// A `relate` statement appeared where the logic does not permit one —
+    /// in the intermediate semantics or under a diverge contract
+    /// (the paper's `no_rel(s)` side condition).
+    RelateNotAllowed {
+        /// Where the relate is.
+        context: String,
+    },
+    /// A `havoc`/`relax` targets an array with a predicate other than
+    /// `true` (unsupported; see the crate docs).
+    ArrayChoiceWithPredicate {
+        /// Where the statement is.
+        context: String,
+    },
+    /// An array read nested inside another read of the same array blocks
+    /// the store/havoc rewriting.
+    NestedSelect {
+        /// The array variable.
+        array: String,
+        /// Where it was found.
+        context: String,
+    },
+    /// A select index mentions a bound variable, which the select
+    /// abstraction cannot lift.
+    BoundIndex {
+        /// The array variable.
+        array: String,
+        /// Where it was found.
+        context: String,
+    },
+}
+
+impl fmt::Display for VcgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcgenError::MissingInvariant { kind, context } => {
+                write!(f, "{context}: while loop needs a {kind} annotation")
+            }
+            VcgenError::RelateNotAllowed { context } => {
+                write!(f, "{context}: relate statement not allowed here (no_rel)")
+            }
+            VcgenError::ArrayChoiceWithPredicate { context } => write!(
+                f,
+                "{context}: havoc/relax over an array requires the predicate `true`"
+            ),
+            VcgenError::NestedSelect { array, context } => write!(
+                f,
+                "{context}: nested read of array {array} blocks store rewriting"
+            ),
+            VcgenError::BoundIndex { array, context } => write!(
+                f,
+                "{context}: index of a read of {array} mentions a bound variable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VcgenError {}

@@ -1,0 +1,351 @@
+//! Verification drivers: discharge generated VCs with the SMT solver and
+//! assemble the paper's end-to-end guarantees.
+//!
+//! [`verify_original`] plays `⊢o` (and with it Lemma 2, *Original Progress
+//! Modulo Assumptions*); [`verify_relaxed`] plays `⊢r` (Theorem 6,
+//! *Soundness of Relational Assertions*, and Theorem 7, *Relative Relaxed
+//! Progress*); [`verify_acceptability`] combines them into Theorem 8
+//! (*Relaxed Progress*) and Corollary 9 (*Relaxed Progress Modulo Original
+//! Assumptions*).
+
+use crate::analysis::{array_vars, formula_array_vars, rel_formula_array_vars};
+use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
+use crate::vcgen::{vcs_relaxed, vcs_unary, UnaryLogic, Vc, VcBody, VcgenError};
+use relaxed_lang::{Formula, Program, RelFormula};
+use relaxed_smt::{Solver, SolverStats, Validity};
+use std::fmt;
+
+/// The verdict for one VC.
+#[derive(Clone, Debug)]
+pub struct VcResult {
+    /// The obligation.
+    pub vc: Vc,
+    /// The solver's verdict on its validity.
+    pub verdict: Validity,
+}
+
+impl VcResult {
+    /// Whether the obligation was proved.
+    pub fn proved(&self) -> bool {
+        self.verdict.is_valid()
+    }
+}
+
+/// The outcome of one verification run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Per-VC results, in generation order.
+    pub results: Vec<VcResult>,
+    /// Solver statistics accumulated over the run.
+    pub stats: SolverStats,
+}
+
+impl Report {
+    /// Whether every VC was proved.
+    pub fn verified(&self) -> bool {
+        self.results.iter().all(VcResult::proved)
+    }
+
+    /// The VCs that failed (invalid or unknown).
+    pub fn failures(&self) -> impl Iterator<Item = &VcResult> {
+        self.results.iter().filter(|r| !r.proved())
+    }
+
+    /// Number of VCs.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether no VCs were generated.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let proved = self.results.iter().filter(|r| r.proved()).count();
+        writeln!(f, "{proved}/{} VCs proved", self.results.len())?;
+        for r in self.failures() {
+            writeln!(f, "  FAILED {} — {:?}", r.vc, kind_of(&r.verdict))?;
+        }
+        Ok(())
+    }
+}
+
+fn kind_of(v: &Validity) -> &'static str {
+    match v {
+        Validity::Valid => "valid",
+        Validity::Invalid(_) => "counterexample",
+        Validity::Unknown(_) => "unknown",
+    }
+}
+
+/// Discharges a VC list with a fresh solver per obligation.
+pub fn discharge(vcs: Vec<Vc>) -> Report {
+    let mut report = Report::default();
+    for vc in vcs {
+        let mut solver = Solver::new();
+        let mut ctx = EncodeCtx::new();
+        let encoded = match &vc.body {
+            VcBody::Unary(p) => encode_formula(p, &mut ctx),
+            VcBody::Rel(p) => encode_rel_formula(p, &mut ctx),
+        };
+        let verdict = solver.check_valid(&encoded);
+        let s = solver.stats();
+        report.stats.sat.decisions += s.sat.decisions;
+        report.stats.sat.conflicts += s.sat.conflicts;
+        report.stats.sat.propagations += s.sat.propagations;
+        report.stats.sat.theory_checks += s.sat.theory_checks;
+        report.stats.pivots += s.pivots;
+        report.stats.branch_nodes += s.branch_nodes;
+        report.stats.queries += s.queries;
+        report.results.push(VcResult { vc, verdict });
+    }
+    report
+}
+
+/// Verifies `⊢o {pre} program {post}` — the axiomatic original semantics.
+///
+/// A verified report gives Lemma 2: no original execution from a state
+/// satisfying `pre` terminates in `wr` (it may still terminate in `ba`).
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn verify_original(
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+) -> Result<Report, VcgenError> {
+    let mut arrays = array_vars(program.body());
+    arrays.extend(formula_array_vars(pre));
+    arrays.extend(formula_array_vars(post));
+    let vcs = vcs_unary(UnaryLogic::Original, program.body(), pre, post, &arrays)?;
+    Ok(discharge(vcs))
+}
+
+/// Verifies `⊢i {pre} program {post}` — the axiomatic intermediate
+/// semantics (Lemma 4: relaxed executions free of both `wr` and `ba`).
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations or
+/// contains `relate` statements.
+pub fn verify_intermediate(
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+) -> Result<Report, VcgenError> {
+    let mut arrays = array_vars(program.body());
+    arrays.extend(formula_array_vars(pre));
+    arrays.extend(formula_array_vars(post));
+    let vcs = vcs_unary(
+        UnaryLogic::Intermediate,
+        program.body(),
+        pre,
+        post,
+        &arrays,
+    )?;
+    Ok(discharge(vcs))
+}
+
+/// Verifies `⊢r {rel_pre} program {rel_post}` — the axiomatic relaxed
+/// semantics.
+///
+/// A verified report gives Theorem 6 (all executed `relate` statements
+/// hold between paired executions) and Theorem 7 (error-free original
+/// executions imply error-free relaxed executions).
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn verify_relaxed(
+    program: &Program,
+    rel_pre: &RelFormula,
+    rel_post: &RelFormula,
+) -> Result<Report, VcgenError> {
+    let mut arrays = array_vars(program.body());
+    arrays.extend(rel_formula_array_vars(rel_pre));
+    arrays.extend(rel_formula_array_vars(rel_post));
+    let vcs = vcs_relaxed(program.body(), rel_pre, rel_post, &arrays)?;
+    Ok(discharge(vcs))
+}
+
+/// The full acceptability specification of a relaxed program.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Unary precondition for the original proof.
+    pub pre: Formula,
+    /// Unary postcondition for the original proof.
+    pub post: Formula,
+    /// Relational precondition (typically `initial_sync`).
+    pub rel_pre: RelFormula,
+    /// Relational postcondition.
+    pub rel_post: RelFormula,
+}
+
+impl Spec {
+    /// A spec with trivial postconditions and the canonical synced start.
+    pub fn synced(program: &Program) -> Spec {
+        Spec {
+            pre: Formula::True,
+            post: Formula::True,
+            rel_pre: crate::noninterference::initial_sync(program),
+            rel_post: RelFormula::True,
+        }
+    }
+}
+
+/// The combined result of the staged verification (§1.2): first `⊢o`,
+/// then `⊢r`.
+#[derive(Clone, Debug)]
+pub struct AcceptabilityReport {
+    /// The `⊢o` report.
+    pub original: Report,
+    /// The `⊢r` report.
+    pub relaxed: Report,
+}
+
+impl AcceptabilityReport {
+    /// Lemma 2 — *Original Progress Modulo Assumptions*: no original
+    /// execution evaluates to `wr`.
+    pub fn original_progress(&self) -> bool {
+        self.original.verified()
+    }
+
+    /// Theorems 6 and 7 — *Soundness of Relational Assertions* and
+    /// *Relative Relaxed Progress*: paired executions satisfy every
+    /// `relate`, and error-free original runs make relaxed runs
+    /// error-free.
+    pub fn relative_relaxed_progress(&self) -> bool {
+        self.relaxed.verified()
+    }
+
+    /// Theorem 8 — *Relaxed Progress*: with both proofs in hand, if
+    /// original executions terminate without violating an assumption, no
+    /// relaxed execution errs.
+    pub fn relaxed_progress(&self) -> bool {
+        self.original_progress() && self.relative_relaxed_progress()
+    }
+
+    /// Corollary 9 — *Relaxed Progress Modulo Original Assumptions*: any
+    /// error in a relaxed execution corresponds to a violated assumption
+    /// reproducible in the original program.
+    pub fn debuggability(&self) -> bool {
+        self.relaxed_progress()
+    }
+}
+
+impl fmt::Display for AcceptabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "⊢o (original semantics): {}", self.original)?;
+        writeln!(f, "⊢r (relaxed semantics): {}", self.relaxed)?;
+        writeln!(
+            f,
+            "Original Progress Modulo Assumptions (Lemma 2): {}",
+            self.original_progress()
+        )?;
+        writeln!(
+            f,
+            "Relative Relaxed Progress (Theorem 7) + Relational Assertions (Theorem 6): {}",
+            self.relative_relaxed_progress()
+        )?;
+        writeln!(f, "Relaxed Progress (Theorem 8): {}", self.relaxed_progress())
+    }
+}
+
+/// Runs the paper's staged verification methodology end to end.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn verify_acceptability(
+    program: &Program,
+    spec: &Spec,
+) -> Result<AcceptabilityReport, VcgenError> {
+    let original = verify_original(program, &spec.pre, &spec.post)?;
+    let relaxed = verify_relaxed(program, &spec.rel_pre, &spec.rel_post)?;
+    Ok(AcceptabilityReport { original, relaxed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::{parse_formula, parse_program, parse_rel_formula};
+
+    #[test]
+    fn quickstart_program_verifies_end_to_end() {
+        let program = parse_program(
+            "x0 = x;
+             relax (x) st (x0 <= x && x <= x0 + 2);
+             relate l1 : x<o> <= x<r> && x<r> - x<o> <= 2;",
+        )
+        .unwrap();
+        let spec = Spec {
+            pre: Formula::True,
+            post: Formula::True,
+            rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
+            rel_post: RelFormula::True,
+        };
+        let report = verify_acceptability(&program, &spec).unwrap();
+        assert!(report.relaxed_progress(), "{report}");
+    }
+
+    #[test]
+    fn broken_relate_fails_relational_stage_only() {
+        let program = parse_program(
+            "x0 = x;
+             relax (x) st (x0 <= x && x <= x0 + 2);
+             relate l1 : x<r> <= x<o>;",
+        )
+        .unwrap();
+        let spec = Spec {
+            pre: Formula::True,
+            post: Formula::True,
+            rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
+            rel_post: RelFormula::True,
+        };
+        let report = verify_acceptability(&program, &spec).unwrap();
+        assert!(report.original_progress());
+        assert!(!report.relative_relaxed_progress());
+        assert!(!report.relaxed_progress());
+    }
+
+    #[test]
+    fn original_assert_violation_fails_first_stage() {
+        let program = parse_program("x = 1; assert x == 2;").unwrap();
+        let report =
+            verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        assert!(!report.verified());
+        assert_eq!(report.failures().count(), 1);
+    }
+
+    #[test]
+    fn assume_is_free_in_original_verification() {
+        let program =
+            parse_program("assume x >= 10; assert x >= 10;").unwrap();
+        let report =
+            verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        assert!(report.verified());
+    }
+
+    #[test]
+    fn postcondition_is_checked() {
+        let program = parse_program("y = x + 1;").unwrap();
+        let pre = parse_formula("x >= 0").unwrap();
+        let post_good = parse_formula("y >= 1").unwrap();
+        let post_bad = parse_formula("y >= 2").unwrap();
+        assert!(verify_original(&program, &pre, &post_good).unwrap().verified());
+        assert!(!verify_original(&program, &pre, &post_bad).unwrap().verified());
+    }
+
+    #[test]
+    fn report_display_mentions_failures() {
+        let program = parse_program("assert false;").unwrap();
+        let report =
+            verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("FAILED"), "{text}");
+    }
+}

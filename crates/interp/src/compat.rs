@@ -1,0 +1,182 @@
+//! The observational-compatibility relation `Γ ⊢ ψ1 ∼ ψ2` (paper §4,
+//! Theorem 6).
+//!
+//! Two observation lists are compatible when they have the same length,
+//! agree on labels pointwise, and each paired pair of states satisfies the
+//! `relate` predicate `Γ(l)`. Theorem 6 states that verified programs
+//! produce compatible observation lists for every pair of successful
+//! original/relaxed executions — [`check_compat`] is the executable form
+//! used to test that claim dynamically.
+
+use crate::outcome::Observation;
+use relaxed_lang::eval::{eval_rel_bool, EvalError};
+use relaxed_lang::{Label, RelBoolExpr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why two observation lists are not compatible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompatError {
+    /// The lists have different lengths.
+    LengthMismatch {
+        /// Number of observations in the original run.
+        original: usize,
+        /// Number of observations in the relaxed run.
+        relaxed: usize,
+    },
+    /// Observation `index` was emitted by different relate statements.
+    LabelMismatch {
+        /// Position in the lists.
+        index: usize,
+        /// Label in the original run.
+        original: Label,
+        /// Label in the relaxed run.
+        relaxed: Label,
+    },
+    /// The relational predicate failed on the paired states.
+    PredicateFailed {
+        /// Position in the lists.
+        index: usize,
+        /// The label whose predicate failed.
+        label: Label,
+    },
+    /// A label that does not appear in Γ.
+    UnknownLabel(Label),
+    /// The relational predicate could not be evaluated.
+    Eval(EvalError),
+}
+
+impl fmt::Display for CompatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompatError::LengthMismatch { original, relaxed } => write!(
+                f,
+                "observation lists differ in length ({original} vs {relaxed})"
+            ),
+            CompatError::LabelMismatch {
+                index,
+                original,
+                relaxed,
+            } => write!(
+                f,
+                "observation {index} has label {original} in the original run but {relaxed} in the relaxed run"
+            ),
+            CompatError::PredicateFailed { index, label } => {
+                write!(f, "relate {label} failed at observation {index}")
+            }
+            CompatError::UnknownLabel(l) => write!(f, "label {l} does not appear in Γ"),
+            CompatError::Eval(e) => write!(f, "could not evaluate relate predicate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompatError {}
+
+/// Checks `Γ ⊢ ψ_original ∼ ψ_relaxed`.
+///
+/// # Errors
+///
+/// Returns the first [`CompatError`] found, in list order.
+pub fn check_compat(
+    gamma: &BTreeMap<Label, RelBoolExpr>,
+    original: &[Observation],
+    relaxed: &[Observation],
+) -> Result<(), CompatError> {
+    if original.len() != relaxed.len() {
+        return Err(CompatError::LengthMismatch {
+            original: original.len(),
+            relaxed: relaxed.len(),
+        });
+    }
+    for (index, (obs_o, obs_r)) in original.iter().zip(relaxed).enumerate() {
+        if obs_o.label != obs_r.label {
+            return Err(CompatError::LabelMismatch {
+                index,
+                original: obs_o.label.clone(),
+                relaxed: obs_r.label.clone(),
+            });
+        }
+        let predicate = gamma
+            .get(&obs_o.label)
+            .ok_or_else(|| CompatError::UnknownLabel(obs_o.label.clone()))?;
+        let holds = eval_rel_bool(predicate, &obs_o.state, &obs_r.state)
+            .map_err(CompatError::Eval)?;
+        if !holds {
+            return Err(CompatError::PredicateFailed {
+                index,
+                label: obs_o.label.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::builder::{vo, vr};
+    use relaxed_lang::State;
+
+    fn obs(label: &str, x: i64) -> Observation {
+        Observation {
+            label: Label::new(label),
+            state: State::from_ints([("x", x)]),
+        }
+    }
+
+    fn gamma_le() -> BTreeMap<Label, RelBoolExpr> {
+        let mut g = BTreeMap::new();
+        g.insert(Label::new("l"), vo("x").le(vr("x")));
+        g
+    }
+
+    #[test]
+    fn empty_lists_are_compatible() {
+        assert_eq!(check_compat(&gamma_le(), &[], &[]), Ok(()));
+    }
+
+    #[test]
+    fn satisfied_predicate_is_compatible() {
+        assert_eq!(
+            check_compat(&gamma_le(), &[obs("l", 1)], &[obs("l", 2)]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn violated_predicate_is_reported() {
+        assert_eq!(
+            check_compat(&gamma_le(), &[obs("l", 3)], &[obs("l", 2)]),
+            Err(CompatError::PredicateFailed {
+                index: 0,
+                label: Label::new("l")
+            })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        assert!(matches!(
+            check_compat(&gamma_le(), &[obs("l", 1)], &[]),
+            Err(CompatError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn label_mismatch_is_reported() {
+        let mut g = gamma_le();
+        g.insert(Label::new("m"), RelBoolExpr::truth());
+        assert!(matches!(
+            check_compat(&g, &[obs("l", 1)], &[obs("m", 1)]),
+            Err(CompatError::LabelMismatch { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        assert!(matches!(
+            check_compat(&gamma_le(), &[obs("z", 1)], &[obs("z", 1)]),
+            Err(CompatError::UnknownLabel(_))
+        ));
+    }
+}

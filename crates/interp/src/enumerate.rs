@@ -1,0 +1,404 @@
+//! Bounded exhaustive execution: enumerates *all* outcomes of a program
+//! under every nondeterministic choice within a small integer box.
+//!
+//! This is the model-checking backend for the metatheory test-suite: the
+//! paper's progress theorems (§4) quantify over all executions, and on
+//! bounded domains we can check them by enumeration. Integer choice
+//! variables range over `lo..=hi`; array-valued choice targets (only legal
+//! under the predicate `true`) are sampled at a few representative
+//! contents — identity, all-`lo`, all-`hi` — which keeps enumeration
+//! finite while still exercising the divergent paths.
+
+use crate::exec::Mode;
+use crate::outcome::{Observation, Outcome, WrongReason};
+use relaxed_lang::eval::{eval_bool, eval_int, EvalError};
+use relaxed_lang::{BoolExpr, State, Stmt, Value, Var};
+
+/// Configuration for bounded enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct EnumConfig {
+    /// Smallest value a choice variable may take.
+    pub lo: i64,
+    /// Largest value a choice variable may take.
+    pub hi: i64,
+    /// Fuel per execution path.
+    pub fuel: u64,
+    /// Hard cap on the number of outcomes (guards against blowup).
+    pub max_outcomes: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            lo: -4,
+            hi: 4,
+            fuel: 10_000,
+            max_outcomes: 100_000,
+        }
+    }
+}
+
+struct Enumerator {
+    config: EnumConfig,
+    mode: Mode,
+    outcomes: Vec<Outcome>,
+    truncated: bool,
+}
+
+/// The result of exhaustive enumeration.
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    /// Every outcome reached (order is deterministic).
+    pub outcomes: Vec<Outcome>,
+    /// Whether the outcome cap was hit (results are then a subset).
+    pub truncated: bool,
+}
+
+impl Enumeration {
+    /// Whether any outcome is `wr` or `ba`.
+    pub fn any_err(&self) -> bool {
+        self.outcomes.iter().any(Outcome::is_err)
+    }
+
+    /// The successful outcomes.
+    pub fn terminated(&self) -> impl Iterator<Item = (&State, &[Observation])> {
+        self.outcomes.iter().filter_map(|o| match o {
+            Outcome::Terminated {
+                state,
+                observations,
+            } => Some((state, observations.as_slice())),
+            _ => None,
+        })
+    }
+}
+
+type Partial = (State, Vec<Observation>, u64);
+
+impl Enumerator {
+    /// Executes `s` from every start configuration in `starts`, returning
+    /// all surviving configurations; error/fuel outcomes are recorded.
+    fn exec(&mut self, s: &Stmt, starts: Vec<Partial>) -> Vec<Partial> {
+        let mut out = Vec::new();
+        for (sigma, obs, fuel) in starts {
+            if self.outcomes.len() >= self.config.max_outcomes {
+                self.truncated = true;
+                return out;
+            }
+            let Some(fuel) = fuel.checked_sub(1) else {
+                self.outcomes.push(Outcome::OutOfFuel);
+                continue;
+            };
+            match s {
+                Stmt::Skip => out.push((sigma, obs, fuel)),
+                Stmt::Assign(x, e) => match eval_int(e, &sigma) {
+                    Ok(v) => {
+                        let mut next = sigma;
+                        next.set(x.clone(), v);
+                        out.push((next, obs, fuel));
+                    }
+                    Err(e) => self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e))),
+                },
+                Stmt::Store(x, index, value) => {
+                    match (eval_int(index, &sigma), eval_int(value, &sigma)) {
+                        (Ok(i), Ok(v)) => {
+                            let mut next = sigma;
+                            let stored = usize::try_from(i)
+                                .ok()
+                                .is_some_and(|i| next.set_index(x, i, v));
+                            if stored {
+                                out.push((next, obs, fuel));
+                            } else {
+                                self.outcomes.push(Outcome::Wrong(WrongReason::Eval(
+                                    EvalError::IndexOutOfBounds {
+                                        var: x.clone(),
+                                        index: i,
+                                        len: next.get_array(x).map_or(0, <[i64]>::len),
+                                    },
+                                )));
+                            }
+                        }
+                        (Err(e), _) | (_, Err(e)) => {
+                            self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e)));
+                        }
+                    }
+                }
+                Stmt::Havoc(targets, pred) => {
+                    self.enumerate_choice(targets, pred, sigma, obs, fuel, &mut out);
+                }
+                Stmt::Relax(targets, pred) => match self.mode {
+                    Mode::Original => match eval_bool(pred, &sigma) {
+                        Ok(true) => out.push((sigma, obs, fuel)),
+                        Ok(false) => self
+                            .outcomes
+                            .push(Outcome::Wrong(WrongReason::FailedAssert(pred.clone()))),
+                        Err(e) => self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e))),
+                    },
+                    Mode::Relaxed => {
+                        self.enumerate_choice(targets, pred, sigma, obs, fuel, &mut out);
+                    }
+                },
+                Stmt::Assume(pred) => match eval_bool(pred, &sigma) {
+                    Ok(true) => out.push((sigma, obs, fuel)),
+                    Ok(false) => self.outcomes.push(Outcome::BadAssume(pred.clone())),
+                    Err(e) => self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e))),
+                },
+                Stmt::Assert(pred) => match eval_bool(pred, &sigma) {
+                    Ok(true) => out.push((sigma, obs, fuel)),
+                    Ok(false) => self
+                        .outcomes
+                        .push(Outcome::Wrong(WrongReason::FailedAssert(pred.clone()))),
+                    Err(e) => self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e))),
+                },
+                Stmt::Relate(label, _) => {
+                    let mut obs = obs;
+                    obs.push(Observation {
+                        label: label.clone(),
+                        state: sigma.clone(),
+                    });
+                    out.push((sigma, obs, fuel));
+                }
+                Stmt::If(i) => match eval_bool(&i.cond, &sigma) {
+                    Ok(true) => {
+                        out.extend(self.exec(&i.then_branch, vec![(sigma, obs, fuel)]));
+                    }
+                    Ok(false) => {
+                        out.extend(self.exec(&i.else_branch, vec![(sigma, obs, fuel)]));
+                    }
+                    Err(e) => self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e))),
+                },
+                Stmt::While(w) => {
+                    // Unfold iteratively; each surviving configuration either
+                    // exits or goes around once more.
+                    let mut pending = vec![(sigma, obs, fuel)];
+                    while let Some((sigma, obs, fuel)) = pending.pop() {
+                        if self.outcomes.len() >= self.config.max_outcomes {
+                            self.truncated = true;
+                            break;
+                        }
+                        let Some(fuel) = fuel.checked_sub(1) else {
+                            self.outcomes.push(Outcome::OutOfFuel);
+                            continue;
+                        };
+                        match eval_bool(&w.cond, &sigma) {
+                            Ok(false) => out.push((sigma, obs, fuel)),
+                            Ok(true) => {
+                                pending.extend(self.exec(&w.body, vec![(sigma, obs, fuel)]));
+                            }
+                            Err(e) => {
+                                self.outcomes.push(Outcome::Wrong(WrongReason::Eval(e)));
+                            }
+                        }
+                    }
+                }
+                Stmt::Seq(stmts) => {
+                    let mut current = vec![(sigma, obs, fuel)];
+                    for s in stmts {
+                        if current.is_empty() {
+                            break;
+                        }
+                        current = self.exec(s, current);
+                    }
+                    out.extend(current);
+                }
+            }
+        }
+        out
+    }
+
+    fn enumerate_choice(
+        &mut self,
+        targets: &[Var],
+        pred: &BoolExpr,
+        sigma: State,
+        obs: Vec<Observation>,
+        fuel: u64,
+        out: &mut Vec<Partial>,
+    ) {
+        let mut int_targets = Vec::new();
+        let mut array_targets = Vec::new();
+        for t in targets {
+            match sigma.get(t) {
+                Some(Value::Array(_)) => array_targets.push(t.clone()),
+                _ => int_targets.push(t.clone()),
+            }
+        }
+        // Candidate array contents: identity, all-lo, all-hi.
+        let mut array_states = vec![sigma.clone()];
+        for fill in [self.config.lo, self.config.hi] {
+            let mut s = sigma.clone();
+            for a in &array_targets {
+                let len = sigma.get_array(a).map_or(0, <[i64]>::len);
+                s.set(a.clone(), vec![fill; len]);
+            }
+            if !array_targets.is_empty() {
+                array_states.push(s);
+            }
+        }
+        array_states.dedup();
+        let mut any = false;
+        for base in array_states {
+            let mut stack = vec![(base, 0usize)];
+            while let Some((state, i)) = stack.pop() {
+                if i == int_targets.len() {
+                    if eval_bool(pred, &state) == Ok(true) {
+                        any = true;
+                        out.push((state, obs.clone(), fuel));
+                    }
+                    continue;
+                }
+                for v in self.config.lo..=self.config.hi {
+                    let mut next = state.clone();
+                    next.set(int_targets[i].clone(), v);
+                    stack.push((next, i + 1));
+                }
+            }
+        }
+        if !any {
+            // No choice in the box satisfied the predicate: report wr
+            // (precise when the predicate is genuinely unsatisfiable;
+            // conservative when its witnesses all lie outside the box).
+            self.outcomes
+                .push(Outcome::Wrong(WrongReason::UnsatisfiableChoice(
+                    pred.clone(),
+                )));
+        }
+    }
+}
+
+/// Enumerates every outcome of `s` from `sigma` under the given semantics.
+pub fn run_all(s: &Stmt, sigma: State, mode: Mode, config: EnumConfig) -> Enumeration {
+    let mut e = Enumerator {
+        config,
+        mode,
+        outcomes: Vec::new(),
+        truncated: false,
+    };
+    let survivors = e.exec(s, vec![(sigma, Vec::new(), config.fuel)]);
+    for (state, observations, _) in survivors {
+        if e.outcomes.len() >= e.config.max_outcomes {
+            e.truncated = true;
+            break;
+        }
+        e.outcomes.push(Outcome::Terminated {
+            state,
+            observations,
+        });
+    }
+    Enumeration {
+        outcomes: e.outcomes,
+        truncated: e.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::parse_stmt;
+
+    fn cfg() -> EnumConfig {
+        EnumConfig {
+            lo: 0,
+            hi: 3,
+            fuel: 1_000,
+            max_outcomes: 10_000,
+        }
+    }
+
+    #[test]
+    fn deterministic_program_has_one_outcome() {
+        let s = parse_stmt("x = 1; y = x + 1;").unwrap();
+        let e = run_all(&s, State::new(), Mode::Original, cfg());
+        assert_eq!(e.outcomes.len(), 1);
+        assert!(!e.any_err());
+    }
+
+    #[test]
+    fn havoc_enumerates_the_box() {
+        let s = parse_stmt("havoc (x) st (0 <= x && x <= 3);").unwrap();
+        let e = run_all(&s, State::new(), Mode::Original, cfg());
+        assert_eq!(e.outcomes.len(), 4);
+        let mut values: Vec<i64> = e
+            .terminated()
+            .map(|(st, _)| st.get_int(&Var::new("x")).unwrap())
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn relax_enumerates_only_in_relaxed_mode() {
+        let s = parse_stmt("x = 2; relax (x) st (0 <= x && x <= 3);").unwrap();
+        let orig = run_all(&s, State::new(), Mode::Original, cfg());
+        assert_eq!(orig.outcomes.len(), 1, "original semantics is deterministic");
+        let relaxed = run_all(&s, State::new(), Mode::Relaxed, cfg());
+        assert_eq!(relaxed.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn branching_on_choice_explores_both_arms() {
+        let s = parse_stmt(
+            "havoc (x) st (0 <= x && x <= 1);
+             if (x == 0) { y = 10; } else { y = 20; }",
+        )
+        .unwrap();
+        let e = run_all(&s, State::new(), Mode::Original, cfg());
+        let mut ys: Vec<i64> = e
+            .terminated()
+            .map(|(st, _)| st.get_int(&Var::new("y")).unwrap())
+            .collect();
+        ys.sort_unstable();
+        assert_eq!(ys, vec![10, 20]);
+    }
+
+    #[test]
+    fn errors_on_some_paths_are_collected() {
+        let s = parse_stmt(
+            "havoc (x) st (0 <= x && x <= 1); assert x == 0;",
+        )
+        .unwrap();
+        let e = run_all(&s, State::new(), Mode::Original, cfg());
+        assert_eq!(e.outcomes.len(), 2);
+        assert!(e.any_err());
+        assert_eq!(e.terminated().count(), 1);
+    }
+
+    #[test]
+    fn empty_box_choice_is_wr() {
+        let s = parse_stmt("havoc (x) st (x > 100);").unwrap();
+        let e = run_all(&s, State::new(), Mode::Original, cfg());
+        assert_eq!(e.outcomes.len(), 1);
+        assert!(e.any_err());
+    }
+
+    #[test]
+    fn loops_with_choices_enumerate_paths() {
+        let s = parse_stmt(
+            "i = 0; s = 0;
+             while (i < 2) {
+               havoc (d) st (0 <= d && d <= 1);
+               s = s + d;
+               i = i + 1;
+             }",
+        )
+        .unwrap();
+        let e = run_all(&s, State::new(), Mode::Original, cfg());
+        // 4 paths; s ∈ {0, 1, 1, 2}.
+        assert_eq!(e.terminated().count(), 4);
+        let mut sums: Vec<i64> = e
+            .terminated()
+            .map(|(st, _)| st.get_int(&Var::new("s")).unwrap())
+            .collect();
+        sums.sort_unstable();
+        assert_eq!(sums, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn array_relax_samples_representatives() {
+        let mut sigma = State::new();
+        sigma.set("a", vec![1, 2]);
+        let s = parse_stmt("relax (a) st (true); x = a[0];").unwrap();
+        let e = run_all(&s, sigma, Mode::Relaxed, cfg());
+        // identity, all-lo, all-hi.
+        assert_eq!(e.outcomes.len(), 3);
+    }
+}

@@ -1,0 +1,375 @@
+//! The dynamic big-step semantics `⇓o` (Fig. 3) and `⇓r` (Fig. 4).
+//!
+//! The two semantics differ in exactly one rule: `relax (X) st (e)` behaves
+//! as `assert e` in the original semantics and as `havoc (X) st (e)` in the
+//! relaxed semantics. Everything else — including error propagation, which
+//! the paper defers to its technical report — is shared.
+
+use crate::oracle::{choice_is_legal, Oracle};
+use crate::outcome::{Observation, Outcome, WrongReason};
+use relaxed_lang::eval::{eval_bool, eval_int, EvalError};
+use relaxed_lang::{BoolExpr, State, Stmt, Value, Var};
+
+/// Which semantics to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// The original semantics `⇓o`: `relax` statements assert their
+    /// predicate but leave the state unchanged.
+    Original,
+    /// The relaxed semantics `⇓r`: `relax` statements behave like `havoc`.
+    Relaxed,
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Statements executed (loop bodies counted per iteration).
+    pub steps: u64,
+    /// Nondeterministic choices resolved.
+    pub choices: u64,
+}
+
+enum Halt {
+    Ba(BoolExpr),
+    Wr(WrongReason),
+    Fuel,
+}
+
+struct Interp<'o> {
+    oracle: &'o mut dyn Oracle,
+    fuel: u64,
+    mode: Mode,
+    stats: ExecStats,
+}
+
+type Step = Result<(State, Vec<Observation>), Halt>;
+
+impl Interp<'_> {
+    fn tick(&mut self) -> Result<(), Halt> {
+        if self.fuel == 0 {
+            return Err(Halt::Fuel);
+        }
+        self.fuel -= 1;
+        self.stats.steps += 1;
+        Ok(())
+    }
+
+    fn eval_bool(&self, e: &BoolExpr, sigma: &State) -> Result<bool, Halt> {
+        eval_bool(e, sigma).map_err(|err| Halt::Wr(WrongReason::Eval(err)))
+    }
+
+    fn choose(&mut self, targets: &[Var], pred: &BoolExpr, sigma: State) -> Step {
+        self.stats.choices += 1;
+        match self.oracle.choose(targets, pred, &sigma) {
+            Some(next) => {
+                debug_assert!(
+                    choice_is_legal(targets, pred, &sigma, &next),
+                    "oracle produced an illegal choice for {pred}"
+                );
+                Ok((next, Vec::new()))
+            }
+            None => Err(Halt::Wr(WrongReason::UnsatisfiableChoice(pred.clone()))),
+        }
+    }
+
+    fn exec(&mut self, s: &Stmt, sigma: State) -> Step {
+        self.tick()?;
+        match s {
+            Stmt::Skip => Ok((sigma, Vec::new())),
+            Stmt::Assign(x, e) => {
+                let value =
+                    eval_int(e, &sigma).map_err(|err| Halt::Wr(WrongReason::Eval(err)))?;
+                let mut next = sigma;
+                next.set(x.clone(), value);
+                Ok((next, Vec::new()))
+            }
+            Stmt::Store(x, index, value) => {
+                let i = eval_int(index, &sigma).map_err(|e| Halt::Wr(WrongReason::Eval(e)))?;
+                let v = eval_int(value, &sigma).map_err(|e| Halt::Wr(WrongReason::Eval(e)))?;
+                let mut next = sigma;
+                let len = match next.get(x) {
+                    Some(Value::Array(items)) => items.len(),
+                    Some(Value::Int(_)) => {
+                        return Err(Halt::Wr(WrongReason::Eval(EvalError::TypeMismatch(
+                            x.clone(),
+                        ))))
+                    }
+                    None => {
+                        return Err(Halt::Wr(WrongReason::Eval(EvalError::UnboundVar(
+                            x.clone(),
+                        ))))
+                    }
+                };
+                let idx = usize::try_from(i).ok().filter(|&i| i < len).ok_or_else(|| {
+                    Halt::Wr(WrongReason::Eval(EvalError::IndexOutOfBounds {
+                        var: x.clone(),
+                        index: i,
+                        len,
+                    }))
+                })?;
+                let updated = next.set_index(x, idx, v);
+                debug_assert!(updated, "bounds were checked");
+                Ok((next, Vec::new()))
+            }
+            Stmt::Havoc(targets, pred) => self.choose(targets, pred, sigma),
+            Stmt::Relax(targets, pred) => match self.mode {
+                // Original semantics: `relax` reduces to `assert e` (the
+                // original execution must be one of the relaxed ones).
+                Mode::Original => {
+                    if self.eval_bool(pred, &sigma)? {
+                        Ok((sigma, Vec::new()))
+                    } else {
+                        Err(Halt::Wr(WrongReason::FailedAssert(pred.clone())))
+                    }
+                }
+                // Relaxed semantics: `relax` reduces to `havoc`.
+                Mode::Relaxed => self.choose(targets, pred, sigma),
+            },
+            Stmt::Assume(pred) => {
+                if self.eval_bool(pred, &sigma)? {
+                    Ok((sigma, Vec::new()))
+                } else {
+                    Err(Halt::Ba(pred.clone()))
+                }
+            }
+            Stmt::Assert(pred) => {
+                if self.eval_bool(pred, &sigma)? {
+                    Ok((sigma, Vec::new()))
+                } else {
+                    Err(Halt::Wr(WrongReason::FailedAssert(pred.clone())))
+                }
+            }
+            Stmt::Relate(label, _) => {
+                let obs = Observation {
+                    label: label.clone(),
+                    state: sigma.clone(),
+                };
+                Ok((sigma, vec![obs]))
+            }
+            Stmt::If(i) => {
+                if self.eval_bool(&i.cond, &sigma)? {
+                    self.exec(&i.then_branch, sigma)
+                } else {
+                    self.exec(&i.else_branch, sigma)
+                }
+            }
+            Stmt::While(w) => {
+                let mut sigma = sigma;
+                let mut observations = Vec::new();
+                loop {
+                    self.tick()?;
+                    if !self.eval_bool(&w.cond, &sigma)? {
+                        return Ok((sigma, observations));
+                    }
+                    let (next, obs) = self.exec(&w.body, sigma)?;
+                    sigma = next;
+                    observations.extend(obs);
+                }
+            }
+            Stmt::Seq(stmts) => {
+                let mut sigma = sigma;
+                let mut observations = Vec::new();
+                for s in stmts {
+                    let (next, obs) = self.exec(s, sigma)?;
+                    sigma = next;
+                    observations.extend(obs);
+                }
+                Ok((sigma, observations))
+            }
+        }
+    }
+}
+
+fn run(s: &Stmt, sigma: State, oracle: &mut dyn Oracle, fuel: u64, mode: Mode) -> Outcome {
+    let mut interp = Interp {
+        oracle,
+        fuel,
+        mode,
+        stats: ExecStats::default(),
+    };
+    match interp.exec(s, sigma) {
+        Ok((state, observations)) => Outcome::Terminated {
+            state,
+            observations,
+        },
+        Err(Halt::Ba(e)) => Outcome::BadAssume(e),
+        Err(Halt::Wr(r)) => Outcome::Wrong(r),
+        Err(Halt::Fuel) => Outcome::OutOfFuel,
+    }
+}
+
+/// Runs the dynamic *original* semantics `⟨s, σ⟩ ⇓o φ`.
+///
+/// `oracle` resolves `havoc` choices (the original semantics is itself
+/// nondeterministic via `havoc`); `relax` statements assert their
+/// predicate without modifying the state.
+pub fn run_original(s: &Stmt, sigma: State, oracle: &mut dyn Oracle, fuel: u64) -> Outcome {
+    run(s, sigma, oracle, fuel, Mode::Original)
+}
+
+/// Runs the dynamic *relaxed* semantics `⟨s, σ⟩ ⇓r φ`.
+pub fn run_relaxed(s: &Stmt, sigma: State, oracle: &mut dyn Oracle, fuel: u64) -> Outcome {
+    run(s, sigma, oracle, fuel, Mode::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ExtremalOracle, IdentityOracle};
+    use relaxed_lang::builder::*;
+    use relaxed_lang::parse_stmt;
+
+    const FUEL: u64 = 10_000;
+
+    fn run_o(src: &str, sigma: State) -> Outcome {
+        let s = parse_stmt(src).unwrap();
+        run_original(&s, sigma, &mut IdentityOracle, FUEL)
+    }
+
+    fn run_r(src: &str, sigma: State, oracle: &mut dyn Oracle) -> Outcome {
+        let s = parse_stmt(src).unwrap();
+        run_relaxed(&s, sigma, oracle, FUEL)
+    }
+
+    #[test]
+    fn straight_line_assignment() {
+        let out = run_o("x = 1; y = x + 2;", State::new());
+        let state = out.state().unwrap();
+        assert_eq!(state.get_int(&Var::new("y")), Some(3));
+    }
+
+    #[test]
+    fn while_loop_counts() {
+        let out = run_o(
+            "i = 0; s = 0; while (i < 5) { s = s + i; i = i + 1; }",
+            State::new(),
+        );
+        assert_eq!(out.state().unwrap().get_int(&Var::new("s")), Some(10));
+    }
+
+    #[test]
+    fn assert_failure_is_wr() {
+        let out = run_o("x = 1; assert x == 2;", State::new());
+        assert!(matches!(out, Outcome::Wrong(WrongReason::FailedAssert(_))));
+    }
+
+    #[test]
+    fn assume_failure_is_ba() {
+        let out = run_o("x = 1; assume x == 2;", State::new());
+        assert!(matches!(out, Outcome::BadAssume(_)));
+    }
+
+    #[test]
+    fn division_by_zero_is_wr() {
+        let out = run_o("x = 1 / 0;", State::new());
+        assert!(matches!(out, Outcome::Wrong(WrongReason::Eval(_))));
+    }
+
+    #[test]
+    fn nontermination_exhausts_fuel() {
+        let out = run_o("while (true) { skip; }", State::new());
+        assert_eq!(out, Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn relax_is_assert_in_original_semantics() {
+        // x stays 5, and 5 is within [0, 10] so the original run succeeds…
+        let out = run_o("x = 5; relax (x) st (0 <= x && x <= 10);", State::new());
+        assert_eq!(out.state().unwrap().get_int(&Var::new("x")), Some(5));
+        // …but a predicate excluding the current value makes it wr.
+        let out = run_o("x = 5; relax (x) st (x == 7);", State::new());
+        assert!(matches!(out, Outcome::Wrong(WrongReason::FailedAssert(_))));
+    }
+
+    #[test]
+    fn relax_reassigns_in_relaxed_semantics() {
+        let mut oracle = ExtremalOracle::maximizing();
+        let out = run_r(
+            "x = 5; relax (x) st (0 <= x && x <= 10);",
+            State::new(),
+            &mut oracle,
+        );
+        assert_eq!(out.state().unwrap().get_int(&Var::new("x")), Some(10));
+    }
+
+    #[test]
+    fn havoc_reassigns_in_both_semantics() {
+        let s = parse_stmt("havoc (x) st (x == 9);").unwrap();
+        let o = run_original(
+            &s,
+            State::from_ints([("x", 0)]),
+            &mut IdentityOracle,
+            FUEL,
+        );
+        assert_eq!(o.state().unwrap().get_int(&Var::new("x")), Some(9));
+        let r = run_relaxed(
+            &s,
+            State::from_ints([("x", 0)]),
+            &mut IdentityOracle,
+            FUEL,
+        );
+        assert_eq!(r.state().unwrap().get_int(&Var::new("x")), Some(9));
+    }
+
+    #[test]
+    fn unsatisfiable_havoc_is_wr() {
+        let out = run_o("havoc (x) st (x < x);", State::new());
+        assert!(matches!(
+            out,
+            Outcome::Wrong(WrongReason::UnsatisfiableChoice(_))
+        ));
+    }
+
+    #[test]
+    fn relate_emits_observations_in_order() {
+        let out = run_o(
+            "x = 1; relate a : x<o> == x<r>; x = 2; relate b : x<o> <= x<r>;",
+            State::new(),
+        );
+        let obs = out.observations().unwrap();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].label.name(), "a");
+        assert_eq!(obs[0].state.get_int(&Var::new("x")), Some(1));
+        assert_eq!(obs[1].label.name(), "b");
+        assert_eq!(obs[1].state.get_int(&Var::new("x")), Some(2));
+    }
+
+    #[test]
+    fn array_store_and_bounds() {
+        let mut sigma = State::new();
+        sigma.set("a", vec![0, 0, 0]);
+        let out = run_o("a[1] = 7; x = a[1];", sigma.clone());
+        assert_eq!(out.state().unwrap().get_int(&Var::new("x")), Some(7));
+        let oob = run_o("a[5] = 7;", sigma);
+        assert!(matches!(oob, Outcome::Wrong(WrongReason::Eval(_))));
+    }
+
+    #[test]
+    fn if_branches() {
+        let out = run_o(
+            "if (x < 0) { y = 0 - x; } else { y = x; }",
+            State::from_ints([("x", -3)]),
+        );
+        assert_eq!(out.state().unwrap().get_int(&Var::new("y")), Some(3));
+    }
+
+    #[test]
+    fn builder_program_runs() {
+        let s = seq([
+            assign("x", c(0)),
+            while_(
+                v("x").lt(c(3)),
+                assign("x", v("x") + c(1)),
+            ),
+        ]);
+        let out = run_original(&s, State::new(), &mut IdentityOracle, FUEL);
+        assert_eq!(out.state().unwrap().get_int(&Var::new("x")), Some(3));
+    }
+
+    #[test]
+    fn error_propagates_through_seq_left_to_right() {
+        let out = run_o("assert false; x = 1 / 0;", State::new());
+        // The assert fires first.
+        assert!(matches!(out, Outcome::Wrong(WrongReason::FailedAssert(_))));
+    }
+}

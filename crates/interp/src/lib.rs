@@ -1,0 +1,48 @@
+//! # relaxed-interp
+//!
+//! Executable dynamic semantics for relaxed programs: the big-step
+//! original semantics `⇓o` (Fig. 3) and relaxed semantics `⇓r` (Fig. 4)
+//! of Carbin et al. (PLDI 2012), with pluggable nondeterminism
+//! [`oracle`]s, the observational-compatibility relation `Γ ⊢ ψ1 ∼ ψ2`
+//! ([`compat`]), and bounded exhaustive enumeration of all executions
+//! ([`enumerate`]) for model-checking the paper's metatheory.
+//!
+//! ## Example
+//!
+//! ```
+//! use relaxed_interp::{run_original, run_relaxed, check_compat};
+//! use relaxed_interp::oracle::{IdentityOracle, ExtremalOracle};
+//! use relaxed_lang::{parse_program, State};
+//!
+//! let program = parse_program(
+//!     "x = 5;
+//!      relax (x) st (3 <= x && x <= 7);
+//!      relate l1 : x<o> - x<r> <= 2 && x<r> - x<o> <= 2;",
+//! )?;
+//!
+//! let original = run_original(program.body(), State::new(), &mut IdentityOracle, 1_000);
+//! let mut adversary = ExtremalOracle::maximizing();
+//! let relaxed = run_relaxed(program.body(), State::new(), &mut adversary, 1_000);
+//!
+//! // Both executions succeed and their observations are compatible:
+//! check_compat(
+//!     &program.gamma(),
+//!     original.observations().unwrap(),
+//!     relaxed.observations().unwrap(),
+//! )?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compat;
+pub mod enumerate;
+pub mod exec;
+pub mod oracle;
+pub mod outcome;
+
+pub use compat::{check_compat, CompatError};
+pub use enumerate::{run_all, EnumConfig, Enumeration};
+pub use exec::{run_original, run_relaxed, ExecStats, Mode};
+pub use oracle::{ExtremalOracle, IdentityOracle, Oracle, RandomOracle, SolverOracle};
+pub use outcome::{Observation, Outcome, WrongReason};

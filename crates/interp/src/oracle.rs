@@ -1,0 +1,492 @@
+//! Nondeterminism oracles: strategies for resolving `havoc`/`relax`
+//! choices at run time.
+//!
+//! The dynamic semantics (Figs. 3–4) says a `havoc (X) st (e)` may move to
+//! *any* state that agrees with the current one outside `X` and satisfies
+//! `e`. An [`Oracle`] picks one such state:
+//!
+//! * [`IdentityOracle`] keeps the current values whenever they satisfy the
+//!   predicate (so a relaxed run shadows the original run);
+//! * [`RandomOracle`] samples uniformly from a box, falling back to the
+//!   constraint solver;
+//! * [`ExtremalOracle`] drives chosen variables to the smallest or largest
+//!   feasible values — an adversarial schedule for stress-testing
+//!   acceptability properties;
+//! * [`SolverOracle`] simply asks the SMT solver for any witness.
+//!
+//! Array-valued targets are supported when the predicate is literally
+//! `true` (the form used by the paper's §5.2 synchronization-elimination
+//! example); richer array predicates are out of scope and yield `None`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relaxed_lang::eval::eval_bool;
+use relaxed_lang::free::bool_expr_vars;
+use relaxed_lang::{BoolBinOp, BoolExpr, CmpOp, IntBinOp, IntExpr, State, Value, Var};
+use relaxed_smt::ast::{BTerm, ITerm, Rel};
+use relaxed_smt::{SmtResult, Solver};
+use std::collections::BTreeSet;
+
+/// A strategy resolving one nondeterministic choice.
+pub trait Oracle {
+    /// Returns a state that agrees with `sigma` outside `targets` and
+    /// satisfies `pred`, or `None` when no such state can be produced.
+    ///
+    /// Returning `None` makes the interpreter report `wr` (the paper's
+    /// `havoc-f` rule); oracles should therefore be as complete as
+    /// practical for the predicates they claim to support.
+    fn choose(&mut self, targets: &[Var], pred: &BoolExpr, sigma: &State) -> Option<State>;
+}
+
+fn split_targets<'t>(targets: &'t [Var], sigma: &State) -> (Vec<&'t Var>, Vec<&'t Var>) {
+    let mut ints = Vec::new();
+    let mut arrays = Vec::new();
+    for t in targets {
+        match sigma.get(t) {
+            Some(Value::Array(_)) => arrays.push(t),
+            _ => ints.push(t),
+        }
+    }
+    (ints, arrays)
+}
+
+/// Encodes a choice predicate as an SMT problem over the integer targets,
+/// substituting all other variables with their current values.
+///
+/// Returns `None` when the predicate references unbound variables,
+/// target-dependent array indices, or array-valued targets.
+fn encode_pred(
+    pred: &BoolExpr,
+    int_targets: &BTreeSet<&Var>,
+    sigma: &State,
+) -> Option<BTerm> {
+    fn term(e: &IntExpr, targets: &BTreeSet<&Var>, sigma: &State) -> Option<ITerm> {
+        match e {
+            IntExpr::Const(n) => Some(ITerm::Const(*n)),
+            IntExpr::Var(v) => {
+                if targets.contains(v) {
+                    Some(ITerm::var(v.name()))
+                } else {
+                    sigma.get_int(v).map(ITerm::Const)
+                }
+            }
+            IntExpr::Bin(op, lhs, rhs) => {
+                let l = term(lhs, targets, sigma)?;
+                let r = term(rhs, targets, sigma)?;
+                Some(match op {
+                    IntBinOp::Add => l.add(r),
+                    IntBinOp::Sub => l.sub(r),
+                    IntBinOp::Mul => l.mul(r),
+                    IntBinOp::Div => ITerm::Div(Box::new(l), Box::new(r)),
+                    IntBinOp::Mod => ITerm::Mod(Box::new(l), Box::new(r)),
+                })
+            }
+            IntExpr::Select(a, index) => {
+                // Supported only when the index is target-free: the whole
+                // read is then a constant.
+                let idx = term(index, &BTreeSet::new(), sigma)?;
+                let ITerm::Const(i) = idx else { return None };
+                let items = sigma.get_array(a)?;
+                usize::try_from(i)
+                    .ok()
+                    .and_then(|i| items.get(i).copied())
+                    .map(ITerm::Const)
+            }
+            IntExpr::Len(a) => {
+                let items = sigma.get_array(a)?;
+                i64::try_from(items.len()).ok().map(ITerm::Const)
+            }
+        }
+    }
+    fn go(b: &BoolExpr, targets: &BTreeSet<&Var>, sigma: &State) -> Option<BTerm> {
+        match b {
+            BoolExpr::Const(true) => Some(BTerm::True),
+            BoolExpr::Const(false) => Some(BTerm::False),
+            BoolExpr::Cmp(op, lhs, rhs) => {
+                let l = term(lhs, targets, sigma)?;
+                let r = term(rhs, targets, sigma)?;
+                let rel = match op {
+                    CmpOp::Lt => Rel::Lt,
+                    CmpOp::Le => Rel::Le,
+                    CmpOp::Gt => Rel::Gt,
+                    CmpOp::Ge => Rel::Ge,
+                    CmpOp::Eq => Rel::Eq,
+                    CmpOp::Ne => Rel::Ne,
+                };
+                Some(BTerm::Atom(rel, l, r))
+            }
+            BoolExpr::Bin(op, lhs, rhs) => {
+                let l = go(lhs, targets, sigma)?;
+                let r = go(rhs, targets, sigma)?;
+                Some(match op {
+                    BoolBinOp::And => BTerm::And(Box::new(l), Box::new(r)),
+                    BoolBinOp::Or => BTerm::Or(Box::new(l), Box::new(r)),
+                    BoolBinOp::Implies => BTerm::Implies(Box::new(l), Box::new(r)),
+                    BoolBinOp::Iff => BTerm::And(
+                        Box::new(BTerm::Implies(Box::new(l.clone()), Box::new(r.clone()))),
+                        Box::new(BTerm::Implies(Box::new(r), Box::new(l))),
+                    ),
+                })
+            }
+            BoolExpr::Not(inner) => Some(BTerm::Not(Box::new(go(inner, targets, sigma)?))),
+        }
+    }
+    go(pred, int_targets, sigma)
+}
+
+/// Solves for integer targets via the SMT solver; array targets must have
+/// already been handled by the caller.
+fn solve_ints(
+    int_targets: &[&Var],
+    pred: &BoolExpr,
+    sigma: &State,
+    extra: &[BTerm],
+) -> Option<State> {
+    let target_set: BTreeSet<&Var> = int_targets.iter().copied().collect();
+    let mut problem = encode_pred(pred, &target_set, sigma)?;
+    for e in extra {
+        problem = problem.and(e.clone());
+    }
+    let mut solver = Solver::new();
+    match solver.check_sat(&problem) {
+        SmtResult::Sat(model) => {
+            let mut next = sigma.clone();
+            for t in int_targets {
+                let value = model.get(t.name()).unwrap_or(0);
+                next.set((*t).clone(), value);
+            }
+            Some(next)
+        }
+        _ => None,
+    }
+}
+
+/// Keeps current values when they satisfy the predicate; otherwise defers
+/// to the solver. Running the relaxed semantics under this oracle mirrors
+/// the paper's requirement that "the original execution is one of the
+/// relaxed executions".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityOracle;
+
+impl Oracle for IdentityOracle {
+    fn choose(&mut self, targets: &[Var], pred: &BoolExpr, sigma: &State) -> Option<State> {
+        if eval_bool(pred, sigma) == Ok(true) {
+            return Some(sigma.clone());
+        }
+        let (ints, arrays) = split_targets(targets, sigma);
+        if !arrays.is_empty() {
+            return None; // arrays kept only when the predicate already holds
+        }
+        solve_ints(&ints, pred, sigma, &[])
+    }
+}
+
+/// Uniform sampling from `[lo, hi]` with rejection, then solver fallback.
+#[derive(Debug)]
+pub struct RandomOracle {
+    rng: StdRng,
+    /// Smallest sampled value.
+    pub lo: i64,
+    /// Largest sampled value.
+    pub hi: i64,
+    /// Rejection-sampling attempts before falling back to the solver.
+    pub attempts: u32,
+}
+
+impl RandomOracle {
+    /// Creates a seeded oracle sampling from `[lo, hi]`.
+    pub fn new(seed: u64, lo: i64, hi: i64) -> Self {
+        RandomOracle {
+            rng: StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+            attempts: 64,
+        }
+    }
+}
+
+impl Oracle for RandomOracle {
+    fn choose(&mut self, targets: &[Var], pred: &BoolExpr, sigma: &State) -> Option<State> {
+        let (ints, arrays) = split_targets(targets, sigma);
+        // Array targets: supported for the trivially-true predicate only.
+        let mut base = sigma.clone();
+        if !arrays.is_empty() {
+            if *pred != BoolExpr::Const(true) && eval_bool(pred, sigma) != Ok(true) {
+                return None;
+            }
+            for a in &arrays {
+                let len = sigma.get_array(a).map_or(0, <[i64]>::len);
+                let items: Vec<i64> =
+                    (0..len).map(|_| self.rng.gen_range(self.lo..=self.hi)).collect();
+                base.set((*a).clone(), items);
+            }
+            if ints.is_empty() {
+                return Some(base);
+            }
+        }
+        for _ in 0..self.attempts {
+            let mut candidate = base.clone();
+            for t in &ints {
+                candidate.set((*t).clone(), self.rng.gen_range(self.lo..=self.hi));
+            }
+            if eval_bool(pred, &candidate) == Ok(true) {
+                return Some(candidate);
+            }
+        }
+        solve_ints(&ints, pred, &base, &[])
+    }
+}
+
+/// Drives each target to the smallest (or largest) feasible value, in
+/// order — an adversarial schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtremalOracle {
+    /// Maximize instead of minimize.
+    pub maximize: bool,
+    /// Search window half-width: values are sought within `[-bound, bound]`.
+    pub bound: i64,
+}
+
+impl ExtremalOracle {
+    /// An oracle that minimizes every chosen value.
+    pub fn minimizing() -> Self {
+        ExtremalOracle {
+            maximize: false,
+            bound: 1 << 20,
+        }
+    }
+
+    /// An oracle that maximizes every chosen value.
+    pub fn maximizing() -> Self {
+        ExtremalOracle {
+            maximize: true,
+            bound: 1 << 20,
+        }
+    }
+}
+
+impl Oracle for ExtremalOracle {
+    fn choose(&mut self, targets: &[Var], pred: &BoolExpr, sigma: &State) -> Option<State> {
+        let (ints, arrays) = split_targets(targets, sigma);
+        let mut state = sigma.clone();
+        if !arrays.is_empty() {
+            if *pred != BoolExpr::Const(true) && eval_bool(pred, sigma) != Ok(true) {
+                return None;
+            }
+            let fill = if self.maximize { self.bound } else { -self.bound };
+            for a in &arrays {
+                let len = sigma.get_array(a).map_or(0, <[i64]>::len);
+                state.set((*a).clone(), vec![fill; len]);
+            }
+        }
+        // Fix targets one at a time to their extreme feasible value.
+        // Feasibility of "∃ solution with t ≤ m" is monotone in m, so
+        // binary search finds the extreme.
+        for (i, t) in ints.iter().enumerate() {
+            let remaining = &ints[i..];
+            let feasible_with = |state: &State, cap: i64, maximize: bool| -> bool {
+                let extra = if maximize {
+                    BTerm::Atom(Rel::Ge, ITerm::var(t.name()), ITerm::Const(cap))
+                } else {
+                    BTerm::Atom(Rel::Le, ITerm::var(t.name()), ITerm::Const(cap))
+                };
+                solve_ints(remaining, pred, state, &[extra]).is_some()
+            };
+            if !feasible_with(&state, if self.maximize { -self.bound } else { self.bound },
+                              self.maximize) {
+                return None; // infeasible even without the extreme push
+            }
+            let (mut lo, mut hi) = (-self.bound, self.bound);
+            if self.maximize {
+                // Largest m with ∃ solution, t ≥ m.
+                while lo < hi {
+                    let mid = lo + (hi - lo + 1) / 2;
+                    if feasible_with(&state, mid, true) {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+            } else {
+                // Smallest m with ∃ solution, t ≤ m.
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if feasible_with(&state, mid, false) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+            }
+            state.set((*t).clone(), lo);
+        }
+        // Validate: every variable fixed, predicate must hold.
+        if eval_bool(pred, &state) == Ok(true) {
+            Some(state)
+        } else {
+            None
+        }
+    }
+}
+
+/// Asks the SMT solver for any witness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverOracle;
+
+impl Oracle for SolverOracle {
+    fn choose(&mut self, targets: &[Var], pred: &BoolExpr, sigma: &State) -> Option<State> {
+        let (ints, arrays) = split_targets(targets, sigma);
+        if !arrays.is_empty() {
+            let mut o = IdentityOracle;
+            return o.choose(targets, pred, sigma);
+        }
+        solve_ints(&ints, pred, sigma, &[])
+    }
+}
+
+/// Validates a choice: the new state must satisfy the predicate and agree
+/// with the old outside the targets. Interpreters debug-assert this.
+pub fn choice_is_legal(
+    targets: &[Var],
+    pred: &BoolExpr,
+    before: &State,
+    after: &State,
+) -> bool {
+    eval_bool(pred, after) == Ok(true) && before.agrees_except(after, targets.iter())
+}
+
+/// Names every variable mentioned by a choice predicate (diagnostics).
+pub fn pred_vars(pred: &BoolExpr) -> BTreeSet<Var> {
+    bool_expr_vars(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::builder::{c, v};
+
+    fn x_between(lo: i64, hi: i64) -> BoolExpr {
+        c(lo).le(v("x")).and(v("x").le(c(hi)))
+    }
+
+    #[test]
+    fn identity_keeps_satisfying_state() {
+        let sigma = State::from_ints([("x", 3)]);
+        let mut o = IdentityOracle;
+        let next = o
+            .choose(&[Var::new("x")], &x_between(0, 5), &sigma)
+            .unwrap();
+        assert_eq!(next, sigma);
+    }
+
+    #[test]
+    fn identity_solves_when_current_value_fails() {
+        let sigma = State::from_ints([("x", 42)]);
+        let mut o = IdentityOracle;
+        let next = o
+            .choose(&[Var::new("x")], &x_between(0, 5), &sigma)
+            .unwrap();
+        let nx = next.get_int(&Var::new("x")).unwrap();
+        assert!((0..=5).contains(&nx));
+        assert!(choice_is_legal(
+            &[Var::new("x")],
+            &x_between(0, 5),
+            &sigma,
+            &next
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_yields_none() {
+        let sigma = State::from_ints([("x", 0)]);
+        let mut o = IdentityOracle;
+        // x ≤ 0 ∧ x ≥ 1
+        let pred = v("x").le(c(0)).and(v("x").ge(c(1)));
+        assert_eq!(o.choose(&[Var::new("x")], &pred, &sigma), None);
+    }
+
+    #[test]
+    fn random_respects_predicate() {
+        let sigma = State::from_ints([("x", 0), ("y", 7)]);
+        let mut o = RandomOracle::new(42, -10, 10);
+        for _ in 0..20 {
+            let next = o
+                .choose(&[Var::new("x")], &x_between(2, 4), &sigma)
+                .unwrap();
+            let nx = next.get_int(&Var::new("x")).unwrap();
+            assert!((2..=4).contains(&nx));
+            assert_eq!(next.get_int(&Var::new("y")), Some(7), "frame respected");
+        }
+    }
+
+    #[test]
+    fn random_handles_array_targets_with_true_predicate() {
+        let mut sigma = State::new();
+        sigma.set("a", vec![1, 2, 3]);
+        let mut o = RandomOracle::new(7, 0, 9);
+        let next = o
+            .choose(&[Var::new("a")], &BoolExpr::truth(), &sigma)
+            .unwrap();
+        let items = next.get_array(&Var::new("a")).unwrap();
+        assert_eq!(items.len(), 3, "length is preserved");
+        assert!(items.iter().all(|&x| (0..=9).contains(&x)));
+    }
+
+    #[test]
+    fn extremal_minimizes() {
+        let sigma = State::from_ints([("x", 3)]);
+        let mut o = ExtremalOracle::minimizing();
+        let next = o
+            .choose(&[Var::new("x")], &x_between(-7, 5), &sigma)
+            .unwrap();
+        assert_eq!(next.get_int(&Var::new("x")), Some(-7));
+    }
+
+    #[test]
+    fn extremal_maximizes() {
+        let sigma = State::from_ints([("x", 3)]);
+        let mut o = ExtremalOracle::maximizing();
+        let next = o
+            .choose(&[Var::new("x")], &x_between(-7, 5), &sigma)
+            .unwrap();
+        assert_eq!(next.get_int(&Var::new("x")), Some(5));
+    }
+
+    #[test]
+    fn solver_oracle_finds_witness_with_dependencies() {
+        // relax (x, y) st (x + y == 10 && x >= 4 && y >= 4)
+        let sigma = State::from_ints([("x", 0), ("y", 0)]);
+        let pred = (v("x") + v("y"))
+            .eq_expr(c(10))
+            .and(v("x").ge(c(4)))
+            .and(v("y").ge(c(4)));
+        let mut o = SolverOracle;
+        let next = o
+            .choose(&[Var::new("x"), Var::new("y")], &pred, &sigma)
+            .unwrap();
+        assert!(choice_is_legal(
+            &[Var::new("x"), Var::new("y")],
+            &pred,
+            &sigma,
+            &next
+        ));
+    }
+
+    #[test]
+    fn swish_knob_predicate_both_branches() {
+        // The §5.1 predicate: (orig ≤ 10 ∧ x == orig) ∨ (10 < orig ∧ 10 ≤ x).
+        let pred = v("orig")
+            .le(c(10))
+            .and(v("max_r").eq_expr(v("orig")))
+            .or(c(10).lt(v("orig")).and(c(10).le(v("max_r"))));
+        // Case orig ≤ 10: the knob must keep its value.
+        let sigma_small = State::from_ints([("orig", 7), ("max_r", 7)]);
+        let mut o = ExtremalOracle::minimizing();
+        let next = o.choose(&[Var::new("max_r")], &pred, &sigma_small).unwrap();
+        assert_eq!(next.get_int(&Var::new("max_r")), Some(7));
+        // Case orig > 10: minimal choice is 10.
+        let sigma_large = State::from_ints([("orig", 100), ("max_r", 100)]);
+        let next = o.choose(&[Var::new("max_r")], &pred, &sigma_large).unwrap();
+        assert_eq!(next.get_int(&Var::new("max_r")), Some(10));
+    }
+}

@@ -1,0 +1,144 @@
+//! Output configurations `Φ = {ba} ∪ {wr} ∪ (Σ × Ψ)` (paper §2.2).
+//!
+//! A successful execution yields a final state and the *observation list*
+//! `ψ ∈ Ψ` of `(label, state)` snapshots emitted by `relate` statements.
+//! `ba` ("bad assume") marks a violated `assume`; `wr` ("wrong") marks any
+//! other failure — a violated `assert`, an unsatisfiable `havoc`, or an
+//! evaluation error (our machine-level refinement of the paper's ideal
+//! semantics). Fuel exhaustion is reported separately: the paper treats
+//! only terminating programs, and a fuel limit is how we approximate that
+//! in a executable setting.
+
+use relaxed_lang::eval::EvalError;
+use relaxed_lang::{BoolExpr, Label, State};
+use std::fmt;
+
+/// One observation `(l, σ)` emitted by a `relate` statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Observation {
+    /// The relate statement's label.
+    pub label: Label,
+    /// A snapshot of the state at the relate point.
+    pub state: State,
+}
+
+/// The reason an execution went `wr`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WrongReason {
+    /// An `assert e` whose predicate evaluated to false.
+    FailedAssert(BoolExpr),
+    /// A `havoc`/`relax` whose predicate admits no assignment
+    /// (the `havoc-f` rule).
+    UnsatisfiableChoice(BoolExpr),
+    /// An expression evaluation error (unbound variable, array misuse,
+    /// division by zero, overflow).
+    Eval(EvalError),
+}
+
+impl fmt::Display for WrongReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrongReason::FailedAssert(e) => write!(f, "assertion failed: {e}"),
+            WrongReason::UnsatisfiableChoice(e) => {
+                write!(f, "havoc/relax predicate unsatisfiable: {e}")
+            }
+            WrongReason::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+/// An output configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Successful termination: a final state and the observation list,
+    /// in chronological (program) order.
+    Terminated {
+        /// The final state σ.
+        state: State,
+        /// Observations emitted by `relate` statements, chronologically.
+        ///
+        /// The paper's `seq` rule writes `ψ2.ψ1` (most recent first); the
+        /// compatibility relation is insensitive to the shared convention,
+        /// and chronological order reads more naturally in diagnostics.
+        observations: Vec<Observation>,
+    },
+    /// `ba` — an `assume` failed.
+    BadAssume(BoolExpr),
+    /// `wr` — the execution went wrong.
+    Wrong(WrongReason),
+    /// The fuel budget was exhausted before termination.
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// The paper's `err(φ) ≡ φ = wr ∨ φ = ba` predicate.
+    ///
+    /// Fuel exhaustion is *not* an error: it corresponds to an execution
+    /// outside the terminating fragment the paper treats.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Outcome::BadAssume(_) | Outcome::Wrong(_))
+    }
+
+    /// Whether the execution terminated successfully.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, Outcome::Terminated { .. })
+    }
+
+    /// The final state of a successful execution.
+    pub fn state(&self) -> Option<&State> {
+        match self {
+            Outcome::Terminated { state, .. } => Some(state),
+            _ => None,
+        }
+    }
+
+    /// The observation list of a successful execution.
+    pub fn observations(&self) -> Option<&[Observation]> {
+        match self {
+            Outcome::Terminated { observations, .. } => Some(observations),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Terminated {
+                state,
+                observations,
+            } => write!(f, "terminated in {state} with {} observations", observations.len()),
+            Outcome::BadAssume(e) => write!(f, "ba (assume {e} failed)"),
+            Outcome::Wrong(r) => write!(f, "wr ({r})"),
+            Outcome::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_predicate_matches_paper() {
+        let ok = Outcome::Terminated {
+            state: State::new(),
+            observations: vec![],
+        };
+        assert!(!ok.is_err());
+        assert!(Outcome::BadAssume(BoolExpr::truth()).is_err());
+        assert!(Outcome::Wrong(WrongReason::FailedAssert(BoolExpr::falsity())).is_err());
+        assert!(!Outcome::OutOfFuel.is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let ok = Outcome::Terminated {
+            state: State::from_ints([("x", 1)]),
+            observations: vec![],
+        };
+        assert!(ok.state().is_some());
+        assert_eq!(ok.observations().map(<[Observation]>::len), Some(0));
+        assert!(Outcome::OutOfFuel.state().is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Ergonomic AST construction helpers.
+//!
+//! The functions here keep programmatic AST construction close to the
+//! paper's notation:
+//!
+//! ```
+//! use relaxed_lang::builder::*;
+//! // relax (x) st (0 <= x && x <= 2); relate l1 : x<o> <= x<r>
+//! let s = seq([
+//!     relax(["x"], c(0).le(v("x")).and(v("x").le(c(2)))),
+//!     relate("l1", vo("x").le(vr("x"))),
+//! ]);
+//! assert_eq!(s.relates().len(), 1);
+//! ```
+
+use crate::expr::{BoolExpr, IntExpr};
+use crate::ident::{Label, Side, Var};
+use crate::rel::{RelBoolExpr, RelIntExpr};
+use crate::stmt::{IfStmt, Stmt, WhileStmt};
+
+/// An integer constant expression.
+pub fn c(n: i64) -> IntExpr {
+    IntExpr::Const(n)
+}
+
+/// A variable reference expression.
+pub fn v(name: &str) -> IntExpr {
+    IntExpr::var(name)
+}
+
+/// An array read `name[index]`.
+pub fn sel(name: &str, index: IntExpr) -> IntExpr {
+    IntExpr::select(name, index)
+}
+
+/// The array length `len(name)`.
+pub fn length(name: &str) -> IntExpr {
+    IntExpr::Len(Var::new(name))
+}
+
+/// A relational constant.
+pub fn rc(n: i64) -> RelIntExpr {
+    RelIntExpr::Const(n)
+}
+
+/// `name<o>` — the original execution's value.
+pub fn vo(name: &str) -> RelIntExpr {
+    RelIntExpr::orig(name)
+}
+
+/// `name<r>` — the relaxed execution's value.
+pub fn vr(name: &str) -> RelIntExpr {
+    RelIntExpr::relaxed(name)
+}
+
+/// A relational array read `name<side>[index]`.
+pub fn rsel(name: &str, side: Side, index: RelIntExpr) -> RelIntExpr {
+    RelIntExpr::Select(Var::new(name), side, Box::new(index))
+}
+
+/// `skip`
+pub fn skip() -> Stmt {
+    Stmt::Skip
+}
+
+/// `name = e`
+pub fn assign(name: &str, e: IntExpr) -> Stmt {
+    Stmt::Assign(Var::new(name), e)
+}
+
+/// `name[index] = value`
+pub fn store(name: &str, index: IntExpr, value: IntExpr) -> Stmt {
+    Stmt::Store(Var::new(name), index, value)
+}
+
+/// `havoc (vars) st (pred)`
+pub fn havoc<'a>(vars: impl IntoIterator<Item = &'a str>, pred: BoolExpr) -> Stmt {
+    Stmt::Havoc(vars.into_iter().map(Var::new).collect(), pred)
+}
+
+/// `relax (vars) st (pred)`
+pub fn relax<'a>(vars: impl IntoIterator<Item = &'a str>, pred: BoolExpr) -> Stmt {
+    Stmt::Relax(vars.into_iter().map(Var::new).collect(), pred)
+}
+
+/// `assume pred`
+pub fn assume(pred: BoolExpr) -> Stmt {
+    Stmt::Assume(pred)
+}
+
+/// `assert pred`
+pub fn assert_stmt(pred: BoolExpr) -> Stmt {
+    Stmt::Assert(pred)
+}
+
+/// `relate label : pred`
+pub fn relate(label: &str, pred: RelBoolExpr) -> Stmt {
+    Stmt::Relate(Label::new(label), pred)
+}
+
+/// `if (cond) {then_branch} else {else_branch}` without annotations.
+pub fn if_(cond: BoolExpr, then_branch: Stmt, else_branch: Stmt) -> Stmt {
+    Stmt::if_then_else(cond, then_branch, else_branch)
+}
+
+/// `while (cond) {body}` without annotations.
+pub fn while_(cond: BoolExpr, body: Stmt) -> Stmt {
+    Stmt::while_loop(cond, body)
+}
+
+/// `while (cond) invariant (inv) {body}`.
+pub fn while_inv(cond: BoolExpr, inv: crate::formula::Formula, body: Stmt) -> Stmt {
+    Stmt::While(WhileStmt {
+        cond,
+        invariant: Some(inv),
+        rel_invariant: None,
+        diverge: None,
+        body: Box::new(body),
+    })
+}
+
+/// Sequential composition, flattening and dropping `skip`s.
+pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+    Stmt::seq(stmts)
+}
+
+/// Adds a relational invariant to a `while` statement.
+///
+/// # Panics
+///
+/// Panics when `s` is not a `while`.
+pub fn with_rinvariant(s: Stmt, rinv: crate::formula::RelFormula) -> Stmt {
+    match s {
+        Stmt::While(mut w) => {
+            w.rel_invariant = Some(rinv);
+            Stmt::While(w)
+        }
+        other => panic!("with_rinvariant expects a while statement, got {other}"),
+    }
+}
+
+/// Adds a divergence contract to an `if` or `while` statement.
+///
+/// # Panics
+///
+/// Panics when `s` is neither an `if` nor a `while`.
+pub fn with_diverge(s: Stmt, contract: crate::stmt::DivergeContract) -> Stmt {
+    match s {
+        Stmt::While(mut w) => {
+            w.diverge = Some(contract);
+            Stmt::While(w)
+        }
+        Stmt::If(IfStmt {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        }) => Stmt::If(IfStmt {
+            cond,
+            then_branch,
+            else_branch,
+            diverge: Some(contract),
+        }),
+        other => panic!("with_diverge expects if/while, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = seq([
+            assign("x", c(0)),
+            relax(["x"], c(0).le(v("x")).and(v("x").le(c(2)))),
+            relate("l1", vo("x").le(vr("x"))),
+        ]);
+        let parsed = crate::parser::parse_stmt(
+            "x = 0; relax (x) st (0 <= x && x <= 2); relate l1 : x<o> <= x<r>;",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn while_inv_sets_annotation() {
+        let s = while_inv(
+            v("i").lt(v("n")),
+            crate::formula::Formula::from_bool_expr(&v("i").ge(c(0))),
+            assign("i", v("i") + c(1)),
+        );
+        match s {
+            Stmt::While(w) => assert!(w.invariant.is_some()),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a while")]
+    fn with_rinvariant_rejects_non_while() {
+        let _ = with_rinvariant(skip(), crate::formula::RelFormula::True);
+    }
+}

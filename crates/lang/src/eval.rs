@@ -1,0 +1,415 @@
+//! Denotational semantics of expressions and formulas (Figs. 2 and 6).
+//!
+//! `⟦E⟧ : Σ → ℤ`, `⟦B⟧ : Σ → 𝔹`, `⟦E*⟧ : Σ × Σ → ℤ`, `⟦B*⟧ : Σ × Σ → 𝔹`.
+//!
+//! The paper works over ideal integers and total maps; we evaluate over
+//! `i64` with checked arithmetic and finite states, so evaluation is partial
+//! and returns [`EvalError`] for unbound variables, array misuse, division
+//! by zero, and overflow. The dynamic semantics in `relaxed-interp` maps
+//! evaluation errors to the `wr` configuration.
+//!
+//! Formula satisfaction `σ ⊨ P` is decidable only over a bounded quantifier
+//! domain; [`QuantDomain`] supplies the bound. This executable satisfaction
+//! is used for testing and model checking — the SMT backend in
+//! `relaxed-smt` decides the unbounded semantics for verification.
+
+use crate::expr::{BoolExpr, IntExpr};
+use crate::formula::{Formula, RelFormula};
+use crate::ident::{Side, Var};
+use crate::rel::{RelBoolExpr, RelIntExpr};
+use crate::state::{State, Value};
+use crate::subst::{RelSubst, Subst};
+use std::fmt;
+
+/// An error raised while evaluating an expression or checking satisfaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// The variable is not bound in the state.
+    UnboundVar(Var),
+    /// The variable is bound to an array where an integer was expected, or
+    /// vice versa.
+    TypeMismatch(Var),
+    /// An array access with a negative or too-large index.
+    IndexOutOfBounds {
+        /// The array variable accessed.
+        var: Var,
+        /// The evaluated index.
+        index: i64,
+        /// The array's length.
+        len: usize,
+    },
+    /// Division or remainder by zero, or `i64` overflow.
+    Arithmetic,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable {v}"),
+            EvalError::TypeMismatch(v) => write!(f, "variable {v} has the wrong shape"),
+            EvalError::IndexOutOfBounds { var, index, len } => {
+                write!(f, "index {index} out of bounds for {var} (len {len})")
+            }
+            EvalError::Arithmetic => write!(f, "arithmetic error (division by zero or overflow)"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result type for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+fn lookup_int(sigma: &State, v: &Var) -> EvalResult<i64> {
+    match sigma.get(v) {
+        None => Err(EvalError::UnboundVar(v.clone())),
+        Some(Value::Int(n)) => Ok(*n),
+        Some(Value::Array(_)) => Err(EvalError::TypeMismatch(v.clone())),
+    }
+}
+
+fn lookup_array<'a>(sigma: &'a State, v: &Var) -> EvalResult<&'a [i64]> {
+    match sigma.get(v) {
+        None => Err(EvalError::UnboundVar(v.clone())),
+        Some(Value::Array(items)) => Ok(items),
+        Some(Value::Int(_)) => Err(EvalError::TypeMismatch(v.clone())),
+    }
+}
+
+fn index_array(items: &[i64], v: &Var, index: i64) -> EvalResult<i64> {
+    usize::try_from(index)
+        .ok()
+        .and_then(|i| items.get(i).copied())
+        .ok_or(EvalError::IndexOutOfBounds {
+            var: v.clone(),
+            index,
+            len: items.len(),
+        })
+}
+
+/// `⟦E⟧(σ)` — evaluates an integer expression.
+pub fn eval_int(e: &IntExpr, sigma: &State) -> EvalResult<i64> {
+    match e {
+        IntExpr::Const(n) => Ok(*n),
+        IntExpr::Var(v) => lookup_int(sigma, v),
+        IntExpr::Bin(op, lhs, rhs) => {
+            let l = eval_int(lhs, sigma)?;
+            let r = eval_int(rhs, sigma)?;
+            op.apply(l, r).ok_or(EvalError::Arithmetic)
+        }
+        IntExpr::Select(v, index) => {
+            let i = eval_int(index, sigma)?;
+            let items = lookup_array(sigma, v)?;
+            index_array(items, v, i)
+        }
+        IntExpr::Len(v) => {
+            let items = lookup_array(sigma, v)?;
+            i64::try_from(items.len()).map_err(|_| EvalError::Arithmetic)
+        }
+    }
+}
+
+/// `⟦B⟧(σ)` — evaluates a boolean expression.
+pub fn eval_bool(b: &BoolExpr, sigma: &State) -> EvalResult<bool> {
+    match b {
+        BoolExpr::Const(c) => Ok(*c),
+        BoolExpr::Cmp(op, lhs, rhs) => {
+            Ok(op.apply(eval_int(lhs, sigma)?, eval_int(rhs, sigma)?))
+        }
+        BoolExpr::Bin(op, lhs, rhs) => {
+            // Non-short-circuiting, like the paper's denotational definition;
+            // both operands must evaluate.
+            Ok(op.apply(eval_bool(lhs, sigma)?, eval_bool(rhs, sigma)?))
+        }
+        BoolExpr::Not(inner) => Ok(!eval_bool(inner, sigma)?),
+    }
+}
+
+/// `⟦E*⟧(σ1, σ2)` — evaluates a relational integer expression over an
+/// (original, relaxed) state pair.
+pub fn eval_rel_int(e: &RelIntExpr, orig: &State, relaxed: &State) -> EvalResult<i64> {
+    let side_state = |side: Side| match side {
+        Side::Original => orig,
+        Side::Relaxed => relaxed,
+    };
+    match e {
+        RelIntExpr::Const(n) => Ok(*n),
+        RelIntExpr::Var(v, side) => lookup_int(side_state(*side), v),
+        RelIntExpr::Bin(op, lhs, rhs) => {
+            let l = eval_rel_int(lhs, orig, relaxed)?;
+            let r = eval_rel_int(rhs, orig, relaxed)?;
+            op.apply(l, r).ok_or(EvalError::Arithmetic)
+        }
+        RelIntExpr::Select(v, side, index) => {
+            let i = eval_rel_int(index, orig, relaxed)?;
+            let items = lookup_array(side_state(*side), v)?;
+            index_array(items, v, i)
+        }
+        RelIntExpr::Len(v, side) => {
+            let items = lookup_array(side_state(*side), v)?;
+            i64::try_from(items.len()).map_err(|_| EvalError::Arithmetic)
+        }
+    }
+}
+
+/// `⟦B*⟧(σ1, σ2)` — evaluates a relational boolean expression.
+pub fn eval_rel_bool(b: &RelBoolExpr, orig: &State, relaxed: &State) -> EvalResult<bool> {
+    match b {
+        RelBoolExpr::Const(c) => Ok(*c),
+        RelBoolExpr::Cmp(op, lhs, rhs) => Ok(op.apply(
+            eval_rel_int(lhs, orig, relaxed)?,
+            eval_rel_int(rhs, orig, relaxed)?,
+        )),
+        RelBoolExpr::Bin(op, lhs, rhs) => Ok(op.apply(
+            eval_rel_bool(lhs, orig, relaxed)?,
+            eval_rel_bool(rhs, orig, relaxed)?,
+        )),
+        RelBoolExpr::Not(inner) => Ok(!eval_rel_bool(inner, orig, relaxed)?),
+    }
+}
+
+/// The bounded integer domain quantifiers range over in *executable*
+/// satisfaction checking.
+///
+/// The true semantics of `∃x · P` quantifies over all of `ℤ` (Fig. 6);
+/// executable checking restricts to `lo..=hi`, which is exact for the
+/// formulas whose witnesses lie in the domain and an under-approximation
+/// (for `∃`) / over-approximation (for `∀`) otherwise. Tests choose domains
+/// large enough to cover the constants involved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuantDomain {
+    /// Smallest candidate witness.
+    pub lo: i64,
+    /// Largest candidate witness.
+    pub hi: i64,
+}
+
+impl QuantDomain {
+    /// Creates a domain `lo..=hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        QuantDomain { lo, hi }
+    }
+
+    /// Iterates over candidate witnesses.
+    pub fn iter(&self) -> impl Iterator<Item = i64> {
+        self.lo..=self.hi
+    }
+}
+
+impl Default for QuantDomain {
+    /// A small symmetric domain `-8..=8`.
+    fn default() -> Self {
+        QuantDomain::new(-8, 8)
+    }
+}
+
+/// `σ ⊨ P` — satisfaction of a unary formula, with quantifiers evaluated
+/// over `dom` by substituting candidate constants (mirroring Fig. 6's
+/// substitution-based semantics `σ ∈ [[P[n/x]]]`).
+pub fn sat_formula(p: &Formula, sigma: &State, dom: QuantDomain) -> EvalResult<bool> {
+    match p {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Cmp(op, lhs, rhs) => {
+            Ok(op.apply(eval_int(lhs, sigma)?, eval_int(rhs, sigma)?))
+        }
+        Formula::And(lhs, rhs) => {
+            Ok(sat_formula(lhs, sigma, dom)? && sat_formula(rhs, sigma, dom)?)
+        }
+        Formula::Or(lhs, rhs) => {
+            Ok(sat_formula(lhs, sigma, dom)? || sat_formula(rhs, sigma, dom)?)
+        }
+        Formula::Implies(lhs, rhs) => {
+            Ok(!sat_formula(lhs, sigma, dom)? || sat_formula(rhs, sigma, dom)?)
+        }
+        Formula::Not(inner) => Ok(!sat_formula(inner, sigma, dom)?),
+        Formula::Exists(v, body) => {
+            for n in dom.iter() {
+                let instantiated = Subst::single(v.clone(), IntExpr::Const(n)).apply(body);
+                if sat_formula(&instantiated, sigma, dom)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Forall(v, body) => {
+            for n in dom.iter() {
+                let instantiated = Subst::single(v.clone(), IntExpr::Const(n)).apply(body);
+                if !sat_formula(&instantiated, sigma, dom)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// `(σ1, σ2) ⊨ P*` — satisfaction of a relational formula over an
+/// (original, relaxed) state pair, with bounded quantifiers.
+pub fn sat_rel_formula(
+    p: &RelFormula,
+    orig: &State,
+    relaxed: &State,
+    dom: QuantDomain,
+) -> EvalResult<bool> {
+    match p {
+        RelFormula::True => Ok(true),
+        RelFormula::False => Ok(false),
+        RelFormula::Cmp(op, lhs, rhs) => Ok(op.apply(
+            eval_rel_int(lhs, orig, relaxed)?,
+            eval_rel_int(rhs, orig, relaxed)?,
+        )),
+        RelFormula::And(lhs, rhs) => Ok(sat_rel_formula(lhs, orig, relaxed, dom)?
+            && sat_rel_formula(rhs, orig, relaxed, dom)?),
+        RelFormula::Or(lhs, rhs) => Ok(sat_rel_formula(lhs, orig, relaxed, dom)?
+            || sat_rel_formula(rhs, orig, relaxed, dom)?),
+        RelFormula::Implies(lhs, rhs) => Ok(!sat_rel_formula(lhs, orig, relaxed, dom)?
+            || sat_rel_formula(rhs, orig, relaxed, dom)?),
+        RelFormula::Not(inner) => Ok(!sat_rel_formula(inner, orig, relaxed, dom)?),
+        RelFormula::Exists(v, side, body) => {
+            for n in dom.iter() {
+                let instantiated =
+                    RelSubst::single(v.clone(), *side, RelIntExpr::Const(n)).apply(body);
+                if sat_rel_formula(&instantiated, orig, relaxed, dom)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        RelFormula::Forall(v, side, body) => {
+            for n in dom.iter() {
+                let instantiated =
+                    RelSubst::single(v.clone(), *side, RelIntExpr::Const(n)).apply(body);
+                if !sat_rel_formula(&instantiated, orig, relaxed, dom)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn sigma() -> State {
+        let mut s = State::from_ints([("x", 3), ("y", -2)]);
+        s.set("a", vec![10, 20, 30]);
+        s
+    }
+
+    #[test]
+    fn eval_int_basics() {
+        let s = sigma();
+        assert_eq!(eval_int(&(IntExpr::var("x") + IntExpr::var("y")), &s), Ok(1));
+        assert_eq!(
+            eval_int(&IntExpr::select("a", IntExpr::var("x") - IntExpr::from(1)), &s),
+            Ok(30)
+        );
+        assert_eq!(eval_int(&IntExpr::Len(Var::new("a")), &s), Ok(3));
+    }
+
+    #[test]
+    fn eval_errors() {
+        let s = sigma();
+        assert_eq!(
+            eval_int(&IntExpr::var("z"), &s),
+            Err(EvalError::UnboundVar(Var::new("z")))
+        );
+        assert_eq!(
+            eval_int(&IntExpr::var("a"), &s),
+            Err(EvalError::TypeMismatch(Var::new("a")))
+        );
+        assert!(matches!(
+            eval_int(&IntExpr::select("a", IntExpr::from(5)), &s),
+            Err(EvalError::IndexOutOfBounds { .. })
+        ));
+        assert_eq!(
+            eval_int(&(IntExpr::var("x") / IntExpr::from(0)), &s),
+            Err(EvalError::Arithmetic)
+        );
+    }
+
+    #[test]
+    fn eval_bool_basics() {
+        let s = sigma();
+        assert_eq!(eval_bool(&IntExpr::var("x").lt(IntExpr::from(4)), &s), Ok(true));
+        assert_eq!(
+            eval_bool(
+                &IntExpr::var("x")
+                    .lt(IntExpr::from(4))
+                    .and(IntExpr::var("y").ge(IntExpr::from(0))),
+                &s
+            ),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn rel_eval_reads_correct_sides() {
+        let o = State::from_ints([("x", 1)]);
+        let r = State::from_ints([("x", 5)]);
+        assert_eq!(eval_rel_int(&RelIntExpr::orig("x"), &o, &r), Ok(1));
+        assert_eq!(eval_rel_int(&RelIntExpr::relaxed("x"), &o, &r), Ok(5));
+        assert_eq!(
+            eval_rel_bool(&RelIntExpr::orig("x").le(RelIntExpr::relaxed("x")), &o, &r),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn exists_finds_witness_in_domain() {
+        // ∃w · w + w == x with x = 4 → w = 2.
+        let s = State::from_ints([("x", 4)]);
+        let p = Formula::Cmp(
+            CmpOp::Eq,
+            IntExpr::var("w") + IntExpr::var("w"),
+            IntExpr::var("x"),
+        )
+        .exists("w");
+        assert_eq!(sat_formula(&p, &s, QuantDomain::default()), Ok(true));
+        // x = 3 has no integer witness.
+        let s3 = State::from_ints([("x", 3)]);
+        assert_eq!(sat_formula(&p, &s3, QuantDomain::default()), Ok(false));
+    }
+
+    #[test]
+    fn forall_checks_whole_domain() {
+        // ∀w · w <= hi holds for the domain bound itself.
+        let s = State::new();
+        let p = Formula::Cmp(CmpOp::Le, IntExpr::var("w"), IntExpr::from(8)).forall("w");
+        assert_eq!(sat_formula(&p, &s, QuantDomain::new(-8, 8)), Ok(true));
+        let p2 = Formula::Cmp(CmpOp::Le, IntExpr::var("w"), IntExpr::from(7)).forall("w");
+        assert_eq!(sat_formula(&p2, &s, QuantDomain::new(-8, 8)), Ok(false));
+    }
+
+    #[test]
+    fn rel_exists_on_one_side() {
+        // ∃d<r> · x<r> == x<o> + d with x<o>=1, x<r>=4 → d = 3.
+        let o = State::from_ints([("x", 1)]);
+        let r = State::from_ints([("x", 4)]);
+        let p = RelFormula::Cmp(
+            CmpOp::Eq,
+            RelIntExpr::relaxed("x"),
+            RelIntExpr::orig("x") + RelIntExpr::relaxed("d"),
+        )
+        .exists("d", Side::Relaxed);
+        assert_eq!(
+            sat_rel_formula(&p, &o, &r, QuantDomain::default()),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn non_short_circuit_matches_paper_totality() {
+        // false && (1/0 == 0): the paper's ⟦·⟧ is total over ℤ but our
+        // evaluator is partial; the conjunction still evaluates both sides.
+        let s = State::new();
+        let b = BoolExpr::falsity().and(
+            (IntExpr::from(1) / IntExpr::from(0)).eq_expr(IntExpr::from(0)),
+        );
+        assert_eq!(eval_bool(&b, &s), Err(EvalError::Arithmetic));
+    }
+}

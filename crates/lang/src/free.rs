@@ -1,0 +1,217 @@
+//! Free-variable computation for expressions and formulas.
+//!
+//! Array variables are ordinary members of `Vars`: `x[e]` and `len(x)` make
+//! `x` free. Relational free variables are side-tagged pairs `(x, side)`.
+
+use crate::expr::{BoolExpr, IntExpr};
+use crate::formula::{Formula, RelFormula};
+use crate::ident::{Side, Var};
+use crate::rel::{RelBoolExpr, RelIntExpr};
+use std::collections::BTreeSet;
+
+/// Free variables of an integer expression.
+pub fn int_expr_vars(e: &IntExpr) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    collect_int_expr(e, &mut out);
+    out
+}
+
+fn collect_int_expr(e: &IntExpr, out: &mut BTreeSet<Var>) {
+    match e {
+        IntExpr::Const(_) => {}
+        IntExpr::Var(v) => {
+            out.insert(v.clone());
+        }
+        IntExpr::Bin(_, lhs, rhs) => {
+            collect_int_expr(lhs, out);
+            collect_int_expr(rhs, out);
+        }
+        IntExpr::Select(v, index) => {
+            out.insert(v.clone());
+            collect_int_expr(index, out);
+        }
+        IntExpr::Len(v) => {
+            out.insert(v.clone());
+        }
+    }
+}
+
+/// Free variables of a boolean expression.
+pub fn bool_expr_vars(b: &BoolExpr) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    collect_bool_expr(b, &mut out);
+    out
+}
+
+fn collect_bool_expr(b: &BoolExpr, out: &mut BTreeSet<Var>) {
+    match b {
+        BoolExpr::Const(_) => {}
+        BoolExpr::Cmp(_, lhs, rhs) => {
+            collect_int_expr(lhs, out);
+            collect_int_expr(rhs, out);
+        }
+        BoolExpr::Bin(_, lhs, rhs) => {
+            collect_bool_expr(lhs, out);
+            collect_bool_expr(rhs, out);
+        }
+        BoolExpr::Not(inner) => collect_bool_expr(inner, out),
+    }
+}
+
+/// Free variables of a unary formula (quantified variables are bound).
+pub fn formula_vars(p: &Formula) -> BTreeSet<Var> {
+    match p {
+        Formula::True | Formula::False => BTreeSet::new(),
+        Formula::Cmp(_, lhs, rhs) => {
+            let mut out = int_expr_vars(lhs);
+            out.extend(int_expr_vars(rhs));
+            out
+        }
+        Formula::And(lhs, rhs) | Formula::Or(lhs, rhs) | Formula::Implies(lhs, rhs) => {
+            let mut out = formula_vars(lhs);
+            out.extend(formula_vars(rhs));
+            out
+        }
+        Formula::Not(inner) => formula_vars(inner),
+        Formula::Exists(v, body) | Formula::Forall(v, body) => {
+            let mut out = formula_vars(body);
+            out.remove(v);
+            out
+        }
+    }
+}
+
+/// Free side-tagged variables of a relational integer expression.
+pub fn rel_int_expr_vars(e: &RelIntExpr) -> BTreeSet<(Var, Side)> {
+    let mut out = BTreeSet::new();
+    collect_rel_int_expr(e, &mut out);
+    out
+}
+
+fn collect_rel_int_expr(e: &RelIntExpr, out: &mut BTreeSet<(Var, Side)>) {
+    match e {
+        RelIntExpr::Const(_) => {}
+        RelIntExpr::Var(v, side) => {
+            out.insert((v.clone(), *side));
+        }
+        RelIntExpr::Bin(_, lhs, rhs) => {
+            collect_rel_int_expr(lhs, out);
+            collect_rel_int_expr(rhs, out);
+        }
+        RelIntExpr::Select(v, side, index) => {
+            out.insert((v.clone(), *side));
+            collect_rel_int_expr(index, out);
+        }
+        RelIntExpr::Len(v, side) => {
+            out.insert((v.clone(), *side));
+        }
+    }
+}
+
+/// Free side-tagged variables of a relational boolean expression.
+pub fn rel_bool_expr_vars(b: &RelBoolExpr) -> BTreeSet<(Var, Side)> {
+    let mut out = BTreeSet::new();
+    collect_rel_bool_expr(b, &mut out);
+    out
+}
+
+fn collect_rel_bool_expr(b: &RelBoolExpr, out: &mut BTreeSet<(Var, Side)>) {
+    match b {
+        RelBoolExpr::Const(_) => {}
+        RelBoolExpr::Cmp(_, lhs, rhs) => {
+            collect_rel_int_expr(lhs, out);
+            collect_rel_int_expr(rhs, out);
+        }
+        RelBoolExpr::Bin(_, lhs, rhs) => {
+            collect_rel_bool_expr(lhs, out);
+            collect_rel_bool_expr(rhs, out);
+        }
+        RelBoolExpr::Not(inner) => collect_rel_bool_expr(inner, out),
+    }
+}
+
+/// Free side-tagged variables of a relational formula.
+pub fn rel_formula_vars(p: &RelFormula) -> BTreeSet<(Var, Side)> {
+    match p {
+        RelFormula::True | RelFormula::False => BTreeSet::new(),
+        RelFormula::Cmp(_, lhs, rhs) => {
+            let mut out = rel_int_expr_vars(lhs);
+            out.extend(rel_int_expr_vars(rhs));
+            out
+        }
+        RelFormula::And(lhs, rhs)
+        | RelFormula::Or(lhs, rhs)
+        | RelFormula::Implies(lhs, rhs) => {
+            let mut out = rel_formula_vars(lhs);
+            out.extend(rel_formula_vars(rhs));
+            out
+        }
+        RelFormula::Not(inner) => rel_formula_vars(inner),
+        RelFormula::Exists(v, side, body) | RelFormula::Forall(v, side, body) => {
+            let mut out = rel_formula_vars(body);
+            out.remove(&(v.clone(), *side));
+            out
+        }
+    }
+}
+
+/// All variable *names* (either side) free in a relational formula.
+pub fn rel_formula_var_names(p: &RelFormula) -> BTreeSet<Var> {
+    rel_formula_vars(p).into_iter().map(|(v, _)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> BTreeSet<Var> {
+        names.iter().map(Var::new).collect()
+    }
+
+    #[test]
+    fn int_expr_vars_include_array_names() {
+        let e = IntExpr::select("a", IntExpr::var("i")) + IntExpr::Len(Var::new("b"));
+        assert_eq!(int_expr_vars(&e), set(&["a", "b", "i"]));
+    }
+
+    #[test]
+    fn quantifiers_bind() {
+        let p = Formula::Cmp(
+            crate::CmpOp::Lt,
+            IntExpr::var("x"),
+            IntExpr::var("y"),
+        )
+        .exists("x");
+        assert_eq!(formula_vars(&p), set(&["y"]));
+    }
+
+    #[test]
+    fn shadowing_inner_binder() {
+        // ∃x · (x < y ∧ ∃y · y < x): outer y free, inner y bound.
+        let inner = Formula::Cmp(crate::CmpOp::Lt, IntExpr::var("y"), IntExpr::var("x"))
+            .exists("y");
+        let p = Formula::Cmp(crate::CmpOp::Lt, IntExpr::var("x"), IntExpr::var("y"))
+            .and(inner)
+            .exists("x");
+        assert_eq!(formula_vars(&p), set(&["y"]));
+    }
+
+    #[test]
+    fn rel_vars_are_side_tagged() {
+        let b = RelIntExpr::orig("x").le(RelIntExpr::relaxed("x"));
+        let vars = rel_bool_expr_vars(&b);
+        assert!(vars.contains(&(Var::new("x"), Side::Original)));
+        assert!(vars.contains(&(Var::new("x"), Side::Relaxed)));
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn rel_quantifier_binds_one_side_only() {
+        // ∃x<r> · x<o> ≤ x<r>: x<o> stays free.
+        let p = RelFormula::from(RelIntExpr::orig("x").le(RelIntExpr::relaxed("x")))
+            .exists("x", Side::Relaxed);
+        let vars = rel_formula_vars(&p);
+        assert_eq!(vars.len(), 1);
+        assert!(vars.contains(&(Var::new("x"), Side::Original)));
+    }
+}

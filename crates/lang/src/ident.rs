@@ -1,0 +1,189 @@
+//! Variable identifiers, relate-statement labels, and execution sides.
+//!
+//! The paper's language ranges over integer program variables `Vars` and a
+//! finite domain `L` of labels attached to `relate` statements. Relational
+//! expressions additionally tag variables with the *side* of the paired
+//! execution they refer to: `x<o>` (original) or `x<r>` (relaxed).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A program variable.
+///
+/// Cheap to clone (shared string storage) and totally ordered so that sets
+/// of variables iterate deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use relaxed_lang::Var;
+/// let x = Var::new("x");
+/// assert_eq!(x.name(), "x");
+/// assert_eq!(x.to_string(), "x");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's source name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Derives a fresh-looking variable by appending a numeric suffix.
+    ///
+    /// Used by capture-avoiding substitution and the VC generator; see
+    /// [`crate::subst::FreshVars`] for the allocator that guarantees actual
+    /// freshness.
+    pub fn with_suffix(&self, n: u64) -> Var {
+        Var::new(format!("{}#{}", self.0, n))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A label naming a `relate` statement.
+///
+/// The dynamic semantics emits an observation `(l, σ)` every time the
+/// statement `relate l : e*` executes; the map `Γ` from labels to relational
+/// predicates drives the observational-compatibility relation (paper §4,
+/// Theorem 6). Well-formed programs use each label at most once.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Creates a label with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Label(Arc::from(name.as_ref()))
+    }
+
+    /// The label's source name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.0)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+/// Which execution of the lockstep pair a relational variable refers to.
+///
+/// The paper's convention (Fig. 2) is that the first component of a state
+/// pair comes from the *original* semantics and the second from the
+/// *relaxed* semantics, so `x<o>` reads `σ1(x)` and `x<r>` reads `σ2(x)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Side {
+    /// The original execution (`x<o>`, first state component).
+    Original,
+    /// The relaxed execution (`x<r>`, second state component).
+    Relaxed,
+}
+
+impl Side {
+    /// The other side of the pair.
+    #[must_use]
+    pub fn flipped(self) -> Side {
+        match self {
+            Side::Original => Side::Relaxed,
+            Side::Relaxed => Side::Original,
+        }
+    }
+
+    /// The concrete-syntax marker: `<o>` or `<r>`.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Side::Original => "<o>",
+            Side::Relaxed => "<r>",
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.marker())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn var_equality_is_by_name() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+
+    #[test]
+    fn var_ordering_is_lexicographic() {
+        let mut set = BTreeSet::new();
+        set.insert(Var::new("b"));
+        set.insert(Var::new("a"));
+        set.insert(Var::new("c"));
+        let names: Vec<_> = set.iter().map(Var::name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn with_suffix_produces_distinct_names() {
+        let x = Var::new("x");
+        assert_ne!(x.with_suffix(0), x);
+        assert_ne!(x.with_suffix(0), x.with_suffix(1));
+        assert_eq!(x.with_suffix(3).name(), "x#3");
+    }
+
+    #[test]
+    fn side_flips() {
+        assert_eq!(Side::Original.flipped(), Side::Relaxed);
+        assert_eq!(Side::Relaxed.flipped(), Side::Original);
+        assert_eq!(Side::Original.marker(), "<o>");
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(Label::new("l1").to_string(), "l1");
+    }
+}

@@ -1,0 +1,79 @@
+//! # relaxed-lang
+//!
+//! Syntax and denotational semantics for the *relaxed programming* language
+//! of Carbin, Kim, Misailovic & Rinard, “Proving Acceptability Properties of
+//! Relaxed Nondeterministic Approximate Programs” (PLDI 2012).
+//!
+//! A *relaxed program* is a program extended with nondeterministic
+//! `relax (X) st (B)` statements that have no effect in the *original*
+//! semantics but nondeterministically reassign `X` (subject to `B`) in the
+//! *relaxed* semantics. Acceptability properties are stated with:
+//!
+//! * `assert B` / `assume B` — unary predicates over one execution, and
+//! * `relate l : B*` — relational predicates over the *pair* of original
+//!   and relaxed executions, written with side-tagged variables `x<o>` and
+//!   `x<r>`.
+//!
+//! This crate provides:
+//!
+//! * the AST ([`expr`], [`rel`], [`stmt`]) for Fig. 1 of the paper,
+//! * the assertion logic ([`formula`]) for Fig. 5, with injections
+//!   `inj_o`/`inj_r` and the `⟨P1 · P2⟩` pairing,
+//! * denotational semantics of expressions and formulas ([`eval`]) for
+//!   Figs. 2 and 6,
+//! * capture-avoiding (simultaneous) substitution ([`subst`]),
+//! * free-variable analyses ([`free`]),
+//! * a parser ([`parser`]) and pretty printer ([`pretty`]) for a concrete
+//!   syntax matching the paper's examples, and
+//! * an ergonomic construction DSL ([`builder`]).
+//!
+//! The dynamic big-step semantics (`⇓o`, `⇓r`, Figs. 3–4) live in the
+//! `relaxed-interp` crate; the axiomatic semantics (Figs. 7–9) live in
+//! `relaxed-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use relaxed_lang::{parse_program, State, eval::{sat_rel_formula, QuantDomain}};
+//! use relaxed_lang::formula::RelFormula;
+//!
+//! let program = parse_program(
+//!     "original_a = a; relax (a) st (original_a - e <= a && a <= original_a + e);",
+//! )?;
+//! assert!(program.body().has_relax());
+//!
+//! // Relational satisfaction: |max<o> - max<r>| <= e with e = 1.
+//! let p = relaxed_lang::parse_rel_formula(
+//!     "max<o> - max<r> <= e<o> && max<r> - max<o> <= e<o>")?;
+//! let orig = State::from_ints([("max", 5), ("e", 1)]);
+//! let relaxed = State::from_ints([("max", 6), ("e", 1)]);
+//! assert!(sat_rel_formula(&p, &orig, &relaxed, QuantDomain::default())?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod eval;
+pub mod expr;
+pub mod formula;
+pub mod free;
+mod ident;
+pub mod parser;
+pub mod pretty;
+pub mod rel;
+pub mod state;
+pub mod stmt;
+pub mod subst;
+
+pub use expr::{BoolBinOp, BoolExpr, CmpOp, IntBinOp, IntExpr};
+pub use formula::{Formula, RelFormula};
+pub use ident::{Label, Side, Var};
+pub use parser::{
+    parse_bool_expr, parse_formula, parse_int_expr, parse_program, parse_rel_bool_expr,
+    parse_rel_formula, parse_stmt,
+};
+pub use rel::{RelBoolExpr, RelIntExpr};
+pub use state::{State, Value};
+pub use stmt::{DivergeContract, IfStmt, Program, Stmt, WellFormedError, WhileStmt};

@@ -1,0 +1,333 @@
+//! Lexer for the relaxed-program concrete syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// A non-negative integer literal (negation is parsed as an operator).
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `==>`
+    Implies,
+    /// `<==>`
+    Iff,
+    /// `<o>` — original-side marker.
+    SideO,
+    /// `<r>` — relaxed-side marker.
+    SideR,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::Semi => f.write_str(";"),
+            Tok::Comma => f.write_str(","),
+            Tok::Colon => f.write_str(":"),
+            Tok::Dot => f.write_str("."),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::Assign => f.write_str("="),
+            Tok::EqEq => f.write_str("=="),
+            Tok::NotEq => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::AndAnd => f.write_str("&&"),
+            Tok::OrOr => f.write_str("||"),
+            Tok::Bang => f.write_str("!"),
+            Tok::Implies => f.write_str("==>"),
+            Tok::Iff => f.write_str("<==>"),
+            Tok::SideO => f.write_str("<o>"),
+            Tok::SideR => f.write_str("<r>"),
+        }
+    }
+}
+
+/// A token paired with its byte offset in the source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// A lexing error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset where it occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. Line comments `//` and whitespace are skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal {text} out of range"),
+                    offset: start,
+                })?;
+                toks.push(Spanned {
+                    tok: Tok::Int(n),
+                    offset: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'#')
+                {
+                    i += 1;
+                }
+                toks.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let (tok, len) = lex_symbol(&bytes[i..]).ok_or_else(|| LexError {
+                    message: format!("unexpected character {:?}", src[i..].chars().next()),
+                    offset: i,
+                })?;
+                toks.push(Spanned { tok, offset: i });
+                i += len;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_symbol(rest: &[u8]) -> Option<(Tok, usize)> {
+    // Longest match first.
+    let starts = |p: &[u8]| rest.starts_with(p);
+    if starts(b"<==>") {
+        return Some((Tok::Iff, 4));
+    }
+    if starts(b"==>") {
+        return Some((Tok::Implies, 3));
+    }
+    if starts(b"<o>") {
+        return Some((Tok::SideO, 3));
+    }
+    if starts(b"<r>") {
+        return Some((Tok::SideR, 3));
+    }
+    if starts(b"==") {
+        return Some((Tok::EqEq, 2));
+    }
+    if starts(b"!=") {
+        return Some((Tok::NotEq, 2));
+    }
+    if starts(b"<=") {
+        return Some((Tok::Le, 2));
+    }
+    if starts(b">=") {
+        return Some((Tok::Ge, 2));
+    }
+    if starts(b"&&") {
+        return Some((Tok::AndAnd, 2));
+    }
+    if starts(b"||") {
+        return Some((Tok::OrOr, 2));
+    }
+    let single = match rest.first()? {
+        b'(' => Tok::LParen,
+        b')' => Tok::RParen,
+        b'{' => Tok::LBrace,
+        b'}' => Tok::RBrace,
+        b'[' => Tok::LBracket,
+        b']' => Tok::RBracket,
+        b';' => Tok::Semi,
+        b',' => Tok::Comma,
+        b':' => Tok::Colon,
+        b'.' => Tok::Dot,
+        b'+' => Tok::Plus,
+        b'-' => Tok::Minus,
+        b'*' => Tok::Star,
+        b'/' => Tok::Slash,
+        b'%' => Tok::Percent,
+        b'=' => Tok::Assign,
+        b'<' => Tok::Lt,
+        b'>' => Tok::Gt,
+        b'!' => Tok::Bang,
+        _ => return None,
+    };
+    Some((single, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_basic_statement() {
+        assert_eq!(
+            toks("x = x + 1;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("x".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_side_markers_greedily() {
+        assert_eq!(
+            toks("x<o> <= x<r>"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::SideO,
+                Tok::Le,
+                Tok::Ident("x".into()),
+                Tok::SideR
+            ]
+        );
+    }
+
+    #[test]
+    fn spaced_comparison_is_not_a_marker() {
+        // `x < o` followed by `>` lexes as Lt, Ident, Gt.
+        assert_eq!(
+            toks("x < o >"),
+            vec![Tok::Ident("x".into()), Tok::Lt, Tok::Ident("o".into()), Tok::Gt]
+        );
+    }
+
+    #[test]
+    fn lex_logical_operators() {
+        assert_eq!(
+            toks("a && b || !c ==> d <==> e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::AndAnd,
+                Tok::Ident("b".into()),
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Ident("c".into()),
+                Tok::Implies,
+                Tok::Ident("d".into()),
+                Tok::Iff,
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("x // whole line\n= 1;").len(), 4);
+    }
+
+    #[test]
+    fn fresh_suffix_names_lex_as_idents() {
+        assert_eq!(toks("x#1"), vec![Tok::Ident("x#1".into())]);
+    }
+
+    #[test]
+    fn unknown_character_reports_offset() {
+        let err = lex("x = @;").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn overflow_literal_is_an_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,574 @@
+//! Precedence-aware pretty printing for the concrete syntax.
+//!
+//! The printers emit source that the parser in [`crate::parser`] accepts,
+//! and the round-trip `parse(pretty(x)) == x` is property-tested in
+//! `crates/lang/tests/roundtrip.rs`.
+
+use crate::expr::{BoolBinOp, BoolExpr, IntBinOp, IntExpr};
+use crate::formula::{Formula, RelFormula};
+use crate::rel::{RelBoolExpr, RelIntExpr};
+use crate::stmt::{DivergeContract, Stmt};
+use std::fmt::{self, Write as _};
+
+fn int_op_prec(op: IntBinOp) -> u8 {
+    match op {
+        IntBinOp::Add | IntBinOp::Sub => 10,
+        IntBinOp::Mul | IntBinOp::Div | IntBinOp::Mod => 20,
+    }
+}
+
+/// Formats an integer expression with minimal parentheses.
+pub fn fmt_int_expr(e: &IntExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_int_prec(e, 0, f)
+}
+
+fn fmt_int_prec(e: &IntExpr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        IntExpr::Const(n) => {
+            if *n < 0 {
+                // Negative literals need parens under a tighter operator so
+                // `x - -1` round-trips (lexed as `-` `1`).
+                if min_prec > 0 {
+                    write!(f, "({n})")
+                } else {
+                    write!(f, "{n}")
+                }
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        IntExpr::Var(v) => write!(f, "{v}"),
+        IntExpr::Bin(op, lhs, rhs) => {
+            let prec = int_op_prec(*op);
+            let paren = prec < min_prec;
+            if paren {
+                f.write_char('(')?;
+            }
+            fmt_int_prec(lhs, prec, f)?;
+            write!(f, " {op} ")?;
+            // Left-associative: the right operand needs strictly higher
+            // precedence to avoid parens.
+            fmt_int_prec(rhs, prec + 1, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        IntExpr::Select(v, index) => {
+            write!(f, "{v}[")?;
+            fmt_int_prec(index, 0, f)?;
+            f.write_char(']')
+        }
+        IntExpr::Len(v) => write!(f, "len({v})"),
+    }
+}
+
+fn bool_op_prec(op: BoolBinOp) -> u8 {
+    match op {
+        BoolBinOp::Iff => 1,
+        BoolBinOp::Implies => 2,
+        BoolBinOp::Or => 3,
+        BoolBinOp::And => 4,
+    }
+}
+
+/// Formats a boolean expression with minimal parentheses.
+pub fn fmt_bool_expr(b: &BoolExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_bool_prec(b, 0, f)
+}
+
+fn fmt_bool_prec(b: &BoolExpr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match b {
+        BoolExpr::Const(c) => write!(f, "{c}"),
+        BoolExpr::Cmp(op, lhs, rhs) => {
+            let paren = min_prec >= 6;
+            if paren {
+                f.write_char('(')?;
+            }
+            fmt_int_prec(lhs, 1, f)?;
+            write!(f, " {op} ")?;
+            fmt_int_prec(rhs, 1, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        BoolExpr::Bin(op, lhs, rhs) => {
+            let prec = bool_op_prec(*op);
+            let paren = prec < min_prec;
+            if paren {
+                f.write_char('(')?;
+            }
+            // Implication is right-associative; the others associate left
+            // but we print them as chains at equal precedence.
+            let (lmin, rmin) = if *op == BoolBinOp::Implies {
+                (prec + 1, prec)
+            } else {
+                (prec, prec + 1)
+            };
+            fmt_bool_prec(lhs, lmin, f)?;
+            write!(f, " {op} ")?;
+            fmt_bool_prec(rhs, rmin, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        BoolExpr::Not(inner) => {
+            f.write_char('!')?;
+            fmt_bool_prec(inner, 6, f)
+        }
+    }
+}
+
+/// Formats a relational integer expression.
+pub fn fmt_rel_int_expr(e: &RelIntExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_rel_int_prec(e, 0, f)
+}
+
+fn fmt_rel_int_prec(e: &RelIntExpr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        RelIntExpr::Const(n) => {
+            if *n < 0 && min_prec > 0 {
+                write!(f, "({n})")
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        RelIntExpr::Var(v, side) => write!(f, "{v}{side}"),
+        RelIntExpr::Bin(op, lhs, rhs) => {
+            let prec = int_op_prec(*op);
+            let paren = prec < min_prec;
+            if paren {
+                f.write_char('(')?;
+            }
+            fmt_rel_int_prec(lhs, prec, f)?;
+            write!(f, " {op} ")?;
+            fmt_rel_int_prec(rhs, prec + 1, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        RelIntExpr::Select(v, side, index) => {
+            write!(f, "{v}{side}[")?;
+            fmt_rel_int_prec(index, 0, f)?;
+            f.write_char(']')
+        }
+        RelIntExpr::Len(v, side) => write!(f, "len({v}{side})"),
+    }
+}
+
+/// Formats a relational boolean expression.
+pub fn fmt_rel_bool_expr(b: &RelBoolExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_rel_bool_prec(b, 0, f)
+}
+
+fn fmt_rel_bool_prec(b: &RelBoolExpr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match b {
+        RelBoolExpr::Const(c) => write!(f, "{c}"),
+        RelBoolExpr::Cmp(op, lhs, rhs) => {
+            let paren = min_prec >= 6;
+            if paren {
+                f.write_char('(')?;
+            }
+            fmt_rel_int_prec(lhs, 1, f)?;
+            write!(f, " {op} ")?;
+            fmt_rel_int_prec(rhs, 1, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        RelBoolExpr::Bin(op, lhs, rhs) => {
+            let prec = bool_op_prec(*op);
+            let paren = prec < min_prec;
+            if paren {
+                f.write_char('(')?;
+            }
+            let (lmin, rmin) = if *op == BoolBinOp::Implies {
+                (prec + 1, prec)
+            } else {
+                (prec, prec + 1)
+            };
+            fmt_rel_bool_prec(lhs, lmin, f)?;
+            write!(f, " {op} ")?;
+            fmt_rel_bool_prec(rhs, rmin, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        RelBoolExpr::Not(inner) => {
+            f.write_char('!')?;
+            fmt_rel_bool_prec(inner, 6, f)
+        }
+    }
+}
+
+/// Formats a unary formula.
+///
+/// Quantifiers print as `exists x . P` / `forall x . P` and are always
+/// parenthesized when they appear under a binary connective.
+pub fn fmt_formula(p: &Formula, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_formula_prec(p, 0, f)
+}
+
+fn fmt_formula_prec(p: &Formula, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        Formula::True => f.write_str("true"),
+        Formula::False => f.write_str("false"),
+        Formula::Cmp(op, lhs, rhs) => {
+            let paren = min_prec >= 6;
+            if paren {
+                f.write_char('(')?;
+            }
+            fmt_int_prec(lhs, 1, f)?;
+            write!(f, " {op} ")?;
+            fmt_int_prec(rhs, 1, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Formula::And(lhs, rhs) => fmt_formula_bin("&&", 4, lhs, rhs, min_prec, false, f),
+        Formula::Or(lhs, rhs) => fmt_formula_bin("||", 3, lhs, rhs, min_prec, false, f),
+        Formula::Implies(lhs, rhs) => fmt_formula_bin("==>", 2, lhs, rhs, min_prec, true, f),
+        Formula::Not(inner) => {
+            f.write_char('!')?;
+            fmt_formula_prec(inner, 6, f)
+        }
+        Formula::Exists(v, body) => fmt_quant("exists", &format!("{v}"), &**body, min_prec, f),
+        Formula::Forall(v, body) => fmt_quant("forall", &format!("{v}"), &**body, min_prec, f),
+    }
+}
+
+fn fmt_formula_bin(
+    sym: &str,
+    prec: u8,
+    lhs: &Formula,
+    rhs: &Formula,
+    min_prec: u8,
+    right_assoc: bool,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let paren = prec < min_prec;
+    if paren {
+        f.write_char('(')?;
+    }
+    let (lmin, rmin) = if right_assoc {
+        (prec + 1, prec)
+    } else {
+        (prec, prec + 1)
+    };
+    fmt_formula_prec(lhs, lmin, f)?;
+    write!(f, " {sym} ")?;
+    fmt_formula_prec(rhs, rmin, f)?;
+    if paren {
+        f.write_char(')')?;
+    }
+    Ok(())
+}
+
+fn fmt_quant<P: QuantBody>(
+    kw: &str,
+    binder: &str,
+    body: &P,
+    min_prec: u8,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    // A quantifier's body extends as far right as possible, so under any
+    // connective it needs parentheses.
+    let paren = min_prec > 0;
+    if paren {
+        f.write_char('(')?;
+    }
+    write!(f, "{kw} {binder} . ")?;
+    body.fmt_prec(0, f)?;
+    if paren {
+        f.write_char(')')?;
+    }
+    Ok(())
+}
+
+trait QuantBody {
+    fn fmt_prec(&self, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl QuantBody for Formula {
+    fn fmt_prec(&self, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_formula_prec(self, min_prec, f)
+    }
+}
+
+impl QuantBody for RelFormula {
+    fn fmt_prec(&self, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_rel_formula_prec(self, min_prec, f)
+    }
+}
+
+/// Formats a relational formula.
+pub fn fmt_rel_formula(p: &RelFormula, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_rel_formula_prec(p, 0, f)
+}
+
+fn fmt_rel_formula_prec(p: &RelFormula, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        RelFormula::True => f.write_str("true"),
+        RelFormula::False => f.write_str("false"),
+        RelFormula::Cmp(op, lhs, rhs) => {
+            let paren = min_prec >= 6;
+            if paren {
+                f.write_char('(')?;
+            }
+            fmt_rel_int_prec(lhs, 1, f)?;
+            write!(f, " {op} ")?;
+            fmt_rel_int_prec(rhs, 1, f)?;
+            if paren {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        RelFormula::And(lhs, rhs) => fmt_rel_formula_bin("&&", 4, lhs, rhs, min_prec, false, f),
+        RelFormula::Or(lhs, rhs) => fmt_rel_formula_bin("||", 3, lhs, rhs, min_prec, false, f),
+        RelFormula::Implies(lhs, rhs) => {
+            fmt_rel_formula_bin("==>", 2, lhs, rhs, min_prec, true, f)
+        }
+        RelFormula::Not(inner) => {
+            f.write_char('!')?;
+            fmt_rel_formula_prec(inner, 6, f)
+        }
+        RelFormula::Exists(v, side, body) => {
+            fmt_quant("exists", &format!("{v}{side}"), &**body, min_prec, f)
+        }
+        RelFormula::Forall(v, side, body) => {
+            fmt_quant("forall", &format!("{v}{side}"), &**body, min_prec, f)
+        }
+    }
+}
+
+fn fmt_rel_formula_bin(
+    sym: &str,
+    prec: u8,
+    lhs: &RelFormula,
+    rhs: &RelFormula,
+    min_prec: u8,
+    right_assoc: bool,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let paren = prec < min_prec;
+    if paren {
+        f.write_char('(')?;
+    }
+    let (lmin, rmin) = if right_assoc {
+        (prec + 1, prec)
+    } else {
+        (prec, prec + 1)
+    };
+    fmt_rel_formula_prec(lhs, lmin, f)?;
+    write!(f, " {sym} ")?;
+    fmt_rel_formula_prec(rhs, rmin, f)?;
+    if paren {
+        f.write_char(')')?;
+    }
+    Ok(())
+}
+
+/// Renders a statement (and its annotations) as parseable source.
+pub fn pretty_stmt(s: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(s, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_diverge(c: &DivergeContract, out: &mut String) {
+    out.push_str(" diverge");
+    if let Some(pre_o) = &c.pre_o {
+        let _ = write!(out, " pre_o ({pre_o})");
+    }
+    if let Some(pre_r) = &c.pre_r {
+        let _ = write!(out, " pre_r ({pre_r})");
+    }
+    let _ = write!(out, " post_o ({}) post_r ({})", c.post_o, c.post_r);
+}
+
+fn write_stmt(s: &Stmt, level: usize, out: &mut String) {
+    match s {
+        Stmt::Skip => {
+            indent(level, out);
+            out.push_str("skip;\n");
+        }
+        Stmt::Assign(v, e) => {
+            indent(level, out);
+            let _ = writeln!(out, "{v} = {e};");
+        }
+        Stmt::Store(v, index, value) => {
+            indent(level, out);
+            let _ = writeln!(out, "{v}[{index}] = {value};");
+        }
+        Stmt::Havoc(vs, b) => {
+            indent(level, out);
+            let vars = vs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "havoc ({vars}) st ({b});");
+        }
+        Stmt::Relax(vs, b) => {
+            indent(level, out);
+            let vars = vs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "relax ({vars}) st ({b});");
+        }
+        Stmt::Assume(b) => {
+            indent(level, out);
+            let _ = writeln!(out, "assume {b};");
+        }
+        Stmt::Assert(b) => {
+            indent(level, out);
+            let _ = writeln!(out, "assert {b};");
+        }
+        Stmt::Relate(l, b) => {
+            indent(level, out);
+            let _ = writeln!(out, "relate {l} : {b};");
+        }
+        Stmt::If(i) => {
+            indent(level, out);
+            let _ = write!(out, "if ({})", i.cond);
+            if let Some(c) = &i.diverge {
+                write_diverge(c, out);
+            }
+            out.push_str(" {\n");
+            write_stmt(&i.then_branch, level + 1, out);
+            indent(level, out);
+            out.push_str("} else {\n");
+            write_stmt(&i.else_branch, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::While(w) => {
+            indent(level, out);
+            let _ = write!(out, "while ({})", w.cond);
+            if let Some(inv) = &w.invariant {
+                let _ = write!(out, " invariant ({inv})");
+            }
+            if let Some(rinv) = &w.rel_invariant {
+                let _ = write!(out, " rinvariant ({rinv})");
+            }
+            if let Some(c) = &w.diverge {
+                write_diverge(c, out);
+            }
+            out.push_str(" {\n");
+            write_stmt(&w.body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                write_stmt(s, level, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::ident::{Label, Var};
+
+    fn x() -> IntExpr {
+        IntExpr::var("x")
+    }
+    fn y() -> IntExpr {
+        IntExpr::var("y")
+    }
+
+    #[test]
+    fn int_expr_minimal_parens() {
+        assert_eq!((x() + y() * IntExpr::from(2)).to_string(), "x + y * 2");
+        assert_eq!(((x() + y()) * IntExpr::from(2)).to_string(), "(x + y) * 2");
+        assert_eq!((x() - (y() - IntExpr::from(1))).to_string(), "x - (y - 1)");
+        assert_eq!((x() - y() - IntExpr::from(1)).to_string(), "x - y - 1");
+    }
+
+    #[test]
+    fn negative_literal_parenthesized_in_context() {
+        assert_eq!((x() + IntExpr::from(-1)).to_string(), "x + (-1)");
+        assert_eq!(IntExpr::from(-1).to_string(), "-1");
+    }
+
+    #[test]
+    fn bool_expr_precedence() {
+        let a = x().lt(y());
+        let b = y().le(IntExpr::from(3));
+        let c = x().eq_expr(IntExpr::from(0));
+        assert_eq!(
+            a.clone().and(b.clone()).or(c.clone()).to_string(),
+            "x < y && y <= 3 || x == 0"
+        );
+        assert_eq!(
+            a.clone().and(b.clone().or(c.clone())).to_string(),
+            "x < y && (y <= 3 || x == 0)"
+        );
+        assert_eq!(a.clone().not().to_string(), "!(x < y)");
+    }
+
+    #[test]
+    fn rel_expr_displays_side_markers() {
+        let b = RelIntExpr::orig("x").le(RelIntExpr::relaxed("x"));
+        assert_eq!(b.to_string(), "x<o> <= x<r>");
+    }
+
+    #[test]
+    fn quantifier_parenthesized_under_connectives() {
+        let p = Formula::Cmp(CmpOp::Lt, x(), y()).exists("x");
+        assert_eq!(p.to_string(), "exists x . x < y");
+        let q = p.clone().and(Formula::Cmp(CmpOp::Ge, y(), IntExpr::from(0)));
+        assert_eq!(q.to_string(), "(exists x . x < y) && y >= 0");
+    }
+
+    #[test]
+    fn stmt_rendering() {
+        let s = Stmt::seq([
+            Stmt::Assign(Var::new("x"), IntExpr::from(0)),
+            Stmt::Relax(
+                vec![Var::new("x")],
+                IntExpr::from(0).le(x()).and(x().le(IntExpr::from(2))),
+            ),
+            Stmt::Relate(
+                Label::new("l1"),
+                RelIntExpr::orig("x").le(RelIntExpr::relaxed("x")),
+            ),
+        ]);
+        let text = pretty_stmt(&s);
+        assert_eq!(
+            text,
+            "x = 0;\nrelax (x) st (0 <= x && x <= 2);\nrelate l1 : x<o> <= x<r>;\n"
+        );
+    }
+
+    #[test]
+    fn while_annotations_render() {
+        let w = Stmt::While(crate::stmt::WhileStmt {
+            cond: x().lt(IntExpr::from(3)),
+            invariant: Some(Formula::Cmp(CmpOp::Ge, x(), IntExpr::from(0))),
+            rel_invariant: Some(crate::rel::RelBoolExpr::var_sync("x").into()),
+            diverge: None,
+            body: Box::new(Stmt::Assign(Var::new("x"), x() + IntExpr::from(1))),
+        });
+        let text = pretty_stmt(&w);
+        assert!(text.contains("invariant (x >= 0)"));
+        assert!(text.contains("rinvariant (x<o> == x<r>)"));
+    }
+}

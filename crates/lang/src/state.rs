@@ -1,0 +1,271 @@
+//! Program states `σ ∈ Σ = Vars ⇀ Value`.
+//!
+//! The paper's states are finite maps from variables to integers; following
+//! its footnote 2 we extend values with one-dimensional integer arrays so
+//! the §5.2 (Water) and §5.3 (LU) case studies are expressible.
+
+use crate::ident::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value: a machine integer or a one-dimensional integer array.
+///
+/// The paper works over ideal `ℤ`; we use `i64` with *checked* arithmetic in
+/// the evaluator, so any overflow is reported as an evaluation error rather
+/// than silently wrapping.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// An integer array value.
+    Array(Vec<i64>),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Array(_) => None,
+        }
+    }
+
+    /// Returns the array payload, if this is an [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[i64]> {
+        match self {
+            Value::Int(_) => None,
+            Value::Array(items) => Some(items),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(items: Vec<i64>) -> Self {
+        Value::Array(items)
+    }
+}
+
+/// A program state: a finite map from variables to values.
+///
+/// # Examples
+///
+/// ```
+/// use relaxed_lang::{State, Var, Value};
+/// let mut sigma = State::new();
+/// sigma.set("x", 3);
+/// sigma.set("a", vec![1, 2, 3]);
+/// assert_eq!(sigma.get_int(&Var::new("x")), Some(3));
+/// assert_eq!(sigma.get(&Var::new("a")), Some(&Value::Array(vec![1, 2, 3])));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct State {
+    map: BTreeMap<Var, Value>,
+}
+
+impl State {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        State::default()
+    }
+
+    /// Builds a state from `(name, value)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relaxed_lang::State;
+    /// let sigma = State::from_ints([("x", 1), ("y", 2)]);
+    /// assert_eq!(sigma.len(), 2);
+    /// ```
+    pub fn from_ints<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> Self {
+        let mut sigma = State::new();
+        for (name, value) in pairs {
+            sigma.set(name, value);
+        }
+        sigma
+    }
+
+    /// Looks up a variable's value.
+    pub fn get(&self, var: &Var) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    /// Looks up a variable bound to an integer.
+    pub fn get_int(&self, var: &Var) -> Option<i64> {
+        self.get(var).and_then(Value::as_int)
+    }
+
+    /// Looks up a variable bound to an array.
+    pub fn get_array(&self, var: &Var) -> Option<&[i64]> {
+        self.get(var).and_then(Value::as_array)
+    }
+
+    /// Binds a variable, replacing any existing binding.
+    pub fn set(&mut self, var: impl Into<Var>, value: impl Into<Value>) {
+        self.map.insert(var.into(), value.into());
+    }
+
+    /// Removes a binding, returning its previous value.
+    pub fn remove(&mut self, var: &Var) -> Option<Value> {
+        self.map.remove(var)
+    }
+
+    /// Updates one element of an array binding. Returns `false` when `var`
+    /// is unbound, bound to an integer, or `index` is out of bounds.
+    #[must_use]
+    pub fn set_index(&mut self, var: &Var, index: usize, value: i64) -> bool {
+        match self.map.get_mut(var) {
+            Some(Value::Array(items)) if index < items.len() => {
+                items[index] = value;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
+        self.map.iter()
+    }
+
+    /// The set of bound variables, in order.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.map.keys()
+    }
+
+    /// Checks the frame condition of the paper's `havoc-t` rule:
+    /// `∀ x ∉ X · σ(x) = σ'(x)` — both states agree on every variable
+    /// outside `xs` (including agreeing on which variables are bound).
+    pub fn agrees_except<'a>(
+        &self,
+        other: &State,
+        xs: impl IntoIterator<Item = &'a Var>,
+    ) -> bool {
+        let excluded: std::collections::BTreeSet<&Var> = xs.into_iter().collect();
+        let keys: std::collections::BTreeSet<&Var> =
+            self.map.keys().chain(other.map.keys()).collect();
+        keys.into_iter()
+            .filter(|k| !excluded.contains(*k))
+            .all(|k| self.map.get(k) == other.map.get(k))
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (var, value)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{var} ↦ {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> FromIterator<(&'a str, i64)> for State {
+    fn from_iter<I: IntoIterator<Item = (&'a str, i64)>>(iter: I) -> Self {
+        State::from_ints(iter)
+    }
+}
+
+impl FromIterator<(Var, Value)> for State {
+    fn from_iter<I: IntoIterator<Item = (Var, Value)>>(iter: I) -> Self {
+        State {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Var, Value)> for State {
+    fn extend<I: IntoIterator<Item = (Var, Value)>>(&mut self, iter: I) {
+        self.map.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut sigma = State::new();
+        sigma.set("x", 5);
+        assert_eq!(sigma.get_int(&Var::new("x")), Some(5));
+        assert_eq!(sigma.get_int(&Var::new("y")), None);
+    }
+
+    #[test]
+    fn array_binding() {
+        let mut sigma = State::new();
+        sigma.set("a", vec![1, 2, 3]);
+        assert_eq!(sigma.get_array(&Var::new("a")), Some(&[1, 2, 3][..]));
+        assert_eq!(sigma.get_int(&Var::new("a")), None);
+        assert!(sigma.set_index(&Var::new("a"), 1, 9));
+        assert_eq!(sigma.get_array(&Var::new("a")), Some(&[1, 9, 3][..]));
+        assert!(!sigma.set_index(&Var::new("a"), 3, 0));
+        assert!(!sigma.set_index(&Var::new("x"), 0, 0));
+    }
+
+    #[test]
+    fn agrees_except_frames_havoc() {
+        let sigma1 = State::from_ints([("x", 1), ("y", 2)]);
+        let mut sigma2 = sigma1.clone();
+        sigma2.set("x", 99);
+        let x = Var::new("x");
+        let y = Var::new("y");
+        assert!(sigma1.agrees_except(&sigma2, [&x]));
+        assert!(!sigma1.agrees_except(&sigma2, [&y]));
+        assert!(sigma1.agrees_except(&sigma1, std::iter::empty()));
+    }
+
+    #[test]
+    fn agrees_except_detects_new_bindings() {
+        let sigma1 = State::from_ints([("x", 1)]);
+        let mut sigma2 = sigma1.clone();
+        sigma2.set("z", 3);
+        let x = Var::new("x");
+        // z differs (unbound vs bound) and is not excluded.
+        assert!(!sigma1.agrees_except(&sigma2, [&x]));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let sigma = State::from_ints([("b", 2), ("a", 1)]);
+        assert_eq!(sigma.to_string(), "{a ↦ 1, b ↦ 2}");
+    }
+}

@@ -1,0 +1,490 @@
+//! Capture-avoiding substitution for expressions and formulas.
+//!
+//! The paper's proof rules use standard capture-avoiding substitution
+//! `P[e/x]` and the multiple substitution `P[e1,…,en/x1,…,xn]` (simultaneous;
+//! see §3.1.2). A large portion of the paper's Coq development is devoted to
+//! proving these operations sound — here the corresponding confidence comes
+//! from the property tests at the bottom of this module and in
+//! `crates/lang/tests/`.
+
+use crate::expr::{BoolExpr, IntExpr};
+use crate::formula::{Formula, RelFormula};
+use crate::free::{formula_vars, int_expr_vars, rel_formula_vars, rel_int_expr_vars};
+use crate::ident::{Side, Var};
+use crate::rel::RelIntExpr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A deterministic fresh-variable allocator.
+///
+/// Freshness is relative to the set of names the allocator has been told
+/// about (via [`FreshVars::reserve`]) plus every name it has produced.
+///
+/// # Examples
+///
+/// ```
+/// use relaxed_lang::{subst::FreshVars, Var};
+/// let mut fresh = FreshVars::new();
+/// fresh.reserve([Var::new("x"), Var::new("x#0")]);
+/// let x1 = fresh.fresh(&Var::new("x"));
+/// assert_eq!(x1.name(), "x#1");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FreshVars {
+    used: BTreeSet<Var>,
+}
+
+impl FreshVars {
+    /// Creates an allocator with no reserved names.
+    pub fn new() -> Self {
+        FreshVars::default()
+    }
+
+    /// Marks names as in use.
+    pub fn reserve(&mut self, vars: impl IntoIterator<Item = Var>) {
+        self.used.extend(vars);
+    }
+
+    /// Returns a variable based on `base` that is distinct from every
+    /// reserved and previously produced name.
+    pub fn fresh(&mut self, base: &Var) -> Var {
+        for n in 0..u64::MAX {
+            let candidate = base.with_suffix(n);
+            if !self.used.contains(&candidate) {
+                self.used.insert(candidate.clone());
+                return candidate;
+            }
+        }
+        unreachable!("exhausted fresh variable suffixes")
+    }
+}
+
+/// A simultaneous substitution `[e1,…,en / x1,…,xn]` on integer variables.
+#[derive(Clone, Debug, Default)]
+pub struct Subst {
+    map: BTreeMap<Var, IntExpr>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// The singleton substitution `[e/x]`.
+    pub fn single(x: impl Into<Var>, e: IntExpr) -> Self {
+        let mut s = Subst::new();
+        s.insert(x, e);
+        s
+    }
+
+    /// Adds the binding `x ↦ e`, replacing any previous binding for `x`.
+    pub fn insert(&mut self, x: impl Into<Var>, e: IntExpr) {
+        self.map.insert(x.into(), e);
+    }
+
+    /// Whether the substitution has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The expression bound to `x`, if any.
+    pub fn get(&self, x: &Var) -> Option<&IntExpr> {
+        self.map.get(x)
+    }
+
+    /// Removes the binding for `x` (used when passing under a binder of `x`).
+    fn without(&self, x: &Var) -> Subst {
+        let mut s = self.clone();
+        s.map.remove(x);
+        s
+    }
+
+    /// All variables free in the replacement expressions.
+    fn range_vars(&self) -> BTreeSet<Var> {
+        self.map.values().flat_map(int_expr_vars).collect()
+    }
+
+    /// Applies the substitution to an integer expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an *array* occurrence (`x[e]`, `len(x)`) would be replaced
+    /// by a non-variable expression — arrays can only be renamed, not
+    /// replaced by arithmetic.
+    pub fn apply_int(&self, e: &IntExpr) -> IntExpr {
+        match e {
+            IntExpr::Const(n) => IntExpr::Const(*n),
+            IntExpr::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| e.clone()),
+            IntExpr::Bin(op, lhs, rhs) => {
+                IntExpr::bin(*op, self.apply_int(lhs), self.apply_int(rhs))
+            }
+            IntExpr::Select(v, index) => {
+                IntExpr::Select(self.rename_array(v), Box::new(self.apply_int(index)))
+            }
+            IntExpr::Len(v) => IntExpr::Len(self.rename_array(v)),
+        }
+    }
+
+    fn rename_array(&self, v: &Var) -> Var {
+        match self.map.get(v) {
+            None => v.clone(),
+            Some(IntExpr::Var(w)) => w.clone(),
+            Some(other) => panic!(
+                "cannot substitute array variable {v} by non-variable expression {other:?}"
+            ),
+        }
+    }
+
+    /// Applies the substitution to a boolean expression.
+    pub fn apply_bool(&self, b: &BoolExpr) -> BoolExpr {
+        match b {
+            BoolExpr::Const(c) => BoolExpr::Const(*c),
+            BoolExpr::Cmp(op, lhs, rhs) => {
+                BoolExpr::Cmp(*op, self.apply_int(lhs), self.apply_int(rhs))
+            }
+            BoolExpr::Bin(op, lhs, rhs) => {
+                BoolExpr::bin(*op, self.apply_bool(lhs), self.apply_bool(rhs))
+            }
+            BoolExpr::Not(inner) => BoolExpr::Not(Box::new(self.apply_bool(inner))),
+        }
+    }
+
+    /// Applies the substitution to a formula, renaming bound variables as
+    /// needed to avoid capture.
+    pub fn apply(&self, p: &Formula) -> Formula {
+        if self.is_empty() {
+            return p.clone();
+        }
+        match p {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Cmp(op, lhs, rhs) => {
+                Formula::Cmp(*op, self.apply_int(lhs), self.apply_int(rhs))
+            }
+            Formula::And(lhs, rhs) => {
+                Formula::And(Box::new(self.apply(lhs)), Box::new(self.apply(rhs)))
+            }
+            Formula::Or(lhs, rhs) => {
+                Formula::Or(Box::new(self.apply(lhs)), Box::new(self.apply(rhs)))
+            }
+            Formula::Implies(lhs, rhs) => {
+                Formula::Implies(Box::new(self.apply(lhs)), Box::new(self.apply(rhs)))
+            }
+            Formula::Not(inner) => Formula::Not(Box::new(self.apply(inner))),
+            Formula::Exists(v, body) => {
+                let (v, body) = self.under_binder(v, body);
+                Formula::Exists(v, Box::new(body))
+            }
+            Formula::Forall(v, body) => {
+                let (v, body) = self.under_binder(v, body);
+                Formula::Forall(v, Box::new(body))
+            }
+        }
+    }
+
+    /// Pushes the substitution under a binder of `v`, α-renaming `v` when it
+    /// would capture a variable free in the substitution's range.
+    fn under_binder(&self, v: &Var, body: &Formula) -> (Var, Formula) {
+        let inner = self.without(v);
+        if inner.is_empty() {
+            return (v.clone(), body.clone());
+        }
+        if inner.range_vars().contains(v) {
+            // Capture: rename the binder first.
+            let mut fresh = FreshVars::new();
+            fresh.reserve(inner.range_vars());
+            fresh.reserve(formula_vars(body));
+            fresh.reserve(inner.map.keys().cloned());
+            fresh.reserve([v.clone()]);
+            let v2 = fresh.fresh(v);
+            let renamed = Subst::single(v.clone(), IntExpr::Var(v2.clone())).apply(body);
+            (v2.clone(), inner.apply(&renamed))
+        } else {
+            (v.clone(), inner.apply(body))
+        }
+    }
+}
+
+impl FromIterator<(Var, IntExpr)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Var, IntExpr)>>(iter: I) -> Self {
+        Subst {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A simultaneous substitution on *side-tagged* variables, used by the
+/// relational proof rules (e.g. the relaxed-semantics `relax` rule
+/// substitutes `X'<r>` for `X<r>` while leaving `X<o>` untouched).
+#[derive(Clone, Debug, Default)]
+pub struct RelSubst {
+    map: BTreeMap<(Var, Side), RelIntExpr>,
+}
+
+impl RelSubst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        RelSubst::default()
+    }
+
+    /// The singleton substitution `[e / x<side>]`.
+    pub fn single(x: impl Into<Var>, side: Side, e: RelIntExpr) -> Self {
+        let mut s = RelSubst::new();
+        s.insert(x, side, e);
+        s
+    }
+
+    /// Adds the binding `x<side> ↦ e`.
+    pub fn insert(&mut self, x: impl Into<Var>, side: Side, e: RelIntExpr) {
+        self.map.insert((x.into(), side), e);
+    }
+
+    /// Whether the substitution has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn without(&self, x: &Var, side: Side) -> RelSubst {
+        let mut s = self.clone();
+        s.map.remove(&(x.clone(), side));
+        s
+    }
+
+    fn range_vars(&self) -> BTreeSet<(Var, Side)> {
+        self.map.values().flat_map(rel_int_expr_vars).collect()
+    }
+
+    /// Applies the substitution to a relational integer expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an array occurrence would be replaced by a non-variable
+    /// expression or moved across sides.
+    pub fn apply_int(&self, e: &RelIntExpr) -> RelIntExpr {
+        match e {
+            RelIntExpr::Const(n) => RelIntExpr::Const(*n),
+            RelIntExpr::Var(v, side) => self
+                .map
+                .get(&(v.clone(), *side))
+                .cloned()
+                .unwrap_or_else(|| e.clone()),
+            RelIntExpr::Bin(op, lhs, rhs) => {
+                RelIntExpr::bin(*op, self.apply_int(lhs), self.apply_int(rhs))
+            }
+            RelIntExpr::Select(v, side, index) => {
+                let (v, side) = self.rename_array(v, *side);
+                RelIntExpr::Select(v, side, Box::new(self.apply_int(index)))
+            }
+            RelIntExpr::Len(v, side) => {
+                let (v, side) = self.rename_array(v, *side);
+                RelIntExpr::Len(v, side)
+            }
+        }
+    }
+
+    fn rename_array(&self, v: &Var, side: Side) -> (Var, Side) {
+        match self.map.get(&(v.clone(), side)) {
+            None => (v.clone(), side),
+            Some(RelIntExpr::Var(w, s)) => (w.clone(), *s),
+            Some(other) => panic!(
+                "cannot substitute array variable {v}{} by non-variable expression {other:?}",
+                side.marker()
+            ),
+        }
+    }
+
+    /// Applies the substitution to a relational formula, α-renaming bound
+    /// variables as needed to avoid capture.
+    pub fn apply(&self, p: &RelFormula) -> RelFormula {
+        if self.is_empty() {
+            return p.clone();
+        }
+        match p {
+            RelFormula::True => RelFormula::True,
+            RelFormula::False => RelFormula::False,
+            RelFormula::Cmp(op, lhs, rhs) => {
+                RelFormula::Cmp(*op, self.apply_int(lhs), self.apply_int(rhs))
+            }
+            RelFormula::And(lhs, rhs) => {
+                RelFormula::And(Box::new(self.apply(lhs)), Box::new(self.apply(rhs)))
+            }
+            RelFormula::Or(lhs, rhs) => {
+                RelFormula::Or(Box::new(self.apply(lhs)), Box::new(self.apply(rhs)))
+            }
+            RelFormula::Implies(lhs, rhs) => {
+                RelFormula::Implies(Box::new(self.apply(lhs)), Box::new(self.apply(rhs)))
+            }
+            RelFormula::Not(inner) => RelFormula::Not(Box::new(self.apply(inner))),
+            RelFormula::Exists(v, side, body) => {
+                let (v, side, body) = self.under_binder(v, *side, body);
+                RelFormula::Exists(v, side, Box::new(body))
+            }
+            RelFormula::Forall(v, side, body) => {
+                let (v, side, body) = self.under_binder(v, *side, body);
+                RelFormula::Forall(v, side, Box::new(body))
+            }
+        }
+    }
+
+    fn under_binder(&self, v: &Var, side: Side, body: &RelFormula) -> (Var, Side, RelFormula) {
+        let inner = self.without(v, side);
+        if inner.is_empty() {
+            return (v.clone(), side, body.clone());
+        }
+        if inner.range_vars().contains(&(v.clone(), side)) {
+            let mut fresh = FreshVars::new();
+            fresh.reserve(inner.range_vars().into_iter().map(|(v, _)| v));
+            fresh.reserve(rel_formula_vars(body).into_iter().map(|(v, _)| v));
+            fresh.reserve(inner.map.keys().map(|(v, _)| v.clone()));
+            fresh.reserve([v.clone()]);
+            let v2 = fresh.fresh(v);
+            let renamed =
+                RelSubst::single(v.clone(), side, RelIntExpr::Var(v2.clone(), side)).apply(body);
+            (v2, side, inner.apply(&renamed))
+        } else {
+            (v.clone(), side, inner.apply(body))
+        }
+    }
+}
+
+impl FromIterator<((Var, Side), RelIntExpr)> for RelSubst {
+    fn from_iter<I: IntoIterator<Item = ((Var, Side), RelIntExpr)>>(iter: I) -> Self {
+        RelSubst {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn x() -> IntExpr {
+        IntExpr::var("x")
+    }
+    fn y() -> IntExpr {
+        IntExpr::var("y")
+    }
+
+    #[test]
+    fn simple_substitution() {
+        let p = Formula::Cmp(CmpOp::Lt, x(), IntExpr::from(3));
+        let q = Subst::single("x", y() + IntExpr::from(1)).apply(&p);
+        assert_eq!(q, Formula::Cmp(CmpOp::Lt, y() + IntExpr::from(1), IntExpr::from(3)));
+    }
+
+    #[test]
+    fn bound_variable_is_untouched() {
+        // (∃x · x < y)[7/x] = ∃x · x < y
+        let p = Formula::Cmp(CmpOp::Lt, x(), y()).exists("x");
+        let q = Subst::single("x", IntExpr::from(7)).apply(&p);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // (∃y · x < y)[y/x] must NOT become ∃y · y < y.
+        let p = Formula::Cmp(CmpOp::Lt, x(), y()).exists("y");
+        let q = Subst::single("x", y()).apply(&p);
+        match &q {
+            Formula::Exists(bound, body) => {
+                assert_ne!(bound.name(), "y", "binder must be renamed");
+                assert_eq!(
+                    **body,
+                    Formula::Cmp(CmpOp::Lt, y(), IntExpr::Var(bound.clone()))
+                );
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simultaneous_substitution_is_parallel() {
+        // (x < y)[y/x, x/y] = y < x — a sequential implementation would give x < x.
+        let p = Formula::Cmp(CmpOp::Lt, x(), y());
+        let s: Subst = [(Var::new("x"), y()), (Var::new("y"), x())]
+            .into_iter()
+            .collect();
+        assert_eq!(s.apply(&p), Formula::Cmp(CmpOp::Lt, y(), x()));
+    }
+
+    #[test]
+    fn array_rename_via_variable() {
+        let p = Formula::Cmp(
+            CmpOp::Ge,
+            IntExpr::select("a", x()),
+            IntExpr::from(0),
+        );
+        let q = Subst::single("a", IntExpr::var("b")).apply(&p);
+        assert_eq!(
+            q,
+            Formula::Cmp(CmpOp::Ge, IntExpr::select("b", x()), IntExpr::from(0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "array variable")]
+    fn array_replaced_by_expression_panics() {
+        let p = Formula::Cmp(CmpOp::Ge, IntExpr::Len(Var::new("a")), IntExpr::from(0));
+        let _ = Subst::single("a", x() + y()).apply(&p);
+    }
+
+    #[test]
+    fn rel_subst_touches_one_side_only() {
+        // (x<o> == x<r>)[x'<r> / x<r>] = x<o> == x'<r>
+        let p: RelFormula = crate::rel::RelBoolExpr::var_sync("x").into();
+        let q = RelSubst::single("x", Side::Relaxed, RelIntExpr::relaxed("x_prime")).apply(&p);
+        assert_eq!(
+            q,
+            RelFormula::Cmp(
+                CmpOp::Eq,
+                RelIntExpr::orig("x"),
+                RelIntExpr::relaxed("x_prime")
+            )
+        );
+    }
+
+    #[test]
+    fn rel_subst_respects_side_tagged_binders() {
+        // (∃x<r> · x<o> < x<r>)[7 / x<o>] = ∃x<r> · 7 < x<r>
+        let p = RelFormula::Cmp(CmpOp::Lt, RelIntExpr::orig("x"), RelIntExpr::relaxed("x"))
+            .exists("x", Side::Relaxed);
+        let q = RelSubst::single("x", Side::Original, RelIntExpr::Const(7)).apply(&p);
+        assert_eq!(
+            q,
+            RelFormula::Cmp(CmpOp::Lt, RelIntExpr::Const(7), RelIntExpr::relaxed("x"))
+                .exists("x", Side::Relaxed)
+        );
+    }
+
+    #[test]
+    fn rel_capture_is_avoided() {
+        // (∃y<r> · x<r> < y<r>)[y<r>/x<r>] must rename the binder.
+        let p = RelFormula::Cmp(CmpOp::Lt, RelIntExpr::relaxed("x"), RelIntExpr::relaxed("y"))
+            .exists("y", Side::Relaxed);
+        let q = RelSubst::single("x", Side::Relaxed, RelIntExpr::relaxed("y")).apply(&p);
+        match &q {
+            RelFormula::Exists(bound, Side::Relaxed, body) => {
+                assert_ne!(bound.name(), "y");
+                assert_eq!(
+                    **body,
+                    RelFormula::Cmp(
+                        CmpOp::Lt,
+                        RelIntExpr::relaxed("y"),
+                        RelIntExpr::Var(bound.clone(), Side::Relaxed)
+                    )
+                );
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_vars_skip_reserved() {
+        let mut fresh = FreshVars::new();
+        fresh.reserve([Var::new("x#0"), Var::new("x#1")]);
+        assert_eq!(fresh.fresh(&Var::new("x")).name(), "x#2");
+        assert_eq!(fresh.fresh(&Var::new("x")).name(), "x#3");
+    }
+}

@@ -1,0 +1,308 @@
+//! Property tests: pretty-print/parse round-trips and the substitution
+//! lemma (the semantic property the paper's Coq development spends ~3500
+//! lines establishing for its relational assertion logic).
+
+use proptest::prelude::*;
+use relaxed_lang::eval::{eval_int, sat_formula, sat_rel_formula, QuantDomain};
+use relaxed_lang::subst::{RelSubst, Subst};
+use relaxed_lang::{
+    parse_bool_expr, parse_formula, parse_int_expr, parse_rel_bool_expr, parse_rel_formula,
+    parse_stmt, BoolExpr, CmpOp, Formula, IntBinOp, IntExpr, RelBoolExpr, RelFormula, RelIntExpr,
+    Side, State, Stmt, Var,
+};
+
+const NAMES: &[&str] = &["x", "y", "z", "n", "k"];
+
+fn arb_var() -> impl Strategy<Value = Var> {
+    prop::sample::select(NAMES).prop_map(Var::new)
+}
+
+fn arb_side() -> impl Strategy<Value = Side> {
+    prop_oneof![Just(Side::Original), Just(Side::Relaxed)]
+}
+
+fn arb_int_op() -> impl Strategy<Value = IntBinOp> {
+    prop_oneof![
+        Just(IntBinOp::Add),
+        Just(IntBinOp::Sub),
+        Just(IntBinOp::Mul),
+        Just(IntBinOp::Div),
+        Just(IntBinOp::Mod),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(IntExpr::Const),
+        arb_var().prop_map(IntExpr::Var),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (arb_int_op(), inner.clone(), inner)
+            .prop_map(|(op, lhs, rhs)| IntExpr::bin(op, lhs, rhs))
+    })
+}
+
+fn arb_bool_expr() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(BoolExpr::Const),
+        (arb_cmp(), arb_int_expr(), arb_int_expr())
+            .prop_map(|(op, lhs, rhs)| BoolExpr::Cmp(op, lhs, rhs)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::bin(
+                relaxed_lang::BoolBinOp::And,
+                a,
+                b
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::bin(
+                relaxed_lang::BoolBinOp::Or,
+                a,
+                b
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::bin(
+                relaxed_lang::BoolBinOp::Implies,
+                a,
+                b
+            )),
+            inner.prop_map(|a| BoolExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_rel_int_expr() -> impl Strategy<Value = RelIntExpr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(RelIntExpr::Const),
+        (arb_var(), arb_side()).prop_map(|(v, s)| RelIntExpr::Var(v, s)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (arb_int_op(), inner.clone(), inner)
+            .prop_map(|(op, lhs, rhs)| RelIntExpr::bin(op, lhs, rhs))
+    })
+}
+
+fn arb_rel_bool_expr() -> impl Strategy<Value = RelBoolExpr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(RelBoolExpr::Const),
+        (arb_cmp(), arb_rel_int_expr(), arb_rel_int_expr())
+            .prop_map(|(op, lhs, rhs)| RelBoolExpr::Cmp(op, lhs, rhs)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RelBoolExpr::bin(
+                relaxed_lang::BoolBinOp::And,
+                a,
+                b
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RelBoolExpr::bin(
+                relaxed_lang::BoolBinOp::Or,
+                a,
+                b
+            )),
+            inner.prop_map(|a| RelBoolExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (arb_cmp(), arb_int_expr(), arb_int_expr())
+            .prop_map(|(op, lhs, rhs)| Formula::Cmp(op, lhs, rhs)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+            (arb_var(), inner.clone()).prop_map(|(v, a)| Formula::Exists(v, Box::new(a))),
+            (arb_var(), inner).prop_map(|(v, a)| Formula::Forall(v, Box::new(a))),
+        ]
+    })
+}
+
+fn arb_rel_formula() -> impl Strategy<Value = RelFormula> {
+    let leaf = prop_oneof![
+        Just(RelFormula::True),
+        Just(RelFormula::False),
+        (arb_cmp(), arb_rel_int_expr(), arb_rel_int_expr())
+            .prop_map(|(op, lhs, rhs)| RelFormula::Cmp(op, lhs, rhs)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RelFormula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RelFormula::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| RelFormula::Not(Box::new(a))),
+            (arb_var(), arb_side(), inner.clone())
+                .prop_map(|(v, s, a)| RelFormula::Exists(v, s, Box::new(a))),
+            (arb_var(), arb_side(), inner)
+                .prop_map(|(v, s, a)| RelFormula::Forall(v, s, Box::new(a))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Skip),
+        (arb_var(), arb_int_expr()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        (arb_var(), arb_bool_expr()).prop_map(|(v, b)| Stmt::Havoc(vec![v], b)),
+        (arb_var(), arb_bool_expr()).prop_map(|(v, b)| Stmt::Relax(vec![v], b)),
+        arb_bool_expr().prop_map(Stmt::Assume),
+        arb_bool_expr().prop_map(Stmt::Assert),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (arb_bool_expr(), inner.clone(), inner.clone())
+                .prop_map(|(b, s1, s2)| Stmt::if_then_else(b, s1, s2)),
+            (arb_bool_expr(), inner.clone()).prop_map(|(b, s)| Stmt::while_loop(b, s)),
+            prop::collection::vec(inner, 1..3).prop_map(Stmt::seq),
+        ]
+    })
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    prop::collection::vec(-10i64..10, NAMES.len()).prop_map(|vals| {
+        NAMES
+            .iter()
+            .zip(vals)
+            .map(|(name, value)| (*name, value))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn int_expr_roundtrip(e in arb_int_expr()) {
+        let text = e.to_string();
+        let parsed = parse_int_expr(&text).expect("pretty output must parse");
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn bool_expr_roundtrip(b in arb_bool_expr()) {
+        let text = b.to_string();
+        let parsed = parse_bool_expr(&text).expect("pretty output must parse");
+        prop_assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn rel_bool_expr_roundtrip(b in arb_rel_bool_expr()) {
+        let text = b.to_string();
+        let parsed = parse_rel_bool_expr(&text).expect("pretty output must parse");
+        prop_assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn formula_roundtrip(p in arb_formula()) {
+        let text = p.to_string();
+        let parsed = parse_formula(&text).expect("pretty output must parse");
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn rel_formula_roundtrip(p in arb_rel_formula()) {
+        let text = p.to_string();
+        let parsed = parse_rel_formula(&text).expect("pretty output must parse");
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn stmt_roundtrip(s in arb_stmt()) {
+        let text = relaxed_lang::pretty::pretty_stmt(&s);
+        let parsed = parse_stmt(&text).expect("pretty output must parse");
+        prop_assert_eq!(parsed, s);
+    }
+
+    /// The substitution lemma for expressions:
+    /// ⟦e[d/x]⟧(σ) = ⟦e⟧(σ[x ↦ ⟦d⟧(σ)]).
+    #[test]
+    fn int_subst_lemma(e in arb_int_expr(), d in arb_int_expr(), sigma in arb_state()) {
+        let x = Var::new("x");
+        if let Ok(dv) = eval_int(&d, &sigma) {
+            let substituted = Subst::single(x.clone(), d).apply_int(&e);
+            let mut updated = sigma.clone();
+            updated.set(x, dv);
+            let lhs = eval_int(&substituted, &sigma);
+            let rhs = eval_int(&e, &updated);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    /// The substitution lemma for formulas (with bounded quantifiers):
+    /// σ ⊨ P[d/x]  ⟺  σ[x ↦ ⟦d⟧(σ)] ⊨ P, for constant d.
+    ///
+    /// `d` is a constant so bound-quantifier instantiation commutes with
+    /// substitution.
+    #[test]
+    fn formula_subst_lemma(p in arb_formula(), n in -8i64..8, sigma in arb_state()) {
+        let x = Var::new("x");
+        let d = IntExpr::Const(n);
+        let dom = QuantDomain::new(-10, 10);
+        let substituted = Subst::single(x.clone(), d).apply(&p);
+        let mut updated = sigma.clone();
+        updated.set(x, n);
+        let lhs = sat_formula(&substituted, &sigma, dom);
+        let rhs = sat_formula(&p, &updated, dom);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The relational substitution lemma: substituting a constant for a
+    /// side-tagged variable agrees with updating that side's state.
+    #[test]
+    fn rel_formula_subst_lemma(
+        p in arb_rel_formula(),
+        n in -8i64..8,
+        side in arb_side(),
+        orig in arb_state(),
+        relaxed in arb_state(),
+    ) {
+        let x = Var::new("x");
+        let dom = QuantDomain::new(-10, 10);
+        let substituted =
+            RelSubst::single(x.clone(), side, RelIntExpr::Const(n)).apply(&p);
+        let (mut orig2, mut relaxed2) = (orig.clone(), relaxed.clone());
+        match side {
+            Side::Original => orig2.set(x, n),
+            Side::Relaxed => relaxed2.set(x, n),
+        }
+        let lhs = sat_rel_formula(&substituted, &orig, &relaxed, dom);
+        let rhs = sat_rel_formula(&p, &orig2, &relaxed2, dom);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Injection agreement: (σ, σ') ⊨ inj_o(P) ⟺ σ ⊨ P (and dually).
+    #[test]
+    fn injection_semantics(p in arb_formula(), orig in arb_state(), relaxed in arb_state()) {
+        let dom = QuantDomain::new(-10, 10);
+        let inj_o = RelFormula::inject(&p, Side::Original);
+        let inj_r = RelFormula::inject(&p, Side::Relaxed);
+        prop_assert_eq!(
+            sat_rel_formula(&inj_o, &orig, &relaxed, dom),
+            sat_formula(&p, &orig, dom)
+        );
+        prop_assert_eq!(
+            sat_rel_formula(&inj_r, &orig, &relaxed, dom),
+            sat_formula(&p, &relaxed, dom)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! The solver's input language: first-order formulas over linear (and
+//! mildly non-linear) integer arithmetic with array reads.
+//!
+//! This AST is deliberately independent of `relaxed-lang`; the encoder in
+//! `relaxed-core` lowers assertion-logic formulas into it. Sorts are
+//! implicit: every variable is an integer, and arrays appear only as the
+//! base of `Select`/`Len` (they are eliminated before ground solving).
+
+use std::fmt;
+
+/// Comparison operators for atoms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Rel {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rel::Lt => "<",
+            Rel::Le => "<=",
+            Rel::Gt => ">",
+            Rel::Ge => ">=",
+            Rel::Eq => "==",
+            Rel::Ne => "!=",
+        })
+    }
+}
+
+/// Integer terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum ITerm {
+    /// An integer constant.
+    Const(i64),
+    /// An integer variable.
+    Var(String),
+    /// Addition.
+    Add(Box<ITerm>, Box<ITerm>),
+    /// Subtraction.
+    Sub(Box<ITerm>, Box<ITerm>),
+    /// Negation.
+    Neg(Box<ITerm>),
+    /// Multiplication (linear when one side is constant).
+    Mul(Box<ITerm>, Box<ITerm>),
+    /// Truncated division.
+    Div(Box<ITerm>, Box<ITerm>),
+    /// Truncated remainder.
+    Mod(Box<ITerm>, Box<ITerm>),
+    /// An array read `array[index]`; `array` is an array-sorted name.
+    Select(String, Box<ITerm>),
+    /// The length of an array-sorted name.
+    Len(String),
+}
+
+impl ITerm {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> ITerm {
+        ITerm::Var(name.into())
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: ITerm) -> ITerm {
+        ITerm::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: ITerm) -> ITerm {
+        ITerm::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: ITerm) -> ITerm {
+        ITerm::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds the atom `self rel rhs`.
+    pub fn rel(self, rel: Rel, rhs: ITerm) -> BTerm {
+        BTerm::Atom(rel, self, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: ITerm) -> BTerm {
+        self.rel(Rel::Le, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: ITerm) -> BTerm {
+        self.rel(Rel::Lt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: ITerm) -> BTerm {
+        self.rel(Rel::Ge, rhs)
+    }
+
+    /// `self == rhs`
+    pub fn eq_term(self, rhs: ITerm) -> BTerm {
+        self.rel(Rel::Eq, rhs)
+    }
+}
+
+impl From<i64> for ITerm {
+    fn from(n: i64) -> Self {
+        ITerm::Const(n)
+    }
+}
+
+/// Boolean terms (formulas).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BTerm {
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An arithmetic atom.
+    Atom(Rel, ITerm, ITerm),
+    /// Conjunction.
+    And(Box<BTerm>, Box<BTerm>),
+    /// Disjunction.
+    Or(Box<BTerm>, Box<BTerm>),
+    /// Implication.
+    Implies(Box<BTerm>, Box<BTerm>),
+    /// Negation.
+    Not(Box<BTerm>),
+    /// Existential quantification over the integers.
+    Exists(String, Box<BTerm>),
+    /// Universal quantification over the integers.
+    Forall(String, Box<BTerm>),
+}
+
+impl BTerm {
+    /// Conjunction with unit simplification.
+    pub fn and(self, rhs: BTerm) -> BTerm {
+        match (self, rhs) {
+            (BTerm::True, b) => b,
+            (a, BTerm::True) => a,
+            (BTerm::False, _) | (_, BTerm::False) => BTerm::False,
+            (a, b) => BTerm::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction with unit simplification.
+    pub fn or(self, rhs: BTerm) -> BTerm {
+        match (self, rhs) {
+            (BTerm::False, b) => b,
+            (a, BTerm::False) => a,
+            (BTerm::True, _) | (_, BTerm::True) => BTerm::True,
+            (a, b) => BTerm::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(self, rhs: BTerm) -> BTerm {
+        BTerm::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> BTerm {
+        match self {
+            BTerm::True => BTerm::False,
+            BTerm::False => BTerm::True,
+            BTerm::Not(inner) => *inner,
+            other => BTerm::Not(Box::new(other)),
+        }
+    }
+
+    /// `∃name. self`
+    pub fn exists(self, name: impl Into<String>) -> BTerm {
+        BTerm::Exists(name.into(), Box::new(self))
+    }
+
+    /// `∀name. self`
+    pub fn forall(self, name: impl Into<String>) -> BTerm {
+        BTerm::Forall(name.into(), Box::new(self))
+    }
+
+    /// Conjunction of a sequence (`true` when empty).
+    pub fn conj(terms: impl IntoIterator<Item = BTerm>) -> BTerm {
+        terms.into_iter().fold(BTerm::True, BTerm::and)
+    }
+
+    /// Disjunction of a sequence (`false` when empty).
+    pub fn disj(terms: impl IntoIterator<Item = BTerm>) -> BTerm {
+        terms.into_iter().fold(BTerm::False, BTerm::or)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_simplify_units() {
+        let atom = ITerm::var("x").le(ITerm::Const(3));
+        assert_eq!(BTerm::True.and(atom.clone()), atom);
+        assert_eq!(atom.clone().or(BTerm::True), BTerm::True);
+        assert_eq!(BTerm::conj([]), BTerm::True);
+        assert_eq!(BTerm::disj([]), BTerm::False);
+        assert_eq!(BTerm::True.not(), BTerm::False);
+        assert_eq!(atom.clone().not().not(), atom);
+    }
+
+    #[test]
+    fn term_builders() {
+        let t = ITerm::var("x").add(ITerm::Const(1)).mul(ITerm::Const(2));
+        assert_eq!(
+            t,
+            ITerm::Mul(
+                Box::new(ITerm::Add(
+                    Box::new(ITerm::Var("x".into())),
+                    Box::new(ITerm::Const(1))
+                )),
+                Box::new(ITerm::Const(2))
+            )
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Atom canonicalization and Tseitin CNF encoding.
+//!
+//! Each distinct canonical linear atom maps to one SAT variable;
+//! syntactically complementary atoms (`f ≤ b` vs `f ≥ b+1`) map to the two
+//! polarities of the *same* variable, so propositional reasoning sees the
+//! complement structure for free.
+
+use crate::ast::{BTerm, ITerm, Rel};
+use crate::linear::{canon_ineq, BoundKind, CanonAtom, IneqAtom, LinForm, VarPool};
+use crate::preprocess::poly;
+use crate::sat::{BVar, Lit, SatSolver};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Encoding failure: an atom was not linear after grounding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Description of the offending atom.
+    pub message: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "encoding error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Builds CNF from a grounded quantifier-free formula.
+#[derive(Debug)]
+pub struct CnfBuilder {
+    /// The underlying SAT solver being populated.
+    pub sat: SatSolver,
+    /// Interned theory (integer) variables.
+    pub pool: VarPool,
+    /// Per SAT variable: the theory atom it stands for (upper-bound
+    /// canonical), or `None` for pure propositional (Tseitin) variables.
+    pub atoms: Vec<Option<IneqAtom>>,
+    atom_vars: HashMap<(LinForm, i128), BVar>,
+    true_var: Option<BVar>,
+}
+
+impl Default for CnfBuilder {
+    fn default() -> Self {
+        CnfBuilder::new()
+    }
+}
+
+impl CnfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CnfBuilder {
+            sat: SatSolver::new(),
+            pool: VarPool::new(),
+            atoms: Vec::new(),
+            atom_vars: HashMap::new(),
+            true_var: None,
+        }
+    }
+
+    fn new_bool_var(&mut self) -> BVar {
+        let v = self.sat.new_var();
+        self.atoms.push(None);
+        v
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        match self.true_var {
+            Some(v) => Lit::new(v, true),
+            None => {
+                let v = self.new_bool_var();
+                self.true_var = Some(v);
+                let l = Lit::new(v, true);
+                self.sat.add_clause(vec![l]);
+                l
+            }
+        }
+    }
+
+    /// The literal for a canonical inequality atom. Complementary atoms
+    /// share a variable with opposite polarity.
+    fn atom_lit(&mut self, atom: IneqAtom) -> Lit {
+        // Canonical key: the Upper representative.
+        let (key, positive) = match atom.kind {
+            BoundKind::Upper => ((atom.form.clone(), atom.bound), true),
+            // f ≥ b ⟺ ¬(f ≤ b−1)
+            BoundKind::Lower => ((atom.form.clone(), atom.bound - 1), false),
+        };
+        if let Some(&v) = self.atom_vars.get(&key) {
+            return Lit::new(v, positive);
+        }
+        let v = self.sat.new_var();
+        self.atoms.push(Some(IneqAtom {
+            form: key.0.clone(),
+            kind: BoundKind::Upper,
+            bound: key.1,
+        }));
+        self.atom_vars.insert(key, v);
+        Lit::new(v, positive)
+    }
+
+    fn linearize(&mut self, lhs: &ITerm, rhs: &ITerm) -> Result<(LinForm, i128), EncodeError> {
+        let diff = lhs.clone().sub(rhs.clone());
+        let (coeffs, k) = poly(&diff).ok_or_else(|| EncodeError {
+            message: format!("non-linear atom after grounding: {diff:?}"),
+        })?;
+        let mut form = LinForm::zero();
+        for (name, c) in coeffs {
+            form.add_term(self.pool.intern(&name), c);
+        }
+        Ok((form, k))
+    }
+
+    /// Tseitin-encodes a formula, returning its literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when a non-linear atom survives grounding or
+    /// a quantifier is present.
+    pub fn encode(&mut self, b: &BTerm) -> Result<Lit, EncodeError> {
+        match b {
+            BTerm::True => Ok(self.true_lit()),
+            BTerm::False => Ok(self.true_lit().negated()),
+            BTerm::Atom(rel, lhs, rhs) => match rel {
+                Rel::Eq => {
+                    let both = BTerm::Atom(Rel::Le, lhs.clone(), rhs.clone())
+                        .and(BTerm::Atom(Rel::Ge, lhs.clone(), rhs.clone()));
+                    self.encode(&both)
+                }
+                Rel::Ne => {
+                    let either = BTerm::Atom(Rel::Lt, lhs.clone(), rhs.clone())
+                        .or(BTerm::Atom(Rel::Gt, lhs.clone(), rhs.clone()));
+                    self.encode(&either)
+                }
+                _ => {
+                    let (form, k) = self.linearize(lhs, rhs)?;
+                    match canon_ineq(form, k, *rel) {
+                        CanonAtom::True => Ok(self.true_lit()),
+                        CanonAtom::False => Ok(self.true_lit().negated()),
+                        CanonAtom::Ineq(atom) => Ok(self.atom_lit(atom)),
+                    }
+                }
+            },
+            BTerm::And(x, y) => {
+                let lx = self.encode(x)?;
+                let ly = self.encode(y)?;
+                let g = Lit::new(self.new_bool_var(), true);
+                self.sat.add_clause(vec![g.negated(), lx]);
+                self.sat.add_clause(vec![g.negated(), ly]);
+                self.sat.add_clause(vec![lx.negated(), ly.negated(), g]);
+                Ok(g)
+            }
+            BTerm::Or(x, y) => {
+                let lx = self.encode(x)?;
+                let ly = self.encode(y)?;
+                let g = Lit::new(self.new_bool_var(), true);
+                self.sat.add_clause(vec![g.negated(), lx, ly]);
+                self.sat.add_clause(vec![lx.negated(), g]);
+                self.sat.add_clause(vec![ly.negated(), g]);
+                Ok(g)
+            }
+            BTerm::Implies(x, y) => {
+                let rewritten = BTerm::Or(Box::new(BTerm::Not(x.clone())), y.clone());
+                self.encode(&rewritten)
+            }
+            BTerm::Not(x) => Ok(self.encode(x)?.negated()),
+            BTerm::Exists(_, _) | BTerm::Forall(_, _) => Err(EncodeError {
+                message: "quantifier reached the CNF encoder".to_string(),
+            }),
+        }
+    }
+
+    /// Asserts a literal as a root constraint.
+    pub fn assert_root(&mut self, lit: Lit) {
+        self.sat.add_clause(vec![lit]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatOutcome;
+
+    fn x() -> ITerm {
+        ITerm::var("x")
+    }
+
+    #[test]
+    fn complementary_atoms_share_a_variable() {
+        let mut cnf = CnfBuilder::new();
+        // x ≤ 3 and x ≥ 4 are complementary.
+        let a = cnf.encode(&x().le(ITerm::Const(3))).unwrap();
+        let b = cnf.encode(&x().ge(ITerm::Const(4))).unwrap();
+        assert_eq!(a.var(), b.var());
+        assert_ne!(a.is_positive(), b.is_positive());
+    }
+
+    #[test]
+    fn distinct_bounds_get_distinct_variables() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.encode(&x().le(ITerm::Const(3))).unwrap();
+        let b = cnf.encode(&x().le(ITerm::Const(5))).unwrap();
+        assert_ne!(a.var(), b.var());
+    }
+
+    #[test]
+    fn trivial_atoms_fold_to_constants() {
+        let mut cnf = CnfBuilder::new();
+        let t = cnf.encode(&ITerm::Const(1).le(ITerm::Const(2))).unwrap();
+        let f = cnf.encode(&ITerm::Const(2).le(ITerm::Const(1))).unwrap();
+        assert_eq!(t, f.negated());
+    }
+
+    #[test]
+    fn propositional_structure_solves() {
+        // (x ≤ 3 ∨ x ≥ 10) ∧ ¬(x ≤ 3): boolean-satisfiable.
+        let mut cnf = CnfBuilder::new();
+        let phi = x()
+            .le(ITerm::Const(3))
+            .or(x().ge(ITerm::Const(10)))
+            .and(BTerm::Not(Box::new(x().le(ITerm::Const(3)))));
+        let root = cnf.encode(&phi).unwrap();
+        cnf.assert_root(root);
+        assert!(matches!(cnf.sat.solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn boolean_contradiction_is_unsat_without_theory() {
+        let mut cnf = CnfBuilder::new();
+        let a = x().le(ITerm::Const(3));
+        let phi = a.clone().and(BTerm::Not(Box::new(a)));
+        let root = cnf.encode(&phi).unwrap();
+        cnf.assert_root(root);
+        assert_eq!(cnf.sat.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn equality_splits_into_two_bounds() {
+        let mut cnf = CnfBuilder::new();
+        let root = cnf.encode(&x().eq_term(ITerm::Const(5))).unwrap();
+        cnf.assert_root(root);
+        // Two theory atoms: x ≤ 5 and x ≤ 4 (for x ≥ 5).
+        let natoms = cnf.atoms.iter().flatten().count();
+        assert_eq!(natoms, 2);
+    }
+
+    #[test]
+    fn quantifier_is_an_encoding_error() {
+        let mut cnf = CnfBuilder::new();
+        let q = x().le(ITerm::Const(3)).exists("x");
+        assert!(cnf.encode(&q).is_err());
+    }
+}

@@ -1,0 +1,961 @@
+//! Quantifier preprocessing: negation normal form, the one-point rule,
+//! exact elimination for unit-coefficient quantifiers, skolemization, and
+//! sound finite instantiation as a last resort.
+//!
+//! The pipeline's contract is *soundness for UNSAT*: every rewrite either
+//! preserves satisfiability exactly, or weakens the formula (admits more
+//! models) and sets the `incomplete` flag. An `Unsat` verdict on the
+//! processed formula is therefore always trustworthy; a `Sat` verdict is
+//! only reported when no weakening rewrite fired.
+
+use crate::ast::{BTerm, ITerm, Rel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Caps on the exact-elimination expansions, beyond which the preprocessor
+/// falls back to instantiation.
+const MAX_CUBES: usize = 128;
+const MAX_CUBE_LITERALS: usize = 128;
+const MAX_INSTANTIATION_CANDIDATES: usize = 12;
+
+/// Allocates fresh solver-internal names. The `!` separator cannot appear
+/// in source-language identifiers, so fresh names never collide.
+#[derive(Debug, Default)]
+pub struct FreshNames {
+    counter: u64,
+}
+
+impl FreshNames {
+    /// Creates an allocator.
+    pub fn new() -> Self {
+        FreshNames::default()
+    }
+
+    /// Returns a fresh name with the given diagnostic prefix.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("{prefix}!{n}")
+    }
+}
+
+/// Free variables of an integer term.
+pub fn term_vars(t: &ITerm, out: &mut BTreeSet<String>) {
+    match t {
+        ITerm::Const(_) => {}
+        ITerm::Var(v) => {
+            out.insert(v.clone());
+        }
+        ITerm::Add(a, b) | ITerm::Sub(a, b) | ITerm::Mul(a, b) | ITerm::Div(a, b)
+        | ITerm::Mod(a, b) => {
+            term_vars(a, out);
+            term_vars(b, out);
+        }
+        ITerm::Neg(a) => term_vars(a, out),
+        ITerm::Select(arr, idx) => {
+            out.insert(arr.clone());
+            term_vars(idx, out);
+        }
+        ITerm::Len(arr) => {
+            out.insert(arr.clone());
+        }
+    }
+}
+
+/// Free variables of a formula (bound variables excluded).
+pub fn formula_vars(b: &BTerm, out: &mut BTreeSet<String>) {
+    match b {
+        BTerm::True | BTerm::False => {}
+        BTerm::Atom(_, lhs, rhs) => {
+            term_vars(lhs, out);
+            term_vars(rhs, out);
+        }
+        BTerm::And(a, b2) | BTerm::Or(a, b2) | BTerm::Implies(a, b2) => {
+            formula_vars(a, out);
+            formula_vars(b2, out);
+        }
+        BTerm::Not(a) => formula_vars(a, out),
+        BTerm::Exists(x, body) | BTerm::Forall(x, body) => {
+            let mut inner = BTreeSet::new();
+            formula_vars(body, &mut inner);
+            inner.remove(x);
+            out.extend(inner);
+        }
+    }
+}
+
+/// Substitutes `t` for free occurrences of the *integer* variable `x`.
+///
+/// Solver-level substitution does not need capture avoidance for our use:
+/// the replacement terms are always ground (fresh constants or
+/// quantifier-free candidate terms whose variables are free in the whole
+/// problem), and bound variables are freshly named by the encoder.
+pub fn subst_term(t: &ITerm, x: &str, r: &ITerm) -> ITerm {
+    match t {
+        ITerm::Const(_) | ITerm::Len(_) => t.clone(),
+        ITerm::Var(v) => {
+            if v == x {
+                r.clone()
+            } else {
+                t.clone()
+            }
+        }
+        ITerm::Add(a, b) => ITerm::Add(
+            Box::new(subst_term(a, x, r)),
+            Box::new(subst_term(b, x, r)),
+        ),
+        ITerm::Sub(a, b) => ITerm::Sub(
+            Box::new(subst_term(a, x, r)),
+            Box::new(subst_term(b, x, r)),
+        ),
+        ITerm::Mul(a, b) => ITerm::Mul(
+            Box::new(subst_term(a, x, r)),
+            Box::new(subst_term(b, x, r)),
+        ),
+        ITerm::Div(a, b) => ITerm::Div(
+            Box::new(subst_term(a, x, r)),
+            Box::new(subst_term(b, x, r)),
+        ),
+        ITerm::Mod(a, b) => ITerm::Mod(
+            Box::new(subst_term(a, x, r)),
+            Box::new(subst_term(b, x, r)),
+        ),
+        ITerm::Neg(a) => ITerm::Neg(Box::new(subst_term(a, x, r))),
+        ITerm::Select(arr, idx) => ITerm::Select(arr.clone(), Box::new(subst_term(idx, x, r))),
+    }
+}
+
+/// Substitutes in a formula (stopping at binders of `x`).
+pub fn subst_formula(b: &BTerm, x: &str, r: &ITerm) -> BTerm {
+    match b {
+        BTerm::True | BTerm::False => b.clone(),
+        BTerm::Atom(rel, lhs, rhs) => {
+            BTerm::Atom(*rel, subst_term(lhs, x, r), subst_term(rhs, x, r))
+        }
+        BTerm::And(a, c) => BTerm::And(
+            Box::new(subst_formula(a, x, r)),
+            Box::new(subst_formula(c, x, r)),
+        ),
+        BTerm::Or(a, c) => BTerm::Or(
+            Box::new(subst_formula(a, x, r)),
+            Box::new(subst_formula(c, x, r)),
+        ),
+        BTerm::Implies(a, c) => BTerm::Implies(
+            Box::new(subst_formula(a, x, r)),
+            Box::new(subst_formula(c, x, r)),
+        ),
+        BTerm::Not(a) => BTerm::Not(Box::new(subst_formula(a, x, r))),
+        BTerm::Exists(y, body) => {
+            if y == x {
+                b.clone()
+            } else {
+                BTerm::Exists(y.clone(), Box::new(subst_formula(body, x, r)))
+            }
+        }
+        BTerm::Forall(y, body) => {
+            if y == x {
+                b.clone()
+            } else {
+                BTerm::Forall(y.clone(), Box::new(subst_formula(body, x, r)))
+            }
+        }
+    }
+}
+
+fn flip(rel: Rel) -> Rel {
+    match rel {
+        Rel::Lt => Rel::Ge,
+        Rel::Le => Rel::Gt,
+        Rel::Gt => Rel::Le,
+        Rel::Ge => Rel::Lt,
+        Rel::Eq => Rel::Ne,
+        Rel::Ne => Rel::Eq,
+    }
+}
+
+/// Negation normal form: no `Not`/`Implies` nodes remain; negation is
+/// absorbed into atom relations.
+pub fn nnf(b: &BTerm, negate: bool) -> BTerm {
+    match b {
+        BTerm::True => {
+            if negate {
+                BTerm::False
+            } else {
+                BTerm::True
+            }
+        }
+        BTerm::False => {
+            if negate {
+                BTerm::True
+            } else {
+                BTerm::False
+            }
+        }
+        BTerm::Atom(rel, lhs, rhs) => {
+            let rel = if negate { flip(*rel) } else { *rel };
+            BTerm::Atom(rel, lhs.clone(), rhs.clone())
+        }
+        BTerm::And(a, c) => {
+            let (l, r) = (nnf(a, negate), nnf(c, negate));
+            if negate {
+                l.or(r)
+            } else {
+                l.and(r)
+            }
+        }
+        BTerm::Or(a, c) => {
+            let (l, r) = (nnf(a, negate), nnf(c, negate));
+            if negate {
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        }
+        BTerm::Implies(a, c) => {
+            // a ⇒ c ≡ ¬a ∨ c
+            let (l, r) = (nnf(a, !negate), nnf(c, negate));
+            if negate {
+                // ¬(a ⇒ c) ≡ a ∧ ¬c; note nnf(a, !negate) with negate=true is nnf(a,false).
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        }
+        BTerm::Not(a) => nnf(a, !negate),
+        BTerm::Exists(x, body) => {
+            let inner = nnf(body, negate);
+            if negate {
+                BTerm::Forall(x.clone(), Box::new(inner))
+            } else {
+                BTerm::Exists(x.clone(), Box::new(inner))
+            }
+        }
+        BTerm::Forall(x, body) => {
+            let inner = nnf(body, negate);
+            if negate {
+                BTerm::Exists(x.clone(), Box::new(inner))
+            } else {
+                BTerm::Forall(x.clone(), Box::new(inner))
+            }
+        }
+    }
+}
+
+/// A linear view over *base terms*: plain variables stay variables, while
+/// opaque subterms (array reads, divisions, non-linear products, lengths)
+/// become pseudo-variables keyed by their own syntax. This lets the
+/// unit-coefficient quantifier elimination see through atoms like
+/// `a ≤ col[i] + e`.
+pub(crate) fn poly_terms(t: &ITerm) -> Option<(BTreeMap<ITerm, i128>, i128)> {
+    fn insert(mut m: BTreeMap<ITerm, i128>, k: ITerm, c: i128) -> BTreeMap<ITerm, i128> {
+        let e = m.entry(k.clone()).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            m.remove(&k);
+        }
+        m
+    }
+    match t {
+        ITerm::Const(n) => Some((BTreeMap::new(), *n as i128)),
+        ITerm::Var(_) | ITerm::Select(_, _) | ITerm::Len(_) | ITerm::Div(_, _)
+        | ITerm::Mod(_, _) => Some((insert(BTreeMap::new(), t.clone(), 1), 0)),
+        ITerm::Add(a, b) => {
+            let (ma, ka) = poly_terms(a)?;
+            let (mb, kb) = poly_terms(b)?;
+            Some((merge_terms(ma, mb, 1), ka + kb))
+        }
+        ITerm::Sub(a, b) => {
+            let (ma, ka) = poly_terms(a)?;
+            let (mb, kb) = poly_terms(b)?;
+            Some((merge_terms(ma, mb, -1), ka - kb))
+        }
+        ITerm::Neg(a) => {
+            let (ma, ka) = poly_terms(a)?;
+            Some((scale_terms(ma, -1), -ka))
+        }
+        ITerm::Mul(a, b) => {
+            let pa = poly_terms(a)?;
+            let pb = poly_terms(b)?;
+            if pa.0.is_empty() {
+                Some((scale_terms(pb.0, pa.1), pa.1 * pb.1))
+            } else if pb.0.is_empty() {
+                Some((scale_terms(pa.0, pb.1), pa.1 * pb.1))
+            } else {
+                // Non-linear product: one opaque base term.
+                Some((insert(BTreeMap::new(), t.clone(), 1), 0))
+            }
+        }
+    }
+}
+
+fn merge_terms(
+    mut a: BTreeMap<ITerm, i128>,
+    b: BTreeMap<ITerm, i128>,
+    sign: i128,
+) -> BTreeMap<ITerm, i128> {
+    for (k, v) in b {
+        let e = a.entry(k).or_insert(0);
+        *e += sign * v;
+    }
+    a.retain(|_, v| *v != 0);
+    a
+}
+
+fn scale_terms(mut a: BTreeMap<ITerm, i128>, s: i128) -> BTreeMap<ITerm, i128> {
+    if s == 0 {
+        return BTreeMap::new();
+    }
+    for v in a.values_mut() {
+        *v *= s;
+    }
+    a
+}
+
+/// Rebuilds an [`ITerm`] from a base-term linear view.
+fn unpoly_terms(m: &BTreeMap<ITerm, i128>, k: i128) -> ITerm {
+    let mut acc: Option<ITerm> = if k != 0 {
+        Some(ITerm::Const(k as i64))
+    } else {
+        None
+    };
+    for (base, &c) in m {
+        let piece = match c {
+            1 => base.clone(),
+            -1 => ITerm::Neg(Box::new(base.clone())),
+            c => ITerm::Mul(Box::new(ITerm::Const(c as i64)), Box::new(base.clone())),
+        };
+        acc = Some(match acc {
+            None => piece,
+            Some(prev) => prev.add(piece),
+        });
+    }
+    acc.unwrap_or(ITerm::Const(0))
+}
+
+/// Base-term keys of a view that mention the variable `x`.
+fn keys_mentioning(m: &BTreeMap<ITerm, i128>, x: &str) -> bool {
+    m.keys().any(|k| {
+        if let ITerm::Var(v) = k {
+            v == x
+        } else {
+            let mut vars = BTreeSet::new();
+            term_vars(k, &mut vars);
+            vars.contains(x)
+        }
+    })
+}
+
+/// A linear view of a term: coefficients per name plus a constant.
+/// `None` when the term is not linear in its variables.
+pub(crate) fn poly(t: &ITerm) -> Option<(BTreeMap<String, i128>, i128)> {
+    match t {
+        ITerm::Const(n) => Some((BTreeMap::new(), *n as i128)),
+        ITerm::Var(v) => {
+            let mut m = BTreeMap::new();
+            m.insert(v.clone(), 1);
+            Some((m, 0))
+        }
+        ITerm::Add(a, b) => {
+            let (ma, ka) = poly(a)?;
+            let (mb, kb) = poly(b)?;
+            Some((merge(ma, mb, 1), ka + kb))
+        }
+        ITerm::Sub(a, b) => {
+            let (ma, ka) = poly(a)?;
+            let (mb, kb) = poly(b)?;
+            Some((merge(ma, mb, -1), ka - kb))
+        }
+        ITerm::Neg(a) => {
+            let (ma, ka) = poly(a)?;
+            Some((scale(ma, -1), -ka))
+        }
+        ITerm::Mul(a, b) => {
+            let pa = poly(a)?;
+            let pb = poly(b)?;
+            if pa.0.is_empty() {
+                Some((scale(pb.0, pa.1), pa.1 * pb.1))
+            } else if pb.0.is_empty() {
+                Some((scale(pa.0, pb.1), pa.1 * pb.1))
+            } else {
+                None
+            }
+        }
+        ITerm::Div(_, _) | ITerm::Mod(_, _) | ITerm::Select(_, _) | ITerm::Len(_) => None,
+    }
+}
+
+fn merge(
+    mut a: BTreeMap<String, i128>,
+    b: BTreeMap<String, i128>,
+    sign: i128,
+) -> BTreeMap<String, i128> {
+    for (k, v) in b {
+        let e = a.entry(k).or_insert(0);
+        *e += sign * v;
+    }
+    a.retain(|_, v| *v != 0);
+    a
+}
+
+fn scale(mut a: BTreeMap<String, i128>, s: i128) -> BTreeMap<String, i128> {
+    if s == 0 {
+        return BTreeMap::new();
+    }
+    for v in a.values_mut() {
+        *v *= s;
+    }
+    a
+}
+
+/// A literal in a cube: an atom known to hold.
+type Atom = (Rel, ITerm, ITerm);
+
+/// Converts an NNF formula into DNF cubes, splitting `Ne` atoms that
+/// mention `x` into `< ∨ >`. Returns `None` on blowup or when `x` occurs
+/// in a non-linear position.
+fn dnf_cubes(x: &str, b: &BTerm) -> Option<Vec<Vec<Atom>>> {
+    match b {
+        BTerm::True => Some(vec![vec![]]),
+        BTerm::False => Some(vec![]),
+        BTerm::Atom(rel, lhs, rhs) => {
+            let mut vars = BTreeSet::new();
+            term_vars(lhs, &mut vars);
+            term_vars(rhs, &mut vars);
+            if vars.contains(x) {
+                // x must appear linearly (over base terms) to be eliminable,
+                // and must not hide inside an opaque base term.
+                let diff = lhs.clone().sub(rhs.clone());
+                let (m, _) = poly_terms(&diff)?;
+                let mut m2 = m.clone();
+                m2.remove(&ITerm::Var(x.to_string()));
+                if keys_mentioning(&m2, x) {
+                    return None;
+                }
+                if *rel == Rel::Ne {
+                    return Some(vec![
+                        vec![(Rel::Lt, lhs.clone(), rhs.clone())],
+                        vec![(Rel::Gt, lhs.clone(), rhs.clone())],
+                    ]);
+                }
+            }
+            Some(vec![vec![(*rel, lhs.clone(), rhs.clone())]])
+        }
+        BTerm::Or(a, c) => {
+            let mut cubes = dnf_cubes(x, a)?;
+            cubes.extend(dnf_cubes(x, c)?);
+            if cubes.len() > MAX_CUBES {
+                None
+            } else {
+                Some(cubes)
+            }
+        }
+        BTerm::And(a, c) => {
+            let left = dnf_cubes(x, a)?;
+            let right = dnf_cubes(x, c)?;
+            let mut cubes = Vec::new();
+            for l in &left {
+                for r in &right {
+                    let mut cube = l.clone();
+                    cube.extend(r.iter().cloned());
+                    if cube.len() > MAX_CUBE_LITERALS {
+                        return None;
+                    }
+                    cubes.push(cube);
+                }
+            }
+            if cubes.len() > MAX_CUBES {
+                None
+            } else {
+                Some(cubes)
+            }
+        }
+        // Quantifiers inside (nested) and residual Not/Implies block DNF.
+        _ => None,
+    }
+}
+
+/// Exact elimination of `∃x` from a single cube whose `x`-coefficients are
+/// all `±1`. Returns `None` when a coefficient is not `±1`.
+fn elim_cube(x: &str, cube: &[Atom]) -> Option<BTerm> {
+    let mut lowers: Vec<ITerm> = Vec::new(); // x ≥ t
+    let mut uppers: Vec<ITerm> = Vec::new(); // x ≤ t
+    let mut rest: Vec<Atom> = Vec::new();
+    for (i, (rel, lhs, rhs)) in cube.iter().enumerate() {
+        let mut vars = BTreeSet::new();
+        term_vars(lhs, &mut vars);
+        term_vars(rhs, &mut vars);
+        if !vars.contains(x) {
+            rest.push((*rel, lhs.clone(), rhs.clone()));
+            continue;
+        }
+        let diff = lhs.clone().sub(rhs.clone());
+        let (mut m, k) = poly_terms(&diff)?;
+        let c = m.remove(&ITerm::Var(x.to_string()))?;
+        if c.abs() != 1 || keys_mentioning(&m, x) {
+            return None;
+        }
+        // c·x + R + k  rel  0, with R = unpoly(m).
+        // If c = 1:  x  rel  -(R + k);  if c = -1:  x  flip(rel)  (R + k).
+        let bound = if c == 1 {
+            unpoly_terms(&scale_terms(m, -1), -k)
+        } else {
+            unpoly_terms(&m, k)
+        };
+        let rel = if c == 1 { *rel } else { flipped_by_sign(*rel) };
+        match rel {
+            Rel::Le => uppers.push(bound),
+            Rel::Lt => uppers.push(bound.sub(ITerm::Const(1))),
+            Rel::Ge => lowers.push(bound),
+            Rel::Gt => lowers.push(bound.add(ITerm::Const(1))),
+            Rel::Eq => {
+                // One-point within the cube: x = bound. Substituting into
+                // every *other* atom removes x from the whole cube (bound is
+                // x-free because its linear view had x removed).
+                let conj = BTerm::conj(cube.iter().enumerate().filter(|(j, _)| *j != i).map(
+                    |(_, (r2, l2, r2t))| {
+                        BTerm::Atom(
+                            *r2,
+                            subst_term(l2, x, &bound),
+                            subst_term(r2t, x, &bound),
+                        )
+                    },
+                ));
+                return Some(conj);
+            }
+            Rel::Ne => return None, // should have been split by dnf_cubes
+        }
+    }
+    // ∃x over ℤ with unit bounds: all lower ≤ all upper.
+    let mut out = BTerm::conj(rest.into_iter().map(|(r, l, rr)| BTerm::Atom(r, l, rr)));
+    for lo in &lowers {
+        for hi in &uppers {
+            out = out.and(BTerm::Atom(Rel::Le, lo.clone(), hi.clone()));
+        }
+    }
+    Some(out)
+}
+
+/// Adjusts a relation when the variable coefficient is −1 (multiply the
+/// atom by −1): `-x + R rel 0 ⟺ x flip_by_sign(rel) R`.
+fn flipped_by_sign(rel: Rel) -> Rel {
+    match rel {
+        Rel::Lt => Rel::Gt,
+        Rel::Le => Rel::Ge,
+        Rel::Gt => Rel::Lt,
+        Rel::Ge => Rel::Le,
+        Rel::Eq => Rel::Eq,
+        Rel::Ne => Rel::Ne,
+    }
+}
+
+/// Tries exact elimination of `∃x. body` (body in NNF, quantifier-free).
+fn try_exact_exists(x: &str, body: &BTerm) -> Option<BTerm> {
+    let cubes = dnf_cubes(x, body)?;
+    let mut out = BTerm::False;
+    for cube in &cubes {
+        out = out.or(elim_cube(x, cube)?);
+    }
+    Some(out)
+}
+
+/// Candidate ground terms for instantiating `∀x. body`: bound terms solved
+/// out of atoms that mention `x` with coefficient `±1` (each ±1), ground
+/// indices of arrays that `body` reads at `x` (drawn from the whole
+/// problem's `pool`), plus 0.
+fn instantiation_candidates(
+    x: &str,
+    body: &BTerm,
+    pool: &BTreeMap<String, Vec<ITerm>>,
+) -> Vec<ITerm> {
+    let mut atoms = Vec::new();
+    collect_atoms(body, &mut atoms);
+    let mut candidates: Vec<ITerm> = Vec::new();
+    for (_, lhs, rhs) in &atoms {
+        let mut vars = BTreeSet::new();
+        term_vars(lhs, &mut vars);
+        term_vars(rhs, &mut vars);
+        if !vars.contains(x) {
+            continue;
+        }
+        let diff = lhs.clone().sub(rhs.clone());
+        if let Some((mut m, k)) = poly_terms(&diff) {
+            if let Some(c) = m.remove(&ITerm::Var(x.to_string())) {
+                if c.abs() == 1 && !keys_mentioning(&m, x) {
+                    let bound = if c == 1 {
+                        unpoly_terms(&scale_terms(m, -1), -k)
+                    } else {
+                        unpoly_terms(&m, k)
+                    };
+                    candidates.push(bound.clone().sub(ITerm::Const(1)));
+                    candidates.push(bound.clone());
+                    candidates.push(bound.add(ITerm::Const(1)));
+                }
+            }
+        }
+        if candidates.len() >= MAX_INSTANTIATION_CANDIDATES {
+            break;
+        }
+    }
+    let mut arrays = BTreeSet::new();
+    arrays_indexed_by(body, x, &mut arrays);
+    for arr in arrays {
+        if let Some(terms) = pool.get(&arr) {
+            for t in terms {
+                let mut vars = BTreeSet::new();
+                term_vars(t, &mut vars);
+                if !vars.contains(x) {
+                    candidates.push(t.clone());
+                }
+            }
+        }
+    }
+    candidates.push(ITerm::Const(0));
+    candidates.truncate(2 * MAX_INSTANTIATION_CANDIDATES);
+    candidates.dedup();
+    candidates
+}
+
+/// Ground select-index terms per array, collected from the whole problem
+/// (the candidate pool for array-driven ∀-instantiation, an E-matching
+/// light).
+fn collect_select_pool(b: &BTerm, bound: &mut BTreeSet<String>, pool: &mut BTreeMap<String, Vec<ITerm>>) {
+    fn term(t: &ITerm, bound: &BTreeSet<String>, pool: &mut BTreeMap<String, Vec<ITerm>>) {
+        match t {
+            ITerm::Const(_) | ITerm::Var(_) | ITerm::Len(_) => {}
+            ITerm::Add(a, b) | ITerm::Sub(a, b) | ITerm::Mul(a, b) | ITerm::Div(a, b)
+            | ITerm::Mod(a, b) => {
+                term(a, bound, pool);
+                term(b, bound, pool);
+            }
+            ITerm::Neg(a) => term(a, bound, pool),
+            ITerm::Select(arr, idx) => {
+                term(idx, bound, pool);
+                let mut vars = BTreeSet::new();
+                term_vars(idx, &mut vars);
+                if vars.is_disjoint(bound) {
+                    let entry = pool.entry(arr.clone()).or_default();
+                    if !entry.contains(idx) && entry.len() < 16 {
+                        entry.push((**idx).clone());
+                    }
+                }
+            }
+        }
+    }
+    match b {
+        BTerm::True | BTerm::False => {}
+        BTerm::Atom(_, lhs, rhs) => {
+            term(lhs, bound, pool);
+            term(rhs, bound, pool);
+        }
+        BTerm::And(a, c) | BTerm::Or(a, c) | BTerm::Implies(a, c) => {
+            collect_select_pool(a, bound, pool);
+            collect_select_pool(c, bound, pool);
+        }
+        BTerm::Not(a) => collect_select_pool(a, bound, pool),
+        BTerm::Exists(x, body) | BTerm::Forall(x, body) => {
+            let fresh = bound.insert(x.clone());
+            collect_select_pool(body, bound, pool);
+            if fresh {
+                bound.remove(x);
+            }
+        }
+    }
+}
+
+/// Arrays read at exactly the variable `x` inside `b`.
+fn arrays_indexed_by(b: &BTerm, x: &str, out: &mut BTreeSet<String>) {
+    fn term(t: &ITerm, x: &str, out: &mut BTreeSet<String>) {
+        match t {
+            ITerm::Const(_) | ITerm::Var(_) | ITerm::Len(_) => {}
+            ITerm::Add(a, b) | ITerm::Sub(a, b) | ITerm::Mul(a, b) | ITerm::Div(a, b)
+            | ITerm::Mod(a, b) => {
+                term(a, x, out);
+                term(b, x, out);
+            }
+            ITerm::Neg(a) => term(a, x, out),
+            ITerm::Select(arr, idx) => {
+                let mut vars = BTreeSet::new();
+                term_vars(idx, &mut vars);
+                if vars.contains(x) {
+                    out.insert(arr.clone());
+                }
+                term(idx, x, out);
+            }
+        }
+    }
+    match b {
+        BTerm::True | BTerm::False => {}
+        BTerm::Atom(_, lhs, rhs) => {
+            term(lhs, x, out);
+            term(rhs, x, out);
+        }
+        BTerm::And(a, c) | BTerm::Or(a, c) | BTerm::Implies(a, c) => {
+            arrays_indexed_by(a, x, out);
+            arrays_indexed_by(c, x, out);
+        }
+        BTerm::Not(a) => arrays_indexed_by(a, x, out),
+        BTerm::Exists(y, body) | BTerm::Forall(y, body) => {
+            if y != x {
+                arrays_indexed_by(body, x, out);
+            }
+        }
+    }
+}
+
+fn collect_atoms(b: &BTerm, out: &mut Vec<Atom>) {
+    match b {
+        BTerm::Atom(rel, lhs, rhs) => out.push((*rel, lhs.clone(), rhs.clone())),
+        BTerm::And(a, c) | BTerm::Or(a, c) | BTerm::Implies(a, c) => {
+            collect_atoms(a, out);
+            collect_atoms(c, out);
+        }
+        BTerm::Not(a) => collect_atoms(a, out),
+        BTerm::Exists(_, a) | BTerm::Forall(_, a) => collect_atoms(a, out),
+        BTerm::True | BTerm::False => {}
+    }
+}
+
+/// The result of quantifier elimination.
+#[derive(Clone, Debug)]
+pub struct QfResult {
+    /// The quantifier-free formula.
+    pub formula: BTerm,
+    /// True when a weakening rewrite fired (finite ∀-instantiation): a
+    /// `Sat` verdict downstream must be reported as unknown.
+    pub incomplete: bool,
+}
+
+/// Eliminates all quantifiers from `b` (assumed a *satisfiability* query:
+/// top-level free variables are implicitly existential).
+///
+/// Strategy, top-down on the NNF:
+/// 1. `∃x`: try exact unit-coefficient elimination (via DNF); otherwise
+///    skolemize `x` to a fresh constant (exact — in NNF with the
+///    weakening ∀-instantiation applied outer-first, every ∃ sits under
+///    only ∧/∨).
+/// 2. `∀x`: `∀x.B ≡ ¬∃x.¬B`; try exact elimination of the dual; otherwise
+///    instantiate finitely (weakening, sets `incomplete`).
+pub fn eliminate_quantifiers(b: &BTerm, fresh: &mut FreshNames) -> QfResult {
+    let normal = nnf(b, false);
+    let mut incomplete = false;
+    // Phase 1: exact eliminations and skolemization only — pending ∀s are
+    // left in place so phase 2 can see the skolem constants they must be
+    // instantiated with.
+    let phase1 = elim(&normal, fresh, &mut incomplete, 0, None);
+    if is_quantifier_free(&phase1) {
+        return QfResult { formula: phase1, incomplete };
+    }
+    // Phase 2: instantiate remaining ∀s against the problem-wide pool of
+    // ground select indices (array-driven triggers) and atom bounds.
+    let mut pool = BTreeMap::new();
+    collect_select_pool(&phase1, &mut BTreeSet::new(), &mut pool);
+    let formula = elim(&phase1, fresh, &mut incomplete, 0, Some(&pool));
+    QfResult { formula, incomplete }
+}
+
+fn is_quantifier_free(b: &BTerm) -> bool {
+    match b {
+        BTerm::True | BTerm::False | BTerm::Atom(_, _, _) => true,
+        BTerm::And(a, c) | BTerm::Or(a, c) | BTerm::Implies(a, c) => {
+            is_quantifier_free(a) && is_quantifier_free(c)
+        }
+        BTerm::Not(a) => is_quantifier_free(a),
+        BTerm::Exists(_, _) | BTerm::Forall(_, _) => false,
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn elim(
+    b: &BTerm,
+    fresh: &mut FreshNames,
+    incomplete: &mut bool,
+    depth: usize,
+    pool: Option<&BTreeMap<String, Vec<ITerm>>>,
+) -> BTerm {
+    if depth > MAX_DEPTH {
+        // Give up: replace with True (weakening) and flag incompleteness.
+        *incomplete = true;
+        return BTerm::True;
+    }
+    match b {
+        BTerm::True | BTerm::False | BTerm::Atom(_, _, _) => b.clone(),
+        BTerm::And(x, y) => elim(x, fresh, incomplete, depth + 1, pool)
+            .and(elim(y, fresh, incomplete, depth + 1, pool)),
+        BTerm::Or(x, y) => elim(x, fresh, incomplete, depth + 1, pool)
+            .or(elim(y, fresh, incomplete, depth + 1, pool)),
+        BTerm::Not(inner) => elim(&nnf(inner, true), fresh, incomplete, depth + 1, pool),
+        BTerm::Implies(x, y) => elim(&nnf(x, true), fresh, incomplete, depth + 1, pool)
+            .or(elim(y, fresh, incomplete, depth + 1, pool)),
+        BTerm::Exists(x, body) => {
+            let body = elim(body, fresh, incomplete, depth + 1, pool);
+            if let Some(result) = try_exact_exists(x, &body) {
+                return result;
+            }
+            // Skolemize.
+            let sk = fresh.fresh(&format!("sk_{x}"));
+            subst_formula(&body, x, &ITerm::Var(sk))
+        }
+        BTerm::Forall(x, body) => {
+            let body = elim(body, fresh, incomplete, depth + 1, pool);
+            // ∀x.B ≡ ¬∃x.¬B — try the exact dual elimination.
+            let dual = nnf(&body, true);
+            if let Some(result) = try_exact_exists(x, &dual) {
+                return nnf(&result, true);
+            }
+            match pool {
+                // Phase 1: leave the ∀ pending for the pooled phase.
+                None => BTerm::Forall(x.clone(), Box::new(body)),
+                // Phase 2: weakening finite instantiation.
+                Some(pool) => {
+                    *incomplete = true;
+                    let candidates = instantiation_candidates(x, &body, pool);
+                    let conj = BTerm::conj(candidates.into_iter().map(|t| {
+                        let inst = subst_formula(&body, x, &t);
+                        elim(&inst, fresh, incomplete, depth + 1, Some(pool))
+                    }));
+                    conj
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> ITerm {
+        ITerm::var("x")
+    }
+    fn y() -> ITerm {
+        ITerm::var("y")
+    }
+
+    #[test]
+    fn nnf_pushes_negation_into_atoms() {
+        let b = x().le(ITerm::Const(3)).and(y().ge(ITerm::Const(0))).not();
+        let n = nnf(&b, false);
+        assert_eq!(
+            n,
+            x().rel(Rel::Gt, ITerm::Const(3))
+                .or(y().rel(Rel::Lt, ITerm::Const(0)))
+        );
+    }
+
+    #[test]
+    fn nnf_implication() {
+        let b = x().le(ITerm::Const(3)).implies(y().ge(ITerm::Const(0)));
+        let n = nnf(&b, false);
+        assert_eq!(
+            n,
+            x().rel(Rel::Gt, ITerm::Const(3))
+                .or(y().ge(ITerm::Const(0)))
+        );
+        let neg = nnf(&b, true);
+        assert_eq!(
+            neg,
+            x().le(ITerm::Const(3))
+                .and(y().rel(Rel::Lt, ITerm::Const(0)))
+        );
+    }
+
+    #[test]
+    fn nnf_swaps_quantifiers_under_negation() {
+        let b = x().le(y()).exists("x").not();
+        match nnf(&b, false) {
+            BTerm::Forall(v, body) => {
+                assert_eq!(v, "x");
+                assert_eq!(*body, x().rel(Rel::Gt, y()));
+            }
+            other => panic!("expected forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_bounds_eliminate_exactly() {
+        // ∃x. y ≤ x ∧ x ≤ z  ⟺  y ≤ z
+        let body = y().le(x()).and(x().le(ITerm::var("z")));
+        let result = try_exact_exists("x", &body).expect("unit coefficients");
+        assert_eq!(result, y().le(ITerm::var("z")));
+    }
+
+    #[test]
+    fn exists_equality_uses_one_point() {
+        // ∃x. x == y + 1 ∧ x ≤ 5  ⟺  y + 1 ≤ 5
+        let body = x()
+            .eq_term(y().add(ITerm::Const(1)))
+            .and(x().le(ITerm::Const(5)));
+        let result = try_exact_exists("x", &body).expect("unit coefficients");
+        // The result must not mention x and must be equivalent to y + 1 ≤ 5.
+        let mut vars = BTreeSet::new();
+        formula_vars(&result, &mut vars);
+        assert!(!vars.contains("x"));
+        assert!(vars.contains("y"));
+    }
+
+    #[test]
+    fn exists_unbounded_side_is_true() {
+        // ∃x. x ≥ y (no upper bounds) ⟺ true (over ℤ).
+        let body = x().ge(y());
+        let result = try_exact_exists("x", &body).expect("unit coefficients");
+        assert_eq!(result, BTerm::True);
+    }
+
+    #[test]
+    fn exists_nonunit_coefficient_falls_back() {
+        // ∃x. 2x == y has no unit-coefficient elimination.
+        let body = ITerm::Const(2).mul(x()).eq_term(y());
+        assert_eq!(try_exact_exists("x", &body), None);
+    }
+
+    #[test]
+    fn full_pipeline_skolemizes_nonunit_exists() {
+        let mut fresh = FreshNames::new();
+        let b = ITerm::Const(2).mul(x()).eq_term(y()).exists("x");
+        let out = eliminate_quantifiers(&b, &mut fresh);
+        assert!(!out.incomplete, "skolemization is exact");
+        let mut vars = BTreeSet::new();
+        formula_vars(&out.formula, &mut vars);
+        assert!(vars.iter().any(|v| v.starts_with("sk_x!")));
+    }
+
+    #[test]
+    fn forall_dual_elimination_is_exact() {
+        // ∀x. (x ≥ y ⇒ x ≥ z) with exact elimination: ¬∃x. x ≥ y ∧ x < z
+        // ⟺ ¬(y ≤ z - 1) ⟺ y > z - 1 ⟺ y ≥ z.
+        let b = x().ge(y()).implies(x().ge(ITerm::var("z"))).forall("x");
+        let mut fresh = FreshNames::new();
+        let out = eliminate_quantifiers(&b, &mut fresh);
+        assert!(!out.incomplete, "unit-coefficient forall must be exact");
+        let mut vars = BTreeSet::new();
+        formula_vars(&out.formula, &mut vars);
+        assert!(!vars.contains("x"));
+    }
+
+    #[test]
+    fn forall_nonunit_instantiates_and_flags() {
+        let b = ITerm::Const(2).mul(x()).rel(Rel::Ne, ITerm::Const(1)).forall("x");
+        let mut fresh = FreshNames::new();
+        let out = eliminate_quantifiers(&b, &mut fresh);
+        assert!(out.incomplete, "instantiation must flag incompleteness");
+    }
+
+    #[test]
+    fn substitution_stops_at_binders() {
+        let b = x().le(y()).exists("x");
+        let s = subst_formula(&b, "x", &ITerm::Const(7));
+        assert_eq!(s, b);
+        let s2 = subst_formula(&b, "y", &ITerm::Const(7));
+        assert_eq!(s2, x().le(ITerm::Const(7)).exists("x"));
+    }
+
+    #[test]
+    fn ne_atoms_split_in_dnf() {
+        let body = x().rel(Rel::Ne, y());
+        let cubes = dnf_cubes("x", &body).unwrap();
+        assert_eq!(cubes.len(), 2);
+        let elim = try_exact_exists("x", &body).unwrap();
+        // ∃x. x ≠ y is true over ℤ.
+        assert_eq!(elim, BTerm::True);
+    }
+}

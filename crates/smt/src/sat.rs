@@ -1,0 +1,660 @@
+//! A CDCL SAT solver with two-watched-literal propagation, VSIDS-style
+//! activity decisions, first-UIP clause learning, phase saving, and
+//! geometric restarts.
+//!
+//! The solver doubles as the propositional engine of the DPLL(T) driver in
+//! [`crate::solver`]: a [`Theory`] hook is consulted whenever a full
+//! assignment is found and may veto it with a conflict clause.
+
+use std::fmt;
+
+/// A propositional variable index.
+pub type BVar = u32;
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var` with the given polarity.
+    pub fn new(var: BVar, positive: bool) -> Lit {
+        Lit(var * 2 + u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> BVar {
+        self.0 / 2
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "b{}", self.var())
+        } else {
+            write!(f, "!b{}", self.var())
+        }
+    }
+}
+
+/// The verdict a theory returns for a complete propositional assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryVerdict {
+    /// The assignment is theory-consistent.
+    Consistent,
+    /// Theory-inconsistent; the clause (over existing literals) must be
+    /// added. It should be falsified by the current assignment.
+    Conflict(Vec<Lit>),
+    /// The theory could not decide (e.g. branch budget exhausted).
+    Unknown,
+}
+
+/// A theory plugged into the CDCL search.
+pub trait Theory {
+    /// Checks a complete assignment; `value(v)` is the assignment.
+    fn final_check(&mut self, value: &dyn Fn(BVar) -> bool) -> TheoryVerdict;
+}
+
+/// A trivial theory that accepts every assignment (pure SAT solving).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoTheory;
+
+impl Theory for NoTheory {
+    fn final_check(&mut self, _value: &dyn Fn(BVar) -> bool) -> TheoryVerdict {
+        TheoryVerdict::Consistent
+    }
+}
+
+/// Result of a SAT search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable; the vector assigns every variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limit reached or theory returned unknown.
+    Unknown,
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Number of theory final-checks.
+    pub theory_checks: u64,
+}
+
+const UNDEF: i8 = 0;
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<u32>>,
+    assigns: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    ok: bool,
+    /// Maximum conflicts before giving up (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Statistics for the last / current solve.
+    pub stats: SatStats,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ok: true,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> BVar {
+        let v = self.assigns.len() as BVar;
+        self.assigns.push(UNDEF);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> i8 {
+        let a = self.assigns[l.var() as usize];
+        if l.is_positive() {
+            a
+        } else {
+            -a
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.lim.len() as u32
+    }
+
+    /// Adds a clause. Must be called at decision level 0.
+    ///
+    /// Returns `false` when the clause system became unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called above decision level 0 or with an out-of-range
+    /// variable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            assert!((l.var() as usize) < self.assigns.len(), "unknown variable");
+            if i + 1 < lits.len() && lits[i + 1] == l.negated() {
+                return true; // tautology
+            }
+            match self.value_lit(l) {
+                1 => return true, // already satisfied at level 0
+                -1 => {}          // drop falsified literal
+                _ => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[simplified[0].index()].push(idx);
+                self.watches[simplified[1].index()].push(idx);
+                self.clauses.push(simplified);
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value_lit(l), UNDEF);
+        let v = l.var() as usize;
+        self.assigns[v] = if l.is_positive() { 1 } else { -1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negated();
+            let watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut kept = Vec::with_capacity(watchers.len());
+            let mut conflict = None;
+            let mut it = watchers.into_iter();
+            for ci in it.by_ref() {
+                let clause = &mut self.clauses[ci as usize];
+                // Normalize: the falsified literal goes to position 1.
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                // Satisfied by the other watch?
+                let first = clause[0];
+                if self.assigns[first.var() as usize] != UNDEF
+                    && (self.assigns[first.var() as usize] == 1) == first.is_positive()
+                {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    let cand = clause[k];
+                    let val = {
+                        let a = self.assigns[cand.var() as usize];
+                        if cand.is_positive() {
+                            a
+                        } else {
+                            -a
+                        }
+                    };
+                    if val != -1 {
+                        clause.swap(1, k);
+                        self.watches[cand.index()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                kept.push(ci);
+                // Unit or conflict.
+                match self.value_lit(first) {
+                    -1 => {
+                        conflict = Some(ci);
+                        break;
+                    }
+                    UNDEF => self.enqueue(first, Some(ci)),
+                    _ => {}
+                }
+            }
+            kept.extend(it);
+            self.watches[false_lit.index()] = kept;
+            if let Some(ci) = conflict {
+                self.qhead = self.trail.len();
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: BVar) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut seen = vec![false; self.num_vars()];
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = Some(confl);
+        let current = self.decision_level();
+        loop {
+            let ci = confl.expect("reason must exist on the conflict path");
+            let clause = self.clauses[ci as usize].clone();
+            for &q in &clause {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            seen[pl.var() as usize] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt.insert(0, pl.negated());
+                break;
+            }
+            confl = self.reason[pl.var() as usize];
+            p = Some(pl);
+        }
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a maximum-level literal at index 1 (the second watch).
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize]
+                    > self.level[learnt[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+        }
+        (learnt, backjump)
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let mark = self.lim.pop().expect("level > 0");
+            while self.trail.len() > mark {
+                let l = self.trail.pop().expect("trail non-empty");
+                let v = l.var() as usize;
+                self.assigns[v] = UNDEF;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        let mut best: Option<BVar> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] == UNDEF {
+                match best {
+                    None => best = Some(v as BVar),
+                    Some(b) if self.activity[v] > self.activity[b as usize] => {
+                        best = Some(v as BVar)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match best {
+            None => false,
+            Some(v) => {
+                self.stats.decisions += 1;
+                self.lim.push(self.trail.len());
+                let lit = Lit::new(v, self.phase[v as usize]);
+                self.enqueue(lit, None);
+                true
+            }
+        }
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) -> bool {
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            if self.value_lit(learnt[0]) == -1 {
+                self.ok = false;
+                return false;
+            }
+            if self.value_lit(learnt[0]) == UNDEF {
+                self.enqueue(learnt[0], None);
+            }
+            true
+        } else {
+            let idx = self.clauses.len() as u32;
+            self.watches[learnt[0].index()].push(idx);
+            self.watches[learnt[1].index()].push(idx);
+            let first = learnt[0];
+            self.clauses.push(learnt);
+            debug_assert_eq!(self.value_lit(first), UNDEF);
+            self.enqueue(first, Some(idx));
+            true
+        }
+    }
+
+    /// Solves with a theory hook.
+    pub fn solve_with(&mut self, theory: &mut dyn Theory) -> SatOutcome {
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+        loop {
+            if let Some(ci) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if let Some(max) = self.max_conflicts {
+                    if self.stats.conflicts > max {
+                        return SatOutcome::Unknown;
+                    }
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(ci);
+                self.backtrack_to(backjump);
+                self.var_inc *= 1.05;
+                if !self.record_learnt(learnt) {
+                    return SatOutcome::Unsat;
+                }
+            } else if self.trail.len() == self.num_vars() {
+                // Complete assignment: consult the theory.
+                self.stats.theory_checks += 1;
+                let assigns = self.assigns.clone();
+                let value = move |v: BVar| assigns[v as usize] == 1;
+                match theory.final_check(&value) {
+                    TheoryVerdict::Consistent => {
+                        return SatOutcome::Sat(
+                            self.assigns.iter().map(|&a| a == 1).collect(),
+                        );
+                    }
+                    TheoryVerdict::Unknown => return SatOutcome::Unknown,
+                    TheoryVerdict::Conflict(clause) => {
+                        self.backtrack_to(0);
+                        if clause.is_empty() || !self.add_clause(clause) {
+                            return SatOutcome::Unsat;
+                        }
+                    }
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit * 3 / 2;
+                    self.backtrack_to(0);
+                }
+                if !self.decide() {
+                    unreachable!("decide fails only when all variables are assigned");
+                }
+            }
+        }
+    }
+
+    /// Solves as a pure SAT problem.
+    pub fn solve(&mut self) -> SatOutcome {
+        self.solve_with(&mut NoTheory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: BVar, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    fn solver_with_vars(n: usize) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let l = lit(3, true);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_positive());
+        assert_eq!(l.negated().var(), 3);
+        assert!(!l.negated().is_positive());
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(vec![lit(0, true), lit(1, true)]);
+        match s.solve() {
+            SatOutcome::Sat(m) => assert!(m[0] || m[1]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause(vec![lit(0, true)]);
+        s.add_clause(vec![lit(0, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = solver_with_vars(1);
+        assert!(!s.add_clause(vec![]));
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = solver_with_vars(1);
+        assert!(s.add_clause(vec![lit(0, true), lit(0, false)]));
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn chain_implication_unsat() {
+        // x0, x0→x1, x1→x2, ¬x2
+        let mut s = solver_with_vars(3);
+        s.add_clause(vec![lit(0, true)]);
+        s.add_clause(vec![lit(0, false), lit(1, true)]);
+        s.add_clause(vec![lit(1, false), lit(2, true)]);
+        s.add_clause(vec![lit(2, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = solver_with_vars(6);
+        let p = |i: u32, j: u32| i * 2 + j;
+        for i in 0..3 {
+            s.add_clause(vec![lit(p(i, 0), true), lit(p(i, 1), true)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(vec![lit(p(a, j), false), lit(p(b, j), false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // A small structured instance; verify the returned model.
+        let mut s = solver_with_vars(4);
+        let clauses = vec![
+            vec![lit(0, true), lit(1, false)],
+            vec![lit(1, true), lit(2, true), lit(3, false)],
+            vec![lit(0, false), lit(3, true)],
+            vec![lit(2, false), lit(3, false)],
+        ];
+        for c in &clauses {
+            s.add_clause(c.clone());
+        }
+        match s.solve() {
+            SatOutcome::Sat(m) => {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| m[l.var() as usize] == l.is_positive()),
+                        "model must satisfy every clause"
+                    );
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    struct ParityTheory;
+    impl Theory for ParityTheory {
+        // Require an even number of true variables among b0..b2.
+        fn final_check(&mut self, value: &dyn Fn(BVar) -> bool) -> TheoryVerdict {
+            let count = (0..3).filter(|&v| value(v)).count();
+            if count % 2 == 0 {
+                TheoryVerdict::Consistent
+            } else {
+                let clause = (0..3)
+                    .map(|v| Lit::new(v, !value(v)))
+                    .collect::<Vec<_>>();
+                TheoryVerdict::Conflict(clause)
+            }
+        }
+    }
+
+    #[test]
+    fn theory_hook_vetoes_assignments() {
+        let mut s = solver_with_vars(3);
+        // At least one variable true.
+        s.add_clause(vec![lit(0, true), lit(1, true), lit(2, true)]);
+        let mut theory = ParityTheory;
+        match s.solve_with(&mut theory) {
+            SatOutcome::Sat(m) => {
+                let count = m.iter().filter(|&&b| b).count();
+                assert!(count % 2 == 0 && count > 0);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    struct RejectAll;
+    impl Theory for RejectAll {
+        fn final_check(&mut self, value: &dyn Fn(BVar) -> bool) -> TheoryVerdict {
+            let clause = (0..2).map(|v| Lit::new(v, !value(v))).collect();
+            TheoryVerdict::Conflict(clause)
+        }
+    }
+
+    #[test]
+    fn theory_rejecting_everything_gives_unsat() {
+        let mut s = solver_with_vars(2);
+        let mut theory = RejectAll;
+        assert_eq!(s.solve_with(&mut theory), SatOutcome::Unsat);
+    }
+}

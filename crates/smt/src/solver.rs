@@ -1,0 +1,511 @@
+//! The DPLL(T) driver and public solving API.
+//!
+//! [`Solver::check_sat`] runs the full pipeline — quantifier elimination,
+//! grounding, CNF encoding, CDCL search with the linear-integer-arithmetic
+//! theory — and [`Solver::check_valid`] decides validity by refuting the
+//! negation. Every "weakening" preprocessing step is tracked so that the
+//! solver never claims `Sat`/`Invalid` from an under-constrained
+//! approximation: such outcomes are reported as [`SmtResult::Unknown`].
+
+use crate::ast::BTerm;
+use crate::cnf::CnfBuilder;
+use crate::ground::groundify;
+use crate::linear::{BoundKind, IneqAtom, LinForm, VarId};
+use crate::preprocess::{eliminate_quantifiers, FreshNames};
+use crate::rational::Rat;
+use crate::sat::{BVar, Lit, SatOutcome, SatStats, Theory, TheoryVerdict};
+use crate::simplex::{IntCheck, Simplex};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An integer model: values for the named integer variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<String, i64>,
+}
+
+impl Model {
+    /// The value of `name`, if assigned.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model assigns no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, i64)> for Model {
+    fn from_iter<I: IntoIterator<Item = (String, i64)>>(iter: I) -> Self {
+        Model {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmtResult {
+    /// Satisfiable, with an integer model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Could not decide (reason attached).
+    Unknown(String),
+}
+
+/// Result of a validity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Validity {
+    /// The formula holds in every integer interpretation.
+    Valid,
+    /// A counterexample was found.
+    Invalid(Model),
+    /// Could not decide (reason attached).
+    Unknown(String),
+}
+
+impl Validity {
+    /// Whether the verdict is [`Validity::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+}
+
+/// Cumulative statistics across checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// SAT-engine statistics.
+    pub sat: SatStats,
+    /// Simplex pivot operations.
+    pub pivots: u64,
+    /// Branch-and-bound nodes.
+    pub branch_nodes: u64,
+    /// Distinct theory atoms in the last check.
+    pub atoms: u64,
+    /// Number of `check_sat`/`check_valid` calls.
+    pub queries: u64,
+}
+
+/// The SMT solver facade.
+///
+/// # Examples
+///
+/// ```
+/// use relaxed_smt::{Solver, ast::ITerm};
+/// let mut solver = Solver::new();
+/// // x + 1 ≤ y ∧ y ≤ x is unsatisfiable over ℤ.
+/// let phi = ITerm::var("x").add(ITerm::Const(1)).le(ITerm::var("y"))
+///     .and(ITerm::var("y").le(ITerm::var("x")));
+/// assert_eq!(solver.check_sat(&phi), relaxed_smt::SmtResult::Unsat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solver {
+    /// Conflict budget for the CDCL engine.
+    pub max_conflicts: u64,
+    /// Node budget for branch-and-bound integrality search (per theory
+    /// check).
+    pub branch_budget: u64,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            max_conflicts: 200_000,
+            branch_budget: 20_000,
+            stats: SolverStats::default(),
+        }
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default budgets.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Decides satisfiability of `b` over the integers.
+    pub fn check_sat(&mut self, b: &BTerm) -> SmtResult {
+        self.stats.queries += 1;
+        let mut fresh = FreshNames::new();
+        let qf = eliminate_quantifiers(b, &mut fresh);
+        let grounding = groundify(&qf.formula, &mut fresh);
+        let incomplete = qf.incomplete || grounding.incomplete;
+        let full = grounding.formula.and(grounding.defs);
+
+        let mut cnf = CnfBuilder::new();
+        cnf.sat.max_conflicts = Some(self.max_conflicts);
+        let root = match cnf.encode(&full) {
+            Ok(l) => l,
+            Err(e) => return SmtResult::Unknown(e.to_string()),
+        };
+        cnf.assert_root(root);
+        self.stats.atoms = cnf.atoms.iter().flatten().count() as u64;
+
+        let mut theory = LiaTheory::new(&cnf.atoms, cnf.pool.len(), self.branch_budget);
+        let outcome = cnf.sat.solve_with(&mut theory);
+        self.stats.sat.decisions += cnf.sat.stats.decisions;
+        self.stats.sat.conflicts += cnf.sat.stats.conflicts;
+        self.stats.sat.propagations += cnf.sat.stats.propagations;
+        self.stats.sat.restarts += cnf.sat.stats.restarts;
+        self.stats.sat.theory_checks += cnf.sat.stats.theory_checks;
+        self.stats.pivots += theory.pivots;
+        self.stats.branch_nodes += theory.branch_nodes;
+
+        match outcome {
+            SatOutcome::Unsat => SmtResult::Unsat,
+            SatOutcome::Unknown => {
+                SmtResult::Unknown("search budget exhausted".to_string())
+            }
+            SatOutcome::Sat(_) => {
+                if incomplete {
+                    return SmtResult::Unknown(
+                        "satisfiable only under incomplete approximation".to_string(),
+                    );
+                }
+                let values = theory
+                    .last_model
+                    .unwrap_or_default()
+                    .into_iter()
+                    .collect::<Vec<i128>>();
+                let model = cnf
+                    .pool
+                    .iter()
+                    .map(|(id, name)| {
+                        let v = values.get(id as usize).copied().unwrap_or(0);
+                        (name.to_string(), i64::try_from(v).unwrap_or(0))
+                    })
+                    .collect();
+                SmtResult::Sat(model)
+            }
+        }
+    }
+
+    /// Decides validity of `b` over the integers (refutation of `¬b`).
+    pub fn check_valid(&mut self, b: &BTerm) -> Validity {
+        match self.check_sat(&b.clone().not()) {
+            SmtResult::Unsat => Validity::Valid,
+            SmtResult::Sat(model) => Validity::Invalid(model),
+            SmtResult::Unknown(reason) => Validity::Unknown(reason),
+        }
+    }
+}
+
+/// The linear-integer-arithmetic theory hooked into CDCL.
+///
+/// Each final check rebuilds a small simplex instance from the asserted
+/// atoms: with the problem sizes produced by the VC generator this is
+/// cheaper and far simpler than incremental backtracking across the SAT
+/// trail.
+struct LiaTheory<'a> {
+    atoms: &'a [Option<IneqAtom>],
+    num_int_vars: usize,
+    branch_budget: u64,
+    last_model: Option<Vec<i128>>,
+    pivots: u64,
+    branch_nodes: u64,
+}
+
+impl<'a> LiaTheory<'a> {
+    fn new(atoms: &'a [Option<IneqAtom>], num_int_vars: usize, branch_budget: u64) -> Self {
+        LiaTheory {
+            atoms,
+            num_int_vars,
+            branch_budget,
+            last_model: None,
+            pivots: 0,
+            branch_nodes: 0,
+        }
+    }
+}
+
+impl Theory for LiaTheory<'_> {
+    fn final_check(&mut self, value: &dyn Fn(BVar) -> bool) -> TheoryVerdict {
+        let mut spx = Simplex::new();
+        for _ in 0..self.num_int_vars {
+            spx.new_var();
+        }
+        let mut slack_cache: HashMap<LinForm, VarId> = HashMap::new();
+        let mut tag_lits: Vec<Lit> = Vec::new();
+        let mut all_lits: Vec<Lit> = Vec::new();
+
+        let mut conflict: Option<crate::simplex::Conflict> = None;
+        for (v, atom) in self.atoms.iter().enumerate() {
+            let Some(atom) = atom else { continue };
+            let bvar = v as BVar;
+            let positive = value(bvar);
+            let asserted = if positive {
+                atom.clone()
+            } else {
+                atom.negated()
+            };
+            let lit = Lit::new(bvar, positive);
+            all_lits.push(lit);
+            // Slack variable for the linear form (single variables with
+            // coefficient 1 map directly).
+            let slack = if asserted.form.len() == 1
+                && asserted.form.iter().next().map(|(_, c)| c) == Some(1)
+            {
+                asserted.form.iter().next().expect("len checked").0
+            } else {
+                *slack_cache
+                    .entry(asserted.form.clone())
+                    .or_insert_with(|| spx.def_var(&asserted.form))
+            };
+            let tag = tag_lits.len() as u32;
+            tag_lits.push(lit);
+            let r = match asserted.kind {
+                BoundKind::Upper => spx.assert_upper(slack, Rat::int(asserted.bound), Some(tag)),
+                BoundKind::Lower => spx.assert_lower(slack, Rat::int(asserted.bound), Some(tag)),
+            };
+            if let Err(c) = r {
+                conflict = Some(c);
+                break;
+            }
+        }
+        let result = match conflict {
+            Some(c) => IntCheck::Infeasible(c),
+            None => {
+                let mut budget = self.branch_budget;
+                spx.check_int(&mut budget)
+            }
+        };
+        self.pivots += spx.pivots;
+        self.branch_nodes += spx.branch_nodes;
+        match result {
+            IntCheck::Feasible(values) => {
+                self.last_model = Some(values.into_iter().take(self.num_int_vars).collect());
+                TheoryVerdict::Consistent
+            }
+            IntCheck::Unknown => TheoryVerdict::Unknown,
+            IntCheck::Infeasible(c) => {
+                let clause: Vec<Lit> = if c.tags.is_empty() {
+                    // Fall back to the full assignment as the explanation.
+                    all_lits.iter().map(|l| l.negated()).collect()
+                } else {
+                    c.tags
+                        .iter()
+                        .map(|&t| tag_lits[t as usize].negated())
+                        .collect()
+                };
+                TheoryVerdict::Conflict(clause)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ITerm, Rel};
+
+    fn x() -> ITerm {
+        ITerm::var("x")
+    }
+    fn y() -> ITerm {
+        ITerm::var("y")
+    }
+
+    fn solver() -> Solver {
+        Solver::new()
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let phi = x().ge(ITerm::Const(3)).and(x().le(ITerm::Const(5)));
+        match solver().check_sat(&phi) {
+            SmtResult::Sat(m) => {
+                let v = m.get("x").unwrap();
+                assert!((3..=5).contains(&v));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let phi = x().ge(ITerm::Const(3)).and(x().le(ITerm::Const(2)));
+        assert_eq!(solver().check_sat(&phi), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn integer_cut_unsat() {
+        // 2x == 1 over ℤ.
+        let phi = ITerm::Const(2).mul(x()).eq_term(ITerm::Const(1));
+        assert_eq!(solver().check_sat(&phi), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_picks_feasible_branch() {
+        // (x ≤ 0 ∨ x ≥ 10) ∧ x ≥ 5 → x ≥ 10.
+        let phi = x()
+            .le(ITerm::Const(0))
+            .or(x().ge(ITerm::Const(10)))
+            .and(x().ge(ITerm::Const(5)));
+        match solver().check_sat(&phi) {
+            SmtResult::Sat(m) => assert!(m.get("x").unwrap() >= 10),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_transitivity() {
+        // x ≤ y ∧ y ≤ z ⇒ x ≤ z
+        let phi = x()
+            .le(y())
+            .and(y().le(ITerm::var("z")))
+            .implies(x().le(ITerm::var("z")));
+        assert_eq!(solver().check_valid(&phi), Validity::Valid);
+    }
+
+    #[test]
+    fn invalid_with_counterexample() {
+        // x ≤ y ⇒ x == y is invalid.
+        let phi = x().le(y()).implies(x().eq_term(y()));
+        match solver().check_valid(&phi) {
+            Validity::Invalid(m) => {
+                let vx = m.get("x").unwrap();
+                let vy = m.get("y").unwrap();
+                assert!(vx <= vy && vx != vy);
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantified_validity_via_elimination() {
+        // ∀x. x ≥ y ⇒ x + 1 > y
+        let phi = x()
+            .ge(y())
+            .implies(x().add(ITerm::Const(1)).rel(Rel::Gt, y()))
+            .forall("x");
+        assert_eq!(solver().check_valid(&phi), Validity::Valid);
+    }
+
+    #[test]
+    fn exists_witness_validity() {
+        // ∃x. x ≥ y — valid over ℤ (unbounded).
+        let phi = x().ge(y()).exists("x");
+        assert_eq!(solver().check_valid(&phi), Validity::Valid);
+    }
+
+    #[test]
+    fn havoc_style_vc_is_valid() {
+        // (∃v. lo ≤ v ∧ v ≤ hi) ∧ (∀v. lo ≤ v ∧ v ≤ hi ⇒ v ≥ lo) — the shape
+        // the WP calculus emits for `havoc (v) st (lo ≤ v ≤ hi); assert v ≥ lo`.
+        let v = ITerm::var("v");
+        let lo = ITerm::var("lo");
+        let hi = ITerm::var("hi");
+        let pred = lo.clone().le(v.clone()).and(v.clone().le(hi.clone()));
+        let vc = pred
+            .clone()
+            .implies(v.clone().ge(lo.clone()))
+            .forall("v");
+        // Valid regardless of satisfiability of the range.
+        assert_eq!(solver().check_valid(&vc), Validity::Valid);
+    }
+
+    #[test]
+    fn div_axioms_work() {
+        // x == 7 ⇒ x / 2 == 3
+        let q = ITerm::Div(Box::new(x()), Box::new(ITerm::Const(2)));
+        let phi = x()
+            .eq_term(ITerm::Const(7))
+            .implies(q.eq_term(ITerm::Const(3)));
+        assert_eq!(solver().check_valid(&phi), Validity::Valid);
+        // And for negative operands (truncation): x == -7 ⇒ x / 2 == -3.
+        let q2 = ITerm::Div(Box::new(x()), Box::new(ITerm::Const(2)));
+        let phi2 = x()
+            .eq_term(ITerm::Const(-7))
+            .implies(q2.eq_term(ITerm::Const(-3)));
+        assert_eq!(solver().check_valid(&phi2), Validity::Valid);
+    }
+
+    #[test]
+    fn select_congruence_validity() {
+        // i == j ⇒ a[i] == a[j]
+        let ai = ITerm::Select("a".into(), Box::new(ITerm::var("i")));
+        let aj = ITerm::Select("a".into(), Box::new(ITerm::var("j")));
+        let phi = ITerm::var("i")
+            .eq_term(ITerm::var("j"))
+            .implies(ai.eq_term(aj));
+        assert_eq!(solver().check_valid(&phi), Validity::Valid);
+    }
+
+    #[test]
+    fn select_without_equal_indices_is_not_valid() {
+        // a[i] == a[j] without i == j is invalid.
+        let ai = ITerm::Select("a".into(), Box::new(ITerm::var("i")));
+        let aj = ITerm::Select("a".into(), Box::new(ITerm::var("j")));
+        let phi = ai.eq_term(aj);
+        assert!(matches!(solver().check_valid(&phi), Validity::Invalid(_)));
+    }
+
+    #[test]
+    fn nonlinear_sat_is_unknown_not_wrong() {
+        // x*y == 6 is satisfiable, but multiplication is uninterpreted: the
+        // solver must answer Unknown rather than claim a spurious model.
+        let phi = x().mul(y()).eq_term(ITerm::Const(6));
+        match solver().check_sat(&phi) {
+            SmtResult::Unknown(_) => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_unsat_still_sound() {
+        // x*y ≤ 5 ∧ x*y ≥ 7 is UNSAT even with uninterpreted products
+        // (same product term on both sides).
+        let phi = x()
+            .mul(y())
+            .le(ITerm::Const(5))
+            .and(x().mul(y()).ge(ITerm::Const(7)));
+        assert_eq!(solver().check_sat(&phi), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn pure_boolean_formula() {
+        // true ∧ ¬false
+        let phi = BTerm::True.and(BTerm::Not(Box::new(BTerm::False)));
+        assert!(matches!(solver().check_sat(&phi), SmtResult::Sat(_)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver();
+        let phi = x().ge(ITerm::Const(3)).and(x().le(ITerm::Const(5)));
+        let _ = s.check_sat(&phi);
+        assert_eq!(s.stats().queries, 1);
+        assert!(s.stats().sat.theory_checks >= 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Differential tests: the DPLL(T) pipeline against brute-force
+//! enumeration on random quantifier-free linear formulas, and the CDCL
+//! core against truth-table enumeration on random CNFs.
+//!
+//! These are the soundness anchors for the whole verification stack: if
+//! the solver ever disagrees with exhaustive enumeration on a bounded
+//! domain, everything built on top of it is suspect.
+
+use proptest::prelude::*;
+use relaxed_smt::ast::{BTerm, ITerm, Rel};
+use relaxed_smt::sat::{Lit, SatOutcome, SatSolver};
+use relaxed_smt::{SmtResult, Solver};
+
+const NAMES: &[&str] = &["x", "y", "z"];
+const DOMAIN: std::ops::RangeInclusive<i64> = -4..=4;
+
+fn arb_rel() -> impl Strategy<Value = Rel> {
+    prop_oneof![
+        Just(Rel::Lt),
+        Just(Rel::Le),
+        Just(Rel::Gt),
+        Just(Rel::Ge),
+        Just(Rel::Eq),
+        Just(Rel::Ne),
+    ]
+}
+
+/// Linear terms: c0 + c1*x + c2*y + c3*z with small coefficients.
+fn arb_linear_term() -> impl Strategy<Value = ITerm> {
+    (
+        -4i64..=4,
+        prop::collection::vec((-3i64..=3, 0usize..NAMES.len()), 0..3),
+    )
+        .prop_map(|(k, terms)| {
+            let mut acc = ITerm::Const(k);
+            for (c, vi) in terms {
+                acc = acc.add(ITerm::Const(c).mul(ITerm::var(NAMES[vi])));
+            }
+            acc
+        })
+}
+
+fn arb_qf_formula() -> impl Strategy<Value = BTerm> {
+    let atom = (arb_rel(), arb_linear_term(), arb_linear_term())
+        .prop_map(|(rel, lhs, rhs)| BTerm::Atom(rel, lhs, rhs));
+    atom.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BTerm::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BTerm::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BTerm::Implies(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| BTerm::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn eval_term(t: &ITerm, env: &dyn Fn(&str) -> i64) -> i64 {
+    match t {
+        ITerm::Const(n) => *n,
+        ITerm::Var(v) => env(v),
+        ITerm::Add(a, b) => eval_term(a, env) + eval_term(b, env),
+        ITerm::Sub(a, b) => eval_term(a, env) - eval_term(b, env),
+        ITerm::Neg(a) => -eval_term(a, env),
+        ITerm::Mul(a, b) => eval_term(a, env) * eval_term(b, env),
+        other => panic!("unexpected term in oracle: {other:?}"),
+    }
+}
+
+fn eval_formula(b: &BTerm, env: &dyn Fn(&str) -> i64) -> bool {
+    match b {
+        BTerm::True => true,
+        BTerm::False => false,
+        BTerm::Atom(rel, lhs, rhs) => {
+            let l = eval_term(lhs, env);
+            let r = eval_term(rhs, env);
+            match rel {
+                Rel::Lt => l < r,
+                Rel::Le => l <= r,
+                Rel::Gt => l > r,
+                Rel::Ge => l >= r,
+                Rel::Eq => l == r,
+                Rel::Ne => l != r,
+            }
+        }
+        BTerm::And(a, c) => eval_formula(a, env) && eval_formula(c, env),
+        BTerm::Or(a, c) => eval_formula(a, env) || eval_formula(c, env),
+        BTerm::Implies(a, c) => !eval_formula(a, env) || eval_formula(c, env),
+        BTerm::Not(a) => !eval_formula(a, env),
+        other => panic!("unexpected formula in oracle: {other:?}"),
+    }
+}
+
+/// Brute-force satisfiability over the bounded domain.
+fn brute_force_sat(b: &BTerm) -> bool {
+    for x in DOMAIN {
+        for y in DOMAIN {
+            for z in DOMAIN {
+                let env = move |name: &str| match name {
+                    "x" => x,
+                    "y" => y,
+                    "z" => z,
+                    other => panic!("unknown variable {other}"),
+                };
+                if eval_formula(b, &env) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Constrains all three variables into the brute-force domain, so the
+/// solver and the oracle quantify over the same space.
+fn boxed(b: &BTerm) -> BTerm {
+    let mut out = b.clone();
+    for name in NAMES {
+        out = out
+            .and(ITerm::var(*name).ge(ITerm::Const(*DOMAIN.start())))
+            .and(ITerm::var(*name).le(ITerm::Const(*DOMAIN.end())));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The solver and brute-force enumeration agree on bounded problems.
+    #[test]
+    fn solver_matches_brute_force(b in arb_qf_formula()) {
+        let problem = boxed(&b);
+        let expected = brute_force_sat(&b);
+        let mut solver = Solver::new();
+        match solver.check_sat(&problem) {
+            SmtResult::Sat(model) => {
+                prop_assert!(expected, "solver says sat, brute force says unsat: {b:?}");
+                // The model must actually satisfy the formula.
+                let env = |name: &str| model.get(name).unwrap_or(0);
+                prop_assert!(
+                    eval_formula(&b, &env),
+                    "model {model} does not satisfy {b:?}"
+                );
+            }
+            SmtResult::Unsat => {
+                prop_assert!(!expected, "solver says unsat, brute force found a model: {b:?}");
+            }
+            SmtResult::Unknown(reason) => {
+                prop_assert!(false, "solver returned unknown on a linear problem: {reason}");
+            }
+        }
+    }
+
+    /// Validity of `b ∨ ¬b` style combinations: `check_valid(φ ∨ ¬φ)` must
+    /// always be valid and `check_valid(φ ∧ ¬φ)` never.
+    #[test]
+    fn excluded_middle(b in arb_qf_formula()) {
+        let mut solver = Solver::new();
+        let lem = b.clone().or(BTerm::Not(Box::new(b.clone())));
+        prop_assert_eq!(solver.check_valid(&lem), relaxed_smt::Validity::Valid);
+        let contradiction = b.clone().and(BTerm::Not(Box::new(b)));
+        prop_assert!(!solver.check_valid(&contradiction).is_valid());
+    }
+}
+
+/// Random 3-CNF against truth-table enumeration.
+#[test]
+fn cdcl_matches_truth_table_on_random_cnfs() {
+    use rand_pcg::*;
+    // Simple deterministic linear congruential generator (avoid external
+    // rand dependency management in this test).
+    mod rand_pcg {
+        pub struct Lcg(pub u64);
+        impl Lcg {
+            pub fn next_u32(&mut self, bound: u32) -> u32 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((self.0 >> 33) as u32) % bound
+            }
+        }
+    }
+    let mut rng = Lcg(0xDEADBEEF);
+    for round in 0..200 {
+        let nvars = 3 + (round % 5) as u32; // 3..=7 variables
+        let nclauses = 2 + rng.next_u32(4 * nvars) as usize;
+        let mut clauses: Vec<Vec<(u32, bool)>> = Vec::new();
+        for _ in 0..nclauses {
+            let len = 1 + rng.next_u32(3) as usize;
+            let mut clause = Vec::new();
+            for _ in 0..len {
+                clause.push((rng.next_u32(nvars), rng.next_u32(2) == 0));
+            }
+            clauses.push(clause);
+        }
+        // Truth table.
+        let mut expected = false;
+        'outer: for bits in 0..(1u32 << nvars) {
+            for clause in &clauses {
+                let sat = clause
+                    .iter()
+                    .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            expected = true;
+            break;
+        }
+        // CDCL.
+        let mut solver = SatSolver::new();
+        for _ in 0..nvars {
+            solver.new_var();
+        }
+        let mut ok = true;
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| Lit::new(v, pos)).collect();
+            ok &= solver.add_clause(lits);
+        }
+        let outcome = if ok { solver.solve() } else { SatOutcome::Unsat };
+        match outcome {
+            SatOutcome::Sat(model) => {
+                assert!(expected, "round {round}: solver sat, table unsat");
+                for clause in &clauses {
+                    assert!(
+                        clause.iter().any(|&(v, pos)| model[v as usize] == pos),
+                        "round {round}: model does not satisfy clause"
+                    );
+                }
+            }
+            SatOutcome::Unsat => assert!(!expected, "round {round}: solver unsat, table sat"),
+            SatOutcome::Unknown => panic!("round {round}: unexpected unknown"),
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! # relaxed-transforms
+//!
+//! The relaxation-mechanism zoo of Carbin et al. (PLDI 2012), §1: every
+//! mechanism the paper cites as a producer of relaxed programs, implemented
+//! as a source-to-source transformation that inserts `relax` statements
+//! (and the bookkeeping they need) into an original program.
+//!
+//! | paper mechanism | function |
+//! |---|---|
+//! | dynamic knobs \[16\] | [`dynamic_knob`], [`knob_floor`] |
+//! | loop perforation \[21, 22, 35\] | [`perforate_loop`] |
+//! | approximate memory / data types \[18, 34\] | [`bounded_perturbation`] |
+//! | task skipping \[29, 30\] | [`task_skipping`] |
+//! | reduction sampling \[38\] | [`sampling_stride`] |
+//! | approximate memoization \[11\] | [`approximate_memoization`] |
+//! | synchronization elimination \[20, 32\] | [`synchronization_elimination`] |
+//!
+//! Each transformation is *semantics-extending*: the original execution
+//! remains one of the relaxed executions (the `relax` predicates are
+//! satisfied by the unmodified values), which is exactly the paper's
+//! requirement that the dynamic original semantics asserts relaxation
+//! predicates rather than ignoring them.
+
+#![warn(missing_docs)]
+
+use relaxed_lang::builder::{assign, relax, seq, v};
+use relaxed_lang::{BoolExpr, IntExpr, Stmt, Var};
+
+/// Saves `var` into `save_name` and relaxes it subject to `pred`.
+///
+/// The produced pattern is the paper's idiom
+/// `original_x = x; relax (x) st (P(original_x, x));`.
+pub fn save_and_relax(var: &str, save_name: &str, pred: BoolExpr) -> Stmt {
+    seq([assign(save_name, v(var)), relax([var], pred)])
+}
+
+/// Dynamic knobs (Hoffmann et al., ASPLOS 2011): the §5.1 Swish++
+/// relaxation. Below the floor the knob is pinned to its original value;
+/// above it, it may drop to any value at or above the floor.
+///
+/// Produces:
+/// `original_k = k; relax (k) st ((original_k <= floor && k == original_k)
+/// || (floor < original_k && floor <= k));`
+pub fn knob_floor(knob: &str, floor: i64) -> Stmt {
+    let saved = format!("original_{knob}");
+    let keep = v(&saved)
+        .le(IntExpr::from(floor))
+        .and(v(knob).eq_expr(v(&saved)));
+    let drop = IntExpr::from(floor)
+        .lt(v(&saved))
+        .and(IntExpr::from(floor).le(v(knob)));
+    save_and_relax(knob, &saved, keep.or(drop))
+}
+
+/// A dynamic knob restricted to an explicit set of settings (the knob may
+/// switch to any of them, or keep its original value).
+pub fn dynamic_knob(knob: &str, settings: &[i64]) -> Stmt {
+    let saved = format!("original_{knob}");
+    let mut pred = v(knob).eq_expr(v(&saved));
+    for &s in settings {
+        pred = pred.or(v(knob).eq_expr(IntExpr::from(s)));
+    }
+    save_and_relax(knob, &saved, pred)
+}
+
+/// Loop perforation (Misailovic et al.; Sidiroglou et al.): relaxes a
+/// loop's step variable so each iteration may advance by `1..=max_stride`
+/// instead of exactly 1. The caller's loop must advance by `step`.
+///
+/// Produces: `step = 1; relax (step) st (1 <= step && step <= max_stride);`
+pub fn perforate_step(step: &str, max_stride: i64) -> Stmt {
+    seq([
+        assign(step, IntExpr::from(1)),
+        relax(
+            [step],
+            IntExpr::from(1)
+                .le(v(step))
+                .and(v(step).le(IntExpr::from(max_stride))),
+        ),
+    ])
+}
+
+/// Rewrites `while (i < n) { body; i = i + 1; }` into its perforated
+/// form, advancing by a relaxed stride chosen once before the loop.
+///
+/// # Panics
+///
+/// Panics when `loop_stmt` is not a `while` whose body ends with
+/// `i = i + 1` for the loop variable `i` of a `i < n` condition.
+pub fn perforate_loop(loop_stmt: &Stmt, max_stride: i64) -> Stmt {
+    let Stmt::While(w) = loop_stmt else {
+        panic!("perforate_loop expects a while statement");
+    };
+    let BoolExpr::Cmp(relaxed_lang::CmpOp::Lt, IntExpr::Var(i), _) = &w.cond else {
+        panic!("perforate_loop expects an `i < n` condition");
+    };
+    let step_name = format!("{}_step", i.name());
+    let mut body_stmts = match w.body.as_ref().clone() {
+        Stmt::Seq(ss) => ss,
+        other => vec![other],
+    };
+    let last = body_stmts.pop().expect("non-empty loop body");
+    match &last {
+        Stmt::Assign(x, e) if x == i && *e == v(i.name()) + IntExpr::from(1) => {}
+        other => panic!("perforate_loop expects a trailing `i = i + 1`, found {other}"),
+    }
+    body_stmts.push(assign(i.name(), v(i.name()) + v(&step_name)));
+    let mut new_loop = w.clone();
+    new_loop.body = Box::new(Stmt::seq(body_stmts));
+    seq([
+        perforate_step(&step_name, max_stride),
+        Stmt::While(new_loop),
+    ])
+}
+
+/// Approximate memory / approximate data types (Liu et al.; Sampson et
+/// al.): the §5.3 bounded-error read. Produces the paper's pattern
+/// `original_x = x; relax (x) st (original_x - bound <= x && x <= original_x + bound);`
+pub fn bounded_perturbation(var: &str, bound: &str) -> Stmt {
+    let saved = format!("original_{var}");
+    let pred = (v(&saved) - v(bound))
+        .le(v(var))
+        .and(v(var).le(v(&saved) + v(bound)));
+    save_and_relax(var, &saved, pred)
+}
+
+/// Task skipping (Rinard, ICS 2006 / OOPSLA 2007): a guard variable that
+/// is 1 in the original execution but may relax to 0, letting the relaxed
+/// execution skip the guarded task.
+///
+/// Produces: `do_name = 1; relax (do_name) st (do_name == 0 || do_name == 1);
+/// if (do_name == 1) { task } else { skip }`.
+pub fn task_skipping(do_name: &str, task: Stmt) -> Stmt {
+    seq([
+        assign(do_name, IntExpr::from(1)),
+        relax(
+            [do_name],
+            v(do_name)
+                .eq_expr(IntExpr::from(0))
+                .or(v(do_name).eq_expr(IntExpr::from(1))),
+        ),
+        Stmt::if_then_else(v(do_name).eq_expr(IntExpr::from(1)), task, Stmt::Skip),
+    ])
+}
+
+/// Reduction sampling (Zhu et al., POPL 2012): like perforation but framed
+/// for reductions — a stride for sampling every `k`-th input of a
+/// reduction loop.
+pub fn sampling_stride(stride: &str, max_stride: i64) -> Stmt {
+    perforate_step(stride, max_stride)
+}
+
+/// Approximate function memoization (Chaudhuri et al., FSE 2011): the
+/// result variable may be replaced by a previously computed value within
+/// `tolerance` of the exact result.
+///
+/// Produces:
+/// `exact_out = out; relax (out) st (exact_out - tol <= out && out <= exact_out + tol);`
+pub fn approximate_memoization(out: &str, tolerance: &str) -> Stmt {
+    let saved = format!("exact_{out}");
+    let pred = (v(&saved) - v(tolerance))
+        .le(v(out))
+        .and(v(out).le(v(&saved) + v(tolerance)));
+    save_and_relax(out, &saved, pred)
+}
+
+/// Synchronization elimination (Misailovic et al.; Rinard): the §5.2 Water
+/// model — racing updates leave the shared array with arbitrary contents,
+/// modelled as an unconstrained relaxation of the whole array.
+pub fn synchronization_elimination(shared_array: &str) -> Stmt {
+    relax([shared_array], BoolExpr::truth())
+}
+
+/// Inserts a statement before the `index`-th statement of a sequence
+/// (convenience for applying transformations at a program point).
+///
+/// # Panics
+///
+/// Panics when `index` is out of range.
+pub fn insert_before(program: &Stmt, index: usize, inserted: Stmt) -> Stmt {
+    let mut stmts = match program.clone() {
+        Stmt::Seq(ss) => ss,
+        other => vec![other],
+    };
+    assert!(index <= stmts.len(), "insertion index out of range");
+    stmts.insert(index, inserted);
+    Stmt::seq(stmts)
+}
+
+/// The set of variables a transformation relaxes in `s` (diagnostics).
+pub fn relaxed_targets(s: &Stmt) -> Vec<Var> {
+    fn go(s: &Stmt, out: &mut Vec<Var>) {
+        match s {
+            Stmt::Relax(targets, _) => out.extend(targets.iter().cloned()),
+            Stmt::If(i) => {
+                go(&i.then_branch, out);
+                go(&i.else_branch, out);
+            }
+            Stmt::While(w) => go(&w.body, out),
+            Stmt::Seq(ss) => ss.iter().for_each(|s| go(s, out)),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    go(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_interp::oracle::{ExtremalOracle, IdentityOracle};
+    use relaxed_interp::{run_original, run_relaxed};
+    use relaxed_lang::{parse_stmt, State};
+
+    const FUEL: u64 = 100_000;
+
+    /// Every transformation must keep the original execution legal: the
+    /// relaxed program under the original semantics behaves like the
+    /// original program.
+    fn original_run_unchanged(relaxed_prog: &Stmt, sigma: State, check_var: &str) -> i64 {
+        let out = run_original(relaxed_prog, sigma, &mut IdentityOracle, FUEL);
+        out.state()
+            .unwrap_or_else(|| panic!("original run failed: {out}"))
+            .get_int(&Var::new(check_var))
+            .expect("check var")
+    }
+
+    #[test]
+    fn knob_floor_matches_paper_pattern() {
+        let s = knob_floor("max_r", 10);
+        let expected = parse_stmt(
+            "original_max_r = max_r;
+             relax (max_r) st ((original_max_r <= 10 && max_r == original_max_r)
+                || (10 < original_max_r && 10 <= max_r));",
+        )
+        .unwrap();
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn knob_original_value_is_kept_in_original_semantics() {
+        let s = knob_floor("k", 10);
+        let x = original_run_unchanged(&s, State::from_ints([("k", 25)]), "k");
+        assert_eq!(x, 25);
+    }
+
+    #[test]
+    fn knob_can_drop_in_relaxed_semantics() {
+        let s = knob_floor("k", 10);
+        let mut adversary = ExtremalOracle::minimizing();
+        let out = run_relaxed(&s, State::from_ints([("k", 25)]), &mut adversary, FUEL);
+        assert_eq!(out.state().unwrap().get_int(&Var::new("k")), Some(10));
+    }
+
+    #[test]
+    fn perforated_loop_original_semantics_is_exact() {
+        let original = parse_stmt(
+            "i = 0; s = 0; while (i < 10) { s = s + i; i = i + 1; }",
+        )
+        .unwrap();
+        let perforated = perforate_loop(
+            &parse_stmt("while (i < 10) { s = s + i; i = i + 1; }").unwrap(),
+            4,
+        );
+        let prog = Stmt::seq([parse_stmt("i = 0; s = 0;").unwrap(), perforated]);
+        let exact = original_run_unchanged(&original, State::new(), "s");
+        let relaxed_prog_original_run = original_run_unchanged(&prog, State::new(), "s");
+        assert_eq!(exact, relaxed_prog_original_run);
+    }
+
+    #[test]
+    fn perforated_loop_skips_under_adversary() {
+        let perforated = perforate_loop(
+            &parse_stmt("while (i < 10) { s = s + 1; i = i + 1; }").unwrap(),
+            4,
+        );
+        let prog = Stmt::seq([parse_stmt("i = 0; s = 0;").unwrap(), perforated]);
+        let mut adversary = ExtremalOracle::maximizing();
+        let out = run_relaxed(&prog, State::new(), &mut adversary, FUEL);
+        let s = out.state().unwrap().get_int(&Var::new("s")).unwrap();
+        // Stride 4 over 10 iterations: ⌈10/4⌉ = 3 iterations executed.
+        assert_eq!(s, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a while")]
+    fn perforate_rejects_non_loops() {
+        let _ = perforate_loop(&Stmt::Skip, 2);
+    }
+
+    #[test]
+    fn bounded_perturbation_pattern() {
+        let s = bounded_perturbation("a", "e");
+        let expected = parse_stmt(
+            "original_a = a;
+             relax (a) st (original_a - e <= a && a <= original_a + e);",
+        )
+        .unwrap();
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn task_skipping_executes_in_original_and_may_skip_in_relaxed() {
+        let task = parse_stmt("done = done + 1;").unwrap();
+        let s = task_skipping("do_task", task);
+        let done = original_run_unchanged(&s, State::from_ints([("done", 0)]), "done");
+        assert_eq!(done, 1, "original semantics always runs the task");
+        let mut adversary = ExtremalOracle::minimizing();
+        let out = run_relaxed(&s, State::from_ints([("done", 0)]), &mut adversary, FUEL);
+        assert_eq!(
+            out.state().unwrap().get_int(&Var::new("done")),
+            Some(0),
+            "the adversary skips the task"
+        );
+    }
+
+    #[test]
+    fn sync_elimination_is_unconstrained_array_relax() {
+        let s = synchronization_elimination("RS");
+        assert_eq!(s, parse_stmt("relax (RS) st (true);").unwrap());
+    }
+
+    #[test]
+    fn memoization_bounds_error() {
+        let s = approximate_memoization("out", "tol");
+        let mut adversary = ExtremalOracle::maximizing();
+        let out = run_relaxed(
+            &s,
+            State::from_ints([("out", 100), ("tol", 3)]),
+            &mut adversary,
+            FUEL,
+        );
+        assert_eq!(out.state().unwrap().get_int(&Var::new("out")), Some(103));
+    }
+
+    #[test]
+    fn insert_before_splices() {
+        let p = parse_stmt("a = 1; b = 2;").unwrap();
+        let spliced = insert_before(&p, 1, parse_stmt("m = 0;").unwrap());
+        assert_eq!(spliced, parse_stmt("a = 1; m = 0; b = 2;").unwrap());
+    }
+
+    #[test]
+    fn relaxed_targets_collects_nested() {
+        let s = Stmt::seq([
+            knob_floor("k", 10),
+            Stmt::while_loop(
+                relaxed_lang::builder::v("i").lt(relaxed_lang::builder::c(3)),
+                bounded_perturbation("x", "e"),
+            ),
+        ]);
+        let names: Vec<String> = relaxed_targets(&s)
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["k", "x"]);
+    }
+}

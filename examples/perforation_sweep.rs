@@ -1,0 +1,53 @@
+//! E5 — the performance-vs-accuracy trade-off space that motivates
+//! relaxed programming (paper §1).
+//!
+//! Perforates a reduction loop at strides 1..=8 and measures, under the
+//! relaxed semantics, how much work is skipped versus how much output
+//! accuracy is lost.
+//!
+//! Run with: `cargo run --example perforation_sweep`
+
+use relaxed_programs::interp::oracle::ExtremalOracle;
+use relaxed_programs::interp::{run_original, run_relaxed, IdentityOracle};
+use relaxed_programs::lang::{parse_stmt, State, Stmt, Var};
+use relaxed_programs::transforms::perforate_loop;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const N: i64 = 240;
+    let header = parse_stmt(&format!("i = 0; s = 0; n = {N};"))?;
+    let work = parse_stmt("while (i < n) { s = s + i; iters = iters + 1; i = i + 1; }")?;
+    let exact = {
+        let program = Stmt::seq([header.clone(), work.clone()]);
+        let out = run_original(
+            &program,
+            State::from_ints([("iters", 0)]),
+            &mut IdentityOracle,
+            1_000_000,
+        );
+        out.state().unwrap().get_int(&Var::new("s")).unwrap()
+    };
+    println!("reduction over {N} elements; exact result {exact}\n");
+    println!("{:>7} {:>9} {:>10} {:>10} {:>9}", "stride", "iters", "result", "error", "speedup");
+    for stride in 1..=8i64 {
+        let perforated = perforate_loop(&work, stride);
+        let program = Stmt::seq([header.clone(), perforated]);
+        // The adversary maximizes the stride — the most aggressive point
+        // of the trade-off space this relaxation exposes.
+        let mut oracle = ExtremalOracle::maximizing();
+        let out = run_relaxed(
+            &program,
+            State::from_ints([("iters", 0)]),
+            &mut oracle,
+            1_000_000,
+        );
+        let state = out.state().unwrap();
+        let s = state.get_int(&Var::new("s")).unwrap();
+        let iters = state.get_int(&Var::new("iters")).unwrap();
+        let error = (exact - s).abs() as f64 / exact as f64 * 100.0;
+        let speedup = N as f64 / iters as f64;
+        println!("{stride:>7} {iters:>9} {s:>10} {error:>9.1}% {speedup:>8.2}x");
+    }
+    println!("\nwork falls ~linearly with stride while error grows — the");
+    println!("trade-off space §1 of the paper describes.");
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! The three verified case studies of the paper's §5, as annotated
+//! programs plus their acceptability specifications.
+//!
+//! Each function returns the relaxed program (with the invariants and
+//! contracts that play the role of the paper's Coq proof scripts) and the
+//! [`Spec`] under which [`relaxed_core::verify_acceptability`] proves its
+//! acceptability property. Mutated variants (`*_broken`) are provided for
+//! negative testing: they must fail verification.
+
+use relaxed_core::verify::Spec;
+use relaxed_lang::{parse_formula, parse_program, parse_rel_formula, Formula, Program, RelFormula};
+
+/// §5.1 — Swish++ **dynamic knobs**.
+///
+/// Under heavy load the search engine may reduce the number of results it
+/// formats. The `relax` lets the `max_r` knob drop, but never below 10
+/// when the original value exceeded 10. The loop that formats results then
+/// runs for a *different number of iterations* in the two executions — the
+/// paper's showcase for the **diverge** rule.
+///
+/// Acceptability (the paper's relate statement): the relaxed execution
+/// presents either exactly the original results (when fewer than 10) or at
+/// least the top 10.
+pub fn swish() -> (Program, Spec) {
+    let program = parse_program(
+        "original_max_r = max_r;
+         relax (max_r) st ((original_max_r <= 10 && max_r == original_max_r)
+                        || (10 < original_max_r && 10 <= max_r));
+         num_r = 0;
+         while (num_r < max_r && num_r < N)
+           invariant (0 <= num_r && num_r <= max_r && num_r <= N)
+           diverge pre_o (num_r == 0 && max_r >= 0 && N >= 0)
+                   pre_r (num_r == 0 && max_r >= 0 && N >= 0)
+                   post_o (0 <= num_r && num_r <= max_r && num_r <= N
+                           && (num_r >= max_r || num_r >= N))
+                   post_r (0 <= num_r && num_r <= max_r && num_r <= N
+                           && (num_r >= max_r || num_r >= N))
+         {
+           num_r = num_r + 1;
+         }
+         relate presented : (num_r<o> < 10 && num_r<o> == num_r<r>)
+                         || (10 <= num_r<o> && 10 <= num_r<r>);",
+    )
+    .expect("swish program parses");
+    let spec = Spec {
+        pre: parse_formula("max_r >= 0 && N >= 0").expect("pre parses"),
+        post: Formula::True,
+        rel_pre: parse_rel_formula(
+            "max_r<o> == max_r<r> && N<o> == N<r> && num_r<o> == num_r<r>
+             && original_max_r<o> == original_max_r<r>
+             && max_r<o> >= 0 && N<o> >= 0",
+        )
+        .expect("rel_pre parses"),
+        rel_post: RelFormula::True,
+    };
+    (program, spec)
+}
+
+/// §5.1 with a broken relaxation: the knob may drop below 10, violating
+/// the relate statement. Verification must fail (in the relaxed stage).
+pub fn swish_broken() -> (Program, Spec) {
+    let (_, spec) = swish();
+    let program = parse_program(
+        "original_max_r = max_r;
+         relax (max_r) st ((original_max_r <= 10 && max_r == original_max_r)
+                        || (10 < original_max_r && 5 <= max_r));
+         num_r = 0;
+         while (num_r < max_r && num_r < N)
+           invariant (0 <= num_r && num_r <= max_r && num_r <= N)
+           diverge pre_o (num_r == 0 && max_r >= 0 && N >= 0)
+                   pre_r (num_r == 0 && max_r >= 0 && N >= 0)
+                   post_o (0 <= num_r && num_r <= max_r && num_r <= N
+                           && (num_r >= max_r || num_r >= N))
+                   post_r (0 <= num_r && num_r <= max_r && num_r <= N
+                           && (num_r >= max_r || num_r >= N))
+         {
+           num_r = num_r + 1;
+         }
+         relate presented : (num_r<o> < 10 && num_r<o> == num_r<r>)
+                         || (10 <= num_r<o> && 10 <= num_r<r>);",
+    )
+    .expect("broken swish program parses");
+    (program, spec)
+}
+
+/// §5.2 — Water **synchronization elimination** (statistical automatic
+/// parallelization).
+///
+/// Lock elision leaves the shared array `RS` with scheduler-dependent
+/// contents, modelled — exactly as in the paper — by `relax (RS) st
+/// (true)`. The developer's `assume (K < len_FF)` guards the update of
+/// `FF`; the proof shows the relaxation does not interfere with it
+/// (`K<o> == K<r>`, `len_FF<o> == len_FF<r>`), even though the branch on
+/// `RS[K]` *diverges*.
+pub fn water() -> (Program, Spec) {
+    let program = parse_program(
+        "relax (RS) st (true);
+         K = 0;
+         while (K < N)
+           invariant (0 <= K && len_FF == len(FF) && len_FF <= len(RS))
+           rinvariant (K<o> == K<r> && N<o> == N<r>
+                       && len_FF<o> == len_FF<r> && 0 <= K<o>
+                       && len_FF<o> == len(FF<o>) && len_FF<r> == len(FF<r>)
+                       && len_FF<o> <= len(RS<o>) && len_FF<r> <= len(RS<r>))
+         {
+           assume K < len_FF;
+           if (RS[K] < gCUT2)
+             diverge pre_o (0 <= K && K < len_FF && len_FF == len(FF) && len_FF <= len(RS))
+                     pre_r (0 <= K && K < len_FF && len_FF == len(FF) && len_FF <= len(RS))
+                     post_o (true) post_r (true)
+           {
+             assume K < len_FF;
+             FF[K] = RS[K] * 2;
+           } else {
+             skip;
+           }
+           K = K + 1;
+         }",
+    )
+    .expect("water program parses");
+    let spec = Spec {
+        pre: parse_formula("len_FF == len(FF) && len_FF <= len(RS)").expect("pre parses"),
+        post: Formula::True,
+        rel_pre: parse_rel_formula(
+            "K<o> == K<r> && N<o> == N<r> && len_FF<o> == len_FF<r>
+             && gCUT2<o> == gCUT2<r>
+             && len_FF<o> == len(FF<o>) && len_FF<r> == len(FF<r>)
+             && len_FF<o> <= len(RS<o>) && len_FF<r> <= len(RS<r>)",
+        )
+        .expect("rel_pre parses"),
+        rel_post: RelFormula::True,
+    };
+    (program, spec)
+}
+
+/// §5.2 with the noninterference bridge removed: `K` itself is relaxed,
+/// so the assumption can no longer be transferred. Verification must fail.
+pub fn water_broken() -> (Program, Spec) {
+    let (_, spec) = water();
+    let program = parse_program(
+        "relax (RS) st (true);
+         K = 0;
+         relax (K) st (K == 0 || K == 1);
+         while (K < N)
+           invariant (0 <= K && len_FF == len(FF) && len_FF <= len(RS))
+           rinvariant (K<o> == K<r> && N<o> == N<r>
+                       && len_FF<o> == len_FF<r> && 0 <= K<o>
+                       && len_FF<o> == len(FF<o>) && len_FF<r> == len(FF<r>)
+                       && len_FF<o> <= len(RS<o>) && len_FF<r> <= len(RS<r>))
+         {
+           assume K < len_FF;
+           if (RS[K] < gCUT2)
+             diverge pre_o (0 <= K && K < len_FF && len_FF == len(FF) && len_FF <= len(RS))
+                     pre_r (0 <= K && K < len_FF && len_FF == len(FF) && len_FF <= len(RS))
+                     post_o (true) post_r (true)
+           {
+             assume K < len_FF;
+             FF[K] = RS[K] * 2;
+           } else {
+             skip;
+           }
+           K = K + 1;
+         }",
+    )
+    .expect("broken water program parses");
+    (program, spec)
+}
+
+/// §5.3 — SciMark2 LU decomposition with **approximate memory**.
+///
+/// Reads from the matrix column may be perturbed by at most `e` (the
+/// error model of approximate DRAM). The pivot scan keeps the running
+/// maximum; the acceptability property is the *Lipschitz* bound
+/// `|max<o> − max<r>| ≤ e`, proved as a relational loop invariant across
+/// the *divergent* comparison branch (handled by the product rule).
+pub fn lu() -> (Program, Spec) {
+    let program = parse_program(
+        "i = 0;
+         max = col[0] - e;
+         while (i < N)
+           invariant (0 <= i && N <= len(col) && e >= 0)
+           rinvariant (i<o> == i<r> && 0 <= i<o> && N<o> == N<r> && e<o> == e<r> && e<o> >= 0
+                       && N<o> <= len(col<o>) && len(col<o>) == len(col<r>)
+                       && max<o> - max<r> <= e<o> && max<r> - max<o> <= e<o>
+                       && (forall k<o> . ((0 <= k<o> && k<o> < len(col<o>))
+                             ==> col<o>[k<o>] == col<r>[k<o>])))
+         {
+           a = col[i];
+           original_a = a;
+           relax (a) st (original_a - e <= a && a <= original_a + e);
+           if (a > max) { max = a; p = i; } else { skip; }
+           i = i + 1;
+         }
+         relate lipschitz : max<o> - max<r> <= e<o> && max<r> - max<o> <= e<o>;",
+    )
+    .expect("lu program parses");
+    let spec = Spec {
+        pre: parse_formula("e >= 0 && N <= len(col) && 0 < len(col)").expect("pre parses"),
+        post: Formula::True,
+        rel_pre: parse_rel_formula(
+            "i<o> == i<r> && N<o> == N<r> && e<o> == e<r> && e<o> >= 0
+             && N<o> <= len(col<o>) && len(col<o>) == len(col<r>) && 0 < len(col<o>)
+             && max<o> == max<r>
+             && (forall k<o> . ((0 <= k<o> && k<o> < len(col<o>))
+                   ==> col<o>[k<o>] == col<r>[k<o>]))",
+        )
+        .expect("rel_pre parses"),
+        rel_post: RelFormula::True,
+    };
+    (program, spec)
+}
+
+/// §5.3 with the error bound doubled in the relaxation but not in the
+/// relate statement: the Lipschitz property no longer holds and
+/// verification must fail.
+pub fn lu_broken() -> (Program, Spec) {
+    let (_, spec) = lu();
+    let program = parse_program(
+        "i = 0;
+         max = col[0] - e;
+         while (i < N)
+           invariant (0 <= i && N <= len(col) && e >= 0)
+           rinvariant (i<o> == i<r> && 0 <= i<o> && N<o> == N<r> && e<o> == e<r> && e<o> >= 0
+                       && N<o> <= len(col<o>) && len(col<o>) == len(col<r>)
+                       && max<o> - max<r> <= e<o> && max<r> - max<o> <= e<o>
+                       && (forall k<o> . ((0 <= k<o> && k<o> < len(col<o>))
+                             ==> col<o>[k<o>] == col<r>[k<o>])))
+         {
+           a = col[i];
+           original_a = a;
+           relax (a) st (original_a - e - e <= a && a <= original_a + e + e);
+           if (a > max) { max = a; p = i; } else { skip; }
+           i = i + 1;
+         }
+         relate lipschitz : max<o> - max<r> <= e<o> && max<r> - max<o> <= e<o>;",
+    )
+    .expect("broken lu program parses");
+    (program, spec)
+}

@@ -1,0 +1,41 @@
+//! # relaxed-programs
+//!
+//! A Rust reproduction of Carbin, Kim, Misailovic & Rinard, *“Proving
+//! Acceptability Properties of Relaxed Nondeterministic Approximate
+//! Programs”* (PLDI 2012): language, dynamic semantics, relational proof
+//! system, decision procedures, relaxation transformations, and the
+//! paper's three verified case studies.
+//!
+//! This crate is the umbrella façade: it re-exports the workspace crates
+//! and hosts the [`casestudies`] module used by the examples, integration
+//! tests, and benchmarks.
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`lang`] | syntax, assertion logic, parser, substitution (Figs. 1, 2, 5, 6) |
+//! | [`interp`] | dynamic `⇓o`/`⇓r` semantics, oracles, observational compatibility (Figs. 3, 4; Thm. 6) |
+//! | [`core`] | axiomatic `⊢o`/`⊢i`/`⊢r` semantics, VC generation, verification drivers (Figs. 7–9; §4) |
+//! | [`smt`] | the from-scratch SMT solver discharging the VCs |
+//! | [`transforms`] | the relaxation-mechanism zoo (§1) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relaxed_programs::casestudies;
+//! use relaxed_programs::core::verify_acceptability;
+//!
+//! let (program, spec) = casestudies::swish();
+//! let report = verify_acceptability(&program, &spec)?;
+//! assert!(report.relaxed_progress());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use relaxed_core as core;
+pub use relaxed_interp as interp;
+pub use relaxed_lang as lang;
+pub use relaxed_smt as smt;
+pub use relaxed_transforms as transforms;
+
+pub mod casestudies;

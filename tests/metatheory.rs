@@ -1,0 +1,307 @@
+//! E6 — empirical validation of the paper's §4 metatheory by bounded
+//! model checking: for a corpus of verified programs, exhaustively
+//! enumerate every execution (within a small integer box) of both
+//! semantics and check the statements of Lemma 2 and Theorems 6, 7, 8 and
+//! Corollary 9.
+//!
+//! This plays the role of the paper's machine-checked soundness proofs:
+//! instead of proving the proof rules sound once and for all, we check
+//! that no enumerated behaviour of any verified program contradicts the
+//! claimed guarantees.
+
+use relaxed_programs::core::verify::{verify_acceptability, Spec};
+use relaxed_programs::interp::{check_compat, run_all, EnumConfig, Mode, Outcome};
+use relaxed_programs::lang::{
+    parse_formula, parse_program, parse_rel_formula, Program, State,
+};
+
+struct Case {
+    name: &'static str,
+    program: Program,
+    spec: Spec,
+    /// Initial states to explore (both executions start from the same
+    /// state, per the synced relational precondition).
+    starts: Vec<State>,
+}
+
+fn corpus() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // 1. Bounded drift with relate + assert transfer.
+    cases.push(Case {
+        name: "bounded-drift",
+        program: parse_program(
+            "x0 = x;
+             relax (x) st (x0 <= x && x <= x0 + 2);
+             assert x >= x0;
+             relate drift : x<o> <= x<r> && x<r> - x<o> <= 2;",
+        )
+        .unwrap(),
+        spec: Spec {
+            pre: parse_formula("true").unwrap(),
+            post: parse_formula("true").unwrap(),
+            rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
+            rel_post: parse_rel_formula("true").unwrap(),
+        },
+        starts: (-2..=2).map(|x| State::from_ints([("x", x)])).collect(),
+    });
+
+    // 2. Assumption transfer through noninterference (§1.4).
+    cases.push(Case {
+        name: "assume-noninterference",
+        program: parse_program(
+            "relax (noise) st (0 <= noise && noise <= 3);
+             assume k >= 0;
+             assert k >= 0;
+             relate sync : k<o> == k<r>;",
+        )
+        .unwrap(),
+        spec: Spec {
+            // The original execution must itself satisfy the relaxation
+            // predicate (relax asserts it in the original semantics).
+            pre: parse_formula("0 <= noise && noise <= 3").unwrap(),
+            post: parse_formula("true").unwrap(),
+            rel_pre: parse_rel_formula("k<o> == k<r> && noise<o> == noise<r>").unwrap(),
+            rel_post: parse_rel_formula("true").unwrap(),
+        },
+        starts: (-2..=2)
+            .map(|k| State::from_ints([("k", k), ("noise", 0)]))
+            .collect(),
+    });
+
+    // 3. Convergent loop with a relational invariant.
+    cases.push(Case {
+        name: "convergent-loop",
+        program: parse_program(
+            "i = 0; acc = 0;
+             x0 = x;
+             relax (x) st (x0 - 1 <= x && x <= x0 + 1);
+             while (i < n)
+               invariant (0 <= i && (i <= n || n < 0))
+               rinvariant (i<o> == i<r> && n<o> == n<r>
+                           && acc<o> - acc<r> <= i<o> && acc<r> - acc<o> <= i<o>
+                           && 0 <= i<o> && (i<o> <= n<o> || n<o> < 0)
+                           && x<o> - x<r> <= 1 && x<r> - x<o> <= 1)
+             {
+               acc = acc + x;
+               x0 = x;
+               relax (x) st (x0 == x);
+               i = i + 1;
+             }
+             relate total : acc<o> - acc<r> <= n<o> && acc<r> - acc<o> <= n<o>
+                            || n<o> < 0;",
+        )
+        .unwrap(),
+        spec: Spec {
+            pre: parse_formula("true").unwrap(),
+            post: parse_formula("true").unwrap(),
+            rel_pre: parse_rel_formula(
+                "x<o> == x<r> && n<o> == n<r> && i<o> == i<r> && acc<o> == acc<r>",
+            )
+            .unwrap(),
+            rel_post: parse_rel_formula("true").unwrap(),
+        },
+        starts: (0..=3)
+            .flat_map(|n| {
+                (-1..=1).map(move |x| State::from_ints([("x", x), ("n", n)]))
+            })
+            .collect(),
+    });
+
+    // 4. Divergent branch handled by the product rule.
+    cases.push(Case {
+        name: "product-branch",
+        program: parse_program(
+            "a0 = a;
+             relax (a) st (a0 - 1 <= a && a <= a0 + 1);
+             if (a > t) { m = a; } else { m = t; }
+             relate maxish : m<o> - m<r> <= 1 && m<r> - m<o> <= 1;",
+        )
+        .unwrap(),
+        spec: Spec {
+            pre: parse_formula("true").unwrap(),
+            post: parse_formula("true").unwrap(),
+            rel_pre: parse_rel_formula("a<o> == a<r> && t<o> == t<r> && m<o> == m<r>")
+                .unwrap(),
+            rel_post: parse_rel_formula("true").unwrap(),
+        },
+        starts: (-2..=2)
+            .flat_map(|a| {
+                (-1..=1).map(move |t| State::from_ints([("a", a), ("t", t), ("m", 0)]))
+            })
+            .collect(),
+    });
+
+    // 5. Task skipping with an assumption that stays valid.
+    cases.push(Case {
+        name: "task-skip",
+        program: parse_program(
+            "done = 0;
+             go = 1;
+             relax (go) st (go == 0 || go == 1);
+             if (go == 1) diverge pre_o (done == 0) pre_r (done == 0)
+                                  post_o (done == 0 || done == 1)
+                                  post_r (done == 0 || done == 1) {
+               done = 1;
+             } else {
+               skip;
+             }
+             assert done == 0 || done == 1;",
+        )
+        .unwrap(),
+        spec: Spec {
+            pre: parse_formula("true").unwrap(),
+            post: parse_formula("true").unwrap(),
+            rel_pre: parse_rel_formula("done<o> == done<r> && go<o> == go<r>").unwrap(),
+            rel_post: parse_rel_formula("true").unwrap(),
+        },
+        starts: vec![State::from_ints([("done", 7), ("go", 0)])],
+    });
+
+    cases
+}
+
+fn config() -> EnumConfig {
+    EnumConfig {
+        lo: -3,
+        hi: 3,
+        fuel: 10_000,
+        max_outcomes: 50_000,
+    }
+}
+
+/// Lemma 2 (Original Progress Modulo Assumptions): verified programs never
+/// reach `wr` under the original semantics (`ba` is permitted).
+#[test]
+fn lemma2_original_progress_modulo_assumptions() {
+    for case in corpus() {
+        let report = verify_acceptability(&case.program, &case.spec).unwrap();
+        assert!(report.original_progress(), "{}: {}", case.name, report.original);
+        for start in &case.starts {
+            let outcomes =
+                run_all(case.program.body(), start.clone(), Mode::Original, config());
+            assert!(!outcomes.truncated, "{}: enumeration truncated", case.name);
+            for outcome in &outcomes.outcomes {
+                assert!(
+                    !matches!(outcome, Outcome::Wrong(_)),
+                    "{}: original execution reached wr from {start}: {outcome}",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// Theorems 6–8: for every pair of successful executions from the same
+/// initial state, observation lists are compatible (Thm 6); and since no
+/// original execution errs, no relaxed execution errs either (Thm 7/8).
+#[test]
+fn theorems_6_7_8_relational_guarantees() {
+    for case in corpus() {
+        let report = verify_acceptability(&case.program, &case.spec).unwrap();
+        assert!(report.relaxed_progress(), "{}:\n{report}", case.name);
+        let gamma = case.program.gamma();
+        for start in &case.starts {
+            let originals =
+                run_all(case.program.body(), start.clone(), Mode::Original, config());
+            let relaxeds =
+                run_all(case.program.body(), start.clone(), Mode::Relaxed, config());
+            assert!(!originals.truncated && !relaxeds.truncated, "{}", case.name);
+
+            // Theorem 7 is conditional: IF no original execution errs,
+            // THEN no relaxed execution errs. Starts whose original runs
+            // violate an assumption (ba) are outside the premise.
+            let original_err = originals.outcomes.iter().any(Outcome::is_err);
+            if !original_err {
+                for relaxed in &relaxeds.outcomes {
+                    assert!(
+                        !relaxed.is_err(),
+                        "{}: Theorem 7/8 violated from {start}: {relaxed}",
+                        case.name
+                    );
+                }
+            }
+            // Theorem 6: pairwise observational compatibility.
+            for (_, obs_o) in originals.terminated() {
+                for (_, obs_r) in relaxeds.terminated() {
+                    check_compat(&gamma, obs_o, obs_r).unwrap_or_else(|e| {
+                        panic!("{}: Theorem 6 violated from {start}: {e}", case.name)
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Corollary 9 (debuggability): take a program whose assumption can fail;
+/// the verified implication is that a relaxed error entails an original
+/// `ba`. We check the contrapositive dynamically on a program where
+/// assumptions do fail for some inputs.
+#[test]
+fn corollary9_errors_trace_to_assumptions() {
+    let program = parse_program(
+        "relax (noise) st (0 <= noise && noise <= 1);
+         assume k >= 0;
+         assert k >= 0;",
+    )
+    .unwrap();
+    let spec = Spec {
+        pre: parse_formula("0 <= noise && noise <= 1").unwrap(),
+        post: parse_formula("true").unwrap(),
+        rel_pre: parse_rel_formula("k<o> == k<r> && noise<o> == noise<r>").unwrap(),
+        rel_post: parse_rel_formula("true").unwrap(),
+    };
+    let report = verify_acceptability(&program, &spec).unwrap();
+    assert!(report.relaxed_progress());
+    // k = -1 violates the assumption: the original run reports ba, and
+    // every relaxed error is likewise a ba (never wr) — the developer can
+    // reproduce the failure in the original program.
+    for k in -2..=2 {
+        let start = State::from_ints([("k", k), ("noise", 0)]);
+        let originals = run_all(program.body(), start.clone(), Mode::Original, config());
+        let relaxeds = run_all(program.body(), start, Mode::Relaxed, config());
+        let original_ba = originals
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, Outcome::BadAssume(_)));
+        for relaxed in &relaxeds.outcomes {
+            if relaxed.is_err() {
+                assert!(
+                    matches!(relaxed, Outcome::BadAssume(_)),
+                    "relaxed error must be a ba, got {relaxed}"
+                );
+                assert!(
+                    original_ba,
+                    "Corollary 9: relaxed ba must be reproducible as an original ba"
+                );
+            }
+        }
+    }
+}
+
+/// Negative control: an *unverified* program really does break the
+/// guarantees the theorems promise for verified ones — the relaxed
+/// semantics reaches `wr` even though the original is error-free.
+#[test]
+fn unverified_programs_do_break() {
+    let program = parse_program(
+        "x = 1;
+         relax (x) st (0 <= x && x <= 2);
+         assert x == 1;",
+    )
+    .unwrap();
+    let spec = Spec {
+        pre: parse_formula("true").unwrap(),
+        post: parse_formula("true").unwrap(),
+        rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
+        rel_post: parse_rel_formula("true").unwrap(),
+    };
+    let report = verify_acceptability(&program, &spec).unwrap();
+    assert!(report.original_progress());
+    assert!(!report.relative_relaxed_progress(), "must not verify");
+    // And indeed: the original semantics is clean, the relaxed one errs.
+    let originals = run_all(program.body(), State::new(), Mode::Original, config());
+    assert!(!originals.outcomes.iter().any(Outcome::is_err));
+    let relaxeds = run_all(program.body(), State::new(), Mode::Relaxed, config());
+    assert!(relaxeds.outcomes.iter().any(Outcome::is_err));
+}
