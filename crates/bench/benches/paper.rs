@@ -11,7 +11,8 @@
 //!   program (the empirical soundness check);
 //! * `smt_*` — microbenchmarks of the solver substrate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relaxed_bench::harness::{BenchmarkId, Criterion};
+use relaxed_bench::{criterion_group, criterion_main};
 use relaxed_bench::{lu_state, run_pair, water_state};
 use relaxed_core::verify_acceptability;
 use relaxed_interp::{run_all, run_relaxed, EnumConfig, ExtremalOracle, Mode};
@@ -112,8 +113,18 @@ fn metatheory(c: &mut Criterion) {
             max_outcomes: 100_000,
         };
         b.iter(|| {
-            let o = run_all(program.body(), State::from_ints([("x", 0)]), Mode::Original, config);
-            let r = run_all(program.body(), State::from_ints([("x", 0)]), Mode::Relaxed, config);
+            let o = run_all(
+                program.body(),
+                State::from_ints([("x", 0)]),
+                Mode::Original,
+                config,
+            );
+            let r = run_all(
+                program.body(),
+                State::from_ints([("x", 0)]),
+                Mode::Relaxed,
+                config,
+            );
             assert!(!o.outcomes.iter().any(|x| x.is_err()));
             assert!(!r.outcomes.iter().any(|x| x.is_err()));
         })
@@ -127,9 +138,7 @@ fn smt_micro(c: &mut Criterion) {
         // x1 ≤ x2 ≤ … ≤ x8 ⇒ x1 ≤ x8
         let mut hyp = relaxed_smt::BTerm::True;
         for i in 1..8 {
-            hyp = hyp.and(
-                ITerm::var(format!("x{i}")).le(ITerm::var(format!("x{}", i + 1))),
-            );
+            hyp = hyp.and(ITerm::var(format!("x{i}")).le(ITerm::var(format!("x{}", i + 1))));
         }
         let goal = hyp.implies(ITerm::var("x1").le(ITerm::var("x8")));
         b.iter(|| {
@@ -150,7 +159,9 @@ fn smt_micro(c: &mut Criterion) {
     group.bench_function("quantified_havoc_vc", |b| {
         // The shape the WP calculus emits for bounded havoc.
         let v = ITerm::var("v");
-        let pred = ITerm::var("lo").le(v.clone()).and(v.clone().le(ITerm::var("hi")));
+        let pred = ITerm::var("lo")
+            .le(v.clone())
+            .and(v.clone().le(ITerm::var("hi")));
         let vc = pred.clone().implies(v.ge(ITerm::var("lo"))).forall("v");
         b.iter(|| {
             assert!(Solver::new().check_valid(&vc).is_valid());
@@ -159,5 +170,12 @@ fn smt_micro(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, verification, execution, tradeoff, metatheory, smt_micro);
+criterion_group!(
+    benches,
+    verification,
+    execution,
+    tradeoff,
+    metatheory,
+    smt_micro
+);
 criterion_main!(benches);

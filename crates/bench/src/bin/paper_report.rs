@@ -4,7 +4,7 @@
 
 use relaxed_bench::{lu_state, run_pair, water_state};
 use relaxed_core::verify_acceptability;
-use relaxed_interp::{run_relaxed, ExtremalOracle, IdentityOracle, run_original};
+use relaxed_interp::{run_original, run_relaxed, ExtremalOracle, IdentityOracle};
 use relaxed_lang::{parse_stmt, State, Stmt, Var};
 use relaxed_programs::casestudies;
 use relaxed_transforms::perforate_loop;
@@ -15,14 +15,30 @@ fn main() {
 
     // ---- E1/E2/E3: the §5 case studies ----
     println!("## E1–E3: verified case studies (§5)\n");
-    println!(
-        "| exp | case study | paper proof effort | our annotations | VCs | verified | time |"
-    );
+    println!("| exp | case study | paper proof effort | our annotations | VCs | verified | time |");
     println!("|---|---|---|---|---|---|---|");
     let cases = [
-        ("E1", "Swish++ dynamic knobs (§5.1)", "330 Coq lines", "1 inv + 1 diverge", casestudies::swish()),
-        ("E2", "Water sync. elimination (§5.2)", "310 Coq lines", "2 inv + 1 diverge", casestudies::water()),
-        ("E3", "LU approximate memory (§5.3)", "315 Coq lines", "2 invariants", casestudies::lu()),
+        (
+            "E1",
+            "Swish++ dynamic knobs (§5.1)",
+            "330 Coq lines",
+            "1 inv + 1 diverge",
+            casestudies::swish(),
+        ),
+        (
+            "E2",
+            "Water sync. elimination (§5.2)",
+            "310 Coq lines",
+            "2 inv + 1 diverge",
+            casestudies::water(),
+        ),
+        (
+            "E3",
+            "LU approximate memory (§5.3)",
+            "315 Coq lines",
+            "2 invariants",
+            casestudies::lu(),
+        ),
     ];
     for (id, name, paper, ours, (program, spec)) in cases {
         let t = Instant::now();
@@ -98,15 +114,19 @@ fn main() {
     println!("| stride | iterations | result | error % |");
     println!("|---|---|---|---|");
     let header = parse_stmt("i = 0; s = 0; n = 240;").unwrap();
-    let work =
-        parse_stmt("while (i < n) { s = s + i; iters = iters + 1; i = i + 1; }").unwrap();
+    let work = parse_stmt("while (i < n) { s = s + i; iters = iters + 1; i = i + 1; }").unwrap();
     let exact = {
         let p = Stmt::seq([header.clone(), work.clone()]);
-        run_original(&p, State::from_ints([("iters", 0)]), &mut IdentityOracle, 1 << 26)
-            .state()
-            .unwrap()
-            .get_int(&Var::new("s"))
-            .unwrap()
+        run_original(
+            &p,
+            State::from_ints([("iters", 0)]),
+            &mut IdentityOracle,
+            1 << 26,
+        )
+        .state()
+        .unwrap()
+        .get_int(&Var::new("s"))
+        .unwrap()
     };
     for stride in [1i64, 2, 4, 8] {
         let p = Stmt::seq([header.clone(), perforate_loop(&work, stride)]);

@@ -1,0 +1,254 @@
+//! A minimal Criterion-compatible benchmark harness.
+//!
+//! The build environment is offline, so the `criterion` crate cannot be
+//! fetched; `benches/paper.rs` instead runs against this shim, which
+//! reproduces the slice of Criterion's API the paper benchmarks use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) with
+//! wall-clock timing over a fixed number of samples. Swapping back to real
+//! Criterion is a two-line import change in `paper.rs`.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifies one input point of a parameterized benchmark.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call (Criterion's
+    /// per-sample batching is collapsed to a single iteration).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let report = run_samples(
+            self.sample_size,
+            self.criterion.measurement_budget,
+            &mut routine,
+        );
+        self.criterion.report(&full, &report);
+        self
+    }
+
+    /// Benchmarks `routine` on one `input` point under `id`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Finishes the group (report lines are emitted eagerly; this is a
+    /// no-op kept for Criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Debug)]
+struct Report {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+fn run_samples<R: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    budget: Duration,
+    routine: &mut R,
+) -> Report {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    let start = Instant::now();
+    for _ in 0..sample_size {
+        routine(&mut bencher);
+        if start.elapsed() > budget {
+            break; // keep slow end-to-end benchmarks bounded
+        }
+    }
+    if bencher.samples.is_empty() {
+        // The routine never called `iter` — time the call itself once.
+        let t = Instant::now();
+        routine(&mut bencher);
+        bencher.samples.push(t.elapsed());
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    Report {
+        min: sorted[0],
+        median: sorted[sorted.len() / 2],
+        max: sorted[sorted.len() - 1],
+        samples: sorted.len(),
+    }
+}
+
+/// The top-level harness driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_budget: Duration,
+    lines: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_budget: Duration::from_secs(5),
+            lines: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let report = run_samples(20, self.measurement_budget, &mut routine);
+        self.report(&id.name, &report);
+        self
+    }
+
+    fn report(&mut self, name: &str, report: &Report) {
+        let line = format!(
+            "{name:<44} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+            report.min, report.median, report.max, report.samples
+        );
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    /// Runs when `criterion_main!`'s generated `main` finishes.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.lines.len());
+    }
+}
+
+/// Declares a benchmark group function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+// Allow `use relaxed_bench::harness::{criterion_group, criterion_main}`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("counts", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+        assert_eq!(c.lines.len(), 1);
+        assert!(c.lines[0].starts_with("g/counts"));
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7i64, |b, &n| {
+            b.iter(|| assert_eq!(n * n, 49))
+        });
+        group.finish();
+        assert!(c.lines[0].starts_with("g/square/7"));
+    }
+}

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use relaxed_interp::oracle::{IdentityOracle, RandomOracle};
 use relaxed_interp::{run_original, run_relaxed, Outcome};
 use relaxed_lang::{Program, State, Var};
@@ -31,7 +33,14 @@ pub fn lu_state(n: i64, e: i64) -> State {
 
 /// Runs a program under both semantics and returns `(value_o, value_r)`
 /// for `var` (panics on error outcomes — these are verified programs).
-pub fn run_pair(program: &Program, sigma: State, seed: u64, lo: i64, hi: i64, var: &str) -> (i64, i64) {
+pub fn run_pair(
+    program: &Program,
+    sigma: State,
+    seed: u64,
+    lo: i64,
+    hi: i64,
+    var: &str,
+) -> (i64, i64) {
     let fuel = 100_000_000;
     let o = run_original(program.body(), sigma.clone(), &mut IdentityOracle, fuel);
     let mut oracle = RandomOracle::new(seed, lo, hi);

@@ -228,14 +228,14 @@ fn taint_pass(s: &Stmt, under_tainted_control: bool, tainted: &mut BTreeSet<Var>
             }
         }
         Stmt::If(i) => {
-            let cond_tainted = under_tainted_control
-                || expr_tainted(&bool_expr_vars(&i.cond), tainted);
+            let cond_tainted =
+                under_tainted_control || expr_tainted(&bool_expr_vars(&i.cond), tainted);
             taint_pass(&i.then_branch, cond_tainted, tainted);
             taint_pass(&i.else_branch, cond_tainted, tainted);
         }
         Stmt::While(w) => {
-            let cond_tainted = under_tainted_control
-                || expr_tainted(&bool_expr_vars(&w.cond), tainted);
+            let cond_tainted =
+                under_tainted_control || expr_tainted(&bool_expr_vars(&w.cond), tainted);
             taint_pass(&w.body, cond_tainted, tainted);
         }
         Stmt::Seq(ss) => {
@@ -289,7 +289,10 @@ mod tests {
         .unwrap();
         let t = relaxation_tainted(&s);
         assert!(t.contains(&Var::new("c")));
-        assert!(t.contains(&Var::new("y")), "taint must flow through c into y");
+        assert!(
+            t.contains(&Var::new("y")),
+            "taint must flow through c into y"
+        );
         assert!(!t.contains(&Var::new("i")));
     }
 

@@ -72,9 +72,7 @@ fn encode_int(e: &IntExpr, env: &Env) -> ITerm {
     match e {
         IntExpr::Const(n) => ITerm::Const(*n),
         IntExpr::Var(v) => ITerm::Var(env.get(v).cloned().unwrap_or_else(|| unary_name(v))),
-        IntExpr::Bin(op, lhs, rhs) => {
-            int_bin(*op, encode_int(lhs, env), encode_int(rhs, env))
-        }
+        IntExpr::Bin(op, lhs, rhs) => int_bin(*op, encode_int(lhs, env), encode_int(rhs, env)),
         IntExpr::Select(v, index) => ITerm::Select(
             env.get(v).cloned().unwrap_or_else(|| unary_name(v)),
             Box::new(encode_int(index, env)),
@@ -87,11 +85,9 @@ fn encode_formula_env(p: &Formula, env: &Env, ctx: &mut EncodeCtx) -> BTerm {
     match p {
         Formula::True => BTerm::True,
         Formula::False => BTerm::False,
-        Formula::Cmp(op, lhs, rhs) => BTerm::Atom(
-            cmp_rel(*op),
-            encode_int(lhs, env),
-            encode_int(rhs, env),
-        ),
+        Formula::Cmp(op, lhs, rhs) => {
+            BTerm::Atom(cmp_rel(*op), encode_int(lhs, env), encode_int(rhs, env))
+        }
         Formula::And(l, r) => BTerm::And(
             Box::new(encode_formula_env(l, env, ctx)),
             Box::new(encode_formula_env(r, env, ctx)),
@@ -173,9 +169,7 @@ fn encode_rel_formula_env(p: &RelFormula, env: &RelEnv, ctx: &mut EncodeCtx) -> 
             Box::new(encode_rel_formula_env(l, env, ctx)),
             Box::new(encode_rel_formula_env(r, env, ctx)),
         ),
-        RelFormula::Not(inner) => {
-            BTerm::Not(Box::new(encode_rel_formula_env(inner, env, ctx)))
-        }
+        RelFormula::Not(inner) => BTerm::Not(Box::new(encode_rel_formula_env(inner, env, ctx))),
         RelFormula::Exists(v, side, body) => {
             let name = ctx.bound_name(v);
             let mut env2 = env.clone();
@@ -261,11 +255,9 @@ mod tests {
     fn quantified_rel_formula_encodes() {
         // ∀d<r> . x<r> == x<o> + d<r> ⇒ x<r> ≥ x<o> is not valid (d may be
         // negative): encoder + solver must agree.
-        let p = RelFormula::from(
-            vr("x").eq_expr(vo("x") + vr("d")),
-        )
-        .implies(vr("x").ge(vo("x")).into())
-        .forall("d", Side::Relaxed);
+        let p = RelFormula::from(vr("x").eq_expr(vo("x") + vr("d")))
+            .implies(vr("x").ge(vo("x")).into())
+            .forall("d", Side::Relaxed);
         let mut ctx = EncodeCtx::new();
         let encoded = encode_rel_formula(&p, &mut ctx);
         assert!(matches!(

@@ -69,8 +69,7 @@ fn rewrite(s: &Stmt, sync: &RelFormula) -> Stmt {
             w.body = Box::new(rewrite(&w.body, sync));
             if w.rel_invariant.is_none() && w.diverge.is_none() {
                 let unary = w.invariant.clone().unwrap_or(Formula::True);
-                w.rel_invariant =
-                    Some(RelFormula::pair(&unary, &unary).and(sync.clone()));
+                w.rel_invariant = Some(RelFormula::pair(&unary, &unary).and(sync.clone()));
             }
             Stmt::While(w)
         }

@@ -20,9 +20,7 @@
 use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
 use crate::vcgen::UnaryLogic;
 use relaxed_lang::subst::{FreshVars, RelSubst, Subst};
-use relaxed_lang::{
-    BoolExpr, Formula, IntExpr, RelFormula, RelIntExpr, Side, Stmt, Var,
-};
+use relaxed_lang::{BoolExpr, Formula, IntExpr, RelFormula, RelIntExpr, Side, Stmt, Var};
 use relaxed_smt::Solver;
 use std::fmt;
 
@@ -79,7 +77,10 @@ fn entails(p: &Formula, q: &Formula, rule: &str) -> Result<(), RuleError> {
     if verdict.is_valid() {
         Ok(())
     } else {
-        err(rule, format!("entailment not proved: {p} ==> {q} ({verdict:?})"))
+        err(
+            rule,
+            format!("entailment not proved: {p} ==> {q} ({verdict:?})"),
+        )
     }
 }
 
@@ -90,11 +91,17 @@ fn rel_entails(p: &RelFormula, q: &RelFormula, rule: &str) -> Result<(), RuleErr
     if verdict.is_valid() {
         Ok(())
     } else {
-        err(rule, format!("entailment not proved: {p} ==> {q} ({verdict:?})"))
+        err(
+            rule,
+            format!("entailment not proved: {p} ==> {q} ({verdict:?})"),
+        )
     }
 }
 
 /// A derivation in one of the unary logics (`⊢o` / `⊢i`).
+// Derivations are tree nodes already behind `Box`es in their parents;
+// boxing the wide variants again would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum UnaryDeriv {
     /// `{P} skip {P}`
@@ -260,7 +267,11 @@ impl UnaryDeriv {
                     other => err("relate", format!("not a relate statement: {other}")),
                 }
             }
-            UnaryDeriv::If { cond, then_d, else_d } => {
+            UnaryDeriv::If {
+                cond,
+                then_d,
+                else_d,
+            } => {
                 let t1 = then_d.check(logic)?;
                 let t2 = else_d.check(logic)?;
                 if t1.post != t2.post {
@@ -273,19 +284,18 @@ impl UnaryDeriv {
                 // require syntactic shapes.
                 let b = Formula::from_bool_expr(cond);
                 let (p1, p2) = (t1.pre.clone(), t2.pre.clone());
-                let p = match (&p1, &p2) {
-                    (Formula::And(pa, cb), Formula::And(pb, ncb))
-                        if **cb == b && **ncb == b.clone().not() && pa == pb =>
-                    {
-                        (**pa).clone()
-                    }
-                    _ => {
-                        return err(
+                let p =
+                    match (&p1, &p2) {
+                        (Formula::And(pa, cb), Formula::And(pb, ncb))
+                            if **cb == b && **ncb == b.clone().not() && pa == pb =>
+                        {
+                            (**pa).clone()
+                        }
+                        _ => return err(
                             "if",
                             "branch preconditions must be P ∧ b and P ∧ !b (use Conseq to align)",
-                        )
-                    }
-                };
+                        ),
+                    };
                 Ok(Triple {
                     pre: p,
                     stmt: Stmt::if_then_else(cond.clone(), t1.stmt, t2.stmt),
@@ -359,6 +369,8 @@ impl UnaryDeriv {
 }
 
 /// A derivation in the relational logic `⊢r` (Fig. 8).
+// See `UnaryDeriv` on why the wide variants stay unboxed.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum RelDeriv {
     /// `{P*} skip {P*}`
@@ -460,8 +472,16 @@ impl RelDeriv {
             }),
             RelDeriv::Assign { x, e, post } => {
                 let mut subst = RelSubst::new();
-                subst.insert(x.clone(), Side::Original, RelIntExpr::inject(e, Side::Original));
-                subst.insert(x.clone(), Side::Relaxed, RelIntExpr::inject(e, Side::Relaxed));
+                subst.insert(
+                    x.clone(),
+                    Side::Original,
+                    RelIntExpr::inject(e, Side::Original),
+                );
+                subst.insert(
+                    x.clone(),
+                    Side::Relaxed,
+                    RelIntExpr::inject(e, Side::Relaxed),
+                );
                 Ok(RelTriple {
                     pre: subst.apply(post),
                     stmt: Stmt::Assign(x.clone(), e.clone()),
@@ -490,7 +510,11 @@ impl RelDeriv {
                 let mut names = Vec::new();
                 for t in targets {
                     let t2 = fresh.fresh(t);
-                    subst.insert(t.clone(), Side::Relaxed, RelIntExpr::Var(t2.clone(), Side::Relaxed));
+                    subst.insert(
+                        t.clone(),
+                        Side::Relaxed,
+                        RelIntExpr::Var(t2.clone(), Side::Relaxed),
+                    );
                     names.push(t2);
                 }
                 let mut shifted = subst.apply(pre);
@@ -524,9 +548,7 @@ impl RelDeriv {
             RelDeriv::Assert { frame, pred } | RelDeriv::Assume { frame, pred } => {
                 let is_assert = matches!(self, RelDeriv::Assert { .. });
                 let e = Formula::from_bool_expr(pred);
-                let premise = frame
-                    .clone()
-                    .and(RelFormula::inject(&e, Side::Original));
+                let premise = frame.clone().and(RelFormula::inject(&e, Side::Original));
                 rel_entails(
                     &premise,
                     &RelFormula::inject(&e, Side::Relaxed),
@@ -543,7 +565,12 @@ impl RelDeriv {
                     post,
                 })
             }
-            RelDeriv::If { pre, cond, then_d, else_d } => {
+            RelDeriv::If {
+                pre,
+                cond,
+                then_d,
+                else_d,
+            } => {
                 let b = Formula::from_bool_expr(cond);
                 let both = RelFormula::pair(&b, &b);
                 let neither = RelFormula::pair(&b.clone().not(), &b.clone().not());
@@ -565,11 +592,19 @@ impl RelDeriv {
                     post: t1.post,
                 })
             }
-            RelDeriv::While { invariant, cond, body_d } => {
+            RelDeriv::While {
+                invariant,
+                cond,
+                body_d,
+            } => {
                 let b = Formula::from_bool_expr(cond);
                 let both = RelFormula::pair(&b, &b);
                 let neither = RelFormula::pair(&b.clone().not(), &b.clone().not());
-                rel_entails(invariant, &both.clone().or(neither.clone()), "while-convergence")?;
+                rel_entails(
+                    invariant,
+                    &both.clone().or(neither.clone()),
+                    "while-convergence",
+                )?;
                 let t = body_d.check()?;
                 if t.pre != invariant.clone().and(both) || t.post != *invariant {
                     return err("while", "body must prove {P* ∧ ⟨b·b⟩} s {P*}");
@@ -580,18 +615,33 @@ impl RelDeriv {
                     post: invariant.clone().and(neither),
                 })
             }
-            RelDeriv::Diverge { pre, original, intermediate } => {
+            RelDeriv::Diverge {
+                pre,
+                original,
+                intermediate,
+            } => {
                 let to = original.check(UnaryLogic::Original)?;
                 let ti = intermediate.check(UnaryLogic::Intermediate)?;
                 if to.stmt != ti.stmt {
-                    return err("diverge", "the two sub-derivations prove different statements");
+                    return err(
+                        "diverge",
+                        "the two sub-derivations prove different statements",
+                    );
                 }
                 if !to.stmt.no_rel() {
                     return err("diverge", "no_rel(s) violated");
                 }
                 // P* ⊨o Po and P* ⊨r Pr via injections.
-                rel_entails(pre, &RelFormula::inject(&to.pre, Side::Original), "diverge-projo")?;
-                rel_entails(pre, &RelFormula::inject(&ti.pre, Side::Relaxed), "diverge-projr")?;
+                rel_entails(
+                    pre,
+                    &RelFormula::inject(&to.pre, Side::Original),
+                    "diverge-projo",
+                )?;
+                rel_entails(
+                    pre,
+                    &RelFormula::inject(&ti.pre, Side::Relaxed),
+                    "diverge-projr",
+                )?;
                 Ok(RelTriple {
                     pre: pre.clone(),
                     stmt: to.stmt,
@@ -621,7 +671,11 @@ fn shifted_feasibility(pre: &RelFormula, targets: &[Var], pred: &BoolExpr) -> Re
     let mut names = Vec::new();
     for t in targets {
         let t2 = fresh.fresh(t);
-        subst.insert(t.clone(), Side::Relaxed, RelIntExpr::Var(t2.clone(), Side::Relaxed));
+        subst.insert(
+            t.clone(),
+            Side::Relaxed,
+            RelIntExpr::Var(t2.clone(), Side::Relaxed),
+        );
         names.push(t2);
     }
     let mut shifted = subst.apply(pre);
@@ -762,10 +816,7 @@ mod tests {
         // Condition over synced variable: fine.
         let pre = rf("z<o> == z<r> && y<o> == y<r>");
         let b = v("z").gt(c(0));
-        let both = RelFormula::pair(
-            &Formula::from_bool_expr(&b),
-            &Formula::from_bool_expr(&b),
-        );
+        let both = RelFormula::pair(&Formula::from_bool_expr(&b), &Formula::from_bool_expr(&b));
         let neither = RelFormula::pair(
             &Formula::from_bool_expr(&b.clone().not()),
             &Formula::from_bool_expr(&b.clone().not()),

@@ -116,11 +116,9 @@ pub fn replace_selects(p: &Formula, target: &Var, map: &BTreeMap<IntExpr, Var>) 
     fn go_int(e: &IntExpr, target: &Var, map: &BTreeMap<IntExpr, Var>) -> IntExpr {
         match e {
             IntExpr::Const(_) | IntExpr::Var(_) | IntExpr::Len(_) => e.clone(),
-            IntExpr::Bin(op, lhs, rhs) => IntExpr::bin(
-                *op,
-                go_int(lhs, target, map),
-                go_int(rhs, target, map),
-            ),
+            IntExpr::Bin(op, lhs, rhs) => {
+                IntExpr::bin(*op, go_int(lhs, target, map), go_int(rhs, target, map))
+            }
             IntExpr::Select(v, index) => {
                 let index2 = go_int(index, target, map);
                 if v == target {
@@ -144,17 +142,12 @@ pub fn replace_selects(p: &Formula, target: &Var, map: &BTreeMap<IntExpr, Var>) 
             Formula::Or(l, r) => {
                 Formula::Or(Box::new(go(l, target, map)), Box::new(go(r, target, map)))
             }
-            Formula::Implies(l, r) => Formula::Implies(
-                Box::new(go(l, target, map)),
-                Box::new(go(r, target, map)),
-            ),
+            Formula::Implies(l, r) => {
+                Formula::Implies(Box::new(go(l, target, map)), Box::new(go(r, target, map)))
+            }
             Formula::Not(inner) => Formula::Not(Box::new(go(inner, target, map))),
-            Formula::Exists(v, body) => {
-                Formula::Exists(v.clone(), Box::new(go(body, target, map)))
-            }
-            Formula::Forall(v, body) => {
-                Formula::Forall(v.clone(), Box::new(go(body, target, map)))
-            }
+            Formula::Exists(v, body) => Formula::Exists(v.clone(), Box::new(go(body, target, map))),
+            Formula::Forall(v, body) => Formula::Forall(v.clone(), Box::new(go(body, target, map))),
         }
     }
     go(p, target, map)
@@ -313,12 +306,7 @@ pub fn replace_rel_selects(
             }
         }
     }
-    fn go(
-        p: &RelFormula,
-        target: &Var,
-        side: Side,
-        map: &BTreeMap<RelIntExpr, Var>,
-    ) -> RelFormula {
+    fn go(p: &RelFormula, target: &Var, side: Side, map: &BTreeMap<RelIntExpr, Var>) -> RelFormula {
         match p {
             RelFormula::True | RelFormula::False => p.clone(),
             RelFormula::Cmp(op, lhs, rhs) => RelFormula::Cmp(
@@ -338,9 +326,7 @@ pub fn replace_rel_selects(
                 Box::new(go(l, target, side, map)),
                 Box::new(go(r, target, side, map)),
             ),
-            RelFormula::Not(inner) => {
-                RelFormula::Not(Box::new(go(inner, target, side, map)))
-            }
+            RelFormula::Not(inner) => RelFormula::Not(Box::new(go(inner, target, side, map))),
             RelFormula::Exists(v, s, body) => {
                 RelFormula::Exists(v.clone(), *s, Box::new(go(body, target, side, map)))
             }
@@ -460,8 +446,7 @@ mod tests {
             .le(rsel("a", Side::Relaxed, vr("i")))
             .into();
         let mut fresh = FreshVars::new();
-        let (q2, pairs) =
-            abstract_rel_selects(&q, &a(), Side::Relaxed, &mut fresh, "t").unwrap();
+        let (q2, pairs) = abstract_rel_selects(&q, &a(), Side::Relaxed, &mut fresh, "t").unwrap();
         assert_eq!(pairs.len(), 1);
         // The original-side read must survive.
         let remaining = collect_rel_selects(&q2, &a(), Side::Original, "t").unwrap();

@@ -114,8 +114,7 @@ impl RelVcgen {
             Stmt::Assume(pred) | Stmt::Assert(pred) => {
                 // Relational transfer: if the original execution passed the
                 // predicate, the relaxed execution must too.
-                Ok(inj_bool(pred, Side::Original)
-                    .implies(inj_bool(pred, Side::Relaxed).and(q)))
+                Ok(inj_bool(pred, Side::Original).implies(inj_bool(pred, Side::Relaxed).and(q)))
             }
             Stmt::Relate(_, pred) => Ok(RelFormula::from_rel_bool_expr(pred).and(q)),
             Stmt::If(i) => match &i.diverge {
@@ -179,11 +178,7 @@ impl RelVcgen {
                         .and(br.clone().implies(bo.clone()));
                     let both_true = bo.clone().and(br.clone());
                     let both_false = bo.not().and(br.not());
-                    self.push_vc(
-                        "loop-convergence",
-                        context,
-                        inv.clone().implies(conv),
-                    );
+                    self.push_vc("loop-convergence", context, inv.clone().implies(conv));
                     self.push_vc(
                         "rinvariant-preserved",
                         context,
@@ -204,11 +199,7 @@ impl RelVcgen {
                                 touched_arrays.push((v.clone(), side));
                             } else {
                                 let v2 = self.fresh.fresh(v);
-                                subst.insert(
-                                    v.clone(),
-                                    side,
-                                    RelIntExpr::Var(v2.clone(), side),
-                                );
+                                subst.insert(v.clone(), side, RelIntExpr::Var(v2.clone(), side));
                                 binders.push((v2, side));
                             }
                         }
@@ -257,12 +248,8 @@ impl RelVcgen {
                 let subst = RelSubst::single(x.clone(), side, RelIntExpr::inject(e, side));
                 Ok(subst.apply(&q))
             }
-            Stmt::Store(x, index, value) => {
-                self.wp_rel_store(x, index, value, q, side, context)
-            }
-            Stmt::Havoc(targets, pred) => {
-                self.wp_side_choice(targets, pred, q, side, context)
-            }
+            Stmt::Store(x, index, value) => self.wp_rel_store(x, index, value, q, side, context),
+            Stmt::Havoc(targets, pred) => self.wp_side_choice(targets, pred, q, side, context),
             Stmt::Relax(targets, pred) => match side {
                 Side::Original => Ok(inj_bool(pred, Side::Original).implies(q)),
                 Side::Relaxed => self.wp_side_choice(targets, pred, q, side, context),
@@ -276,8 +263,7 @@ impl RelVcgen {
             }),
             Stmt::If(i) => {
                 let b = inj_bool(&i.cond, side);
-                let wp_then =
-                    self.wp_one_side(&i.then_branch, side, q.clone(), context)?;
+                let wp_then = self.wp_one_side(&i.then_branch, side, q.clone(), context)?;
                 let wp_else = self.wp_one_side(&i.else_branch, side, q, context)?;
                 Ok(b.clone().implies(wp_then).and(b.not().implies(wp_else)))
             }
@@ -306,9 +292,8 @@ impl RelVcgen {
         side: Side,
         context: &str,
     ) -> Result<RelFormula, VcgenError> {
-        let (ints, arrays): (Vec<_>, Vec<_>) = targets
-            .iter()
-            .partition(|t| !self.array_vars.contains(*t));
+        let (ints, arrays): (Vec<_>, Vec<_>) =
+            targets.iter().partition(|t| !self.array_vars.contains(*t));
         if !arrays.is_empty() && *pred != BoolExpr::Const(true) {
             return Err(VcgenError::ArrayChoiceWithPredicate {
                 context: context.to_string(),
@@ -404,7 +389,13 @@ impl RelVcgen {
         let po = contract.pre_o.clone().unwrap_or(Formula::True);
         let pr = contract.pre_r.clone().unwrap_or(Formula::True);
         // ⊢o {Po} s {Qo} — the original side alone.
-        for mut vc in vcs_unary(UnaryLogic::Original, s, &po, &contract.post_o, &self.array_vars)? {
+        for mut vc in vcs_unary(
+            UnaryLogic::Original,
+            s,
+            &po,
+            &contract.post_o,
+            &self.array_vars,
+        )? {
             vc.context = format!("{context}/diverge-original/{}", vc.context);
             self.vcs.push(vc);
         }
@@ -555,8 +546,7 @@ mod tests {
                     solver.check_valid(&encoded)
                 }
                 VcBody::Unary(p) => {
-                    let encoded =
-                        crate::encode::encode_formula(p, &mut EncodeCtx::new());
+                    let encoded = crate::encode::encode_formula(p, &mut EncodeCtx::new());
                     solver.check_valid(&encoded)
                 }
             };
@@ -580,11 +570,7 @@ mod tests {
 
     #[test]
     fn lockstep_assignment_preserves_sync() {
-        assert!(check(
-            "y = x + 1;",
-            "x<o> == x<r>",
-            "y<o> == y<r>"
-        ));
+        assert!(check("y = x + 1;", "x<o> == x<r>", "y<o> == y<r>"));
     }
 
     #[test]
@@ -667,13 +653,8 @@ mod tests {
     #[test]
     fn missing_rinvariant_is_an_error() {
         let s = parse_stmt("while (i < n) { i = i + 1; }").unwrap();
-        let err = vcs_relaxed(
-            &s,
-            &RelFormula::True,
-            &RelFormula::True,
-            &BTreeSet::new(),
-        )
-        .unwrap_err();
+        let err =
+            vcs_relaxed(&s, &RelFormula::True, &RelFormula::True, &BTreeSet::new()).unwrap_err();
         assert!(matches!(
             err,
             VcgenError::MissingInvariant {
@@ -741,13 +722,8 @@ mod tests {
               i = i + 1;
             }";
         let s = parse_stmt(src).unwrap();
-        let err = vcs_relaxed(
-            &s,
-            &RelFormula::True,
-            &RelFormula::True,
-            &BTreeSet::new(),
-        )
-        .unwrap_err();
+        let err =
+            vcs_relaxed(&s, &RelFormula::True, &RelFormula::True, &BTreeSet::new()).unwrap_err();
         assert!(matches!(err, VcgenError::RelateNotAllowed { .. }));
     }
 

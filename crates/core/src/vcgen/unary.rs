@@ -179,9 +179,8 @@ impl UnaryVcgen {
         q: Formula,
         context: &str,
     ) -> Result<Formula, VcgenError> {
-        let (ints, arrays): (Vec<_>, Vec<_>) = targets
-            .iter()
-            .partition(|t| !self.array_vars.contains(*t));
+        let (ints, arrays): (Vec<_>, Vec<_>) =
+            targets.iter().partition(|t| !self.array_vars.contains(*t));
         if !arrays.is_empty() && *pred != BoolExpr::Const(true) {
             return Err(VcgenError::ArrayChoiceWithPredicate {
                 context: context.to_string(),
@@ -241,9 +240,9 @@ impl UnaryVcgen {
                     .and(IntExpr::Var(v.clone()).eq_expr(value.clone())),
             );
             let miss = Formula::from_bool_expr(
-                &j.clone().ne_expr(index.clone()).and(
-                    IntExpr::Var(v.clone()).eq_expr(IntExpr::select(x.clone(), j.clone())),
-                ),
+                &j.clone()
+                    .ne_expr(index.clone())
+                    .and(IntExpr::Var(v.clone()).eq_expr(IntExpr::select(x.clone(), j.clone()))),
             );
             defs = defs.and(hit.or(miss));
             binders.push(v);
@@ -483,12 +482,7 @@ mod tests {
             "x == 7"
         ));
         // Unproven bounds must fail.
-        assert!(!check(
-            UnaryLogic::Original,
-            "a[i] = 7;",
-            "true",
-            "true"
-        ));
+        assert!(!check(UnaryLogic::Original, "a[i] = 7;", "true", "true"));
         // A different cell keeps its old value.
         assert!(check(
             UnaryLogic::Original,

@@ -140,13 +140,7 @@ pub fn verify_intermediate(
     let mut arrays = array_vars(program.body());
     arrays.extend(formula_array_vars(pre));
     arrays.extend(formula_array_vars(post));
-    let vcs = vcs_unary(
-        UnaryLogic::Intermediate,
-        program.body(),
-        pre,
-        post,
-        &arrays,
-    )?;
+    let vcs = vcs_unary(UnaryLogic::Intermediate, program.body(), pre, post, &arrays)?;
     Ok(discharge(vcs))
 }
 
@@ -251,7 +245,11 @@ impl fmt::Display for AcceptabilityReport {
             "Relative Relaxed Progress (Theorem 7) + Relational Assertions (Theorem 6): {}",
             self.relative_relaxed_progress()
         )?;
-        writeln!(f, "Relaxed Progress (Theorem 8): {}", self.relaxed_progress())
+        writeln!(
+            f,
+            "Relaxed Progress (Theorem 8): {}",
+            self.relaxed_progress()
+        )
     }
 }
 
@@ -315,18 +313,15 @@ mod tests {
     #[test]
     fn original_assert_violation_fails_first_stage() {
         let program = parse_program("x = 1; assert x == 2;").unwrap();
-        let report =
-            verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
         assert!(!report.verified());
         assert_eq!(report.failures().count(), 1);
     }
 
     #[test]
     fn assume_is_free_in_original_verification() {
-        let program =
-            parse_program("assume x >= 10; assert x >= 10;").unwrap();
-        let report =
-            verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let program = parse_program("assume x >= 10; assert x >= 10;").unwrap();
+        let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
         assert!(report.verified());
     }
 
@@ -336,15 +331,18 @@ mod tests {
         let pre = parse_formula("x >= 0").unwrap();
         let post_good = parse_formula("y >= 1").unwrap();
         let post_bad = parse_formula("y >= 2").unwrap();
-        assert!(verify_original(&program, &pre, &post_good).unwrap().verified());
-        assert!(!verify_original(&program, &pre, &post_bad).unwrap().verified());
+        assert!(verify_original(&program, &pre, &post_good)
+            .unwrap()
+            .verified());
+        assert!(!verify_original(&program, &pre, &post_bad)
+            .unwrap()
+            .verified());
     }
 
     #[test]
     fn report_display_mentions_failures() {
         let program = parse_program("assert false;").unwrap();
-        let report =
-            verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
         let text = report.to_string();
         assert!(text.contains("FAILED"), "{text}");
     }

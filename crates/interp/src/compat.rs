@@ -99,8 +99,8 @@ pub fn check_compat(
         let predicate = gamma
             .get(&obs_o.label)
             .ok_or_else(|| CompatError::UnknownLabel(obs_o.label.clone()))?;
-        let holds = eval_rel_bool(predicate, &obs_o.state, &obs_r.state)
-            .map_err(CompatError::Eval)?;
+        let holds =
+            eval_rel_bool(predicate, &obs_o.state, &obs_r.state).map_err(CompatError::Eval)?;
         if !holds {
             return Err(CompatError::PredicateFailed {
                 index,

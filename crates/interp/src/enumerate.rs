@@ -329,7 +329,11 @@ mod tests {
     fn relax_enumerates_only_in_relaxed_mode() {
         let s = parse_stmt("x = 2; relax (x) st (0 <= x && x <= 3);").unwrap();
         let orig = run_all(&s, State::new(), Mode::Original, cfg());
-        assert_eq!(orig.outcomes.len(), 1, "original semantics is deterministic");
+        assert_eq!(
+            orig.outcomes.len(),
+            1,
+            "original semantics is deterministic"
+        );
         let relaxed = run_all(&s, State::new(), Mode::Relaxed, cfg());
         assert_eq!(relaxed.outcomes.len(), 4);
     }
@@ -352,10 +356,7 @@ mod tests {
 
     #[test]
     fn errors_on_some_paths_are_collected() {
-        let s = parse_stmt(
-            "havoc (x) st (0 <= x && x <= 1); assert x == 0;",
-        )
-        .unwrap();
+        let s = parse_stmt("havoc (x) st (0 <= x && x <= 1); assert x == 0;").unwrap();
         let e = run_all(&s, State::new(), Mode::Original, cfg());
         assert_eq!(e.outcomes.len(), 2);
         assert!(e.any_err());

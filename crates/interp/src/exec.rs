@@ -77,8 +77,7 @@ impl Interp<'_> {
         match s {
             Stmt::Skip => Ok((sigma, Vec::new())),
             Stmt::Assign(x, e) => {
-                let value =
-                    eval_int(e, &sigma).map_err(|err| Halt::Wr(WrongReason::Eval(err)))?;
+                let value = eval_int(e, &sigma).map_err(|err| Halt::Wr(WrongReason::Eval(err)))?;
                 let mut next = sigma;
                 next.set(x.clone(), value);
                 Ok((next, Vec::new()))
@@ -100,13 +99,16 @@ impl Interp<'_> {
                         ))))
                     }
                 };
-                let idx = usize::try_from(i).ok().filter(|&i| i < len).ok_or_else(|| {
-                    Halt::Wr(WrongReason::Eval(EvalError::IndexOutOfBounds {
-                        var: x.clone(),
-                        index: i,
-                        len,
-                    }))
-                })?;
+                let idx = usize::try_from(i)
+                    .ok()
+                    .filter(|&i| i < len)
+                    .ok_or_else(|| {
+                        Halt::Wr(WrongReason::Eval(EvalError::IndexOutOfBounds {
+                            var: x.clone(),
+                            index: i,
+                            len,
+                        }))
+                    })?;
                 let updated = next.set_index(x, idx, v);
                 debug_assert!(updated, "bounds were checked");
                 Ok((next, Vec::new()))
@@ -295,19 +297,9 @@ mod tests {
     #[test]
     fn havoc_reassigns_in_both_semantics() {
         let s = parse_stmt("havoc (x) st (x == 9);").unwrap();
-        let o = run_original(
-            &s,
-            State::from_ints([("x", 0)]),
-            &mut IdentityOracle,
-            FUEL,
-        );
+        let o = run_original(&s, State::from_ints([("x", 0)]), &mut IdentityOracle, FUEL);
         assert_eq!(o.state().unwrap().get_int(&Var::new("x")), Some(9));
-        let r = run_relaxed(
-            &s,
-            State::from_ints([("x", 0)]),
-            &mut IdentityOracle,
-            FUEL,
-        );
+        let r = run_relaxed(&s, State::from_ints([("x", 0)]), &mut IdentityOracle, FUEL);
         assert_eq!(r.state().unwrap().get_int(&Var::new("x")), Some(9));
     }
 
@@ -357,10 +349,7 @@ mod tests {
     fn builder_program_runs() {
         let s = seq([
             assign("x", c(0)),
-            while_(
-                v("x").lt(c(3)),
-                assign("x", v("x") + c(1)),
-            ),
+            while_(v("x").lt(c(3)), assign("x", v("x") + c(1))),
         ]);
         let out = run_original(&s, State::new(), &mut IdentityOracle, FUEL);
         assert_eq!(out.state().unwrap().get_int(&Var::new("x")), Some(3));

@@ -40,6 +40,7 @@ pub mod enumerate;
 pub mod exec;
 pub mod oracle;
 pub mod outcome;
+pub mod rng;
 
 pub use compat::{check_compat, CompatError};
 pub use enumerate::{run_all, EnumConfig, Enumeration};

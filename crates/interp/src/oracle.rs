@@ -18,8 +18,7 @@
 //! `true` (the form used by the paper's §5.2 synchronization-elimination
 //! example); richer array predicates are out of scope and yield `None`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use relaxed_lang::eval::eval_bool;
 use relaxed_lang::free::bool_expr_vars;
 use relaxed_lang::{BoolBinOp, BoolExpr, CmpOp, IntBinOp, IntExpr, State, Value, Var};
@@ -55,11 +54,7 @@ fn split_targets<'t>(targets: &'t [Var], sigma: &State) -> (Vec<&'t Var>, Vec<&'
 ///
 /// Returns `None` when the predicate references unbound variables,
 /// target-dependent array indices, or array-valued targets.
-fn encode_pred(
-    pred: &BoolExpr,
-    int_targets: &BTreeSet<&Var>,
-    sigma: &State,
-) -> Option<BTerm> {
+fn encode_pred(pred: &BoolExpr, int_targets: &BTreeSet<&Var>, sigma: &State) -> Option<BTerm> {
     fn term(e: &IntExpr, targets: &BTreeSet<&Var>, sigma: &State) -> Option<ITerm> {
         match e {
             IntExpr::Const(n) => Some(ITerm::Const(*n)),
@@ -184,7 +179,7 @@ impl Oracle for IdentityOracle {
 /// Uniform sampling from `[lo, hi]` with rejection, then solver fallback.
 #[derive(Debug)]
 pub struct RandomOracle {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Smallest sampled value.
     pub lo: i64,
     /// Largest sampled value.
@@ -197,7 +192,7 @@ impl RandomOracle {
     /// Creates a seeded oracle sampling from `[lo, hi]`.
     pub fn new(seed: u64, lo: i64, hi: i64) -> Self {
         RandomOracle {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             lo,
             hi,
             attempts: 64,
@@ -216,8 +211,9 @@ impl Oracle for RandomOracle {
             }
             for a in &arrays {
                 let len = sigma.get_array(a).map_or(0, <[i64]>::len);
-                let items: Vec<i64> =
-                    (0..len).map(|_| self.rng.gen_range(self.lo..=self.hi)).collect();
+                let items: Vec<i64> = (0..len)
+                    .map(|_| self.rng.gen_range(self.lo..=self.hi))
+                    .collect();
                 base.set((*a).clone(), items);
             }
             if ints.is_empty() {
@@ -273,7 +269,11 @@ impl Oracle for ExtremalOracle {
             if *pred != BoolExpr::Const(true) && eval_bool(pred, sigma) != Ok(true) {
                 return None;
             }
-            let fill = if self.maximize { self.bound } else { -self.bound };
+            let fill = if self.maximize {
+                self.bound
+            } else {
+                -self.bound
+            };
             for a in &arrays {
                 let len = sigma.get_array(a).map_or(0, <[i64]>::len);
                 state.set((*a).clone(), vec![fill; len]);
@@ -292,8 +292,15 @@ impl Oracle for ExtremalOracle {
                 };
                 solve_ints(remaining, pred, state, &[extra]).is_some()
             };
-            if !feasible_with(&state, if self.maximize { -self.bound } else { self.bound },
-                              self.maximize) {
+            if !feasible_with(
+                &state,
+                if self.maximize {
+                    -self.bound
+                } else {
+                    self.bound
+                },
+                self.maximize,
+            ) {
                 return None; // infeasible even without the extreme push
             }
             let (mut lo, mut hi) = (-self.bound, self.bound);
@@ -346,12 +353,7 @@ impl Oracle for SolverOracle {
 
 /// Validates a choice: the new state must satisfy the predicate and agree
 /// with the old outside the targets. Interpreters debug-assert this.
-pub fn choice_is_legal(
-    targets: &[Var],
-    pred: &BoolExpr,
-    before: &State,
-    after: &State,
-) -> bool {
+pub fn choice_is_legal(targets: &[Var], pred: &BoolExpr, before: &State, after: &State) -> bool {
     eval_bool(pred, after) == Ok(true) && before.agrees_except(after, targets.iter())
 }
 

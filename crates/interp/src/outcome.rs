@@ -107,7 +107,11 @@ impl fmt::Display for Outcome {
             Outcome::Terminated {
                 state,
                 observations,
-            } => write!(f, "terminated in {state} with {} observations", observations.len()),
+            } => write!(
+                f,
+                "terminated in {state} with {} observations",
+                observations.len()
+            ),
             Outcome::BadAssume(e) => write!(f, "ba (assume {e} failed)"),
             Outcome::Wrong(r) => write!(f, "wr ({r})"),
             Outcome::OutOfFuel => write!(f, "out of fuel"),

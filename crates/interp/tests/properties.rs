@@ -7,111 +7,176 @@
 //!   relaxed executions");
 //! * exhaustive enumeration agrees with single-oracle runs on
 //!   deterministic programs.
+//!
+//! The offline build environment has no `proptest`, so each property is
+//! driven over 64 seeded-random cases from the crate's own [`SplitMix64`]
+//! generator — same shape (property + sampled inputs), deterministic
+//! failures.
 
-use proptest::prelude::*;
-use relaxed_interp::oracle::{choice_is_legal, ExtremalOracle, IdentityOracle, RandomOracle, SolverOracle};
-use relaxed_interp::{run_all, run_original, run_relaxed, EnumConfig, Mode, Oracle};
+use relaxed_interp::oracle::{
+    choice_is_legal, ExtremalOracle, IdentityOracle, Oracle, RandomOracle, SolverOracle,
+};
+use relaxed_interp::rng::SplitMix64;
+use relaxed_interp::{run_all, run_original, run_relaxed, EnumConfig, Mode};
 use relaxed_lang::builder::{c, v};
 use relaxed_lang::{BoolExpr, State, Stmt, Var};
+
+const CASES: u64 = 64;
+
+/// Runs `property` on `CASES` inputs drawn by `sample`, reporting the
+/// failing case's index and inputs on panic.
+fn check<I: std::fmt::Debug>(
+    name: &str,
+    mut sample: impl FnMut(&mut SplitMix64) -> I,
+    mut property: impl FnMut(&I),
+) {
+    for case in 0..CASES {
+        // Independent stream per case: failures replay in isolation.
+        let mut rng = SplitMix64::seed_from_u64(0xC0FFEE ^ (case << 8));
+        let input = sample(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&input)));
+        if let Err(panic) = result {
+            eprintln!("property `{name}` failed on case {case}: {input:?}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
 
 fn box_pred(lo: i64, hi: i64) -> BoolExpr {
     c(lo).le(v("x")).and(v("x").le(c(hi)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// All oracles produce legal choices on satisfiable box predicates.
+#[test]
+fn oracle_choices_are_legal() {
+    check(
+        "oracle_choices_are_legal",
+        |rng| {
+            (
+                rng.gen_range(-20..=19),
+                rng.gen_range(0..=14),
+                rng.gen_range(-30..=29),
+            )
+        },
+        |&(lo, width, start)| {
+            let hi = lo + width;
+            let pred = box_pred(lo, hi);
+            let sigma = State::from_ints([("x", start), ("y", 5)]);
+            let targets = [Var::new("x")];
+            let oracles: Vec<Box<dyn Oracle>> = vec![
+                Box::new(IdentityOracle),
+                Box::new(SolverOracle),
+                Box::new(ExtremalOracle::minimizing()),
+                Box::new(ExtremalOracle::maximizing()),
+                Box::new(RandomOracle::new(start as u64 ^ 0xABCD, -40, 40)),
+            ];
+            for mut oracle in oracles {
+                let next = oracle
+                    .choose(&targets, &pred, &sigma)
+                    .expect("satisfiable predicate must yield a choice");
+                assert!(choice_is_legal(&targets, &pred, &sigma, &next));
+            }
+        },
+    );
+}
 
-    /// All oracles produce legal choices on satisfiable box predicates.
-    #[test]
-    fn oracle_choices_are_legal(lo in -20i64..20, width in 0i64..15, start in -30i64..30) {
-        let hi = lo + width;
-        let pred = box_pred(lo, hi);
-        let sigma = State::from_ints([("x", start), ("y", 5)]);
-        let targets = [Var::new("x")];
-        let oracles: Vec<Box<dyn Oracle>> = vec![
-            Box::new(IdentityOracle),
-            Box::new(SolverOracle),
-            Box::new(ExtremalOracle::minimizing()),
-            Box::new(ExtremalOracle::maximizing()),
-            Box::new(RandomOracle::new(start as u64 ^ 0xABCD, -40, 40)),
-        ];
-        for mut oracle in oracles {
-            let next = oracle
+/// Extremal oracles hit the exact box endpoints.
+#[test]
+fn extremal_oracles_reach_endpoints() {
+    check(
+        "extremal_oracles_reach_endpoints",
+        |rng| (rng.gen_range(-20..=19), rng.gen_range(0..=14)),
+        |&(lo, width)| {
+            let hi = lo + width;
+            let pred = box_pred(lo, hi);
+            let sigma = State::from_ints([("x", 0)]);
+            let targets = [Var::new("x")];
+            let min = ExtremalOracle::minimizing()
                 .choose(&targets, &pred, &sigma)
-                .expect("satisfiable predicate must yield a choice");
-            prop_assert!(choice_is_legal(&targets, &pred, &sigma, &next));
-        }
-    }
+                .unwrap();
+            assert_eq!(min.get_int(&Var::new("x")), Some(lo));
+            let max = ExtremalOracle::maximizing()
+                .choose(&targets, &pred, &sigma)
+                .unwrap();
+            assert_eq!(max.get_int(&Var::new("x")), Some(hi));
+        },
+    );
+}
 
-    /// Extremal oracles hit the exact box endpoints.
-    #[test]
-    fn extremal_oracles_reach_endpoints(lo in -20i64..20, width in 0i64..15) {
-        let hi = lo + width;
-        let pred = box_pred(lo, hi);
-        let sigma = State::from_ints([("x", 0)]);
-        let targets = [Var::new("x")];
-        let min = ExtremalOracle::minimizing()
-            .choose(&targets, &pred, &sigma)
+/// Under the identity oracle, the relaxed semantics of a program whose
+/// relax predicates admit the current values is *identical* to the
+/// original semantics.
+#[test]
+fn identity_oracle_shadows_original() {
+    check(
+        "identity_oracle_shadows_original",
+        |rng| (rng.gen_range(-5..=4), rng.gen_range(0..=5)),
+        |&(start, n)| {
+            let program = relaxed_lang::parse_stmt(
+                "x0 = x;
+                 relax (x) st (x0 - 2 <= x && x <= x0 + 2);
+                 i = 0;
+                 while (i < n) { x = x + 1; i = i + 1; }",
+            )
             .unwrap();
-        prop_assert_eq!(min.get_int(&Var::new("x")), Some(lo));
-        let max = ExtremalOracle::maximizing()
-            .choose(&targets, &pred, &sigma)
+            let sigma = State::from_ints([("x", start), ("n", n)]);
+            let o = run_original(&program, sigma.clone(), &mut IdentityOracle, 10_000);
+            let r = run_relaxed(&program, sigma, &mut IdentityOracle, 10_000);
+            assert_eq!(o, r);
+        },
+    );
+}
+
+/// A deterministic (choice-free) program has exactly one enumerated
+/// outcome, and it matches the direct run.
+#[test]
+fn enumeration_matches_run_on_deterministic_programs() {
+    check(
+        "enumeration_matches_run_on_deterministic_programs",
+        |rng| (rng.gen_range(-5..=4), rng.gen_range(-5..=4)),
+        |&(a, b)| {
+            let program = relaxed_lang::parse_stmt(
+                "s = 0;
+                 if (a < b) { s = b - a; } else { s = a - b; }",
+            )
             .unwrap();
-        prop_assert_eq!(max.get_int(&Var::new("x")), Some(hi));
-    }
+            let sigma = State::from_ints([("a", a), ("b", b)]);
+            let direct = run_original(&program, sigma.clone(), &mut IdentityOracle, 10_000);
+            let all = run_all(&program, sigma, Mode::Original, EnumConfig::default());
+            assert_eq!(all.outcomes.len(), 1);
+            assert_eq!(&all.outcomes[0], &direct);
+        },
+    );
+}
 
-    /// Under the identity oracle, the relaxed semantics of a program whose
-    /// relax predicates admit the current values is *identical* to the
-    /// original semantics.
-    #[test]
-    fn identity_oracle_shadows_original(start in -5i64..5, n in 0i64..6) {
-        let program = relaxed_lang::parse_stmt(
-            "x0 = x;
-             relax (x) st (x0 - 2 <= x && x <= x0 + 2);
-             i = 0;
-             while (i < n) { x = x + 1; i = i + 1; }",
-        )
-        .unwrap();
-        let sigma = State::from_ints([("x", start), ("n", n)]);
-        let o = run_original(&program, sigma.clone(), &mut IdentityOracle, 10_000);
-        let r = run_relaxed(&program, sigma, &mut IdentityOracle, 10_000);
-        prop_assert_eq!(o, r);
-    }
-
-    /// A deterministic (choice-free) program has exactly one enumerated
-    /// outcome, and it matches the direct run.
-    #[test]
-    fn enumeration_matches_run_on_deterministic_programs(a in -5i64..5, b in -5i64..5) {
-        let program = relaxed_lang::parse_stmt(
-            "s = 0;
-             if (a < b) { s = b - a; } else { s = a - b; }",
-        )
-        .unwrap();
-        let sigma = State::from_ints([("a", a), ("b", b)]);
-        let direct = run_original(&program, sigma.clone(), &mut IdentityOracle, 10_000);
-        let all = run_all(&program, sigma, Mode::Original, EnumConfig::default());
-        prop_assert_eq!(all.outcomes.len(), 1);
-        prop_assert_eq!(&all.outcomes[0], &direct);
-    }
-
-    /// Every enumerated relaxed outcome of a bounded relax is reachable:
-    /// the set of final x values is exactly the predicate's box clipped to
-    /// the enumeration domain.
-    #[test]
-    fn enumeration_covers_choice_box(lo in -3i64..0, width in 0i64..3) {
-        let hi = lo + width;
-        let program = Stmt::seq([
-            relaxed_lang::builder::assign("x", c(lo)),
-            relaxed_lang::builder::relax(["x"], box_pred(lo, hi)),
-        ]);
-        let config = EnumConfig { lo: -4, hi: 4, fuel: 1_000, max_outcomes: 10_000 };
-        let all = run_all(&program, State::new(), Mode::Relaxed, config);
-        let mut values: Vec<i64> = all
-            .terminated()
-            .map(|(s, _)| s.get_int(&Var::new("x")).unwrap())
-            .collect();
-        values.sort_unstable();
-        let expected: Vec<i64> = (lo..=hi).collect();
-        prop_assert_eq!(values, expected);
-    }
+/// Every enumerated relaxed outcome of a bounded relax is reachable: the
+/// set of final x values is exactly the predicate's box clipped to the
+/// enumeration domain.
+#[test]
+fn enumeration_covers_choice_box() {
+    check(
+        "enumeration_covers_choice_box",
+        |rng| (rng.gen_range(-3..=-1), rng.gen_range(0..=2)),
+        |&(lo, width)| {
+            let hi = lo + width;
+            let program = Stmt::seq([
+                relaxed_lang::builder::assign("x", c(lo)),
+                relaxed_lang::builder::relax(["x"], box_pred(lo, hi)),
+            ]);
+            let config = EnumConfig {
+                lo: -4,
+                hi: 4,
+                fuel: 1_000,
+                max_outcomes: 10_000,
+            };
+            let all = run_all(&program, State::new(), Mode::Relaxed, config);
+            let mut values: Vec<i64> = all
+                .terminated()
+                .map(|(s, _)| s.get_int(&Var::new("x")).unwrap())
+                .collect();
+            values.sort_unstable();
+            let expected: Vec<i64> = (lo..=hi).collect();
+            assert_eq!(values, expected);
+        },
+    );
 }

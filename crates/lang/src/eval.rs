@@ -113,9 +113,7 @@ pub fn eval_int(e: &IntExpr, sigma: &State) -> EvalResult<i64> {
 pub fn eval_bool(b: &BoolExpr, sigma: &State) -> EvalResult<bool> {
     match b {
         BoolExpr::Const(c) => Ok(*c),
-        BoolExpr::Cmp(op, lhs, rhs) => {
-            Ok(op.apply(eval_int(lhs, sigma)?, eval_int(rhs, sigma)?))
-        }
+        BoolExpr::Cmp(op, lhs, rhs) => Ok(op.apply(eval_int(lhs, sigma)?, eval_int(rhs, sigma)?)),
         BoolExpr::Bin(op, lhs, rhs) => {
             // Non-short-circuiting, like the paper's denotational definition;
             // both operands must evaluate.
@@ -210,15 +208,11 @@ pub fn sat_formula(p: &Formula, sigma: &State, dom: QuantDomain) -> EvalResult<b
     match p {
         Formula::True => Ok(true),
         Formula::False => Ok(false),
-        Formula::Cmp(op, lhs, rhs) => {
-            Ok(op.apply(eval_int(lhs, sigma)?, eval_int(rhs, sigma)?))
-        }
+        Formula::Cmp(op, lhs, rhs) => Ok(op.apply(eval_int(lhs, sigma)?, eval_int(rhs, sigma)?)),
         Formula::And(lhs, rhs) => {
             Ok(sat_formula(lhs, sigma, dom)? && sat_formula(rhs, sigma, dom)?)
         }
-        Formula::Or(lhs, rhs) => {
-            Ok(sat_formula(lhs, sigma, dom)? || sat_formula(rhs, sigma, dom)?)
-        }
+        Formula::Or(lhs, rhs) => Ok(sat_formula(lhs, sigma, dom)? || sat_formula(rhs, sigma, dom)?),
         Formula::Implies(lhs, rhs) => {
             Ok(!sat_formula(lhs, sigma, dom)? || sat_formula(rhs, sigma, dom)?)
         }
@@ -259,12 +253,18 @@ pub fn sat_rel_formula(
             eval_rel_int(lhs, orig, relaxed)?,
             eval_rel_int(rhs, orig, relaxed)?,
         )),
-        RelFormula::And(lhs, rhs) => Ok(sat_rel_formula(lhs, orig, relaxed, dom)?
-            && sat_rel_formula(rhs, orig, relaxed, dom)?),
-        RelFormula::Or(lhs, rhs) => Ok(sat_rel_formula(lhs, orig, relaxed, dom)?
-            || sat_rel_formula(rhs, orig, relaxed, dom)?),
-        RelFormula::Implies(lhs, rhs) => Ok(!sat_rel_formula(lhs, orig, relaxed, dom)?
-            || sat_rel_formula(rhs, orig, relaxed, dom)?),
+        RelFormula::And(lhs, rhs) => {
+            Ok(sat_rel_formula(lhs, orig, relaxed, dom)?
+                && sat_rel_formula(rhs, orig, relaxed, dom)?)
+        }
+        RelFormula::Or(lhs, rhs) => {
+            Ok(sat_rel_formula(lhs, orig, relaxed, dom)?
+                || sat_rel_formula(rhs, orig, relaxed, dom)?)
+        }
+        RelFormula::Implies(lhs, rhs) => {
+            Ok(!sat_rel_formula(lhs, orig, relaxed, dom)?
+                || sat_rel_formula(rhs, orig, relaxed, dom)?)
+        }
         RelFormula::Not(inner) => Ok(!sat_rel_formula(inner, orig, relaxed, dom)?),
         RelFormula::Exists(v, side, body) => {
             for n in dom.iter() {
@@ -303,9 +303,15 @@ mod tests {
     #[test]
     fn eval_int_basics() {
         let s = sigma();
-        assert_eq!(eval_int(&(IntExpr::var("x") + IntExpr::var("y")), &s), Ok(1));
         assert_eq!(
-            eval_int(&IntExpr::select("a", IntExpr::var("x") - IntExpr::from(1)), &s),
+            eval_int(&(IntExpr::var("x") + IntExpr::var("y")), &s),
+            Ok(1)
+        );
+        assert_eq!(
+            eval_int(
+                &IntExpr::select("a", IntExpr::var("x") - IntExpr::from(1)),
+                &s
+            ),
             Ok(30)
         );
         assert_eq!(eval_int(&IntExpr::Len(Var::new("a")), &s), Ok(3));
@@ -335,7 +341,10 @@ mod tests {
     #[test]
     fn eval_bool_basics() {
         let s = sigma();
-        assert_eq!(eval_bool(&IntExpr::var("x").lt(IntExpr::from(4)), &s), Ok(true));
+        assert_eq!(
+            eval_bool(&IntExpr::var("x").lt(IntExpr::from(4)), &s),
+            Ok(true)
+        );
         assert_eq!(
             eval_bool(
                 &IntExpr::var("x")
@@ -407,9 +416,8 @@ mod tests {
         // false && (1/0 == 0): the paper's ⟦·⟧ is total over ℤ but our
         // evaluator is partial; the conjunction still evaluates both sides.
         let s = State::new();
-        let b = BoolExpr::falsity().and(
-            (IntExpr::from(1) / IntExpr::from(0)).eq_expr(IntExpr::from(0)),
-        );
+        let b = BoolExpr::falsity()
+            .and((IntExpr::from(1) / IntExpr::from(0)).eq_expr(IntExpr::from(0)));
         assert_eq!(eval_bool(&b, &s), Err(EvalError::Arithmetic));
     }
 }

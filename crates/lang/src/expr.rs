@@ -414,7 +414,14 @@ mod tests {
 
     #[test]
     fn cmp_negation_is_complementary() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             for a in -2..=2 {
                 for b in -2..=2 {
                     assert_eq!(op.apply(a, b), !op.negated().apply(a, b));

@@ -266,9 +266,7 @@ impl RelFormula {
                 Box::new(RelFormula::inject(lhs, side)),
                 Box::new(RelFormula::inject(rhs, side)),
             ),
-            Formula::Not(inner) => {
-                RelFormula::Not(Box::new(RelFormula::inject(inner, side)))
-            }
+            Formula::Not(inner) => RelFormula::Not(Box::new(RelFormula::inject(inner, side))),
             Formula::Exists(v, body) => RelFormula::inject(body, side).exists(v.clone(), side),
             Formula::Forall(v, body) => RelFormula::inject(body, side).forall(v.clone(), side),
         }
@@ -306,7 +304,10 @@ impl RelFormula {
                 let l = RelFormula::from_rel_bool_expr(lhs);
                 let r = RelFormula::from_rel_bool_expr(rhs);
                 RelFormula::And(
-                    Box::new(RelFormula::Implies(Box::new(l.clone()), Box::new(r.clone()))),
+                    Box::new(RelFormula::Implies(
+                        Box::new(l.clone()),
+                        Box::new(r.clone()),
+                    )),
                     Box::new(RelFormula::Implies(Box::new(r), Box::new(l))),
                 )
             }
@@ -332,9 +333,7 @@ impl RelFormula {
                 lhs.try_project(side)?,
                 rhs.try_project(side)?,
             )),
-            RelFormula::And(lhs, rhs) => {
-                Some(lhs.try_project(side)?.and(rhs.try_project(side)?))
-            }
+            RelFormula::And(lhs, rhs) => Some(lhs.try_project(side)?.and(rhs.try_project(side)?)),
             RelFormula::Or(lhs, rhs) => Some(lhs.try_project(side)?.or(rhs.try_project(side)?)),
             RelFormula::Implies(lhs, rhs) => {
                 Some(lhs.try_project(side)?.implies(rhs.try_project(side)?))
@@ -358,9 +357,9 @@ impl RelFormula {
     /// satisfying `self` has its `side` component satisfying the result.
     pub fn project_conjuncts(&self, side: Side) -> Formula {
         match self {
-            RelFormula::And(lhs, rhs) => lhs
-                .project_conjuncts(side)
-                .and(rhs.project_conjuncts(side)),
+            RelFormula::And(lhs, rhs) => {
+                lhs.project_conjuncts(side).and(rhs.project_conjuncts(side))
+            }
             other => other.try_project(side).unwrap_or(Formula::True),
         }
     }
@@ -371,9 +370,7 @@ impl RelFormula {
             RelFormula::True | RelFormula::False | RelFormula::Cmp(_, _, _) => true,
             RelFormula::And(lhs, rhs)
             | RelFormula::Or(lhs, rhs)
-            | RelFormula::Implies(lhs, rhs) => {
-                lhs.is_quantifier_free() && rhs.is_quantifier_free()
-            }
+            | RelFormula::Implies(lhs, rhs) => lhs.is_quantifier_free() && rhs.is_quantifier_free(),
             RelFormula::Not(inner) => inner.is_quantifier_free(),
             RelFormula::Exists(_, _, _) | RelFormula::Forall(_, _, _) => false,
         }

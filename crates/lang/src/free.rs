@@ -139,9 +139,7 @@ pub fn rel_formula_vars(p: &RelFormula) -> BTreeSet<(Var, Side)> {
             out.extend(rel_int_expr_vars(rhs));
             out
         }
-        RelFormula::And(lhs, rhs)
-        | RelFormula::Or(lhs, rhs)
-        | RelFormula::Implies(lhs, rhs) => {
+        RelFormula::And(lhs, rhs) | RelFormula::Or(lhs, rhs) | RelFormula::Implies(lhs, rhs) => {
             let mut out = rel_formula_vars(lhs);
             out.extend(rel_formula_vars(rhs));
             out
@@ -176,20 +174,15 @@ mod tests {
 
     #[test]
     fn quantifiers_bind() {
-        let p = Formula::Cmp(
-            crate::CmpOp::Lt,
-            IntExpr::var("x"),
-            IntExpr::var("y"),
-        )
-        .exists("x");
+        let p = Formula::Cmp(crate::CmpOp::Lt, IntExpr::var("x"), IntExpr::var("y")).exists("x");
         assert_eq!(formula_vars(&p), set(&["y"]));
     }
 
     #[test]
     fn shadowing_inner_binder() {
         // ∃x · (x < y ∧ ∃y · y < x): outer y free, inner y bound.
-        let inner = Formula::Cmp(crate::CmpOp::Lt, IntExpr::var("y"), IntExpr::var("x"))
-            .exists("y");
+        let inner =
+            Formula::Cmp(crate::CmpOp::Lt, IntExpr::var("y"), IntExpr::var("x")).exists("y");
         let p = Formula::Cmp(crate::CmpOp::Lt, IntExpr::var("x"), IntExpr::var("y"))
             .and(inner)
             .exists("x");

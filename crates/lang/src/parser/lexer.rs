@@ -287,7 +287,12 @@ mod tests {
         // `x < o` followed by `>` lexes as Lt, Ident, Gt.
         assert_eq!(
             toks("x < o >"),
-            vec![Tok::Ident("x".into()), Tok::Lt, Tok::Ident("o".into()), Tok::Gt]
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Lt,
+                Tok::Ident("o".into()),
+                Tok::Gt
+            ]
         );
     }
 

@@ -66,9 +66,28 @@ impl From<LexError> for ParseError {
 type PResult<T> = Result<T, ParseError>;
 
 const KEYWORDS: &[&str] = &[
-    "skip", "if", "else", "while", "havoc", "relax", "st", "assume", "assert", "relate", "true",
-    "false", "invariant", "rinvariant", "diverge", "pre_o", "pre_r", "post_o", "post_r",
-    "exists", "forall", "len",
+    "skip",
+    "if",
+    "else",
+    "while",
+    "havoc",
+    "relax",
+    "st",
+    "assume",
+    "assert",
+    "relate",
+    "true",
+    "false",
+    "invariant",
+    "rinvariant",
+    "diverge",
+    "pre_o",
+    "pre_r",
+    "post_o",
+    "post_r",
+    "exists",
+    "forall",
+    "len",
 ];
 
 struct Parser {
@@ -123,7 +142,8 @@ impl Parser {
         } else {
             self.error(format!(
                 "expected `{tok}`, found {}",
-                self.peek().map_or("end of input".to_string(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_string(), |t| format!("`{t}`"))
             ))
         }
     }

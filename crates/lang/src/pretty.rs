@@ -331,9 +331,7 @@ fn fmt_rel_formula_prec(p: &RelFormula, min_prec: u8, f: &mut fmt::Formatter<'_>
         }
         RelFormula::And(lhs, rhs) => fmt_rel_formula_bin("&&", 4, lhs, rhs, min_prec, false, f),
         RelFormula::Or(lhs, rhs) => fmt_rel_formula_bin("||", 3, lhs, rhs, min_prec, false, f),
-        RelFormula::Implies(lhs, rhs) => {
-            fmt_rel_formula_bin("==>", 2, lhs, rhs, min_prec, true, f)
-        }
+        RelFormula::Implies(lhs, rhs) => fmt_rel_formula_bin("==>", 2, lhs, rhs, min_prec, true, f),
         RelFormula::Not(inner) => {
             f.write_char('!')?;
             fmt_rel_formula_prec(inner, 6, f)
@@ -534,7 +532,9 @@ mod tests {
     fn quantifier_parenthesized_under_connectives() {
         let p = Formula::Cmp(CmpOp::Lt, x(), y()).exists("x");
         assert_eq!(p.to_string(), "exists x . x < y");
-        let q = p.clone().and(Formula::Cmp(CmpOp::Ge, y(), IntExpr::from(0)));
+        let q = p
+            .clone()
+            .and(Formula::Cmp(CmpOp::Ge, y(), IntExpr::from(0)));
         assert_eq!(q.to_string(), "(exists x . x < y) && y >= 0");
     }
 

@@ -83,11 +83,9 @@ impl RelIntExpr {
                 RelIntExpr::inject(lhs, side),
                 RelIntExpr::inject(rhs, side),
             ),
-            IntExpr::Select(v, index) => RelIntExpr::Select(
-                v.clone(),
-                side,
-                Box::new(RelIntExpr::inject(index, side)),
-            ),
+            IntExpr::Select(v, index) => {
+                RelIntExpr::Select(v.clone(), side, Box::new(RelIntExpr::inject(index, side)))
+            }
             IntExpr::Len(v) => RelIntExpr::Len(v.clone(), side),
         }
     }

@@ -170,11 +170,7 @@ impl State {
     /// Checks the frame condition of the paper's `havoc-t` rule:
     /// `∀ x ∉ X · σ(x) = σ'(x)` — both states agree on every variable
     /// outside `xs` (including agreeing on which variables are bound).
-    pub fn agrees_except<'a>(
-        &self,
-        other: &State,
-        xs: impl IntoIterator<Item = &'a Var>,
-    ) -> bool {
+    pub fn agrees_except<'a>(&self, other: &State, xs: impl IntoIterator<Item = &'a Var>) -> bool {
         let excluded: std::collections::BTreeSet<&Var> = xs.into_iter().collect();
         let keys: std::collections::BTreeSet<&Var> =
             self.map.keys().chain(other.map.keys()).collect();

@@ -441,10 +441,7 @@ mod tests {
             Stmt::Havoc(vec![Var::new("z")], BoolExpr::truth()),
         ]);
         let relaxed: Vec<_> = s.modified_vars().into_iter().collect();
-        assert_eq!(
-            relaxed,
-            vec![Var::new("x"), Var::new("y"), Var::new("z")]
-        );
+        assert_eq!(relaxed, vec![Var::new("x"), Var::new("y"), Var::new("z")]);
         let original: Vec<_> = s.modified_vars_original().into_iter().collect();
         assert_eq!(original, vec![Var::new("x"), Var::new("z")]);
     }

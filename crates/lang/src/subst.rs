@@ -129,9 +129,9 @@ impl Subst {
         match self.map.get(v) {
             None => v.clone(),
             Some(IntExpr::Var(w)) => w.clone(),
-            Some(other) => panic!(
-                "cannot substitute array variable {v} by non-variable expression {other:?}"
-            ),
+            Some(other) => {
+                panic!("cannot substitute array variable {v} by non-variable expression {other:?}")
+            }
         }
     }
 
@@ -371,7 +371,10 @@ mod tests {
     fn simple_substitution() {
         let p = Formula::Cmp(CmpOp::Lt, x(), IntExpr::from(3));
         let q = Subst::single("x", y() + IntExpr::from(1)).apply(&p);
-        assert_eq!(q, Formula::Cmp(CmpOp::Lt, y() + IntExpr::from(1), IntExpr::from(3)));
+        assert_eq!(
+            q,
+            Formula::Cmp(CmpOp::Lt, y() + IntExpr::from(1), IntExpr::from(3))
+        );
     }
 
     #[test]
@@ -411,11 +414,7 @@ mod tests {
 
     #[test]
     fn array_rename_via_variable() {
-        let p = Formula::Cmp(
-            CmpOp::Ge,
-            IntExpr::select("a", x()),
-            IntExpr::from(0),
-        );
+        let p = Formula::Cmp(CmpOp::Ge, IntExpr::select("a", x()), IntExpr::from(0));
         let q = Subst::single("a", IntExpr::var("b")).apply(&p);
         assert_eq!(
             q,
@@ -461,8 +460,12 @@ mod tests {
     #[test]
     fn rel_capture_is_avoided() {
         // (∃y<r> · x<r> < y<r>)[y<r>/x<r>] must rename the binder.
-        let p = RelFormula::Cmp(CmpOp::Lt, RelIntExpr::relaxed("x"), RelIntExpr::relaxed("y"))
-            .exists("y", Side::Relaxed);
+        let p = RelFormula::Cmp(
+            CmpOp::Lt,
+            RelIntExpr::relaxed("x"),
+            RelIntExpr::relaxed("y"),
+        )
+        .exists("y", Side::Relaxed);
         let q = RelSubst::single("x", Side::Relaxed, RelIntExpr::relaxed("y")).apply(&p);
         match &q {
             RelFormula::Exists(bound, Side::Relaxed, body) => {

@@ -1,8 +1,13 @@
 //! Property tests: pretty-print/parse round-trips and the substitution
 //! lemma (the semantic property the paper's Coq development spends ~3500
 //! lines establishing for its relational assertion logic).
+//!
+//! The offline build environment has no `proptest`, so each property runs
+//! over 256 cases drawn from a seeded in-file generator — same shape
+//! (random structured inputs, universally quantified assertion),
+//! deterministic failures.
 
-use proptest::prelude::*;
+use relaxed_interp::rng::SplitMix64;
 use relaxed_lang::eval::{eval_int, sat_formula, sat_rel_formula, QuantDomain};
 use relaxed_lang::subst::{RelSubst, Subst};
 use relaxed_lang::{
@@ -12,231 +17,300 @@ use relaxed_lang::{
 };
 
 const NAMES: &[&str] = &["x", "y", "z", "n", "k"];
+const CASES: u64 = 256;
 
-fn arb_var() -> impl Strategy<Value = Var> {
-    prop::sample::select(NAMES).prop_map(Var::new)
+/// A fresh generator per (test, case) pair, so failures replay alone.
+fn case_rng(test_seed: u64, case: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-fn arb_side() -> impl Strategy<Value = Side> {
-    prop_oneof![Just(Side::Original), Just(Side::Relaxed)]
+fn gen_var(rng: &mut SplitMix64) -> Var {
+    Var::new(NAMES[rng.gen_u32_below(NAMES.len() as u32) as usize])
 }
 
-fn arb_int_op() -> impl Strategy<Value = IntBinOp> {
-    prop_oneof![
-        Just(IntBinOp::Add),
-        Just(IntBinOp::Sub),
-        Just(IntBinOp::Mul),
-        Just(IntBinOp::Div),
-        Just(IntBinOp::Mod),
-    ]
+fn gen_side(rng: &mut SplitMix64) -> Side {
+    if rng.gen_bool() {
+        Side::Original
+    } else {
+        Side::Relaxed
+    }
 }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-    ]
+fn gen_int_op(rng: &mut SplitMix64) -> IntBinOp {
+    match rng.gen_u32_below(5) {
+        0 => IntBinOp::Add,
+        1 => IntBinOp::Sub,
+        2 => IntBinOp::Mul,
+        3 => IntBinOp::Div,
+        _ => IntBinOp::Mod,
+    }
 }
 
-fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(IntExpr::Const),
-        arb_var().prop_map(IntExpr::Var),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (arb_int_op(), inner.clone(), inner)
-            .prop_map(|(op, lhs, rhs)| IntExpr::bin(op, lhs, rhs))
-    })
+fn gen_cmp(rng: &mut SplitMix64) -> CmpOp {
+    match rng.gen_u32_below(6) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    }
 }
 
-fn arb_bool_expr() -> impl Strategy<Value = BoolExpr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(BoolExpr::Const),
-        (arb_cmp(), arb_int_expr(), arb_int_expr())
-            .prop_map(|(op, lhs, rhs)| BoolExpr::Cmp(op, lhs, rhs)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::bin(
-                relaxed_lang::BoolBinOp::And,
-                a,
-                b
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::bin(
-                relaxed_lang::BoolBinOp::Or,
-                a,
-                b
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::bin(
-                relaxed_lang::BoolBinOp::Implies,
-                a,
-                b
-            )),
-            inner.prop_map(|a| BoolExpr::Not(Box::new(a))),
-        ]
-    })
+fn gen_int_expr(rng: &mut SplitMix64, depth: u32) -> IntExpr {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return if rng.gen_bool() {
+            IntExpr::Const(rng.gen_range(-20..=19))
+        } else {
+            IntExpr::Var(gen_var(rng))
+        };
+    }
+    IntExpr::bin(
+        gen_int_op(rng),
+        gen_int_expr(rng, depth - 1),
+        gen_int_expr(rng, depth - 1),
+    )
 }
 
-fn arb_rel_int_expr() -> impl Strategy<Value = RelIntExpr> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(RelIntExpr::Const),
-        (arb_var(), arb_side()).prop_map(|(v, s)| RelIntExpr::Var(v, s)),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (arb_int_op(), inner.clone(), inner)
-            .prop_map(|(op, lhs, rhs)| RelIntExpr::bin(op, lhs, rhs))
-    })
+fn gen_bool_expr(rng: &mut SplitMix64, depth: u32) -> BoolExpr {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return if rng.gen_u32_below(4) == 0 {
+            BoolExpr::Const(rng.gen_bool())
+        } else {
+            BoolExpr::Cmp(gen_cmp(rng), gen_int_expr(rng, 2), gen_int_expr(rng, 2))
+        };
+    }
+    match rng.gen_u32_below(4) {
+        0 => BoolExpr::bin(
+            relaxed_lang::BoolBinOp::And,
+            gen_bool_expr(rng, depth - 1),
+            gen_bool_expr(rng, depth - 1),
+        ),
+        1 => BoolExpr::bin(
+            relaxed_lang::BoolBinOp::Or,
+            gen_bool_expr(rng, depth - 1),
+            gen_bool_expr(rng, depth - 1),
+        ),
+        2 => BoolExpr::bin(
+            relaxed_lang::BoolBinOp::Implies,
+            gen_bool_expr(rng, depth - 1),
+            gen_bool_expr(rng, depth - 1),
+        ),
+        _ => BoolExpr::Not(Box::new(gen_bool_expr(rng, depth - 1))),
+    }
 }
 
-fn arb_rel_bool_expr() -> impl Strategy<Value = RelBoolExpr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(RelBoolExpr::Const),
-        (arb_cmp(), arb_rel_int_expr(), arb_rel_int_expr())
-            .prop_map(|(op, lhs, rhs)| RelBoolExpr::Cmp(op, lhs, rhs)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RelBoolExpr::bin(
-                relaxed_lang::BoolBinOp::And,
-                a,
-                b
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RelBoolExpr::bin(
-                relaxed_lang::BoolBinOp::Or,
-                a,
-                b
-            )),
-            inner.prop_map(|a| RelBoolExpr::Not(Box::new(a))),
-        ]
-    })
+fn gen_rel_int_expr(rng: &mut SplitMix64, depth: u32) -> RelIntExpr {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return if rng.gen_bool() {
+            RelIntExpr::Const(rng.gen_range(-20..=19))
+        } else {
+            RelIntExpr::Var(gen_var(rng), gen_side(rng))
+        };
+    }
+    RelIntExpr::bin(
+        gen_int_op(rng),
+        gen_rel_int_expr(rng, depth - 1),
+        gen_rel_int_expr(rng, depth - 1),
+    )
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (arb_cmp(), arb_int_expr(), arb_int_expr())
-            .prop_map(|(op, lhs, rhs)| Formula::Cmp(op, lhs, rhs)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
-            (arb_var(), inner.clone()).prop_map(|(v, a)| Formula::Exists(v, Box::new(a))),
-            (arb_var(), inner).prop_map(|(v, a)| Formula::Forall(v, Box::new(a))),
-        ]
-    })
+fn gen_rel_bool_expr(rng: &mut SplitMix64, depth: u32) -> RelBoolExpr {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return if rng.gen_u32_below(4) == 0 {
+            RelBoolExpr::Const(rng.gen_bool())
+        } else {
+            RelBoolExpr::Cmp(
+                gen_cmp(rng),
+                gen_rel_int_expr(rng, 2),
+                gen_rel_int_expr(rng, 2),
+            )
+        };
+    }
+    match rng.gen_u32_below(3) {
+        0 => RelBoolExpr::bin(
+            relaxed_lang::BoolBinOp::And,
+            gen_rel_bool_expr(rng, depth - 1),
+            gen_rel_bool_expr(rng, depth - 1),
+        ),
+        1 => RelBoolExpr::bin(
+            relaxed_lang::BoolBinOp::Or,
+            gen_rel_bool_expr(rng, depth - 1),
+            gen_rel_bool_expr(rng, depth - 1),
+        ),
+        _ => RelBoolExpr::Not(Box::new(gen_rel_bool_expr(rng, depth - 1))),
+    }
 }
 
-fn arb_rel_formula() -> impl Strategy<Value = RelFormula> {
-    let leaf = prop_oneof![
-        Just(RelFormula::True),
-        Just(RelFormula::False),
-        (arb_cmp(), arb_rel_int_expr(), arb_rel_int_expr())
-            .prop_map(|(op, lhs, rhs)| RelFormula::Cmp(op, lhs, rhs)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RelFormula::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RelFormula::Or(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| RelFormula::Not(Box::new(a))),
-            (arb_var(), arb_side(), inner.clone())
-                .prop_map(|(v, s, a)| RelFormula::Exists(v, s, Box::new(a))),
-            (arb_var(), arb_side(), inner)
-                .prop_map(|(v, s, a)| RelFormula::Forall(v, s, Box::new(a))),
-        ]
-    })
+fn gen_formula(rng: &mut SplitMix64, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return match rng.gen_u32_below(5) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Cmp(gen_cmp(rng), gen_int_expr(rng, 2), gen_int_expr(rng, 2)),
+        };
+    }
+    match rng.gen_u32_below(6) {
+        0 => Formula::And(
+            Box::new(gen_formula(rng, depth - 1)),
+            Box::new(gen_formula(rng, depth - 1)),
+        ),
+        1 => Formula::Or(
+            Box::new(gen_formula(rng, depth - 1)),
+            Box::new(gen_formula(rng, depth - 1)),
+        ),
+        2 => Formula::Implies(
+            Box::new(gen_formula(rng, depth - 1)),
+            Box::new(gen_formula(rng, depth - 1)),
+        ),
+        3 => Formula::Not(Box::new(gen_formula(rng, depth - 1))),
+        4 => Formula::Exists(gen_var(rng), Box::new(gen_formula(rng, depth - 1))),
+        _ => Formula::Forall(gen_var(rng), Box::new(gen_formula(rng, depth - 1))),
+    }
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        Just(Stmt::Skip),
-        (arb_var(), arb_int_expr()).prop_map(|(v, e)| Stmt::Assign(v, e)),
-        (arb_var(), arb_bool_expr()).prop_map(|(v, b)| Stmt::Havoc(vec![v], b)),
-        (arb_var(), arb_bool_expr()).prop_map(|(v, b)| Stmt::Relax(vec![v], b)),
-        arb_bool_expr().prop_map(Stmt::Assume),
-        arb_bool_expr().prop_map(Stmt::Assert),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (arb_bool_expr(), inner.clone(), inner.clone())
-                .prop_map(|(b, s1, s2)| Stmt::if_then_else(b, s1, s2)),
-            (arb_bool_expr(), inner.clone()).prop_map(|(b, s)| Stmt::while_loop(b, s)),
-            prop::collection::vec(inner, 1..3).prop_map(Stmt::seq),
-        ]
-    })
+fn gen_rel_formula(rng: &mut SplitMix64, depth: u32) -> RelFormula {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return match rng.gen_u32_below(5) {
+            0 => RelFormula::True,
+            1 => RelFormula::False,
+            _ => RelFormula::Cmp(
+                gen_cmp(rng),
+                gen_rel_int_expr(rng, 2),
+                gen_rel_int_expr(rng, 2),
+            ),
+        };
+    }
+    match rng.gen_u32_below(5) {
+        0 => RelFormula::And(
+            Box::new(gen_rel_formula(rng, depth - 1)),
+            Box::new(gen_rel_formula(rng, depth - 1)),
+        ),
+        1 => RelFormula::Or(
+            Box::new(gen_rel_formula(rng, depth - 1)),
+            Box::new(gen_rel_formula(rng, depth - 1)),
+        ),
+        2 => RelFormula::Not(Box::new(gen_rel_formula(rng, depth - 1))),
+        3 => RelFormula::Exists(
+            gen_var(rng),
+            gen_side(rng),
+            Box::new(gen_rel_formula(rng, depth - 1)),
+        ),
+        _ => RelFormula::Forall(
+            gen_var(rng),
+            gen_side(rng),
+            Box::new(gen_rel_formula(rng, depth - 1)),
+        ),
+    }
 }
 
-fn arb_state() -> impl Strategy<Value = State> {
-    prop::collection::vec(-10i64..10, NAMES.len()).prop_map(|vals| {
-        NAMES
-            .iter()
-            .zip(vals)
-            .map(|(name, value)| (*name, value))
-            .collect()
-    })
+fn gen_stmt(rng: &mut SplitMix64, depth: u32) -> Stmt {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return match rng.gen_u32_below(6) {
+            0 => Stmt::Skip,
+            1 => Stmt::Assign(gen_var(rng), gen_int_expr(rng, 2)),
+            2 => Stmt::Havoc(vec![gen_var(rng)], gen_bool_expr(rng, 2)),
+            3 => Stmt::Relax(vec![gen_var(rng)], gen_bool_expr(rng, 2)),
+            4 => Stmt::Assume(gen_bool_expr(rng, 2)),
+            _ => Stmt::Assert(gen_bool_expr(rng, 2)),
+        };
+    }
+    match rng.gen_u32_below(3) {
+        0 => Stmt::if_then_else(
+            gen_bool_expr(rng, 2),
+            gen_stmt(rng, depth - 1),
+            gen_stmt(rng, depth - 1),
+        ),
+        1 => Stmt::while_loop(gen_bool_expr(rng, 2), gen_stmt(rng, depth - 1)),
+        _ => {
+            let n = 1 + rng.gen_u32_below(2);
+            Stmt::seq((0..n).map(|_| gen_stmt(rng, depth - 1)).collect::<Vec<_>>())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_state(rng: &mut SplitMix64) -> State {
+    NAMES
+        .iter()
+        .map(|name| (*name, rng.gen_range(-10..=9)))
+        .collect()
+}
 
-    #[test]
-    fn int_expr_roundtrip(e in arb_int_expr()) {
+#[test]
+fn int_expr_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA001, case);
+        let e = gen_int_expr(&mut rng, 3);
         let text = e.to_string();
         let parsed = parse_int_expr(&text).expect("pretty output must parse");
-        prop_assert_eq!(parsed, e);
+        assert_eq!(parsed, e, "case {case}: {text}");
     }
+}
 
-    #[test]
-    fn bool_expr_roundtrip(b in arb_bool_expr()) {
+#[test]
+fn bool_expr_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA002, case);
+        let b = gen_bool_expr(&mut rng, 3);
         let text = b.to_string();
         let parsed = parse_bool_expr(&text).expect("pretty output must parse");
-        prop_assert_eq!(parsed, b);
+        assert_eq!(parsed, b, "case {case}: {text}");
     }
+}
 
-    #[test]
-    fn rel_bool_expr_roundtrip(b in arb_rel_bool_expr()) {
+#[test]
+fn rel_bool_expr_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA003, case);
+        let b = gen_rel_bool_expr(&mut rng, 3);
         let text = b.to_string();
         let parsed = parse_rel_bool_expr(&text).expect("pretty output must parse");
-        prop_assert_eq!(parsed, b);
+        assert_eq!(parsed, b, "case {case}: {text}");
     }
+}
 
-    #[test]
-    fn formula_roundtrip(p in arb_formula()) {
+#[test]
+fn formula_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA004, case);
+        let p = gen_formula(&mut rng, 3);
         let text = p.to_string();
         let parsed = parse_formula(&text).expect("pretty output must parse");
-        prop_assert_eq!(parsed, p);
+        assert_eq!(parsed, p, "case {case}: {text}");
     }
+}
 
-    #[test]
-    fn rel_formula_roundtrip(p in arb_rel_formula()) {
+#[test]
+fn rel_formula_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA005, case);
+        let p = gen_rel_formula(&mut rng, 3);
         let text = p.to_string();
         let parsed = parse_rel_formula(&text).expect("pretty output must parse");
-        prop_assert_eq!(parsed, p);
+        assert_eq!(parsed, p, "case {case}: {text}");
     }
+}
 
-    #[test]
-    fn stmt_roundtrip(s in arb_stmt()) {
+#[test]
+fn stmt_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA006, case);
+        let s = gen_stmt(&mut rng, 3);
         let text = relaxed_lang::pretty::pretty_stmt(&s);
         let parsed = parse_stmt(&text).expect("pretty output must parse");
-        prop_assert_eq!(parsed, s);
+        assert_eq!(parsed, s, "case {case}: {text}");
     }
+}
 
-    /// The substitution lemma for expressions:
-    /// ⟦e[d/x]⟧(σ) = ⟦e⟧(σ[x ↦ ⟦d⟧(σ)]).
-    #[test]
-    fn int_subst_lemma(e in arb_int_expr(), d in arb_int_expr(), sigma in arb_state()) {
+/// The substitution lemma for expressions:
+/// ⟦e[d/x]⟧(σ) = ⟦e⟧(σ[x ↦ ⟦d⟧(σ)]).
+#[test]
+fn int_subst_lemma() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA007, case);
+        let e = gen_int_expr(&mut rng, 3);
+        let d = gen_int_expr(&mut rng, 3);
+        let sigma = gen_state(&mut rng);
         let x = Var::new("x");
         if let Ok(dv) = eval_int(&d, &sigma) {
             let substituted = Subst::single(x.clone(), d).apply_int(&e);
@@ -244,17 +318,23 @@ proptest! {
             updated.set(x, dv);
             let lhs = eval_int(&substituted, &sigma);
             let rhs = eval_int(&e, &updated);
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs, "case {case}: {e} / {substituted}");
         }
     }
+}
 
-    /// The substitution lemma for formulas (with bounded quantifiers):
-    /// σ ⊨ P[d/x]  ⟺  σ[x ↦ ⟦d⟧(σ)] ⊨ P, for constant d.
-    ///
-    /// `d` is a constant so bound-quantifier instantiation commutes with
-    /// substitution.
-    #[test]
-    fn formula_subst_lemma(p in arb_formula(), n in -8i64..8, sigma in arb_state()) {
+/// The substitution lemma for formulas (with bounded quantifiers):
+/// σ ⊨ P[d/x]  ⟺  σ[x ↦ ⟦d⟧(σ)] ⊨ P, for constant d.
+///
+/// `d` is a constant so bound-quantifier instantiation commutes with
+/// substitution.
+#[test]
+fn formula_subst_lemma() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA008, case);
+        let p = gen_formula(&mut rng, 3);
+        let n = rng.gen_range(-8..=7);
+        let sigma = gen_state(&mut rng);
         let x = Var::new("x");
         let d = IntExpr::Const(n);
         let dom = QuantDomain::new(-10, 10);
@@ -263,23 +343,24 @@ proptest! {
         updated.set(x, n);
         let lhs = sat_formula(&substituted, &sigma, dom);
         let rhs = sat_formula(&p, &updated, dom);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}: {p}");
     }
+}
 
-    /// The relational substitution lemma: substituting a constant for a
-    /// side-tagged variable agrees with updating that side's state.
-    #[test]
-    fn rel_formula_subst_lemma(
-        p in arb_rel_formula(),
-        n in -8i64..8,
-        side in arb_side(),
-        orig in arb_state(),
-        relaxed in arb_state(),
-    ) {
+/// The relational substitution lemma: substituting a constant for a
+/// side-tagged variable agrees with updating that side's state.
+#[test]
+fn rel_formula_subst_lemma() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA009, case);
+        let p = gen_rel_formula(&mut rng, 3);
+        let n = rng.gen_range(-8..=7);
+        let side = gen_side(&mut rng);
+        let orig = gen_state(&mut rng);
+        let relaxed = gen_state(&mut rng);
         let x = Var::new("x");
         let dom = QuantDomain::new(-10, 10);
-        let substituted =
-            RelSubst::single(x.clone(), side, RelIntExpr::Const(n)).apply(&p);
+        let substituted = RelSubst::single(x.clone(), side, RelIntExpr::Const(n)).apply(&p);
         let (mut orig2, mut relaxed2) = (orig.clone(), relaxed.clone());
         match side {
             Side::Original => orig2.set(x, n),
@@ -287,22 +368,30 @@ proptest! {
         }
         let lhs = sat_rel_formula(&substituted, &orig, &relaxed, dom);
         let rhs = sat_rel_formula(&p, &orig2, &relaxed2, dom);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}: {p}");
     }
+}
 
-    /// Injection agreement: (σ, σ') ⊨ inj_o(P) ⟺ σ ⊨ P (and dually).
-    #[test]
-    fn injection_semantics(p in arb_formula(), orig in arb_state(), relaxed in arb_state()) {
+/// Injection agreement: (σ, σ') ⊨ inj_o(P) ⟺ σ ⊨ P (and dually).
+#[test]
+fn injection_semantics() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA00A, case);
+        let p = gen_formula(&mut rng, 3);
+        let orig = gen_state(&mut rng);
+        let relaxed = gen_state(&mut rng);
         let dom = QuantDomain::new(-10, 10);
         let inj_o = RelFormula::inject(&p, Side::Original);
         let inj_r = RelFormula::inject(&p, Side::Relaxed);
-        prop_assert_eq!(
+        assert_eq!(
             sat_rel_formula(&inj_o, &orig, &relaxed, dom),
-            sat_formula(&p, &orig, dom)
+            sat_formula(&p, &orig, dom),
+            "case {case}: {p}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             sat_rel_formula(&inj_r, &orig, &relaxed, dom),
-            sat_formula(&p, &relaxed, dom)
+            sat_formula(&p, &relaxed, dom),
+            "case {case}: {p}"
         );
     }
 }

@@ -63,6 +63,10 @@ pub enum ITerm {
     Len(String),
 }
 
+// The builder methods deliberately shadow the `std::ops` names: `a.add(b)`
+// reads as term construction, and operator overloads would force
+// by-reference/by-value duplicates for little gain.
+#[allow(clippy::should_implement_trait)]
 impl ITerm {
     /// A variable term.
     pub fn var(name: impl Into<String>) -> ITerm {

@@ -122,26 +122,31 @@ impl CnfBuilder {
         match b {
             BTerm::True => Ok(self.true_lit()),
             BTerm::False => Ok(self.true_lit().negated()),
-            BTerm::Atom(rel, lhs, rhs) => match rel {
-                Rel::Eq => {
-                    let both = BTerm::Atom(Rel::Le, lhs.clone(), rhs.clone())
-                        .and(BTerm::Atom(Rel::Ge, lhs.clone(), rhs.clone()));
-                    self.encode(&both)
-                }
-                Rel::Ne => {
-                    let either = BTerm::Atom(Rel::Lt, lhs.clone(), rhs.clone())
-                        .or(BTerm::Atom(Rel::Gt, lhs.clone(), rhs.clone()));
-                    self.encode(&either)
-                }
-                _ => {
-                    let (form, k) = self.linearize(lhs, rhs)?;
-                    match canon_ineq(form, k, *rel) {
-                        CanonAtom::True => Ok(self.true_lit()),
-                        CanonAtom::False => Ok(self.true_lit().negated()),
-                        CanonAtom::Ineq(atom) => Ok(self.atom_lit(atom)),
+            BTerm::Atom(rel, lhs, rhs) => {
+                match rel {
+                    Rel::Eq => {
+                        let both = BTerm::Atom(Rel::Le, lhs.clone(), rhs.clone()).and(BTerm::Atom(
+                            Rel::Ge,
+                            lhs.clone(),
+                            rhs.clone(),
+                        ));
+                        self.encode(&both)
+                    }
+                    Rel::Ne => {
+                        let either = BTerm::Atom(Rel::Lt, lhs.clone(), rhs.clone())
+                            .or(BTerm::Atom(Rel::Gt, lhs.clone(), rhs.clone()));
+                        self.encode(&either)
+                    }
+                    _ => {
+                        let (form, k) = self.linearize(lhs, rhs)?;
+                        match canon_ineq(form, k, *rel) {
+                            CanonAtom::True => Ok(self.true_lit()),
+                            CanonAtom::False => Ok(self.true_lit().negated()),
+                            CanonAtom::Ineq(atom) => Ok(self.atom_lit(atom)),
+                        }
                     }
                 }
-            },
+            }
             BTerm::And(x, y) => {
                 let lx = self.encode(x)?;
                 let ly = self.encode(y)?;

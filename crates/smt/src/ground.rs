@@ -109,8 +109,7 @@ impl Grounder {
                 }
                 let name = fresh.fresh(&format!("len_{arr}"));
                 self.len_cache.insert(arr.clone(), name.clone());
-                self.defs
-                    .push(ITerm::Var(name.clone()).ge(ITerm::Const(0)));
+                self.defs.push(ITerm::Var(name.clone()).ge(ITerm::Const(0)));
                 ITerm::Var(name)
             }
         }
@@ -254,9 +253,7 @@ mod tests {
 
     #[test]
     fn nonlinear_mul_is_weakened_and_cached() {
-        let b = x()
-            .mul(ITerm::var("y"))
-            .le(ITerm::var("y").mul(x()));
+        let b = x().mul(ITerm::var("y")).le(ITerm::var("y").mul(x()));
         let mut fresh = FreshNames::new();
         let g = groundify(&b, &mut fresh);
         assert!(g.incomplete);

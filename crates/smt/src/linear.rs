@@ -111,7 +111,10 @@ impl LinForm {
             return;
         }
         for (&x, &c) in &other.terms {
-            self.add_term(x, c.checked_mul(scale).expect("linear coefficient overflow"));
+            self.add_term(
+                x,
+                c.checked_mul(scale).expect("linear coefficient overflow"),
+            );
         }
     }
 
@@ -313,7 +316,11 @@ pub fn canon_ineq(mut form: LinForm, k: i128, rel: Rel) -> CanonAtom {
             BoundKind::Upper => 0 <= bound,
             BoundKind::Lower => 0 >= bound,
         };
-        return if holds { CanonAtom::True } else { CanonAtom::False };
+        return if holds {
+            CanonAtom::True
+        } else {
+            CanonAtom::False
+        };
     }
     // Integer tightening: divide by the content.
     let g = form.content();

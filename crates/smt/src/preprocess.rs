@@ -45,7 +45,10 @@ pub fn term_vars(t: &ITerm, out: &mut BTreeSet<String>) {
         ITerm::Var(v) => {
             out.insert(v.clone());
         }
-        ITerm::Add(a, b) | ITerm::Sub(a, b) | ITerm::Mul(a, b) | ITerm::Div(a, b)
+        ITerm::Add(a, b)
+        | ITerm::Sub(a, b)
+        | ITerm::Mul(a, b)
+        | ITerm::Div(a, b)
         | ITerm::Mod(a, b) => {
             term_vars(a, out);
             term_vars(b, out);
@@ -99,26 +102,21 @@ pub fn subst_term(t: &ITerm, x: &str, r: &ITerm) -> ITerm {
                 t.clone()
             }
         }
-        ITerm::Add(a, b) => ITerm::Add(
-            Box::new(subst_term(a, x, r)),
-            Box::new(subst_term(b, x, r)),
-        ),
-        ITerm::Sub(a, b) => ITerm::Sub(
-            Box::new(subst_term(a, x, r)),
-            Box::new(subst_term(b, x, r)),
-        ),
-        ITerm::Mul(a, b) => ITerm::Mul(
-            Box::new(subst_term(a, x, r)),
-            Box::new(subst_term(b, x, r)),
-        ),
-        ITerm::Div(a, b) => ITerm::Div(
-            Box::new(subst_term(a, x, r)),
-            Box::new(subst_term(b, x, r)),
-        ),
-        ITerm::Mod(a, b) => ITerm::Mod(
-            Box::new(subst_term(a, x, r)),
-            Box::new(subst_term(b, x, r)),
-        ),
+        ITerm::Add(a, b) => {
+            ITerm::Add(Box::new(subst_term(a, x, r)), Box::new(subst_term(b, x, r)))
+        }
+        ITerm::Sub(a, b) => {
+            ITerm::Sub(Box::new(subst_term(a, x, r)), Box::new(subst_term(b, x, r)))
+        }
+        ITerm::Mul(a, b) => {
+            ITerm::Mul(Box::new(subst_term(a, x, r)), Box::new(subst_term(b, x, r)))
+        }
+        ITerm::Div(a, b) => {
+            ITerm::Div(Box::new(subst_term(a, x, r)), Box::new(subst_term(b, x, r)))
+        }
+        ITerm::Mod(a, b) => {
+            ITerm::Mod(Box::new(subst_term(a, x, r)), Box::new(subst_term(b, x, r)))
+        }
         ITerm::Neg(a) => ITerm::Neg(Box::new(subst_term(a, x, r))),
         ITerm::Select(arr, idx) => ITerm::Select(arr.clone(), Box::new(subst_term(idx, x, r))),
     }
@@ -256,7 +254,10 @@ pub(crate) fn poly_terms(t: &ITerm) -> Option<(BTreeMap<ITerm, i128>, i128)> {
     }
     match t {
         ITerm::Const(n) => Some((BTreeMap::new(), *n as i128)),
-        ITerm::Var(_) | ITerm::Select(_, _) | ITerm::Len(_) | ITerm::Div(_, _)
+        ITerm::Var(_)
+        | ITerm::Select(_, _)
+        | ITerm::Len(_)
+        | ITerm::Div(_, _)
         | ITerm::Mod(_, _) => Some((insert(BTreeMap::new(), t.clone(), 1), 0)),
         ITerm::Add(a, b) => {
             let (ma, ka) = poly_terms(a)?;
@@ -512,11 +513,7 @@ fn elim_cube(x: &str, cube: &[Atom]) -> Option<BTerm> {
                 // x-free because its linear view had x removed).
                 let conj = BTerm::conj(cube.iter().enumerate().filter(|(j, _)| *j != i).map(
                     |(_, (r2, l2, r2t))| {
-                        BTerm::Atom(
-                            *r2,
-                            subst_term(l2, x, &bound),
-                            subst_term(r2t, x, &bound),
-                        )
+                        BTerm::Atom(*r2, subst_term(l2, x, &bound), subst_term(r2t, x, &bound))
                     },
                 ));
                 return Some(conj);
@@ -617,11 +614,18 @@ fn instantiation_candidates(
 /// Ground select-index terms per array, collected from the whole problem
 /// (the candidate pool for array-driven ∀-instantiation, an E-matching
 /// light).
-fn collect_select_pool(b: &BTerm, bound: &mut BTreeSet<String>, pool: &mut BTreeMap<String, Vec<ITerm>>) {
+fn collect_select_pool(
+    b: &BTerm,
+    bound: &mut BTreeSet<String>,
+    pool: &mut BTreeMap<String, Vec<ITerm>>,
+) {
     fn term(t: &ITerm, bound: &BTreeSet<String>, pool: &mut BTreeMap<String, Vec<ITerm>>) {
         match t {
             ITerm::Const(_) | ITerm::Var(_) | ITerm::Len(_) => {}
-            ITerm::Add(a, b) | ITerm::Sub(a, b) | ITerm::Mul(a, b) | ITerm::Div(a, b)
+            ITerm::Add(a, b)
+            | ITerm::Sub(a, b)
+            | ITerm::Mul(a, b)
+            | ITerm::Div(a, b)
             | ITerm::Mod(a, b) => {
                 term(a, bound, pool);
                 term(b, bound, pool);
@@ -666,7 +670,10 @@ fn arrays_indexed_by(b: &BTerm, x: &str, out: &mut BTreeSet<String>) {
     fn term(t: &ITerm, x: &str, out: &mut BTreeSet<String>) {
         match t {
             ITerm::Const(_) | ITerm::Var(_) | ITerm::Len(_) => {}
-            ITerm::Add(a, b) | ITerm::Sub(a, b) | ITerm::Mul(a, b) | ITerm::Div(a, b)
+            ITerm::Add(a, b)
+            | ITerm::Sub(a, b)
+            | ITerm::Mul(a, b)
+            | ITerm::Div(a, b)
             | ITerm::Mod(a, b) => {
                 term(a, x, out);
                 term(b, x, out);
@@ -742,14 +749,20 @@ pub fn eliminate_quantifiers(b: &BTerm, fresh: &mut FreshNames) -> QfResult {
     // instantiated with.
     let phase1 = elim(&normal, fresh, &mut incomplete, 0, None);
     if is_quantifier_free(&phase1) {
-        return QfResult { formula: phase1, incomplete };
+        return QfResult {
+            formula: phase1,
+            incomplete,
+        };
     }
     // Phase 2: instantiate remaining ∀s against the problem-wide pool of
     // ground select indices (array-driven triggers) and atom bounds.
     let mut pool = BTreeMap::new();
     collect_select_pool(&phase1, &mut BTreeSet::new(), &mut pool);
     let formula = elim(&phase1, fresh, &mut incomplete, 0, Some(&pool));
-    QfResult { formula, incomplete }
+    QfResult {
+        formula,
+        incomplete,
+    }
 }
 
 fn is_quantifier_free(b: &BTerm) -> bool {
@@ -779,13 +792,28 @@ fn elim(
     }
     match b {
         BTerm::True | BTerm::False | BTerm::Atom(_, _, _) => b.clone(),
-        BTerm::And(x, y) => elim(x, fresh, incomplete, depth + 1, pool)
-            .and(elim(y, fresh, incomplete, depth + 1, pool)),
-        BTerm::Or(x, y) => elim(x, fresh, incomplete, depth + 1, pool)
-            .or(elim(y, fresh, incomplete, depth + 1, pool)),
+        BTerm::And(x, y) => elim(x, fresh, incomplete, depth + 1, pool).and(elim(
+            y,
+            fresh,
+            incomplete,
+            depth + 1,
+            pool,
+        )),
+        BTerm::Or(x, y) => elim(x, fresh, incomplete, depth + 1, pool).or(elim(
+            y,
+            fresh,
+            incomplete,
+            depth + 1,
+            pool,
+        )),
         BTerm::Not(inner) => elim(&nnf(inner, true), fresh, incomplete, depth + 1, pool),
-        BTerm::Implies(x, y) => elim(&nnf(x, true), fresh, incomplete, depth + 1, pool)
-            .or(elim(y, fresh, incomplete, depth + 1, pool)),
+        BTerm::Implies(x, y) => elim(&nnf(x, true), fresh, incomplete, depth + 1, pool).or(elim(
+            y,
+            fresh,
+            incomplete,
+            depth + 1,
+            pool,
+        )),
         BTerm::Exists(x, body) => {
             let body = elim(body, fresh, incomplete, depth + 1, pool);
             if let Some(result) = try_exact_exists(x, &body) {
@@ -809,11 +837,10 @@ fn elim(
                 Some(pool) => {
                     *incomplete = true;
                     let candidates = instantiation_candidates(x, &body, pool);
-                    let conj = BTerm::conj(candidates.into_iter().map(|t| {
+                    BTerm::conj(candidates.into_iter().map(|t| {
                         let inst = subst_formula(&body, x, &t);
                         elim(&inst, fresh, incomplete, depth + 1, Some(pool))
-                    }));
-                    conj
+                    }))
                 }
             }
         }
@@ -934,7 +961,10 @@ mod tests {
 
     #[test]
     fn forall_nonunit_instantiates_and_flags() {
-        let b = ITerm::Const(2).mul(x()).rel(Rel::Ne, ITerm::Const(1)).forall("x");
+        let b = ITerm::Const(2)
+            .mul(x())
+            .rel(Rel::Ne, ITerm::Const(1))
+            .forall("x");
         let mut fresh = FreshNames::new();
         let out = eliminate_quantifiers(&b, &mut fresh);
         assert!(out.incomplete, "instantiation must flag incompleteness");

@@ -140,7 +140,9 @@ impl Add for Rat {
                 .checked_mul(rhs.den)
                 .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
                 .expect("rational overflow in +"),
-            self.den.checked_mul(rhs.den).expect("rational overflow in +"),
+            self.den
+                .checked_mul(rhs.den)
+                .expect("rational overflow in +"),
         )
     }
 }
@@ -156,14 +158,21 @@ impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
         Rat::new(
-            self.num.checked_mul(rhs.num).expect("rational overflow in *"),
-            self.den.checked_mul(rhs.den).expect("rational overflow in *"),
+            self.num
+                .checked_mul(rhs.num)
+                .expect("rational overflow in *"),
+            self.den
+                .checked_mul(rhs.den)
+                .expect("rational overflow in *"),
         )
     }
 }
 
 impl Div for Rat {
     type Output = Rat;
+    // Division as multiplication by the reciprocal is the exact-rational
+    // definition, not an arithmetic slip.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }
@@ -200,8 +209,14 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
         // den > 0, so cross-multiplying preserves order.
-        let lhs = self.num.checked_mul(other.den).expect("rational overflow in cmp");
-        let rhs = other.num.checked_mul(self.den).expect("rational overflow in cmp");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow in cmp");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow in cmp");
         lhs.cmp(&rhs)
     }
 }

@@ -28,7 +28,7 @@ impl Lit {
 
     /// Whether the literal is positive.
     pub fn is_positive(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The complementary literal.
@@ -361,9 +361,7 @@ impl SatSolver {
         if learnt.len() > 1 {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var() as usize]
-                    > self.level[learnt[max_i].var() as usize]
-                {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
                     max_i = i;
                 }
             }
@@ -467,9 +465,7 @@ impl SatSolver {
                 let value = move |v: BVar| assigns[v as usize] == 1;
                 match theory.final_check(&value) {
                     TheoryVerdict::Consistent => {
-                        return SatOutcome::Sat(
-                            self.assigns.iter().map(|&a| a == 1).collect(),
-                        );
+                        return SatOutcome::Sat(self.assigns.iter().map(|&a| a == 1).collect());
                     }
                     TheoryVerdict::Unknown => return SatOutcome::Unknown,
                     TheoryVerdict::Conflict(clause) => {
@@ -620,9 +616,7 @@ mod tests {
             if count % 2 == 0 {
                 TheoryVerdict::Consistent
             } else {
-                let clause = (0..3)
-                    .map(|v| Lit::new(v, !value(v)))
-                    .collect::<Vec<_>>();
+                let clause = (0..3).map(|v| Lit::new(v, !value(v))).collect::<Vec<_>>();
                 TheoryVerdict::Conflict(clause)
             }
         }

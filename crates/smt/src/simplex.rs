@@ -116,7 +116,10 @@ impl Simplex {
         let id = self.new_var();
         let mut row: HashMap<VarId, Rat> = HashMap::new();
         for (x, c) in f.iter() {
-            assert!((x as usize) < self.values.len() - 1, "unknown variable in def");
+            assert!(
+                (x as usize) < self.values.len() - 1,
+                "unknown variable in def"
+            );
             let c = Rat::int(c);
             if let Some(xrow) = self.rows.get(&x) {
                 // x is basic: substitute its row.
@@ -190,7 +193,10 @@ impl Simplex {
                     Some(t) => tags.push(t),
                     None => used_internal = true,
                 }
-                return Err(Conflict { tags, used_internal });
+                return Err(Conflict {
+                    tags,
+                    used_internal,
+                });
             }
         }
         self.trail.push(UndoBound {
@@ -226,7 +232,10 @@ impl Simplex {
                     Some(t) => tags.push(t),
                     None => used_internal = true,
                 }
-                return Err(Conflict { tags, used_internal });
+                return Err(Conflict {
+                    tags,
+                    used_internal,
+                });
             }
         }
         self.trail.push(UndoBound {
@@ -262,13 +271,13 @@ impl Simplex {
             let bi = b as usize;
             let beta = self.values[bi];
             if let Some(l) = &self.lower[bi] {
-                if beta < l.val && best.map_or(true, |(v, _)| b < v) {
+                if beta < l.val && best.is_none_or(|(v, _)| b < v) {
                     best = Some((b, true));
                     continue;
                 }
             }
             if let Some(u) = &self.upper[bi] {
-                if beta > u.val && best.map_or(true, |(v, _)| b < v) {
+                if beta > u.val && best.is_none_or(|(v, _)| b < v) {
                     best = Some((b, false));
                 }
             }
@@ -289,9 +298,15 @@ impl Simplex {
             };
             let row = self.rows.get(&xi).expect("oob var is basic").clone();
             let target = if below {
-                self.lower[xi as usize].as_ref().expect("violated below").val
+                self.lower[xi as usize]
+                    .as_ref()
+                    .expect("violated below")
+                    .val
             } else {
-                self.upper[xi as usize].as_ref().expect("violated above").val
+                self.upper[xi as usize]
+                    .as_ref()
+                    .expect("violated above")
+                    .val
             };
             // Find an entering variable (Bland: smallest index).
             let mut entering: Option<VarId> = None;
@@ -301,11 +316,11 @@ impl Simplex {
                 let yi = y as usize;
                 let ok = if below {
                     // β(xi) must increase.
-                    (a.signum() > 0 && self.can_increase(yi)) ||
-                    (a.signum() < 0 && self.can_decrease(yi))
+                    (a.signum() > 0 && self.can_increase(yi))
+                        || (a.signum() < 0 && self.can_decrease(yi))
                 } else {
-                    (a.signum() > 0 && self.can_decrease(yi)) ||
-                    (a.signum() < 0 && self.can_increase(yi))
+                    (a.signum() > 0 && self.can_decrease(yi))
+                        || (a.signum() < 0 && self.can_increase(yi))
                 };
                 if ok {
                     entering = Some(y);
@@ -408,9 +423,7 @@ impl Simplex {
                 let frac = (0..self.values.len() as VarId)
                     .find(|&x| !self.values[x as usize].is_integer());
                 let Some(x) = frac else {
-                    return IntCheck::Feasible(
-                        self.values.iter().map(|v| v.numer()).collect(),
-                    );
+                    return IntCheck::Feasible(self.values.iter().map(|v| v.numer()).collect());
                 };
                 if *budget == 0 {
                     return IntCheck::Unknown;

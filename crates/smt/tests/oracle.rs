@@ -6,7 +6,7 @@
 //! the solver ever disagrees with exhaustive enumeration on a bounded
 //! domain, everything built on top of it is suspect.
 
-use proptest::prelude::*;
+use relaxed_interp::rng::SplitMix64;
 use relaxed_smt::ast::{BTerm, ITerm, Rel};
 use relaxed_smt::sat::{Lit, SatOutcome, SatSolver};
 use relaxed_smt::{SmtResult, Solver};
@@ -14,46 +14,48 @@ use relaxed_smt::{SmtResult, Solver};
 const NAMES: &[&str] = &["x", "y", "z"];
 const DOMAIN: std::ops::RangeInclusive<i64> = -4..=4;
 
-fn arb_rel() -> impl Strategy<Value = Rel> {
-    prop_oneof![
-        Just(Rel::Lt),
-        Just(Rel::Le),
-        Just(Rel::Gt),
-        Just(Rel::Ge),
-        Just(Rel::Eq),
-        Just(Rel::Ne),
-    ]
+fn gen_rel(rng: &mut SplitMix64) -> Rel {
+    match rng.gen_u32_below(6) {
+        0 => Rel::Lt,
+        1 => Rel::Le,
+        2 => Rel::Gt,
+        3 => Rel::Ge,
+        4 => Rel::Eq,
+        _ => Rel::Ne,
+    }
 }
 
 /// Linear terms: c0 + c1*x + c2*y + c3*z with small coefficients.
-fn arb_linear_term() -> impl Strategy<Value = ITerm> {
-    (
-        -4i64..=4,
-        prop::collection::vec((-3i64..=3, 0usize..NAMES.len()), 0..3),
-    )
-        .prop_map(|(k, terms)| {
-            let mut acc = ITerm::Const(k);
-            for (c, vi) in terms {
-                acc = acc.add(ITerm::Const(c).mul(ITerm::var(NAMES[vi])));
-            }
-            acc
-        })
+fn gen_linear_term(rng: &mut SplitMix64) -> ITerm {
+    let mut acc = ITerm::Const(rng.gen_range(-4..=4));
+    for _ in 0..rng.gen_u32_below(3) {
+        let c = rng.gen_range(-3..=3);
+        let vi = rng.gen_u32_below(NAMES.len() as u32) as usize;
+        acc = acc.add(ITerm::Const(c).mul(ITerm::var(NAMES[vi])));
+    }
+    acc
 }
 
-fn arb_qf_formula() -> impl Strategy<Value = BTerm> {
-    let atom = (arb_rel(), arb_linear_term(), arb_linear_term())
-        .prop_map(|(rel, lhs, rhs)| BTerm::Atom(rel, lhs, rhs));
-    atom.prop_recursive(3, 20, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BTerm::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BTerm::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BTerm::Implies(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| BTerm::Not(Box::new(a))),
-        ]
-    })
+/// Random quantifier-free formulas over And/Or/Implies/Not, depth ≤ 3.
+fn gen_qf_formula(rng: &mut SplitMix64, depth: u32) -> BTerm {
+    if depth == 0 || rng.gen_u32_below(3) == 0 {
+        return BTerm::Atom(gen_rel(rng), gen_linear_term(rng), gen_linear_term(rng));
+    }
+    match rng.gen_u32_below(4) {
+        0 => BTerm::And(
+            Box::new(gen_qf_formula(rng, depth - 1)),
+            Box::new(gen_qf_formula(rng, depth - 1)),
+        ),
+        1 => BTerm::Or(
+            Box::new(gen_qf_formula(rng, depth - 1)),
+            Box::new(gen_qf_formula(rng, depth - 1)),
+        ),
+        2 => BTerm::Implies(
+            Box::new(gen_qf_formula(rng, depth - 1)),
+            Box::new(gen_qf_formula(rng, depth - 1)),
+        ),
+        _ => BTerm::Not(Box::new(gen_qf_formula(rng, depth - 1))),
+    }
 }
 
 fn eval_term(t: &ITerm, env: &dyn Fn(&str) -> i64) -> i64 {
@@ -124,74 +126,76 @@ fn boxed(b: &BTerm) -> BTerm {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// The solver and brute-force enumeration agree on bounded problems.
-    #[test]
-    fn solver_matches_brute_force(b in arb_qf_formula()) {
+/// The solver and brute-force enumeration agree on bounded problems.
+#[test]
+fn solver_matches_brute_force() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0001);
+    for case in 0..192 {
+        let b = gen_qf_formula(&mut rng, 3);
         let problem = boxed(&b);
         let expected = brute_force_sat(&b);
         let mut solver = Solver::new();
         match solver.check_sat(&problem) {
             SmtResult::Sat(model) => {
-                prop_assert!(expected, "solver says sat, brute force says unsat: {b:?}");
+                assert!(
+                    expected,
+                    "case {case}: solver says sat, brute force says unsat: {b:?}"
+                );
                 // The model must actually satisfy the formula.
                 let env = |name: &str| model.get(name).unwrap_or(0);
-                prop_assert!(
+                assert!(
                     eval_formula(&b, &env),
-                    "model {model} does not satisfy {b:?}"
+                    "case {case}: model {model} does not satisfy {b:?}"
                 );
             }
             SmtResult::Unsat => {
-                prop_assert!(!expected, "solver says unsat, brute force found a model: {b:?}");
+                assert!(
+                    !expected,
+                    "case {case}: solver says unsat, brute force found a model: {b:?}"
+                );
             }
             SmtResult::Unknown(reason) => {
-                prop_assert!(false, "solver returned unknown on a linear problem: {reason}");
+                panic!("case {case}: solver returned unknown on a linear problem: {reason}");
             }
         }
     }
+}
 
-    /// Validity of `b ∨ ¬b` style combinations: `check_valid(φ ∨ ¬φ)` must
-    /// always be valid and `check_valid(φ ∧ ¬φ)` never.
-    #[test]
-    fn excluded_middle(b in arb_qf_formula()) {
+/// Validity of `b ∨ ¬b` style combinations: `check_valid(φ ∨ ¬φ)` must
+/// always be valid and `check_valid(φ ∧ ¬φ)` never.
+#[test]
+fn excluded_middle() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0002);
+    for case in 0..192 {
+        let b = gen_qf_formula(&mut rng, 3);
         let mut solver = Solver::new();
         let lem = b.clone().or(BTerm::Not(Box::new(b.clone())));
-        prop_assert_eq!(solver.check_valid(&lem), relaxed_smt::Validity::Valid);
-        let contradiction = b.clone().and(BTerm::Not(Box::new(b)));
-        prop_assert!(!solver.check_valid(&contradiction).is_valid());
+        assert_eq!(
+            solver.check_valid(&lem),
+            relaxed_smt::Validity::Valid,
+            "case {case}: {b:?}"
+        );
+        let contradiction = b.clone().and(BTerm::Not(Box::new(b.clone())));
+        assert!(
+            !solver.check_valid(&contradiction).is_valid(),
+            "case {case}: {b:?}"
+        );
     }
 }
 
 /// Random 3-CNF against truth-table enumeration.
 #[test]
 fn cdcl_matches_truth_table_on_random_cnfs() {
-    use rand_pcg::*;
-    // Simple deterministic linear congruential generator (avoid external
-    // rand dependency management in this test).
-    mod rand_pcg {
-        pub struct Lcg(pub u64);
-        impl Lcg {
-            pub fn next_u32(&mut self, bound: u32) -> u32 {
-                self.0 = self
-                    .0
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((self.0 >> 33) as u32) % bound
-            }
-        }
-    }
-    let mut rng = Lcg(0xDEADBEEF);
+    let mut rng = SplitMix64::seed_from_u64(0xDEADBEEF);
     for round in 0..200 {
         let nvars = 3 + (round % 5) as u32; // 3..=7 variables
-        let nclauses = 2 + rng.next_u32(4 * nvars) as usize;
+        let nclauses = 2 + rng.gen_u32_below(4 * nvars) as usize;
         let mut clauses: Vec<Vec<(u32, bool)>> = Vec::new();
         for _ in 0..nclauses {
-            let len = 1 + rng.next_u32(3) as usize;
+            let len = 1 + rng.gen_u32_below(3) as usize;
             let mut clause = Vec::new();
             for _ in 0..len {
-                clause.push((rng.next_u32(nvars), rng.next_u32(2) == 0));
+                clause.push((rng.gen_u32_below(nvars), rng.gen_u32_below(2) == 0));
             }
             clauses.push(clause);
         }
@@ -199,9 +203,7 @@ fn cdcl_matches_truth_table_on_random_cnfs() {
         let mut expected = false;
         'outer: for bits in 0..(1u32 << nvars) {
             for clause in &clauses {
-                let sat = clause
-                    .iter()
-                    .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
+                let sat = clause.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
                 if !sat {
                     continue 'outer;
                 }
@@ -219,7 +221,11 @@ fn cdcl_matches_truth_table_on_random_cnfs() {
             let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| Lit::new(v, pos)).collect();
             ok &= solver.add_clause(lits);
         }
-        let outcome = if ok { solver.solve() } else { SatOutcome::Unsat };
+        let outcome = if ok {
+            solver.solve()
+        } else {
+            SatOutcome::Unsat
+        };
         match outcome {
             SatOutcome::Sat(model) => {
                 assert!(expected, "round {round}: solver sat, table unsat");

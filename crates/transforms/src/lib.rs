@@ -255,10 +255,8 @@ mod tests {
 
     #[test]
     fn perforated_loop_original_semantics_is_exact() {
-        let original = parse_stmt(
-            "i = 0; s = 0; while (i < 10) { s = s + i; i = i + 1; }",
-        )
-        .unwrap();
+        let original =
+            parse_stmt("i = 0; s = 0; while (i < 10) { s = s + i; i = i + 1; }").unwrap();
         let perforated = perforate_loop(
             &parse_stmt("while (i < 10) { s = s + i; i = i + 1; }").unwrap(),
             4,

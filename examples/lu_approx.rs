@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.original.len() + report.relaxed.len()
     );
 
-    println!("{:>6} {:>4} {:>8} {:>8} {:>10}", "N", "e", "max<o>", "max<r>", "|Δ| ≤ e?");
+    println!(
+        "{:>6} {:>4} {:>8} {:>8} {:>10}",
+        "N", "e", "max<o>", "max<r>", "|Δ| ≤ e?"
+    );
     for n in [4i64, 16, 64, 128] {
         for e in [0i64, 1, 2, 8] {
             // Random matrix column (the pivot scan touches one column).
@@ -37,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut sigma = State::from_ints([("N", n), ("e", e), ("i", 0)]);
             sigma.set("col", col);
             let fuel = 10_000_000;
-            let original =
-                run_original(program.body(), sigma.clone(), &mut IdentityOracle, fuel);
+            let original = run_original(program.body(), sigma.clone(), &mut IdentityOracle, fuel);
             let mut memory = RandomOracle::new((n * 1000 + e) as u64, -200, 200);
             let relaxed = run_relaxed(program.body(), sigma, &mut memory, fuel);
             let max_o = original.state().unwrap().get_int(&Var::new("max")).unwrap();
@@ -50,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let delta = (max_o - max_r).abs();
             assert!(delta <= e, "Lipschitz bound violated: {delta} > {e}");
-            println!("{n:>6} {e:>4} {max_o:>8} {max_r:>8} {:>10}", format!("{delta} ✓"));
+            println!(
+                "{n:>6} {e:>4} {max_o:>8} {max_r:>8} {:>10}",
+                format!("{delta} ✓")
+            );
         }
     }
     Ok(())

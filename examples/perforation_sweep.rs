@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.state().unwrap().get_int(&Var::new("s")).unwrap()
     };
     println!("reduction over {N} elements; exact result {exact}\n");
-    println!("{:>7} {:>9} {:>10} {:>10} {:>9}", "stride", "iters", "result", "error", "speedup");
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>9}",
+        "stride", "iters", "result", "error", "speedup"
+    );
     for stride in 1..=8i64 {
         let perforated = perforate_loop(&work, stride);
         let program = Stmt::seq([header.clone(), perforated]);

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = verify_acceptability(&program, &spec)?;
     println!("⊢o: {}", report.original);
     println!("⊢r: {}", report.relaxed);
-    println!("Relaxed Progress (Theorem 8): {}\n", report.relaxed_progress());
+    println!(
+        "Relaxed Progress (Theorem 8): {}\n",
+        report.relaxed_progress()
+    );
     assert!(report.relaxed_progress());
 
     // --- dynamic exploration ---
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("original run: {original}");
 
     for (name, oracle) in [
-        ("identity", &mut IdentityOracle as &mut dyn relaxed_programs::interp::Oracle),
+        (
+            "identity",
+            &mut IdentityOracle as &mut dyn relaxed_programs::interp::Oracle,
+        ),
         ("maximizing", &mut ExtremalOracle::maximizing()),
         ("random", &mut RandomOracle::new(7, -100, 100)),
     ] {

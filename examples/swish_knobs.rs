@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.original.len() + report.relaxed.len()
     );
 
-    println!("{:>8} {:>8} {:>10} {:>10}  property", "max_r", "N", "num_r<o>", "num_r<r>");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10}  property",
+        "max_r", "N", "num_r<o>", "num_r<r>"
+    );
     for (max_r, n) in [(3, 100), (10, 4), (25, 100), (100, 8), (1000, 1000)] {
         let sigma = State::from_ints([("max_r", max_r), ("N", n), ("num_r", 0)]);
         let fuel = 1_000_000;
@@ -38,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The adversarial schedule drops the knob as low as permitted.
         let mut adversary = ExtremalOracle::minimizing();
         let relaxed = run_relaxed(program.body(), sigma, &mut adversary, fuel);
-        let num_o = original.state().unwrap().get_int(&Var::new("num_r")).unwrap();
-        let num_r = relaxed.state().unwrap().get_int(&Var::new("num_r")).unwrap();
+        let num_o = original
+            .state()
+            .unwrap()
+            .get_int(&Var::new("num_r"))
+            .unwrap();
+        let num_r = relaxed
+            .state()
+            .unwrap()
+            .get_int(&Var::new("num_r"))
+            .unwrap();
         check_compat(
             &program.gamma(),
             original.observations().unwrap(),

@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sigma.set("RS", rs);
         sigma.set("FF", vec![0; n as usize]);
         let fuel = 10_000_000;
-        let original =
-            run_original(program.body(), sigma.clone(), &mut IdentityOracle, fuel);
+        let original = run_original(program.body(), sigma.clone(), &mut IdentityOracle, fuel);
         let mut scheduler = RandomOracle::new(0xC0FFEE ^ n as u64, 0, 99);
         let relaxed = run_relaxed(program.body(), sigma, &mut scheduler, fuel);
         // Relaxed Progress (Theorem 8): neither run errs; in particular the

@@ -70,10 +70,17 @@ fn lu_broken_fails() {
 #[test]
 fn swish_dynamic_compatibility() {
     let (program, _) = casestudies::swish();
-    for (max_r, n) in [(0, 0), (3, 7), (9, 100), (10, 10), (11, 5), (40, 12), (100, 100)] {
+    for (max_r, n) in [
+        (0, 0),
+        (3, 7),
+        (9, 100),
+        (10, 10),
+        (11, 5),
+        (40, 12),
+        (100, 100),
+    ] {
         let sigma = State::from_ints([("max_r", max_r), ("N", n), ("num_r", 0)]);
-        let original =
-            run_original(program.body(), sigma.clone(), &mut IdentityOracle, FUEL);
+        let original = run_original(program.body(), sigma.clone(), &mut IdentityOracle, FUEL);
         assert!(original.is_terminated(), "{original}");
         let oracles: Vec<Box<dyn Oracle>> = vec![
             Box::new(IdentityOracle),
@@ -82,8 +89,7 @@ fn swish_dynamic_compatibility() {
             Box::new(RandomOracle::new(max_r as u64 * 31 + n as u64, 0, 128)),
         ];
         for mut oracle in oracles {
-            let relaxed =
-                run_relaxed(program.body(), sigma.clone(), oracle.as_mut(), FUEL);
+            let relaxed = run_relaxed(program.body(), sigma.clone(), oracle.as_mut(), FUEL);
             assert!(relaxed.is_terminated(), "{relaxed}");
             check_compat(
                 &program.gamma(),
@@ -110,8 +116,7 @@ fn water_dynamic_progress() {
         if n == 0 {
             sigma.set("len_FF", 1);
         }
-        let original =
-            run_original(program.body(), sigma.clone(), &mut IdentityOracle, FUEL);
+        let original = run_original(program.body(), sigma.clone(), &mut IdentityOracle, FUEL);
         assert!(!original.is_err(), "{original}");
         for seed in 0..5u64 {
             let mut scheduler = RandomOracle::new(seed.wrapping_mul(0x9E3779B9), 0, 39);
@@ -134,13 +139,11 @@ fn lu_dynamic_lipschitz() {
             let col: Vec<i64> = (0..n).map(|i| ((i * 97 + 3) % 60) - 30).collect();
             let mut sigma = State::from_ints([("N", n), ("e", e), ("i", 0)]);
             sigma.set("col", col);
-            let original =
-                run_original(program.body(), sigma.clone(), &mut IdentityOracle, FUEL);
+            let original = run_original(program.body(), sigma.clone(), &mut IdentityOracle, FUEL);
             let max_o = original.state().unwrap().get_int(&Var::new("max")).unwrap();
             for seed in 0..4u64 {
                 let mut memory = RandomOracle::new(seed * 7919, -60, 60);
-                let relaxed =
-                    run_relaxed(program.body(), sigma.clone(), &mut memory, FUEL);
+                let relaxed = run_relaxed(program.body(), sigma.clone(), &mut memory, FUEL);
                 let max_r = relaxed.state().unwrap().get_int(&Var::new("max")).unwrap();
                 assert!(
                     (max_o - max_r).abs() <= e,

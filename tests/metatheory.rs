@@ -11,9 +11,7 @@
 
 use relaxed_programs::core::verify::{verify_acceptability, Spec};
 use relaxed_programs::interp::{check_compat, run_all, EnumConfig, Mode, Outcome};
-use relaxed_programs::lang::{
-    parse_formula, parse_program, parse_rel_formula, Program, State,
-};
+use relaxed_programs::lang::{parse_formula, parse_program, parse_rel_formula, Program, State};
 
 struct Case {
     name: &'static str,
@@ -24,6 +22,10 @@ struct Case {
     starts: Vec<State>,
 }
 
+// One commented `push` per corpus entry keeps the cases individually
+// labeled; collapsing into one `vec![]` literal would lose nothing but
+// readability.
+#[allow(clippy::vec_init_then_push)]
 fn corpus() -> Vec<Case> {
     let mut cases = Vec::new();
 
@@ -102,9 +104,7 @@ fn corpus() -> Vec<Case> {
             rel_post: parse_rel_formula("true").unwrap(),
         },
         starts: (0..=3)
-            .flat_map(|n| {
-                (-1..=1).map(move |x| State::from_ints([("x", x), ("n", n)]))
-            })
+            .flat_map(|n| (-1..=1).map(move |x| State::from_ints([("x", x), ("n", n)])))
             .collect(),
     });
 
@@ -121,14 +121,11 @@ fn corpus() -> Vec<Case> {
         spec: Spec {
             pre: parse_formula("true").unwrap(),
             post: parse_formula("true").unwrap(),
-            rel_pre: parse_rel_formula("a<o> == a<r> && t<o> == t<r> && m<o> == m<r>")
-                .unwrap(),
+            rel_pre: parse_rel_formula("a<o> == a<r> && t<o> == t<r> && m<o> == m<r>").unwrap(),
             rel_post: parse_rel_formula("true").unwrap(),
         },
         starts: (-2..=2)
-            .flat_map(|a| {
-                (-1..=1).map(move |t| State::from_ints([("a", a), ("t", t), ("m", 0)]))
-            })
+            .flat_map(|a| (-1..=1).map(move |t| State::from_ints([("a", a), ("t", t), ("m", 0)])))
             .collect(),
     });
 
@@ -176,10 +173,14 @@ fn config() -> EnumConfig {
 fn lemma2_original_progress_modulo_assumptions() {
     for case in corpus() {
         let report = verify_acceptability(&case.program, &case.spec).unwrap();
-        assert!(report.original_progress(), "{}: {}", case.name, report.original);
+        assert!(
+            report.original_progress(),
+            "{}: {}",
+            case.name,
+            report.original
+        );
         for start in &case.starts {
-            let outcomes =
-                run_all(case.program.body(), start.clone(), Mode::Original, config());
+            let outcomes = run_all(case.program.body(), start.clone(), Mode::Original, config());
             assert!(!outcomes.truncated, "{}: enumeration truncated", case.name);
             for outcome in &outcomes.outcomes {
                 assert!(
@@ -202,10 +203,8 @@ fn theorems_6_7_8_relational_guarantees() {
         assert!(report.relaxed_progress(), "{}:\n{report}", case.name);
         let gamma = case.program.gamma();
         for start in &case.starts {
-            let originals =
-                run_all(case.program.body(), start.clone(), Mode::Original, config());
-            let relaxeds =
-                run_all(case.program.body(), start.clone(), Mode::Relaxed, config());
+            let originals = run_all(case.program.body(), start.clone(), Mode::Original, config());
+            let relaxeds = run_all(case.program.body(), start.clone(), Mode::Relaxed, config());
             assert!(!originals.truncated && !relaxeds.truncated, "{}", case.name);
 
             // Theorem 7 is conditional: IF no original execution errs,

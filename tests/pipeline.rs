@@ -20,11 +20,9 @@ fn transform_then_verify_bounded_perturbation() {
     let program = Program::new(Stmt::seq([
         parse_program("out = signal + bias;").unwrap().into_body(),
         relaxation,
-        parse_program(
-            "relate memo : out<o> - out<r> <= tol<o> && out<r> - out<o> <= tol<o>;",
-        )
-        .unwrap()
-        .into_body(),
+        parse_program("relate memo : out<o> - out<r> <= tol<o> && out<r> - out<o> <= tol<o>;")
+            .unwrap()
+            .into_body(),
     ]))
     .unwrap();
     let spec = Spec {
@@ -58,8 +56,7 @@ fn transform_then_verify_task_skipping() {
     let post = parse_formula("count == 0 || count == 1").unwrap();
     let o = verify_original(&program_src_check, &pre, &post).unwrap();
     assert!(o.verified(), "{o}");
-    let i = relaxed_programs::core::verify_intermediate(&program_src_check, &pre, &post)
-        .unwrap();
+    let i = relaxed_programs::core::verify_intermediate(&program_src_check, &pre, &post).unwrap();
     assert!(i.verified(), "{i}");
 }
 
@@ -68,11 +65,7 @@ fn transform_then_verify_task_skipping() {
 #[test]
 fn insert_before_preserves_wellformedness() {
     let base = parse_program("a = 1; b = a + 1;").unwrap();
-    let spliced = insert_before(
-        base.body(),
-        1,
-        bounded_perturbation("a", "eps"),
-    );
+    let spliced = insert_before(base.body(), 1, bounded_perturbation("a", "eps"));
     let program = Program::new(spliced).unwrap();
     let report = verify_original(
         &program,
@@ -99,8 +92,7 @@ fn auto_annotation_makes_unannotated_loops_verify() {
     )
     .unwrap();
     // Without augmentation the relational stage cannot process the loop.
-    let rel_pre = parse_rel_formula("i<o> == i<r> && n<o> == n<r> && fuzz<o> == fuzz<r>")
-        .unwrap();
+    let rel_pre = parse_rel_formula("i<o> == i<r> && n<o> == n<r> && fuzz<o> == fuzz<r>").unwrap();
     assert!(verify_relaxed(&program, &rel_pre, &RelFormula::True).is_err());
     // With augmentation it verifies end to end.
     let augmented = augment_rel_invariants(&program);
@@ -131,12 +123,13 @@ fn case_study_gammas() {
     let (swish, _) = casestudies::swish();
     assert_eq!(swish.gamma().len(), 1);
     let (water, _) = casestudies::water();
-    assert_eq!(water.gamma().len(), 0, "water's property is an assume, not a relate");
+    assert_eq!(
+        water.gamma().len(),
+        0,
+        "water's property is an assume, not a relate"
+    );
     let (lu, _) = casestudies::lu();
-    assert!(lu
-        .gamma()
-        .keys()
-        .any(|l| l.name() == "lipschitz"));
+    assert!(lu.gamma().keys().any(|l| l.name() == "lipschitz"));
 }
 
 /// Verification failures carry usable diagnostics: context, rule name,

@@ -1,0 +1,70 @@
+//! One fast end-to-end smoke test spanning every workspace crate, so a
+//! crate-wiring regression (broken re-export, manifest edge, signature
+//! drift) is caught by a single test instead of a scattered failure.
+//!
+//! Pipeline: parse (`lang`) → insert a relaxation (`transforms`) → run
+//! `⇓o`/`⇓r` and check observational compatibility (`interp`) → verify
+//! acceptability (`core`) → which discharges its VCs through the `smt`
+//! solver — plus one direct solver call for good measure.
+
+use relaxed_programs::core::verify::{verify_acceptability, Spec};
+use relaxed_programs::interp::oracle::{ExtremalOracle, IdentityOracle};
+use relaxed_programs::interp::{check_compat, run_original, run_relaxed};
+use relaxed_programs::lang::{
+    parse_formula, parse_program, parse_rel_formula, Formula, Program, RelFormula, State, Stmt, Var,
+};
+use relaxed_programs::smt::{ast::ITerm, Solver};
+use relaxed_programs::transforms::bounded_perturbation;
+
+#[test]
+fn end_to_end_pipeline_across_all_crates() {
+    // lang: parse the original program and the relational annotation.
+    let original = parse_program("out = signal * 2;").unwrap();
+    let relate =
+        parse_program("relate smoke : out<o> - out<r> <= tol<o> && out<r> - out<o> <= tol<o>;")
+            .unwrap();
+
+    // transforms: splice in a bounded perturbation of `out`.
+    let program = Program::new(Stmt::seq([
+        original.into_body(),
+        bounded_perturbation("out", "tol"),
+        relate.into_body(),
+    ]))
+    .unwrap();
+
+    // interp: run both semantics and check observational compatibility.
+    let sigma = State::from_ints([("signal", 21), ("tol", 3)]);
+    let o = run_original(program.body(), sigma.clone(), &mut IdentityOracle, 10_000);
+    let mut adversary = ExtremalOracle::maximizing();
+    let r = run_relaxed(program.body(), sigma, &mut adversary, 10_000);
+    let out_o = o.state().unwrap().get_int(&Var::new("out")).unwrap();
+    let out_r = r.state().unwrap().get_int(&Var::new("out")).unwrap();
+    assert_eq!(out_o, 42, "original semantics treats relax as a no-op");
+    assert_eq!(out_r, 45, "maximizing oracle drives out to the +tol edge");
+    check_compat(
+        &program.gamma(),
+        o.observations().unwrap(),
+        r.observations().unwrap(),
+    )
+    .expect("observations of the two runs must be compatible");
+
+    // core (+ smt underneath): the staged acceptability proof goes through.
+    let spec = Spec {
+        pre: parse_formula("tol >= 0").unwrap(),
+        post: Formula::True,
+        rel_pre: parse_rel_formula("signal<o> == signal<r> && tol<o> == tol<r> && tol<o> >= 0")
+            .unwrap(),
+        rel_post: RelFormula::True,
+    };
+    let report = verify_acceptability(&program, &spec).unwrap();
+    assert!(report.original_progress(), "⊢o stage: {report}");
+    assert!(report.relative_relaxed_progress(), "⊢r stage: {report}");
+    assert!(report.relaxed_progress(), "Theorem 8: {report}");
+
+    // smt: one direct validity query, same fragment the VCs use.
+    let phi = ITerm::var("x")
+        .le(ITerm::var("y"))
+        .implies(ITerm::var("x").le(ITerm::var("y").add(ITerm::Const(1))))
+        .forall("x");
+    assert!(Solver::new().check_valid(&phi).is_valid());
+}

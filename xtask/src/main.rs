@@ -1,0 +1,71 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! `ci` runs the exact command sequence `.github/workflows/ci.yml` runs, so
+//! local verification and CI cannot drift. `verify` runs only the ROADMAP
+//! tier-1 gate (`cargo build --release && cargo test -q`).
+
+use std::env;
+use std::process::{exit, Command};
+
+/// A named shell-free step: a program and its arguments.
+struct Step(&'static [&'static str]);
+
+const VERIFY: &[Step] = &[
+    Step(&["cargo", "build", "--release"]),
+    Step(&["cargo", "test", "-q"]),
+];
+
+const CI: &[Step] = &[
+    Step(&["cargo", "fmt", "--all", "--check"]),
+    Step(&[
+        "cargo",
+        "clippy",
+        "--workspace",
+        "--all-targets",
+        "--",
+        "-D",
+        "warnings",
+    ]),
+    Step(&["cargo", "build", "--release"]),
+    Step(&["cargo", "test", "-q", "--workspace"]),
+    Step(&["cargo", "run", "--release", "--example", "quickstart"]),
+    Step(&["cargo", "run", "--release", "--example", "swish_knobs"]),
+    Step(&["cargo", "run", "--release", "--example", "water_parallel"]),
+    Step(&["cargo", "run", "--release", "--example", "lu_approx"]),
+    Step(&[
+        "cargo",
+        "run",
+        "--release",
+        "--example",
+        "perforation_sweep",
+    ]),
+    Step(&["cargo", "bench", "--no-run", "--workspace"]),
+];
+
+fn run(steps: &[Step]) {
+    for Step(argv) in steps {
+        eprintln!("xtask> {}", argv.join(" "));
+        let status = Command::new(argv[0])
+            .args(&argv[1..])
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn `{}`: {e}", argv[0]));
+        if !status.success() {
+            eprintln!("xtask: `{}` failed ({status})", argv.join(" "));
+            exit(status.code().unwrap_or(1));
+        }
+    }
+}
+
+fn main() {
+    let task = env::args().nth(1).unwrap_or_default();
+    match task.as_str() {
+        "ci" => run(CI),
+        "verify" => run(VERIFY),
+        _ => {
+            eprintln!("usage: cargo xtask <ci|verify>");
+            eprintln!("  ci      fmt + clippy + build --release + test + bench --no-run");
+            eprintln!("  verify  the ROADMAP tier-1 gate: build --release && test -q");
+            exit(2);
+        }
+    }
+}
