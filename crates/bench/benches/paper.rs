@@ -6,6 +6,9 @@
 //! * `e1_swish_execute` / `e2_water_execute` / `e3_lu_execute` — dynamic
 //!   original+relaxed execution of the verified kernels on their
 //!   workloads;
+//! * `discharge_parallel` — the verification engine's 1-vs-N-worker
+//!   discharge throughput over the combined case-study obligation set,
+//!   with cache-hit rates;
 //! * `e5_tradeoff_perforation` — the §1 performance/accuracy sweep;
 //! * `e6_metatheory_enumeration` — bounded model checking of a corpus
 //!   program (the empirical soundness check);
@@ -14,6 +17,8 @@
 use relaxed_bench::harness::{BenchmarkId, Criterion};
 use relaxed_bench::{criterion_group, criterion_main};
 use relaxed_bench::{lu_state, run_pair, water_state};
+use relaxed_core::engine::{DischargeConfig, DischargeEngine};
+use relaxed_core::verify::acceptability_vcs;
 use relaxed_core::verify_acceptability;
 use relaxed_interp::{run_all, run_relaxed, EnumConfig, ExtremalOracle, Mode};
 use relaxed_lang::{parse_program, parse_stmt, State, Stmt};
@@ -47,6 +52,47 @@ fn verification(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+fn discharge_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discharge_parallel");
+    group.sample_size(10);
+    // The combined ⊢o + ⊢r obligation set of all three §5 case studies —
+    // the exact workload `verify_acceptability` hands the engine.
+    let vcs: Vec<_> = casestudies::all()
+        .into_iter()
+        .flat_map(|(_, program, spec)| acceptability_vcs(&program, &spec).unwrap())
+        .collect();
+    let auto = DischargeConfig::default().effective_parallelism().max(2);
+    for workers in [1usize, auto] {
+        group.bench_with_input(
+            BenchmarkId::new("case_study_vcs", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    // A fresh engine per iteration: this measures raw
+                    // 1-vs-N discharge throughput, not cache reuse.
+                    let engine =
+                        DischargeEngine::with_config(DischargeConfig::with_workers(workers));
+                    let report = engine.discharge(vcs.clone());
+                    assert!(report.verified());
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+    // Cache effectiveness on the same workload (reported once; dedup is
+    // deterministic, so timing it adds nothing).
+    let engine = DischargeEngine::with_config(DischargeConfig::sequential());
+    let report = engine.discharge(vcs);
+    eprintln!(
+        "discharge_parallel: {} VCs, {} unique goals, {} cache hits, {} solver runs",
+        report.len(),
+        report.engine.unique_goals,
+        report.engine.cache_hits,
+        report.engine.cache_misses
+    );
 }
 
 fn execution(c: &mut Criterion) {
@@ -173,6 +219,7 @@ fn smt_micro(c: &mut Criterion) {
 criterion_group!(
     benches,
     verification,
+    discharge_parallel,
     execution,
     tradeoff,
     metatheory,

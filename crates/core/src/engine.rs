@@ -1,0 +1,445 @@
+//! The parallel, deduplicating VC discharge engine.
+//!
+//! The paper's staged methodology (`⊢o`, then `⊢i`, then `⊢r`) generates
+//! many verification conditions per program, and the obligations are
+//! mutually independent: each is a closed validity query. The engine
+//! exploits that independence twice over:
+//!
+//! 1. **Structural deduplication.** Every obligation is encoded with a
+//!    fresh [`EncodeCtx`], so the per-goal bound-variable numbering
+//!    restarts at zero and two occurrences of the same obligation encode
+//!    to structurally identical [`BTerm`]s. (Bound names keep their
+//!    source identifier — `x!b0` — so goals that differ only by binder
+//!    *names* are not identified; the duplicates the VC generator emits
+//!    are verbatim re-proofs, which this canonical form catches.) The
+//!    encoded goal is the key of a verdict cache shared
+//!    across every discharge call made through one engine — in particular
+//!    across the `⊢o` and `⊢r` stages of
+//!    [`verify_acceptability_with`](crate::verify::verify_acceptability_with),
+//!    whose diverge sub-proofs re-prove many of the `⊢o` stage's unary
+//!    goals verbatim.
+//! 2. **Parallel discharge.** The unique, uncached goals are solved on a
+//!    [`std::thread::scope`] worker pool, one fresh [`Solver`] per goal.
+//!    Results are reassembled in generation order, so a [`Report`] is
+//!    byte-for-byte identical regardless of scheduling.
+//!
+//! Worker count and solver budgets come from [`DischargeConfig`]
+//! (overridable via the `DISCHARGE_WORKERS`, `DISCHARGE_CONFLICTS` and
+//! `DISCHARGE_BRANCH_BUDGET` environment variables).
+
+use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
+use crate::vcgen::{Vc, VcBody};
+use crate::verify::{Report, VcResult};
+use relaxed_smt::ast::BTerm;
+use relaxed_smt::{Solver, SolverStats, Validity};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for a [`DischargeEngine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DischargeConfig {
+    /// Worker threads for parallel discharge; `0` means one per
+    /// available core.
+    pub workers: usize,
+    /// CDCL conflict budget per goal (see [`Solver::max_conflicts`]).
+    pub max_conflicts: u64,
+    /// Branch-and-bound node budget per theory check (see
+    /// [`Solver::branch_budget`]).
+    pub branch_budget: u64,
+}
+
+impl Default for DischargeConfig {
+    fn default() -> Self {
+        let defaults = Solver::default();
+        DischargeConfig {
+            workers: 0,
+            max_conflicts: defaults.max_conflicts,
+            branch_budget: defaults.branch_budget,
+        }
+    }
+}
+
+impl DischargeConfig {
+    /// The default configuration with environment overrides applied:
+    /// `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`, and
+    /// `DISCHARGE_BRANCH_BUDGET`. Unset or unparsable variables keep the
+    /// defaults.
+    pub fn from_env() -> Self {
+        let mut config = DischargeConfig::default();
+        if let Some(w) = env_u64("DISCHARGE_WORKERS") {
+            config.workers = w as usize;
+        }
+        if let Some(c) = env_u64("DISCHARGE_CONFLICTS") {
+            config.max_conflicts = c;
+        }
+        if let Some(b) = env_u64("DISCHARGE_BRANCH_BUDGET") {
+            config.branch_budget = b;
+        }
+        config
+    }
+
+    /// A single-worker (fully sequential) configuration.
+    pub fn sequential() -> Self {
+        DischargeConfig {
+            workers: 1,
+            ..DischargeConfig::default()
+        }
+    }
+
+    /// The default configuration pinned to `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        DischargeConfig {
+            workers,
+            ..DischargeConfig::default()
+        }
+    }
+
+    /// The configured worker count with `0` (auto) resolved to the number
+    /// of available cores.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// The thread count a discharge of `goals` unsolved goals will use.
+    fn effective_workers(&self, goals: usize) -> usize {
+        self.effective_parallelism().min(goals).max(1)
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Cache and throughput counters for a [`DischargeEngine`] (or, on a
+/// [`Report`], for one discharge call).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Obligations answered from the verdict cache (including duplicates
+    /// deduplicated within a single discharge call).
+    pub cache_hits: u64,
+    /// Obligations that required a solver run.
+    pub cache_misses: u64,
+    /// Distinct goals seen (cache entries for engine-level stats; unique
+    /// goals within the call for report-level stats).
+    pub unique_goals: u64,
+    /// Worker threads: the effective configured parallelism for
+    /// engine-level stats, the thread count actually used for
+    /// report-level stats (capped by the number of unsolved goals).
+    pub workers: usize,
+}
+
+/// The parallel, deduplicating discharge engine.
+///
+/// One engine holds one verdict cache; share an engine across stages (as
+/// [`verify_acceptability`](crate::verify::verify_acceptability) does) to
+/// reuse verdicts between them. The engine is [`Sync`]: `&DischargeEngine`
+/// can be shared freely.
+#[derive(Debug, Default)]
+pub struct DischargeEngine {
+    config: DischargeConfig,
+    cache: Mutex<HashMap<BTerm, Validity>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// The engine is shared by reference across its own worker threads.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<DischargeEngine>();
+};
+
+impl DischargeEngine {
+    /// An engine with default configuration and an empty cache.
+    pub fn new() -> Self {
+        DischargeEngine::default()
+    }
+
+    /// An engine with the given configuration and an empty cache.
+    pub fn with_config(config: DischargeConfig) -> Self {
+        DischargeEngine {
+            config,
+            ..DischargeEngine::default()
+        }
+    }
+
+    /// An engine configured from the environment (see
+    /// [`DischargeConfig::from_env`]).
+    pub fn from_env() -> Self {
+        DischargeEngine::with_config(DischargeConfig::from_env())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DischargeConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics across every discharge call so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            unique_goals: self.cache.lock().expect("cache lock").len() as u64,
+            workers: self.config.effective_parallelism(),
+        }
+    }
+
+    /// Discharges `vcs`, reusing cached verdicts and solving the rest in
+    /// parallel. Results are reported in generation order with per-VC
+    /// solver statistics; the aggregate [`Report::stats`] counts only the
+    /// solver work actually performed by this call.
+    pub fn discharge(&self, vcs: Vec<Vc>) -> Report {
+        // Encode with a fresh context per VC: bound-variable numbering
+        // restarts per goal, so the encoded BTerm is a canonical key.
+        let goals: Vec<BTerm> = vcs.iter().map(encode_goal).collect();
+
+        // Group structurally identical goals, preserving first-occurrence
+        // order.
+        let mut uniq: HashMap<&BTerm, usize> = HashMap::new();
+        let mut unique_goals: Vec<&BTerm> = Vec::new();
+        let mut group_of: Vec<usize> = Vec::with_capacity(goals.len());
+        for goal in &goals {
+            let next = unique_goals.len();
+            let gi = *uniq.entry(goal).or_insert(next);
+            if gi == next {
+                unique_goals.push(goal);
+            }
+            group_of.push(gi);
+        }
+
+        // Resolve each unique goal from the cross-call cache, or queue it.
+        let mut verdicts: Vec<Option<Validity>> = vec![None; unique_goals.len()];
+        let mut from_cache: Vec<bool> = vec![false; unique_goals.len()];
+        let mut work: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            for (gi, goal) in unique_goals.iter().enumerate() {
+                if let Some(v) = cache.get(*goal) {
+                    verdicts[gi] = Some(v.clone());
+                    from_cache[gi] = true;
+                } else {
+                    work.push(gi);
+                }
+            }
+        }
+
+        // Solve the remaining unique goals on the worker pool. Each goal
+        // gets a fresh solver, so per-goal verdicts and statistics are
+        // deterministic regardless of scheduling.
+        let workers = self.config.effective_workers(work.len());
+        let solve = |gi: usize| {
+            let mut solver =
+                Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
+            let verdict = solver.check_valid(unique_goals[gi]);
+            (gi, verdict, solver.stats())
+        };
+        let mut solved: Vec<(usize, Validity, SolverStats)> = if workers <= 1 {
+            work.iter().map(|&gi| solve(gi)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let sink: Mutex<Vec<(usize, Validity, SolverStats)>> =
+                Mutex::new(Vec::with_capacity(work.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&gi) = work.get(k) else { break };
+                        let outcome = solve(gi);
+                        sink.lock().expect("sink lock").push(outcome);
+                    });
+                }
+            });
+            sink.into_inner().expect("sink lock")
+        };
+        solved.sort_unstable_by_key(|(gi, _, _)| *gi);
+
+        // Publish the new verdicts to the cross-call cache.
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (gi, verdict, _) in &solved {
+                cache.insert(unique_goals[*gi].clone(), verdict.clone());
+            }
+        }
+        let mut solved_stats: Vec<Option<SolverStats>> = vec![None; unique_goals.len()];
+        for (gi, verdict, stats) in solved {
+            verdicts[gi] = Some(verdict);
+            solved_stats[gi] = Some(stats);
+        }
+
+        // Reassemble in generation order. The solver statistics of each
+        // freshly solved goal are attached to its first occurrence; later
+        // duplicates and cache hits carry zeroed stats and `cached: true`.
+        let total = vcs.len() as u64;
+        let mut report = Report::default();
+        let mut first_seen: Vec<bool> = vec![false; unique_goals.len()];
+        for (vc, gi) in vcs.into_iter().zip(&group_of) {
+            let verdict = verdicts[*gi].clone().expect("every goal resolved");
+            let fresh = !first_seen[*gi] && !from_cache[*gi];
+            first_seen[*gi] = true;
+            let stats = if fresh {
+                solved_stats[*gi].expect("solved goal has stats")
+            } else {
+                SolverStats::default()
+            };
+            if fresh {
+                report.stats.absorb(&stats);
+            }
+            report.results.push(VcResult {
+                vc,
+                verdict,
+                stats,
+                cached: !fresh,
+            });
+        }
+
+        let call_misses = solved_stats.iter().flatten().count() as u64;
+        let call_hits = total - call_misses;
+        self.hits.fetch_add(call_hits, Ordering::Relaxed);
+        self.misses.fetch_add(call_misses, Ordering::Relaxed);
+        report.engine = EngineStats {
+            cache_hits: call_hits,
+            cache_misses: call_misses,
+            unique_goals: unique_goals.len() as u64,
+            workers,
+        };
+        report
+    }
+}
+
+/// Encodes one obligation with a fresh bound-name context, yielding its
+/// canonical cache key.
+fn encode_goal(vc: &Vc) -> BTerm {
+    let mut ctx = EncodeCtx::new();
+    match &vc.body {
+        VcBody::Unary(p) => encode_formula(p, &mut ctx),
+        VcBody::Rel(p) => encode_rel_formula(p, &mut ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcgen::Vc;
+    use relaxed_lang::parse_formula;
+
+    fn unary_vc(name: &str, source: &str) -> Vc {
+        Vc {
+            name: name.to_string(),
+            context: "test".to_string(),
+            body: VcBody::Unary(parse_formula(source).unwrap()),
+        }
+    }
+
+    #[test]
+    fn duplicate_goals_are_solved_once() {
+        let engine = DischargeEngine::with_config(DischargeConfig::sequential());
+        let vcs = vec![
+            unary_vc("a", "x <= x"),
+            unary_vc("b", "x <= x"),
+            unary_vc("c", "x <= x + 1"),
+        ];
+        let report = engine.discharge(vcs);
+        assert!(report.verified());
+        assert_eq!(report.engine.unique_goals, 2);
+        assert_eq!(report.engine.cache_misses, 2);
+        assert_eq!(report.engine.cache_hits, 1);
+        assert!(!report.results[0].cached);
+        assert!(report.results[1].cached);
+        assert_eq!(report.results[1].stats, SolverStats::default());
+    }
+
+    #[test]
+    fn cache_persists_across_discharge_calls() {
+        let engine = DischargeEngine::with_config(DischargeConfig::sequential());
+        let vc = || unary_vc("a", "x + 1 >= x");
+        let first = engine.discharge(vec![vc()]);
+        assert_eq!(first.engine.cache_hits, 0);
+        let second = engine.discharge(vec![vc()]);
+        assert_eq!(second.engine.cache_hits, 1);
+        assert_eq!(second.engine.cache_misses, 0);
+        assert!(second.results[0].cached);
+        assert_eq!(second.results[0].verdict, first.results[0].verdict);
+        let totals = engine.stats();
+        assert_eq!(totals.cache_hits, 1);
+        assert_eq!(totals.cache_misses, 1);
+        assert_eq!(totals.unique_goals, 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_agree() {
+        let vcs: Vec<Vc> = (0..12)
+            .map(|i| {
+                // A mix of valid and invalid goals with some duplicates.
+                let f = match i % 3 {
+                    0 => format!("x + {i} >= x"),
+                    1 => format!("x >= {i}"),
+                    _ => "y <= y".to_string(),
+                };
+                unary_vc(&format!("vc{i}"), &f)
+            })
+            .collect();
+        let seq =
+            DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs.clone());
+        let par = DischargeEngine::with_config(DischargeConfig::with_workers(4)).discharge(vcs);
+        assert_eq!(seq.results.len(), par.results.len());
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            assert_eq!(a.verdict, b.verdict, "verdict mismatch on {}", a.vc);
+            assert_eq!(a.cached, b.cached);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.engine.cache_hits, par.engine.cache_hits);
+        assert_eq!(seq.engine.unique_goals, par.engine.unique_goals);
+    }
+
+    #[test]
+    fn aggregate_stats_equal_per_vc_fold() {
+        let vcs = vec![
+            unary_vc("a", "x <= x"),
+            unary_vc("b", "x >= 5"),
+            unary_vc("c", "x <= x"),
+        ];
+        let report = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs);
+        let mut folded = SolverStats::default();
+        for r in &report.results {
+            folded.absorb(&r.stats);
+        }
+        assert_eq!(report.stats, folded);
+        assert!(report.stats.queries >= 2);
+    }
+
+    #[test]
+    fn empty_vc_list_discharges_cleanly() {
+        let report = DischargeEngine::new().discharge(Vec::new());
+        assert!(report.is_empty());
+        assert!(report.verified());
+        assert_eq!(report.engine.unique_goals, 0);
+    }
+
+    #[test]
+    fn budget_injection_reaches_the_solver() {
+        // This goal is invalid (x=10, y=11, z=0 gives a sum of 21): under
+        // starvation budgets the solver may answer Invalid or give up with
+        // Unknown, but a budget-starved engine must never claim Valid.
+        let config = DischargeConfig {
+            workers: 1,
+            max_conflicts: 1,
+            branch_budget: 1,
+        };
+        let engine = DischargeEngine::with_config(config);
+        assert_eq!(engine.config().max_conflicts, 1);
+        let vcs = vec![unary_vc(
+            "hard",
+            "(x <= 0 || x >= 10) && (y <= 0 || y >= 10) && (z <= 0 || z >= 10)
+             ==> x + y + z >= 30 || x + y + z <= 20",
+        )];
+        let report = engine.discharge(vcs);
+        assert!(!report.results[0].verdict.is_valid());
+    }
+}

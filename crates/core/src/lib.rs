@@ -40,6 +40,7 @@
 //! * [`analysis`] — array detection and relaxation-dependence (taint)
 //!   analysis;
 //! * [`noninterference`] — automatic `x<o> == x<r>` bridging invariants;
+//! * [`engine`] — the parallel, deduplicating VC discharge engine;
 //! * [`verify`] — end-to-end drivers and the theorem-level reports.
 //!
 //! ## Example
@@ -69,12 +70,15 @@
 
 pub mod analysis;
 pub mod encode;
+pub mod engine;
 pub mod noninterference;
 pub mod rules;
 pub mod vcgen;
 pub mod verify;
 
+pub use engine::{DischargeConfig, DischargeEngine, EngineStats};
 pub use verify::{
-    discharge, verify_acceptability, verify_intermediate, verify_original, verify_relaxed,
-    AcceptabilityReport, Report, Spec, VcResult,
+    acceptability_vcs, discharge, verify_acceptability, verify_acceptability_with,
+    verify_intermediate, verify_intermediate_with, verify_original, verify_original_with,
+    verify_relaxed, verify_relaxed_with, AcceptabilityReport, Report, Spec, VcResult,
 };

@@ -9,10 +9,10 @@
 //! Assumptions*).
 
 use crate::analysis::{array_vars, formula_array_vars, rel_formula_array_vars};
-use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
-use crate::vcgen::{vcs_relaxed, vcs_unary, UnaryLogic, Vc, VcBody, VcgenError};
+use crate::engine::{DischargeEngine, EngineStats};
+use crate::vcgen::{vcs_relaxed, vcs_unary, UnaryLogic, Vc, VcgenError};
 use relaxed_lang::{Formula, Program, RelFormula};
-use relaxed_smt::{Solver, SolverStats, Validity};
+use relaxed_smt::{SolverStats, Validity};
 use std::fmt;
 
 /// The verdict for one VC.
@@ -22,6 +22,12 @@ pub struct VcResult {
     pub vc: Vc,
     /// The solver's verdict on its validity.
     pub verdict: Validity,
+    /// Solver statistics for this obligation (zeroed when the verdict
+    /// came from the engine's cache).
+    pub stats: SolverStats,
+    /// Whether the verdict was reused from a structurally identical
+    /// obligation rather than solved afresh.
+    pub cached: bool,
 }
 
 impl VcResult {
@@ -36,8 +42,11 @@ impl VcResult {
 pub struct Report {
     /// Per-VC results, in generation order.
     pub results: Vec<VcResult>,
-    /// Solver statistics accumulated over the run.
+    /// Solver statistics accumulated over the run (freshly solved goals
+    /// only; cached verdicts cost no solver work).
     pub stats: SolverStats,
+    /// Cache and worker statistics for this discharge call.
+    pub engine: EngineStats,
 }
 
 impl Report {
@@ -81,28 +90,81 @@ fn kind_of(v: &Validity) -> &'static str {
     }
 }
 
-/// Discharges a VC list with a fresh solver per obligation.
+/// Discharges a VC list through a fresh [`DischargeEngine`] configured
+/// from the environment (see
+/// [`DischargeConfig::from_env`](crate::engine::DischargeConfig::from_env)).
+///
+/// Use [`DischargeEngine::discharge`] directly to share a verdict cache
+/// across several calls.
 pub fn discharge(vcs: Vec<Vc>) -> Report {
-    let mut report = Report::default();
-    for vc in vcs {
-        let mut solver = Solver::new();
-        let mut ctx = EncodeCtx::new();
-        let encoded = match &vc.body {
-            VcBody::Unary(p) => encode_formula(p, &mut ctx),
-            VcBody::Rel(p) => encode_rel_formula(p, &mut ctx),
-        };
-        let verdict = solver.check_valid(&encoded);
-        let s = solver.stats();
-        report.stats.sat.decisions += s.sat.decisions;
-        report.stats.sat.conflicts += s.sat.conflicts;
-        report.stats.sat.propagations += s.sat.propagations;
-        report.stats.sat.theory_checks += s.sat.theory_checks;
-        report.stats.pivots += s.pivots;
-        report.stats.branch_nodes += s.branch_nodes;
-        report.stats.queries += s.queries;
-        report.results.push(VcResult { vc, verdict });
-    }
-    report
+    DischargeEngine::from_env().discharge(vcs)
+}
+
+/// The `⊢o` obligations of `{pre} program {post}`.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn original_vcs(
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+) -> Result<Vec<Vc>, VcgenError> {
+    unary_stage_vcs(UnaryLogic::Original, program, pre, post)
+}
+
+/// The `⊢i` obligations of `{pre} program {post}`.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations or
+/// contains `relate` statements.
+pub fn intermediate_vcs(
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+) -> Result<Vec<Vc>, VcgenError> {
+    unary_stage_vcs(UnaryLogic::Intermediate, program, pre, post)
+}
+
+fn unary_stage_vcs(
+    logic: UnaryLogic,
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+) -> Result<Vec<Vc>, VcgenError> {
+    let mut arrays = array_vars(program.body());
+    arrays.extend(formula_array_vars(pre));
+    arrays.extend(formula_array_vars(post));
+    vcs_unary(logic, program.body(), pre, post, &arrays)
+}
+
+/// The `⊢r` obligations of `{rel_pre} program {rel_post}`.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn relaxed_vcs(
+    program: &Program,
+    rel_pre: &RelFormula,
+    rel_post: &RelFormula,
+) -> Result<Vec<Vc>, VcgenError> {
+    let mut arrays = array_vars(program.body());
+    arrays.extend(rel_formula_array_vars(rel_pre));
+    arrays.extend(rel_formula_array_vars(rel_post));
+    vcs_relaxed(program.body(), rel_pre, rel_post, &arrays)
+}
+
+/// The combined `⊢o` and `⊢r` obligations of `spec`, in the order the
+/// staged pipeline discharges them.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn acceptability_vcs(program: &Program, spec: &Spec) -> Result<Vec<Vc>, VcgenError> {
+    let mut vcs = original_vcs(program, &spec.pre, &spec.post)?;
+    vcs.extend(relaxed_vcs(program, &spec.rel_pre, &spec.rel_post)?);
+    Ok(vcs)
 }
 
 /// Verifies `⊢o {pre} program {post}` — the axiomatic original semantics.
@@ -118,11 +180,21 @@ pub fn verify_original(
     pre: &Formula,
     post: &Formula,
 ) -> Result<Report, VcgenError> {
-    let mut arrays = array_vars(program.body());
-    arrays.extend(formula_array_vars(pre));
-    arrays.extend(formula_array_vars(post));
-    let vcs = vcs_unary(UnaryLogic::Original, program.body(), pre, post, &arrays)?;
-    Ok(discharge(vcs))
+    verify_original_with(program, pre, post, &DischargeEngine::from_env())
+}
+
+/// [`verify_original`] on a caller-provided engine (shared verdict cache).
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn verify_original_with(
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+    engine: &DischargeEngine,
+) -> Result<Report, VcgenError> {
+    Ok(engine.discharge(original_vcs(program, pre, post)?))
 }
 
 /// Verifies `⊢i {pre} program {post}` — the axiomatic intermediate
@@ -137,11 +209,23 @@ pub fn verify_intermediate(
     pre: &Formula,
     post: &Formula,
 ) -> Result<Report, VcgenError> {
-    let mut arrays = array_vars(program.body());
-    arrays.extend(formula_array_vars(pre));
-    arrays.extend(formula_array_vars(post));
-    let vcs = vcs_unary(UnaryLogic::Intermediate, program.body(), pre, post, &arrays)?;
-    Ok(discharge(vcs))
+    verify_intermediate_with(program, pre, post, &DischargeEngine::from_env())
+}
+
+/// [`verify_intermediate`] on a caller-provided engine (shared verdict
+/// cache).
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations or
+/// contains `relate` statements.
+pub fn verify_intermediate_with(
+    program: &Program,
+    pre: &Formula,
+    post: &Formula,
+    engine: &DischargeEngine,
+) -> Result<Report, VcgenError> {
+    Ok(engine.discharge(intermediate_vcs(program, pre, post)?))
 }
 
 /// Verifies `⊢r {rel_pre} program {rel_post}` — the axiomatic relaxed
@@ -159,11 +243,21 @@ pub fn verify_relaxed(
     rel_pre: &RelFormula,
     rel_post: &RelFormula,
 ) -> Result<Report, VcgenError> {
-    let mut arrays = array_vars(program.body());
-    arrays.extend(rel_formula_array_vars(rel_pre));
-    arrays.extend(rel_formula_array_vars(rel_post));
-    let vcs = vcs_relaxed(program.body(), rel_pre, rel_post, &arrays)?;
-    Ok(discharge(vcs))
+    verify_relaxed_with(program, rel_pre, rel_post, &DischargeEngine::from_env())
+}
+
+/// [`verify_relaxed`] on a caller-provided engine (shared verdict cache).
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn verify_relaxed_with(
+    program: &Program,
+    rel_pre: &RelFormula,
+    rel_post: &RelFormula,
+    engine: &DischargeEngine,
+) -> Result<Report, VcgenError> {
+    Ok(engine.discharge(relaxed_vcs(program, rel_pre, rel_post)?))
 }
 
 /// The full acceptability specification of a relaxed program.
@@ -199,6 +293,12 @@ pub struct AcceptabilityReport {
     pub original: Report,
     /// The `⊢r` report.
     pub relaxed: Report,
+    /// Engine activity over both stages of *this* verification (deltas,
+    /// so a shared engine's history does not leak in). The `⊢r` stage's
+    /// diverge rule re-proves many `⊢o` goals, so sharing one engine
+    /// across the stages turns those into cache hits; `unique_goals`
+    /// counts the goals this verification newly added to the cache.
+    pub engine: EngineStats,
 }
 
 impl AcceptabilityReport {
@@ -262,9 +362,38 @@ pub fn verify_acceptability(
     program: &Program,
     spec: &Spec,
 ) -> Result<AcceptabilityReport, VcgenError> {
-    let original = verify_original(program, &spec.pre, &spec.post)?;
-    let relaxed = verify_relaxed(program, &spec.rel_pre, &spec.rel_post)?;
-    Ok(AcceptabilityReport { original, relaxed })
+    verify_acceptability_with(program, spec, &DischargeEngine::from_env())
+}
+
+/// [`verify_acceptability`] on a caller-provided engine: both stages share
+/// the engine's verdict cache, so obligations the `⊢r` diverge rule
+/// re-proves from the `⊢o` stage are answered without solver work.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+pub fn verify_acceptability_with(
+    program: &Program,
+    spec: &Spec,
+    engine: &DischargeEngine,
+) -> Result<AcceptabilityReport, VcgenError> {
+    let before = engine.stats();
+    let original = verify_original_with(program, &spec.pre, &spec.post, engine)?;
+    let relaxed = verify_relaxed_with(program, &spec.rel_pre, &spec.rel_post, engine)?;
+    let after = engine.stats();
+    // Report this verification's activity, not the engine's lifetime
+    // totals: the engine may be shared across many verifications.
+    let engine_stats = EngineStats {
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
+        unique_goals: after.unique_goals - before.unique_goals,
+        workers: after.workers,
+    };
+    Ok(AcceptabilityReport {
+        original,
+        relaxed,
+        engine: engine_stats,
+    })
 }
 
 #[cfg(test)]

@@ -142,12 +142,22 @@ fn solve_ints(
     for e in extra {
         problem = problem.and(e.clone());
     }
+    // Program states hold i64, so constrain every target into the i64
+    // range up front: the solver then picks a realizable witness whenever
+    // one exists instead of wandering into i128 territory.
+    for t in int_targets {
+        problem = problem
+            .and(ITerm::var(t.name()).ge(ITerm::Const(i64::MIN)))
+            .and(ITerm::var(t.name()).le(ITerm::Const(i64::MAX)));
+    }
     let mut solver = Solver::new();
     match solver.check_sat(&problem) {
         SmtResult::Sat(model) => {
             let mut next = sigma.clone();
             for t in int_targets {
-                let value = model.get(t.name()).unwrap_or(0);
+                // The range bounds above make out-of-range values
+                // unreachable; the fallible narrowing is belt-and-braces.
+                let value = i64::try_from(model.get(t.name()).unwrap_or(0)).ok()?;
                 next.set((*t).clone(), value);
             }
             Some(next)
@@ -369,6 +379,25 @@ mod tests {
 
     fn x_between(lo: i64, hi: i64) -> BoolExpr {
         c(lo).le(v("x")).and(v("x").le(c(hi)))
+    }
+
+    #[test]
+    fn choose_picks_realizable_witness_over_out_of_range_branch() {
+        // x == y + y with y == 0 ∨ y >= 6e18: the big branch forces
+        // x ≈ 1.2e19 > i64::MAX, which no program state can hold. The
+        // oracle must steer the solver to the in-range y == 0 branch
+        // rather than declining the choice.
+        let big = 6_000_000_000_000_000_000i64;
+        let pred = v("x")
+            .eq_expr(v("y") + v("y"))
+            .and(v("y").eq_expr(c(0)).or(v("y").ge(c(big))));
+        let sigma = State::from_ints([("x", 1), ("y", 1)]);
+        let mut o = IdentityOracle;
+        let next = o
+            .choose(&[Var::new("x"), Var::new("y")], &pred, &sigma)
+            .expect("an in-range witness exists");
+        assert_eq!(next.get_int(&Var::new("y")).unwrap(), 0);
+        assert_eq!(next.get_int(&Var::new("x")).unwrap(), 0);
     }
 
     #[test]

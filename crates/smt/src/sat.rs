@@ -106,6 +106,17 @@ pub struct SatStats {
     pub theory_checks: u64,
 }
 
+impl SatStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &SatStats) {
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.theory_checks += other.theory_checks;
+    }
+}
+
 const UNDEF: i8 = 0;
 
 /// The CDCL solver.

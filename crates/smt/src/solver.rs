@@ -19,19 +19,24 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// An integer model: values for the named integer variables.
+///
+/// Values are `i128`: the simplex core computes over `i128`, and a
+/// counterexample witness outside the `i64` range must be reported
+/// exactly rather than coerced (a bogus narrowed value would point the
+/// user at a state that does not violate the obligation).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Model {
-    values: BTreeMap<String, i64>,
+    values: BTreeMap<String, i128>,
 }
 
 impl Model {
     /// The value of `name`, if assigned.
-    pub fn get(&self, name: &str) -> Option<i64> {
+    pub fn get(&self, name: &str) -> Option<i128> {
         self.values.get(name).copied()
     }
 
     /// Iterates over `(name, value)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i128)> {
         self.values.iter().map(|(n, v)| (n.as_str(), *v))
     }
 
@@ -59,11 +64,17 @@ impl fmt::Display for Model {
     }
 }
 
-impl FromIterator<(String, i64)> for Model {
-    fn from_iter<I: IntoIterator<Item = (String, i64)>>(iter: I) -> Self {
+impl FromIterator<(String, i128)> for Model {
+    fn from_iter<I: IntoIterator<Item = (String, i128)>>(iter: I) -> Self {
         Model {
             values: iter.into_iter().collect(),
         }
+    }
+}
+
+impl FromIterator<(String, i64)> for Model {
+    fn from_iter<I: IntoIterator<Item = (String, i64)>>(iter: I) -> Self {
+        iter.into_iter().map(|(n, v)| (n, i128::from(v))).collect()
     }
 }
 
@@ -105,10 +116,27 @@ pub struct SolverStats {
     pub pivots: u64,
     /// Branch-and-bound nodes.
     pub branch_nodes: u64,
-    /// Distinct theory atoms in the last check.
+    /// Distinct theory atoms, accumulated across checks.
     pub atoms: u64,
+    /// Largest number of distinct theory atoms in any single check.
+    pub max_atoms: u64,
     /// Number of `check_sat`/`check_valid` calls.
     pub queries: u64,
+}
+
+impl SolverStats {
+    /// Merges `other` into `self`: counters accumulate, gauges take the
+    /// maximum. This is the one place that knows how to aggregate stats,
+    /// so callers summing per-query or per-VC statistics cannot silently
+    /// drop a field.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.sat.absorb(&other.sat);
+        self.pivots += other.pivots;
+        self.branch_nodes += other.branch_nodes;
+        self.atoms += other.atoms;
+        self.max_atoms = self.max_atoms.max(other.max_atoms);
+        self.queries += other.queries;
+    }
 }
 
 /// The SMT solver facade.
@@ -143,10 +171,33 @@ impl Default for Solver {
     }
 }
 
+// Parallel discharge engines move solvers and their verdicts across
+// worker threads; keep these types `Send` (no interior `Rc`/`RefCell`).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Solver>();
+    assert_send::<Model>();
+    assert_send::<SmtResult>();
+    assert_send::<Validity>();
+};
+
 impl Solver {
     /// Creates a solver with default budgets.
     pub fn new() -> Self {
         Solver::default()
+    }
+
+    /// Creates a solver with explicit search budgets.
+    ///
+    /// `max_conflicts` bounds the CDCL search; `branch_budget` bounds
+    /// branch-and-bound integrality search per theory check. Exhausting
+    /// either yields [`SmtResult::Unknown`], never a wrong verdict.
+    pub fn with_budgets(max_conflicts: u64, branch_budget: u64) -> Self {
+        Solver {
+            max_conflicts,
+            branch_budget,
+            stats: SolverStats::default(),
+        }
     }
 
     /// Statistics accumulated so far.
@@ -170,15 +221,13 @@ impl Solver {
             Err(e) => return SmtResult::Unknown(e.to_string()),
         };
         cnf.assert_root(root);
-        self.stats.atoms = cnf.atoms.iter().flatten().count() as u64;
+        let atoms = cnf.atoms.iter().flatten().count() as u64;
+        self.stats.atoms += atoms;
+        self.stats.max_atoms = self.stats.max_atoms.max(atoms);
 
         let mut theory = LiaTheory::new(&cnf.atoms, cnf.pool.len(), self.branch_budget);
         let outcome = cnf.sat.solve_with(&mut theory);
-        self.stats.sat.decisions += cnf.sat.stats.decisions;
-        self.stats.sat.conflicts += cnf.sat.stats.conflicts;
-        self.stats.sat.propagations += cnf.sat.stats.propagations;
-        self.stats.sat.restarts += cnf.sat.stats.restarts;
-        self.stats.sat.theory_checks += cnf.sat.stats.theory_checks;
+        self.stats.sat.absorb(&cnf.sat.stats);
         self.stats.pivots += theory.pivots;
         self.stats.branch_nodes += theory.branch_nodes;
 
@@ -201,9 +250,9 @@ impl Solver {
                     .iter()
                     .map(|(id, name)| {
                         let v = values.get(id as usize).copied().unwrap_or(0);
-                        (name.to_string(), i64::try_from(v).unwrap_or(0))
+                        (name.to_string(), v)
                     })
-                    .collect();
+                    .collect::<Model>();
                 SmtResult::Sat(model)
             }
         }
@@ -502,5 +551,80 @@ mod tests {
         let _ = s.check_sat(&phi);
         assert_eq!(s.stats().queries, 1);
         assert!(s.stats().sat.theory_checks >= 1);
+    }
+
+    #[test]
+    fn atoms_accumulate_across_queries_with_max_gauge() {
+        // Regression: `atoms` used to be overwritten per query, so
+        // multi-query stats reported only the last query's atom count.
+        let mut s = solver();
+        let one_atom = x().ge(ITerm::Const(0));
+        let two_atoms = x().ge(ITerm::Const(0)).and(x().le(ITerm::Const(9)));
+        let _ = s.check_sat(&two_atoms);
+        let after_first = s.stats().atoms;
+        assert!(after_first >= 2);
+        let _ = s.check_sat(&one_atom);
+        assert!(s.stats().atoms > after_first, "atoms must accumulate");
+        assert_eq!(s.stats().max_atoms, after_first, "gauge keeps the peak");
+    }
+
+    #[test]
+    fn absorb_accumulates_every_counter() {
+        // Regression: per-VC aggregation dropped `sat.restarts`.
+        let mut a = SolverStats {
+            pivots: 1,
+            branch_nodes: 2,
+            atoms: 3,
+            max_atoms: 3,
+            queries: 1,
+            ..SolverStats::default()
+        };
+        a.sat.restarts = 2;
+        a.sat.decisions = 5;
+        let mut b = SolverStats {
+            pivots: 10,
+            branch_nodes: 20,
+            atoms: 30,
+            max_atoms: 7,
+            queries: 2,
+            ..SolverStats::default()
+        };
+        b.sat.restarts = 3;
+        b.sat.conflicts = 4;
+        a.absorb(&b);
+        assert_eq!(a.sat.restarts, 5);
+        assert_eq!(a.sat.decisions, 5);
+        assert_eq!(a.sat.conflicts, 4);
+        assert_eq!(a.pivots, 11);
+        assert_eq!(a.branch_nodes, 22);
+        assert_eq!(a.atoms, 33);
+        assert_eq!(a.max_atoms, 7);
+        assert_eq!(a.queries, 3);
+    }
+
+    #[test]
+    fn wide_coefficient_counterexample_is_exact() {
+        // x == y + y with y pinned at 6e18 forces x = 1.2e19 > i64::MAX.
+        // Regression: the model used to coerce such witnesses to 0 via
+        // `i64::try_from(v).unwrap_or(0)`.
+        let big = 6_000_000_000_000_000_000i64;
+        let phi = x()
+            .eq_term(y().add(y()))
+            .and(y().ge(ITerm::Const(big)))
+            .and(y().le(ITerm::Const(big)));
+        match solver().check_sat(&phi) {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.get("y"), Some(i128::from(big)));
+                assert_eq!(m.get("x"), Some(2 * i128::from(big)));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_budgets_are_respected() {
+        let s = Solver::with_budgets(123, 45);
+        assert_eq!(s.max_conflicts, 123);
+        assert_eq!(s.branch_budget, 45);
     }
 }

@@ -58,9 +58,9 @@ fn gen_qf_formula(rng: &mut SplitMix64, depth: u32) -> BTerm {
     }
 }
 
-fn eval_term(t: &ITerm, env: &dyn Fn(&str) -> i64) -> i64 {
+fn eval_term(t: &ITerm, env: &dyn Fn(&str) -> i128) -> i128 {
     match t {
-        ITerm::Const(n) => *n,
+        ITerm::Const(n) => i128::from(*n),
         ITerm::Var(v) => env(v),
         ITerm::Add(a, b) => eval_term(a, env) + eval_term(b, env),
         ITerm::Sub(a, b) => eval_term(a, env) - eval_term(b, env),
@@ -70,7 +70,7 @@ fn eval_term(t: &ITerm, env: &dyn Fn(&str) -> i64) -> i64 {
     }
 }
 
-fn eval_formula(b: &BTerm, env: &dyn Fn(&str) -> i64) -> bool {
+fn eval_formula(b: &BTerm, env: &dyn Fn(&str) -> i128) -> bool {
     match b {
         BTerm::True => true,
         BTerm::False => false,
@@ -100,9 +100,9 @@ fn brute_force_sat(b: &BTerm) -> bool {
         for y in DOMAIN {
             for z in DOMAIN {
                 let env = move |name: &str| match name {
-                    "x" => x,
-                    "y" => y,
-                    "z" => z,
+                    "x" => i128::from(x),
+                    "y" => i128::from(y),
+                    "z" => i128::from(z),
                     other => panic!("unknown variable {other}"),
                 };
                 if eval_formula(b, &env) {

@@ -31,6 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("⊢o: {}", report.original);
     println!("⊢r: {}", report.relaxed);
     println!(
+        "discharge engine: {} unique goals, {} cache hits / {} solver runs",
+        report.engine.unique_goals, report.engine.cache_hits, report.engine.cache_misses
+    );
+    println!(
         "Relaxed Progress (Theorem 8): {}\n",
         report.relaxed_progress()
     );

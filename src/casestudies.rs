@@ -10,6 +10,32 @@
 use relaxed_core::verify::Spec;
 use relaxed_lang::{parse_formula, parse_program, parse_rel_formula, Formula, Program, RelFormula};
 
+/// All three verified case studies as `(name, program, spec)` triples, in
+/// paper order — the workload the discharge-engine benchmarks, the
+/// report generator, and the engine regression tests iterate over.
+pub fn all() -> Vec<(&'static str, Program, Spec)> {
+    let (swish, swish_spec) = swish();
+    let (water, water_spec) = water();
+    let (lu, lu_spec) = lu();
+    vec![
+        ("swish", swish, swish_spec),
+        ("water", water, water_spec),
+        ("lu", lu, lu_spec),
+    ]
+}
+
+/// The mutated (must-fail) variants of [`all`].
+pub fn all_broken() -> Vec<(&'static str, Program, Spec)> {
+    let (swish, swish_spec) = swish_broken();
+    let (water, water_spec) = water_broken();
+    let (lu, lu_spec) = lu_broken();
+    vec![
+        ("swish_broken", swish, swish_spec),
+        ("water_broken", water, water_spec),
+        ("lu_broken", lu, lu_spec),
+    ]
+}
+
 /// §5.1 — Swish++ **dynamic knobs**.
 ///
 /// Under heavy load the search engine may reduce the number of results it

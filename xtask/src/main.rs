@@ -7,50 +7,80 @@
 use std::env;
 use std::process::{exit, Command};
 
-/// A named shell-free step: a program and its arguments.
-struct Step(&'static [&'static str]);
+/// A named shell-free step: a program, its arguments, and extra
+/// environment variables.
+struct Step(
+    &'static [&'static str],
+    &'static [(&'static str, &'static str)],
+);
 
 const VERIFY: &[Step] = &[
-    Step(&["cargo", "build", "--release"]),
-    Step(&["cargo", "test", "-q"]),
+    Step(&["cargo", "build", "--release"], &[]),
+    Step(&["cargo", "test", "-q"], &[]),
 ];
 
 const CI: &[Step] = &[
-    Step(&["cargo", "fmt", "--all", "--check"]),
-    Step(&[
-        "cargo",
-        "clippy",
-        "--workspace",
-        "--all-targets",
-        "--",
-        "-D",
-        "warnings",
-    ]),
-    Step(&["cargo", "build", "--release"]),
-    Step(&["cargo", "test", "-q", "--workspace"]),
-    Step(&["cargo", "run", "--release", "--example", "quickstart"]),
-    Step(&["cargo", "run", "--release", "--example", "swish_knobs"]),
-    Step(&["cargo", "run", "--release", "--example", "water_parallel"]),
-    Step(&["cargo", "run", "--release", "--example", "lu_approx"]),
-    Step(&[
-        "cargo",
-        "run",
-        "--release",
-        "--example",
-        "perforation_sweep",
-    ]),
-    Step(&["cargo", "bench", "--no-run", "--workspace"]),
+    Step(&["cargo", "fmt", "--all", "--check"], &[]),
+    Step(
+        &[
+            "cargo",
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+        &[],
+    ),
+    Step(&["cargo", "build", "--release"], &[]),
+    // Default engine parallelism, then the fully sequential discharge
+    // path: both schedules of the verification engine must stay green.
+    Step(&["cargo", "test", "-q", "--workspace"], &[]),
+    Step(
+        &["cargo", "test", "-q", "--workspace"],
+        &[("DISCHARGE_WORKERS", "1")],
+    ),
+    Step(
+        &["cargo", "run", "--release", "--example", "quickstart"],
+        &[],
+    ),
+    Step(
+        &["cargo", "run", "--release", "--example", "swish_knobs"],
+        &[],
+    ),
+    Step(
+        &["cargo", "run", "--release", "--example", "water_parallel"],
+        &[],
+    ),
+    Step(
+        &["cargo", "run", "--release", "--example", "lu_approx"],
+        &[],
+    ),
+    Step(
+        &[
+            "cargo",
+            "run",
+            "--release",
+            "--example",
+            "perforation_sweep",
+        ],
+        &[],
+    ),
+    Step(&["cargo", "bench", "--no-run", "--workspace"], &[]),
 ];
 
 fn run(steps: &[Step]) {
-    for Step(argv) in steps {
-        eprintln!("xtask> {}", argv.join(" "));
+    for Step(argv, env) in steps {
+        let prefix: String = env.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+        eprintln!("xtask> {prefix}{}", argv.join(" "));
         let status = Command::new(argv[0])
             .args(&argv[1..])
+            .envs(env.iter().copied())
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn `{}`: {e}", argv[0]));
         if !status.success() {
-            eprintln!("xtask: `{}` failed ({status})", argv.join(" "));
+            eprintln!("xtask: `{prefix}{}` failed ({status})", argv.join(" "));
             exit(status.code().unwrap_or(1));
         }
     }
