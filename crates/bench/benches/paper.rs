@@ -9,6 +9,8 @@
 //! * `discharge_parallel` — the verification engine's 1-vs-N-worker
 //!   discharge throughput over the combined case-study obligation set,
 //!   with cache-hit rates;
+//! * `check_corpus` — corpus-scale batch verification of all six
+//!   case-study programs through one `Verifier` session;
 //! * `e5_tradeoff_perforation` — the §1 performance/accuracy sweep;
 //! * `e6_metatheory_enumeration` — bounded model checking of a corpus
 //!   program (the empirical soundness check);
@@ -18,8 +20,7 @@ use relaxed_bench::harness::{BenchmarkId, Criterion};
 use relaxed_bench::{criterion_group, criterion_main};
 use relaxed_bench::{lu_state, run_pair, water_state};
 use relaxed_core::engine::{DischargeConfig, DischargeEngine};
-use relaxed_core::verify::acceptability_vcs;
-use relaxed_core::verify_acceptability;
+use relaxed_core::Verifier;
 use relaxed_interp::{run_all, run_relaxed, EnumConfig, ExtremalOracle, Mode};
 use relaxed_lang::{parse_program, parse_stmt, State, Stmt};
 use relaxed_programs::casestudies;
@@ -33,21 +34,21 @@ fn verification(c: &mut Criterion) {
     let (swish, swish_spec) = casestudies::swish();
     group.bench_function("e1_swish_verify", |b| {
         b.iter(|| {
-            let report = verify_acceptability(&swish, &swish_spec).unwrap();
+            let report = Verifier::new().check(&swish, &swish_spec).unwrap();
             assert!(report.relaxed_progress());
         })
     });
     let (water, water_spec) = casestudies::water();
     group.bench_function("e2_water_verify", |b| {
         b.iter(|| {
-            let report = verify_acceptability(&water, &water_spec).unwrap();
+            let report = Verifier::new().check(&water, &water_spec).unwrap();
             assert!(report.relaxed_progress());
         })
     });
     let (lu, lu_spec) = casestudies::lu();
     group.bench_function("e3_lu_verify", |b| {
         b.iter(|| {
-            let report = verify_acceptability(&lu, &lu_spec).unwrap();
+            let report = Verifier::new().check(&lu, &lu_spec).unwrap();
             assert!(report.relaxed_progress());
         })
     });
@@ -59,9 +60,10 @@ fn discharge_parallel(c: &mut Criterion) {
     group.sample_size(10);
     // The combined ⊢o + ⊢r obligation set of all three §5 case studies —
     // the exact workload `verify_acceptability` hands the engine.
+    let session = Verifier::new();
     let vcs: Vec<_> = casestudies::all()
         .into_iter()
-        .flat_map(|(_, program, spec)| acceptability_vcs(&program, &spec).unwrap())
+        .flat_map(|(_, program, spec)| session.vcs(&program, &spec).unwrap())
         .collect();
     let auto = DischargeConfig::default().effective_parallelism().max(2);
     for workers in [1usize, auto] {
@@ -91,6 +93,44 @@ fn discharge_parallel(c: &mut Criterion) {
         report.len(),
         report.engine.unique_goals,
         report.engine.cache_hits,
+        report.engine.cache_misses
+    );
+}
+
+fn corpus_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_corpus");
+    group.sample_size(10);
+    // Batch verification of the full six-program corpus (the three §5
+    // case studies plus their must-fail mutations): programs fan out
+    // across the session's worker budget and share its verdict cache.
+    let corpus = casestudies::corpus();
+    let auto = DischargeConfig::default().effective_parallelism().max(2);
+    for workers in [1usize, auto] {
+        group.bench_with_input(
+            BenchmarkId::new("six_programs", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    // A fresh session per iteration: this measures cold
+                    // corpus throughput including cross-program reuse.
+                    let verifier = Verifier::builder().workers(workers).build();
+                    let report = verifier.check_corpus_named(&corpus);
+                    assert_eq!(report.len(), 6);
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+    let report = Verifier::builder()
+        .workers(1)
+        .build()
+        .check_corpus_named(&corpus);
+    eprintln!(
+        "check_corpus: {} programs, {} cache hits ({} cross-program), {} solver runs",
+        report.len(),
+        report.engine.cache_hits,
+        report.engine.cross_hits,
         report.engine.cache_misses
     );
 }
@@ -220,6 +260,7 @@ criterion_group!(
     benches,
     verification,
     discharge_parallel,
+    corpus_batch,
     execution,
     tradeoff,
     metatheory,

@@ -3,9 +3,8 @@
 //! Run with: `cargo run -p relaxed-bench --bin paper_report --release`
 
 use relaxed_bench::{lu_state, run_pair, water_state};
-use relaxed_core::engine::{DischargeConfig, DischargeEngine};
-use relaxed_core::verify::{relaxed_vcs, verify_acceptability_with, verify_original_with};
-use relaxed_core::verify_acceptability;
+use relaxed_core::engine::DischargeConfig;
+use relaxed_core::{Stage, Verifier};
 use relaxed_interp::{run_original, run_relaxed, ExtremalOracle, IdentityOracle};
 use relaxed_lang::{parse_stmt, State, Stmt, Var};
 use relaxed_programs::casestudies;
@@ -44,10 +43,10 @@ fn main() {
     ];
     for (id, name, paper, ours, (program, spec)) in cases {
         let t = Instant::now();
-        let report = verify_acceptability(&program, &spec).unwrap();
+        let report = Verifier::new().check(&program, &spec).unwrap();
         println!(
             "| {id} | {name} | {paper} | {ours} | {} | {} | {:.0?} |",
-            report.original.len() + report.relaxed.len(),
+            report.total_vcs(),
             report.relaxed_progress(),
             t.elapsed(),
         );
@@ -61,7 +60,7 @@ fn main() {
         ("water relaxed K", casestudies::water_broken()),
         ("lu 2e perturbation", casestudies::lu_broken()),
     ] {
-        let report = verify_acceptability(&program, &spec).unwrap();
+        let report = Verifier::new().check(&program, &spec).unwrap();
         println!(
             "| {name} | {} | {} |",
             report.original_progress(),
@@ -152,22 +151,29 @@ fn main() {
     println!("|---|---|---|---|---|---|---|---|");
     let mut total_cross_stage = 0u64;
     for (name, program, spec) in casestudies::all() {
-        // Shared engine: the ⊢r stage sees the ⊢o stage's verdicts.
-        let shared = DischargeEngine::with_config(DischargeConfig::sequential());
+        // Shared session: the ⊢r stage sees the ⊢o stage's verdicts.
+        let shared = Verifier::builder().workers(1).build();
         let t1 = Instant::now();
-        let report = verify_acceptability_with(&program, &spec, &shared).unwrap();
+        let report = shared.check(&program, &spec).unwrap();
         let sequential = t1.elapsed();
         assert!(report.relaxed_progress());
         // Isolated ⊢r discharge: its cache hits are purely intra-stage,
         // so the difference is the cross-stage reuse.
-        let isolated = DischargeEngine::with_config(DischargeConfig::sequential())
-            .discharge(relaxed_vcs(&program, &spec.rel_pre, &spec.rel_post).unwrap());
+        let isolated = Verifier::builder()
+            .workers(1)
+            .build()
+            .stage(Stage::Relaxed)
+            .check(&program, &spec)
+            .unwrap();
         let cross_stage = report.relaxed.engine.cache_hits - isolated.engine.cache_hits;
         total_cross_stage += cross_stage;
 
-        let parallel_engine = DischargeEngine::with_config(DischargeConfig::with_workers(workers));
         let t2 = Instant::now();
-        let parallel = verify_acceptability_with(&program, &spec, &parallel_engine).unwrap();
+        let parallel = Verifier::builder()
+            .workers(workers)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
         let parallel_time = t2.elapsed();
         // Determinism: scheduling must not change a single verdict.
         for (a, b) in report
@@ -190,7 +196,7 @@ fn main() {
         }
         println!(
             "| {name} | {} | {} | {} | {cross_stage} | {sequential:.1?} | {parallel_time:.1?} | {:.2}x |",
-            report.original.len() + report.relaxed.len(),
+            report.total_vcs(),
             report.engine.unique_goals,
             report.engine.cache_hits,
             sequential.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9),
@@ -204,12 +210,18 @@ fn main() {
     // ⊢o alone on a shared engine, then again: the second pass must be
     // answered entirely from cache.
     let (swish, swish_spec) = casestudies::swish();
-    let warm = DischargeEngine::with_config(DischargeConfig::sequential());
+    let warm = Verifier::builder().workers(1).build();
     let t_cold = Instant::now();
-    let first = verify_original_with(&swish, &swish_spec.pre, &swish_spec.post, &warm).unwrap();
+    let first = warm
+        .stage(Stage::Original)
+        .check(&swish, &swish_spec)
+        .unwrap();
     let cold = t_cold.elapsed();
     let t_warm = Instant::now();
-    let second = verify_original_with(&swish, &swish_spec.pre, &swish_spec.post, &warm).unwrap();
+    let second = warm
+        .stage(Stage::Original)
+        .check(&swish, &swish_spec)
+        .unwrap();
     let warm_time = t_warm.elapsed();
     // The cache win is asserted structurally (zero solver runs); the
     // timings are informational — a wall-clock assert would be flaky on
@@ -221,6 +233,46 @@ fn main() {
         first.engine.cache_misses,
         second.engine.cache_misses,
         cold.as_secs_f64() / warm_time.as_secs_f64().max(1e-9)
+    );
+
+    // ---- E8 corpus-scale batch verification ----
+    println!("\n## E8: corpus-scale batch verification (`Verifier::check_corpus`)\n");
+    let corpus = casestudies::corpus();
+    let verifier = Verifier::new();
+    let t_corpus = Instant::now();
+    let corpus_report = verifier.check_corpus_named(&corpus);
+    let corpus_time = t_corpus.elapsed();
+    println!("```json");
+    print!("{}", corpus_report.to_json());
+    println!("```");
+    println!(
+        "\n{} programs in {corpus_time:.1?} across {} workers; {} verdicts reused across programs",
+        corpus_report.len(),
+        corpus_report.engine.workers,
+        corpus_report.cross_program_hits()
+    );
+    for entry in &corpus_report.entries {
+        assert_eq!(
+            entry.verified(),
+            !entry.name.ends_with("_broken"),
+            "{}",
+            entry.name
+        );
+    }
+    // Warm revalidation of the whole corpus: deterministic under any
+    // fan-out — every verdict is served from the session cache, across
+    // program (owner) boundaries.
+    let t_warm_corpus = Instant::now();
+    let warm_corpus = verifier.check_corpus_named(&corpus);
+    assert_eq!(warm_corpus.engine.cache_misses, 0);
+    assert!(
+        warm_corpus.cross_program_hits() > 0,
+        "batch verification must reuse verdicts across corpus programs"
+    );
+    println!(
+        "warm corpus revalidation: {} verdicts from cache in {:.1?}",
+        warm_corpus.engine.cache_hits,
+        t_warm_corpus.elapsed()
     );
 
     // ---- E4 LoC inventory ----

@@ -1,0 +1,1024 @@
+//! The unified [`Verifier`] session API.
+//!
+//! The paper's workflow is one coherent pipeline — relate the original
+//! and relaxed programs, generate the `⊢o`/`⊢i`/`⊢r` obligations,
+//! discharge them — and this module is its one public entry point. A
+//! `Verifier` is a builder-configured session that owns a
+//! [`DischargeEngine`] (and with it a structural-hash verdict cache) and
+//! exposes three granularities of work:
+//!
+//! * [`Verifier::check`] — the full staged acceptability pipeline for one
+//!   program, yielding an [`AcceptabilityReport`];
+//! * [`Verifier::stage`] — one judgment at a time
+//!   (`verifier.stage(Stage::Original).vcs(..)/check(..)`);
+//! * [`Verifier::check_corpus`] — many programs at once, fanned across
+//!   the worker pool with the verdict cache shared *across programs*,
+//!   yielding a [`CorpusReport`] with per-program verdicts, aggregate
+//!   statistics, and an offline JSON rendering for service/CI consumers.
+//!
+//! Configuration is typed ([`Config`]) and layered with builder >
+//! environment > default precedence; the environment is an explicit
+//! opt-in ([`VerifierBuilder::env`] / [`Config::from_env`]) that reports
+//! malformed variables as [`EnvWarning`]s instead of silently dropping
+//! them.
+//!
+//! ```
+//! use relaxed_core::{Stage, Verifier};
+//! use relaxed_core::verify::Spec;
+//! use relaxed_lang::parse_program;
+//!
+//! let program = parse_program(
+//!     "x0 = x;
+//!      relax (x) st (x0 <= x && x <= x0 + 2);
+//!      relate l1 : x<o> <= x<r> && x<r> - x<o> <= 2;",
+//! )?;
+//! let mut spec = Spec::synced(&program);
+//! spec.rel_pre = relaxed_lang::parse_rel_formula("x<o> == x<r>")?;
+//!
+//! let verifier = Verifier::builder().workers(2).build();
+//! let report = verifier.check(&program, &spec)?;
+//! assert!(report.relaxed_progress());
+//!
+//! // Per-stage access to the same session (and its verdict cache):
+//! let original = verifier.stage(Stage::Original).check(&program, &spec)?;
+//! assert!(original.verified());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
+use crate::vcgen::{Vc, VcgenError};
+use crate::verify::{stage_vcs, staged_check, AcceptabilityReport, Report, Spec};
+use relaxed_lang::Program;
+use relaxed_smt::SolverStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One judgment of the paper's staged methodology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// `⊢o` — the axiomatic original semantics (Fig. 7; Lemma 2).
+    Original,
+    /// `⊢i` — the axiomatic intermediate semantics (Fig. 9; Lemma 4).
+    Intermediate,
+    /// `⊢r` — the axiomatic relaxed (relational) semantics (Fig. 8;
+    /// Theorems 6 and 7).
+    Relaxed,
+}
+
+impl Stage {
+    /// The turnstile notation of the stage's judgment.
+    pub fn judgment(self) -> &'static str {
+        match self {
+            Stage::Original => "⊢o",
+            Stage::Intermediate => "⊢i",
+            Stage::Relaxed => "⊢r",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.judgment())
+    }
+}
+
+/// The stages [`Verifier::check`] runs, in pipeline order.
+///
+/// The default is the paper's acceptability pipeline — `⊢o` then `⊢r` —
+/// with no standalone `⊢i` pass (the `⊢r` diverge rule invokes `⊢i`
+/// internally where control flow desynchronizes). Note that a standalone
+/// `⊢i` pass rejects programs containing `relate` statements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageSet {
+    /// Run the `⊢o` stage.
+    pub original: bool,
+    /// Run a standalone `⊢i` stage.
+    pub intermediate: bool,
+    /// Run the `⊢r` stage.
+    pub relaxed: bool,
+}
+
+impl Default for StageSet {
+    fn default() -> Self {
+        StageSet {
+            original: true,
+            intermediate: false,
+            relaxed: true,
+        }
+    }
+}
+
+impl StageSet {
+    /// No stages selected.
+    pub fn none() -> Self {
+        StageSet {
+            original: false,
+            intermediate: false,
+            relaxed: false,
+        }
+    }
+
+    /// Exactly one stage selected.
+    pub fn only(stage: Stage) -> Self {
+        StageSet::none().with(stage)
+    }
+
+    /// All three stages.
+    pub fn all() -> Self {
+        StageSet {
+            original: true,
+            intermediate: true,
+            relaxed: true,
+        }
+    }
+
+    /// This selection plus `stage`.
+    pub fn with(mut self, stage: Stage) -> Self {
+        match stage {
+            Stage::Original => self.original = true,
+            Stage::Intermediate => self.intermediate = true,
+            Stage::Relaxed => self.relaxed = true,
+        }
+        self
+    }
+
+    /// Whether `stage` is selected.
+    pub fn contains(&self, stage: Stage) -> bool {
+        match stage {
+            Stage::Original => self.original,
+            Stage::Intermediate => self.intermediate,
+            Stage::Relaxed => self.relaxed,
+        }
+    }
+}
+
+/// How a session's verdict cache is scoped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// One cache for the whole session, shared across stages, repeated
+    /// [`Verifier::check`] calls, and every program of a corpus — the
+    /// default, and the source of cross-stage and cross-program hits.
+    #[default]
+    Shared,
+    /// A fresh cache per checked program. Stages within one check still
+    /// share it (the `⊢r` diverge sub-proofs still hit `⊢o` verdicts);
+    /// nothing is reused between programs, which makes per-program
+    /// statistics exactly reproducible in isolation.
+    PerProgram,
+}
+
+/// Typed session configuration, layered with **builder > environment >
+/// default** precedence by [`VerifierBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Worker threads (`0` = one per available core). The corpus driver
+    /// fans *programs* across this budget; single-program checks fan
+    /// *goals* across it.
+    pub workers: usize,
+    /// CDCL conflict budget per goal (see
+    /// [`Solver::max_conflicts`](relaxed_smt::Solver::max_conflicts)).
+    pub max_conflicts: u64,
+    /// Branch-and-bound node budget per theory check (see
+    /// [`Solver::branch_budget`](relaxed_smt::Solver::branch_budget)).
+    pub branch_budget: u64,
+    /// Verdict-cache scoping.
+    pub cache: CachePolicy,
+    /// Stage selection for [`Verifier::check`].
+    pub stages: StageSet,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let discharge = DischargeConfig::default();
+        Config {
+            workers: discharge.workers,
+            max_conflicts: discharge.max_conflicts,
+            branch_budget: discharge.branch_budget,
+            cache: CachePolicy::default(),
+            stages: StageSet::default(),
+        }
+    }
+}
+
+/// A malformed environment override reported by [`Config::from_env`]:
+/// the variable kept its default instead of silently swallowing the bad
+/// value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvWarning {
+    /// The environment variable.
+    pub var: &'static str,
+    /// Its (unparsable) value.
+    pub value: String,
+}
+
+impl fmt::Display for EnvWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ignoring {}={:?}: expected an unsigned integer, keeping the default",
+            self.var, self.value
+        )
+    }
+}
+
+impl Config {
+    /// The default configuration with the environment opt-in layer
+    /// applied: `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`,
+    /// and `DISCHARGE_BRANCH_BUDGET`.
+    ///
+    /// This is the **only** place the verifier reads `DISCHARGE_*`
+    /// variables. Unset variables keep their defaults; set-but-malformed
+    /// variables keep their defaults *and* are reported in the returned
+    /// warning list, one per bad variable.
+    pub fn from_env() -> (Config, Vec<EnvWarning>) {
+        Config::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// [`Config::from_env`] against an arbitrary variable source, for
+    /// deterministic tests and embedders with their own configuration
+    /// plumbing. Returning `None` means "unset" (non-unicode process
+    /// values are treated as unset).
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> (Config, Vec<EnvWarning>) {
+        let mut config = Config::default();
+        let mut warnings = Vec::new();
+        let mut parse = |var: &'static str| -> Option<u64> {
+            let raw = lookup(var)?;
+            match raw.trim().parse() {
+                Ok(value) => Some(value),
+                Err(_) => {
+                    warnings.push(EnvWarning { var, value: raw });
+                    None
+                }
+            }
+        };
+        if let Some(workers) = parse("DISCHARGE_WORKERS") {
+            config.workers = workers as usize;
+        }
+        if let Some(conflicts) = parse("DISCHARGE_CONFLICTS") {
+            config.max_conflicts = conflicts;
+        }
+        if let Some(budget) = parse("DISCHARGE_BRANCH_BUDGET") {
+            config.branch_budget = budget;
+        }
+        (config, warnings)
+    }
+
+    /// The engine-level slice of this configuration.
+    pub fn discharge_config(&self) -> DischargeConfig {
+        DischargeConfig {
+            workers: self.workers,
+            max_conflicts: self.max_conflicts,
+            branch_budget: self.branch_budget,
+        }
+    }
+}
+
+/// Builds a [`Verifier`] with **builder > environment > default**
+/// precedence: fields set on the builder always win; fields left unset
+/// fall back to the environment layer when [`env`](VerifierBuilder::env)
+/// was called, and to [`Config::default`] otherwise.
+#[derive(Clone, Debug, Default)]
+pub struct VerifierBuilder {
+    use_env: bool,
+    workers: Option<usize>,
+    max_conflicts: Option<u64>,
+    branch_budget: Option<u64>,
+    cache: Option<CachePolicy>,
+    stages: Option<StageSet>,
+}
+
+impl VerifierBuilder {
+    /// Opts in to the environment layer (`DISCHARGE_*`); parse warnings
+    /// are retained on the built session (see
+    /// [`Verifier::env_warnings`]).
+    pub fn env(mut self) -> Self {
+        self.use_env = true;
+        self
+    }
+
+    /// Worker threads (`0` = one per available core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// CDCL conflict budget per goal.
+    pub fn max_conflicts(mut self, max_conflicts: u64) -> Self {
+        self.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    /// Branch-and-bound node budget per theory check.
+    pub fn branch_budget(mut self, branch_budget: u64) -> Self {
+        self.branch_budget = Some(branch_budget);
+        self
+    }
+
+    /// Verdict-cache scoping.
+    pub fn cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Stage selection for [`Verifier::check`].
+    pub fn stages(mut self, stages: StageSet) -> Self {
+        self.stages = Some(stages);
+        self
+    }
+
+    /// Sets every field at once from a [`Config`] (each counts as
+    /// builder-set for precedence; later per-field calls still override).
+    pub fn config(mut self, config: Config) -> Self {
+        self.workers = Some(config.workers);
+        self.max_conflicts = Some(config.max_conflicts);
+        self.branch_budget = Some(config.branch_budget);
+        self.cache = Some(config.cache);
+        self.stages = Some(config.stages);
+        self
+    }
+
+    /// Resolves the layers and builds the session.
+    pub fn build(self) -> Verifier {
+        let (base, env_warnings) = if self.use_env {
+            Config::from_env()
+        } else {
+            (Config::default(), Vec::new())
+        };
+        let config = Config {
+            workers: self.workers.unwrap_or(base.workers),
+            max_conflicts: self.max_conflicts.unwrap_or(base.max_conflicts),
+            branch_budget: self.branch_budget.unwrap_or(base.branch_budget),
+            cache: self.cache.unwrap_or(base.cache),
+            stages: self.stages.unwrap_or(base.stages),
+        };
+        Verifier {
+            engine: DischargeEngine::with_config(config.discharge_config()),
+            config,
+            env_warnings,
+            folded: Mutex::new(EngineStats::default()),
+            next_owner: AtomicU64::new(1),
+        }
+    }
+}
+
+/// A verification session: typed configuration plus an owned
+/// [`DischargeEngine`] whose verdict cache persists across everything
+/// the session checks.
+///
+/// The session is [`Sync`]; `&Verifier` can be shared across threads
+/// (that is how [`check_corpus`](Verifier::check_corpus) fans out).
+#[derive(Debug)]
+pub struct Verifier {
+    config: Config,
+    engine: DischargeEngine,
+    env_warnings: Vec<EnvWarning>,
+    /// Engine stats of the throwaway per-program engines a
+    /// [`CachePolicy::PerProgram`] session creates, folded in so
+    /// [`Verifier::stats`] stays complete under either policy.
+    folded: Mutex<EngineStats>,
+    /// The next [`DischargeOptions::owner`] tag for corpus entries;
+    /// session-unique so cross-program accounting survives repeated
+    /// `check_corpus` calls.
+    next_owner: AtomicU64,
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::builder().build()
+    }
+}
+
+impl Verifier {
+    /// A session with default configuration (no environment layer).
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// A session with defaults plus the environment opt-in layer —
+    /// shorthand for `Verifier::builder().env().build()`.
+    pub fn from_env() -> Self {
+        Verifier::builder().env().build()
+    }
+
+    /// Starts a [`VerifierBuilder`].
+    pub fn builder() -> VerifierBuilder {
+        VerifierBuilder::default()
+    }
+
+    /// A session with every field taken from `config`.
+    pub fn with_config(config: Config) -> Self {
+        Verifier::builder().config(config).build()
+    }
+
+    /// The session's resolved configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The session's discharge engine, for direct VC-list discharge or
+    /// cache-level introspection.
+    pub fn engine(&self) -> &DischargeEngine {
+        &self.engine
+    }
+
+    /// Environment-layer parse warnings collected at build time (empty
+    /// unless [`VerifierBuilder::env`] was used and a `DISCHARGE_*`
+    /// variable was malformed).
+    pub fn env_warnings(&self) -> &[EnvWarning] {
+        &self.env_warnings
+    }
+
+    /// Cumulative engine statistics over everything this session has
+    /// checked (including the per-program engines of a
+    /// [`CachePolicy::PerProgram`] session).
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.engine.stats();
+        stats.absorb(&self.folded.lock().expect("stats lock"));
+        stats
+    }
+
+    /// Runs the staged acceptability pipeline (the session's selected
+    /// stages) on one program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcgenError`] when the program lacks required
+    /// annotations.
+    pub fn check(&self, program: &Program, spec: &Spec) -> Result<AcceptabilityReport, VcgenError> {
+        self.check_tagged(program, spec, DischargeOptions::default())
+    }
+
+    /// [`check`](Verifier::check) with explicit discharge options (owner
+    /// tag / worker override) — the corpus driver's entry point.
+    fn check_tagged(
+        &self,
+        program: &Program,
+        spec: &Spec,
+        opts: DischargeOptions,
+    ) -> Result<AcceptabilityReport, VcgenError> {
+        match self.config.cache {
+            CachePolicy::Shared => {
+                staged_check(&self.engine, program, spec, self.config.stages, opts)
+            }
+            CachePolicy::PerProgram => {
+                let engine = DischargeEngine::with_config(self.config.discharge_config());
+                let report = staged_check(&engine, program, spec, self.config.stages, opts)?;
+                self.fold(&engine.stats());
+                Ok(report)
+            }
+        }
+    }
+
+    fn fold(&self, stats: &EngineStats) {
+        self.folded.lock().expect("stats lock").absorb(stats);
+    }
+
+    /// The combined obligations of every selected stage, in pipeline
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcgenError`] when the program lacks required
+    /// annotations.
+    pub fn vcs(&self, program: &Program, spec: &Spec) -> Result<Vec<Vc>, VcgenError> {
+        let mut vcs = Vec::new();
+        for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
+            if self.config.stages.contains(stage) {
+                vcs.extend(stage_vcs(stage, program, spec)?);
+            }
+        }
+        Ok(vcs)
+    }
+
+    /// A handle on one stage of the pipeline:
+    /// `verifier.stage(Stage::Original).vcs(..)/check(..)`.
+    pub fn stage(&self, stage: Stage) -> StageRunner<'_> {
+        StageRunner {
+            verifier: self,
+            stage,
+        }
+    }
+
+    /// Verifies a corpus of programs, fanning them across the session's
+    /// worker budget. Under the default [`CachePolicy::Shared`] the
+    /// structural-hash verdict cache is shared across programs, and
+    /// verdicts one program reuses from another are counted in
+    /// [`EngineStats::cross_hits`]. Owner tags are unique across the
+    /// whole session, so a repeated `check_corpus` call also counts its
+    /// reuse of an earlier call's verdicts as cross-program hits.
+    ///
+    /// Programs verify concurrently, so whether two *simultaneously
+    /// checked* programs share work is scheduling-dependent (each may
+    /// solve a shared goal before the other publishes it); verdicts are
+    /// unaffected. Pin `workers(1)` for deterministic cache statistics.
+    ///
+    /// A per-program [`VcgenError`] is recorded in that program's
+    /// [`CorpusEntry`] instead of aborting the rest of the corpus.
+    /// Entries are named `program_0`, `program_1`, … in input order; use
+    /// [`check_corpus_named`](Verifier::check_corpus_named) to supply
+    /// names.
+    pub fn check_corpus(&self, corpus: &[(Program, Spec)]) -> CorpusReport {
+        let entries: Vec<(String, &Program, &Spec)> = corpus
+            .iter()
+            .enumerate()
+            .map(|(i, (program, spec))| (format!("program_{i}"), program, spec))
+            .collect();
+        self.run_corpus(entries)
+    }
+
+    /// [`check_corpus`](Verifier::check_corpus) with caller-supplied
+    /// program names for the report and its JSON rendering.
+    pub fn check_corpus_named(&self, corpus: &[(&str, Program, Spec)]) -> CorpusReport {
+        let entries: Vec<(String, &Program, &Spec)> = corpus
+            .iter()
+            .map(|(name, program, spec)| (name.to_string(), program, spec))
+            .collect();
+        self.run_corpus(entries)
+    }
+
+    fn run_corpus(&self, entries: Vec<(String, &Program, &Spec)>) -> CorpusReport {
+        let count = entries.len();
+        if count == 0 {
+            return CorpusReport::default();
+        }
+        // Fan programs (not goals) across the worker budget: program-level
+        // parallelism scales better than goal-level on corpus workloads,
+        // and the leftover budget parallelizes each program's discharge.
+        let budget = self.config.discharge_config().effective_parallelism();
+        let fanout = budget.min(count).max(1);
+        let per_program = (budget / fanout).max(1);
+        let run_one = |name: &str, program: &Program, spec: &Spec| -> CorpusEntry {
+            let opts = DischargeOptions {
+                workers: Some(per_program),
+                // Session-unique 1-based owner tags: corpus programs are
+                // distinguished both from untagged session history
+                // (owner 0) and from every other program this session
+                // ever batch-verified, so warm re-verification counts as
+                // cross-program reuse.
+                owner: self.next_owner.fetch_add(1, Ordering::Relaxed),
+            };
+            CorpusEntry {
+                name: name.to_string(),
+                outcome: self.check_tagged(program, spec, opts),
+            }
+        };
+
+        let mut results: Vec<(usize, CorpusEntry)> = if fanout <= 1 {
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, (name, program, spec))| (i, run_one(name, program, spec)))
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let sink: Mutex<Vec<(usize, CorpusEntry)>> = Mutex::new(Vec::with_capacity(count));
+            std::thread::scope(|scope| {
+                for _ in 0..fanout {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((name, program, spec)) = entries.get(i) else {
+                            break;
+                        };
+                        let entry = run_one(name, program, spec);
+                        sink.lock().expect("sink lock").push((i, entry));
+                    });
+                }
+            });
+            sink.into_inner().expect("sink lock")
+        };
+        results.sort_unstable_by_key(|(i, _)| *i);
+
+        let mut report = CorpusReport {
+            stages: self.config.stages,
+            ..CorpusReport::default()
+        };
+        for (_, entry) in results {
+            if let Ok(program_report) = &entry.outcome {
+                report.engine.absorb(&program_report.engine);
+                // Fold the per-stage solver stats directly — no need to
+                // materialize a merged per-VC report for aggregation.
+                report.stats.absorb(&program_report.original.stats);
+                if let Some(intermediate) = &program_report.intermediate {
+                    report.stats.absorb(&intermediate.stats);
+                }
+                report.stats.absorb(&program_report.relaxed.stats);
+            }
+            report.entries.push(entry);
+        }
+        // Corpus-level parallelism is program fan-out, not per-goal
+        // workers.
+        report.engine.workers = fanout;
+        report
+    }
+}
+
+/// A handle on one stage of a [`Verifier`] session (see
+/// [`Verifier::stage`]).
+#[derive(Clone, Copy, Debug)]
+pub struct StageRunner<'v> {
+    verifier: &'v Verifier,
+    stage: Stage,
+}
+
+impl StageRunner<'_> {
+    /// The stage this handle runs.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The stage's obligations for `program` under `spec` (the unary
+    /// stages read `spec.pre`/`spec.post`, the relational stage
+    /// `spec.rel_pre`/`spec.rel_post`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcgenError`] when the program lacks required
+    /// annotations (or, for a standalone `⊢i` run, contains `relate`
+    /// statements).
+    pub fn vcs(&self, program: &Program, spec: &Spec) -> Result<Vec<Vc>, VcgenError> {
+        stage_vcs(self.stage, program, spec)
+    }
+
+    /// Generates and discharges the stage's obligations through the
+    /// session's engine (sharing its verdict cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcgenError`] when the program lacks required
+    /// annotations (or, for a standalone `⊢i` run, contains `relate`
+    /// statements).
+    pub fn check(&self, program: &Program, spec: &Spec) -> Result<Report, VcgenError> {
+        let vcs = self.vcs(program, spec)?;
+        match self.verifier.config.cache {
+            CachePolicy::Shared => Ok(self.verifier.engine.discharge(vcs)),
+            CachePolicy::PerProgram => {
+                let engine = DischargeEngine::with_config(self.verifier.config.discharge_config());
+                let report = engine.discharge(vcs);
+                self.verifier.fold(&engine.stats());
+                Ok(report)
+            }
+        }
+    }
+}
+
+/// The result of [`Verifier::check_corpus`]: per-program verdicts plus
+/// aggregate engine and solver statistics.
+#[derive(Debug, Default)]
+pub struct CorpusReport {
+    /// Per-program outcomes, in input order.
+    pub entries: Vec<CorpusEntry>,
+    /// The stages the session ran for each program — consult this when
+    /// interpreting `verified` statuses: a `StageSet` without the `⊢r`
+    /// stage never proved any acceptability property.
+    pub stages: StageSet,
+    /// Engine activity folded over the whole corpus run.
+    /// `engine.cross_hits` counts verdicts reused across programs — the
+    /// corpus-scale payoff of the shared cache.
+    pub engine: EngineStats,
+    /// Solver work folded over the whole corpus run.
+    pub stats: SolverStats,
+}
+
+/// One program's outcome within a [`CorpusReport`].
+#[derive(Debug)]
+pub struct CorpusEntry {
+    /// The program's name (caller-supplied, or `program_<index>`).
+    pub name: String,
+    /// The staged report, or the [`VcgenError`] that prevented VC
+    /// generation.
+    pub outcome: Result<AcceptabilityReport, VcgenError>,
+}
+
+impl CorpusEntry {
+    /// Whether every obligation of every stage the session ran was
+    /// proved. Under the default pipeline this is exactly the program's
+    /// acceptability proof (Theorem 8); under a narrower
+    /// [`StageSet`] it certifies only the stages in
+    /// [`CorpusReport::stages`].
+    pub fn verified(&self) -> bool {
+        matches!(&self.outcome, Ok(report) if report.verified())
+    }
+
+    fn status(&self) -> &'static str {
+        match &self.outcome {
+            Ok(report) if report.verified() => "verified",
+            Ok(_) => "failed",
+            Err(_) => "error",
+        }
+    }
+}
+
+impl CorpusReport {
+    /// Number of programs in the corpus.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus was empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every program verified.
+    pub fn verified(&self) -> bool {
+        self.entries.iter().all(CorpusEntry::verified)
+    }
+
+    /// Verdicts reused across programs through the shared cache.
+    pub fn cross_program_hits(&self) -> u64 {
+        self.engine.cross_hits
+    }
+
+    /// Renders the report as JSON (hand-rolled — offline, no serde) for
+    /// service and CI consumers: one object per program with its status,
+    /// VC counts, and cache statistics, plus corpus-level aggregates.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"corpus\": [\n");
+        for (i, entry) in self.entries.iter().enumerate() {
+            let sep = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str("    {");
+            json_field(&mut out, "name", &json_string(&entry.name));
+            out.push_str(", ");
+            json_field(&mut out, "status", &json_string(entry.status()));
+            match &entry.outcome {
+                Ok(report) => {
+                    out.push_str(", ");
+                    json_field(&mut out, "vcs", &report.total_vcs().to_string());
+                    out.push_str(", ");
+                    json_field(&mut out, "proved", &report.proved_vcs().to_string());
+                    // Per-stage verdicts only for stages that ran: a
+                    // skipped stage must not read as a green light.
+                    if report.stages.original {
+                        out.push_str(", ");
+                        json_field(
+                            &mut out,
+                            "original_verified",
+                            &report.original_progress().to_string(),
+                        );
+                    }
+                    if let Some(intermediate) = &report.intermediate {
+                        out.push_str(", ");
+                        json_field(
+                            &mut out,
+                            "intermediate_verified",
+                            &intermediate.verified().to_string(),
+                        );
+                    }
+                    if report.stages.relaxed {
+                        out.push_str(", ");
+                        json_field(
+                            &mut out,
+                            "relaxed_verified",
+                            &report.relative_relaxed_progress().to_string(),
+                        );
+                    }
+                    out.push_str(", ");
+                    json_field(
+                        &mut out,
+                        "cache_hits",
+                        &report.engine.cache_hits.to_string(),
+                    );
+                    out.push_str(", ");
+                    json_field(
+                        &mut out,
+                        "cross_program_hits",
+                        &report.engine.cross_hits.to_string(),
+                    );
+                    out.push_str(", ");
+                    json_field(
+                        &mut out,
+                        "solver_runs",
+                        &report.engine.cache_misses.to_string(),
+                    );
+                }
+                Err(error) => {
+                    out.push_str(", ");
+                    json_field(&mut out, "error", &json_string(&error.to_string()));
+                }
+            }
+            out.push('}');
+            out.push_str(sep);
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"aggregate\": {");
+        let verified = self.entries.iter().filter(|e| e.verified()).count();
+        let errors = self.entries.iter().filter(|e| e.outcome.is_err()).count();
+        let ran: Vec<&str> = [
+            (self.stages.original, "original"),
+            (self.stages.intermediate, "intermediate"),
+            (self.stages.relaxed, "relaxed"),
+        ]
+        .iter()
+        .filter(|(on, _)| *on)
+        .map(|(_, name)| *name)
+        .collect();
+        json_field(
+            &mut out,
+            "stages",
+            &format!(
+                "[{}]",
+                ran.iter()
+                    .map(|s| json_string(s))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        out.push_str(", ");
+        json_field(&mut out, "programs", &self.len().to_string());
+        out.push_str(", ");
+        json_field(&mut out, "verified", &verified.to_string());
+        out.push_str(", ");
+        json_field(
+            &mut out,
+            "failed",
+            &(self.len() - verified - errors).to_string(),
+        );
+        out.push_str(", ");
+        json_field(&mut out, "errors", &errors.to_string());
+        out.push_str(", ");
+        json_field(&mut out, "cache_hits", &self.engine.cache_hits.to_string());
+        out.push_str(", ");
+        json_field(
+            &mut out,
+            "cross_program_hits",
+            &self.engine.cross_hits.to_string(),
+        );
+        out.push_str(", ");
+        json_field(
+            &mut out,
+            "solver_runs",
+            &self.engine.cache_misses.to_string(),
+        );
+        out.push_str(", ");
+        json_field(&mut out, "workers", &self.engine.workers.to_string());
+        out.push_str(", ");
+        json_field(&mut out, "solver_queries", &self.stats.queries.to_string());
+        out.push_str(", ");
+        json_field(&mut out, "simplex_pivots", &self.stats.pivots.to_string());
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for CorpusReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verified = self.entries.iter().filter(|e| e.verified()).count();
+        writeln!(
+            f,
+            "{verified}/{} programs verified ({} cache hits, {} cross-program)",
+            self.len(),
+            self.engine.cache_hits,
+            self.engine.cross_hits
+        )?;
+        for entry in &self.entries {
+            writeln!(f, "  {:>10}  {}", entry.status(), entry.name)?;
+        }
+        Ok(())
+    }
+}
+
+fn json_field(out: &mut String, key: &str, rendered_value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(rendered_value);
+}
+
+/// Renders a JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::{parse_program, parse_rel_formula};
+
+    fn toy() -> (Program, Spec) {
+        let program = parse_program(
+            "x0 = x;
+             relax (x) st (x0 <= x && x <= x0 + 2);
+             relate l1 : x<o> <= x<r> && x<r> - x<o> <= 2;",
+        )
+        .unwrap();
+        let mut spec = Spec::synced(&program);
+        spec.rel_pre = parse_rel_formula("x<o> == x<r>").unwrap();
+        (program, spec)
+    }
+
+    #[test]
+    fn default_config_matches_engine_defaults() {
+        let config = Config::default();
+        let discharge = DischargeConfig::default();
+        assert_eq!(config.discharge_config(), discharge);
+        assert_eq!(config.cache, CachePolicy::Shared);
+        assert_eq!(config.stages, StageSet::default());
+    }
+
+    #[test]
+    fn from_lookup_applies_overrides_and_reports_bad_values() {
+        let (config, warnings) = Config::from_lookup(|name| match name {
+            "DISCHARGE_WORKERS" => Some("3".to_string()),
+            "DISCHARGE_CONFLICTS" => Some("bogus".to_string()),
+            _ => None,
+        });
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.max_conflicts, Config::default().max_conflicts);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].var, "DISCHARGE_CONFLICTS");
+        assert!(warnings[0].to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn builder_fields_beat_config_base() {
+        let base = Config {
+            workers: 7,
+            max_conflicts: 123,
+            ..Config::default()
+        };
+        let verifier = Verifier::builder().config(base).workers(2).build();
+        assert_eq!(verifier.config().workers, 2);
+        assert_eq!(verifier.config().max_conflicts, 123);
+    }
+
+    #[test]
+    fn stage_set_selection() {
+        let set = StageSet::only(Stage::Intermediate);
+        assert!(set.contains(Stage::Intermediate));
+        assert!(!set.contains(Stage::Original));
+        assert!(StageSet::all().contains(Stage::Relaxed));
+        assert!(!StageSet::default().contains(Stage::Intermediate));
+    }
+
+    #[test]
+    fn check_runs_selected_stages_only() {
+        let (program, spec) = toy();
+        let original_only = Verifier::builder()
+            .stages(StageSet::only(Stage::Original))
+            .build();
+        let report = original_only.check(&program, &spec).unwrap();
+        assert!(!report.original.is_empty());
+        assert!(report.relaxed.is_empty());
+        assert!(report.intermediate.is_none());
+        // The ran stage verified, but a skipped ⊢r stage must never be
+        // reported as a proved theorem.
+        assert!(report.verified());
+        assert!(report.original_progress());
+        assert!(!report.relative_relaxed_progress());
+        assert!(!report.relaxed_progress());
+    }
+
+    #[test]
+    fn stage_runner_matches_pipeline_stage() {
+        let (program, spec) = toy();
+        let verifier = Verifier::new();
+        let full = verifier.check(&program, &spec).unwrap();
+        let fresh = Verifier::new();
+        let original = fresh.stage(Stage::Original).check(&program, &spec).unwrap();
+        assert_eq!(original.len(), full.original.len());
+        for (a, b) in original.results.iter().zip(&full.original.results) {
+            assert_eq!(a.verdict, b.verdict);
+        }
+    }
+
+    #[test]
+    fn corpus_of_duplicates_hits_across_programs() {
+        let (program, spec) = toy();
+        let corpus = vec![(program.clone(), spec.clone()), (program, spec)];
+        // workers(1): sequential corpus order makes the cache statistics
+        // deterministic (concurrent duplicates may each solve a shared
+        // goal before the other publishes it).
+        let verifier = Verifier::builder().workers(1).build();
+        let report = verifier.check_corpus(&corpus);
+        assert_eq!(report.len(), 2);
+        assert!(report.verified());
+        assert!(
+            report.cross_program_hits() > 0,
+            "identical programs must share verdicts: {report}"
+        );
+        assert_eq!(report.entries[0].name, "program_0");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -15,17 +15,21 @@
 //!    encoded goal is the key of a verdict cache shared
 //!    across every discharge call made through one engine — in particular
 //!    across the `⊢o` and `⊢r` stages of
-//!    [`verify_acceptability_with`](crate::verify::verify_acceptability_with),
-//!    whose diverge sub-proofs re-prove many of the `⊢o` stage's unary
-//!    goals verbatim.
+//!    [`Verifier::check`](crate::api::Verifier::check), whose diverge
+//!    sub-proofs re-prove many of the `⊢o` stage's unary goals verbatim,
+//!    and across the programs of a
+//!    [`Verifier::check_corpus`](crate::api::Verifier::check_corpus)
+//!    batch.
 //! 2. **Parallel discharge.** The unique, uncached goals are solved on a
 //!    [`std::thread::scope`] worker pool, one fresh [`Solver`] per goal.
 //!    Results are reassembled in generation order, so a [`Report`] is
 //!    byte-for-byte identical regardless of scheduling.
 //!
-//! Worker count and solver budgets come from [`DischargeConfig`]
-//! (overridable via the `DISCHARGE_WORKERS`, `DISCHARGE_CONFLICTS` and
-//! `DISCHARGE_BRANCH_BUDGET` environment variables).
+//! Worker count and solver budgets come from [`DischargeConfig`]. The
+//! engine itself never reads the process environment; the
+//! `DISCHARGE_WORKERS`, `DISCHARGE_CONFLICTS` and `DISCHARGE_BRANCH_BUDGET`
+//! variables are applied only through the explicit opt-in layer
+//! [`Config::from_env`](crate::api::Config::from_env).
 
 use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
 use crate::vcgen::{Vc, VcBody};
@@ -61,22 +65,14 @@ impl Default for DischargeConfig {
 }
 
 impl DischargeConfig {
-    /// The default configuration with environment overrides applied:
-    /// `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`, and
-    /// `DISCHARGE_BRANCH_BUDGET`. Unset or unparsable variables keep the
-    /// defaults.
+    /// The default configuration with environment overrides applied.
+    ///
+    /// Parse failures are silently dropped here; prefer
+    /// [`Config::from_env`](crate::api::Config::from_env), which reports
+    /// them.
+    #[deprecated(note = "use `relaxed_core::Config::from_env` (the typed session config) instead")]
     pub fn from_env() -> Self {
-        let mut config = DischargeConfig::default();
-        if let Some(w) = env_u64("DISCHARGE_WORKERS") {
-            config.workers = w as usize;
-        }
-        if let Some(c) = env_u64("DISCHARGE_CONFLICTS") {
-            config.max_conflicts = c;
-        }
-        if let Some(b) = env_u64("DISCHARGE_BRANCH_BUDGET") {
-            config.branch_budget = b;
-        }
-        config
+        crate::api::Config::from_env().0.discharge_config()
     }
 
     /// A single-worker (fully sequential) configuration.
@@ -113,10 +109,6 @@ impl DischargeConfig {
     }
 }
 
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
-}
-
 /// Cache and throughput counters for a [`DischargeEngine`] (or, on a
 /// [`Report`], for one discharge call).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -126,8 +118,15 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Obligations that required a solver run.
     pub cache_misses: u64,
-    /// Distinct goals seen (cache entries for engine-level stats; unique
-    /// goals within the call for report-level stats).
+    /// Cache hits whose verdict was first inserted under a different
+    /// [`DischargeOptions::owner`] tag. The corpus driver
+    /// ([`Verifier::check_corpus`](crate::api::Verifier::check_corpus))
+    /// tags each program with its own owner, so this counts verdicts
+    /// reused *across programs*; untagged discharge calls all share owner
+    /// `0` and report `0` here.
+    pub cross_hits: u64,
+    /// Distinct goals seen: cache entries for engine-level stats, goals
+    /// newly added to the cache for report-level stats.
     pub unique_goals: u64,
     /// Worker threads: the effective configured parallelism for
     /// engine-level stats, the thread count actually used for
@@ -135,18 +134,57 @@ pub struct EngineStats {
     pub workers: usize,
 }
 
+impl EngineStats {
+    /// Merges `other` into `self`: counters accumulate, `workers` takes
+    /// the maximum. Like
+    /// [`SolverStats::absorb`](relaxed_smt::SolverStats::absorb), this is
+    /// the one place that knows how to fold engine statistics, so callers
+    /// aggregating per-stage or per-program counters cannot silently drop
+    /// a field.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cross_hits += other.cross_hits;
+        self.unique_goals += other.unique_goals;
+        self.workers = self.workers.max(other.workers);
+    }
+}
+
+/// Per-call overrides for [`DischargeEngine::discharge_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DischargeOptions {
+    /// Worker-count override for this call (`Some(0)` = one per core);
+    /// `None` uses the engine's configured count. The corpus driver uses
+    /// this to run each program's discharge sequentially while fanning
+    /// programs out across the pool.
+    pub workers: Option<usize>,
+    /// Owner tag recorded with every verdict this call inserts into the
+    /// cache; hits on verdicts inserted under a *different* tag count as
+    /// [`EngineStats::cross_hits`]. `0` is the shared untagged owner.
+    pub owner: u64,
+}
+
 /// The parallel, deduplicating discharge engine.
 ///
 /// One engine holds one verdict cache; share an engine across stages (as
-/// [`verify_acceptability`](crate::verify::verify_acceptability) does) to
-/// reuse verdicts between them. The engine is [`Sync`]: `&DischargeEngine`
-/// can be shared freely.
+/// [`Verifier::check`](crate::api::Verifier::check) does) to reuse
+/// verdicts between them. The engine is [`Sync`]: `&DischargeEngine` can
+/// be shared freely.
 #[derive(Debug, Default)]
 pub struct DischargeEngine {
     config: DischargeConfig,
-    cache: Mutex<HashMap<BTerm, Validity>>,
+    cache: Mutex<HashMap<BTerm, CachedVerdict>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    cross: AtomicU64,
+}
+
+/// A cached verdict plus the owner tag of the discharge call that first
+/// solved it (see [`DischargeOptions::owner`]).
+#[derive(Clone, Debug)]
+struct CachedVerdict {
+    verdict: Validity,
+    owner: u64,
 }
 
 // The engine is shared by reference across its own worker threads.
@@ -169,10 +207,12 @@ impl DischargeEngine {
         }
     }
 
-    /// An engine configured from the environment (see
-    /// [`DischargeConfig::from_env`]).
+    /// An engine configured from the environment.
+    #[deprecated(
+        note = "use `relaxed_core::Verifier::from_env` (a builder-configured session) instead"
+    )]
     pub fn from_env() -> Self {
-        DischargeEngine::with_config(DischargeConfig::from_env())
+        DischargeEngine::with_config(crate::api::Config::from_env().0.discharge_config())
     }
 
     /// The engine's configuration.
@@ -185,6 +225,7 @@ impl DischargeEngine {
         EngineStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
+            cross_hits: self.cross.load(Ordering::Relaxed),
             unique_goals: self.cache.lock().expect("cache lock").len() as u64,
             workers: self.config.effective_parallelism(),
         }
@@ -195,6 +236,13 @@ impl DischargeEngine {
     /// solver statistics; the aggregate [`Report::stats`] counts only the
     /// solver work actually performed by this call.
     pub fn discharge(&self, vcs: Vec<Vc>) -> Report {
+        self.discharge_with(vcs, DischargeOptions::default())
+    }
+
+    /// [`discharge`](DischargeEngine::discharge) with per-call overrides:
+    /// a worker-count override and an owner tag for cross-owner hit
+    /// accounting (see [`DischargeOptions`]).
+    pub fn discharge_with(&self, vcs: Vec<Vc>, opts: DischargeOptions) -> Report {
         // Encode with a fresh context per VC: bound-variable numbering
         // restarts per goal, so the encoded BTerm is a canonical key.
         let goals: Vec<BTerm> = vcs.iter().map(encode_goal).collect();
@@ -216,13 +264,15 @@ impl DischargeEngine {
         // Resolve each unique goal from the cross-call cache, or queue it.
         let mut verdicts: Vec<Option<Validity>> = vec![None; unique_goals.len()];
         let mut from_cache: Vec<bool> = vec![false; unique_goals.len()];
+        let mut cross_owner: Vec<bool> = vec![false; unique_goals.len()];
         let mut work: Vec<usize> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache lock");
             for (gi, goal) in unique_goals.iter().enumerate() {
-                if let Some(v) = cache.get(*goal) {
-                    verdicts[gi] = Some(v.clone());
+                if let Some(slot) = cache.get(*goal) {
+                    verdicts[gi] = Some(slot.verdict.clone());
                     from_cache[gi] = true;
+                    cross_owner[gi] = slot.owner != opts.owner;
                 } else {
                     work.push(gi);
                 }
@@ -232,7 +282,14 @@ impl DischargeEngine {
         // Solve the remaining unique goals on the worker pool. Each goal
         // gets a fresh solver, so per-goal verdicts and statistics are
         // deterministic regardless of scheduling.
-        let workers = self.config.effective_workers(work.len());
+        let workers = match opts.workers {
+            Some(w) => DischargeConfig {
+                workers: w,
+                ..self.config.clone()
+            }
+            .effective_workers(work.len()),
+            None => self.config.effective_workers(work.len()),
+        };
         let solve = |gi: usize| {
             let mut solver =
                 Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
@@ -259,11 +316,18 @@ impl DischargeEngine {
         };
         solved.sort_unstable_by_key(|(gi, _, _)| *gi);
 
-        // Publish the new verdicts to the cross-call cache.
+        // Publish the new verdicts to the cross-call cache under this
+        // call's owner tag.
         {
             let mut cache = self.cache.lock().expect("cache lock");
             for (gi, verdict, _) in &solved {
-                cache.insert(unique_goals[*gi].clone(), verdict.clone());
+                cache.insert(
+                    unique_goals[*gi].clone(),
+                    CachedVerdict {
+                        verdict: verdict.clone(),
+                        owner: opts.owner,
+                    },
+                );
             }
         }
         let mut solved_stats: Vec<Option<SolverStats>> = vec![None; unique_goals.len()];
@@ -278,10 +342,14 @@ impl DischargeEngine {
         let total = vcs.len() as u64;
         let mut report = Report::default();
         let mut first_seen: Vec<bool> = vec![false; unique_goals.len()];
+        let mut call_cross = 0u64;
         for (vc, gi) in vcs.into_iter().zip(&group_of) {
             let verdict = verdicts[*gi].clone().expect("every goal resolved");
             let fresh = !first_seen[*gi] && !from_cache[*gi];
             first_seen[*gi] = true;
+            if !fresh && cross_owner[*gi] {
+                call_cross += 1;
+            }
             let stats = if fresh {
                 solved_stats[*gi].expect("solved goal has stats")
             } else {
@@ -302,10 +370,12 @@ impl DischargeEngine {
         let call_hits = total - call_misses;
         self.hits.fetch_add(call_hits, Ordering::Relaxed);
         self.misses.fetch_add(call_misses, Ordering::Relaxed);
+        self.cross.fetch_add(call_cross, Ordering::Relaxed);
         report.engine = EngineStats {
             cache_hits: call_hits,
             cache_misses: call_misses,
-            unique_goals: unique_goals.len() as u64,
+            cross_hits: call_cross,
+            unique_goals: call_misses,
             workers,
         };
         report

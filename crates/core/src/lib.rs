@@ -30,6 +30,8 @@
 //!
 //! ## Crate layout
 //!
+//! * [`api`] — the unified [`Verifier`] session API: typed configuration,
+//!   staged pipelines, and corpus-scale batch verification;
 //! * [`vcgen`] — weakest-precondition VC generation for all three logics,
 //!   driven by in-program annotations (`invariant`, `rinvariant`,
 //!   `diverge` contracts);
@@ -41,12 +43,13 @@
 //!   analysis;
 //! * [`noninterference`] — automatic `x<o> == x<r>` bridging invariants;
 //! * [`engine`] — the parallel, deduplicating VC discharge engine;
-//! * [`verify`] — end-to-end drivers and the theorem-level reports.
+//! * [`verify`] — the theorem-level report types (and the deprecated
+//!   free-function drivers).
 //!
 //! ## Example
 //!
 //! ```
-//! use relaxed_core::verify::{verify_acceptability, Spec};
+//! use relaxed_core::{Spec, Verifier};
 //! use relaxed_lang::parse_program;
 //!
 //! // LU-pivot-style bounded-error relaxation (paper §5.3, simplified):
@@ -61,7 +64,8 @@
 //!     rel_pre: relaxed_lang::parse_rel_formula("a<o> == a<r> && e<o> == e<r> && e<o> >= 0")?,
 //!     rel_post: relaxed_lang::RelFormula::True,
 //! };
-//! let report = verify_acceptability(&program, &spec)?;
+//! let verifier = Verifier::new();
+//! let report = verifier.check(&program, &spec)?;
 //! assert!(report.relaxed_progress());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -69,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod api;
 pub mod encode;
 pub mod engine;
 pub mod noninterference;
@@ -76,9 +81,18 @@ pub mod rules;
 pub mod vcgen;
 pub mod verify;
 
-pub use engine::{DischargeConfig, DischargeEngine, EngineStats};
+pub use api::{
+    CachePolicy, Config, CorpusEntry, CorpusReport, EnvWarning, Stage, StageRunner, StageSet,
+    Verifier, VerifierBuilder,
+};
+pub use engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
+pub use verify::{AcceptabilityReport, Report, Spec, VcResult};
+// The deprecated free-function drivers stay re-exported so existing
+// `relaxed_core::verify_acceptability`-style paths keep resolving (with a
+// deprecation warning at the use site).
+#[allow(deprecated)]
 pub use verify::{
     acceptability_vcs, discharge, verify_acceptability, verify_acceptability_with,
     verify_intermediate, verify_intermediate_with, verify_original, verify_original_with,
-    verify_relaxed, verify_relaxed_with, AcceptabilityReport, Report, Spec, VcResult,
+    verify_relaxed, verify_relaxed_with,
 };

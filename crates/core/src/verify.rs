@@ -1,15 +1,18 @@
-//! Verification drivers: discharge generated VCs with the SMT solver and
-//! assemble the paper's end-to-end guarantees.
+//! Report types for the staged verification pipeline, plus the legacy
+//! free-function drivers (deprecated in favor of the
+//! [`Verifier`] session API).
 //!
-//! [`verify_original`] plays `⊢o` (and with it Lemma 2, *Original Progress
-//! Modulo Assumptions*); [`verify_relaxed`] plays `⊢r` (Theorem 6,
-//! *Soundness of Relational Assertions*, and Theorem 7, *Relative Relaxed
-//! Progress*); [`verify_acceptability`] combines them into Theorem 8
-//! (*Relaxed Progress*) and Corollary 9 (*Relaxed Progress Modulo Original
-//! Assumptions*).
+//! The `⊢o` stage plays Lemma 2 (*Original Progress Modulo Assumptions*);
+//! the `⊢r` stage plays Theorem 6 (*Soundness of Relational Assertions*)
+//! and Theorem 7 (*Relative Relaxed Progress*); together they give
+//! Theorem 8 (*Relaxed Progress*) and Corollary 9 (*Relaxed Progress
+//! Modulo Original Assumptions*). Run the pipeline with
+//! [`Verifier::check`](crate::api::Verifier::check), or one stage at a
+//! time with [`Verifier::stage`](crate::api::Verifier::stage).
 
 use crate::analysis::{array_vars, formula_array_vars, rel_formula_array_vars};
-use crate::engine::{DischargeEngine, EngineStats};
+use crate::api::{Stage, StageSet, Verifier};
+use crate::engine::{DischargeEngine, DischargeOptions, EngineStats};
 use crate::vcgen::{vcs_relaxed, vcs_unary, UnaryLogic, Vc, VcgenError};
 use relaxed_lang::{Formula, Program, RelFormula};
 use relaxed_smt::{SolverStats, Validity};
@@ -69,6 +72,17 @@ impl Report {
     pub fn is_empty(&self) -> bool {
         self.results.is_empty()
     }
+
+    /// Appends `other`'s per-VC results and folds its statistics in,
+    /// through the one [`SolverStats::absorb`] /
+    /// [`EngineStats::absorb`](crate::engine::EngineStats::absorb)
+    /// aggregation path — so multi-stage and multi-program callers never
+    /// hand-sum stat fields (and silently drop one).
+    pub fn merge(&mut self, other: Report) {
+        self.results.extend(other.results);
+        self.stats.absorb(&other.stats);
+        self.engine.absorb(&other.engine);
+    }
 }
 
 impl fmt::Display for Report {
@@ -90,14 +104,42 @@ fn kind_of(v: &Validity) -> &'static str {
     }
 }
 
-/// Discharges a VC list through a fresh [`DischargeEngine`] configured
-/// from the environment (see
-/// [`DischargeConfig::from_env`](crate::engine::DischargeConfig::from_env)).
-///
-/// Use [`DischargeEngine::discharge`] directly to share a verdict cache
-/// across several calls.
+/// A throwaway session configured exactly as the legacy entry points
+/// were: defaults plus the environment opt-in layer. Malformed
+/// `DISCHARGE_*` values are reported to stderr once per process (the
+/// session API surfaces them via
+/// [`Verifier::env_warnings`](crate::api::Verifier::env_warnings)).
+pub(crate) fn legacy_session() -> Verifier {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let session = Verifier::builder().env().build();
+    WARN_ONCE.call_once(|| {
+        for warning in session.env_warnings() {
+            eprintln!("relaxed-core: {warning}");
+        }
+    });
+    session
+}
+
+/// Discharges a VC list through a fresh environment-configured session.
+#[deprecated(note = "build a `relaxed_core::Verifier` and use `verifier.engine().discharge(vcs)`")]
 pub fn discharge(vcs: Vec<Vc>) -> Report {
-    DischargeEngine::from_env().discharge(vcs)
+    legacy_session().engine().discharge(vcs)
+}
+
+/// The obligations of one stage of `spec` for `program` — the engine of
+/// [`StageRunner::vcs`](crate::api::StageRunner::vcs).
+pub(crate) fn stage_vcs(
+    stage: Stage,
+    program: &Program,
+    spec: &Spec,
+) -> Result<Vec<Vc>, VcgenError> {
+    match stage {
+        Stage::Original => unary_stage_vcs(UnaryLogic::Original, program, &spec.pre, &spec.post),
+        Stage::Intermediate => {
+            unary_stage_vcs(UnaryLogic::Intermediate, program, &spec.pre, &spec.post)
+        }
+        Stage::Relaxed => relaxed_stage_vcs(program, &spec.rel_pre, &spec.rel_post),
+    }
 }
 
 /// The `⊢o` obligations of `{pre} program {post}`.
@@ -105,6 +147,7 @@ pub fn discharge(vcs: Vec<Vc>) -> Report {
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::stage(Stage::Original).vcs(..)`")]
 pub fn original_vcs(
     program: &Program,
     pre: &Formula,
@@ -119,6 +162,7 @@ pub fn original_vcs(
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations or
 /// contains `relate` statements.
+#[deprecated(note = "use `relaxed_core::Verifier::stage(Stage::Intermediate).vcs(..)`")]
 pub fn intermediate_vcs(
     program: &Program,
     pre: &Formula,
@@ -139,12 +183,7 @@ fn unary_stage_vcs(
     vcs_unary(logic, program.body(), pre, post, &arrays)
 }
 
-/// The `⊢r` obligations of `{rel_pre} program {rel_post}`.
-///
-/// # Errors
-///
-/// Returns [`VcgenError`] when the program lacks required annotations.
-pub fn relaxed_vcs(
+pub(crate) fn relaxed_stage_vcs(
     program: &Program,
     rel_pre: &RelFormula,
     rel_post: &RelFormula,
@@ -155,16 +194,53 @@ pub fn relaxed_vcs(
     vcs_relaxed(program.body(), rel_pre, rel_post, &arrays)
 }
 
+/// The `⊢r` obligations of `{rel_pre} program {rel_post}`.
+///
+/// # Errors
+///
+/// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::stage(Stage::Relaxed).vcs(..)`")]
+pub fn relaxed_vcs(
+    program: &Program,
+    rel_pre: &RelFormula,
+    rel_post: &RelFormula,
+) -> Result<Vec<Vc>, VcgenError> {
+    relaxed_stage_vcs(program, rel_pre, rel_post)
+}
+
 /// The combined `⊢o` and `⊢r` obligations of `spec`, in the order the
 /// staged pipeline discharges them.
 ///
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::vcs(..)`")]
 pub fn acceptability_vcs(program: &Program, spec: &Spec) -> Result<Vec<Vc>, VcgenError> {
-    let mut vcs = original_vcs(program, &spec.pre, &spec.post)?;
-    vcs.extend(relaxed_vcs(program, &spec.rel_pre, &spec.rel_post)?);
+    let mut vcs = stage_vcs(Stage::Original, program, spec)?;
+    vcs.extend(stage_vcs(Stage::Relaxed, program, spec)?);
     Ok(vcs)
+}
+
+/// A unary-only [`Spec`] (trivial relational half), for the legacy
+/// per-stage entry points.
+fn unary_spec(pre: &Formula, post: &Formula) -> Spec {
+    Spec {
+        pre: pre.clone(),
+        post: post.clone(),
+        rel_pre: RelFormula::True,
+        rel_post: RelFormula::True,
+    }
+}
+
+/// A relational-only [`Spec`] (trivial unary half), for the legacy
+/// per-stage entry points.
+fn rel_spec(rel_pre: &RelFormula, rel_post: &RelFormula) -> Spec {
+    Spec {
+        pre: Formula::True,
+        post: Formula::True,
+        rel_pre: rel_pre.clone(),
+        rel_post: rel_post.clone(),
+    }
 }
 
 /// Verifies `⊢o {pre} program {post}` — the axiomatic original semantics.
@@ -175,12 +251,15 @@ pub fn acceptability_vcs(program: &Program, spec: &Spec) -> Result<Vec<Vc>, Vcge
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::stage(Stage::Original).check(..)`")]
 pub fn verify_original(
     program: &Program,
     pre: &Formula,
     post: &Formula,
 ) -> Result<Report, VcgenError> {
-    verify_original_with(program, pre, post, &DischargeEngine::from_env())
+    legacy_session()
+        .stage(Stage::Original)
+        .check(program, &unary_spec(pre, post))
 }
 
 /// [`verify_original`] on a caller-provided engine (shared verdict cache).
@@ -188,13 +267,17 @@ pub fn verify_original(
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(
+    note = "use `relaxed_core::Verifier::stage(Stage::Original).check(..)` on a shared session"
+)]
 pub fn verify_original_with(
     program: &Program,
     pre: &Formula,
     post: &Formula,
     engine: &DischargeEngine,
 ) -> Result<Report, VcgenError> {
-    Ok(engine.discharge(original_vcs(program, pre, post)?))
+    let spec = unary_spec(pre, post);
+    Ok(engine.discharge(stage_vcs(Stage::Original, program, &spec)?))
 }
 
 /// Verifies `⊢i {pre} program {post}` — the axiomatic intermediate
@@ -204,12 +287,15 @@ pub fn verify_original_with(
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations or
 /// contains `relate` statements.
+#[deprecated(note = "use `relaxed_core::Verifier::stage(Stage::Intermediate).check(..)`")]
 pub fn verify_intermediate(
     program: &Program,
     pre: &Formula,
     post: &Formula,
 ) -> Result<Report, VcgenError> {
-    verify_intermediate_with(program, pre, post, &DischargeEngine::from_env())
+    legacy_session()
+        .stage(Stage::Intermediate)
+        .check(program, &unary_spec(pre, post))
 }
 
 /// [`verify_intermediate`] on a caller-provided engine (shared verdict
@@ -219,13 +305,17 @@ pub fn verify_intermediate(
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations or
 /// contains `relate` statements.
+#[deprecated(
+    note = "use `relaxed_core::Verifier::stage(Stage::Intermediate).check(..)` on a shared session"
+)]
 pub fn verify_intermediate_with(
     program: &Program,
     pre: &Formula,
     post: &Formula,
     engine: &DischargeEngine,
 ) -> Result<Report, VcgenError> {
-    Ok(engine.discharge(intermediate_vcs(program, pre, post)?))
+    let spec = unary_spec(pre, post);
+    Ok(engine.discharge(stage_vcs(Stage::Intermediate, program, &spec)?))
 }
 
 /// Verifies `⊢r {rel_pre} program {rel_post}` — the axiomatic relaxed
@@ -238,12 +328,15 @@ pub fn verify_intermediate_with(
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::stage(Stage::Relaxed).check(..)`")]
 pub fn verify_relaxed(
     program: &Program,
     rel_pre: &RelFormula,
     rel_post: &RelFormula,
 ) -> Result<Report, VcgenError> {
-    verify_relaxed_with(program, rel_pre, rel_post, &DischargeEngine::from_env())
+    legacy_session()
+        .stage(Stage::Relaxed)
+        .check(program, &rel_spec(rel_pre, rel_post))
 }
 
 /// [`verify_relaxed`] on a caller-provided engine (shared verdict cache).
@@ -251,13 +344,16 @@ pub fn verify_relaxed(
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(
+    note = "use `relaxed_core::Verifier::stage(Stage::Relaxed).check(..)` on a shared session"
+)]
 pub fn verify_relaxed_with(
     program: &Program,
     rel_pre: &RelFormula,
     rel_post: &RelFormula,
     engine: &DischargeEngine,
 ) -> Result<Report, VcgenError> {
-    Ok(engine.discharge(relaxed_vcs(program, rel_pre, rel_post)?))
+    Ok(engine.discharge(relaxed_stage_vcs(program, rel_pre, rel_post)?))
 }
 
 /// The full acceptability specification of a relaxed program.
@@ -286,34 +382,89 @@ impl Spec {
 }
 
 /// The combined result of the staged verification (§1.2): first `⊢o`,
-/// then `⊢r`.
+/// then `⊢r` (optionally with a standalone `⊢i` pass in between, when
+/// the session's [`StageSet`] selects it).
+///
+/// Stages the session's configuration skips are present as empty
+/// reports, and the theorem-level accessors
+/// ([`original_progress`](AcceptabilityReport::original_progress),
+/// [`relative_relaxed_progress`](AcceptabilityReport::relative_relaxed_progress),
+/// [`relaxed_progress`](AcceptabilityReport::relaxed_progress)) return
+/// `false` when the stage backing them did not run — a skipped proof is
+/// never reported as a proved theorem.
 #[derive(Clone, Debug)]
 pub struct AcceptabilityReport {
+    /// The stages this verification ran (the session's stage selection).
+    pub stages: StageSet,
     /// The `⊢o` report.
     pub original: Report,
+    /// The standalone `⊢i` report, when the intermediate stage was
+    /// selected (it is not part of the default pipeline: the `⊢r` diverge
+    /// rule invokes `⊢i` internally where needed).
+    pub intermediate: Option<Report>,
     /// The `⊢r` report.
     pub relaxed: Report,
-    /// Engine activity over both stages of *this* verification (deltas,
-    /// so a shared engine's history does not leak in). The `⊢r` stage's
-    /// diverge rule re-proves many `⊢o` goals, so sharing one engine
-    /// across the stages turns those into cache hits; `unique_goals`
-    /// counts the goals this verification newly added to the cache.
+    /// Engine activity folded over the stages of *this* verification
+    /// (per-call counters, so a shared engine's history does not leak
+    /// in). The `⊢r` stage's diverge rule re-proves many `⊢o` goals, so
+    /// sharing one engine across the stages turns those into cache hits;
+    /// `unique_goals` counts the goals this verification newly added to
+    /// the cache.
     pub engine: EngineStats,
 }
 
 impl AcceptabilityReport {
-    /// Lemma 2 — *Original Progress Modulo Assumptions*: no original
-    /// execution evaluates to `wr`.
-    pub fn original_progress(&self) -> bool {
+    /// One flat [`Report`] over every stage that ran, in discharge order
+    /// — per-VC results concatenated and statistics folded through
+    /// [`Report::merge`].
+    pub fn combined(&self) -> Report {
+        let mut all = self.original.clone();
+        if let Some(intermediate) = &self.intermediate {
+            all.merge(intermediate.clone());
+        }
+        all.merge(self.relaxed.clone());
+        all
+    }
+
+    /// Whether every obligation of every stage that ran was proved
+    /// (including a selected standalone `⊢i` stage, which
+    /// [`relaxed_progress`](AcceptabilityReport::relaxed_progress) does
+    /// not consult).
+    pub fn verified(&self) -> bool {
         self.original.verified()
+            && self.intermediate.as_ref().is_none_or(Report::verified)
+            && self.relaxed.verified()
+    }
+
+    /// Total obligations across every stage that ran (without cloning
+    /// the per-VC results the way [`combined`](AcceptabilityReport::combined)
+    /// does).
+    pub fn total_vcs(&self) -> usize {
+        self.original.len() + self.intermediate.as_ref().map_or(0, Report::len) + self.relaxed.len()
+    }
+
+    /// Proved obligations across every stage that ran.
+    pub fn proved_vcs(&self) -> usize {
+        let proved = |r: &Report| r.results.iter().filter(|v| v.proved()).count();
+        proved(&self.original)
+            + self.intermediate.as_ref().map_or(0, &proved)
+            + proved(&self.relaxed)
+    }
+
+    /// Lemma 2 — *Original Progress Modulo Assumptions*: no original
+    /// execution evaluates to `wr`. `false` when the `⊢o` stage was not
+    /// selected (its obligations were never generated).
+    pub fn original_progress(&self) -> bool {
+        self.stages.original && self.original.verified()
     }
 
     /// Theorems 6 and 7 — *Soundness of Relational Assertions* and
     /// *Relative Relaxed Progress*: paired executions satisfy every
     /// `relate`, and error-free original runs make relaxed runs
-    /// error-free.
+    /// error-free. `false` when the `⊢r` stage was not selected (its
+    /// obligations were never generated).
     pub fn relative_relaxed_progress(&self) -> bool {
-        self.relaxed.verified()
+        self.stages.relaxed && self.relaxed.verified()
     }
 
     /// Theorem 8 — *Relaxed Progress*: with both proofs in hand, if
@@ -334,6 +485,9 @@ impl AcceptabilityReport {
 impl fmt::Display for AcceptabilityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "⊢o (original semantics): {}", self.original)?;
+        if let Some(intermediate) = &self.intermediate {
+            writeln!(f, "⊢i (intermediate semantics): {intermediate}")?;
+        }
         writeln!(f, "⊢r (relaxed semantics): {}", self.relaxed)?;
         writeln!(
             f,
@@ -353,16 +507,65 @@ impl fmt::Display for AcceptabilityReport {
     }
 }
 
+/// The staged pipeline on a caller-provided engine: generate and
+/// discharge the VCs of every selected stage in order (`⊢o`, `⊢i`, `⊢r`),
+/// sharing the engine's verdict cache across the stages. This is the one
+/// implementation behind [`Verifier::check`](crate::api::Verifier::check)
+/// and the legacy free functions.
+pub(crate) fn staged_check(
+    engine: &DischargeEngine,
+    program: &Program,
+    spec: &Spec,
+    stages: StageSet,
+    opts: DischargeOptions,
+) -> Result<AcceptabilityReport, VcgenError> {
+    let run = |stage| -> Result<Report, VcgenError> {
+        Ok(engine.discharge_with(stage_vcs(stage, program, spec)?, opts))
+    };
+    let original = if stages.original {
+        run(Stage::Original)?
+    } else {
+        Report::default()
+    };
+    let intermediate = if stages.intermediate {
+        Some(run(Stage::Intermediate)?)
+    } else {
+        None
+    };
+    let relaxed = if stages.relaxed {
+        run(Stage::Relaxed)?
+    } else {
+        Report::default()
+    };
+    // Report this verification's activity, not the engine's lifetime
+    // totals: the engine may be shared across many verifications (and, in
+    // corpus mode, across concurrently verified programs — per-call
+    // counters stay attributable where engine-total deltas would not).
+    let mut engine_stats = original.engine;
+    if let Some(intermediate) = &intermediate {
+        engine_stats.absorb(&intermediate.engine);
+    }
+    engine_stats.absorb(&relaxed.engine);
+    Ok(AcceptabilityReport {
+        stages,
+        original,
+        intermediate,
+        relaxed,
+        engine: engine_stats,
+    })
+}
+
 /// Runs the paper's staged verification methodology end to end.
 ///
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::check(..)`")]
 pub fn verify_acceptability(
     program: &Program,
     spec: &Spec,
 ) -> Result<AcceptabilityReport, VcgenError> {
-    verify_acceptability_with(program, spec, &DischargeEngine::from_env())
+    legacy_session().check(program, spec)
 }
 
 /// [`verify_acceptability`] on a caller-provided engine: both stages share
@@ -372,34 +575,32 @@ pub fn verify_acceptability(
 /// # Errors
 ///
 /// Returns [`VcgenError`] when the program lacks required annotations.
+#[deprecated(note = "use `relaxed_core::Verifier::check(..)` on a shared session")]
 pub fn verify_acceptability_with(
     program: &Program,
     spec: &Spec,
     engine: &DischargeEngine,
 ) -> Result<AcceptabilityReport, VcgenError> {
-    let before = engine.stats();
-    let original = verify_original_with(program, &spec.pre, &spec.post, engine)?;
-    let relaxed = verify_relaxed_with(program, &spec.rel_pre, &spec.rel_post, engine)?;
-    let after = engine.stats();
-    // Report this verification's activity, not the engine's lifetime
-    // totals: the engine may be shared across many verifications.
-    let engine_stats = EngineStats {
-        cache_hits: after.cache_hits - before.cache_hits,
-        cache_misses: after.cache_misses - before.cache_misses,
-        unique_goals: after.unique_goals - before.unique_goals,
-        workers: after.workers,
-    };
-    Ok(AcceptabilityReport {
-        original,
-        relaxed,
-        engine: engine_stats,
-    })
+    staged_check(
+        engine,
+        program,
+        spec,
+        StageSet::default(),
+        DischargeOptions::default(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use relaxed_lang::{parse_formula, parse_program, parse_rel_formula};
+
+    fn check_original(program: &Program, pre: &Formula, post: &Formula) -> Report {
+        Verifier::new()
+            .stage(Stage::Original)
+            .check(program, &unary_spec(pre, post))
+            .unwrap()
+    }
 
     #[test]
     fn quickstart_program_verifies_end_to_end() {
@@ -415,7 +616,7 @@ mod tests {
             rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
             rel_post: RelFormula::True,
         };
-        let report = verify_acceptability(&program, &spec).unwrap();
+        let report = Verifier::new().check(&program, &spec).unwrap();
         assert!(report.relaxed_progress(), "{report}");
     }
 
@@ -433,7 +634,7 @@ mod tests {
             rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
             rel_post: RelFormula::True,
         };
-        let report = verify_acceptability(&program, &spec).unwrap();
+        let report = Verifier::new().check(&program, &spec).unwrap();
         assert!(report.original_progress());
         assert!(!report.relative_relaxed_progress());
         assert!(!report.relaxed_progress());
@@ -442,7 +643,7 @@ mod tests {
     #[test]
     fn original_assert_violation_fails_first_stage() {
         let program = parse_program("x = 1; assert x == 2;").unwrap();
-        let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let report = check_original(&program, &Formula::True, &Formula::True);
         assert!(!report.verified());
         assert_eq!(report.failures().count(), 1);
     }
@@ -450,7 +651,7 @@ mod tests {
     #[test]
     fn assume_is_free_in_original_verification() {
         let program = parse_program("assume x >= 10; assert x >= 10;").unwrap();
-        let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let report = check_original(&program, &Formula::True, &Formula::True);
         assert!(report.verified());
     }
 
@@ -460,19 +661,32 @@ mod tests {
         let pre = parse_formula("x >= 0").unwrap();
         let post_good = parse_formula("y >= 1").unwrap();
         let post_bad = parse_formula("y >= 2").unwrap();
-        assert!(verify_original(&program, &pre, &post_good)
-            .unwrap()
-            .verified());
-        assert!(!verify_original(&program, &pre, &post_bad)
-            .unwrap()
-            .verified());
+        assert!(check_original(&program, &pre, &post_good).verified());
+        assert!(!check_original(&program, &pre, &post_bad).verified());
     }
 
     #[test]
     fn report_display_mentions_failures() {
         let program = parse_program("assert false;").unwrap();
-        let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
+        let report = check_original(&program, &Formula::True, &Formula::True);
         let text = report.to_string();
         assert!(text.contains("FAILED"), "{text}");
+    }
+
+    #[test]
+    fn report_merge_folds_results_and_stats() {
+        let program = parse_program("assert x >= 0 || x <= 0; assert true;").unwrap();
+        let first = check_original(&program, &Formula::True, &Formula::True);
+        let second = check_original(&program, &parse_formula("x >= 1").unwrap(), &Formula::True);
+        let mut merged = first.clone();
+        merged.merge(second.clone());
+        assert_eq!(merged.len(), first.len() + second.len());
+        let mut stats = first.stats;
+        stats.absorb(&second.stats);
+        assert_eq!(merged.stats, stats);
+        assert_eq!(
+            merged.engine.cache_misses,
+            first.engine.cache_misses + second.engine.cache_misses
+        );
     }
 }

@@ -8,25 +8,25 @@
 //! Run with: `cargo run --example lu_approx`
 
 use relaxed_programs::casestudies;
-use relaxed_programs::core::verify_acceptability;
 use relaxed_programs::interp::oracle::{IdentityOracle, RandomOracle};
 use relaxed_programs::interp::{check_compat, run_original, run_relaxed};
 use relaxed_programs::lang::{State, Var};
+use relaxed_programs::Verifier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (program, spec) = casestudies::lu();
     let started = std::time::Instant::now();
-    let report = verify_acceptability(&program, &spec)?;
+    let report = Verifier::new().check(&program, &spec)?;
     println!(
         "§5.3 LU approximate-memory pivot — verified: {} ({} VCs, {:.1?})",
         report.relaxed_progress(),
-        report.original.len() + report.relaxed.len(),
+        report.total_vcs(),
         started.elapsed(),
     );
     assert!(report.relaxed_progress());
     println!(
         "paper proof effort: 315 Coq lines | ours: 2 invariants → {} VCs\n",
-        report.original.len() + report.relaxed.len()
+        report.total_vcs()
     );
 
     println!(

@@ -1,13 +1,13 @@
 //! Quickstart: author a relaxed program, verify its acceptability
-//! property, then execute both semantics and check observational
-//! compatibility dynamically.
+//! property through a `Verifier` session, then execute both semantics
+//! and check observational compatibility dynamically.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use relaxed_programs::core::verify::{verify_acceptability, Spec};
 use relaxed_programs::interp::oracle::{ExtremalOracle, IdentityOracle, RandomOracle};
 use relaxed_programs::interp::{check_compat, run_original, run_relaxed};
 use relaxed_programs::lang::{parse_program, parse_rel_formula, Formula, RelFormula, State, Var};
+use relaxed_programs::{Spec, Stage, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A bounded-error relaxation with a relate accuracy property: the
@@ -21,13 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // --- static verification (the paper's ⊢o then ⊢r pipeline) ---
+    // A session with typed configuration: builder > env > default. The
+    // `.env()` layer is the explicit opt-in for `DISCHARGE_*` overrides.
+    let verifier = Verifier::builder().env().build();
+    for warning in verifier.env_warnings() {
+        eprintln!("quickstart: {warning}");
+    }
     let spec = Spec {
         pre: Formula::True,
         post: Formula::True,
         rel_pre: parse_rel_formula("x<o> == x<r>")?,
         rel_post: RelFormula::True,
     };
-    let report = verify_acceptability(&program, &spec)?;
+    let report = verifier.check(&program, &spec)?;
     println!("⊢o: {}", report.original);
     println!("⊢r: {}", report.relaxed);
     println!(
@@ -39,6 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.relaxed_progress()
     );
     assert!(report.relaxed_progress());
+
+    // The same session answers per-stage queries from its warm cache:
+    let original_only = verifier.stage(Stage::Original).check(&program, &spec)?;
+    assert!(original_only.verified());
+    assert_eq!(original_only.engine.cache_misses, 0, "fully warm");
 
     // --- dynamic exploration ---
     let sigma = State::from_ints([("x", 5)]);

@@ -7,19 +7,19 @@
 //! Run with: `cargo run --example swish_knobs`
 
 use relaxed_programs::casestudies;
-use relaxed_programs::core::verify_acceptability;
 use relaxed_programs::interp::oracle::{ExtremalOracle, IdentityOracle};
 use relaxed_programs::interp::{check_compat, run_original, run_relaxed};
 use relaxed_programs::lang::{State, Var};
+use relaxed_programs::Verifier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (program, spec) = casestudies::swish();
     let started = std::time::Instant::now();
-    let report = verify_acceptability(&program, &spec)?;
+    let report = Verifier::new().check(&program, &spec)?;
     println!(
         "§5.1 Swish++ dynamic knobs — verified: {} ({} VCs, {:.1?})",
         report.relaxed_progress(),
-        report.original.len() + report.relaxed.len(),
+        report.total_vcs(),
         started.elapsed(),
     );
     assert!(report.relaxed_progress());
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper reports 330 lines of Coq proof script; our analogue:
     println!(
         "paper proof effort: 330 Coq lines | ours: 1 invariant + 1 diverge contract → {} VCs\n",
-        report.original.len() + report.relaxed.len()
+        report.total_vcs()
     );
 
     println!(

@@ -1,0 +1,65 @@
+//! Corpus-scale batch verification: every §5 case study (and its
+//! mutated must-fail variant) checked in one `Verifier::check_corpus`
+//! call, fanned across the session's worker pool with the
+//! structural-hash verdict cache shared *across programs*.
+//!
+//! Prints the `CorpusReport` JSON rendering — the shape a verification
+//! service or CI gate would consume.
+//!
+//! Run with: `cargo run --example verify_corpus`
+
+use relaxed_programs::{casestudies, Verifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let verifier = Verifier::from_env();
+    for warning in verifier.env_warnings() {
+        eprintln!("verify_corpus: {warning}");
+    }
+
+    let corpus = casestudies::corpus();
+    let started = std::time::Instant::now();
+    let report = verifier.check_corpus_named(&corpus);
+    let elapsed = started.elapsed();
+
+    println!("{report}");
+    println!("{}", report.to_json());
+    println!(
+        "verified {} programs in {elapsed:.1?} on {} workers",
+        report.len(),
+        report.engine.workers
+    );
+
+    // The three paper case studies verify; their mutations must not.
+    for entry in &report.entries {
+        let expected = !entry.name.ends_with("_broken");
+        assert_eq!(
+            entry.verified(),
+            expected,
+            "{}: expected verified={expected}",
+            entry.name
+        );
+    }
+    // The corpus-scale payoff: programs share verdicts through the
+    // session cache (each broken variant re-proves most of its
+    // counterpart's obligations). With concurrent fan-out the cold-cache
+    // hit count is scheduling-dependent, so the deterministic assertion
+    // is on a warm revalidation pass: every verdict is reused, and all
+    // reuse crosses program (owner) boundaries.
+    println!(
+        "cold pass: {} of {} verdicts reused across programs",
+        report.cross_program_hits(),
+        report.engine.cache_hits + report.engine.cache_misses
+    );
+    let warm = verifier.check_corpus_named(&corpus);
+    assert_eq!(warm.engine.cache_misses, 0, "warm pass must not re-solve");
+    assert!(
+        warm.cross_program_hits() > 0,
+        "expected cross-program cache hits, got stats {:?}",
+        warm.engine
+    );
+    println!(
+        "warm revalidation: {} verdicts, all served across programs from the session cache",
+        warm.engine.cache_hits
+    );
+    Ok(())
+}

@@ -9,25 +9,25 @@
 //! Run with: `cargo run --example water_parallel`
 
 use relaxed_programs::casestudies;
-use relaxed_programs::core::verify_acceptability;
 use relaxed_programs::interp::oracle::{IdentityOracle, RandomOracle};
 use relaxed_programs::interp::{run_original, run_relaxed, Outcome};
 use relaxed_programs::lang::State;
+use relaxed_programs::Verifier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (program, spec) = casestudies::water();
     let started = std::time::Instant::now();
-    let report = verify_acceptability(&program, &spec)?;
+    let report = Verifier::new().check(&program, &spec)?;
     println!(
         "§5.2 Water synchronization elimination — verified: {} ({} VCs, {:.1?})",
         report.relaxed_progress(),
-        report.original.len() + report.relaxed.len(),
+        report.total_vcs(),
         started.elapsed(),
     );
     assert!(report.relaxed_progress());
     println!(
         "paper proof effort: 310 Coq lines | ours: 2 invariants + 1 diverge contract → {} VCs\n",
-        report.original.len() + report.relaxed.len()
+        report.total_vcs()
     );
 
     println!("{:>6} {:>14} {:>14}", "N", "original", "relaxed(race)");

@@ -3,9 +3,9 @@
 //!
 //! Each function returns the relaxed program (with the invariants and
 //! contracts that play the role of the paper's Coq proof scripts) and the
-//! [`Spec`] under which [`relaxed_core::verify_acceptability`] proves its
-//! acceptability property. Mutated variants (`*_broken`) are provided for
-//! negative testing: they must fail verification.
+//! [`Spec`] under which [`Verifier::check`](relaxed_core::Verifier::check)
+//! proves its acceptability property. Mutated variants (`*_broken`) are
+//! provided for negative testing: they must fail verification.
 
 use relaxed_core::verify::Spec;
 use relaxed_lang::{parse_formula, parse_program, parse_rel_formula, Formula, Program, RelFormula};
@@ -34,6 +34,19 @@ pub fn all_broken() -> Vec<(&'static str, Program, Spec)> {
         ("water_broken", water, water_spec),
         ("lu_broken", lu, lu_spec),
     ]
+}
+
+/// The full six-program corpus — [`all`] followed by [`all_broken`] —
+/// in the shape [`Verifier::check_corpus_named`] takes. The broken
+/// variants share most of their obligations with their verified
+/// counterparts, so batch-verifying this corpus through one session
+/// exercises the cross-program verdict cache.
+///
+/// [`Verifier::check_corpus_named`]: relaxed_core::Verifier::check_corpus_named
+pub fn corpus() -> Vec<(&'static str, Program, Spec)> {
+    let mut corpus = all();
+    corpus.extend(all_broken());
+    corpus
 }
 
 /// §5.1 — Swish++ **dynamic knobs**.

@@ -21,12 +21,18 @@
 //! ## Quickstart
 //!
 //! ```
-//! use relaxed_programs::casestudies;
-//! use relaxed_programs::core::verify_acceptability;
+//! use relaxed_programs::{casestudies, Verifier};
 //!
+//! let verifier = Verifier::new();
 //! let (program, spec) = casestudies::swish();
-//! let report = verify_acceptability(&program, &spec)?;
+//! let report = verifier.check(&program, &spec)?;
 //! assert!(report.relaxed_progress());
+//!
+//! // Corpus-scale: every §5 case study in one batch, sharing the
+//! // session's verdict cache across programs.
+//! let corpus = casestudies::corpus();
+//! let batch = verifier.check_corpus_named(&corpus);
+//! assert!(batch.entries.iter().take(3).all(|e| e.verified()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -37,5 +43,10 @@ pub use relaxed_interp as interp;
 pub use relaxed_lang as lang;
 pub use relaxed_smt as smt;
 pub use relaxed_transforms as transforms;
+
+pub use relaxed_core::{
+    AcceptabilityReport, CachePolicy, Config, CorpusEntry, CorpusReport, EnvWarning, Spec, Stage,
+    StageSet, Verifier, VerifierBuilder,
+};
 
 pub mod casestudies;

@@ -3,24 +3,24 @@
 //! behave as proved when executed under adversarial oracles.
 
 use relaxed_programs::casestudies;
-use relaxed_programs::core::verify_acceptability;
 use relaxed_programs::interp::oracle::{ExtremalOracle, IdentityOracle, RandomOracle};
 use relaxed_programs::interp::{check_compat, run_original, run_relaxed, Oracle, Outcome};
 use relaxed_programs::lang::{State, Var};
+use relaxed_programs::Verifier;
 
 const FUEL: u64 = 10_000_000;
 
 #[test]
 fn swish_verifies() {
     let (program, spec) = casestudies::swish();
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.relaxed_progress(), "{report}");
 }
 
 #[test]
 fn swish_broken_fails_relational_stage() {
     let (program, spec) = casestudies::swish_broken();
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(
         report.original_progress(),
         "the broken knob still verifies under ⊢o"
@@ -34,14 +34,14 @@ fn swish_broken_fails_relational_stage() {
 #[test]
 fn water_verifies() {
     let (program, spec) = casestudies::water();
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.relaxed_progress(), "{report}");
 }
 
 #[test]
 fn water_broken_fails() {
     let (program, spec) = casestudies::water_broken();
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(
         !report.relative_relaxed_progress(),
         "relaxing K must break the noninterference bridge"
@@ -51,14 +51,14 @@ fn water_broken_fails() {
 #[test]
 fn lu_verifies() {
     let (program, spec) = casestudies::lu();
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.relaxed_progress(), "{report}");
 }
 
 #[test]
 fn lu_broken_fails() {
     let (program, spec) = casestudies::lu_broken();
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(
         !report.relative_relaxed_progress(),
         "a 2e relaxation cannot satisfy an e-Lipschitz relate"

@@ -1,44 +1,36 @@
 //! End-to-end regression tests for the parallel deduplicating discharge
-//! engine: scheduling independence, cross-stage verdict reuse, and
-//! faithful statistics aggregation on the paper's §5 case studies.
+//! engine, driven through the `Verifier` session API: scheduling
+//! independence, cross-stage verdict reuse, and faithful statistics
+//! aggregation on the paper's §5 case studies.
 
 use relaxed_programs::casestudies;
-use relaxed_programs::core::engine::{DischargeConfig, DischargeEngine};
-use relaxed_programs::core::verify::{
-    acceptability_vcs, relaxed_vcs, verify_acceptability_with, verify_original_with,
-};
 use relaxed_programs::smt::SolverStats;
+use relaxed_programs::{AcceptabilityReport, Stage, Verifier};
 
 /// Verdicts must be identical under 1 and N workers — the engine's
 /// deterministic-result-ordering guarantee, on the real workload.
 #[test]
 fn parallel_matches_sequential_on_case_studies() {
-    for (name, program, spec) in casestudies::all()
-        .into_iter()
-        .chain(casestudies::all_broken())
-    {
-        let seq = verify_acceptability_with(
-            &program,
-            &spec,
-            &DischargeEngine::with_config(DischargeConfig::sequential()),
-        )
-        .unwrap();
-        let par = verify_acceptability_with(
-            &program,
-            &spec,
-            &DischargeEngine::with_config(DischargeConfig::with_workers(4)),
-        )
-        .unwrap();
+    for (name, program, spec) in casestudies::corpus() {
+        let seq = Verifier::builder()
+            .workers(1)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
+        let par = Verifier::builder()
+            .workers(4)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
         assert_eq!(
             seq.relaxed_progress(),
             par.relaxed_progress(),
             "{name}: overall verdict differs under parallelism"
         );
-        let flatten = |r: &relaxed_programs::core::AcceptabilityReport| {
-            r.original
+        let flatten = |r: &AcceptabilityReport| {
+            r.combined()
                 .results
                 .iter()
-                .chain(&r.relaxed.results)
                 .map(|x| (x.vc.name.clone(), x.verdict.clone()))
                 .collect::<Vec<_>>()
         };
@@ -55,35 +47,44 @@ fn parallel_matches_sequential_on_case_studies() {
 #[test]
 fn broken_case_studies_still_fail_under_engine() {
     for (name, program, spec) in casestudies::all_broken() {
-        let engine = DischargeEngine::from_env();
-        let report = verify_acceptability_with(&program, &spec, &engine).unwrap();
+        let report = Verifier::from_env().check(&program, &spec).unwrap();
         assert!(!report.relaxed_progress(), "{name} must fail verification");
     }
 }
 
-/// Sharing one engine across the ⊢o and ⊢r stages reuses verdicts: the
+/// Sharing one session across the ⊢o and ⊢r stages reuses verdicts: the
 /// ⊢r diverge sub-proofs of at least one case study re-prove ⊢o goals.
 #[test]
 fn cross_stage_cache_hits_are_nonzero() {
     let mut cross_stage = 0;
     for (_, program, spec) in casestudies::all() {
-        let shared = DischargeEngine::with_config(DischargeConfig::sequential());
-        let report = verify_acceptability_with(&program, &spec, &shared).unwrap();
-        let isolated = DischargeEngine::with_config(DischargeConfig::sequential())
-            .discharge(relaxed_vcs(&program, &spec.rel_pre, &spec.rel_post).unwrap());
+        let shared = Verifier::builder().workers(1).build();
+        let report = shared.check(&program, &spec).unwrap();
+        let isolated = Verifier::builder()
+            .workers(1)
+            .build()
+            .stage(Stage::Relaxed)
+            .check(&program, &spec)
+            .unwrap();
         cross_stage += report.relaxed.engine.cache_hits - isolated.engine.cache_hits;
     }
     assert!(cross_stage > 0, "expected ⊢o verdicts to be reused by ⊢r");
 }
 
-/// A second verification on a warm engine is answered entirely from
+/// A second verification on a warm session is answered entirely from
 /// cache, with identical verdicts.
 #[test]
 fn warm_engine_revalidates_without_solving() {
     let (swish, spec) = casestudies::swish();
-    let engine = DischargeEngine::new();
-    let first = verify_original_with(&swish, &spec.pre, &spec.post, &engine).unwrap();
-    let second = verify_original_with(&swish, &spec.pre, &spec.post, &engine).unwrap();
+    let verifier = Verifier::new();
+    let first = verifier
+        .stage(Stage::Original)
+        .check(&swish, &spec)
+        .unwrap();
+    let second = verifier
+        .stage(Stage::Original)
+        .check(&swish, &spec)
+        .unwrap();
     assert_eq!(second.engine.cache_misses, 0);
     assert!(second.results.iter().all(|r| r.cached));
     for (a, b) in first.results.iter().zip(&second.results) {
@@ -92,14 +93,14 @@ fn warm_engine_revalidates_without_solving() {
 }
 
 /// `AcceptabilityReport.engine` reports this verification's activity,
-/// not the shared engine's lifetime totals.
+/// not the shared session's lifetime totals.
 #[test]
 fn acceptability_engine_stats_are_per_verification_deltas() {
     let (swish, spec) = casestudies::swish();
-    let engine = DischargeEngine::with_config(DischargeConfig::sequential());
-    let first = verify_acceptability_with(&swish, &spec, &engine).unwrap();
-    let second = verify_acceptability_with(&swish, &spec, &engine).unwrap();
-    let total = (first.original.len() + first.relaxed.len()) as u64;
+    let verifier = Verifier::builder().workers(1).build();
+    let first = verifier.check(&swish, &spec).unwrap();
+    let second = verifier.check(&swish, &spec).unwrap();
+    let total = first.combined().len() as u64;
     assert_eq!(first.engine.cache_hits + first.engine.cache_misses, total);
     // The rerun is answered entirely from cache, and its stats must not
     // include the first verification's solver work.
@@ -114,8 +115,9 @@ fn acceptability_engine_stats_are_per_verification_deltas() {
 #[test]
 fn report_stats_equal_per_vc_fold() {
     for (name, program, spec) in casestudies::all() {
-        let vcs = acceptability_vcs(&program, &spec).unwrap();
-        let report = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs);
+        let verifier = Verifier::builder().workers(1).build();
+        let vcs = verifier.vcs(&program, &spec).unwrap();
+        let report = verifier.engine().discharge(vcs);
         let mut folded = SolverStats::default();
         for r in &report.results {
             folded.absorb(&r.stats);
@@ -137,12 +139,13 @@ fn report_stats_equal_per_vc_fold() {
 /// engine solves each unique goal exactly once.
 #[test]
 fn case_study_vcs_deduplicate() {
+    let verifier = Verifier::builder().workers(1).build();
     let vcs: Vec<_> = casestudies::all()
         .into_iter()
-        .flat_map(|(_, program, spec)| acceptability_vcs(&program, &spec).unwrap())
+        .flat_map(|(_, program, spec)| verifier.vcs(&program, &spec).unwrap())
         .collect();
     let total = vcs.len() as u64;
-    let report = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs);
+    let report = verifier.engine().discharge(vcs);
     assert!(report.verified());
     assert!(
         report.engine.cache_hits > 0,

@@ -9,9 +9,9 @@
 //! that no enumerated behaviour of any verified program contradicts the
 //! claimed guarantees.
 
-use relaxed_programs::core::verify::{verify_acceptability, Spec};
 use relaxed_programs::interp::{check_compat, run_all, EnumConfig, Mode, Outcome};
 use relaxed_programs::lang::{parse_formula, parse_program, parse_rel_formula, Program, State};
+use relaxed_programs::{Spec, Verifier};
 
 struct Case {
     name: &'static str,
@@ -172,7 +172,7 @@ fn config() -> EnumConfig {
 #[test]
 fn lemma2_original_progress_modulo_assumptions() {
     for case in corpus() {
-        let report = verify_acceptability(&case.program, &case.spec).unwrap();
+        let report = Verifier::new().check(&case.program, &case.spec).unwrap();
         assert!(
             report.original_progress(),
             "{}: {}",
@@ -199,7 +199,7 @@ fn lemma2_original_progress_modulo_assumptions() {
 #[test]
 fn theorems_6_7_8_relational_guarantees() {
     for case in corpus() {
-        let report = verify_acceptability(&case.program, &case.spec).unwrap();
+        let report = Verifier::new().check(&case.program, &case.spec).unwrap();
         assert!(report.relaxed_progress(), "{}:\n{report}", case.name);
         let gamma = case.program.gamma();
         for start in &case.starts {
@@ -250,7 +250,7 @@ fn corollary9_errors_trace_to_assumptions() {
         rel_pre: parse_rel_formula("k<o> == k<r> && noise<o> == noise<r>").unwrap(),
         rel_post: parse_rel_formula("true").unwrap(),
     };
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.relaxed_progress());
     // k = -1 violates the assumption: the original run reports ba, and
     // every relaxed error is likewise a ba (never wr) — the developer can
@@ -295,7 +295,7 @@ fn unverified_programs_do_break() {
         rel_pre: parse_rel_formula("x<o> == x<r>").unwrap(),
         rel_post: parse_rel_formula("true").unwrap(),
     };
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.original_progress());
     assert!(!report.relative_relaxed_progress(), "must not verify");
     // And indeed: the original semantics is clean, the relaxed one errs.

@@ -4,12 +4,31 @@
 
 use relaxed_programs::casestudies;
 use relaxed_programs::core::noninterference::augment_rel_invariants;
-use relaxed_programs::core::verify::{verify_acceptability, Spec};
-use relaxed_programs::core::{verify_original, verify_relaxed};
 use relaxed_programs::lang::{
     parse_formula, parse_program, parse_rel_formula, Formula, Program, RelFormula, Stmt,
 };
 use relaxed_programs::transforms::{bounded_perturbation, insert_before, task_skipping};
+use relaxed_programs::{Spec, Stage, Verifier};
+
+/// A unary-only spec for the per-stage checks below.
+fn unary_spec(pre: Formula, post: Formula) -> Spec {
+    Spec {
+        pre,
+        post,
+        rel_pre: RelFormula::True,
+        rel_post: RelFormula::True,
+    }
+}
+
+/// A relational-only spec for the per-stage checks below.
+fn rel_spec(rel_pre: RelFormula) -> Spec {
+    Spec {
+        pre: Formula::True,
+        post: Formula::True,
+        rel_pre,
+        rel_post: RelFormula::True,
+    }
+}
 
 /// A transformation-produced program (approximate memoization pattern)
 /// verifies out of the box: build with `relaxed-transforms`, specify with
@@ -34,7 +53,7 @@ fn transform_then_verify_bounded_perturbation() {
         .unwrap(),
         rel_post: RelFormula::True,
     };
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.relaxed_progress(), "{report}");
 }
 
@@ -54,9 +73,17 @@ fn transform_then_verify_task_skipping() {
     // weaker unary consequence through ⊢o and ⊢i separately.
     let pre = Formula::True;
     let post = parse_formula("count == 0 || count == 1").unwrap();
-    let o = verify_original(&program_src_check, &pre, &post).unwrap();
+    let verifier = Verifier::new();
+    let spec = unary_spec(pre, post);
+    let o = verifier
+        .stage(Stage::Original)
+        .check(&program_src_check, &spec)
+        .unwrap();
     assert!(o.verified(), "{o}");
-    let i = relaxed_programs::core::verify_intermediate(&program_src_check, &pre, &post).unwrap();
+    let i = verifier
+        .stage(Stage::Intermediate)
+        .check(&program_src_check, &spec)
+        .unwrap();
     assert!(i.verified(), "{i}");
 }
 
@@ -67,12 +94,16 @@ fn insert_before_preserves_wellformedness() {
     let base = parse_program("a = 1; b = a + 1;").unwrap();
     let spliced = insert_before(base.body(), 1, bounded_perturbation("a", "eps"));
     let program = Program::new(spliced).unwrap();
-    let report = verify_original(
-        &program,
-        &parse_formula("eps >= 0").unwrap(),
-        &parse_formula("b == a + 1").unwrap(),
-    )
-    .unwrap();
+    let report = Verifier::new()
+        .stage(Stage::Original)
+        .check(
+            &program,
+            &unary_spec(
+                parse_formula("eps >= 0").unwrap(),
+                parse_formula("b == a + 1").unwrap(),
+            ),
+        )
+        .unwrap();
     assert!(report.verified(), "{report}");
 }
 
@@ -93,10 +124,18 @@ fn auto_annotation_makes_unannotated_loops_verify() {
     .unwrap();
     // Without augmentation the relational stage cannot process the loop.
     let rel_pre = parse_rel_formula("i<o> == i<r> && n<o> == n<r> && fuzz<o> == fuzz<r>").unwrap();
-    assert!(verify_relaxed(&program, &rel_pre, &RelFormula::True).is_err());
+    let verifier = Verifier::new();
+    let spec = rel_spec(rel_pre);
+    assert!(verifier
+        .stage(Stage::Relaxed)
+        .check(&program, &spec)
+        .is_err());
     // With augmentation it verifies end to end.
     let augmented = augment_rel_invariants(&program);
-    let report = verify_relaxed(&augmented, &rel_pre, &RelFormula::True).unwrap();
+    let report = verifier
+        .stage(Stage::Relaxed)
+        .check(&augmented, &spec)
+        .unwrap();
     assert!(report.verified(), "{report}");
 }
 
@@ -137,7 +176,10 @@ fn case_study_gammas() {
 #[test]
 fn failure_diagnostics_are_actionable() {
     let program = parse_program("x = 1; assert x == 2;").unwrap();
-    let report = verify_original(&program, &Formula::True, &Formula::True).unwrap();
+    let report = Verifier::new()
+        .stage(Stage::Original)
+        .check(&program, &unary_spec(Formula::True, Formula::True))
+        .unwrap();
     let failure = report.failures().next().expect("one failure");
     assert_eq!(failure.vc.name, "precondition-establishes-wp");
     match &failure.verdict {

@@ -7,7 +7,6 @@
 //! acceptability (`core`) → which discharges its VCs through the `smt`
 //! solver — plus one direct solver call for good measure.
 
-use relaxed_programs::core::verify::{verify_acceptability, Spec};
 use relaxed_programs::interp::oracle::{ExtremalOracle, IdentityOracle};
 use relaxed_programs::interp::{check_compat, run_original, run_relaxed};
 use relaxed_programs::lang::{
@@ -15,6 +14,7 @@ use relaxed_programs::lang::{
 };
 use relaxed_programs::smt::{ast::ITerm, Solver};
 use relaxed_programs::transforms::bounded_perturbation;
+use relaxed_programs::{Spec, Verifier};
 
 #[test]
 fn end_to_end_pipeline_across_all_crates() {
@@ -56,7 +56,7 @@ fn end_to_end_pipeline_across_all_crates() {
             .unwrap(),
         rel_post: RelFormula::True,
     };
-    let report = verify_acceptability(&program, &spec).unwrap();
+    let report = Verifier::new().check(&program, &spec).unwrap();
     assert!(report.original_progress(), "⊢o stage: {report}");
     assert!(report.relative_relaxed_progress(), "⊢r stage: {report}");
     assert!(report.relaxed_progress(), "Theorem 8: {report}");

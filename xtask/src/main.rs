@@ -34,6 +34,12 @@ const CI: &[Step] = &[
         &[],
     ),
     Step(&["cargo", "build", "--release"], &[]),
+    // The public API documents itself: intra-doc links and examples must
+    // stay valid.
+    Step(
+        &["cargo", "doc", "--workspace", "--no-deps"],
+        &[("RUSTDOCFLAGS", "-D warnings")],
+    ),
     // Default engine parallelism, then the fully sequential discharge
     // path: both schedules of the verification engine must stay green.
     Step(&["cargo", "test", "-q", "--workspace"], &[]),
@@ -67,6 +73,12 @@ const CI: &[Step] = &[
         ],
         &[],
     ),
+    // Corpus smoke: batch-verify every case study through one session
+    // and assert cross-program cache reuse.
+    Step(
+        &["cargo", "run", "--release", "--example", "verify_corpus"],
+        &[],
+    ),
     Step(&["cargo", "bench", "--no-run", "--workspace"], &[]),
 ];
 
@@ -93,7 +105,9 @@ fn main() {
         "verify" => run(VERIFY),
         _ => {
             eprintln!("usage: cargo xtask <ci|verify>");
-            eprintln!("  ci      fmt + clippy + build --release + test + bench --no-run");
+            eprintln!(
+                "  ci      fmt + clippy + build --release + doc + test + examples + bench --no-run"
+            );
             eprintln!("  verify  the ROADMAP tier-1 gate: build --release && test -q");
             exit(2);
         }
