@@ -11,6 +11,8 @@
 //!   with cache-hit rates;
 //! * `check_corpus` — corpus-scale batch verification of all six
 //!   case-study programs through one `Verifier` session;
+//! * `persistent_cache` — warm corpus re-verification from the on-disk
+//!   verdict store (session load + zero-solver discharge + persist);
 //! * `e5_tradeoff_perforation` — the §1 performance/accuracy sweep;
 //! * `e6_metatheory_enumeration` — bounded model checking of a corpus
 //!   program (the empirical soundness check);
@@ -85,7 +87,8 @@ fn discharge_parallel(c: &mut Criterion) {
     }
     group.finish();
     // Cache effectiveness on the same workload (reported once; dedup is
-    // deterministic, so timing it adds nothing).
+    // deterministic, so timing it adds nothing). Emitted as metrics so
+    // the BENCH_<date>.json perf artifact tracks hit rates over time.
     let engine = DischargeEngine::with_config(DischargeConfig::sequential());
     let report = engine.discharge(vcs);
     eprintln!(
@@ -94,6 +97,15 @@ fn discharge_parallel(c: &mut Criterion) {
         report.engine.unique_goals,
         report.engine.cache_hits,
         report.engine.cache_misses
+    );
+    let total = (report.engine.cache_hits + report.engine.cache_misses).max(1);
+    c.report_metric(
+        "discharge_parallel/cache_hit_rate",
+        report.engine.cache_hits as f64 / total as f64,
+    );
+    c.report_metric(
+        "discharge_parallel/unique_goals",
+        report.engine.unique_goals as f64,
     );
 }
 
@@ -133,6 +145,43 @@ fn corpus_batch(c: &mut Criterion) {
         report.engine.cross_hits,
         report.engine.cache_misses
     );
+    let total = (report.engine.cache_hits + report.engine.cache_misses).max(1);
+    c.report_metric(
+        "check_corpus/cache_hit_rate",
+        report.engine.cache_hits as f64 / total as f64,
+    );
+    c.report_metric(
+        "check_corpus/cross_program_hits",
+        report.engine.cross_hits as f64,
+    );
+}
+
+fn persistent_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistent_cache");
+    group.sample_size(10);
+    let corpus = casestudies::corpus();
+    let path = std::env::temp_dir().join(format!(
+        "relaxed-bench-verdicts-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    // Seed the on-disk store once; the benchmark then measures the full
+    // warm path — session build (load + fingerprint check), corpus
+    // discharge from disk verdicts, and the drop-time persist.
+    let seed = Verifier::builder().workers(1).cache_file(&path).build();
+    seed.check_corpus_named(&corpus);
+    seed.persist().unwrap();
+    drop(seed);
+    group.bench_function("warm_corpus_from_disk", |b| {
+        b.iter(|| {
+            let session = Verifier::builder().workers(1).cache_file(&path).build();
+            let report = session.check_corpus_named(&corpus);
+            assert_eq!(report.engine.cache_misses, 0, "warm run must not solve");
+            report
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
 }
 
 fn execution(c: &mut Criterion) {
@@ -261,6 +310,7 @@ criterion_group!(
     verification,
     discharge_parallel,
     corpus_batch,
+    persistent_cache,
     execution,
     tradeoff,
     metatheory,

@@ -275,6 +275,97 @@ fn main() {
         t_warm_corpus.elapsed()
     );
 
+    // ---- E9 persistent on-disk verdict cache ----
+    println!("\n## E9: persistent on-disk verdict cache (`CachePolicy::Persistent`)\n");
+    let cache_path = std::env::temp_dir().join(format!(
+        "relaxed-paper-report-{}.verdicts.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+    println!("| run | loaded | solver runs | disk hits | persisted | time |");
+    println!("|---|---|---|---|---|---|");
+
+    // Cold: nothing on disk, every goal solved, cache persisted.
+    let cold_session = Verifier::builder()
+        .workers(1)
+        .cache_file(&cache_path)
+        .build();
+    let t_cold = Instant::now();
+    let cold_corpus = cold_session.check_corpus_named(&corpus);
+    let cold_elapsed = t_cold.elapsed();
+    let persisted = cold_session.persist().unwrap();
+    println!(
+        "| cold | 0 | {} | {} | {persisted} | {cold_elapsed:.1?} |",
+        cold_corpus.engine.cache_misses, cold_corpus.engine.disk_hits
+    );
+    assert_eq!(cold_corpus.engine.disk_hits, 0);
+    drop(cold_session);
+
+    // Warm: a fresh process-equivalent session reloads the store and
+    // discharges the whole corpus without a single solver invocation.
+    let warm_session = Verifier::builder()
+        .workers(1)
+        .cache_file(&cache_path)
+        .build();
+    let loaded = warm_session.stats().loaded;
+    let t_warm = Instant::now();
+    let warm_corpus_disk = warm_session.check_corpus_named(&corpus);
+    let warm_elapsed = t_warm.elapsed();
+    // The warm session has persisted nothing of its own at this point
+    // (its drop-time flush is skipped for a clean cache), so its
+    // `persisted` cell reports its actual stat, not the cold run's.
+    println!(
+        "| warm | {loaded} | {} | {} | {} | {warm_elapsed:.1?} |",
+        warm_corpus_disk.engine.cache_misses,
+        warm_corpus_disk.engine.disk_hits,
+        warm_session.stats().persisted
+    );
+    assert_eq!(loaded, persisted);
+    assert!(warm_corpus_disk.engine.disk_hits >= 1);
+    assert_eq!(
+        warm_corpus_disk.engine.cache_misses, 0,
+        "warm rerun must not re-solve previously-proved goals"
+    );
+    for (a, b) in cold_corpus.entries.iter().zip(&warm_corpus_disk.entries) {
+        assert_eq!(
+            a.verified(),
+            b.verified(),
+            "{}: warm verdict drifted",
+            a.name
+        );
+    }
+
+    // Fingerprint mismatch: a changed solver budget invalidates the
+    // store instead of replaying verdicts it can no longer vouch for.
+    let mismatch_session = Verifier::builder()
+        .workers(1)
+        .max_conflicts(relaxed_core::Config::default().max_conflicts + 1)
+        .cache_file(&cache_path)
+        .build();
+    let t_mismatch = Instant::now();
+    let mismatch_corpus = mismatch_session.check_corpus_named(&corpus);
+    let mismatch_elapsed = t_mismatch.elapsed();
+    println!(
+        "| budget changed | {} | {} | {} | — | {mismatch_elapsed:.1?} |",
+        mismatch_session.stats().loaded,
+        mismatch_corpus.engine.cache_misses,
+        mismatch_corpus.engine.disk_hits
+    );
+    assert_eq!(mismatch_session.stats().loaded, 0);
+    assert_eq!(
+        mismatch_corpus.engine.disk_hits, 0,
+        "a fingerprint mismatch must start cold"
+    );
+    println!(
+        "\nwarm speedup over cold: {:.0}x (structural, not wall-clock-asserted)",
+        cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
+    );
+    // Drop every session with a handle on the store before removing it —
+    // a later drop would re-persist and leak the file into the temp dir.
+    drop(warm_session);
+    drop(mismatch_session);
+    let _ = std::fs::remove_file(&cache_path);
+
     // ---- E4 LoC inventory ----
     println!("\n## E4: implementation size (paper §1.6 vs this reproduction)\n");
     println!("run `paper_report --loc` from the repo root, or `tokei`; see EXPERIMENTS.md");

@@ -7,7 +7,15 @@
 //! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) with
 //! wall-clock timing over a fixed number of samples. Swapping back to real
 //! Criterion is a two-line import change in `paper.rs`.
+//!
+//! With `BENCH_JSON=1` in the environment, every measurement is also
+//! emitted as a machine-readable `BENCHJSON {..}` line on stdout
+//! (`mean_ns`/`median_ns`/`min_ns`/`max_ns`/`samples` per benchmark,
+//! plus free-form [`Criterion::report_metric`] gauges such as cache-hit
+//! rates). `cargo xtask bench-json` collects those lines into the
+//! `BENCH_<date>.json` perf-trajectory artifact CI uploads.
 
+use relaxed_core::cache::json_string;
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -109,6 +117,7 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 struct Report {
     min: Duration,
+    mean: Duration,
     median: Duration,
     max: Duration,
     samples: usize,
@@ -137,8 +146,10 @@ fn run_samples<R: FnMut(&mut Bencher)>(
     }
     let mut sorted = bencher.samples.clone();
     sorted.sort_unstable();
+    let total: Duration = sorted.iter().sum();
     Report {
         min: sorted[0],
+        mean: total / sorted.len() as u32,
         median: sorted[sorted.len() / 2],
         max: sorted[sorted.len() - 1],
         samples: sorted.len(),
@@ -150,6 +161,7 @@ fn run_samples<R: FnMut(&mut Bencher)>(
 pub struct Criterion {
     measurement_budget: Duration,
     lines: Vec<String>,
+    emit_json: bool,
 }
 
 impl Default for Criterion {
@@ -157,6 +169,7 @@ impl Default for Criterion {
         Criterion {
             measurement_budget: Duration::from_secs(5),
             lines: Vec::new(),
+            emit_json: std::env::var_os("BENCH_JSON").is_some_and(|v| v == "1"),
         }
     }
 }
@@ -189,6 +202,33 @@ impl Criterion {
             report.min, report.median, report.max, report.samples
         );
         println!("{line}");
+        if self.emit_json {
+            println!(
+                "BENCHJSON {{\"name\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                json_string(name),
+                report.mean.as_nanos(),
+                report.median.as_nanos(),
+                report.min.as_nanos(),
+                report.max.as_nanos(),
+                report.samples
+            );
+        }
+        self.lines.push(line);
+    }
+
+    /// Records a free-form gauge (a rate, a count) alongside the timing
+    /// results — e.g. the discharge engine's cache-hit rate. Printed
+    /// human-readably always, and as a `BENCHJSON` line when
+    /// `BENCH_JSON=1`, so the perf-trajectory artifact carries it.
+    pub fn report_metric(&mut self, name: &str, value: f64) {
+        let line = format!("{name:<44} metric: {value}");
+        println!("{line}");
+        if self.emit_json {
+            println!(
+                "BENCHJSON {{\"name\":{},\"value\":{value}}}",
+                json_string(name)
+            );
+        }
         self.lines.push(line);
     }
 

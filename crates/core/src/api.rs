@@ -22,6 +22,13 @@
 //! malformed variables as [`EnvWarning`]s instead of silently dropping
 //! them.
 //!
+//! The session's verdict cache can outlive the process: a
+//! [`CachePolicy::Persistent`] session ([`VerifierBuilder::cache_file`]
+//! or `DISCHARGE_CACHE=<path>`) loads previously persisted verdicts at
+//! build time and writes the cache back on [`Verifier::persist`] or
+//! drop, making re-verification across runs incremental (see
+//! [`crate::cache`]).
+//!
 //! ```
 //! use relaxed_core::{Stage, Verifier};
 //! use relaxed_core::verify::Spec;
@@ -45,12 +52,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::cache::{json_string, CacheWarning};
 use crate::engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
 use crate::vcgen::{Vc, VcgenError};
 use crate::verify::{stage_vcs, staged_check, AcceptabilityReport, Report, Spec};
 use relaxed_lang::Program;
 use relaxed_smt::SolverStats;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -154,7 +163,7 @@ impl StageSet {
 }
 
 /// How a session's verdict cache is scoped.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum CachePolicy {
     /// One cache for the whole session, shared across stages, repeated
     /// [`Verifier::check`] calls, and every program of a corpus — the
@@ -166,6 +175,18 @@ pub enum CachePolicy {
     /// nothing is reused between programs, which makes per-program
     /// statistics exactly reproducible in isolation.
     PerProgram,
+    /// [`Shared`](CachePolicy::Shared) scoping backed by the on-disk
+    /// verdict store at `path` (see [`crate::cache`]): verdicts recorded
+    /// under the session's configuration fingerprint are loaded at build
+    /// time and written back on [`Verifier::persist`] / session drop, so
+    /// the cache survives *across processes*. Selected by
+    /// [`VerifierBuilder::cache_file`] or the `DISCHARGE_CACHE`
+    /// environment knob.
+    Persistent {
+        /// The cache file (created on first persist; parent directories
+        /// are created as needed).
+        path: PathBuf,
+    },
 }
 
 /// Typed session configuration, layered with **builder > environment >
@@ -210,14 +231,16 @@ pub struct EnvWarning {
     pub var: &'static str,
     /// Its (unparsable) value.
     pub value: String,
+    /// What a well-formed value would have looked like.
+    pub expected: &'static str,
 }
 
 impl fmt::Display for EnvWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ignoring {}={:?}: expected an unsigned integer, keeping the default",
-            self.var, self.value
+            "ignoring {}={:?}: expected {}, keeping the default",
+            self.var, self.value, self.expected
         )
     }
 }
@@ -225,12 +248,15 @@ impl fmt::Display for EnvWarning {
 impl Config {
     /// The default configuration with the environment opt-in layer
     /// applied: `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`,
-    /// and `DISCHARGE_BRANCH_BUDGET`.
+    /// `DISCHARGE_BRANCH_BUDGET`, and `DISCHARGE_CACHE` (a file path
+    /// selecting [`CachePolicy::Persistent`]).
     ///
     /// This is the **only** place the verifier reads `DISCHARGE_*`
-    /// variables. Unset variables keep their defaults; set-but-malformed
-    /// variables keep their defaults *and* are reported in the returned
-    /// warning list, one per bad variable.
+    /// configuration variables (the orthogonal `DISCHARGE_QUIET=1`
+    /// stderr silencer is read at warning-emission time). Unset variables
+    /// keep their defaults; set-but-malformed variables keep their
+    /// defaults *and* are reported in the returned warning list, one per
+    /// bad variable.
     pub fn from_env() -> (Config, Vec<EnvWarning>) {
         Config::from_lookup(|name| std::env::var(name).ok())
     }
@@ -247,7 +273,11 @@ impl Config {
             match raw.trim().parse() {
                 Ok(value) => Some(value),
                 Err(_) => {
-                    warnings.push(EnvWarning { var, value: raw });
+                    warnings.push(EnvWarning {
+                        var,
+                        value: raw,
+                        expected: "an unsigned integer",
+                    });
                     None
                 }
             }
@@ -260,6 +290,20 @@ impl Config {
         }
         if let Some(budget) = parse("DISCHARGE_BRANCH_BUDGET") {
             config.branch_budget = budget;
+        }
+        if let Some(raw) = lookup("DISCHARGE_CACHE") {
+            let path = raw.trim();
+            if path.is_empty() {
+                warnings.push(EnvWarning {
+                    var: "DISCHARGE_CACHE",
+                    value: raw,
+                    expected: "a non-empty file path",
+                });
+            } else {
+                config.cache = CachePolicy::Persistent {
+                    path: PathBuf::from(path),
+                };
+            }
         }
         (config, warnings)
     }
@@ -321,6 +365,15 @@ impl VerifierBuilder {
         self
     }
 
+    /// Backs the session's verdict cache with the on-disk store at
+    /// `path` — shorthand for
+    /// `.cache(CachePolicy::Persistent { path })`. Verdicts persisted by
+    /// earlier sessions under the same configuration fingerprint are
+    /// loaded at build time; see [`crate::cache`].
+    pub fn cache_file(self, path: impl Into<PathBuf>) -> Self {
+        self.cache(CachePolicy::Persistent { path: path.into() })
+    }
+
     /// Stage selection for [`Verifier::check`].
     pub fn stages(mut self, stages: StageSet) -> Self {
         self.stages = Some(stages);
@@ -352,8 +405,16 @@ impl VerifierBuilder {
             cache: self.cache.unwrap_or(base.cache),
             stages: self.stages.unwrap_or(base.stages),
         };
+        let engine = match &config.cache {
+            CachePolicy::Persistent { path } => {
+                DischargeEngine::with_cache_file(config.discharge_config(), path.clone())
+            }
+            CachePolicy::Shared | CachePolicy::PerProgram => {
+                DischargeEngine::with_config(config.discharge_config())
+            }
+        };
         Verifier {
-            engine: DischargeEngine::with_config(config.discharge_config()),
+            engine,
             config,
             env_warnings,
             folded: Mutex::new(EngineStats::default()),
@@ -429,6 +490,25 @@ impl Verifier {
         &self.env_warnings
     }
 
+    /// Non-fatal problems encountered while loading the session's
+    /// on-disk verdict cache (empty for in-memory sessions and clean
+    /// loads).
+    pub fn cache_warnings(&self) -> &[CacheWarning] {
+        self.engine.cache_warnings()
+    }
+
+    /// Writes the session's verdict cache back to its on-disk store (a
+    /// no-op returning `Ok(0)` unless the session uses
+    /// [`CachePolicy::Persistent`]). Dropping the session also persists,
+    /// best-effort; call this to observe I/O errors and the entry count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn persist(&self) -> std::io::Result<u64> {
+        self.engine.persist()
+    }
+
     /// Cumulative engine statistics over everything this session has
     /// checked (including the per-program engines of a
     /// [`CachePolicy::PerProgram`] session).
@@ -457,8 +537,10 @@ impl Verifier {
         spec: &Spec,
         opts: DischargeOptions,
     ) -> Result<AcceptabilityReport, VcgenError> {
-        match self.config.cache {
-            CachePolicy::Shared => {
+        match &self.config.cache {
+            // Persistent scoping is Shared scoping over a disk-backed
+            // session engine.
+            CachePolicy::Shared | CachePolicy::Persistent { .. } => {
                 staged_check(&self.engine, program, spec, self.config.stages, opts)
             }
             CachePolicy::PerProgram => {
@@ -650,8 +732,10 @@ impl StageRunner<'_> {
     /// statements).
     pub fn check(&self, program: &Program, spec: &Spec) -> Result<Report, VcgenError> {
         let vcs = self.vcs(program, spec)?;
-        match self.verifier.config.cache {
-            CachePolicy::Shared => Ok(self.verifier.engine.discharge(vcs)),
+        match &self.verifier.config.cache {
+            CachePolicy::Shared | CachePolicy::Persistent { .. } => {
+                Ok(self.verifier.engine.discharge(vcs))
+            }
             CachePolicy::PerProgram => {
                 let engine = DischargeEngine::with_config(self.verifier.config.discharge_config());
                 let report = engine.discharge(vcs);
@@ -786,6 +870,8 @@ impl CorpusReport {
                         &report.engine.cross_hits.to_string(),
                     );
                     out.push_str(", ");
+                    json_field(&mut out, "disk_hits", &report.engine.disk_hits.to_string());
+                    out.push_str(", ");
                     json_field(
                         &mut out,
                         "solver_runs",
@@ -845,6 +931,8 @@ impl CorpusReport {
             &self.engine.cross_hits.to_string(),
         );
         out.push_str(", ");
+        json_field(&mut out, "disk_hits", &self.engine.disk_hits.to_string());
+        out.push_str(", ");
         json_field(
             &mut out,
             "solver_runs",
@@ -883,27 +971,6 @@ fn json_field(out: &mut String, key: &str, rendered_value: &str) {
     out.push_str(key);
     out.push_str("\": ");
     out.push_str(rendered_value);
-}
-
-/// Renders a JSON string literal with the escapes RFC 8259 requires.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

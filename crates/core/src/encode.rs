@@ -13,6 +13,15 @@ use relaxed_lang::{
 use relaxed_smt::ast::{BTerm, ITerm, Rel};
 use std::collections::HashMap;
 
+/// Version of the formula→solver lowering implemented by this module.
+///
+/// The on-disk verdict cache ([`crate::cache`]) folds this into its
+/// [fingerprint](crate::cache::fingerprint): any change to the encoding —
+/// name mangling, α-renaming, simplification — must bump this constant so
+/// that verdicts keyed by the old encoding are invalidated instead of
+/// replayed against goals they no longer describe.
+pub const ENCODER_VERSION: u32 = 1;
+
 /// Allocates fresh bound-variable names during encoding.
 #[derive(Debug, Default)]
 pub struct EncodeCtx {

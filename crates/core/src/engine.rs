@@ -31,12 +31,14 @@
 //! variables are applied only through the explicit opt-in layer
 //! [`Config::from_env`](crate::api::Config::from_env).
 
+use crate::cache::{self, CacheWarning, GoalKey};
 use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
 use crate::vcgen::{Vc, VcBody};
 use crate::verify::{Report, VcResult};
 use relaxed_smt::ast::BTerm;
 use relaxed_smt::{Solver, SolverStats, Validity};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -125,6 +127,17 @@ pub struct EngineStats {
     /// reused *across programs*; untagged discharge calls all share owner
     /// `0` and report `0` here.
     pub cross_hits: u64,
+    /// Cache hits answered by a verdict loaded from the on-disk store
+    /// (a subset of `cache_hits`) — the across-run payoff of
+    /// [`CachePolicy::Persistent`](crate::api::CachePolicy::Persistent).
+    pub disk_hits: u64,
+    /// Verdicts loaded from the on-disk store at session start. Always
+    /// `0` on per-call (report-level) statistics; engine-level only.
+    pub loaded: u64,
+    /// Verdicts written by the most recent
+    /// [`persist`](DischargeEngine::persist) (explicit or on drop).
+    /// Always `0` on per-call statistics; engine-level only.
+    pub persisted: u64,
     /// Distinct goals seen: cache entries for engine-level stats, goals
     /// newly added to the cache for report-level stats.
     pub unique_goals: u64,
@@ -145,6 +158,9 @@ impl EngineStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cross_hits += other.cross_hits;
+        self.disk_hits += other.disk_hits;
+        self.loaded += other.loaded;
+        self.persisted += other.persisted;
         self.unique_goals += other.unique_goals;
         self.workers = self.workers.max(other.workers);
     }
@@ -173,18 +189,37 @@ pub struct DischargeOptions {
 #[derive(Debug, Default)]
 pub struct DischargeEngine {
     config: DischargeConfig,
-    cache: Mutex<HashMap<BTerm, CachedVerdict>>,
+    cache: Mutex<HashMap<GoalKey, CachedVerdict>>,
     hits: AtomicU64,
     misses: AtomicU64,
     cross: AtomicU64,
+    disk: AtomicU64,
+    /// Whether the cache holds verdicts not yet written to the on-disk
+    /// store (drop-time persistence skips clean caches; explicit
+    /// [`persist`](DischargeEngine::persist) always writes).
+    dirty: std::sync::atomic::AtomicBool,
+    store: Option<DiskStore>,
+}
+
+/// The on-disk backing of a persistent engine (see
+/// [`DischargeEngine::with_cache_file`]).
+#[derive(Debug)]
+struct DiskStore {
+    path: PathBuf,
+    fingerprint: String,
+    warnings: Vec<CacheWarning>,
+    loaded: u64,
+    persisted: AtomicU64,
 }
 
 /// A cached verdict plus the owner tag of the discharge call that first
-/// solved it (see [`DischargeOptions::owner`]).
+/// solved it (see [`DischargeOptions::owner`]) and whether it was loaded
+/// from the on-disk store.
 #[derive(Clone, Debug)]
 struct CachedVerdict {
     verdict: Validity,
     owner: u64,
+    from_disk: bool,
 }
 
 // The engine is shared by reference across its own worker threads.
@@ -203,7 +238,13 @@ impl DischargeEngine {
     pub fn with_config(config: DischargeConfig) -> Self {
         DischargeEngine {
             config,
-            ..DischargeEngine::default()
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cross: AtomicU64::new(0),
+            disk: AtomicU64::new(0),
+            dirty: std::sync::atomic::AtomicBool::new(false),
+            store: None,
         }
     }
 
@@ -215,9 +256,109 @@ impl DischargeEngine {
         DischargeEngine::with_config(crate::api::Config::from_env().0.discharge_config())
     }
 
+    /// An engine whose verdict cache is backed by the on-disk store at
+    /// `path` (see [`crate::cache`] for the file format and invalidation
+    /// rules).
+    ///
+    /// Entries recorded under this configuration's
+    /// [fingerprint](crate::cache::fingerprint) are loaded immediately; a
+    /// missing file is a clean cold start, and a corrupt or mismatched
+    /// file degrades to a cold start with
+    /// [`cache_warnings`](DischargeEngine::cache_warnings). The cache is
+    /// written back by [`persist`](DischargeEngine::persist) and,
+    /// best-effort, when the engine is dropped.
+    pub fn with_cache_file(config: DischargeConfig, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let fingerprint = cache::fingerprint(&config);
+        let loaded = cache::load(&path, &fingerprint);
+        let entries: HashMap<GoalKey, CachedVerdict> = loaded
+            .entries
+            .into_iter()
+            .map(|(key, verdict)| {
+                (
+                    key,
+                    CachedVerdict {
+                        verdict,
+                        // Disk entries carry the shared untagged owner, so
+                        // an owner-tagged (corpus) hit on one counts as
+                        // cross-owner reuse — which it is: the verdict
+                        // came from an earlier session.
+                        owner: 0,
+                        from_disk: true,
+                    },
+                )
+            })
+            .collect();
+        let mut engine = DischargeEngine::with_config(config);
+        engine.store = Some(DiskStore {
+            path,
+            fingerprint,
+            warnings: loaded.warnings,
+            loaded: entries.len() as u64,
+            persisted: AtomicU64::new(0),
+        });
+        engine.cache = Mutex::new(entries);
+        engine
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &DischargeConfig {
         &self.config
+    }
+
+    /// The on-disk cache path, when this engine is persistent.
+    pub fn cache_path(&self) -> Option<&std::path::Path> {
+        self.store.as_ref().map(|s| s.path.as_path())
+    }
+
+    /// Non-fatal problems encountered while loading the on-disk store
+    /// (empty for in-memory engines and clean loads).
+    pub fn cache_warnings(&self) -> &[CacheWarning] {
+        self.store.as_ref().map_or(&[], |s| &s.warnings)
+    }
+
+    /// Writes the current verdict cache back to the on-disk store:
+    /// header plus one record per entry, compacted, via an atomic
+    /// temp-file rename. Returns the number of entries written — `Ok(0)`
+    /// for engines without a store.
+    ///
+    /// Dropping a persistent engine also persists, best-effort, but only
+    /// when the cache gained verdicts since the last load/persist (a
+    /// fully warm session costs no drop-time I/O; an I/O failure there
+    /// is reported to stderr unless `DISCHARGE_QUIET=1`). An explicit
+    /// call always writes.
+    pub fn persist(&self) -> std::io::Result<u64> {
+        let Some(store) = &self.store else {
+            return Ok(0);
+        };
+        // Snapshot under the lock, write without it: the rendering, the
+        // file write, and the fsync must not stall concurrent discharge
+        // threads waiting on cache lookups. The dirty flag is cleared
+        // *inside* the lock, before the snapshot — a verdict inserted
+        // concurrently with the file I/O re-dirties the cache and is
+        // picked up by the next (or drop-time) persist instead of being
+        // silently marked clean.
+        let snapshot: Vec<(GoalKey, Validity)> = {
+            let cache = self.cache.lock().expect("cache lock");
+            self.dirty
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+            cache
+                .iter()
+                .map(|(key, slot)| (key.clone(), slot.verdict.clone()))
+                .collect()
+        };
+        let written = cache::persist(
+            &store.path,
+            &store.fingerprint,
+            snapshot.iter().map(|(key, verdict)| (key, verdict)),
+        )
+        .inspect_err(|_| {
+            // The snapshot never reached disk; leave the cache dirty so
+            // a later persist retries.
+            self.dirty.store(true, std::sync::atomic::Ordering::Relaxed);
+        })?;
+        store.persisted.store(written, Ordering::Relaxed);
+        Ok(written)
     }
 
     /// Cumulative statistics across every discharge call so far.
@@ -226,6 +367,12 @@ impl DischargeEngine {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             cross_hits: self.cross.load(Ordering::Relaxed),
+            disk_hits: self.disk.load(Ordering::Relaxed),
+            loaded: self.store.as_ref().map_or(0, |s| s.loaded),
+            persisted: self
+                .store
+                .as_ref()
+                .map_or(0, |s| s.persisted.load(Ordering::Relaxed)),
             unique_goals: self.cache.lock().expect("cache lock").len() as u64,
             workers: self.config.effective_parallelism(),
         }
@@ -262,17 +409,23 @@ impl DischargeEngine {
         }
 
         // Resolve each unique goal from the cross-call cache, or queue it.
+        // The rendered key doubles as the on-disk identity, so one
+        // rendering per unique goal serves both the in-memory map and the
+        // persistent store.
+        let keys: Vec<GoalKey> = unique_goals.iter().map(|goal| GoalKey::of(goal)).collect();
         let mut verdicts: Vec<Option<Validity>> = vec![None; unique_goals.len()];
         let mut from_cache: Vec<bool> = vec![false; unique_goals.len()];
         let mut cross_owner: Vec<bool> = vec![false; unique_goals.len()];
+        let mut from_disk: Vec<bool> = vec![false; unique_goals.len()];
         let mut work: Vec<usize> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache lock");
-            for (gi, goal) in unique_goals.iter().enumerate() {
-                if let Some(slot) = cache.get(*goal) {
+            for (gi, key) in keys.iter().enumerate() {
+                if let Some(slot) = cache.get(key) {
                     verdicts[gi] = Some(slot.verdict.clone());
                     from_cache[gi] = true;
                     cross_owner[gi] = slot.owner != opts.owner;
+                    from_disk[gi] = slot.from_disk;
                 } else {
                     work.push(gi);
                 }
@@ -322,12 +475,16 @@ impl DischargeEngine {
             let mut cache = self.cache.lock().expect("cache lock");
             for (gi, verdict, _) in &solved {
                 cache.insert(
-                    unique_goals[*gi].clone(),
+                    keys[*gi].clone(),
                     CachedVerdict {
                         verdict: verdict.clone(),
                         owner: opts.owner,
+                        from_disk: false,
                     },
                 );
+            }
+            if !solved.is_empty() {
+                self.dirty.store(true, std::sync::atomic::Ordering::Relaxed);
             }
         }
         let mut solved_stats: Vec<Option<SolverStats>> = vec![None; unique_goals.len()];
@@ -343,12 +500,16 @@ impl DischargeEngine {
         let mut report = Report::default();
         let mut first_seen: Vec<bool> = vec![false; unique_goals.len()];
         let mut call_cross = 0u64;
+        let mut call_disk = 0u64;
         for (vc, gi) in vcs.into_iter().zip(&group_of) {
             let verdict = verdicts[*gi].clone().expect("every goal resolved");
             let fresh = !first_seen[*gi] && !from_cache[*gi];
             first_seen[*gi] = true;
             if !fresh && cross_owner[*gi] {
                 call_cross += 1;
+            }
+            if !fresh && from_disk[*gi] {
+                call_disk += 1;
             }
             let stats = if fresh {
                 solved_stats[*gi].expect("solved goal has stats")
@@ -371,14 +532,37 @@ impl DischargeEngine {
         self.hits.fetch_add(call_hits, Ordering::Relaxed);
         self.misses.fetch_add(call_misses, Ordering::Relaxed);
         self.cross.fetch_add(call_cross, Ordering::Relaxed);
+        self.disk.fetch_add(call_disk, Ordering::Relaxed);
         report.engine = EngineStats {
             cache_hits: call_hits,
             cache_misses: call_misses,
             cross_hits: call_cross,
+            disk_hits: call_disk,
+            loaded: 0,
+            persisted: 0,
             unique_goals: call_misses,
             workers,
         };
         report
+    }
+}
+
+impl Drop for DischargeEngine {
+    fn drop(&mut self) {
+        // Skip the rewrite when nothing changed since the last
+        // load/persist: a fully warm session (or one already flushed
+        // explicitly) costs no drop-time I/O.
+        if !self.dirty.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        if let Some(path) = self.cache_path().map(std::path::Path::to_path_buf) {
+            if let Err(e) = self.persist() {
+                crate::diag::warn(format_args!(
+                    "failed to persist verdict cache {}: {e}",
+                    path.display()
+                ));
+            }
+        }
     }
 }
 

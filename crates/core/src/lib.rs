@@ -37,6 +37,8 @@
 //!   `diverge` contracts);
 //! * [`rules`] — the paper's proof rules as explicit derivation trees with
 //!   a rule-by-rule checker (the analogue of the paper's Coq artifact);
+//! * [`cache`] — the persistent on-disk verdict store (structural goal
+//!   keys, config fingerprinting, corruption-tolerant JSON-lines log);
 //! * [`encode`] — lowering of assertion-logic formulas to the
 //!   `relaxed-smt` solver;
 //! * [`analysis`] — array detection and relaxation-dependence (taint)
@@ -74,6 +76,8 @@
 
 pub mod analysis;
 pub mod api;
+pub mod cache;
+mod diag;
 pub mod encode;
 pub mod engine;
 pub mod noninterference;
@@ -85,6 +89,7 @@ pub use api::{
     CachePolicy, Config, CorpusEntry, CorpusReport, EnvWarning, Stage, StageRunner, StageSet,
     Verifier, VerifierBuilder,
 };
+pub use cache::{CacheWarning, GoalKey};
 pub use engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
 pub use verify::{AcceptabilityReport, Report, Spec, VcResult};
 // The deprecated free-function drivers stay re-exported so existing

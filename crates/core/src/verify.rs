@@ -106,15 +106,21 @@ fn kind_of(v: &Validity) -> &'static str {
 
 /// A throwaway session configured exactly as the legacy entry points
 /// were: defaults plus the environment opt-in layer. Malformed
-/// `DISCHARGE_*` values are reported to stderr once per process (the
-/// session API surfaces them via
-/// [`Verifier::env_warnings`](crate::api::Verifier::env_warnings)).
+/// `DISCHARGE_*` values and verdict-cache load problems are reported to
+/// stderr once per process through the quiet-aware diagnostics channel
+/// (silenced entirely by `DISCHARGE_QUIET=1`; the session API surfaces
+/// the same information via
+/// [`Verifier::env_warnings`](crate::api::Verifier::env_warnings) and
+/// [`Verifier::cache_warnings`](crate::api::Verifier::cache_warnings)).
 pub(crate) fn legacy_session() -> Verifier {
     static WARN_ONCE: std::sync::Once = std::sync::Once::new();
     let session = Verifier::builder().env().build();
     WARN_ONCE.call_once(|| {
         for warning in session.env_warnings() {
-            eprintln!("relaxed-core: {warning}");
+            crate::diag::warn(format_args!("{warning}"));
+        }
+        for warning in session.cache_warnings() {
+            crate::diag::warn(format_args!("{warning}"));
         }
     });
     session

@@ -57,4 +57,4 @@ pub mod solver;
 
 pub use ast::{BTerm, ITerm, Rel};
 pub use rational::Rat;
-pub use solver::{Model, SmtResult, Solver, SolverStats, Validity};
+pub use solver::{Model, SmtResult, Solver, SolverStats, Validity, SOLVER_VERSION};

@@ -9,6 +9,17 @@
 
 use crate::ast::BTerm;
 use crate::cnf::CnfBuilder;
+
+/// Version of the decision procedure implemented by this crate.
+///
+/// The persistent verdict cache in `relaxed-core` folds this into its
+/// configuration fingerprint: any behavioral change to the solver
+/// pipeline — preprocessing, grounding, CNF encoding, CDCL search, the
+/// simplex/branch-and-bound theory — must bump this constant so that
+/// verdicts produced by the old solver are invalidated instead of
+/// replayed (a source-only solver fix does not change `Cargo.lock`, so
+/// nothing else distinguishes the two solvers on disk).
+pub const SOLVER_VERSION: u32 = 1;
 use crate::ground::groundify;
 use crate::linear::{BoundKind, IneqAtom, LinForm, VarId};
 use crate::preprocess::{eliminate_quantifiers, FreshNames};

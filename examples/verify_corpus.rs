@@ -7,12 +7,22 @@
 //! service or CI gate would consume.
 //!
 //! Run with: `cargo run --example verify_corpus`
+//!
+//! With `DISCHARGE_CACHE=<path>` the session persists its verdict cache
+//! to disk and reloads it on the next run, so a rerun discharges
+//! previously-proved goals with zero solver invocations. The final
+//! `persistent cache: loaded=.. disk_hits=.. persisted=..` line is the
+//! machine-readable warm/cold signal the CI `cache-persistence` job
+//! gates on.
 
 use relaxed_programs::{casestudies, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verifier = Verifier::from_env();
     for warning in verifier.env_warnings() {
+        eprintln!("verify_corpus: {warning}");
+    }
+    for warning in verifier.cache_warnings() {
         eprintln!("verify_corpus: {warning}");
     }
 
@@ -61,5 +71,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "warm revalidation: {} verdicts, all served across programs from the session cache",
         warm.engine.cache_hits
     );
+
+    // With DISCHARGE_CACHE set, the session cache outlives the process:
+    // report the disk-level numbers (and flush explicitly so an I/O
+    // error fails the run instead of being swallowed by the drop path).
+    if std::env::var_os("DISCHARGE_CACHE").is_some() {
+        let persisted = verifier.persist()?;
+        let stats = verifier.stats();
+        // No hard assert on loaded ⇒ disk hits here: a store restored
+        // from an older revision can be fingerprint-compatible yet keyed
+        // by goals a VC-generation change renamed, which is a legitimate
+        // cold start. CI's warm leg — same binary, same store — gates on
+        // this line instead (see the cache-persistence job).
+        println!(
+            "persistent cache: loaded={} disk_hits={} persisted={persisted}",
+            stats.loaded, stats.disk_hits
+        );
+    }
     Ok(())
 }

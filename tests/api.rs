@@ -91,13 +91,26 @@ fn deprecated_wrappers_match_verifier() {
         let flat = |r: &relaxed_programs::core::Report| {
             r.results
                 .iter()
-                .map(|x| (x.vc.name.clone(), x.verdict.clone(), x.cached))
+                .map(|x| (x.vc.name.clone(), x.verdict.clone()))
                 .collect::<Vec<_>>()
         };
         assert_eq!(flat(&old.original), flat(&new.original), "{name}: ⊢o");
         assert_eq!(flat(&old.relaxed), flat(&new.relaxed), "{name}: ⊢r");
-        assert_eq!(old.engine.cache_hits, new.engine.cache_hits, "{name}");
-        assert_eq!(old.engine.cache_misses, new.engine.cache_misses, "{name}");
+        // Under the persistent-cache CI schedule (`DISCHARGE_CACHE` set)
+        // every env-configured session loads the verdicts its
+        // predecessors persisted, so per-VC `cached` flags and exact hit
+        // counts drift from session to session; the verdict equivalence
+        // above is the invariant there. On the in-memory schedules the
+        // cache behavior itself must also match exactly.
+        if std::env::var_os("DISCHARGE_CACHE").is_none() {
+            let cached = |r: &relaxed_programs::core::Report| {
+                r.results.iter().map(|x| x.cached).collect::<Vec<_>>()
+            };
+            assert_eq!(cached(&old.original), cached(&new.original), "{name}");
+            assert_eq!(cached(&old.relaxed), cached(&new.relaxed), "{name}");
+            assert_eq!(old.engine.cache_hits, new.engine.cache_hits, "{name}");
+            assert_eq!(old.engine.cache_misses, new.engine.cache_misses, "{name}");
+        }
     }
 
     // Per-stage wrappers against per-stage runners.
@@ -328,6 +341,7 @@ fn case_study_corpus_end_to_end() {
     let json = report.to_json();
     assert!(json.contains("\"name\": \"swish\""), "{json}");
     assert!(json.contains("\"cross_program_hits\""), "{json}");
+    assert!(json.contains("\"disk_hits\": 0"), "{json}");
     assert!(json.contains("\"aggregate\""), "{json}");
     assert_eq!(json.matches("\"status\"").count(), 6);
     assert!(json.ends_with("}\n"));

@@ -2,9 +2,12 @@
 //!
 //! `ci` runs the exact command sequence `.github/workflows/ci.yml` runs, so
 //! local verification and CI cannot drift. `verify` runs only the ROADMAP
-//! tier-1 gate (`cargo build --release && cargo test -q`).
+//! tier-1 gate (`cargo build --release && cargo test -q`). `bench-json`
+//! runs the benchmark harness with machine-readable output enabled and
+//! writes the `BENCH_<date>.json` perf-trajectory artifact CI uploads.
 
 use std::env;
+use std::path::PathBuf;
 use std::process::{exit, Command};
 
 /// A named shell-free step: a program, its arguments, and extra
@@ -19,7 +22,7 @@ const VERIFY: &[Step] = &[
     Step(&["cargo", "test", "-q"], &[]),
 ];
 
-const CI: &[Step] = &[
+const CI_LINT_BUILD_TEST: &[Step] = &[
     Step(&["cargo", "fmt", "--all", "--check"], &[]),
     Step(
         &[
@@ -40,13 +43,18 @@ const CI: &[Step] = &[
         &["cargo", "doc", "--workspace", "--no-deps"],
         &[("RUSTDOCFLAGS", "-D warnings")],
     ),
-    // Default engine parallelism, then the fully sequential discharge
-    // path: both schedules of the verification engine must stay green.
+    // The first two of the three verification schedules (the third —
+    // persistent on-disk verdict cache — needs a runtime temp path and is
+    // appended by `ci()`): default engine parallelism, then the fully
+    // sequential discharge path.
     Step(&["cargo", "test", "-q", "--workspace"], &[]),
     Step(
         &["cargo", "test", "-q", "--workspace"],
         &[("DISCHARGE_WORKERS", "1")],
     ),
+];
+
+const CI_EXAMPLES_BENCH: &[Step] = &[
     Step(
         &["cargo", "run", "--release", "--example", "quickstart"],
         &[],
@@ -82,33 +90,191 @@ const CI: &[Step] = &[
     Step(&["cargo", "bench", "--no-run", "--workspace"], &[]),
 ];
 
+fn run_step(argv: &[&str], envs: &[(&str, &str)]) {
+    let prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    eprintln!("xtask> {prefix}{}", argv.join(" "));
+    let status = Command::new(argv[0])
+        .args(&argv[1..])
+        .envs(envs.iter().copied())
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn `{}`: {e}", argv[0]));
+    if !status.success() {
+        eprintln!("xtask: `{prefix}{}` failed ({status})", argv.join(" "));
+        exit(status.code().unwrap_or(1));
+    }
+}
+
 fn run(steps: &[Step]) {
-    for Step(argv, env) in steps {
-        let prefix: String = env.iter().map(|(k, v)| format!("{k}={v} ")).collect();
-        eprintln!("xtask> {prefix}{}", argv.join(" "));
-        let status = Command::new(argv[0])
-            .args(&argv[1..])
-            .envs(env.iter().copied())
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn `{}`: {e}", argv[0]));
-        if !status.success() {
-            eprintln!("xtask: `{prefix}{}` failed ({status})", argv.join(" "));
-            exit(status.code().unwrap_or(1));
+    for Step(argv, envs) in steps {
+        run_step(argv, envs);
+    }
+}
+
+/// The full CI mirror, including the persistent-verdict-cache test
+/// schedule (which needs a runtime temp path, so it cannot live in the
+/// static step tables).
+fn ci() {
+    run(CI_LINT_BUILD_TEST);
+    let cache = std::env::temp_dir().join(format!(
+        "relaxed-xtask-ci-verdicts-{}.jsonl",
+        std::process::id()
+    ));
+    let cache = cache.to_str().expect("temp path is unicode").to_string();
+    run_step(
+        &["cargo", "test", "-q", "--workspace"],
+        &[("DISCHARGE_CACHE", &cache)],
+    );
+    let _ = std::fs::remove_file(&cache);
+    run(CI_EXAMPLES_BENCH);
+}
+
+/// Runs the bench harness with `BENCH_JSON=1`, collects the machine
+/// lines, and writes `BENCH_<date>.json` (per-benchmark ns, per-group
+/// mean ns, and the engine's cache-hit-rate gauges) in the workspace
+/// root.
+fn bench_json() {
+    eprintln!("xtask> BENCH_JSON=1 cargo bench --workspace (capturing output)");
+    let output = Command::new("cargo")
+        .args(["bench", "--workspace"])
+        .env("BENCH_JSON", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn `cargo`: {e}"));
+    // The harness's human-readable report still goes to the terminal.
+    eprint!("{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    print!("{stdout}");
+    if !output.status.success() {
+        eprintln!(
+            "xtask: `cargo bench --workspace` failed ({})",
+            output.status
+        );
+        exit(output.status.code().unwrap_or(1));
+    }
+
+    let records: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| l.strip_prefix("BENCHJSON "))
+        .collect();
+    if records.is_empty() {
+        eprintln!("xtask: no BENCHJSON records in bench output");
+        exit(1);
+    }
+
+    // Per-group mean over the timed benchmarks ("group/rest" naming);
+    // gauge records (cache-hit rates) carry `value` instead of `mean_ns`
+    // and are kept verbatim but excluded from the timing means.
+    let mut groups: Vec<(String, u128, u64)> = Vec::new();
+    for record in &records {
+        let Some(name) = extract_str(record, "name") else {
+            continue;
+        };
+        let Some(mean_ns) = extract_u128(record, "mean_ns") else {
+            continue;
+        };
+        let group = name.split('/').next().unwrap_or(&name).to_string();
+        match groups.iter_mut().find(|(g, _, _)| *g == group) {
+            Some((_, sum, n)) => {
+                *sum += mean_ns;
+                *n += 1;
+            }
+            None => groups.push((group, mean_ns, 1)),
         }
     }
+
+    let date = utc_date();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"date\": \"{date}\",\n"));
+    out.push_str("  \"groups\": [\n");
+    for (i, (group, sum, n)) in groups.iter().enumerate() {
+        let sep = if i + 1 < groups.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"group\": \"{group}\", \"benchmarks\": {n}, \"mean_ns\": {}}}{sep}\n",
+            sum / u128::from(*n)
+        ));
+    }
+    out.push_str("  ],\n  \"benchmarks\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!("    {record}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = PathBuf::from(format!("BENCH_{date}.json"));
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("failed to write {path:?}: {e}"));
+    eprintln!(
+        "xtask: wrote {} ({} benchmarks, {} groups)",
+        path.display(),
+        records.len(),
+        groups.len()
+    );
+}
+
+/// Pulls the string field `key` out of a flat BENCHJSON record (the
+/// harness writes these, so the simple scan is sound).
+fn extract_str(record: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = record.find(&tag)? + tag.len();
+    let rest = &record[start..];
+    // Harness names never contain escaped quotes, but stay honest.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn extract_u128(record: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\":");
+    let start = record.find(&tag)? + tag.len();
+    let digits: String = record[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono in
+/// an offline build): days-since-epoch to civil date via the standard
+/// Gregorian conversion.
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock before 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_default();
     match task.as_str() {
-        "ci" => run(CI),
+        "ci" => ci(),
         "verify" => run(VERIFY),
+        "bench-json" => bench_json(),
         _ => {
-            eprintln!("usage: cargo xtask <ci|verify>");
+            eprintln!("usage: cargo xtask <ci|verify|bench-json>");
             eprintln!(
-                "  ci      fmt + clippy + build --release + doc + test + examples + bench --no-run"
+                "  ci          fmt + clippy + build --release + doc + test (3 schedules) + examples + bench --no-run"
             );
-            eprintln!("  verify  the ROADMAP tier-1 gate: build --release && test -q");
+            eprintln!("  verify      the ROADMAP tier-1 gate: build --release && test -q");
+            eprintln!(
+                "  bench-json  run the bench harness and write BENCH_<date>.json (perf trajectory)"
+            );
             exit(2);
         }
     }
