@@ -1,0 +1,173 @@
+//! Integration tests for the sharded multi-process corpus verifier:
+//! real worker processes (`relaxed-shardd`, resolved via Cargo's
+//! `CARGO_BIN_EXE` guarantee so the binary is always built first),
+//! exercising verdict equivalence against the in-process driver, the
+//! crash/corruption fault-tolerance path (via the `RELAXED_SHARDD_FAULT`
+//! hook), and cache-mediated verdict sharing between worker processes.
+
+use relaxed_core::{CorpusError, CorpusReport, Verifier, VerifierBuilder};
+use relaxed_programs::casestudies;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORKER: &str = env!("CARGO_BIN_EXE_relaxed-shardd");
+
+fn temp_cache(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "relaxed-shard-test-{}-{tag}-{}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A sharded session against the freshly built worker binary. Budgets are
+/// builder-pinned, so suite-level `DISCHARGE_*` schedules cannot skew the
+/// worker/coordinator fingerprint agreement.
+fn sharded(shards: usize) -> VerifierBuilder {
+    Verifier::builder()
+        .workers(2)
+        .shards(shards)
+        .shard_worker(WORKER)
+}
+
+/// The shared verdict-for-verdict gate (`CorpusReport::verdicts_match`),
+/// as a panicking assertion for test ergonomics.
+fn assert_verdicts_match(sharded: &CorpusReport, in_process: &CorpusReport) {
+    sharded
+        .verdicts_match(in_process)
+        .expect("sharded report drifted from the in-process baseline");
+}
+
+#[test]
+fn sharded_corpus_matches_in_process_verdicts() {
+    let corpus = casestudies::corpus();
+    let in_process = Verifier::builder()
+        .workers(2)
+        .build()
+        .check_corpus_named(&corpus);
+    // Hold the fault var unset while workers spawn, so a concurrently
+    // running fault test cannot leak its hook into this run.
+    let report = temp_env::with_var("RELAXED_SHARDD_FAULT", None, || {
+        sharded(2).build().check_corpus_named(&corpus)
+    });
+    assert_verdicts_match(&report, &in_process);
+    assert_eq!(
+        report.engine.workers, 2,
+        "corpus parallelism is the shard count"
+    );
+    // Every program reports a measured wall time (entries that verified
+    // real obligations took nonzero solver work; `elapsed_ms` may round
+    // to 0 on a fast machine, so assert presence via the JSON instead).
+    let json = report.to_json();
+    assert_eq!(json.matches("\"elapsed_ms\"").count(), corpus.len() + 1);
+}
+
+#[test]
+fn killed_worker_loses_no_programs() {
+    // Every worker process crashes when its second job arrives (before
+    // responding): each crash requeues the job, the handler spawns a
+    // replacement, and the replacement completes it as its own first job.
+    // The merged report must still cover every program with verdicts
+    // identical to the in-process run.
+    let corpus = casestudies::corpus();
+    let in_process = Verifier::builder()
+        .workers(2)
+        .build()
+        .check_corpus_named(&corpus);
+    temp_env::with_var("RELAXED_SHARDD_FAULT", Some("crash:2"), || {
+        let report = sharded(2).build().check_corpus_named(&corpus);
+        assert_verdicts_match(&report, &in_process);
+    });
+}
+
+#[test]
+fn malformed_frames_become_recorded_errors_not_hangs() {
+    // Every worker corrupts its first response, including the replacements
+    // spawned after each kill — so every job exhausts its retries and must
+    // surface as a per-program shard error (and the corpus still
+    // terminates promptly with full coverage).
+    let corpus = casestudies::corpus();
+    temp_env::with_var("RELAXED_SHARDD_FAULT", Some("garbage:1"), || {
+        let report = sharded(2).build().check_corpus_named(&corpus);
+        assert_eq!(report.len(), corpus.len(), "no program may be lost");
+        for entry in &report.entries {
+            match &entry.outcome {
+                Err(CorpusError::Shard(reason)) => {
+                    assert!(reason.contains("attempts"), "{reason}");
+                }
+                other => panic!("{}: expected a shard error, got {other:?}", entry.name),
+            }
+        }
+        let json = report.to_json();
+        assert_eq!(json.matches("\"status\": \"error\"").count(), corpus.len());
+    });
+}
+
+#[test]
+fn workers_share_verdicts_through_the_cache_file() {
+    let path = temp_cache("sharing");
+    let corpus = casestudies::corpus();
+
+    // Cold sharded run: workers persist incrementally into one store.
+    let cold = sharded(2).cache_file(&path).build();
+    let cold_report = temp_env::with_var("RELAXED_SHARDD_FAULT", None, || {
+        cold.check_corpus_named(&corpus)
+    });
+    assert!(cold_report.verified_count() >= 3);
+    drop(cold);
+    assert!(path.is_file(), "workers must have persisted the store");
+
+    // Warm sharded run: fresh worker processes load the previous run's
+    // verdicts, so the whole corpus discharges with zero solver work —
+    // every hit crossing a process boundary through the store.
+    let warm = sharded(2).cache_file(&path).build();
+    let warm_report = temp_env::with_var("RELAXED_SHARDD_FAULT", None, || {
+        warm.check_corpus_named(&corpus)
+    });
+    assert_eq!(
+        warm_report.engine.cache_misses, 0,
+        "warm run must not re-solve"
+    );
+    assert!(
+        warm_report.engine.disk_hits > 0,
+        "cross-process reuse must be visible as disk hits: {:?}",
+        warm_report.engine
+    );
+    assert_verdicts_match(&warm_report, &cold_report);
+
+    // The coordinator session itself warmed up from the store the workers
+    // wrote: a follow-up in-process check is answered without solving.
+    let (program, spec) = casestudies::swish();
+    let follow_up = warm.check(&program, &spec).unwrap();
+    assert_eq!(follow_up.engine.cache_misses, 0);
+    drop(warm);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Minimal stand-in for the `temp-env` crate (offline build): sets a
+/// process environment variable for the duration of a closure, restoring
+/// the previous value after. Shard fault tests are the only env-mutating
+/// tests in this binary, and each runs the whole closure under the lock.
+mod temp_env {
+    use std::sync::Mutex;
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn with_var<R>(key: &str, value: Option<&str>, body: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let previous = std::env::var_os(key);
+        match value {
+            Some(value) => std::env::set_var(key, value),
+            None => std::env::remove_var(key),
+        }
+        let result = body();
+        match previous {
+            Some(previous) => std::env::set_var(key, previous),
+            None => std::env::remove_var(key),
+        }
+        result
+    }
+}

@@ -189,6 +189,62 @@ pub enum CachePolicy {
     },
 }
 
+/// How [`Verifier::check_corpus`] executes a corpus.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CorpusPolicy {
+    /// Fan programs across scoped threads of this process — the default.
+    #[default]
+    InProcess,
+    /// Fan programs across `shards` worker **processes** (the
+    /// `relaxed-shardd` binary) coordinated by [`crate::shard`]:
+    /// longest-first work-stealing distribution, crash/corruption
+    /// tolerance with bounded retries, and — under
+    /// [`CachePolicy::Persistent`] — verdict sharing between workers
+    /// through the fingerprint-gated on-disk store. Selected by
+    /// [`VerifierBuilder::shards`] or `DISCHARGE_SHARDS=<n>`.
+    Sharded {
+        /// Worker processes to spawn (at least 1).
+        shards: usize,
+    },
+}
+
+/// Why a [`CorpusEntry`] carries no [`AcceptabilityReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorpusError {
+    /// VC generation failed (missing annotations, standalone-`⊢i`
+    /// restrictions, …).
+    Vcgen(VcgenError),
+    /// The sharded execution layer gave up on the program: its job
+    /// exhausted the bounded retries across worker crashes / malformed
+    /// response frames, or no worker binary could be found. Only
+    /// produced under [`CorpusPolicy::Sharded`].
+    Shard(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Vcgen(e) => e.fmt(f),
+            CorpusError::Shard(reason) => write!(f, "sharded verification failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Vcgen(e) => Some(e),
+            CorpusError::Shard(_) => None,
+        }
+    }
+}
+
+impl From<VcgenError> for CorpusError {
+    fn from(e: VcgenError) -> Self {
+        CorpusError::Vcgen(e)
+    }
+}
+
 /// Typed session configuration, layered with **builder > environment >
 /// default** precedence by [`VerifierBuilder`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -205,8 +261,19 @@ pub struct Config {
     pub branch_budget: u64,
     /// Verdict-cache scoping.
     pub cache: CachePolicy,
+    /// Entry cap for the persistent verdict store (`0` = unbounded):
+    /// persisting compacts past the cap by evicting the
+    /// least-recently-hit verdicts (see
+    /// [`DischargeEngine::set_cache_max`]).
+    pub cache_max: usize,
     /// Stage selection for [`Verifier::check`].
     pub stages: StageSet,
+    /// Corpus execution policy for [`Verifier::check_corpus`].
+    pub corpus: CorpusPolicy,
+    /// Explicit path to the `relaxed-shardd` worker binary for
+    /// [`CorpusPolicy::Sharded`]; `None` resolves it next to the current
+    /// executable (see [`crate::shard::locate_worker`]).
+    pub shard_worker: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -217,7 +284,10 @@ impl Default for Config {
             max_conflicts: discharge.max_conflicts,
             branch_budget: discharge.branch_budget,
             cache: CachePolicy::default(),
+            cache_max: 0,
             stages: StageSet::default(),
+            corpus: CorpusPolicy::default(),
+            shard_worker: None,
         }
     }
 }
@@ -248,8 +318,12 @@ impl fmt::Display for EnvWarning {
 impl Config {
     /// The default configuration with the environment opt-in layer
     /// applied: `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`,
-    /// `DISCHARGE_BRANCH_BUDGET`, and `DISCHARGE_CACHE` (a file path
-    /// selecting [`CachePolicy::Persistent`]).
+    /// `DISCHARGE_BRANCH_BUDGET`, `DISCHARGE_CACHE` (a file path
+    /// selecting [`CachePolicy::Persistent`]), `DISCHARGE_CACHE_MAX`
+    /// (persistent-store entry cap, `0` = unbounded), `DISCHARGE_SHARDS`
+    /// (`0` = in-process, `n ≥ 1` = [`CorpusPolicy::Sharded`] across `n`
+    /// worker processes), and `RELAXED_SHARDD` (explicit worker-binary
+    /// path).
     ///
     /// This is the **only** place the verifier reads `DISCHARGE_*`
     /// configuration variables (the orthogonal `DISCHARGE_QUIET=1`
@@ -291,6 +365,15 @@ impl Config {
         if let Some(budget) = parse("DISCHARGE_BRANCH_BUDGET") {
             config.branch_budget = budget;
         }
+        if let Some(cache_max) = parse("DISCHARGE_CACHE_MAX") {
+            config.cache_max = cache_max as usize;
+        }
+        if let Some(shards) = parse("DISCHARGE_SHARDS") {
+            config.corpus = match shards {
+                0 => CorpusPolicy::InProcess,
+                n => CorpusPolicy::Sharded { shards: n as usize },
+            };
+        }
         if let Some(raw) = lookup("DISCHARGE_CACHE") {
             let path = raw.trim();
             if path.is_empty() {
@@ -303,6 +386,18 @@ impl Config {
                 config.cache = CachePolicy::Persistent {
                     path: PathBuf::from(path),
                 };
+            }
+        }
+        if let Some(raw) = lookup("RELAXED_SHARDD") {
+            let path = raw.trim();
+            if path.is_empty() {
+                warnings.push(EnvWarning {
+                    var: "RELAXED_SHARDD",
+                    value: raw,
+                    expected: "a non-empty path to the relaxed-shardd binary",
+                });
+            } else {
+                config.shard_worker = Some(PathBuf::from(path));
             }
         }
         (config, warnings)
@@ -329,7 +424,10 @@ pub struct VerifierBuilder {
     max_conflicts: Option<u64>,
     branch_budget: Option<u64>,
     cache: Option<CachePolicy>,
+    cache_max: Option<usize>,
     stages: Option<StageSet>,
+    corpus: Option<CorpusPolicy>,
+    shard_worker: Option<PathBuf>,
 }
 
 impl VerifierBuilder {
@@ -374,9 +472,38 @@ impl VerifierBuilder {
         self.cache(CachePolicy::Persistent { path: path.into() })
     }
 
+    /// Entry cap for the persistent verdict store (`0` = unbounded;
+    /// least-recently-hit entries are evicted past the cap when the
+    /// session persists).
+    pub fn cache_max(mut self, cache_max: usize) -> Self {
+        self.cache_max = Some(cache_max);
+        self
+    }
+
     /// Stage selection for [`Verifier::check`].
     pub fn stages(mut self, stages: StageSet) -> Self {
         self.stages = Some(stages);
+        self
+    }
+
+    /// Corpus execution policy for [`Verifier::check_corpus`].
+    pub fn corpus(mut self, corpus: CorpusPolicy) -> Self {
+        self.corpus = Some(corpus);
+        self
+    }
+
+    /// Verifies corpora across `shards` worker processes — shorthand for
+    /// `.corpus(CorpusPolicy::Sharded { shards })`. See [`crate::shard`]
+    /// for the coordinator/worker architecture.
+    pub fn shards(self, shards: usize) -> Self {
+        self.corpus(CorpusPolicy::Sharded { shards })
+    }
+
+    /// Explicit path to the `relaxed-shardd` worker binary (otherwise
+    /// resolved from `RELAXED_SHARDD` under the env layer, or located
+    /// next to the current executable).
+    pub fn shard_worker(mut self, path: impl Into<PathBuf>) -> Self {
+        self.shard_worker = Some(path.into());
         self
     }
 
@@ -387,7 +514,10 @@ impl VerifierBuilder {
         self.max_conflicts = Some(config.max_conflicts);
         self.branch_budget = Some(config.branch_budget);
         self.cache = Some(config.cache);
+        self.cache_max = Some(config.cache_max);
         self.stages = Some(config.stages);
+        self.corpus = Some(config.corpus);
+        self.shard_worker = config.shard_worker;
         self
     }
 
@@ -403,9 +533,12 @@ impl VerifierBuilder {
             max_conflicts: self.max_conflicts.unwrap_or(base.max_conflicts),
             branch_budget: self.branch_budget.unwrap_or(base.branch_budget),
             cache: self.cache.unwrap_or(base.cache),
+            cache_max: self.cache_max.unwrap_or(base.cache_max),
             stages: self.stages.unwrap_or(base.stages),
+            corpus: self.corpus.unwrap_or(base.corpus),
+            shard_worker: self.shard_worker.or(base.shard_worker),
         };
-        let engine = match &config.cache {
+        let mut engine = match &config.cache {
             CachePolicy::Persistent { path } => {
                 DischargeEngine::with_cache_file(config.discharge_config(), path.clone())
             }
@@ -413,6 +546,7 @@ impl VerifierBuilder {
                 DischargeEngine::with_config(config.discharge_config())
             }
         };
+        engine.set_cache_max(config.cache_max);
         Verifier {
             engine,
             config,
@@ -531,7 +665,7 @@ impl Verifier {
 
     /// [`check`](Verifier::check) with explicit discharge options (owner
     /// tag / worker override) — the corpus driver's entry point.
-    fn check_tagged(
+    pub(crate) fn check_tagged(
         &self,
         program: &Program,
         spec: &Spec,
@@ -624,6 +758,10 @@ impl Verifier {
         if count == 0 {
             return CorpusReport::default();
         }
+        if let CorpusPolicy::Sharded { shards } = self.config.corpus {
+            return crate::shard::run_corpus_sharded(self, entries, shards);
+        }
+        let started = std::time::Instant::now();
         // Fan programs (not goals) across the worker budget: program-level
         // parallelism scales better than goal-level on corpus workloads,
         // and the leftover budget parallelizes each program's discharge.
@@ -640,9 +778,12 @@ impl Verifier {
                 // cross-program reuse.
                 owner: self.next_owner.fetch_add(1, Ordering::Relaxed),
             };
+            let program_started = std::time::Instant::now();
+            let outcome = self.check_tagged(program, spec, opts);
             CorpusEntry {
                 name: name.to_string(),
-                outcome: self.check_tagged(program, spec, opts),
+                elapsed_ms: elapsed_ms_since(program_started),
+                outcome: outcome.map_err(CorpusError::from),
             }
         };
 
@@ -691,8 +832,16 @@ impl Verifier {
         // Corpus-level parallelism is program fan-out, not per-goal
         // workers.
         report.engine.workers = fanout;
+        report.elapsed_ms = elapsed_ms_since(started);
         report
     }
+}
+
+/// Whole milliseconds since `started`, saturated into `u64` — the
+/// wall-time unit `CorpusReport` carries so sharded-vs-in-process
+/// speedups are measurable from the report JSON alone.
+pub(crate) fn elapsed_ms_since(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
 /// A handle on one stage of a [`Verifier`] session (see
@@ -762,6 +911,11 @@ pub struct CorpusReport {
     pub engine: EngineStats,
     /// Solver work folded over the whole corpus run.
     pub stats: SolverStats,
+    /// Wall time of the whole corpus run, in milliseconds. Under
+    /// [`CorpusPolicy::Sharded`] this is coordinator wall time, so
+    /// comparing it against an in-process run's value measures the
+    /// multi-process speedup from the report alone.
+    pub elapsed_ms: u64,
 }
 
 /// One program's outcome within a [`CorpusReport`].
@@ -769,9 +923,11 @@ pub struct CorpusReport {
 pub struct CorpusEntry {
     /// The program's name (caller-supplied, or `program_<index>`).
     pub name: String,
-    /// The staged report, or the [`VcgenError`] that prevented VC
-    /// generation.
-    pub outcome: Result<AcceptabilityReport, VcgenError>,
+    /// Wall time spent verifying this program, in milliseconds (as
+    /// measured by whichever process ran the check).
+    pub elapsed_ms: u64,
+    /// The staged report, or the [`CorpusError`] that prevented it.
+    pub outcome: Result<AcceptabilityReport, CorpusError>,
 }
 
 impl CorpusEntry {
@@ -809,9 +965,94 @@ impl CorpusReport {
         self.entries.iter().all(CorpusEntry::verified)
     }
 
+    /// Number of programs that verified.
+    pub fn verified_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.verified()).count()
+    }
+
     /// Verdicts reused across programs through the shared cache.
     pub fn cross_program_hits(&self) -> u64 {
         self.engine.cross_hits
+    }
+
+    /// Checks that this report and `other` agree verdict for verdict:
+    /// same programs in the same order, same per-program status, and —
+    /// for programs both reports checked — the same obligations with the
+    /// same verdicts in every stage. Statistics, timings, and cache
+    /// counters are deliberately **not** compared (they legitimately
+    /// differ between schedules and between in-process and sharded
+    /// execution).
+    ///
+    /// This is the one equivalence gate behind the sharded-vs-in-process
+    /// assertions in the `verify_corpus --sharded` example, the shard
+    /// integration tests, and `paper_report` §E10 — one implementation,
+    /// so the gates cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first disagreement.
+    pub fn verdicts_match(&self, other: &CorpusReport) -> Result<(), String> {
+        if self.len() != other.len() {
+            return Err(format!(
+                "program counts differ: {} vs {}",
+                self.len(),
+                other.len()
+            ));
+        }
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            if a.name != b.name {
+                return Err(format!(
+                    "program order differs: {:?} vs {:?}",
+                    a.name, b.name
+                ));
+            }
+            if a.status() != b.status() {
+                return Err(format!(
+                    "{}: status differs: {} vs {}",
+                    a.name,
+                    a.status(),
+                    b.status()
+                ));
+            }
+            let (Ok(ra), Ok(rb)) = (&a.outcome, &b.outcome) else {
+                continue; // both errored (same status): nothing verdict-level to compare
+            };
+            let stage_pairs = [
+                ("⊢o", Some(&ra.original), Some(&rb.original)),
+                ("⊢i", ra.intermediate.as_ref(), rb.intermediate.as_ref()),
+                ("⊢r", Some(&ra.relaxed), Some(&rb.relaxed)),
+            ];
+            for (stage, sa, sb) in stage_pairs {
+                let (sa, sb) = match (sa, sb) {
+                    (Some(sa), Some(sb)) => (sa, sb),
+                    (None, None) => continue,
+                    _ => return Err(format!("{}: {stage} ran in only one report", a.name)),
+                };
+                if sa.len() != sb.len() {
+                    return Err(format!(
+                        "{}: {stage} obligation counts differ: {} vs {}",
+                        a.name,
+                        sa.len(),
+                        sb.len()
+                    ));
+                }
+                for (va, vb) in sa.results.iter().zip(&sb.results) {
+                    if va.vc.name != vb.vc.name {
+                        return Err(format!(
+                            "{}: {stage} obligation order differs: {:?} vs {:?}",
+                            a.name, va.vc.name, vb.vc.name
+                        ));
+                    }
+                    if va.verdict != vb.verdict {
+                        return Err(format!(
+                            "{}: {stage} verdict differs on {}: {:?} vs {:?}",
+                            a.name, va.vc, va.verdict, vb.verdict
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Renders the report as JSON (hand-rolled — offline, no serde) for
@@ -825,6 +1066,8 @@ impl CorpusReport {
             json_field(&mut out, "name", &json_string(&entry.name));
             out.push_str(", ");
             json_field(&mut out, "status", &json_string(entry.status()));
+            out.push_str(", ");
+            json_field(&mut out, "elapsed_ms", &entry.elapsed_ms.to_string());
             match &entry.outcome {
                 Ok(report) => {
                     out.push_str(", ");
@@ -888,7 +1131,7 @@ impl CorpusReport {
             out.push('\n');
         }
         out.push_str("  ],\n  \"aggregate\": {");
-        let verified = self.entries.iter().filter(|e| e.verified()).count();
+        let verified = self.verified_count();
         let errors = self.entries.iter().filter(|e| e.outcome.is_err()).count();
         let ran: Vec<&str> = [
             (self.stages.original, "original"),
@@ -941,6 +1184,8 @@ impl CorpusReport {
         out.push_str(", ");
         json_field(&mut out, "workers", &self.engine.workers.to_string());
         out.push_str(", ");
+        json_field(&mut out, "elapsed_ms", &self.elapsed_ms.to_string());
+        out.push_str(", ");
         json_field(&mut out, "solver_queries", &self.stats.queries.to_string());
         out.push_str(", ");
         json_field(&mut out, "simplex_pivots", &self.stats.pivots.to_string());
@@ -951,7 +1196,7 @@ impl CorpusReport {
 
 impl fmt::Display for CorpusReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let verified = self.entries.iter().filter(|e| e.verified()).count();
+        let verified = self.verified_count();
         writeln!(
             f,
             "{verified}/{} programs verified ({} cache hits, {} cross-program)",
@@ -1081,6 +1326,29 @@ mod tests {
             "identical programs must share verdicts: {report}"
         );
         assert_eq!(report.entries[0].name, "program_0");
+    }
+
+    #[test]
+    fn verdicts_match_accepts_reruns_and_detects_drift() {
+        let (program, spec) = toy();
+        let corpus = vec![(program, spec)];
+        let a = Verifier::builder().workers(1).build().check_corpus(&corpus);
+        let b = Verifier::builder().workers(4).build().check_corpus(&corpus);
+        a.verdicts_match(&b).unwrap();
+        a.verdicts_match(&a).unwrap();
+
+        let empty = Verifier::new().check_corpus(&[]);
+        let err = a.verdicts_match(&empty).unwrap_err();
+        assert!(err.contains("program counts"), "{err}");
+
+        let broken = parse_program("assert false;").unwrap();
+        let broken_spec = Spec::synced(&broken);
+        let c = Verifier::builder()
+            .workers(1)
+            .build()
+            .check_corpus(&[(broken, broken_spec)]);
+        let err = a.verdicts_match(&c).unwrap_err();
+        assert!(err.contains("status differs"), "{err}");
     }
 
     #[test]

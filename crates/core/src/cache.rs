@@ -138,6 +138,12 @@ pub struct LoadedCache {
     pub entries: HashMap<GoalKey, Validity>,
     /// Skipped lines and whole-file conditions, in file order.
     pub warnings: Vec<CacheWarning>,
+    /// Whether a well-formed header matching the requested fingerprint
+    /// was read (`false` for missing/empty files, bad headers, and
+    /// mismatches). Only a compatible store may later be caught up
+    /// incrementally with [`load_tail`]; anything else must re-run the
+    /// full fingerprint-checked [`load`].
+    pub compatible: bool,
 }
 
 /// Loads the verdict cache at `path`, keeping only entries recorded under
@@ -198,6 +204,7 @@ pub fn load(path: &Path, fingerprint: &str) -> LoadedCache {
             }
         }
     }
+    out.compatible = true;
     for (i, line) in lines {
         match parse_entry(line) {
             Ok((key, verdict)) => {
@@ -263,6 +270,117 @@ pub fn persist<'a>(
     result.map(|()| count)
 }
 
+/// Loads only the records starting at byte offset `from` of the cache
+/// file at `path` — the incremental companion of [`load`] for
+/// append-only growth: a reader that already merged the first `from`
+/// bytes (of the **same file generation** — rewrites swap the inode, so
+/// callers must detect them and fall back to a full [`load`]) parses
+/// just the appended tail instead of the whole store.
+///
+/// No header or fingerprint check happens here (the header lives at byte
+/// 0 and was validated by the full load that produced `from`). The first
+/// tail line may be torn — `from` can have been recorded while a
+/// concurrent append was mid-write — and is then skipped with a warning,
+/// like any corrupt line. A missing or shrunken file yields an empty
+/// result; the caller's generation check handles it.
+pub fn load_tail(path: &Path, from: u64) -> LoadedCache {
+    use std::io::{Read, Seek};
+    let mut out = LoadedCache::default();
+    let mut file = match fs::File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return out,
+        Err(e) => {
+            out.warnings.push(CacheWarning {
+                line: 0,
+                message: format!("unreadable ({e}); tail skipped"),
+            });
+            return out;
+        }
+    };
+    let mut bytes = Vec::new();
+    let read = file
+        .seek(io::SeekFrom::Start(from))
+        .and_then(|_| file.read_to_end(&mut bytes));
+    if let Err(e) = read {
+        out.warnings.push(CacheWarning {
+            line: 0,
+            message: format!("unreadable tail at byte {from} ({e}); skipped"),
+        });
+        return out;
+    }
+    // Lossy decode: `from` may split a multi-byte character of a torn
+    // record; the mangled line fails to parse and is skipped like any
+    // other corruption.
+    let text = String::from_utf8_lossy(&bytes);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_entry(line) {
+            Ok((key, verdict)) => {
+                out.entries.insert(key, verdict);
+            }
+            Err(reason) => out.warnings.push(CacheWarning {
+                line: 0,
+                message: format!("skipped tail record after byte {from} ({reason})"),
+            }),
+        }
+    }
+    out
+}
+
+/// Appends `entries` to the cache file at `path`, writing the header for
+/// `fingerprint` first when the file is new or empty. Returns the number
+/// of entries appended.
+///
+/// Appending is the **lost-update-free** flush: unlike [`persist`], which
+/// rewrites the whole file from one process's snapshot (concurrent
+/// rewriters race, last writer wins), an append can never drop another
+/// process's entries — later duplicates of a key win on [`load`], which
+/// is exactly the appender's merge semantics. This is how shard workers
+/// publish verdicts incrementally (see [`crate::shard`]). Two processes
+/// creating the same file simultaneously can both write a header; the
+/// loader treats the second header line as a corrupt record and skips it
+/// with a warning, which is harmless.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn append<'a>(
+    path: &Path,
+    fingerprint: &str,
+    entries: impl IntoIterator<Item = (&'a GoalKey, &'a Validity)>,
+) -> io::Result<u64> {
+    let mut body = String::new();
+    let mut count = 0u64;
+    for (key, verdict) in entries {
+        render_entry(&mut body, key, verdict);
+        body.push('\n');
+        count += 1;
+    }
+    if count == 0 {
+        return Ok(0);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if file.metadata()?.len() == 0 {
+        let mut header = render_header(fingerprint);
+        header.push('\n');
+        header.push_str(&body);
+        body = header;
+    }
+    // One write call for the whole batch: concurrent appenders interleave
+    // at record granularity at worst, and a torn tail is exactly what the
+    // corruption-tolerant loader skips.
+    file.write_all(body.as_bytes())?;
+    file.sync_all()?;
+    Ok(count)
+}
+
 /// Renders a JSON string literal with the escapes RFC 8259 requires —
 /// the one escaper behind the cache records, the `CorpusReport` JSON
 /// rendering, and the bench harness's `BENCHJSON` lines.
@@ -296,15 +414,23 @@ fn render_header(fingerprint: &str) -> String {
 fn render_entry(out: &mut String, key: &GoalKey, verdict: &Validity) {
     out.push_str("{\"goal\":");
     out.push_str(&json_string(key.as_str()));
+    out.push(',');
+    render_verdict(out, verdict);
+    out.push('}');
+}
+
+/// Writes the `"verdict":...` field group of `verdict` — shared between
+/// the cache records above and the shard protocol's result frames
+/// ([`crate::shard`]), so a verdict has exactly one wire rendering.
+pub(crate) fn render_verdict(out: &mut String, verdict: &Validity) {
     match verdict {
-        Validity::Valid => out.push_str(",\"verdict\":\"valid\"}"),
+        Validity::Valid => out.push_str("\"verdict\":\"valid\""),
         Validity::Unknown(reason) => {
-            out.push_str(",\"verdict\":\"unknown\",\"reason\":");
+            out.push_str("\"verdict\":\"unknown\",\"reason\":");
             out.push_str(&json_string(reason));
-            out.push('}');
         }
         Validity::Invalid(model) => {
-            out.push_str(",\"verdict\":\"invalid\",\"model\":{");
+            out.push_str("\"verdict\":\"invalid\",\"model\":{");
             for (i, (name, value)) in model.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -316,7 +442,7 @@ fn render_entry(out: &mut String, key: &GoalKey, verdict: &Validity) {
                 // narrows numbers to doubles.
                 out.push_str(&json_string(&value.to_string()));
             }
-            out.push_str("}}");
+            out.push('}');
         }
     }
 }
@@ -345,6 +471,13 @@ fn parse_entry(line: &str) -> Result<(GoalKey, Validity), String> {
         Some(_) => return Err("non-string `goal`".to_string()),
         None => return Err("missing `goal`".to_string()),
     };
+    Ok((goal, parse_verdict(fields)?))
+}
+
+/// Reads the `"verdict":...` field group written by [`render_verdict`]
+/// back out of a parsed record — the inverse shared with the shard
+/// protocol.
+pub(crate) fn parse_verdict(fields: &[(String, Json)]) -> Result<Validity, String> {
     let verdict = match get(fields, "verdict") {
         Some(Json::Str(s)) => s.as_str(),
         Some(_) => return Err("non-string `verdict`".to_string()),
@@ -373,7 +506,7 @@ fn parse_entry(line: &str) -> Result<(GoalKey, Validity), String> {
                         .parse::<i128>()
                         .map_err(|_| format!("non-integer model value {s:?}"))?,
                     Json::Int(n) => *n,
-                    Json::Obj(_) => return Err("nested object in `model`".to_string()),
+                    _ => return Err("non-scalar value in `model`".to_string()),
                 };
                 values.push((name.clone(), n));
             }
@@ -381,36 +514,45 @@ fn parse_entry(line: &str) -> Result<(GoalKey, Validity), String> {
         }
         other => return Err(format!("unknown verdict {other:?}")),
     };
-    Ok((goal, verdict))
+    Ok(verdict)
 }
 
-fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+pub(crate) fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 // ---- a minimal JSON reader for the writer above ----
 //
-// Deliberately just the subset this module writes — objects, strings,
-// integers — so the cache stays dependency-free. Anything else on a line
-// is a parse error, which the loader treats as corruption (skip + warn).
+// Deliberately just the subset this crate writes — objects, arrays,
+// strings, integers — so the cache (and the shard protocol built on the
+// same conventions) stays dependency-free. Anything else on a line is a
+// parse error, which the loader treats as corruption (skip + warn).
 
 #[derive(Debug)]
-enum Json {
+pub(crate) enum Json {
     Str(String),
     Int(i128),
     Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
 }
 
 impl Json {
-    fn as_object(&self) -> Result<&[(String, Json)], String> {
+    pub(crate) fn as_object(&self) -> Result<&[(String, Json)], String> {
         match self {
             Json::Obj(fields) => Ok(fields),
             _ => Err("record is not an object".to_string()),
         }
     }
+
+    pub(crate) fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("value is not an array".to_string()),
+        }
+    }
 }
 
-fn parse_json(line: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(line: &str) -> Result<Json, String> {
     let chars: Vec<char> = line.chars().collect();
     let mut at = 0usize;
     let value = parse_value(&chars, &mut at)?;
@@ -431,10 +573,33 @@ fn parse_value(chars: &[char], at: &mut usize) -> Result<Json, String> {
     skip_ws(chars, at);
     match chars.get(*at) {
         Some('{') => parse_object(chars, at),
+        Some('[') => parse_array(chars, at),
         Some('"') => Ok(Json::Str(parse_string(chars, at)?)),
         Some(c) if *c == '-' || c.is_ascii_digit() => parse_int(chars, at),
         Some(c) => Err(format!("unexpected {c:?} at column {}", *at + 1)),
         None => Err("unexpected end of line".to_string()),
+    }
+}
+
+fn parse_array(chars: &[char], at: &mut usize) -> Result<Json, String> {
+    *at += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(chars, at);
+    if chars.get(*at) == Some(&']') {
+        *at += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(chars, at)?);
+        skip_ws(chars, at);
+        match chars.get(*at) {
+            Some(',') => *at += 1,
+            Some(']') => {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at column {}", *at + 1)),
+        }
     }
 }
 
@@ -689,7 +854,8 @@ mod tests {
     fn parser_rejects_trailing_content_and_bad_escapes() {
         assert!(parse_json("{\"a\":1} extra").is_err());
         assert!(parse_json("{\"a\":").is_err());
-        assert!(parse_json("[1]").is_err());
+        assert!(parse_json("true").is_err());
+        assert!(parse_json("[1").is_err());
         assert!(parse_json("{\"a\":\"\\q\"}").is_err());
         assert!(parse_json("{\"a\":\"\\u12\"}").is_err());
         // \u escapes round-trip (the writer emits them for control chars).
@@ -700,5 +866,71 @@ mod tests {
             panic!("expected string");
         };
         assert_eq!(s, "A\n");
+    }
+
+    #[test]
+    fn append_creates_with_header_then_extends_without() {
+        let path = temp_file("append-grow");
+        let entries = sample_entries();
+        let (first, rest) = entries.split_at(1);
+        assert_eq!(
+            append(&path, "fp", first.iter().map(|(k, v)| (k, v))).unwrap(),
+            1
+        );
+        assert_eq!(
+            append(&path, "fp", rest.iter().map(|(k, v)| (k, v))).unwrap(),
+            2
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.matches("\"format\"").count(),
+            1,
+            "exactly one header: {text}"
+        );
+        let loaded = load(&path, "fp");
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(loaded.entries.len(), 3);
+        assert_eq!(
+            append(&path, "fp", []).unwrap(),
+            0,
+            "empty batch is a no-op"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_from_two_writers_never_drop_each_other() {
+        // The lost-update property persist() cannot give: writer B never
+        // saw writer A's entry, yet A's entry survives B's flush.
+        let path = temp_file("append-union");
+        let a = (
+            GoalKey::of(&ITerm::var("a").le(ITerm::Const(1))),
+            Validity::Valid,
+        );
+        let b = (
+            GoalKey::of(&ITerm::var("b").le(ITerm::Const(2))),
+            Validity::Valid,
+        );
+        append(&path, "fp", [(&a.0, &a.1)]).unwrap();
+        append(&path, "fp", [(&b.0, &b.1)]).unwrap();
+        let loaded = load(&path, "fp");
+        assert_eq!(loaded.entries.len(), 2);
+        assert!(loaded.entries.contains_key(&a.0));
+        assert!(loaded.entries.contains_key(&b.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parser_reads_arrays() {
+        // Arrays carry the shard protocol's per-stage verdict lists.
+        let Json::Obj(fields) = parse_json("{\"a\":[1,{\"b\":\"c\"},[]]}").unwrap() else {
+            panic!("expected object");
+        };
+        let items = fields[0].1.as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(matches!(items[0], Json::Int(1)));
+        assert!(items[1].as_object().is_ok());
+        assert!(items[2].as_array().unwrap().is_empty());
+        assert!(parse_json("{\"a\":1}").unwrap().as_array().is_err());
     }
 }

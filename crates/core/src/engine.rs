@@ -138,6 +138,11 @@ pub struct EngineStats {
     /// [`persist`](DischargeEngine::persist) (explicit or on drop).
     /// Always `0` on per-call statistics; engine-level only.
     pub persisted: u64,
+    /// Least-recently-hit verdicts dropped by cache compaction when the
+    /// store exceeded its entry cap (see
+    /// [`DischargeEngine::set_cache_max`]); cumulative across persists.
+    /// Always `0` on per-call statistics; engine-level only.
+    pub evicted: u64,
     /// Distinct goals seen: cache entries for engine-level stats, goals
     /// newly added to the cache for report-level stats.
     pub unique_goals: u64,
@@ -161,6 +166,7 @@ impl EngineStats {
         self.disk_hits += other.disk_hits;
         self.loaded += other.loaded;
         self.persisted += other.persisted;
+        self.evicted += other.evicted;
         self.unique_goals += other.unique_goals;
         self.workers = self.workers.max(other.workers);
     }
@@ -194,10 +200,24 @@ pub struct DischargeEngine {
     misses: AtomicU64,
     cross: AtomicU64,
     disk: AtomicU64,
+    /// Entry cap for the persistent store (`0` = unbounded):
+    /// [`persist`](DischargeEngine::persist) compacts past the cap by
+    /// dropping the least-recently-hit verdicts.
+    cache_max: usize,
+    /// Cumulative count of entries dropped by cache compaction.
+    evicted: AtomicU64,
+    /// Logical recency clock: bumped once per discharge call (and cache
+    /// refresh); cache slots record the tick of their last hit, which
+    /// orders compaction.
+    tick: AtomicU64,
     /// Whether the cache holds verdicts not yet written to the on-disk
     /// store (drop-time persistence skips clean caches; explicit
     /// [`persist`](DischargeEngine::persist) always writes).
     dirty: std::sync::atomic::AtomicBool,
+    /// Keys of verdicts solved since the last flush, in insertion order —
+    /// the batch [`append_pending`](DischargeEngine::append_pending)
+    /// appends to the store. Only populated for persistent engines.
+    pending: Mutex<Vec<GoalKey>>,
     store: Option<DiskStore>,
 }
 
@@ -208,18 +228,66 @@ struct DiskStore {
     path: PathBuf,
     fingerprint: String,
     warnings: Vec<CacheWarning>,
-    loaded: u64,
+    loaded: AtomicU64,
     persisted: AtomicU64,
+    /// The file state this engine has fully merged, recorded from a
+    /// `stat` taken **before** the corresponding read — so records a
+    /// sibling appends while we read land beyond the recorded length and
+    /// are picked up by the next refresh, never silently skipped.
+    /// [`DischargeEngine::refresh_from_disk`] uses it to skip unchanged
+    /// files (one `stat`) and to parse only the appended tail of grown
+    /// ones.
+    last_seen: Mutex<Option<FileStamp>>,
+    /// Whether the last full load of the current file generation found a
+    /// header matching this session's fingerprint — the precondition for
+    /// trusting an appended tail without re-checking the header.
+    tail_ok: std::sync::atomic::AtomicBool,
+}
+
+/// One generation-and-length observation of the store file: `id` is the
+/// inode on Unix (`None` where unavailable), so an atomic-rename rewrite
+/// — which swaps the inode — is distinguished from append-only growth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FileStamp {
+    id: Option<u64>,
+    len: u64,
+}
+
+impl FileStamp {
+    fn of(path: &std::path::Path) -> Option<FileStamp> {
+        let meta = std::fs::metadata(path).ok()?;
+        #[cfg(unix)]
+        let id = {
+            use std::os::unix::fs::MetadataExt;
+            Some(meta.ino())
+        };
+        #[cfg(not(unix))]
+        let id = None;
+        Some(FileStamp {
+            id,
+            len: meta.len(),
+        })
+    }
+
+    /// Whether a store observed at `now` can be caught up from `self` by
+    /// parsing only the bytes past `self.len`: same (known) file
+    /// generation, strictly grown. Anything else — rewrite, shrink,
+    /// unknown identity — requires a full fingerprint-checked reload.
+    fn tail_of(self, now: FileStamp) -> bool {
+        self.id.is_some() && self.id == now.id && now.len > self.len && self.len > 0
+    }
 }
 
 /// A cached verdict plus the owner tag of the discharge call that first
-/// solved it (see [`DischargeOptions::owner`]) and whether it was loaded
-/// from the on-disk store.
+/// solved it (see [`DischargeOptions::owner`]), whether it was loaded
+/// from the on-disk store, and the recency tick of its last hit (for
+/// compaction).
 #[derive(Clone, Debug)]
 struct CachedVerdict {
     verdict: Validity,
     owner: u64,
     from_disk: bool,
+    last_hit: u64,
 }
 
 // The engine is shared by reference across its own worker threads.
@@ -243,7 +311,11 @@ impl DischargeEngine {
             misses: AtomicU64::new(0),
             cross: AtomicU64::new(0),
             disk: AtomicU64::new(0),
+            cache_max: 0,
+            evicted: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
             dirty: std::sync::atomic::AtomicBool::new(false),
+            pending: Mutex::new(Vec::new()),
             store: None,
         }
     }
@@ -270,6 +342,9 @@ impl DischargeEngine {
     pub fn with_cache_file(config: DischargeConfig, path: impl Into<PathBuf>) -> Self {
         let path = path.into();
         let fingerprint = cache::fingerprint(&config);
+        // Stat before reading: records appended concurrently with the
+        // load land past this stamp and are merged by the next refresh.
+        let stamp = FileStamp::of(&path);
         let loaded = cache::load(&path, &fingerprint);
         let entries: HashMap<GoalKey, CachedVerdict> = loaded
             .entries
@@ -285,6 +360,10 @@ impl DischargeEngine {
                         // came from an earlier session.
                         owner: 0,
                         from_disk: true,
+                        // Loaded-but-never-hit entries are the oldest tier
+                        // of this session's recency order, so compaction
+                        // sheds them first.
+                        last_hit: 0,
                     },
                 )
             })
@@ -294,11 +373,93 @@ impl DischargeEngine {
             path,
             fingerprint,
             warnings: loaded.warnings,
-            loaded: entries.len() as u64,
+            loaded: AtomicU64::new(entries.len() as u64),
             persisted: AtomicU64::new(0),
+            last_seen: Mutex::new(stamp),
+            tail_ok: std::sync::atomic::AtomicBool::new(loaded.compatible),
         });
         engine.cache = Mutex::new(entries);
+        engine.tick = AtomicU64::new(1);
         engine
+    }
+
+    /// Caps the persistent store at `cache_max` entries (`0` = unbounded,
+    /// the default). When the verdict cache exceeds the cap,
+    /// [`persist`](DischargeEngine::persist) compacts it by dropping the
+    /// least-recently-hit entries (in memory and on disk) and counts them
+    /// in [`EngineStats::evicted`]. Configured through
+    /// `Verifier::builder().cache_max(..)` or `DISCHARGE_CACHE_MAX`.
+    pub fn set_cache_max(&mut self, cache_max: usize) {
+        self.cache_max = cache_max;
+    }
+
+    /// Merges verdicts other processes have persisted to this engine's
+    /// on-disk store since it was loaded: entries in the file (under the
+    /// session fingerprint) that the in-memory cache does not yet hold
+    /// are inserted as disk-backed verdicts. Returns the number of newly
+    /// merged entries; `0` for in-memory engines.
+    ///
+    /// This is the read half of the sharded corpus driver's
+    /// cross-process transport ([`crate::shard`]): workers refresh before
+    /// each job, picking up their siblings' verdicts as
+    /// [`EngineStats::disk_hits`] (the write half is the append-only
+    /// [`append_pending`](DischargeEngine::append_pending)). Refreshes
+    /// are incremental: the file is `stat`ed first; an unchanged file
+    /// costs nothing more, a grown file of the same generation (same
+    /// inode, header already validated) has only its appended tail
+    /// parsed, and anything else — a compacting rewrite swaps the inode —
+    /// triggers a full fingerprint-checked reload. Stamps are taken
+    /// *before* reading, so records appended concurrently with a reload
+    /// are merged by the next refresh, never silently skipped. File
+    /// warnings are ignored here — a torn concurrent append simply
+    /// yields fewer mergeable entries; the next refresh catches up.
+    pub fn refresh_from_disk(&self) -> u64 {
+        let Some(store) = &self.store else {
+            return 0;
+        };
+        let now = FileStamp::of(&store.path);
+        let seen = *store.last_seen.lock().expect("store stamp lock");
+        let loaded = match (now, seen) {
+            (None, None) => return 0, // still no file
+            (Some(now), Some(seen)) if now == seen => return 0,
+            (Some(now), Some(seen))
+                if seen.tail_of(now)
+                    && store.tail_ok.load(std::sync::atomic::Ordering::Relaxed) =>
+            {
+                cache::load_tail(&store.path, seen.len)
+            }
+            _ => {
+                let loaded = cache::load(&store.path, &store.fingerprint);
+                store
+                    .tail_ok
+                    .store(loaded.compatible, std::sync::atomic::Ordering::Relaxed);
+                loaded
+            }
+        };
+        *store.last_seen.lock().expect("store stamp lock") = now;
+        if loaded.entries.is_empty() {
+            return 0;
+        }
+        let mut merged = 0u64;
+        let mut cache = self.cache.lock().expect("cache lock");
+        for (key, verdict) in loaded.entries {
+            cache.entry(key).or_insert_with(|| {
+                merged += 1;
+                CachedVerdict {
+                    verdict,
+                    owner: 0,
+                    from_disk: true,
+                    // Merged-but-never-hit entries join the oldest
+                    // eviction tier, exactly like build-time loads: a
+                    // capped persist must shed them before anything this
+                    // session actually used.
+                    last_hit: 0,
+                }
+            });
+        }
+        drop(cache);
+        store.loaded.fetch_add(merged, Ordering::Relaxed);
+        merged
     }
 
     /// The engine's configuration.
@@ -319,8 +480,12 @@ impl DischargeEngine {
 
     /// Writes the current verdict cache back to the on-disk store:
     /// header plus one record per entry, compacted, via an atomic
-    /// temp-file rename. Returns the number of entries written — `Ok(0)`
-    /// for engines without a store.
+    /// temp-file rename. Entries are written oldest-hit first; when a
+    /// [`set_cache_max`](DischargeEngine::set_cache_max) cap is set and
+    /// exceeded, the least-recently-hit surplus is dropped (from the
+    /// store *and* the in-memory cache) and counted in
+    /// [`EngineStats::evicted`]. Returns the number of entries written —
+    /// `Ok(0)` for engines without a store.
     ///
     /// Dropping a persistent engine also persists, best-effort, but only
     /// when the cache gained verdicts since the last load/persist (a
@@ -331,22 +496,45 @@ impl DischargeEngine {
         let Some(store) = &self.store else {
             return Ok(0);
         };
-        // Snapshot under the lock, write without it: the rendering, the
-        // file write, and the fsync must not stall concurrent discharge
-        // threads waiting on cache lookups. The dirty flag is cleared
-        // *inside* the lock, before the snapshot — a verdict inserted
-        // concurrently with the file I/O re-dirties the cache and is
-        // picked up by the next (or drop-time) persist instead of being
-        // silently marked clean.
+        // Snapshot (and compact) under the lock, write without it: the
+        // rendering, the file write, and the fsync must not stall
+        // concurrent discharge threads waiting on cache lookups. The
+        // dirty flag is cleared *inside* the lock, before the snapshot —
+        // a verdict inserted concurrently with the file I/O re-dirties
+        // the cache and is picked up by the next (or drop-time) persist
+        // instead of being silently marked clean.
         let snapshot: Vec<(GoalKey, Validity)> = {
-            let cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock().expect("cache lock");
             self.dirty
                 .store(false, std::sync::atomic::Ordering::Relaxed);
-            cache
+            let mut entries: Vec<(GoalKey, u64)> = cache
                 .iter()
-                .map(|(key, slot)| (key.clone(), slot.verdict.clone()))
+                .map(|(key, slot)| (key.clone(), slot.last_hit))
+                .collect();
+            // Oldest hit first (key-ordered within a tick, so the file is
+            // deterministic for a given hit history).
+            entries.sort_unstable_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+            if self.cache_max > 0 && entries.len() > self.cache_max {
+                let surplus = entries.len() - self.cache_max;
+                for (key, _) in entries.drain(..surplus) {
+                    cache.remove(&key);
+                }
+                self.evicted.fetch_add(surplus as u64, Ordering::Relaxed);
+            }
+            entries
+                .into_iter()
+                .map(|(key, _)| {
+                    let verdict = cache.get(&key).expect("surviving entry").verdict.clone();
+                    (key, verdict)
+                })
                 .collect()
         };
+        // The rewrite covers every pending verdict, so the append batch
+        // is settled too (cleared before the write under the same
+        // reasoning as the dirty flag: a failure re-instates retry via
+        // `dirty`, and duplicated appends are harmless later-wins
+        // records).
+        self.pending.lock().expect("pending lock").clear();
         let written = cache::persist(
             &store.path,
             &store.fingerprint,
@@ -357,8 +545,76 @@ impl DischargeEngine {
             // a later persist retries.
             self.dirty.store(true, std::sync::atomic::Ordering::Relaxed);
         })?;
+        // The rewrite replaced the file generation; a sibling may already
+        // have appended to either generation. Clearing the stamp makes
+        // the next refresh a full (cheap-to-reason-about) reload.
+        *store.last_seen.lock().expect("store stamp lock") = None;
         store.persisted.store(written, Ordering::Relaxed);
         Ok(written)
+    }
+
+    /// Appends the verdicts solved since the last flush to the on-disk
+    /// store, without rewriting it — the write half of the sharded corpus
+    /// driver's cross-process transport. Unlike
+    /// [`persist`](DischargeEngine::persist) (a whole-file rewrite whose
+    /// concurrent last-writer-wins race can drop entries a sibling
+    /// process just published), an append can never lose another
+    /// writer's records: duplicate keys are resolved later-wins at load
+    /// time. Returns the number of entries appended — `Ok(0)` for
+    /// engines without a store or with nothing new.
+    ///
+    /// Compaction ([`set_cache_max`](DischargeEngine::set_cache_max))
+    /// remains a [`persist`](DischargeEngine::persist) concern: appenders
+    /// only grow the file, and a later compacting session bounds it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error; the batch is retained
+    /// for the next flush attempt.
+    pub fn append_pending(&self) -> std::io::Result<u64> {
+        let Some(store) = &self.store else {
+            return Ok(0);
+        };
+        let batch: Vec<GoalKey> = std::mem::take(&mut *self.pending.lock().expect("pending lock"));
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let entries: Vec<(GoalKey, Validity)> = {
+            let cache = self.cache.lock().expect("cache lock");
+            batch
+                .iter()
+                .filter_map(|key| {
+                    cache
+                        .get(key)
+                        .map(|slot| (key.clone(), slot.verdict.clone()))
+                })
+                .collect()
+        };
+        let appended = cache::append(
+            &store.path,
+            &store.fingerprint,
+            entries.iter().map(|(key, verdict)| (key, verdict)),
+        )
+        .inspect_err(|_| {
+            // Nothing reached disk; put the batch back for a retry (the
+            // dirty flag already guarantees a drop-time rewrite as the
+            // last resort).
+            let mut pending = self.pending.lock().expect("pending lock");
+            let mut retained = batch.clone();
+            retained.extend(pending.drain(..));
+            *pending = retained;
+        })?;
+        // Deliberately no stamp update: the next refresh tail-parses from
+        // the last *read* position — re-scanning our own appended records
+        // is cheap (merge no-ops), whereas stamping here could mask a
+        // sibling's append that landed between our write and the stat.
+        // Everything the cache gained since the last flush is now on
+        // disk; a clean engine skips the drop-time rewrite.
+        if self.pending.lock().expect("pending lock").is_empty() {
+            self.dirty
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(appended)
     }
 
     /// Cumulative statistics across every discharge call so far.
@@ -368,11 +624,15 @@ impl DischargeEngine {
             cache_misses: self.misses.load(Ordering::Relaxed),
             cross_hits: self.cross.load(Ordering::Relaxed),
             disk_hits: self.disk.load(Ordering::Relaxed),
-            loaded: self.store.as_ref().map_or(0, |s| s.loaded),
+            loaded: self
+                .store
+                .as_ref()
+                .map_or(0, |s| s.loaded.load(Ordering::Relaxed)),
             persisted: self
                 .store
                 .as_ref()
                 .map_or(0, |s| s.persisted.load(Ordering::Relaxed)),
+            evicted: self.evicted.load(Ordering::Relaxed),
             unique_goals: self.cache.lock().expect("cache lock").len() as u64,
             workers: self.config.effective_parallelism(),
         }
@@ -418,10 +678,12 @@ impl DischargeEngine {
         let mut cross_owner: Vec<bool> = vec![false; unique_goals.len()];
         let mut from_disk: Vec<bool> = vec![false; unique_goals.len()];
         let mut work: Vec<usize> = Vec::new();
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         {
-            let cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock().expect("cache lock");
             for (gi, key) in keys.iter().enumerate() {
-                if let Some(slot) = cache.get(key) {
+                if let Some(slot) = cache.get_mut(key) {
+                    slot.last_hit = now;
                     verdicts[gi] = Some(slot.verdict.clone());
                     from_cache[gi] = true;
                     cross_owner[gi] = slot.owner != opts.owner;
@@ -480,10 +742,20 @@ impl DischargeEngine {
                         verdict: verdict.clone(),
                         owner: opts.owner,
                         from_disk: false,
+                        last_hit: now,
                     },
                 );
             }
             if !solved.is_empty() {
+                // Pending before dirty: a concurrent `append_pending`
+                // clears `dirty` only when it observes an empty batch,
+                // so the batch must be visible first.
+                if self.store.is_some() {
+                    self.pending
+                        .lock()
+                        .expect("pending lock")
+                        .extend(solved.iter().map(|(gi, _, _)| keys[*gi].clone()));
+                }
                 self.dirty.store(true, std::sync::atomic::Ordering::Relaxed);
             }
         }
@@ -540,6 +812,7 @@ impl DischargeEngine {
             disk_hits: call_disk,
             loaded: 0,
             persisted: 0,
+            evicted: 0,
             unique_goals: call_misses,
             workers,
         };
@@ -674,6 +947,181 @@ mod tests {
         assert!(report.is_empty());
         assert!(report.verified());
         assert_eq!(report.engine.unique_goals, 0);
+    }
+
+    #[test]
+    fn cache_max_evicts_least_recently_hit_on_persist() {
+        let path =
+            std::env::temp_dir().join(format!("relaxed-engine-evict-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut engine =
+            DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        engine.set_cache_max(1);
+        engine.discharge(vec![unary_vc("a", "x <= x"), unary_vc("b", "x <= x + 1")]);
+        // Re-hit the first goal: it becomes the most recently hit.
+        engine.discharge(vec![unary_vc("a", "x <= x")]);
+        let written = engine.persist().unwrap();
+        assert_eq!(written, 1, "cap must bound the store");
+        let stats = engine.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.unique_goals, 1, "eviction also compacts memory");
+        drop(engine);
+        // The survivor is the recently-hit goal: a fresh session answers
+        // it from disk and must re-solve the evicted one.
+        let warm = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        assert_eq!(warm.stats().loaded, 1);
+        let report = warm.discharge(vec![unary_vc("a", "x <= x"), unary_vc("b", "x <= x + 1")]);
+        assert_eq!(report.engine.disk_hits, 1);
+        assert_eq!(report.engine.cache_misses, 1);
+        drop(warm);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unbounded_engine_never_evicts() {
+        let path = std::env::temp_dir().join(format!(
+            "relaxed-engine-noevict-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let engine = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        engine.discharge(vec![unary_vc("a", "x <= x"), unary_vc("b", "x <= x + 1")]);
+        assert_eq!(engine.persist().unwrap(), 2);
+        assert_eq!(engine.stats().evicted, 0);
+        drop(engine);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refresh_from_disk_merges_concurrent_writers() {
+        let path = std::env::temp_dir().join(format!(
+            "relaxed-engine-refresh-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Session A starts against an empty store.
+        let a = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        assert_eq!(a.refresh_from_disk(), 0, "nothing to merge yet");
+        // Session B (a sibling process in shard terms) persists a verdict.
+        let b = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        b.discharge(vec![unary_vc("g", "y + 1 >= y")]);
+        b.persist().unwrap();
+        // A merges it and answers the goal with zero solver work, as a
+        // disk hit.
+        assert_eq!(a.refresh_from_disk(), 1);
+        assert_eq!(a.refresh_from_disk(), 0, "idempotent once merged");
+        let report = a.discharge(vec![unary_vc("g", "y + 1 >= y")]);
+        assert_eq!(report.engine.cache_misses, 0);
+        assert_eq!(report.engine.disk_hits, 1);
+        assert_eq!(a.stats().loaded, 1);
+        assert_eq!(
+            DischargeEngine::new().refresh_from_disk(),
+            0,
+            "in-memory engines have nothing to refresh"
+        );
+        drop(a);
+        drop(b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_pending_publishes_increments_without_rewrites() {
+        let path = std::env::temp_dir().join(format!(
+            "relaxed-engine-append-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Two engines on one store, as two shard workers would be. Each
+        // appends only its own fresh verdicts; neither flush can drop the
+        // other's, even though neither ever reloaded the file.
+        let a = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        let b = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        a.discharge(vec![unary_vc("a", "x <= x")]);
+        assert_eq!(a.append_pending().unwrap(), 1);
+        assert_eq!(a.append_pending().unwrap(), 0, "batch drains");
+        b.discharge(vec![unary_vc("b", "y <= y + 1")]);
+        assert_eq!(b.append_pending().unwrap(), 1);
+        drop(a);
+        drop(b);
+        let merged = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        assert_eq!(merged.stats().loaded, 2, "union of both writers");
+        let report = merged.discharge(vec![unary_vc("a", "x <= x"), unary_vc("b", "y <= y + 1")]);
+        assert_eq!(report.engine.cache_misses, 0);
+        assert_eq!(report.engine.disk_hits, 2);
+        assert_eq!(
+            DischargeEngine::new().append_pending().unwrap(),
+            0,
+            "in-memory engines have nothing to append"
+        );
+        drop(merged);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clean_appended_engine_skips_drop_rewrite() {
+        let path = std::env::temp_dir().join(format!(
+            "relaxed-engine-append-clean-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let engine = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        engine.discharge(vec![unary_vc("a", "x <= x")]);
+        engine.append_pending().unwrap();
+        let flushed_at = std::fs::metadata(&path).unwrap().modified().unwrap();
+        let flushed_len = std::fs::metadata(&path).unwrap().len();
+        drop(engine); // everything already on disk: no drop-time rewrite
+        let meta = std::fs::metadata(&path).unwrap();
+        assert_eq!(meta.len(), flushed_len);
+        assert_eq!(meta.modified().unwrap(), flushed_at);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capped_persist_sheds_merged_but_unused_entries_first() {
+        let path = std::env::temp_dir().join(format!(
+            "relaxed-engine-merge-tier-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut a = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        a.set_cache_max(1);
+        // A solves (and therefore "hit") its own goal…
+        a.discharge(vec![unary_vc("mine", "x <= x")]);
+        // …then merges a sibling's never-used verdict from the store.
+        let b = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        b.discharge(vec![unary_vc("theirs", "y >= y - 1")]);
+        b.append_pending().unwrap();
+        assert_eq!(a.refresh_from_disk(), 1);
+        // Compaction must keep the goal this session used, not the merged
+        // bystander.
+        assert_eq!(a.persist().unwrap(), 1);
+        drop(a);
+        drop(b);
+        let warm = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        let report = warm.discharge(vec![unary_vc("mine", "x <= x")]);
+        assert_eq!(report.engine.disk_hits, 1, "the used goal survived");
+        drop(warm);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refresh_skips_unchanged_files() {
+        let path = std::env::temp_dir().join(format!(
+            "relaxed-engine-refresh-guard-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let a = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        // Missing file: polling costs a stat, merges nothing.
+        assert_eq!(a.refresh_from_disk(), 0);
+        let b = DischargeEngine::with_cache_file(DischargeConfig::sequential(), path.clone());
+        b.discharge(vec![unary_vc("g", "z >= z")]);
+        b.append_pending().unwrap();
+        assert_eq!(a.refresh_from_disk(), 1, "file changed: reload and merge");
+        assert_eq!(a.refresh_from_disk(), 0, "file unchanged: stat-only skip");
+        drop(a);
+        drop(b);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -39,6 +39,9 @@
 //!   a rule-by-rule checker (the analogue of the paper's Coq artifact);
 //! * [`cache`] — the persistent on-disk verdict store (structural goal
 //!   keys, config fingerprinting, corruption-tolerant JSON-lines log);
+//! * [`shard`] — sharded multi-process corpus verification: the
+//!   coordinator/worker protocol behind [`CorpusPolicy::Sharded`], with
+//!   verdict sharing between worker processes through the on-disk store;
 //! * [`encode`] — lowering of assertion-logic formulas to the
 //!   `relaxed-smt` solver;
 //! * [`analysis`] — array detection and relaxation-dependence (taint)
@@ -82,12 +85,13 @@ pub mod encode;
 pub mod engine;
 pub mod noninterference;
 pub mod rules;
+pub mod shard;
 pub mod vcgen;
 pub mod verify;
 
 pub use api::{
-    CachePolicy, Config, CorpusEntry, CorpusReport, EnvWarning, Stage, StageRunner, StageSet,
-    Verifier, VerifierBuilder,
+    CachePolicy, Config, CorpusEntry, CorpusError, CorpusPolicy, CorpusReport, EnvWarning, Stage,
+    StageRunner, StageSet, Verifier, VerifierBuilder,
 };
 pub use cache::{CacheWarning, GoalKey};
 pub use engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};

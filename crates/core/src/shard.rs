@@ -1,0 +1,1257 @@
+//! Sharded multi-process corpus verification.
+//!
+//! The paper's acceptability proofs decompose into independent per-program
+//! obligations (one staged `⊢o`/`⊢i`/`⊢r` check each), so a corpus is
+//! embarrassingly parallel beyond one process. This module is the
+//! process-level execution layer behind
+//! [`CorpusPolicy::Sharded`](crate::api::CorpusPolicy::Sharded): a
+//! **coordinator** (the `ShardPool` driving this module's
+//! `run_corpus_sharded`) that distributes programs across N
+//! **worker processes** (the `relaxed-shardd` binary, whose entire logic
+//! is [`worker_main`] in this module) and merges their results into the
+//! same deterministic [`CorpusReport`] an in-process
+//! [`Verifier::check_corpus`] run produces.
+//!
+//! # Protocol
+//!
+//! Frames are newline-delimited JSON objects — the same hand-rolled,
+//! dependency-free conventions as the [`crate::cache`] store (whose
+//! reader this module reuses). One frame per line; JSON string escaping
+//! guarantees a frame never spans lines.
+//!
+//! ```text
+//! coordinator → worker        worker → coordinator
+//! ---------------------       ---------------------
+//! {"type":"config",...}       {"type":"ready","proto":1}
+//! {"type":"job","id":0,...}   {"type":"result","id":0,...}
+//! {"type":"job","id":3,...}   {"type":"result","id":3,...}
+//! <EOF>                       (final incremental persist, exit 0)
+//! ```
+//!
+//! The `config` frame carries the session's typed configuration (solver
+//! budgets, stage selection, per-worker thread budget, cache path and
+//! cap); each `job` frame carries one serialized program + spec (the
+//! pretty-printed source, which round-trips through the parser); each
+//! `result` frame carries the per-stage verdict lists, per-job engine and
+//! solver statistics, and wall time. The coordinator re-generates the VCs
+//! locally (generation is deterministic and cheap — solving is the
+//! expensive part) and zips them with the returned verdicts, so the
+//! merged report is structurally identical to an in-process run's.
+//!
+//! # Scheduling and fault tolerance
+//!
+//! Jobs are distributed by **work-stealing**: a shared queue ordered
+//! longest-first (by VC count) that idle workers pull from, so one slow
+//! program cannot serialize the tail of the corpus. A worker crash, a
+//! malformed response frame, or a response timeout kills that worker and
+//! requeues the job onto a freshly spawned replacement worker (a new
+//! process, so accumulated worker state can never fail the same job
+//! twice); after [`MAX_ATTEMPTS`] failed attempts the job is recorded as
+//! a per-program [`CorpusError::Shard`] — never a lost program, never a
+//! hung coordinator.
+//!
+//! # Cache-mediated verdict sharing
+//!
+//! Under [`CachePolicy::Persistent`]
+//! every worker opens the same fingerprint-gated verdict store: it
+//! refreshes from disk before each job (picking up verdicts sibling
+//! workers published, counted as [`EngineStats::disk_hits`]; a cheap
+//! `stat` guard skips unchanged files) and **appends** its fresh verdicts
+//! after each job
+//! ([`DischargeEngine::append_pending`](crate::engine::DischargeEngine::append_pending))
+//! — appends never rewrite the file, so one worker's flush can never drop
+//! a sibling's concurrently published entries. The coordinator refreshes
+//! its own session cache after the run, so subsequent in-process checks
+//! start warm.
+//!
+//! [`Verifier::check_corpus`]: crate::api::Verifier::check_corpus
+//! [`CorpusReport`]: crate::api::CorpusReport
+//! [`CorpusError::Shard`]: crate::api::CorpusError::Shard
+//! [`EngineStats::disk_hits`]: crate::engine::EngineStats::disk_hits
+
+use crate::api::{
+    elapsed_ms_since, CachePolicy, Config, CorpusEntry, CorpusError, CorpusReport, Stage, StageSet,
+    Verifier,
+};
+use crate::cache::{get, json_string, parse_json, parse_verdict, render_verdict, Json};
+use crate::engine::EngineStats;
+use crate::vcgen::Vc;
+use crate::verify::{stage_vcs, AcceptabilityReport, Report, Spec, VcResult};
+use relaxed_lang::{parse_formula, parse_program, parse_rel_formula, Program};
+use relaxed_smt::sat::SatStats;
+use relaxed_smt::{SolverStats, Validity};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Version of the coordinator/worker wire protocol. The worker echoes it
+/// in its `ready` frame; a mismatch fails the handshake (and the job is
+/// retried elsewhere, ultimately surfacing as a per-program error rather
+/// than silently mixing protocol revisions).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// File name of the worker binary (`relaxed-shardd`, plus the platform
+/// executable suffix), used by [`locate_worker`].
+pub const WORKER_BINARY: &str = "relaxed-shardd";
+
+/// Attempts a job may consume before it is recorded as a per-program
+/// error: the first run plus two retries on other workers.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// How long the coordinator waits for a worker's `ready` handshake.
+const READY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long the coordinator waits for one job's result frame before
+/// declaring the worker hung, killing it, and requeueing the job.
+const JOB_TIMEOUT: Duration = Duration::from_secs(600);
+
+// ---------------------------------------------------------------------
+// Worker-binary discovery
+// ---------------------------------------------------------------------
+
+/// Locates the `relaxed-shardd` worker binary next to the current
+/// executable: every ancestor directory of `std::env::current_exe()` is
+/// probed for [`WORKER_BINARY`], which finds Cargo's
+/// `target/<profile>/relaxed-shardd` from test binaries (`…/deps/…`),
+/// examples (`…/examples/…`), and sibling binaries alike. Explicit
+/// configuration (`Verifier::builder().shard_worker(..)` or the
+/// `RELAXED_SHARDD` environment knob under the env layer) takes
+/// precedence over discovery and is handled by the caller.
+pub fn locate_worker() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("{WORKER_BINARY}{}", std::env::consts::EXE_SUFFIX);
+    exe.ancestors().skip(1).find_map(|dir| {
+        let candidate = dir.join(&name);
+        candidate.is_file().then_some(candidate)
+    })
+}
+
+fn resolve_worker(config: &Config) -> Result<PathBuf, String> {
+    if let Some(path) = &config.shard_worker {
+        return Ok(path.clone());
+    }
+    locate_worker().ok_or_else(|| {
+        format!(
+            "{WORKER_BINARY} worker binary not found near the current executable; \
+             build it (`cargo build -p relaxed-bench`), set RELAXED_SHARDD, or use \
+             `Verifier::builder().shard_worker(..)`"
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Frame rendering (shared by both sides)
+// ---------------------------------------------------------------------
+
+fn render_stages(stages: StageSet) -> String {
+    let mut names = Vec::new();
+    for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
+        if stages.contains(stage) {
+            names.push(stage_name(stage));
+        }
+    }
+    names.join(",")
+}
+
+fn parse_stages(text: &str) -> Result<StageSet, String> {
+    let mut stages = StageSet::none();
+    for name in text.split(',').filter(|s| !s.is_empty()) {
+        stages = stages.with(stage_by_name(name)?);
+    }
+    Ok(stages)
+}
+
+fn stage_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Original => "original",
+        Stage::Intermediate => "intermediate",
+        Stage::Relaxed => "relaxed",
+    }
+}
+
+fn stage_by_name(name: &str) -> Result<Stage, String> {
+    match name {
+        "original" => Ok(Stage::Original),
+        "intermediate" => Ok(Stage::Intermediate),
+        "relaxed" => Ok(Stage::Relaxed),
+        other => Err(format!("unknown stage {other:?}")),
+    }
+}
+
+fn render_config_frame(config: &Config, per_worker: usize) -> String {
+    let cache = match &config.cache {
+        CachePolicy::Persistent { path } => path.display().to_string(),
+        CachePolicy::Shared | CachePolicy::PerProgram => String::new(),
+    };
+    let per_program = u8::from(matches!(config.cache, CachePolicy::PerProgram));
+    format!(
+        "{{\"type\":\"config\",\"proto\":{PROTOCOL_VERSION},\"max_conflicts\":{},\
+         \"branch_budget\":{},\"workers\":{per_worker},\"stages\":{},\"cache\":{},\
+         \"cache_max\":{},\"per_program\":{per_program}}}",
+        config.max_conflicts,
+        config.branch_budget,
+        json_string(&render_stages(config.stages)),
+        json_string(&cache),
+        config.cache_max,
+    )
+}
+
+fn render_job_frame(id: usize, name: &str, program: &Program, spec: &Spec) -> String {
+    format!(
+        "{{\"type\":\"job\",\"id\":{id},\"name\":{},\"program\":{},\"pre\":{},\
+         \"post\":{},\"rel_pre\":{},\"rel_post\":{}}}",
+        json_string(name),
+        json_string(&program.to_string()),
+        json_string(&spec.pre.to_string()),
+        json_string(&spec.post.to_string()),
+        json_string(&spec.rel_pre.to_string()),
+        json_string(&spec.rel_post.to_string()),
+    )
+}
+
+fn render_solver_stats(out: &mut String, stats: &SolverStats) {
+    out.push_str(&format!(
+        "{{\"queries\":{},\"pivots\":{},\"branch_nodes\":{},\"atoms\":{},\"max_atoms\":{},\
+         \"decisions\":{},\"conflicts\":{},\"propagations\":{},\"restarts\":{},\
+         \"theory_checks\":{}}}",
+        stats.queries,
+        stats.pivots,
+        stats.branch_nodes,
+        stats.atoms,
+        stats.max_atoms,
+        stats.sat.decisions,
+        stats.sat.conflicts,
+        stats.sat.propagations,
+        stats.sat.restarts,
+        stats.sat.theory_checks,
+    ));
+}
+
+fn render_result_frame(id: usize, report: &AcceptabilityReport, elapsed_ms: u64) -> String {
+    let engine = &report.engine;
+    let mut out = format!(
+        "{{\"type\":\"result\",\"id\":{id},\"elapsed_ms\":{elapsed_ms},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cross_hits\":{},\"disk_hits\":{},\
+         \"stages\":[",
+        engine.cache_hits, engine.cache_misses, engine.cross_hits, engine.disk_hits,
+    );
+    let mut first = true;
+    let mut stage_out = |stage: Stage, stage_report: &Report| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{{\"stage\":\"{}\",\"stats\":", stage_name(stage)));
+        render_solver_stats(&mut out, &stage_report.stats);
+        out.push_str(",\"verdicts\":[");
+        for (i, result) in stage_report.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            render_verdict(&mut out, &result.verdict);
+            out.push_str(&format!(",\"cached\":{}", u8::from(result.cached)));
+            out.push('}');
+        }
+        out.push_str("]}");
+    };
+    if report.stages.original {
+        stage_out(Stage::Original, &report.original);
+    }
+    if let Some(intermediate) = &report.intermediate {
+        stage_out(Stage::Intermediate, intermediate);
+    }
+    if report.stages.relaxed {
+        stage_out(Stage::Relaxed, &report.relaxed);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_error_frame(id: usize, error: &str) -> String {
+    format!(
+        "{{\"type\":\"result\",\"id\":{id},\"error\":{}}}",
+        json_string(error)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Frame parsing (coordinator side, plus the worker's request reader)
+// ---------------------------------------------------------------------
+
+fn field_str<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    match get(fields, key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(_) => Err(format!("non-string `{key}`")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn field_u64(fields: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(fields, key) {
+        Some(Json::Int(n)) => u64::try_from(*n).map_err(|_| format!("`{key}` out of range")),
+        Some(_) => Err(format!("non-integer `{key}`")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn parse_solver_stats(value: &Json) -> Result<SolverStats, String> {
+    let fields = value.as_object()?;
+    Ok(SolverStats {
+        queries: field_u64(fields, "queries")?,
+        pivots: field_u64(fields, "pivots")?,
+        branch_nodes: field_u64(fields, "branch_nodes")?,
+        atoms: field_u64(fields, "atoms")?,
+        max_atoms: field_u64(fields, "max_atoms")?,
+        sat: SatStats {
+            decisions: field_u64(fields, "decisions")?,
+            conflicts: field_u64(fields, "conflicts")?,
+            propagations: field_u64(fields, "propagations")?,
+            restarts: field_u64(fields, "restarts")?,
+            theory_checks: field_u64(fields, "theory_checks")?,
+        },
+    })
+}
+
+/// One stage's slice of a result frame.
+struct WireStage {
+    stage: Stage,
+    stats: SolverStats,
+    verdicts: Vec<(Validity, bool)>,
+}
+
+/// A parsed result frame.
+struct WireResult {
+    id: usize,
+    elapsed_ms: u64,
+    engine: EngineStats,
+    stages: Vec<WireStage>,
+    error: Option<String>,
+}
+
+fn parse_result_frame(line: &str) -> Result<WireResult, String> {
+    let record = parse_json(line)?;
+    let fields = record.as_object()?;
+    if field_str(fields, "type")? != "result" {
+        return Err("expected a result frame".to_string());
+    }
+    let id = field_u64(fields, "id")? as usize;
+    if let Some(Json::Str(error)) = get(fields, "error") {
+        return Ok(WireResult {
+            id,
+            elapsed_ms: 0,
+            engine: EngineStats::default(),
+            stages: Vec::new(),
+            error: Some(error.clone()),
+        });
+    }
+    let engine = EngineStats {
+        cache_hits: field_u64(fields, "cache_hits")?,
+        cache_misses: field_u64(fields, "cache_misses")?,
+        cross_hits: field_u64(fields, "cross_hits")?,
+        disk_hits: field_u64(fields, "disk_hits")?,
+        ..EngineStats::default()
+    };
+    let mut stages = Vec::new();
+    let stage_items = get(fields, "stages")
+        .ok_or("missing `stages`")?
+        .as_array()?;
+    for item in stage_items {
+        let stage_fields = item.as_object()?;
+        let stage = stage_by_name(field_str(stage_fields, "stage")?)?;
+        let stats = parse_solver_stats(get(stage_fields, "stats").ok_or("missing `stats`")?)?;
+        let mut verdicts = Vec::new();
+        for verdict_item in get(stage_fields, "verdicts")
+            .ok_or("missing `verdicts`")?
+            .as_array()?
+        {
+            let verdict_fields = verdict_item.as_object()?;
+            let verdict = parse_verdict(verdict_fields)?;
+            let cached = field_u64(verdict_fields, "cached")? != 0;
+            verdicts.push((verdict, cached));
+        }
+        stages.push(WireStage {
+            stage,
+            stats,
+            verdicts,
+        });
+    }
+    Ok(WireResult {
+        id,
+        elapsed_ms: field_u64(fields, "elapsed_ms")?,
+        engine,
+        stages,
+        error: None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The worker (the entire logic of the `relaxed-shardd` binary)
+// ---------------------------------------------------------------------
+
+/// A fault injected into the worker for shard fault-tolerance tests, read
+/// from `RELAXED_SHARDD_FAULT`:
+///
+/// * `crash:<n>` — exit abruptly (code 101) when the n-th job of this
+///   process arrives, before responding;
+/// * `garbage:<n>` — answer the n-th job with a malformed frame instead
+///   of a result.
+///
+/// Unset or unparsable values inject nothing. Production corpora never
+/// set this; it exists so the coordinator's requeue/retry path is
+/// testable against real process crashes and real protocol corruption.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault injected (the default).
+    #[default]
+    None,
+    /// Exit without responding when job number `n` (1-based) arrives.
+    Crash(u64),
+    /// Emit a malformed frame for job number `n` (1-based).
+    Garbage(u64),
+}
+
+impl Fault {
+    /// Reads the fault hook from `RELAXED_SHARDD_FAULT`.
+    pub fn from_env() -> Fault {
+        match std::env::var("RELAXED_SHARDD_FAULT") {
+            Ok(value) => Fault::parse(&value),
+            Err(_) => Fault::None,
+        }
+    }
+
+    fn parse(value: &str) -> Fault {
+        let Some((kind, n)) = value.split_once(':') else {
+            return Fault::None;
+        };
+        let Ok(n) = n.trim().parse::<u64>() else {
+            return Fault::None;
+        };
+        match kind.trim() {
+            "crash" => Fault::Crash(n),
+            "garbage" => Fault::Garbage(n),
+            _ => Fault::None,
+        }
+    }
+}
+
+/// The `relaxed-shardd` entry point: runs [`worker_loop`] over the
+/// process's stdin/stdout with the [`Fault`] hook from the environment.
+/// The worker binary is a one-line `main` calling this, so the entire
+/// protocol implementation lives (and is unit-tested) in this module.
+pub fn worker_main() -> std::process::ExitCode {
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    match worker_loop(stdin, stdout, Fault::from_env()) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{WORKER_BINARY}: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// The worker side of the shard protocol: reads a `config` frame, then
+/// `job` frames, verifying each program through one [`Verifier`] session
+/// and writing a `result` frame per job; EOF is the shutdown signal (a
+/// final incremental persist runs, then the loop returns). See the
+/// [module docs](self) for the frame shapes.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or a malformed request frame — the
+/// coordinator treats a dead worker as a crash and requeues its job.
+pub fn worker_loop(
+    input: impl BufRead,
+    mut output: impl Write,
+    fault: Fault,
+) -> std::io::Result<()> {
+    let violation = |reason: String| std::io::Error::new(std::io::ErrorKind::InvalidData, reason);
+    let mut verifier: Option<Verifier> = None;
+    let mut handled = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_json(&line).map_err(&violation)?;
+        let fields = record.as_object().map_err(&violation)?;
+        match field_str(fields, "type").map_err(&violation)? {
+            "config" => {
+                let proto = field_u64(fields, "proto").map_err(&violation)?;
+                if proto != u64::from(PROTOCOL_VERSION) {
+                    return Err(violation(format!(
+                        "protocol mismatch: coordinator speaks {proto}, this worker {PROTOCOL_VERSION}"
+                    )));
+                }
+                let mut config = Config {
+                    max_conflicts: field_u64(fields, "max_conflicts").map_err(&violation)?,
+                    branch_budget: field_u64(fields, "branch_budget").map_err(&violation)?,
+                    workers: field_u64(fields, "workers").map_err(&violation)? as usize,
+                    cache_max: field_u64(fields, "cache_max").map_err(&violation)? as usize,
+                    stages: parse_stages(field_str(fields, "stages").map_err(&violation)?)
+                        .map_err(&violation)?,
+                    ..Config::default()
+                };
+                let cache = field_str(fields, "cache").map_err(&violation)?;
+                if !cache.is_empty() {
+                    config.cache = CachePolicy::Persistent {
+                        path: PathBuf::from(cache),
+                    };
+                } else if field_u64(fields, "per_program").map_err(&violation)? != 0 {
+                    // The session's per-program isolation travels with the
+                    // job: each program gets a fresh verdict cache inside
+                    // the worker too.
+                    config.cache = CachePolicy::PerProgram;
+                }
+                verifier = Some(Verifier::with_config(config));
+                writeln!(
+                    output,
+                    "{{\"type\":\"ready\",\"proto\":{PROTOCOL_VERSION}}}"
+                )?;
+                output.flush()?;
+            }
+            "job" => {
+                let id = field_u64(fields, "id").map_err(&violation)? as usize;
+                handled += 1;
+                match fault {
+                    Fault::Crash(n) if handled == n => std::process::exit(101),
+                    Fault::Garbage(n) if handled == n => {
+                        writeln!(output, "@@ corrupt frame (injected by {WORKER_BINARY}) @@")?;
+                        output.flush()?;
+                        continue;
+                    }
+                    _ => {}
+                }
+                let Some(session) = &verifier else {
+                    writeln!(output, "{}", render_error_frame(id, "job before config"))?;
+                    output.flush()?;
+                    continue;
+                };
+                let frame = match run_job(session, fields) {
+                    Ok((report, elapsed_ms)) => render_result_frame(id, &report, elapsed_ms),
+                    Err(reason) => render_error_frame(id, &reason),
+                };
+                writeln!(output, "{frame}")?;
+                output.flush()?;
+            }
+            other => return Err(violation(format!("unknown frame type {other:?}"))),
+        }
+    }
+    // EOF: flush anything a failed per-job append left behind. This is an
+    // append, never a rewrite — a worker's shutdown can never clobber
+    // verdicts a still-running sibling just published.
+    if let Some(session) = &verifier {
+        let _ = session.engine().append_pending();
+    }
+    Ok(())
+}
+
+/// Parses and verifies one job through the worker's session, persisting
+/// incrementally around the check so sibling workers can reuse the
+/// verdicts.
+fn run_job(
+    session: &Verifier,
+    fields: &[(String, Json)],
+) -> Result<(AcceptabilityReport, u64), String> {
+    let name = field_str(fields, "name")?;
+    let program =
+        parse_program(field_str(fields, "program")?).map_err(|e| format!("program: {e}"))?;
+    let spec = Spec {
+        pre: parse_formula(field_str(fields, "pre")?).map_err(|e| format!("pre: {e}"))?,
+        post: parse_formula(field_str(fields, "post")?).map_err(|e| format!("post: {e}"))?,
+        rel_pre: parse_rel_formula(field_str(fields, "rel_pre")?)
+            .map_err(|e| format!("rel_pre: {e}"))?,
+        rel_post: parse_rel_formula(field_str(fields, "rel_post")?)
+            .map_err(|e| format!("rel_post: {e}"))?,
+    };
+    // Pick up verdicts sibling workers persisted since the last job: they
+    // answer shared goals as disk hits, the cross-process payoff.
+    session.engine().refresh_from_disk();
+    let started = Instant::now();
+    let report = session
+        .check_corpus_named(&[(name, program, spec)])
+        .entries
+        .remove(0);
+    let elapsed_ms = elapsed_ms_since(started);
+    let outcome = match report.outcome {
+        Ok(outcome) => outcome,
+        Err(e) => return Err(e.to_string()),
+    };
+    // Publish this job's fresh verdicts incrementally, by *appending* to
+    // the shared store: an append can never drop entries a sibling worker
+    // persisted concurrently (duplicate keys resolve later-wins at load).
+    if let Err(e) = session.engine().append_pending() {
+        crate::diag::warn(format_args!(
+            "{WORKER_BINARY}: failed to append to the verdict cache: {e}"
+        ));
+    }
+    Ok((outcome, elapsed_ms))
+}
+
+// ---------------------------------------------------------------------
+// The coordinator
+// ---------------------------------------------------------------------
+
+/// One corpus program prepared for distribution.
+struct ShardJob {
+    /// Index in corpus input order (doubles as the wire job id).
+    index: usize,
+    name: String,
+    frame: String,
+    /// The locally generated obligations of every selected stage, in
+    /// pipeline order — zipped with the worker's verdicts to rebuild the
+    /// per-program report.
+    stage_vcs: Vec<(Stage, Vec<Vc>)>,
+    vc_count: usize,
+    attempts: u32,
+    last_error: String,
+}
+
+/// A spawned worker process with its framed stdio channel. Stdout is
+/// drained by a detached reader thread into an mpsc channel so the
+/// coordinator can time out on a hung worker instead of blocking forever.
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: Receiver<std::io::Result<String>>,
+}
+
+impl WorkerHandle {
+    fn spawn(binary: &std::path::Path, config_frame: &str) -> Result<WorkerHandle, String> {
+        let mut child = Command::new(binary)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("failed to spawn {}: {e}", binary.display()))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut handle = WorkerHandle {
+            child,
+            stdin: Some(stdin),
+            lines: rx,
+        };
+        match handle.handshake(config_frame) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                handle.kill();
+                Err(e)
+            }
+        }
+    }
+
+    fn handshake(&mut self, config_frame: &str) -> Result<(), String> {
+        self.send(config_frame)?;
+        let line = self.recv(READY_TIMEOUT)?;
+        let ready = parse_json(&line).map_err(|e| format!("bad ready frame: {e}"))?;
+        let fields = ready
+            .as_object()
+            .map_err(|e| format!("bad ready frame: {e}"))?;
+        if field_str(fields, "type") != Ok("ready") {
+            return Err(format!("expected ready frame, got {line:?}"));
+        }
+        let proto = field_u64(fields, "proto").map_err(|e| format!("bad ready frame: {e}"))?;
+        if proto != u64::from(PROTOCOL_VERSION) {
+            return Err(format!(
+                "protocol mismatch: worker speaks {proto}, coordinator {PROTOCOL_VERSION}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, frame: &str) -> Result<(), String> {
+        let stdin = self.stdin.as_mut().expect("worker stdin open");
+        stdin
+            .write_all(frame.as_bytes())
+            .and_then(|()| stdin.write_all(b"\n"))
+            .and_then(|()| stdin.flush())
+            .map_err(|e| format!("worker stdin closed: {e}"))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<String, String> {
+        match self.lines.recv_timeout(timeout) {
+            Ok(Ok(line)) => Ok(line),
+            Ok(Err(e)) => Err(format!("worker stdout read failed: {e}")),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(format!("worker unresponsive for {}s", timeout.as_secs()))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(match self.child.try_wait() {
+                Ok(Some(status)) => format!("worker exited unexpectedly ({status})"),
+                _ => "worker exited unexpectedly".to_string(),
+            }),
+        }
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Graceful shutdown: close stdin (the worker's EOF signal, which
+    /// triggers its final persist) and reap the process.
+    fn shutdown(mut self) {
+        self.stdin.take();
+        let _ = self.child.wait();
+    }
+}
+
+/// The coordinator of a sharded corpus run: owns the job queue, the
+/// result slots, and the per-worker handler loops. Constructed and driven
+/// by [`Verifier::check_corpus`](crate::api::Verifier::check_corpus) when
+/// the session's policy is
+/// [`CorpusPolicy::Sharded`](crate::api::CorpusPolicy::Sharded).
+struct ShardPool {
+    binary: PathBuf,
+    config_frame: String,
+    /// Pending jobs, longest-first; idle handlers steal from the front.
+    queue: Mutex<VecDeque<ShardJob>>,
+    /// Completed entries, keyed by corpus index.
+    done: Mutex<Vec<(usize, CorpusEntry)>>,
+}
+
+impl ShardPool {
+    fn pop(&self) -> Option<ShardJob> {
+        self.queue.lock().expect("shard queue").pop_front()
+    }
+
+    fn complete(&self, index: usize, entry: CorpusEntry) {
+        self.done
+            .lock()
+            .expect("shard results")
+            .push((index, entry));
+    }
+
+    /// Charges one failed attempt against `job`. Returns `true` once the
+    /// job's attempts are exhausted, in which case it has been recorded
+    /// as a per-program error; `false` means the caller should retry it
+    /// on a fresh worker.
+    fn record_failure(&self, job: &mut ShardJob, error: String) -> bool {
+        job.attempts += 1;
+        job.last_error = error;
+        if job.attempts < MAX_ATTEMPTS {
+            return false;
+        }
+        let entry = CorpusEntry {
+            name: job.name.clone(),
+            elapsed_ms: 0,
+            outcome: Err(CorpusError::Shard(format!(
+                "job failed after {} attempts; last error: {}",
+                job.attempts, job.last_error
+            ))),
+        };
+        self.complete(job.index, entry);
+        true
+    }
+
+    /// One handler loop: owns (at most) one worker process at a time and
+    /// steals jobs from the shared queue. A failed attempt (crash,
+    /// malformed frame, timeout, spawn error) kills the worker and
+    /// retries the job on a freshly spawned replacement — a *different*
+    /// process, so a worker whose lifetime-accumulated state was the
+    /// problem cannot fail the same job twice — until the job's bounded
+    /// attempts run out and it is recorded as a per-program error.
+    fn handler(&self) {
+        let mut worker: Option<WorkerHandle> = None;
+        'jobs: while let Some(mut job) = self.pop() {
+            loop {
+                if worker.is_none() {
+                    match WorkerHandle::spawn(&self.binary, &self.config_frame) {
+                        Ok(handle) => worker = Some(handle),
+                        Err(e) => {
+                            if self.record_failure(&mut job, e) {
+                                continue 'jobs;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                let handle = worker.as_mut().expect("worker spawned");
+                match run_job_on_worker(handle, &job) {
+                    Ok(entry) => {
+                        self.complete(job.index, entry);
+                        continue 'jobs;
+                    }
+                    Err(e) => {
+                        // The channel is desynchronized (crash, corruption,
+                        // or timeout): this worker cannot be trusted with
+                        // another frame. Kill it; the retry (or the next
+                        // job) spawns a replacement.
+                        worker.take().expect("worker present").kill();
+                        if self.record_failure(&mut job, e) {
+                            continue 'jobs;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(handle) = worker {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Sends one job to a worker and rebuilds its [`CorpusEntry`] from the
+/// result frame. Any error here means the worker/channel is unusable and
+/// the job must be retried elsewhere.
+fn run_job_on_worker(worker: &mut WorkerHandle, job: &ShardJob) -> Result<CorpusEntry, String> {
+    worker.send(&job.frame)?;
+    let line = worker.recv(JOB_TIMEOUT)?;
+    let wire = parse_result_frame(&line).map_err(|e| format!("malformed result frame: {e}"))?;
+    if wire.id != job.index {
+        return Err(format!(
+            "result frame for job {} while awaiting job {}",
+            wire.id, job.index
+        ));
+    }
+    if let Some(error) = wire.error {
+        // A worker-side deterministic failure (e.g. the program did not
+        // re-parse): retrying elsewhere cannot help, so record it.
+        return Ok(CorpusEntry {
+            name: job.name.clone(),
+            elapsed_ms: wire.elapsed_ms,
+            outcome: Err(CorpusError::Shard(format!("worker reported: {error}"))),
+        });
+    }
+    let report = rebuild_report(job, wire.stages, wire.engine)?;
+    Ok(CorpusEntry {
+        name: job.name.clone(),
+        elapsed_ms: wire.elapsed_ms,
+        outcome: Ok(report),
+    })
+}
+
+/// Zips the worker's per-stage verdicts with the locally generated
+/// obligations, reconstructing the [`AcceptabilityReport`] an in-process
+/// check would have produced (identical verdicts; per-VC solver timings
+/// stay with the process that measured them, so per-VC stats are zeroed
+/// and per-stage aggregates come off the wire).
+fn rebuild_report(
+    job: &ShardJob,
+    wire_stages: Vec<WireStage>,
+    engine: EngineStats,
+) -> Result<AcceptabilityReport, String> {
+    if wire_stages.len() != job.stage_vcs.len() {
+        return Err(format!(
+            "result frame carries {} stages, expected {}",
+            wire_stages.len(),
+            job.stage_vcs.len()
+        ));
+    }
+    let mut stages = StageSet::none();
+    let mut original = Report::default();
+    let mut intermediate = None;
+    let mut relaxed = Report::default();
+    for (wire, (stage, vcs)) in wire_stages.into_iter().zip(&job.stage_vcs) {
+        if wire.stage != *stage {
+            return Err(format!(
+                "result frame stage {:?} does not match scheduled {:?}",
+                stage_name(wire.stage),
+                stage_name(*stage)
+            ));
+        }
+        if wire.verdicts.len() != vcs.len() {
+            return Err(format!(
+                "stage {} carries {} verdicts for {} obligations",
+                stage_name(*stage),
+                wire.verdicts.len(),
+                vcs.len()
+            ));
+        }
+        let mut report = Report {
+            stats: wire.stats,
+            ..Report::default()
+        };
+        for (vc, (verdict, cached)) in vcs.iter().zip(wire.verdicts) {
+            report.results.push(VcResult {
+                vc: vc.clone(),
+                verdict,
+                stats: SolverStats::default(),
+                cached,
+            });
+        }
+        stages = stages.with(*stage);
+        match stage {
+            Stage::Original => original = report,
+            Stage::Intermediate => intermediate = Some(report),
+            Stage::Relaxed => relaxed = report,
+        }
+    }
+    Ok(AcceptabilityReport {
+        stages,
+        original,
+        intermediate,
+        relaxed,
+        engine,
+    })
+}
+
+/// Runs a corpus across worker processes — the implementation behind
+/// [`CorpusPolicy::Sharded`](crate::api::CorpusPolicy::Sharded). See the
+/// [module docs](self) for the architecture.
+pub(crate) fn run_corpus_sharded(
+    verifier: &Verifier,
+    entries: Vec<(String, &Program, &Spec)>,
+    shards: usize,
+) -> CorpusReport {
+    let started = Instant::now();
+    let config = verifier.config();
+    let stages = config.stages;
+    let count = entries.len();
+    let shards = shards.clamp(1, count.max(1));
+
+    // Per-worker thread budget: the leftover parallelism once programs
+    // fan out across processes (mirrors the in-process corpus driver).
+    let budget = config.discharge_config().effective_parallelism();
+    let per_worker = (budget / shards).max(1);
+
+    let mut report = CorpusReport {
+        stages,
+        ..CorpusReport::default()
+    };
+
+    // Generate every program's obligations locally, up front: VcgenErrors
+    // are recorded exactly as the in-process driver records them (never
+    // shipped to a worker), and the VC counts order the queue.
+    let mut jobs: Vec<ShardJob> = Vec::new();
+    let mut slots: Vec<Option<CorpusEntry>> = (0..count).map(|_| None).collect();
+    for (index, (name, program, spec)) in entries.iter().enumerate() {
+        let mut prepared = Vec::new();
+        let mut failed = None;
+        for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
+            if !stages.contains(stage) {
+                continue;
+            }
+            match stage_vcs(stage, program, spec) {
+                Ok(vcs) => prepared.push((stage, vcs)),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failed {
+            slots[index] = Some(CorpusEntry {
+                name: name.clone(),
+                elapsed_ms: 0,
+                outcome: Err(CorpusError::Vcgen(e)),
+            });
+            continue;
+        }
+        let vc_count = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
+        jobs.push(ShardJob {
+            index,
+            name: name.clone(),
+            frame: render_job_frame(index, name, program, spec),
+            stage_vcs: prepared,
+            vc_count,
+            attempts: 0,
+            last_error: String::new(),
+        });
+    }
+
+    // Longest first (by VC count, index-tie-broken for determinism): the
+    // most expensive proofs start immediately, so the corpus tail is
+    // short jobs instead of one straggler.
+    jobs.sort_by_key(|job| (std::cmp::Reverse(job.vc_count), job.index));
+
+    if !jobs.is_empty() {
+        match resolve_worker(config) {
+            Ok(binary) => {
+                let pool = ShardPool {
+                    binary,
+                    config_frame: render_config_frame(config, per_worker),
+                    queue: Mutex::new(jobs.into()),
+                    done: Mutex::new(Vec::with_capacity(count)),
+                };
+                std::thread::scope(|scope| {
+                    for _ in 0..shards {
+                        scope.spawn(|| pool.handler());
+                    }
+                });
+                for (index, entry) in pool.done.into_inner().expect("shard results") {
+                    slots[index] = Some(entry);
+                }
+            }
+            Err(reason) => {
+                // No worker binary: every distributable program errs with
+                // the same actionable message (no silent in-process
+                // fallback — a sharded run that was not sharded would
+                // corrupt benchmark conclusions).
+                for job in jobs {
+                    slots[job.index] = Some(CorpusEntry {
+                        name: job.name,
+                        elapsed_ms: 0,
+                        outcome: Err(CorpusError::Shard(reason.clone())),
+                    });
+                }
+            }
+        }
+    }
+
+    for (index, slot) in slots.into_iter().enumerate() {
+        let entry = slot.unwrap_or_else(|| CorpusEntry {
+            // Unreachable by construction (every job completes or is
+            // recorded by retry()); degrade loudly rather than panic the
+            // whole corpus if a future refactor breaks that invariant.
+            name: format!("program_{index}"),
+            elapsed_ms: 0,
+            outcome: Err(CorpusError::Shard("job was lost by the pool".to_string())),
+        });
+        if let Ok(program_report) = &entry.outcome {
+            report.engine.absorb(&program_report.engine);
+            report.stats.absorb(&program_report.original.stats);
+            if let Some(intermediate) = &program_report.intermediate {
+                report.stats.absorb(&intermediate.stats);
+            }
+            report.stats.absorb(&program_report.relaxed.stats);
+        }
+        report.entries.push(entry);
+    }
+    // Corpus-level parallelism is the process fan-out.
+    report.engine.workers = shards;
+    report.elapsed_ms = elapsed_ms_since(started);
+    // Warm the coordinator's own session cache from the store the workers
+    // populated, so later in-process checks (or the next wave) reuse the
+    // corpus verdicts.
+    verifier.engine().refresh_from_disk();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxed_lang::parse_program;
+
+    fn toy() -> (Program, Spec) {
+        let program = parse_program(
+            "x0 = x;
+             relax (x) st (x0 <= x && x <= x0 + 2);
+             relate l1 : x<o> <= x<r> && x<r> - x<o> <= 2;",
+        )
+        .unwrap();
+        let mut spec = Spec::synced(&program);
+        spec.rel_pre = parse_rel_formula("x<o> == x<r>").unwrap();
+        (program, spec)
+    }
+
+    /// Drives the worker loop in-process over string pipes.
+    fn drive_worker(frames: &str, fault: Fault) -> (std::io::Result<()>, String) {
+        let mut output = Vec::new();
+        let result = worker_loop(frames.as_bytes(), &mut output, fault);
+        (result, String::from_utf8(output).unwrap())
+    }
+
+    fn toy_frames() -> String {
+        let (program, spec) = toy();
+        let config = Config {
+            workers: 1,
+            ..Config::default()
+        };
+        format!(
+            "{}\n{}\n",
+            render_config_frame(&config, 1),
+            render_job_frame(0, "toy", &program, &spec)
+        )
+    }
+
+    #[test]
+    fn stage_set_round_trips_through_the_wire() {
+        for stages in [
+            StageSet::default(),
+            StageSet::all(),
+            StageSet::none(),
+            StageSet::only(Stage::Intermediate),
+        ] {
+            assert_eq!(parse_stages(&render_stages(stages)).unwrap(), stages);
+        }
+        assert!(parse_stages("original,bogus").is_err());
+    }
+
+    #[test]
+    fn worker_answers_a_job_with_matching_verdicts() {
+        let (result, output) = drive_worker(&toy_frames(), Fault::None);
+        result.unwrap();
+        let mut lines = output.lines();
+        let ready = lines.next().unwrap();
+        assert!(ready.contains("\"type\":\"ready\""), "{ready}");
+        let wire = parse_result_frame(lines.next().unwrap()).unwrap();
+        assert_eq!(wire.id, 0);
+        assert!(wire.error.is_none());
+        // The wire verdicts match a direct in-process check.
+        let (program, spec) = toy();
+        let direct = Verifier::builder()
+            .workers(1)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
+        let direct_stages = [&direct.original, &direct.relaxed];
+        assert_eq!(wire.stages.len(), 2);
+        for (wire_stage, direct_report) in wire.stages.iter().zip(direct_stages) {
+            assert_eq!(wire_stage.verdicts.len(), direct_report.results.len());
+            for ((verdict, _), expected) in wire_stage.verdicts.iter().zip(&direct_report.results) {
+                assert_eq!(verdict, &expected.verdict);
+            }
+        }
+    }
+
+    #[test]
+    fn per_program_policy_travels_to_the_worker() {
+        // Two identical jobs. Under the default Shared policy the second
+        // is answered entirely from the worker's session cache; under
+        // PerProgram the worker must isolate the programs and re-solve.
+        let (program, spec) = toy();
+        let frames = |config: &Config| {
+            format!(
+                "{}\n{}\n{}\n",
+                render_config_frame(config, 1),
+                render_job_frame(0, "first", &program, &spec),
+                render_job_frame(1, "second", &program, &spec)
+            )
+        };
+        let shared = Config {
+            workers: 1,
+            ..Config::default()
+        };
+        let isolated = Config {
+            cache: CachePolicy::PerProgram,
+            ..shared.clone()
+        };
+        let second_result = |config: &Config| {
+            let (result, output) = drive_worker(&frames(config), Fault::None);
+            result.unwrap();
+            parse_result_frame(output.lines().nth(2).unwrap()).unwrap()
+        };
+        let shared_second = second_result(&shared);
+        assert_eq!(shared_second.engine.cache_misses, 0, "shared cache reuses");
+        let isolated_second = second_result(&isolated);
+        assert!(
+            isolated_second.engine.cache_misses > 0,
+            "PerProgram must not reuse verdicts across programs: {:?}",
+            isolated_second.engine
+        );
+    }
+
+    #[test]
+    fn worker_reports_unparsable_programs_as_job_errors() {
+        let config = Config::default();
+        let frames = format!(
+            "{}\n{{\"type\":\"job\",\"id\":7,\"name\":\"bad\",\"program\":\"while (\",\
+             \"pre\":\"true\",\"post\":\"true\",\"rel_pre\":\"true\",\"rel_post\":\"true\"}}\n",
+            render_config_frame(&config, 1)
+        );
+        let (result, output) = drive_worker(&frames, Fault::None);
+        result.unwrap();
+        let wire = parse_result_frame(output.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(wire.id, 7);
+        assert!(wire.error.unwrap().contains("program:"));
+    }
+
+    #[test]
+    fn worker_rejects_jobs_before_config() {
+        let frames = "{\"type\":\"job\",\"id\":1,\"name\":\"x\",\"program\":\"skip;\",\
+                      \"pre\":\"true\",\"post\":\"true\",\"rel_pre\":\"true\",\"rel_post\":\"true\"}\n";
+        let (result, output) = drive_worker(frames, Fault::None);
+        result.unwrap();
+        let wire = parse_result_frame(output.lines().next().unwrap()).unwrap();
+        assert!(wire.error.unwrap().contains("job before config"));
+    }
+
+    #[test]
+    fn worker_dies_on_malformed_request_frames() {
+        let (result, _) = drive_worker("not a frame\n", Fault::None);
+        assert!(result.is_err());
+        let (result, _) = drive_worker("{\"type\":\"mystery\"}\n", Fault::None);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn garbage_fault_corrupts_exactly_the_chosen_job() {
+        let (result, output) = drive_worker(&toy_frames(), Fault::Garbage(1));
+        result.unwrap();
+        let corrupted = output.lines().nth(1).unwrap();
+        assert!(parse_result_frame(corrupted).is_err(), "{corrupted}");
+    }
+
+    #[test]
+    fn fault_hook_parses_env_values() {
+        assert_eq!(Fault::parse("crash:2"), Fault::Crash(2));
+        assert_eq!(Fault::parse("garbage:1"), Fault::Garbage(1));
+        assert_eq!(Fault::parse(""), Fault::None);
+        assert_eq!(Fault::parse("crash"), Fault::None);
+        assert_eq!(Fault::parse("crash:x"), Fault::None);
+        assert_eq!(Fault::parse("meltdown:3"), Fault::None);
+    }
+
+    #[test]
+    fn result_frames_round_trip_solver_stats_and_verdicts() {
+        let (program, spec) = toy();
+        let report = Verifier::builder()
+            .workers(1)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
+        let frame = render_result_frame(9, &report, 123);
+        let wire = parse_result_frame(&frame).unwrap();
+        assert_eq!(wire.id, 9);
+        assert_eq!(wire.elapsed_ms, 123);
+        assert_eq!(wire.engine.cache_hits, report.engine.cache_hits);
+        assert_eq!(wire.stages[0].stats, report.original.stats);
+        assert_eq!(wire.stages[1].stats, report.relaxed.stats);
+        let cached_on_wire: usize = wire.stages[1]
+            .verdicts
+            .iter()
+            .filter(|(_, cached)| *cached)
+            .count();
+        let cached_direct = report.relaxed.results.iter().filter(|r| r.cached).count();
+        assert_eq!(cached_on_wire, cached_direct);
+    }
+
+    #[test]
+    fn programs_and_specs_survive_the_wire_rendering() {
+        // The job frame ships pretty-printed source; it must re-parse to
+        // the identical program (the roundtrip property the protocol
+        // rests on).
+        let (program, spec) = toy();
+        let reparsed = parse_program(&program.to_string()).unwrap();
+        assert_eq!(program, reparsed);
+        assert_eq!(
+            spec.rel_pre,
+            parse_rel_formula(&spec.rel_pre.to_string()).unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_worker_binary_yields_per_program_errors() {
+        let (program, spec) = toy();
+        let verifier = Verifier::builder()
+            .shards(2)
+            .shard_worker("/nonexistent/relaxed-shardd")
+            .workers(1)
+            .build();
+        let report = verifier.check_corpus(&[(program, spec)]);
+        assert_eq!(report.len(), 1);
+        let err = report.entries[0].outcome.as_ref().unwrap_err();
+        assert!(matches!(err, CorpusError::Shard(_)), "{err}");
+        assert!(err.to_string().contains("failed after"), "{err}");
+    }
+
+    #[test]
+    fn empty_sharded_corpus_is_a_clean_empty_report() {
+        let verifier = Verifier::builder().shards(2).build();
+        let report = verifier.check_corpus(&[]);
+        assert!(report.is_empty());
+        assert!(report.verified());
+    }
+}

@@ -14,16 +14,30 @@
 //! `persistent cache: loaded=.. disk_hits=.. persisted=..` line is the
 //! machine-readable warm/cold signal the CI `cache-persistence` job
 //! gates on.
+//!
+//! With `--sharded` (or `DISCHARGE_SHARDS=<n>`) the corpus is *also*
+//! verified across `relaxed-shardd` worker processes (build them first:
+//! `cargo build --release -p relaxed-bench`) and the sharded report is
+//! asserted verdict-identical to the in-process baseline — the CI
+//! `sharded-corpus` job's equivalence gate. Under `DISCHARGE_CACHE` the
+//! baseline persists its verdicts first, so the sharded run must answer
+//! entirely from the shared store (≥1 cross-process disk hit, zero
+//! solver runs).
 
-use relaxed_programs::{casestudies, Verifier};
+use relaxed_programs::{casestudies, CorpusPolicy, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sharded_flag = std::env::args().any(|arg| arg == "--sharded");
     let verifier = Verifier::from_env();
     for warning in verifier.env_warnings() {
         eprintln!("verify_corpus: {warning}");
     }
     for warning in verifier.cache_warnings() {
         eprintln!("verify_corpus: {warning}");
+    }
+    if sharded_flag || matches!(verifier.config().corpus, CorpusPolicy::Sharded { .. }) {
+        drop(verifier);
+        return sharded_main();
     }
 
     let corpus = casestudies::corpus();
@@ -86,6 +100,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "persistent cache: loaded={} disk_hits={} persisted={persisted}",
             stats.loaded, stats.disk_hits
+        );
+    }
+    Ok(())
+}
+
+/// The sharded mode (`--sharded` / `DISCHARGE_SHARDS`): verify the corpus
+/// in-process first (the baseline, which also seeds the persistent store
+/// when `DISCHARGE_CACHE` is set), then across worker processes, and
+/// assert the two reports verdict-identical — the CI equivalence gate.
+fn sharded_main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = casestudies::corpus();
+    let shards = match relaxed_programs::Config::from_env().0.corpus {
+        CorpusPolicy::Sharded { shards } => shards,
+        CorpusPolicy::InProcess => 2,
+    };
+
+    // In-process baseline under the same budgets and cache policy.
+    let baseline_session = Verifier::builder()
+        .env()
+        .corpus(CorpusPolicy::InProcess)
+        .build();
+    let baseline = baseline_session.check_corpus_named(&corpus);
+    let persistent = baseline_session.engine().cache_path().is_some();
+    if persistent {
+        // Flush before the workers start, so every sharded verdict can be
+        // answered from the store — the deterministic cross-process
+        // disk-hit guarantee asserted below.
+        baseline_session.persist()?;
+    }
+
+    let sharded_session = Verifier::builder().env().shards(shards).build();
+    let report = sharded_session.check_corpus_named(&corpus);
+    println!("{report}");
+    println!("{}", report.to_json());
+    println!(
+        "sharded: {} programs across {shards} worker processes in {}ms \
+         (in-process baseline {}ms); {} disk hits, {} solver runs",
+        report.len(),
+        report.elapsed_ms,
+        baseline.elapsed_ms,
+        report.engine.disk_hits,
+        report.engine.cache_misses
+    );
+
+    // The equivalence gate: one shared verdict-for-verdict comparison
+    // (CorpusReport::verdicts_match), also used by the shard tests and
+    // paper_report §E10.
+    report
+        .verdicts_match(&baseline)
+        .expect("sharded report must be verdict-identical to the in-process baseline");
+    println!("sharded report is verdict-identical to the in-process baseline");
+
+    if persistent {
+        assert_eq!(
+            report.engine.cache_misses, 0,
+            "with a pre-seeded store the sharded run must not re-solve"
+        );
+        assert!(
+            report.engine.disk_hits >= 1,
+            "workers must reuse the baseline's verdicts across processes: {:?}",
+            report.engine
+        );
+        println!(
+            "persistent cache: disk_hits={} (cross-process, via the shared store)",
+            report.engine.disk_hits
         );
     }
     Ok(())

@@ -5,7 +5,9 @@
 //! rendering.
 
 use relaxed_programs::core::engine::DischargeConfig;
-use relaxed_programs::{casestudies, CachePolicy, Config, Spec, Stage, StageSet, Verifier};
+use relaxed_programs::{
+    casestudies, CachePolicy, Config, CorpusPolicy, Spec, Stage, StageSet, Verifier,
+};
 
 // ---- typed configuration ----
 
@@ -68,6 +70,61 @@ fn from_env_warns_on_malformed_values() {
     let vars: Vec<&str> = warnings.iter().map(|w| w.var).collect();
     assert_eq!(vars, ["DISCHARGE_WORKERS", "DISCHARGE_BRANCH_BUDGET"]);
     assert!(warnings[0].to_string().contains("abc"));
+}
+
+/// The sharding and cache-compaction knobs ride the same env layer:
+/// `DISCHARGE_SHARDS` selects the corpus policy (0 = in-process),
+/// `DISCHARGE_CACHE_MAX` caps the persistent store, and `RELAXED_SHARDD`
+/// pins the worker binary.
+#[test]
+fn shard_and_cache_knobs_parse_from_the_env() {
+    let (config, warnings) = Config::from_lookup(|name| match name {
+        "DISCHARGE_SHARDS" => Some("3".to_string()),
+        "DISCHARGE_CACHE_MAX" => Some("128".to_string()),
+        "RELAXED_SHARDD" => Some("/opt/bin/relaxed-shardd".to_string()),
+        _ => None,
+    });
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert_eq!(config.corpus, CorpusPolicy::Sharded { shards: 3 });
+    assert_eq!(config.cache_max, 128);
+    assert_eq!(
+        config.shard_worker.as_deref(),
+        Some(std::path::Path::new("/opt/bin/relaxed-shardd"))
+    );
+
+    let (config, warnings) =
+        Config::from_lookup(|name| (name == "DISCHARGE_SHARDS").then(|| "0".to_string()));
+    assert!(warnings.is_empty());
+    assert_eq!(config.corpus, CorpusPolicy::InProcess);
+
+    let (config, warnings) = Config::from_lookup(|name| match name {
+        "DISCHARGE_SHARDS" => Some("many".to_string()),
+        "RELAXED_SHARDD" => Some("  ".to_string()),
+        _ => None,
+    });
+    assert_eq!(
+        config.corpus,
+        CorpusPolicy::InProcess,
+        "malformed keeps default"
+    );
+    assert_eq!(config.shard_worker, None);
+    let vars: Vec<&str> = warnings.iter().map(|w| w.var).collect();
+    assert_eq!(vars, ["DISCHARGE_SHARDS", "RELAXED_SHARDD"]);
+
+    // Builder precedence holds for the new fields too.
+    let verifier = Verifier::builder()
+        .config(Config {
+            corpus: CorpusPolicy::Sharded { shards: 9 },
+            cache_max: 4,
+            ..Config::default()
+        })
+        .shards(2)
+        .build();
+    assert_eq!(
+        verifier.config().corpus,
+        CorpusPolicy::Sharded { shards: 2 }
+    );
+    assert_eq!(verifier.config().cache_max, 4);
 }
 
 // ---- deprecated-wrapper equivalence ----
@@ -344,5 +401,8 @@ fn case_study_corpus_end_to_end() {
     assert!(json.contains("\"disk_hits\": 0"), "{json}");
     assert!(json.contains("\"aggregate\""), "{json}");
     assert_eq!(json.matches("\"status\"").count(), 6);
+    // Per-program and aggregate wall time ride the JSON, so sharded vs
+    // in-process speedups are measurable from reports alone.
+    assert_eq!(json.matches("\"elapsed_ms\"").count(), 7);
     assert!(json.ends_with("}\n"));
 }

@@ -90,6 +90,20 @@ const CI_EXAMPLES_BENCH: &[Step] = &[
     Step(&["cargo", "bench", "--no-run", "--workspace"], &[]),
 ];
 
+/// The sharded-corpus CI job's local mirror (the cache path is appended
+/// at runtime by `ci()`): in-process baseline, then ≥2 `relaxed-shardd`
+/// worker processes, asserting verdict equivalence and cross-process
+/// disk hits inside the example.
+const CI_SHARDED_EXAMPLE: &[&str] = &[
+    "cargo",
+    "run",
+    "--release",
+    "--example",
+    "verify_corpus",
+    "--",
+    "--sharded",
+];
+
 fn run_step(argv: &[&str], envs: &[(&str, &str)]) {
     let prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
     eprintln!("xtask> {prefix}{}", argv.join(" "));
@@ -126,6 +140,22 @@ fn ci() {
     );
     let _ = std::fs::remove_file(&cache);
     run(CI_EXAMPLES_BENCH);
+    // The sharded-corpus job: equivalence gate across ≥2 worker
+    // processes, seeded through a fresh shared verdict store (the
+    // release build above produced the relaxed-shardd binary).
+    let shard_cache = std::env::temp_dir().join(format!(
+        "relaxed-xtask-ci-sharded-{}.jsonl",
+        std::process::id()
+    ));
+    let shard_cache = shard_cache
+        .to_str()
+        .expect("temp path is unicode")
+        .to_string();
+    run_step(
+        CI_SHARDED_EXAMPLE,
+        &[("DISCHARGE_SHARDS", "2"), ("DISCHARGE_CACHE", &shard_cache)],
+    );
+    let _ = std::fs::remove_file(&shard_cache);
 }
 
 /// Runs the bench harness with `BENCH_JSON=1`, collects the machine
