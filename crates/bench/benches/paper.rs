@@ -9,6 +9,11 @@
 //! * `discharge_parallel` — the verification engine's 1-vs-N-worker
 //!   discharge throughput over the combined case-study obligation set,
 //!   with cache-hit rates;
+//! * `discharge_incremental` — cold discharge with grouped push/pop
+//!   solver sessions vs one fresh solver per goal, on the corpus
+//!   obligations and on a synthetic shared-hypothesis family
+//!   (verdict-identical by construction; the timing gap is the
+//!   incremental speedup), with simplex-pivot gauges;
 //! * `check_corpus` — corpus-scale batch verification of all six
 //!   case-study programs through one `Verifier` session;
 //! * `persistent_cache` — warm corpus re-verification from the on-disk
@@ -23,7 +28,7 @@
 
 use relaxed_bench::harness::{BenchmarkId, Criterion};
 use relaxed_bench::{criterion_group, criterion_main};
-use relaxed_bench::{lu_state, run_pair, water_state};
+use relaxed_bench::{lu_state, run_pair, shared_hypothesis_vcs, water_state};
 use relaxed_core::engine::{DischargeConfig, DischargeEngine};
 use relaxed_core::Verifier;
 use relaxed_interp::{run_all, run_relaxed, EnumConfig, ExtremalOracle, Mode};
@@ -110,6 +115,79 @@ fn discharge_parallel(c: &mut Criterion) {
         "discharge_parallel/unique_goals",
         report.engine.unique_goals as f64,
     );
+}
+
+fn discharge_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discharge_incremental");
+    group.sample_size(10);
+    // Cold discharge of the full corpus obligation set (working and
+    // broken case studies) with and without the grouped session path:
+    // identical verdicts, different solver reuse. The two timings side
+    // by side in BENCH_<date>.json are the measured incremental speedup.
+    let session = Verifier::new();
+    let vcs: Vec<_> = casestudies::corpus()
+        .into_iter()
+        .flat_map(|(_, program, spec)| session.vcs(&program, &spec).unwrap())
+        .collect();
+    let engine = |incremental: bool| {
+        DischargeEngine::with_config(DischargeConfig {
+            workers: 1,
+            incremental,
+            ..DischargeConfig::default()
+        })
+    };
+    // A synthetic family of unique pure-linear goals under shared
+    // hypotheses — the workload shape the grouped session path exists
+    // for (corpus VCs rarely share a hypothesis verbatim, so the corpus
+    // rows mostly measure that the grouping pass itself is free).
+    let family = shared_hypothesis_vcs(4, 32);
+    for (label, incremental) in [("scoped_sessions", true), ("fresh_solvers", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("corpus_vcs", label),
+            &incremental,
+            |b, &incremental| b.iter(|| engine(incremental).discharge(vcs.clone())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_hypothesis_vcs", label),
+            &incremental,
+            |b, &incremental| b.iter(|| engine(incremental).discharge(family.clone())),
+        );
+    }
+    group.finish();
+    // Verdict-equivalence gate plus tracked reuse gauges: on both
+    // workloads the scoped path must answer every obligation with the
+    // same status; on the shared-hypothesis family it must also do less
+    // simplex work (each hypothesis is asserted and pivoted once per
+    // group, not once per goal).
+    for (workload, vcs) in [("corpus", vcs), ("shared_hypothesis", family)] {
+        let fresh = engine(false).discharge(vcs.clone());
+        let scoped = engine(true).discharge(vcs);
+        assert_eq!(fresh.len(), scoped.len());
+        for (a, b) in fresh.results.iter().zip(&scoped.results) {
+            assert_eq!(
+                std::mem::discriminant(&a.verdict),
+                std::mem::discriminant(&b.verdict),
+                "incremental discharge changed the verdict of {}",
+                a.vc
+            );
+        }
+        eprintln!(
+            "discharge_incremental/{workload}: {} VCs; fresh {} pivots / {} theory checks, scoped {} / {}",
+            fresh.len(),
+            fresh.stats.pivots,
+            fresh.stats.sat.theory_checks,
+            scoped.stats.pivots,
+            scoped.stats.sat.theory_checks
+        );
+        c.report_metric(
+            &format!("discharge_incremental/{workload}_fresh_pivots"),
+            fresh.stats.pivots as f64,
+        );
+        c.report_metric(
+            &format!("discharge_incremental/{workload}_scoped_pivots"),
+            scoped.stats.pivots as f64,
+        );
+    }
 }
 
 fn corpus_batch(c: &mut Criterion) {
@@ -376,6 +454,7 @@ criterion_group!(
     benches,
     verification,
     discharge_parallel,
+    discharge_incremental,
     corpus_batch,
     persistent_cache,
     shard_corpus,

@@ -259,6 +259,11 @@ pub struct Config {
     /// Branch-and-bound node budget per theory check (see
     /// [`Solver::branch_budget`](relaxed_smt::Solver::branch_budget)).
     pub branch_budget: u64,
+    /// Whether goals sharing a pure-linear hypothesis are discharged
+    /// incrementally through one solver session per group (see
+    /// [`DischargeConfig::incremental`]); on by default,
+    /// verdict-equivalent either way.
+    pub incremental: bool,
     /// Verdict-cache scoping.
     pub cache: CachePolicy,
     /// Entry cap for the persistent verdict store (`0` = unbounded):
@@ -283,6 +288,7 @@ impl Default for Config {
             workers: discharge.workers,
             max_conflicts: discharge.max_conflicts,
             branch_budget: discharge.branch_budget,
+            incremental: discharge.incremental,
             cache: CachePolicy::default(),
             cache_max: 0,
             stages: StageSet::default(),
@@ -318,7 +324,9 @@ impl fmt::Display for EnvWarning {
 impl Config {
     /// The default configuration with the environment opt-in layer
     /// applied: `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`,
-    /// `DISCHARGE_BRANCH_BUDGET`, `DISCHARGE_CACHE` (a file path
+    /// `DISCHARGE_BRANCH_BUDGET`, `DISCHARGE_INCREMENTAL` (`0` disables
+    /// the grouped session discharge, `1` — the default — enables it),
+    /// `DISCHARGE_CACHE` (a file path
     /// selecting [`CachePolicy::Persistent`]), `DISCHARGE_CACHE_MAX`
     /// (persistent-store entry cap, `0` = unbounded), `DISCHARGE_SHARDS`
     /// (`0` = in-process, `n ≥ 1` = [`CorpusPolicy::Sharded`] across `n`
@@ -374,6 +382,17 @@ impl Config {
                 n => CorpusPolicy::Sharded { shards: n as usize },
             };
         }
+        if let Some(raw) = lookup("DISCHARGE_INCREMENTAL") {
+            match raw.trim() {
+                "0" => config.incremental = false,
+                "1" => config.incremental = true,
+                _ => warnings.push(EnvWarning {
+                    var: "DISCHARGE_INCREMENTAL",
+                    value: raw,
+                    expected: "0 or 1",
+                }),
+            }
+        }
         if let Some(raw) = lookup("DISCHARGE_CACHE") {
             let path = raw.trim();
             if path.is_empty() {
@@ -409,6 +428,7 @@ impl Config {
             workers: self.workers,
             max_conflicts: self.max_conflicts,
             branch_budget: self.branch_budget,
+            incremental: self.incremental,
         }
     }
 }
@@ -423,6 +443,7 @@ pub struct VerifierBuilder {
     workers: Option<usize>,
     max_conflicts: Option<u64>,
     branch_budget: Option<u64>,
+    incremental: Option<bool>,
     cache: Option<CachePolicy>,
     cache_max: Option<usize>,
     stages: Option<StageSet>,
@@ -454,6 +475,13 @@ impl VerifierBuilder {
     /// Branch-and-bound node budget per theory check.
     pub fn branch_budget(mut self, branch_budget: u64) -> Self {
         self.branch_budget = Some(branch_budget);
+        self
+    }
+
+    /// Toggles the incremental grouped session discharge (see
+    /// [`DischargeConfig::incremental`]). On by default.
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = Some(incremental);
         self
     }
 
@@ -513,6 +541,7 @@ impl VerifierBuilder {
         self.workers = Some(config.workers);
         self.max_conflicts = Some(config.max_conflicts);
         self.branch_budget = Some(config.branch_budget);
+        self.incremental = Some(config.incremental);
         self.cache = Some(config.cache);
         self.cache_max = Some(config.cache_max);
         self.stages = Some(config.stages);
@@ -532,6 +561,7 @@ impl VerifierBuilder {
             workers: self.workers.unwrap_or(base.workers),
             max_conflicts: self.max_conflicts.unwrap_or(base.max_conflicts),
             branch_budget: self.branch_budget.unwrap_or(base.branch_budget),
+            incremental: self.incremental.unwrap_or(base.incremental),
             cache: self.cache.unwrap_or(base.cache),
             cache_max: self.cache_max.unwrap_or(base.cache_max),
             stages: self.stages.unwrap_or(base.stages),
@@ -1256,6 +1286,27 @@ mod tests {
         assert_eq!(warnings.len(), 1);
         assert_eq!(warnings[0].var, "DISCHARGE_CONFLICTS");
         assert!(warnings[0].to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn incremental_knob_layers_like_the_budgets() {
+        assert!(Config::default().incremental, "incremental is the default");
+        let (off, warnings) = Config::from_lookup(|name| match name {
+            "DISCHARGE_INCREMENTAL" => Some("0".to_string()),
+            _ => None,
+        });
+        assert!(!off.incremental);
+        assert!(warnings.is_empty());
+        let (kept, warnings) = Config::from_lookup(|name| match name {
+            "DISCHARGE_INCREMENTAL" => Some("maybe".to_string()),
+            _ => None,
+        });
+        assert!(kept.incremental, "malformed values keep the default");
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].var, "DISCHARGE_INCREMENTAL");
+        let verifier = Verifier::builder().incremental(false).build();
+        assert!(!verifier.config().incremental);
+        assert!(!verifier.engine().config().incremental);
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //!
 //! # Keys and fingerprints
 //!
-//! Entries are keyed by the [`GoalKey`] — the canonical rendering of the
-//! encoded [`BTerm`](relaxed_smt::ast::BTerm) goal. Encoding restarts
-//! bound-variable numbering per
-//! goal (see the engine docs), so the key is a *structural* identity: two
-//! occurrences of the same obligation, in different programs or different
-//! runs, map to the same key.
+//! Entries are keyed by the [`GoalKey`] — the canonical s-expression
+//! rendering of the interned, α-normalized
+//! [`BTerm`](relaxed_smt::ast::BTerm) goal (see
+//! [`relaxed_smt::intern`]). Encoding restarts bound-variable numbering
+//! per goal (see the engine docs) and interning normalizes binder names
+//! away, so the key is a *structural* identity: two occurrences of the
+//! same obligation, in different programs or different runs — even under
+//! α-renaming — map to the same key.
 //!
 //! A verdict is only as reusable as the configuration that produced it,
 //! so the file carries a [`fingerprint`] of everything that can
@@ -44,9 +46,9 @@
 //! A dependency-free, append-friendly JSON-lines log:
 //!
 //! ```json
-//! {"format":1,"fingerprint":"format=1;encoder=1;solver=1;conflicts=200000;branch=20000"}
-//! {"goal":"Atom(Le, Var(\"x\"), Var(\"x\"))","verdict":"valid"}
-//! {"goal":"Atom(Ge, Var(\"x\"), Const(5))","verdict":"invalid","model":{"x":"0"}}
+//! {"format":1,"fingerprint":"format=1;encoder=2;solver=2;conflicts=200000;branch=20000"}
+//! {"goal":"(<= (v |x|) (v |x|))","verdict":"valid"}
+//! {"goal":"(>= (v |x|) 5)","verdict":"invalid","model":{"x":"0"}}
 //! {"goal":"...","verdict":"unknown","reason":"conflict budget exhausted"}
 //! ```
 //!
@@ -76,22 +78,39 @@ pub const FORMAT_VERSION: u32 = 1;
 /// The canonical identity of an encoded goal — the verdict-cache key,
 /// in memory and on disk.
 ///
-/// Produced by [`GoalKey::of`] from the canonical encoding of an
-/// obligation: the rendering is injective on the solver AST, so distinct
-/// goals never collide, and structurally identical goals always do.
+/// Produced by [`GoalKey::of`] by interning the goal into a hash-consing
+/// arena ([`relaxed_smt::intern`]) and rendering the root node as a
+/// canonical s-expression: the rendering is injective on the solver AST
+/// (so distinct goals never collide), α-invariant (binder names
+/// normalize to de Bruijn indices, so renamed-but-identical obligations
+/// share one key), and independent of Rust's `Debug` formatting. The
+/// inner string is private: the only way to observe a key is through
+/// [`GoalKey::as_str`]/[`GoalKey::render`], so every cache record and
+/// shard frame goes through the one canonical renderer.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GoalKey(String);
 
 impl GoalKey {
     /// The key of an encoded goal.
     pub fn of(goal: &relaxed_smt::ast::BTerm) -> GoalKey {
-        GoalKey(format!("{goal:?}"))
+        GoalKey(relaxed_smt::intern::canonical_key(goal))
     }
 
     /// The rendered key text (what the `goal` field of a cache record
     /// holds).
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+
+    /// The explicit on-disk rendering of this key.
+    ///
+    /// Currently identical to [`GoalKey::as_str`]; it exists as a
+    /// separate, versioned entry point so the wire format can evolve
+    /// independently of the in-memory identity. Any change to this
+    /// rendering must bump [`ENCODER_VERSION`] (or [`FORMAT_VERSION`]) so
+    /// stale cached verdicts are never replayed.
+    pub fn render(&self) -> String {
+        self.0.clone()
     }
 }
 
@@ -413,7 +432,7 @@ fn render_header(fingerprint: &str) -> String {
 
 fn render_entry(out: &mut String, key: &GoalKey, verdict: &Validity) {
     out.push_str("{\"goal\":");
-    out.push_str(&json_string(key.as_str()));
+    out.push_str(&json_string(&key.render()));
     out.push(',');
     render_verdict(out, verdict);
     out.push('}');
@@ -847,7 +866,19 @@ mod tests {
         let c = GoalKey::of(&ITerm::var("x").le(ITerm::Const(2)));
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert!(a.as_str().contains("Le"));
+        assert_eq!(a.as_str(), "(<= (v |x|) 1)");
+        assert_eq!(a.render(), a.as_str());
+    }
+
+    #[test]
+    fn goal_keys_are_alpha_invariant() {
+        // ∀x. x ≤ y and ∀z. z ≤ y are the same obligation.
+        let a = GoalKey::of(&ITerm::var("x").le(ITerm::var("y")).forall("x"));
+        let b = GoalKey::of(&ITerm::var("z").le(ITerm::var("y")).forall("z"));
+        assert_eq!(a, b);
+        // Renaming the free variable is a different obligation.
+        let c = GoalKey::of(&ITerm::var("x").le(ITerm::var("w")).forall("x"));
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -20,7 +20,12 @@ use std::collections::HashMap;
 /// name mangling, α-renaming, simplification — must bump this constant so
 /// that verdicts keyed by the old encoding are invalidated instead of
 /// replayed against goals they no longer describe.
-pub const ENCODER_VERSION: u32 = 1;
+///
+/// Version 2: goal keys switched from the `Debug` rendering of the
+/// encoded term to the interned canonical s-expression
+/// ([`relaxed_smt::intern`]) — every key changed, so every pre-existing
+/// cache entry must be invalidated.
+pub const ENCODER_VERSION: u32 = 2;
 
 /// Allocates fresh bound-variable names during encoding.
 #[derive(Debug, Default)]

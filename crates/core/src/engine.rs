@@ -20,22 +20,33 @@
 //!    and across the programs of a
 //!    [`Verifier::check_corpus`](crate::api::Verifier::check_corpus)
 //!    batch.
-//! 2. **Parallel discharge.** The unique, uncached goals are solved on a
-//!    [`std::thread::scope`] worker pool, one fresh [`Solver`] per goal.
-//!    Results are reassembled in generation order, so a [`Report`] is
-//!    byte-for-byte identical regardless of scheduling.
+//! 2. **Incremental, parallel discharge.** The unique, uncached goals
+//!    are partitioned into work units and solved on a
+//!    [`std::thread::scope`] worker pool. Goals of the shape `h ⇒ c`
+//!    whose hypothesis and conclusion both lie in the pure linear
+//!    fragment are grouped by structurally shared hypothesis and
+//!    discharged through one [`Solver::session`] per group: the
+//!    hypothesis is asserted once, then each conclusion is refuted in
+//!    its own `push`/`pop` scope, keeping the clause database and the
+//!    simplex tableau warm across the group
+//!    ([`DischargeConfig::incremental`]; verdict-equivalent to a fresh
+//!    solver per goal). Everything else gets a fresh [`Solver`]. Groups
+//!    — not goals — are the unit of scheduling, and results are
+//!    reassembled in generation order, so a [`Report`] is byte-for-byte
+//!    identical regardless of worker count.
 //!
-//! Worker count and solver budgets come from [`DischargeConfig`]. The
-//! engine itself never reads the process environment; the
-//! `DISCHARGE_WORKERS`, `DISCHARGE_CONFLICTS` and `DISCHARGE_BRANCH_BUDGET`
-//! variables are applied only through the explicit opt-in layer
+//! Worker count, solver budgets and the incremental toggle come from
+//! [`DischargeConfig`]. The engine itself never reads the process
+//! environment; the `DISCHARGE_WORKERS`, `DISCHARGE_CONFLICTS`,
+//! `DISCHARGE_BRANCH_BUDGET` and `DISCHARGE_INCREMENTAL` variables are
+//! applied only through the explicit opt-in layer
 //! [`Config::from_env`](crate::api::Config::from_env).
 
 use crate::cache::{self, CacheWarning, GoalKey};
 use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
 use crate::vcgen::{Vc, VcBody};
 use crate::verify::{Report, VcResult};
-use relaxed_smt::ast::BTerm;
+use relaxed_smt::ast::{BTerm, ITerm};
 use relaxed_smt::{Solver, SolverStats, Validity};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -53,6 +64,13 @@ pub struct DischargeConfig {
     /// Branch-and-bound node budget per theory check (see
     /// [`Solver::branch_budget`]).
     pub branch_budget: u64,
+    /// Whether pure-linear goals sharing a hypothesis are discharged
+    /// incrementally through one [`Solver::session`] per group instead
+    /// of one fresh solver per goal (the default). Verdicts are
+    /// identical either way — only solver reuse changes — so this knob
+    /// is deliberately **excluded** from the on-disk cache
+    /// [fingerprint](crate::cache::fingerprint), like `workers`.
+    pub incremental: bool,
 }
 
 impl Default for DischargeConfig {
@@ -60,8 +78,9 @@ impl Default for DischargeConfig {
         let defaults = Solver::default();
         DischargeConfig {
             workers: 0,
-            max_conflicts: defaults.max_conflicts,
-            branch_budget: defaults.branch_budget,
+            max_conflicts: defaults.max_conflicts(),
+            branch_budget: defaults.branch_budget(),
+            incremental: true,
         }
     }
 }
@@ -694,9 +713,40 @@ impl DischargeEngine {
             }
         }
 
-        // Solve the remaining unique goals on the worker pool. Each goal
-        // gets a fresh solver, so per-goal verdicts and statistics are
-        // deterministic regardless of scheduling.
+        // Partition the unsolved goals into work units. Under incremental
+        // discharge, goals of the shape `h ⇒ c` whose hypothesis and
+        // conclusion both lie in the pure linear fragment are grouped by
+        // structurally shared hypothesis; a group of two or more is
+        // discharged through one solver session (hypothesis asserted
+        // once, each conclusion refuted in its own push/pop scope).
+        // Preprocessing is the identity on that fragment, so the scoped
+        // discharge is verdict-equivalent to a fresh solver per goal.
+        // Everything else — quantified goals, array reads, division,
+        // singleton groups — keeps the fresh-solver path.
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        if self.config.incremental {
+            let mut by_hyp: HashMap<&BTerm, usize> = HashMap::new();
+            for &gi in &work {
+                match unique_goals[gi] {
+                    BTerm::Implies(h, c) if linear_bool(h) && linear_bool(c) => {
+                        let next = units.len();
+                        let ui = *by_hyp.entry(h).or_insert(next);
+                        if ui == next {
+                            units.push(Vec::new());
+                        }
+                        units[ui].push(gi);
+                    }
+                    _ => units.push(vec![gi]),
+                }
+            }
+        } else {
+            units.extend(work.iter().map(|&gi| vec![gi]));
+        }
+
+        // Solve the work units on the worker pool. Units — not goals —
+        // are the unit of scheduling, and each unit's goals are solved in
+        // generation order within it, so per-goal verdicts and statistics
+        // are deterministic regardless of worker count.
         let workers = match opts.workers {
             Some(w) => DischargeConfig {
                 workers: w,
@@ -705,14 +755,39 @@ impl DischargeEngine {
             .effective_workers(work.len()),
             None => self.config.effective_workers(work.len()),
         };
-        let solve = |gi: usize| {
+        let solve_fresh = |gi: usize| {
             let mut solver =
                 Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
             let verdict = solver.check_valid(unique_goals[gi]);
             (gi, verdict, solver.stats())
         };
+        let solve_unit = |unit: &[usize]| -> Vec<(usize, Validity, SolverStats)> {
+            if let &[gi] = unit {
+                return vec![solve_fresh(gi)];
+            }
+            let BTerm::Implies(h, _) = unique_goals[unit[0]] else {
+                unreachable!("grouped goals are implications");
+            };
+            let mut solver =
+                Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
+            let mut session = solver.session();
+            session.assert(h);
+            unit.iter()
+                .map(|&gi| {
+                    let BTerm::Implies(_, c) = unique_goals[gi] else {
+                        unreachable!("grouped goals are implications");
+                    };
+                    // Per-goal statistics are the session counters'
+                    // advance over this one scoped check, so folding them
+                    // per VC reconstructs the session totals exactly.
+                    let before = session.stats();
+                    let verdict = session.check_valid(c);
+                    (gi, verdict, session.stats().delta_since(&before))
+                })
+                .collect()
+        };
         let mut solved: Vec<(usize, Validity, SolverStats)> = if workers <= 1 {
-            work.iter().map(|&gi| solve(gi)).collect()
+            units.iter().flat_map(|unit| solve_unit(unit)).collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let sink: Mutex<Vec<(usize, Validity, SolverStats)>> =
@@ -721,9 +796,9 @@ impl DischargeEngine {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&gi) = work.get(k) else { break };
-                        let outcome = solve(gi);
-                        sink.lock().expect("sink lock").push(outcome);
+                        let Some(unit) = units.get(k) else { break };
+                        let outcome = solve_unit(unit);
+                        sink.lock().expect("sink lock").extend(outcome);
                     });
                 }
             });
@@ -836,6 +911,44 @@ impl Drop for DischargeEngine {
                 ));
             }
         }
+    }
+}
+
+/// Whether a boolean term lies in the quantifier-free pure linear
+/// fragment: no quantifiers, array reads, lengths, division or
+/// remainder, and multiplication only by a literal constant.
+///
+/// The solver's preprocessing (quantifier elimination, grounding) is the
+/// identity on this fragment — no fresh names, no definitional axioms,
+/// no Ackermann congruence instances — so asserting a conjunction into a
+/// session one conjunct at a time is exactly equivalent to asserting the
+/// conjunction into a fresh solver. That equivalence is what licenses
+/// the incremental grouped discharge; anything outside the fragment
+/// stays on the fresh-solver path.
+fn linear_bool(b: &BTerm) -> bool {
+    match b {
+        BTerm::True | BTerm::False => true,
+        BTerm::Atom(_, l, r) => linear_int(l) && linear_int(r),
+        BTerm::And(l, r) | BTerm::Or(l, r) | BTerm::Implies(l, r) => {
+            linear_bool(l) && linear_bool(r)
+        }
+        BTerm::Not(inner) => linear_bool(inner),
+        BTerm::Exists(..) | BTerm::Forall(..) => false,
+    }
+}
+
+/// The integer-term half of [`linear_bool`].
+fn linear_int(t: &ITerm) -> bool {
+    match t {
+        ITerm::Const(_) | ITerm::Var(_) => true,
+        ITerm::Add(l, r) | ITerm::Sub(l, r) => linear_int(l) && linear_int(r),
+        ITerm::Neg(inner) => linear_int(inner),
+        ITerm::Mul(l, r) => {
+            (matches!(**l, ITerm::Const(_)) || matches!(**r, ITerm::Const(_)))
+                && linear_int(l)
+                && linear_int(r)
+        }
+        ITerm::Div(..) | ITerm::Mod(..) | ITerm::Select(..) | ITerm::Len(..) => false,
     }
 }
 
@@ -1133,6 +1246,7 @@ mod tests {
             workers: 1,
             max_conflicts: 1,
             branch_budget: 1,
+            incremental: true,
         };
         let engine = DischargeEngine::with_config(config);
         assert_eq!(engine.config().max_conflicts, 1);
@@ -1143,5 +1257,69 @@ mod tests {
         )];
         let report = engine.discharge(vcs);
         assert!(!report.results[0].verdict.is_valid());
+    }
+
+    /// A VC corpus that exercises the grouped session path: several
+    /// implications over one shared hypothesis (mixed valid and
+    /// invalid), a second smaller group, a quantified (ineligible)
+    /// goal, and a goal that is no implication at all.
+    fn grouped_vcs() -> Vec<Vc> {
+        let mut vcs: Vec<Vc> = (0..6)
+            .map(|i| {
+                let f = match i % 3 {
+                    0 => format!("x >= 0 && x <= 9 ==> x + {i} >= 0"),
+                    1 => format!("x >= 0 && x <= 9 ==> x >= {i}"),
+                    _ => format!("y >= 2 ==> y + {i} >= 3"),
+                };
+                unary_vc(&format!("vc{i}"), &f)
+            })
+            .collect();
+        vcs.push(unary_vc("q", "forall b. b >= x ==> b + 1 > x"));
+        vcs.push(unary_vc("plain", "z <= z"));
+        vcs
+    }
+
+    #[test]
+    fn incremental_discharge_matches_fresh_solvers() {
+        let vcs = grouped_vcs();
+        let fresh = DischargeEngine::with_config(DischargeConfig {
+            incremental: false,
+            ..DischargeConfig::sequential()
+        })
+        .discharge(vcs.clone());
+        let scoped = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs);
+        assert_eq!(fresh.results.len(), scoped.results.len());
+        for (a, b) in fresh.results.iter().zip(&scoped.results) {
+            // Status-level equivalence: an `Invalid` countermodel is a
+            // witness, and the warm session may find a different one.
+            assert_eq!(
+                std::mem::discriminant(&a.verdict),
+                std::mem::discriminant(&b.verdict),
+                "verdict mismatch on {}: {:?} vs {:?}",
+                a.vc,
+                a.verdict,
+                b.verdict
+            );
+            assert_eq!(a.cached, b.cached);
+        }
+        assert_eq!(fresh.engine.cache_misses, scoped.engine.cache_misses);
+        // One query per freshly solved goal either way: the session folds
+        // a single `queries` tick per scoped check.
+        assert_eq!(fresh.stats.queries, scoped.stats.queries);
+    }
+
+    #[test]
+    fn incremental_discharge_is_schedule_independent() {
+        let vcs = grouped_vcs();
+        let seq =
+            DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs.clone());
+        let par = DischargeEngine::with_config(DischargeConfig::with_workers(4)).discharge(vcs);
+        assert_eq!(seq.results.len(), par.results.len());
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            assert_eq!(a.verdict, b.verdict, "verdict mismatch on {}", a.vc);
+            assert_eq!(a.cached, b.cached);
+            assert_eq!(a.stats, b.stats, "stats mismatch on {}", a.vc);
+        }
+        assert_eq!(seq.stats, par.stats);
     }
 }

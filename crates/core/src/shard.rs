@@ -188,9 +188,11 @@ fn render_config_frame(config: &Config, per_worker: usize) -> String {
         CachePolicy::Shared | CachePolicy::PerProgram => String::new(),
     };
     let per_program = u8::from(matches!(config.cache, CachePolicy::PerProgram));
+    let incremental = u8::from(config.incremental);
     format!(
         "{{\"type\":\"config\",\"proto\":{PROTOCOL_VERSION},\"max_conflicts\":{},\
-         \"branch_budget\":{},\"workers\":{per_worker},\"stages\":{},\"cache\":{},\
+         \"branch_budget\":{},\"incremental\":{incremental},\"workers\":{per_worker},\
+         \"stages\":{},\"cache\":{},\
          \"cache_max\":{},\"per_program\":{per_program}}}",
         config.max_conflicts,
         config.branch_budget,
@@ -491,6 +493,10 @@ pub fn worker_loop(
                 let mut config = Config {
                     max_conflicts: field_u64(fields, "max_conflicts").map_err(&violation)?,
                     branch_budget: field_u64(fields, "branch_budget").map_err(&violation)?,
+                    // Optional with a permissive default: the knob is
+                    // verdict-equivalent, so a coordinator that predates
+                    // it just gets the worker's default behavior.
+                    incremental: field_u64(fields, "incremental") != Ok(0),
                     workers: field_u64(fields, "workers").map_err(&violation)? as usize,
                     cache_max: field_u64(fields, "cache_max").map_err(&violation)? as usize,
                     stages: parse_stages(field_str(fields, "stages").map_err(&violation)?)

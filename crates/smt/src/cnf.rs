@@ -180,6 +180,38 @@ impl CnfBuilder {
     pub fn assert_root(&mut self, lit: Lit) {
         self.sat.add_clause(vec![lit]);
     }
+
+    /// Marks the current encoder + SAT state for a later
+    /// [`CnfBuilder::pop_to`]. The theory [`VarPool`] is deliberately
+    /// *not* marked: interned integer variables are global name
+    /// identities, and keeping them across pops lets a session's simplex
+    /// tableau reuse stable columns.
+    pub(crate) fn mark(&mut self) -> CnfMark {
+        CnfMark {
+            sat: self.sat.mark(),
+            natoms: self.atoms.len(),
+            true_var: self.true_var,
+        }
+    }
+
+    /// Restores the builder to `mark`: SAT clauses/variables added since
+    /// are dropped, and the atom table shrinks in lock-step (atoms are
+    /// 1:1 with SAT variables).
+    pub(crate) fn pop_to(&mut self, mark: &CnfMark) {
+        self.sat.pop_to(mark.sat);
+        self.atoms.truncate(mark.natoms);
+        self.atom_vars.retain(|_, v| (*v as usize) < mark.natoms);
+        self.true_var = mark.true_var;
+    }
+}
+
+/// A restorable mark of a [`CnfBuilder`]'s state (SAT mark + atom-table
+/// length + the interned `true` literal, if any).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CnfMark {
+    sat: crate::sat::SatMark,
+    natoms: usize,
+    true_var: Option<BVar>,
 }
 
 #[cfg(test)]

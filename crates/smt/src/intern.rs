@@ -1,0 +1,393 @@
+//! Hash-consed term interning and the canonical goal renderer.
+//!
+//! [`TermArena`] interns [`BTerm`]/[`ITerm`] trees into a side table of
+//! structurally-hashed nodes: equal sub-terms (after α-normalization of
+//! binder names to de Bruijn indices) intern to the same stable
+//! [`NodeId`], so a goal's identity is a single integer and structurally
+//! identical goals share every node. [`TermArena::render`] turns a node
+//! back into an injective canonical s-expression — the one renderer the
+//! verdict cache's `GoalKey` and the on-disk record format are built on,
+//! replacing the old `format!("{goal:?}")` Debug identity (which was
+//! neither stable across Rust versions nor α-invariant).
+
+use std::collections::HashMap;
+
+use crate::ast::{BTerm, ITerm, Rel};
+
+/// A stable handle to an interned term node. Equal sub-terms (up to
+/// α-renaming of bound variables) always receive the same id within one
+/// [`TermArena`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw index of this node in its arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One structurally-hashed term node. Integer and boolean constructors
+/// share a single node space so a goal is one id; bound variables are
+/// de Bruijn indices (α-normalization happens during interning).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    // Integer terms.
+    Const(i64),
+    Free(String),
+    Bound(u32),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Neg(NodeId),
+    Mul(NodeId, NodeId),
+    Div(NodeId, NodeId),
+    Mod(NodeId, NodeId),
+    Select(String, NodeId),
+    Len(String),
+    // Boolean terms.
+    True,
+    False,
+    Atom(Rel, NodeId, NodeId),
+    And(NodeId, NodeId),
+    Or(NodeId, NodeId),
+    Implies(NodeId, NodeId),
+    Not(NodeId),
+    Exists(NodeId),
+    Forall(NodeId),
+}
+
+/// A hash-consing arena for [`BTerm`]/[`ITerm`] trees.
+///
+/// Interning is bottom-up: children are interned first, so every node's
+/// children have smaller ids and the node table is acyclic by
+/// construction. The arena never forgets a node; ids stay valid for the
+/// arena's lifetime.
+#[derive(Default, Debug)]
+pub struct TermArena {
+    nodes: Vec<Node>,
+    ids: HashMap<Node, NodeId>,
+}
+
+impl TermArena {
+    /// An empty arena.
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// The number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn node(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena exceeds u32 nodes"));
+        self.nodes.push(node.clone());
+        self.ids.insert(node, id);
+        id
+    }
+
+    /// Interns a boolean term (a goal or assumption formula).
+    pub fn intern_bool(&mut self, t: &BTerm) -> NodeId {
+        let mut env = Vec::new();
+        self.bool_in(t, &mut env)
+    }
+
+    /// Interns an integer term.
+    pub fn intern_int(&mut self, t: &ITerm) -> NodeId {
+        let mut env = Vec::new();
+        self.int_in(t, &mut env)
+    }
+
+    fn bool_in(&mut self, t: &BTerm, env: &mut Vec<String>) -> NodeId {
+        let node = match t {
+            BTerm::True => Node::True,
+            BTerm::False => Node::False,
+            BTerm::Atom(rel, a, b) => {
+                let a = self.int_in(a, env);
+                let b = self.int_in(b, env);
+                Node::Atom(*rel, a, b)
+            }
+            BTerm::And(a, b) => {
+                let a = self.bool_in(a, env);
+                let b = self.bool_in(b, env);
+                Node::And(a, b)
+            }
+            BTerm::Or(a, b) => {
+                let a = self.bool_in(a, env);
+                let b = self.bool_in(b, env);
+                Node::Or(a, b)
+            }
+            BTerm::Implies(a, b) => {
+                let a = self.bool_in(a, env);
+                let b = self.bool_in(b, env);
+                Node::Implies(a, b)
+            }
+            BTerm::Not(a) => Node::Not(self.bool_in(a, env)),
+            BTerm::Exists(name, body) => {
+                env.push(name.clone());
+                let body = self.bool_in(body, env);
+                env.pop();
+                Node::Exists(body)
+            }
+            BTerm::Forall(name, body) => {
+                env.push(name.clone());
+                let body = self.bool_in(body, env);
+                env.pop();
+                Node::Forall(body)
+            }
+        };
+        self.node(node)
+    }
+
+    fn int_in(&mut self, t: &ITerm, env: &mut Vec<String>) -> NodeId {
+        let node = match t {
+            ITerm::Const(n) => Node::Const(*n),
+            ITerm::Var(name) => {
+                // Innermost binder wins, exactly like substitution does.
+                match env.iter().rposition(|b| b == name) {
+                    Some(pos) => {
+                        let depth = env.len() - 1 - pos;
+                        Node::Bound(u32::try_from(depth).expect("binder depth exceeds u32"))
+                    }
+                    None => Node::Free(name.clone()),
+                }
+            }
+            ITerm::Add(a, b) => {
+                let a = self.int_in(a, env);
+                let b = self.int_in(b, env);
+                Node::Add(a, b)
+            }
+            ITerm::Sub(a, b) => {
+                let a = self.int_in(a, env);
+                let b = self.int_in(b, env);
+                Node::Sub(a, b)
+            }
+            ITerm::Neg(a) => Node::Neg(self.int_in(a, env)),
+            ITerm::Mul(a, b) => {
+                let a = self.int_in(a, env);
+                let b = self.int_in(b, env);
+                Node::Mul(a, b)
+            }
+            ITerm::Div(a, b) => {
+                let a = self.int_in(a, env);
+                let b = self.int_in(b, env);
+                Node::Div(a, b)
+            }
+            ITerm::Mod(a, b) => {
+                let a = self.int_in(a, env);
+                let b = self.int_in(b, env);
+                Node::Mod(a, b)
+            }
+            ITerm::Select(array, index) => Node::Select(array.clone(), self.int_in(index, env)),
+            ITerm::Len(array) => Node::Len(array.clone()),
+        };
+        self.node(node)
+    }
+
+    /// Renders an interned node as the canonical s-expression.
+    ///
+    /// The rendering is injective on interned structure: free names are
+    /// `|`-quoted with `\`-escaping, bound variables appear as their de
+    /// Bruijn index, and every constructor has a distinct head token — so
+    /// two nodes render equal iff they are the same node. This is the
+    /// stable on-disk goal identity; any change to it must bump the cache
+    /// format version in `relaxed-core`.
+    pub fn render(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.render_into(id, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: NodeId, out: &mut String) {
+        use std::fmt::Write;
+        match &self.nodes[id.index()] {
+            Node::Const(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Node::Free(name) => {
+                out.push_str("(v ");
+                quote_name(name, out);
+                out.push(')');
+            }
+            Node::Bound(k) => {
+                let _ = write!(out, "(b {k})");
+            }
+            Node::Add(a, b) => self.render_bin("+", *a, *b, out),
+            Node::Sub(a, b) => self.render_bin("-", *a, *b, out),
+            Node::Neg(a) => self.render_un("~", *a, out),
+            Node::Mul(a, b) => self.render_bin("*", *a, *b, out),
+            Node::Div(a, b) => self.render_bin("/", *a, *b, out),
+            Node::Mod(a, b) => self.render_bin("%", *a, *b, out),
+            Node::Select(array, index) => {
+                out.push_str("(sel ");
+                quote_name(array, out);
+                out.push(' ');
+                self.render_into(*index, out);
+                out.push(')');
+            }
+            Node::Len(array) => {
+                out.push_str("(len ");
+                quote_name(array, out);
+                out.push(')');
+            }
+            Node::True => out.push_str("#t"),
+            Node::False => out.push_str("#f"),
+            Node::Atom(rel, a, b) => {
+                let head = match rel {
+                    Rel::Lt => "<",
+                    Rel::Le => "<=",
+                    Rel::Gt => ">",
+                    Rel::Ge => ">=",
+                    Rel::Eq => "==",
+                    Rel::Ne => "!=",
+                };
+                self.render_bin(head, *a, *b, out);
+            }
+            Node::And(a, b) => self.render_bin("and", *a, *b, out),
+            Node::Or(a, b) => self.render_bin("or", *a, *b, out),
+            Node::Implies(a, b) => self.render_bin("=>", *a, *b, out),
+            Node::Not(a) => self.render_un("not", *a, out),
+            Node::Exists(body) => self.render_un("exists", *body, out),
+            Node::Forall(body) => self.render_un("forall", *body, out),
+        }
+    }
+
+    fn render_bin(&self, head: &str, a: NodeId, b: NodeId, out: &mut String) {
+        out.push('(');
+        out.push_str(head);
+        out.push(' ');
+        self.render_into(a, out);
+        out.push(' ');
+        self.render_into(b, out);
+        out.push(')');
+    }
+
+    fn render_un(&self, head: &str, a: NodeId, out: &mut String) {
+        out.push('(');
+        out.push_str(head);
+        out.push(' ');
+        self.render_into(a, out);
+        out.push(')');
+    }
+}
+
+/// `|`-quotes a free name, escaping `\` and `|` so arbitrary source
+/// identifiers (which may contain the encoder's `!` separators or any
+/// other byte) stay injective inside the s-expression.
+fn quote_name(name: &str, out: &mut String) {
+    out.push('|');
+    for c in name.chars() {
+        if c == '\\' || c == '|' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('|');
+}
+
+/// Interns `goal` into a fresh arena and renders its canonical key — the
+/// α-invariant, Debug-independent identity string used by the verdict
+/// cache.
+pub fn canonical_key(goal: &BTerm) -> String {
+    let mut arena = TermArena::new();
+    let id = arena.intern_bool(goal);
+    arena.render(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ITerm;
+
+    fn sample_goal(bound: &str, free: &str) -> BTerm {
+        // (∀b. b ≥ free ⇒ b + 1 > free) ∧ free ≤ 7 — only the binder
+        // name varies under α-renaming; the free name is a real identity.
+        ITerm::var(bound)
+            .ge(ITerm::var(free))
+            .implies(
+                ITerm::var(bound)
+                    .add(ITerm::Const(1))
+                    .rel(Rel::Gt, ITerm::var(free)),
+            )
+            .forall(bound)
+            .and(ITerm::var(free).le(ITerm::Const(7)))
+    }
+
+    #[test]
+    fn structurally_equal_terms_share_one_id() {
+        let mut arena = TermArena::new();
+        let a = sample_goal("x", "y");
+        let b = sample_goal("x", "y");
+        assert_eq!(arena.intern_bool(&a), arena.intern_bool(&b));
+        let before = arena.len();
+        arena.intern_bool(&a);
+        assert_eq!(arena.len(), before, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn shared_subterms_intern_once() {
+        let mut arena = TermArena::new();
+        let sub = ITerm::var("x").add(ITerm::var("y"));
+        let goal = sub.clone().le(ITerm::Const(3)).and(sub.ge(ITerm::Const(0)));
+        arena.intern_bool(&goal);
+        let x_plus_y = arena
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Add(_, _)))
+            .count();
+        assert_eq!(x_plus_y, 1, "x + y must be one shared node");
+    }
+
+    #[test]
+    fn alpha_renamed_binders_share_one_id() {
+        let mut arena = TermArena::new();
+        let a = sample_goal("x", "y");
+        let b = sample_goal("z", "y");
+        assert_eq!(arena.intern_bool(&a), arena.intern_bool(&b));
+        // Renaming the *free* variable must NOT collide.
+        let c = sample_goal("x", "w");
+        assert_ne!(arena.intern_bool(&a), arena.intern_bool(&c));
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost_binder() {
+        // ∀x. ∀x. x ≤ 0 — the atom refers to the inner binder.
+        let inner_ref = ITerm::var("x").le(ITerm::Const(0)).forall("x").forall("x");
+        // ∀x. ∀y. x ≤ 0 — refers to the outer binder. Must differ.
+        let outer_ref = ITerm::var("x").le(ITerm::Const(0)).forall("y").forall("x");
+        assert_ne!(canonical_key(&inner_ref), canonical_key(&outer_ref));
+        // And α-equivalent spellings of the inner-reference form agree.
+        let inner_renamed = ITerm::var("q").le(ITerm::Const(0)).forall("q").forall("p");
+        assert_eq!(canonical_key(&inner_ref), canonical_key(&inner_renamed));
+    }
+
+    #[test]
+    fn renderer_is_injective_on_tricky_names() {
+        // Names that would collide under naive concatenation.
+        let a = ITerm::var("a|b").le(ITerm::Const(0));
+        let b = ITerm::var("a\\|b").le(ITerm::Const(0));
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+        // Distinct relations render distinctly.
+        let le = ITerm::var("x").le(ITerm::Const(0));
+        let lt = ITerm::var("x").lt(ITerm::Const(0));
+        assert_ne!(canonical_key(&le), canonical_key(&lt));
+    }
+
+    #[test]
+    fn canonical_key_shape_is_stable() {
+        // The on-disk format depends on this exact rendering; a change
+        // here must come with a cache format-version bump.
+        let goal = ITerm::var("x").add(ITerm::Const(2)).le(ITerm::var("n!o"));
+        assert_eq!(canonical_key(&goal), "(<= (+ (v |x|) 2) (v |n!o|))");
+        let quantified = ITerm::var("k").ge(ITerm::Const(0)).exists("k");
+        assert_eq!(canonical_key(&quantified), "(exists (>= (b 0) 0))");
+    }
+}

@@ -20,7 +20,11 @@
 //!   reads (Ackermann), and array lengths; uninterpreted weakening for
 //!   the rest;
 //! * [`solver`] — the DPLL(T) driver and the public
-//!   [`Solver::check_sat`]/[`Solver::check_valid`] API.
+//!   [`Solver::check_sat`]/[`Solver::check_valid`] API, plus the
+//!   incremental [`Solver::session`] API ([`ScopedSolver`]) with
+//!   `assert`/`push`/`pop` assumption scopes;
+//! * [`intern`] — hash-consed term interning and the α-invariant
+//!   canonical goal renderer the verdict cache keys on.
 //!
 //! ## Soundness contract
 //!
@@ -48,6 +52,7 @@
 pub mod ast;
 pub mod cnf;
 pub mod ground;
+pub mod intern;
 pub mod linear;
 pub mod preprocess;
 pub mod rational;
@@ -56,5 +61,6 @@ pub mod simplex;
 pub mod solver;
 
 pub use ast::{BTerm, ITerm, Rel};
+pub use intern::{NodeId, TermArena};
 pub use rational::Rat;
-pub use solver::{Model, SmtResult, Solver, SolverStats, Validity, SOLVER_VERSION};
+pub use solver::{Model, ScopedSolver, SmtResult, Solver, SolverStats, Validity, SOLVER_VERSION};

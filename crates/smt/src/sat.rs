@@ -115,9 +115,36 @@ impl SatStats {
         self.restarts += other.restarts;
         self.theory_checks += other.theory_checks;
     }
+
+    /// The per-field difference `self - before`, for folding one check's
+    /// contribution out of a long-lived (session) solver whose counters
+    /// keep accumulating. `before` must be an earlier snapshot of the
+    /// same counters.
+    #[must_use]
+    pub fn delta_since(&self, before: &SatStats) -> SatStats {
+        SatStats {
+            decisions: self.decisions - before.decisions,
+            conflicts: self.conflicts - before.conflicts,
+            propagations: self.propagations - before.propagations,
+            restarts: self.restarts - before.restarts,
+            theory_checks: self.theory_checks - before.theory_checks,
+        }
+    }
 }
 
 const UNDEF: i8 = 0;
+
+/// A restorable mark of a [`SatSolver`]'s root-level state: the variable
+/// and clause counts, the length of the level-0 trail prefix, and the
+/// ok flag. Created by [`SatSolver::mark`], consumed (possibly many
+/// times) by [`SatSolver::pop_to`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SatMark {
+    nvars: usize,
+    nclauses: usize,
+    trail_len: usize,
+    ok: bool,
+}
 
 /// The CDCL solver.
 #[derive(Debug, Default)]
@@ -379,6 +406,56 @@ impl SatSolver {
             learnt.swap(1, max_i);
         }
         (learnt, backjump)
+    }
+
+    /// Returns to decision level 0, keeping level-0 assignments. Needed
+    /// before adding clauses after a `solve_with` that ended in `Sat` or
+    /// `Unknown` (those outcomes leave the search trail in place).
+    pub(crate) fn reset_to_root(&mut self) {
+        self.backtrack_to(0);
+    }
+
+    /// Marks the current level-0 state for a later [`SatSolver::pop_to`].
+    /// Backtracks to level 0 first, so the mark captures exactly the
+    /// root-level clauses, variables, and implied assignments.
+    pub(crate) fn mark(&mut self) -> SatMark {
+        self.reset_to_root();
+        SatMark {
+            nvars: self.num_vars(),
+            nclauses: self.clauses.len(),
+            trail_len: self.trail.len(),
+            ok: self.ok,
+        }
+    }
+
+    /// Restores the solver to `mark`: drops every clause added since —
+    /// including clauses learned since, which may depend on popped
+    /// assertions (conservative but sound) — un-assigns root-level
+    /// implications enqueued since, frees variables allocated since, and
+    /// restores the ok flag.
+    pub(crate) fn pop_to(&mut self, mark: SatMark) {
+        self.backtrack_to(0);
+        // Un-assign root trail entries made after the mark (do this
+        // before truncating the per-variable arrays: the entries may
+        // involve variables about to be freed).
+        while self.trail.len() > mark.trail_len {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var() as usize;
+            self.assigns[v] = UNDEF;
+            self.reason[v] = None;
+        }
+        self.qhead = self.trail.len();
+        self.clauses.truncate(mark.nclauses);
+        self.assigns.truncate(mark.nvars);
+        self.level.truncate(mark.nvars);
+        self.reason.truncate(mark.nvars);
+        self.activity.truncate(mark.nvars);
+        self.phase.truncate(mark.nvars);
+        self.watches.truncate(mark.nvars * 2);
+        for w in &mut self.watches {
+            w.retain(|&ci| (ci as usize) < mark.nclauses);
+        }
+        self.ok = mark.ok;
     }
 
     fn backtrack_to(&mut self, target: u32) {
@@ -661,5 +738,63 @@ mod tests {
         let mut s = solver_with_vars(2);
         let mut theory = RejectAll;
         assert_eq!(s.solve_with(&mut theory), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn mark_and_pop_restore_satisfiability() {
+        let mut s = solver_with_vars(1);
+        s.add_clause(vec![lit(0, true)]);
+        let mark = s.mark();
+        s.add_clause(vec![lit(0, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+        s.pop_to(mark);
+        match s.solve() {
+            SatOutcome::Sat(m) => assert!(m[0]),
+            other => panic!("expected sat after pop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_frees_variables_and_clauses_added_since() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(vec![lit(0, true), lit(1, true)]);
+        let mark = s.mark();
+        let v = s.new_var();
+        s.add_clause(vec![lit(v, true)]);
+        s.add_clause(vec![lit(v, false), lit(0, false)]);
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+        s.reset_to_root();
+        s.pop_to(mark);
+        assert_eq!(s.num_vars(), 2);
+        // The popped clauses must no longer constrain the search: b0 can
+        // be true again.
+        s.add_clause(vec![lit(0, true)]);
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn learned_clauses_survive_within_a_scope_but_drop_on_pop() {
+        // Pigeonhole forces learning; pop must return to the pre-mark
+        // clause count so popped-scope lemmas cannot leak.
+        let mut s = solver_with_vars(6);
+        let mark = s.mark();
+        let base_clauses = s.clauses.len();
+        let p = |i: u32, j: u32| i * 2 + j;
+        for i in 0..3 {
+            s.add_clause(vec![lit(p(i, 0), true), lit(p(i, 1), true)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(vec![lit(p(a, j), false), lit(p(b, j), false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+        assert!(!s.ok);
+        s.pop_to(mark);
+        assert_eq!(s.clauses.len(), base_clauses);
+        assert!(s.ok, "pop restores the ok flag");
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
     }
 }

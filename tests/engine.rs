@@ -4,8 +4,18 @@
 //! aggregation on the paper's §5 case studies.
 
 use relaxed_programs::casestudies;
-use relaxed_programs::smt::SolverStats;
+use relaxed_programs::smt::{SolverStats, Validity};
 use relaxed_programs::{AcceptabilityReport, Stage, Verifier};
+
+/// The status of a verdict, with `Invalid` countermodels and `Unknown`
+/// reasons stripped: what equivalence gates compare.
+fn verdict_status(v: &Validity) -> &'static str {
+    match v {
+        Validity::Valid => "valid",
+        Validity::Invalid(_) => "invalid",
+        Validity::Unknown(_) => "unknown",
+    }
+}
 
 /// Verdicts must be identical under 1 and N workers — the engine's
 /// deterministic-result-ordering guarantee, on the real workload.
@@ -39,6 +49,50 @@ fn parallel_matches_sequential_on_case_studies() {
             flatten(&par),
             "{name}: per-VC verdicts differ"
         );
+    }
+}
+
+/// The incremental scoped discharge (goals grouped by shared hypothesis
+/// and refuted in push/pop scopes of one solver session) must be
+/// verdict-identical to fresh-solver-per-goal discharge on the full §5
+/// corpus — working and broken variants alike — under both worker
+/// schedules.
+#[test]
+fn incremental_discharge_is_verdict_identical_on_corpus() {
+    for (name, program, spec) in casestudies::corpus() {
+        let fresh = Verifier::builder()
+            .workers(1)
+            .incremental(false)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
+        for workers in [1, 4] {
+            let scoped = Verifier::builder()
+                .workers(workers)
+                .build()
+                .check(&program, &spec)
+                .unwrap();
+            assert_eq!(
+                fresh.relaxed_progress(),
+                scoped.relaxed_progress(),
+                "{name}: overall verdict differs under incremental discharge"
+            );
+            // Status-level comparison: an `Invalid` verdict's countermodel
+            // is a witness, not part of the verdict — the session's warm
+            // clause database may legitimately find a different one.
+            let flatten = |r: &AcceptabilityReport| {
+                r.combined()
+                    .results
+                    .iter()
+                    .map(|x| (x.vc.name.clone(), verdict_status(&x.verdict)))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                flatten(&fresh),
+                flatten(&scoped),
+                "{name}: per-VC verdicts differ under incremental discharge ({workers} workers)"
+            );
+        }
     }
 }
 

@@ -43,14 +43,19 @@ const CI_LINT_BUILD_TEST: &[Step] = &[
         &["cargo", "doc", "--workspace", "--no-deps"],
         &[("RUSTDOCFLAGS", "-D warnings")],
     ),
-    // The first two of the three verification schedules (the third —
+    // The first three of the four verification schedules (the fourth —
     // persistent on-disk verdict cache — needs a runtime temp path and is
-    // appended by `ci()`): default engine parallelism, then the fully
-    // sequential discharge path.
+    // appended by `ci()`): default engine parallelism, the fully
+    // sequential discharge path, and fresh-solver-per-goal discharge with
+    // the incremental session grouping disabled.
     Step(&["cargo", "test", "-q", "--workspace"], &[]),
     Step(
         &["cargo", "test", "-q", "--workspace"],
         &[("DISCHARGE_WORKERS", "1")],
+    ),
+    Step(
+        &["cargo", "test", "-q", "--workspace"],
+        &[("DISCHARGE_INCREMENTAL", "0")],
     ),
 ];
 
@@ -299,7 +304,7 @@ fn main() {
         _ => {
             eprintln!("usage: cargo xtask <ci|verify|bench-json>");
             eprintln!(
-                "  ci          fmt + clippy + build --release + doc + test (3 schedules) + examples + bench --no-run"
+                "  ci          fmt + clippy + build --release + doc + test (4 schedules) + examples + bench --no-run"
             );
             eprintln!("  verify      the ROADMAP tier-1 gate: build --release && test -q");
             eprintln!(
