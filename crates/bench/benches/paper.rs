@@ -14,6 +14,9 @@
 //!   obligations and on a synthetic shared-hypothesis family
 //!   (verdict-identical by construction; the timing gap is the
 //!   incremental speedup), with simplex-pivot gauges;
+//! * `static_prefilter` — cold corpus discharge with the goal-level
+//!   static analysis layer on vs off (verdict-identical by
+//!   construction), with static-hit and group-rate gauges;
 //! * `check_corpus` — corpus-scale batch verification of all six
 //!   case-study programs through one `Verifier` session;
 //! * `persistent_cache` — warm corpus re-verification from the on-disk
@@ -129,10 +132,14 @@ fn discharge_incremental(c: &mut Criterion) {
         .into_iter()
         .flat_map(|(_, program, spec)| session.vcs(&program, &spec).unwrap())
         .collect();
+    // Prefilter pinned off so both columns measure solver-session reuse
+    // alone — statically proved goals never reach a session, and the
+    // `static_prefilter` group measures that layer separately.
     let engine = |incremental: bool| {
         DischargeEngine::with_config(DischargeConfig {
             workers: 1,
             incremental,
+            prefilter: false,
             ..DischargeConfig::default()
         })
     };
@@ -188,6 +195,83 @@ fn discharge_incremental(c: &mut Criterion) {
             scoped.stats.pivots as f64,
         );
     }
+}
+
+fn static_prefilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_prefilter");
+    group.sample_size(10);
+    // Cold corpus discharge with the goal-level static analysis layer on
+    // vs off: the interval/difference-bound prefilter proves a slice of
+    // the obligations with zero solver work, and normalized hypotheses
+    // group more goals into shared sessions than verbatim matching. The
+    // two timings side by side are the layer's measured cost/benefit.
+    let session = Verifier::new();
+    let vcs: Vec<_> = casestudies::corpus()
+        .into_iter()
+        .flat_map(|(_, program, spec)| session.vcs(&program, &spec).unwrap())
+        .collect();
+    let engine = |prefilter: bool| {
+        DischargeEngine::with_config(DischargeConfig {
+            prefilter,
+            ..DischargeConfig::sequential()
+        })
+    };
+    for (label, prefilter) in [("analysis_on", true), ("analysis_off", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("corpus_vcs", label),
+            &prefilter,
+            |b, &prefilter| b.iter(|| engine(prefilter).discharge(vcs.clone())),
+        );
+    }
+    group.finish();
+    // Verdict-equivalence gate plus tracked gauges: the analysis layer
+    // must answer every obligation with the same status, prove at least
+    // one goal statically, and strictly raise the group rate over the
+    // verbatim baseline (discharge units = distinct group keys + fresh
+    // goals).
+    let off = engine(false).discharge(vcs.clone());
+    let on = engine(true).discharge(vcs.clone());
+    assert_eq!(off.len(), on.len());
+    for (a, b) in off.results.iter().zip(&on.results) {
+        assert_eq!(
+            std::mem::discriminant(&a.verdict),
+            std::mem::discriminant(&b.verdict),
+            "the static analysis layer changed the verdict of {}",
+            a.vc
+        );
+    }
+    assert!(on.engine.static_hits >= 1, "corpus has static hits");
+    let mut verbatim_groups = std::collections::HashSet::new();
+    let mut normalized_groups = std::collections::HashSet::new();
+    let (mut verbatim_fresh, mut normalized_fresh) = (0usize, 0usize);
+    for vc in &vcs {
+        match relaxed_core::group_keys(&relaxed_core::engine::encode_goal(vc)) {
+            Some(keys) => {
+                normalized_groups.insert(keys.normalized);
+                match keys.verbatim {
+                    Some(v) => {
+                        verbatim_groups.insert(v);
+                    }
+                    None => verbatim_fresh += 1,
+                }
+            }
+            None => {
+                verbatim_fresh += 1;
+                normalized_fresh += 1;
+            }
+        }
+    }
+    let verbatim_units = (verbatim_groups.len() + verbatim_fresh) as f64;
+    let normalized_units = (normalized_groups.len() + normalized_fresh) as f64;
+    assert!(normalized_units < verbatim_units);
+    eprintln!(
+        "static_prefilter: {} VCs; {} static hits; {verbatim_units} verbatim units vs {normalized_units} normalized",
+        vcs.len(),
+        on.engine.static_hits,
+    );
+    c.report_metric("static_prefilter/static_hits", on.engine.static_hits as f64);
+    c.report_metric("static_prefilter/verbatim_units", verbatim_units);
+    c.report_metric("static_prefilter/normalized_units", normalized_units);
 }
 
 fn corpus_batch(c: &mut Criterion) {
@@ -455,6 +539,7 @@ criterion_group!(
     verification,
     discharge_parallel,
     discharge_incremental,
+    static_prefilter,
     corpus_batch,
     persistent_cache,
     shard_corpus,

@@ -491,9 +491,12 @@ fn main() {
     workloads.push(("shared-hypothesis family", shared_hypothesis_vcs(4, 32)));
     // A fresh sequential engine per run: every row is a cold cache, so
     // the comparison isolates solver construction/reuse, not caching.
+    // The static prefilter is pinned off so neither column's goals are
+    // discharged before they reach a solver (§E12 measures that layer).
     let discharge = |vcs: &Vec<_>, incremental: bool| {
         DischargeEngine::with_config(DischargeConfig {
             incremental,
+            prefilter: false,
             ..DischargeConfig::sequential()
         })
         .discharge(vcs.clone())
@@ -531,6 +534,97 @@ fn main() {
     println!(
         "\ncold-path speedup on the shared-hypothesis family: {:.2}x (scoped sessions vs fresh solvers; measured, not asserted)",
         fresh_total / scoped_total.max(1e-9)
+    );
+
+    // ---- E12 goal-level static analysis layer ----
+    println!("\n## E12: goal-level static analysis (prefilter + hypothesis normalization)\n");
+    println!(
+        "Corpus discharge with the static analysis layer on vs off: the \
+         interval/difference-bound prefilter proves trivially-valid goals \
+         with zero solver work, and normalized (split, sliced, sorted) \
+         hypotheses group more goals into shared sessions than PR 6's \
+         verbatim-hypothesis baseline. Verdicts are asserted identical; \
+         wall-clock is measured, not asserted.\n"
+    );
+    let corpus_vcs: Vec<_> = corpus
+        .iter()
+        .flat_map(|(_, program, spec)| vc_session.vcs(program, spec).unwrap())
+        .collect();
+    let static_discharge = |prefilter: bool| {
+        DischargeEngine::with_config(DischargeConfig {
+            prefilter,
+            ..DischargeConfig::sequential()
+        })
+        .discharge(corpus_vcs.clone())
+    };
+    let t_off = Instant::now();
+    let off = static_discharge(false);
+    let off_elapsed = t_off.elapsed();
+    let t_on = Instant::now();
+    let on = static_discharge(true);
+    let on_elapsed = t_on.elapsed();
+    for (a, b) in off.results.iter().zip(&on.results) {
+        assert_eq!(
+            std::mem::discriminant(&a.verdict),
+            std::mem::discriminant(&b.verdict),
+            "{}: the static analysis layer changed the verdict",
+            a.vc.name
+        );
+    }
+    assert!(
+        on.engine.static_hits >= 1,
+        "the corpus has statically provable goals"
+    );
+    assert_eq!(off.engine.static_hits, 0);
+    // Group-rate gauge: discharge units (one per group of goals sharing
+    // a grouping key, one per fresh-solved goal) under PR 6's verbatim
+    // baseline vs the normalized-hypothesis scheme.
+    let mut verbatim_groups = std::collections::HashSet::new();
+    let mut normalized_groups = std::collections::HashSet::new();
+    let (mut verbatim_fresh, mut normalized_fresh) = (0usize, 0usize);
+    for vc in &corpus_vcs {
+        match relaxed_core::group_keys(&relaxed_core::engine::encode_goal(vc)) {
+            Some(keys) => {
+                normalized_groups.insert(keys.normalized);
+                match keys.verbatim {
+                    Some(v) => {
+                        verbatim_groups.insert(v);
+                    }
+                    None => verbatim_fresh += 1,
+                }
+            }
+            None => {
+                verbatim_fresh += 1;
+                normalized_fresh += 1;
+            }
+        }
+    }
+    let verbatim_units = verbatim_groups.len() + verbatim_fresh;
+    let normalized_units = normalized_groups.len() + normalized_fresh;
+    assert!(
+        normalized_units < verbatim_units,
+        "normalized grouping must strictly beat the verbatim baseline"
+    );
+    println!("| gauge | off | on |");
+    println!("|---|---|---|");
+    println!("| wall-clock (corpus, cold cache) | {off_elapsed:.1?} | {on_elapsed:.1?} |");
+    println!(
+        "| goals discharged with zero solver work | 0 | {} |",
+        on.engine.static_hits
+    );
+    println!(
+        "| solver queries | {} | {} |",
+        off.stats.queries, on.stats.queries
+    );
+    println!(
+        "| discharge units over {} corpus goals | {verbatim_units} (verbatim baseline) | {normalized_units} (normalized) |",
+        corpus_vcs.len()
+    );
+    println!(
+        "\ngroup rate: {:.2} goals/unit normalized vs {:.2} verbatim; {} goals proved statically",
+        corpus_vcs.len() as f64 / normalized_units as f64,
+        corpus_vcs.len() as f64 / verbatim_units as f64,
+        on.engine.static_hits,
     );
 
     // ---- E4 LoC inventory ----

@@ -1,10 +1,12 @@
-//! Static analyses over relaxed programs: array-variable detection and the
+//! Static analyses over relaxed programs: array-variable detection, the
 //! relaxation-dependence (taint) analysis behind automated noninterference
-//! reasoning.
+//! reasoning, and the spec-coverage [`lint`] pass built on top of it.
 
-use relaxed_lang::free::{bool_expr_vars, int_expr_vars};
-use relaxed_lang::{BoolExpr, Formula, IntExpr, RelFormula, RelIntExpr, Stmt, Var};
+use crate::verify::Spec;
+use relaxed_lang::free::{bool_expr_vars, formula_vars, int_expr_vars};
+use relaxed_lang::{BoolExpr, Formula, IntExpr, Program, RelFormula, RelIntExpr, Stmt, Var};
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// Variables used as arrays (`x[e]` or `len(x)`) anywhere in the statement
 /// or its annotations.
@@ -246,6 +248,173 @@ fn taint_pass(s: &Stmt, under_tainted_control: bool, tainted: &mut BTreeSet<Var>
     }
 }
 
+/// Machine-readable category of a spec-coverage lint warning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LintCode {
+    /// The postcondition depends on a relaxation-tainted variable that no
+    /// acceptability predicate (`rel_post`, `relate`, `rinvariant`)
+    /// constrains: the proof has no bridge from original to relaxed
+    /// reasoning for it.
+    UnconstrainedTaint,
+    /// A `relax` predicate that does not mention any of its targets: the
+    /// relaxed values are completely unconstrained.
+    VacuousRelax,
+    /// A loop-invariant conjunct over variables the loop never mentions
+    /// (not in the condition, not read or written by the body): it holds
+    /// trivially across iterations and is disconnected from everything
+    /// the loop does. Conjuncts over variables the body merely *reads*
+    /// are not flagged — carrying a frame fact (e.g. an array-length
+    /// bound) through a loop is the normal, load-bearing use.
+    InertInvariant,
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintCode::UnconstrainedTaint => "unconstrained-taint",
+            LintCode::VacuousRelax => "vacuous-relax",
+            LintCode::InertInvariant => "inert-invariant",
+        })
+    }
+}
+
+/// One structured warning from the spec-coverage [`lint`] pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnalysisWarning {
+    /// The warning category.
+    pub code: LintCode,
+    /// Where in the program/spec the warning points (e.g. `var FF`,
+    /// `relax #1`, `loop #2`).
+    pub site: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AnalysisWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.code, self.site, self.message)
+    }
+}
+
+/// The spec-coverage lint: purely static checks that flag acceptability
+/// specifications unlikely to mean what was intended. None of the
+/// warnings affect verification verdicts — a warned program can still
+/// verify, and a quiet one can still fail — they are review aids.
+///
+/// * [`LintCode::UnconstrainedTaint`] — a variable in
+///   [`relaxation_tainted`] that the unary postcondition reads but no
+///   acceptability predicate constrains;
+/// * [`LintCode::VacuousRelax`] — a `relax (X) st (B)` whose `B` never
+///   mentions `X` (scalar targets only: arrays *require* the predicate
+///   `true`, see `VcgenError::ArrayChoiceWithPredicate`);
+/// * [`LintCode::InertInvariant`] — an `invariant` conjunct over
+///   variables the loop never mentions.
+pub fn lint(program: &Program, spec: &Spec) -> Vec<AnalysisWarning> {
+    let body = program.body();
+    let mut out = Vec::new();
+
+    let tainted = relaxation_tainted(body);
+    let post_vars = formula_vars(&spec.post);
+    let constrained = crate::noninterference::acceptability_constrained(program, spec);
+    for v in &tainted {
+        if post_vars.contains(v) && !constrained.contains(v) {
+            out.push(AnalysisWarning {
+                code: LintCode::UnconstrainedTaint,
+                site: format!("var {}", v.name()),
+                message: format!(
+                    "postcondition depends on relaxation-tainted `{}`, but no \
+                     acceptability predicate (rel_post, relate, rinvariant) constrains it",
+                    v.name()
+                ),
+            });
+        }
+    }
+
+    let arrays = array_vars(body);
+    let mut walker = LintWalker {
+        arrays: &arrays,
+        relax_idx: 0,
+        loop_idx: 0,
+        out: &mut out,
+    };
+    walker.walk(body);
+    out
+}
+
+struct LintWalker<'a> {
+    arrays: &'a BTreeSet<Var>,
+    relax_idx: usize,
+    loop_idx: usize,
+    out: &'a mut Vec<AnalysisWarning>,
+}
+
+impl LintWalker<'_> {
+    fn walk(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Relax(targets, pred) => {
+                self.relax_idx += 1;
+                let pred_vars = bool_expr_vars(pred);
+                let mentions_target = targets.iter().any(|t| pred_vars.contains(t));
+                // `relax (a) st (true)` over arrays is the *required*
+                // form (array choices reject non-trivial predicates), so
+                // it is not vacuous.
+                let required_array_form = matches!(pred, BoolExpr::Const(true))
+                    && targets.iter().all(|t| self.arrays.contains(t));
+                if !mentions_target && !required_array_form {
+                    let names: Vec<&str> = targets.iter().map(Var::name).collect();
+                    self.out.push(AnalysisWarning {
+                        code: LintCode::VacuousRelax,
+                        site: format!("relax #{}", self.relax_idx),
+                        message: format!(
+                            "predicate never mentions relaxed target{} {}; the \
+                             relaxed value is completely unconstrained",
+                            if names.len() == 1 { "" } else { "s" },
+                            names.join(", ")
+                        ),
+                    });
+                }
+            }
+            Stmt::While(w) => {
+                self.loop_idx += 1;
+                let idx = self.loop_idx;
+                if let Some(inv) = &w.invariant {
+                    let mentioned = {
+                        let mut vars = w.body.all_vars();
+                        vars.extend(bool_expr_vars(&w.cond));
+                        vars
+                    };
+                    for conjunct in crate::vcgen::formula_conjuncts(inv) {
+                        let vars = formula_vars(conjunct);
+                        let inert = !vars.is_empty() && vars.iter().all(|v| !mentioned.contains(v));
+                        if inert {
+                            self.out.push(AnalysisWarning {
+                                code: LintCode::InertInvariant,
+                                site: format!("loop #{idx}"),
+                                message: format!(
+                                    "invariant conjunct `{conjunct}` mentions no variable \
+                                     the loop tests, reads, or writes; it is disconnected \
+                                     from the loop"
+                                ),
+                            });
+                        }
+                    }
+                }
+                self.walk(&w.body);
+            }
+            Stmt::If(i) => {
+                self.walk(&i.then_branch);
+                self.walk(&i.else_branch);
+            }
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    self.walk(s);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +495,91 @@ mod tests {
         assert!(t.contains(&Var::new("FF")));
         assert!(!t.contains(&Var::new("K")));
         assert!(!t.contains(&Var::new("N")));
+    }
+
+    fn spec(post: &str, rel_post: &str) -> Spec {
+        Spec {
+            pre: Formula::True,
+            post: relaxed_lang::parse_formula(post).unwrap(),
+            rel_pre: RelFormula::True,
+            rel_post: relaxed_lang::parse_rel_formula(rel_post).unwrap(),
+        }
+    }
+
+    fn codes(warnings: &[AnalysisWarning]) -> Vec<LintCode> {
+        warnings.iter().map(|w| w.code).collect()
+    }
+
+    #[test]
+    fn lint_flags_unconstrained_tainted_postcondition_variable() {
+        let p = relaxed_lang::parse_program(
+            "relax (x) st (x <= e);
+             y = x + 1;",
+        )
+        .unwrap();
+        // `y` is tainted and the postcondition reads it, but nothing
+        // relational constrains it.
+        let warnings = lint(&p, &spec("y >= 0", "true"));
+        assert_eq!(codes(&warnings), vec![LintCode::UnconstrainedTaint]);
+        assert_eq!(warnings[0].site, "var y");
+        // Constraining it through rel_post silences the warning …
+        assert!(lint(&p, &spec("y >= 0", "y<o> - y<r> <= e<o>")).is_empty());
+        // … and so does a `relate` assertion on the same variable.
+        let related = relaxed_lang::parse_program(
+            "relax (x) st (x <= e);
+             y = x + 1;
+             relate l : y<o> - y<r> <= e<o>;",
+        )
+        .unwrap();
+        assert!(lint(&related, &spec("y >= 0", "true")).is_empty());
+    }
+
+    #[test]
+    fn lint_flags_vacuous_scalar_relax_but_not_required_array_form() {
+        let p = relaxed_lang::parse_program("relax (x) st (0 <= w); y = x;").unwrap();
+        let warnings = lint(&p, &spec("true", "true"));
+        assert_eq!(codes(&warnings), vec![LintCode::VacuousRelax]);
+        assert_eq!(warnings[0].site, "relax #1");
+        // Arrays must use `st (true)` (ArrayChoiceWithPredicate), so the
+        // required form is not vacuous.
+        let arrays = relaxed_lang::parse_program("relax (a) st (true); x = a[0];").unwrap();
+        assert!(lint(&arrays, &spec("true", "true")).is_empty());
+        // A *scalar* relaxed with `true` is still vacuous.
+        let scalar = relaxed_lang::parse_program("relax (x) st (true); y = x;").unwrap();
+        assert_eq!(
+            codes(&lint(&scalar, &spec("true", "true"))),
+            vec![LintCode::VacuousRelax]
+        );
+    }
+
+    #[test]
+    fn lint_flags_inert_invariant_conjuncts() {
+        let p = relaxed_lang::parse_program(
+            "while (i < n) invariant (i <= n && q == 5) { i = i + 1; }",
+        )
+        .unwrap();
+        let warnings = lint(&p, &spec("true", "true"));
+        assert_eq!(codes(&warnings), vec![LintCode::InertInvariant]);
+        assert_eq!(warnings[0].site, "loop #1");
+        assert!(warnings[0].message.contains("q == 5"));
+        // A conjunct over the loop counter is doing work; a constant
+        // conjunct (`true`/`false`) has no variables and stays quiet.
+        let active =
+            relaxed_lang::parse_program("while (i < n) invariant (i <= n && true) { i = i + 1; }")
+                .unwrap();
+        assert!(lint(&active, &spec("true", "true")).is_empty());
+    }
+
+    #[test]
+    fn lint_warning_display_is_stable() {
+        let w = AnalysisWarning {
+            code: LintCode::VacuousRelax,
+            site: "relax #1".to_string(),
+            message: "predicate never mentions relaxed target x".to_string(),
+        };
+        assert_eq!(
+            w.to_string(),
+            "vacuous-relax [relax #1]: predicate never mentions relaxed target x"
+        );
     }
 }

@@ -264,6 +264,10 @@ pub struct Config {
     /// [`DischargeConfig::incremental`]); on by default,
     /// verdict-equivalent either way.
     pub incremental: bool,
+    /// Whether the goal-level static analysis layer runs in front of the
+    /// solver (see [`DischargeConfig::prefilter`]); on by default,
+    /// verdict-equivalent either way.
+    pub prefilter: bool,
     /// Verdict-cache scoping.
     pub cache: CachePolicy,
     /// Entry cap for the persistent verdict store (`0` = unbounded):
@@ -289,6 +293,7 @@ impl Default for Config {
             max_conflicts: discharge.max_conflicts,
             branch_budget: discharge.branch_budget,
             incremental: discharge.incremental,
+            prefilter: discharge.prefilter,
             cache: CachePolicy::default(),
             cache_max: 0,
             stages: StageSet::default(),
@@ -326,6 +331,8 @@ impl Config {
     /// applied: `DISCHARGE_WORKERS` (`0` = auto), `DISCHARGE_CONFLICTS`,
     /// `DISCHARGE_BRANCH_BUDGET`, `DISCHARGE_INCREMENTAL` (`0` disables
     /// the grouped session discharge, `1` — the default — enables it),
+    /// `DISCHARGE_PREFILTER` (`0` disables the goal-level static
+    /// analysis layer, `1` — the default — enables it),
     /// `DISCHARGE_CACHE` (a file path
     /// selecting [`CachePolicy::Persistent`]), `DISCHARGE_CACHE_MAX`
     /// (persistent-store entry cap, `0` = unbounded), `DISCHARGE_SHARDS`
@@ -393,6 +400,17 @@ impl Config {
                 }),
             }
         }
+        if let Some(raw) = lookup("DISCHARGE_PREFILTER") {
+            match raw.trim() {
+                "0" => config.prefilter = false,
+                "1" => config.prefilter = true,
+                _ => warnings.push(EnvWarning {
+                    var: "DISCHARGE_PREFILTER",
+                    value: raw,
+                    expected: "0 or 1",
+                }),
+            }
+        }
         if let Some(raw) = lookup("DISCHARGE_CACHE") {
             let path = raw.trim();
             if path.is_empty() {
@@ -429,6 +447,7 @@ impl Config {
             max_conflicts: self.max_conflicts,
             branch_budget: self.branch_budget,
             incremental: self.incremental,
+            prefilter: self.prefilter,
         }
     }
 }
@@ -444,6 +463,7 @@ pub struct VerifierBuilder {
     max_conflicts: Option<u64>,
     branch_budget: Option<u64>,
     incremental: Option<bool>,
+    prefilter: Option<bool>,
     cache: Option<CachePolicy>,
     cache_max: Option<usize>,
     stages: Option<StageSet>,
@@ -482,6 +502,15 @@ impl VerifierBuilder {
     /// [`DischargeConfig::incremental`]). On by default.
     pub fn incremental(mut self, incremental: bool) -> Self {
         self.incremental = Some(incremental);
+        self
+    }
+
+    /// Toggles the goal-level static analysis layer — the
+    /// abstract-interpretation prefilter and hypothesis
+    /// normalization/slicing (see [`DischargeConfig::prefilter`]). On by
+    /// default; verdicts are identical either way.
+    pub fn prefilter(mut self, prefilter: bool) -> Self {
+        self.prefilter = Some(prefilter);
         self
     }
 
@@ -542,6 +571,7 @@ impl VerifierBuilder {
         self.max_conflicts = Some(config.max_conflicts);
         self.branch_budget = Some(config.branch_budget);
         self.incremental = Some(config.incremental);
+        self.prefilter = Some(config.prefilter);
         self.cache = Some(config.cache);
         self.cache_max = Some(config.cache_max);
         self.stages = Some(config.stages);
@@ -562,6 +592,7 @@ impl VerifierBuilder {
             max_conflicts: self.max_conflicts.unwrap_or(base.max_conflicts),
             branch_budget: self.branch_budget.unwrap_or(base.branch_budget),
             incremental: self.incremental.unwrap_or(base.incremental),
+            prefilter: self.prefilter.unwrap_or(base.prefilter),
             cache: self.cache.unwrap_or(base.cache),
             cache_max: self.cache_max.unwrap_or(base.cache_max),
             stages: self.stages.unwrap_or(base.stages),
@@ -720,6 +751,15 @@ impl Verifier {
         self.folded.lock().expect("stats lock").absorb(stats);
     }
 
+    /// Runs the spec-coverage lint on one program: purely static review
+    /// aids (unconstrained taint, vacuous `relax` predicates, inert
+    /// invariant conjuncts — see [`crate::analysis::lint`]) that never
+    /// touch the solver and never affect verdicts. The corpus driver
+    /// attaches the rendered warnings to every [`CorpusEntry`].
+    pub fn lint(&self, program: &Program, spec: &Spec) -> Vec<crate::analysis::AnalysisWarning> {
+        crate::analysis::lint(program, spec)
+    }
+
     /// The combined obligations of every selected stage, in pipeline
     /// order.
     ///
@@ -813,6 +853,7 @@ impl Verifier {
             CorpusEntry {
                 name: name.to_string(),
                 elapsed_ms: elapsed_ms_since(program_started),
+                lint: rendered_lint(program, spec),
                 outcome: outcome.map_err(CorpusError::from),
             }
         };
@@ -872,6 +913,16 @@ impl Verifier {
 /// speedups are measurable from the report JSON alone.
 pub(crate) fn elapsed_ms_since(started: std::time::Instant) -> u64 {
     u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// [`crate::analysis::lint`] rendered to the strings a [`CorpusEntry`]
+/// carries (also used by the sharded coordinator, which holds the
+/// programs — lint never crosses the worker wire).
+pub(crate) fn rendered_lint(program: &Program, spec: &Spec) -> Vec<String> {
+    crate::analysis::lint(program, spec)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
 }
 
 /// A handle on one stage of a [`Verifier`] session (see
@@ -956,6 +1007,11 @@ pub struct CorpusEntry {
     /// Wall time spent verifying this program, in milliseconds (as
     /// measured by whichever process ran the check).
     pub elapsed_ms: u64,
+    /// Rendered spec-coverage lint warnings (see
+    /// [`crate::analysis::lint`]): purely static review aids, computed
+    /// for every program — including ones whose verification errored —
+    /// and independent of the verdict.
+    pub lint: Vec<String>,
     /// The staged report, or the [`CorpusError`] that prevented it.
     pub outcome: Result<AcceptabilityReport, CorpusError>,
 }
@@ -1150,11 +1206,35 @@ impl CorpusReport {
                         "solver_runs",
                         &report.engine.cache_misses.to_string(),
                     );
+                    out.push_str(", ");
+                    json_field(
+                        &mut out,
+                        "static_hits",
+                        &report.engine.static_hits.to_string(),
+                    );
                 }
                 Err(error) => {
                     out.push_str(", ");
                     json_field(&mut out, "error", &json_string(&error.to_string()));
                 }
+            }
+            // Lint warnings are static, so they appear for errored
+            // programs too; omitted when clean to keep entries compact.
+            if !entry.lint.is_empty() {
+                out.push_str(", ");
+                json_field(
+                    &mut out,
+                    "lint",
+                    &format!(
+                        "[{}]",
+                        entry
+                            .lint
+                            .iter()
+                            .map(|w| json_string(w))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                );
             }
             out.push('}');
             out.push_str(sep);
@@ -1210,6 +1290,12 @@ impl CorpusReport {
             &mut out,
             "solver_runs",
             &self.engine.cache_misses.to_string(),
+        );
+        out.push_str(", ");
+        json_field(
+            &mut out,
+            "static_hits",
+            &self.engine.static_hits.to_string(),
         );
         out.push_str(", ");
         json_field(&mut out, "workers", &self.engine.workers.to_string());
@@ -1307,6 +1393,28 @@ mod tests {
         let verifier = Verifier::builder().incremental(false).build();
         assert!(!verifier.config().incremental);
         assert!(!verifier.engine().config().incremental);
+    }
+
+    #[test]
+    fn prefilter_knob_layers_like_the_budgets() {
+        assert!(Config::default().prefilter, "prefilter is the default");
+        let (off, warnings) = Config::from_lookup(|name| match name {
+            "DISCHARGE_PREFILTER" => Some("0".to_string()),
+            _ => None,
+        });
+        assert!(!off.prefilter);
+        assert!(warnings.is_empty());
+        let (kept, warnings) = Config::from_lookup(|name| match name {
+            "DISCHARGE_PREFILTER" => Some("sometimes".to_string()),
+            _ => None,
+        });
+        assert!(kept.prefilter, "malformed values keep the default");
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].var, "DISCHARGE_PREFILTER");
+        assert_eq!(warnings[0].expected, "0 or 1");
+        let verifier = Verifier::builder().prefilter(false).build();
+        assert!(!verifier.config().prefilter);
+        assert!(!verifier.engine().config().prefilter);
     }
 
     #[test]

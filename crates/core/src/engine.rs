@@ -20,33 +20,45 @@
 //!    and across the programs of a
 //!    [`Verifier::check_corpus`](crate::api::Verifier::check_corpus)
 //!    batch.
-//! 2. **Incremental, parallel discharge.** The unique, uncached goals
+//! 2. **Static pre-discharge analysis.** Before any solver is built,
+//!    the goal-level static analysis layer ([`crate::prefilter`],
+//!    [`DischargeConfig::prefilter`]) proves trivially-valid goals by
+//!    interval/constant evaluation over the interned term DAG — zero
+//!    SAT/simplex work, counted in [`EngineStats::static_hits`] — and
+//!    normalizes hypothesis conjunctions (split, slice to the
+//!    conclusion's free-variable cone, sort) so the grouping below keys
+//!    on relevant cores instead of verbatim hypotheses.
+//! 3. **Incremental, parallel discharge.** The unique, uncached goals
 //!    are partitioned into work units and solved on a
 //!    [`std::thread::scope`] worker pool. Goals of the shape `h ⇒ c`
 //!    whose hypothesis and conclusion both lie in the pure linear
-//!    fragment are grouped by structurally shared hypothesis and
+//!    fragment are grouped by shared (normalized) hypothesis and
 //!    discharged through one [`Solver::session`] per group: the
 //!    hypothesis is asserted once, then each conclusion is refuted in
 //!    its own `push`/`pop` scope, keeping the clause database and the
 //!    simplex tableau warm across the group
 //!    ([`DischargeConfig::incremental`]; verdict-equivalent to a fresh
-//!    solver per goal). Everything else gets a fresh [`Solver`]. Groups
-//!    — not goals — are the unit of scheduling, and results are
+//!    solver per goal — a group member whose hypothesis was weakened by
+//!    slicing accepts only `Valid` from the session and re-proves the
+//!    full goal otherwise). Everything else gets a fresh [`Solver`].
+//!    Groups — not goals — are the unit of scheduling, and results are
 //!    reassembled in generation order, so a [`Report`] is byte-for-byte
 //!    identical regardless of worker count.
 //!
-//! Worker count, solver budgets and the incremental toggle come from
-//! [`DischargeConfig`]. The engine itself never reads the process
-//! environment; the `DISCHARGE_WORKERS`, `DISCHARGE_CONFLICTS`,
-//! `DISCHARGE_BRANCH_BUDGET` and `DISCHARGE_INCREMENTAL` variables are
+//! Worker count, solver budgets, the incremental toggle and the static
+//! analysis toggle come from [`DischargeConfig`]. The engine itself
+//! never reads the process environment; the `DISCHARGE_WORKERS`,
+//! `DISCHARGE_CONFLICTS`, `DISCHARGE_BRANCH_BUDGET`,
+//! `DISCHARGE_INCREMENTAL` and `DISCHARGE_PREFILTER` variables are
 //! applied only through the explicit opt-in layer
 //! [`Config::from_env`](crate::api::Config::from_env).
 
 use crate::cache::{self, CacheWarning, GoalKey};
 use crate::encode::{encode_formula, encode_rel_formula, EncodeCtx};
+use crate::prefilter::{linear_bool, normalize, Prefilter};
 use crate::vcgen::{Vc, VcBody};
 use crate::verify::{Report, VcResult};
-use relaxed_smt::ast::{BTerm, ITerm};
+use relaxed_smt::ast::BTerm;
 use relaxed_smt::{Solver, SolverStats, Validity};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -71,6 +83,16 @@ pub struct DischargeConfig {
     /// is deliberately **excluded** from the on-disk cache
     /// [fingerprint](crate::cache::fingerprint), like `workers`.
     pub incremental: bool,
+    /// Whether the goal-level static analysis layer
+    /// ([`crate::prefilter`]) runs in front of the solver (the default):
+    /// the abstract-interpretation prefilter discharges trivially-valid
+    /// goals with zero solver work (counted in
+    /// [`EngineStats::static_hits`]), and incremental grouping keys on
+    /// *normalized* (split, sliced, sorted) hypotheses instead of
+    /// verbatim ones. Verdicts are identical either way, so this knob is
+    /// also **excluded** from the cache fingerprint, like `workers` and
+    /// `incremental`.
+    pub prefilter: bool,
 }
 
 impl Default for DischargeConfig {
@@ -81,6 +103,7 @@ impl Default for DischargeConfig {
             max_conflicts: defaults.max_conflicts(),
             branch_budget: defaults.branch_budget(),
             incremental: true,
+            prefilter: true,
         }
     }
 }
@@ -162,6 +185,11 @@ pub struct EngineStats {
     /// [`DischargeEngine::set_cache_max`]); cumulative across persists.
     /// Always `0` on per-call statistics; engine-level only.
     pub evicted: u64,
+    /// Goals proved by the static prefilter alone — no SAT or simplex
+    /// work at all (a subset of `cache_misses`: a static hit still
+    /// counts as "solved this call" and publishes to the cache like any
+    /// fresh verdict). Zero unless [`DischargeConfig::prefilter`] is on.
+    pub static_hits: u64,
     /// Distinct goals seen: cache entries for engine-level stats, goals
     /// newly added to the cache for report-level stats.
     pub unique_goals: u64,
@@ -183,6 +211,7 @@ impl EngineStats {
         self.cache_misses += other.cache_misses;
         self.cross_hits += other.cross_hits;
         self.disk_hits += other.disk_hits;
+        self.static_hits += other.static_hits;
         self.loaded += other.loaded;
         self.persisted += other.persisted;
         self.evicted += other.evicted;
@@ -219,6 +248,7 @@ pub struct DischargeEngine {
     misses: AtomicU64,
     cross: AtomicU64,
     disk: AtomicU64,
+    statics: AtomicU64,
     /// Entry cap for the persistent store (`0` = unbounded):
     /// [`persist`](DischargeEngine::persist) compacts past the cap by
     /// dropping the least-recently-hit verdicts.
@@ -330,6 +360,7 @@ impl DischargeEngine {
             misses: AtomicU64::new(0),
             cross: AtomicU64::new(0),
             disk: AtomicU64::new(0),
+            statics: AtomicU64::new(0),
             cache_max: 0,
             evicted: AtomicU64::new(0),
             tick: AtomicU64::new(0),
@@ -643,6 +674,7 @@ impl DischargeEngine {
             cache_misses: self.misses.load(Ordering::Relaxed),
             cross_hits: self.cross.load(Ordering::Relaxed),
             disk_hits: self.disk.load(Ordering::Relaxed),
+            static_hits: self.statics.load(Ordering::Relaxed),
             loaded: self
                 .store
                 .as_ref()
@@ -713,34 +745,105 @@ impl DischargeEngine {
             }
         }
 
+        // Static prefilter: before any solver is built, an interval /
+        // constant-propagation evaluation over the interned goal DAG
+        // discharges trivially-valid goals — tautologies, conclusions
+        // that are conjuncts of their hypothesis, bound-implied
+        // comparisons, contradictory hypotheses — with zero SAT/simplex
+        // work. A statically proved goal enters `solved` with zeroed
+        // solver statistics and flows through verdict publication and
+        // reassembly exactly like a solver-proved one (so it counts as a
+        // cache miss with a `static_hits` marker, and its verdict lands
+        // in the cache under the same key).
+        let mut solved: Vec<(usize, Validity, SolverStats)> = Vec::new();
+        if self.config.prefilter && !work.is_empty() {
+            let mut pre = Prefilter::new();
+            work.retain(|&gi| {
+                let proved = pre.proves(unique_goals[gi]);
+                if proved {
+                    solved.push((gi, Validity::Valid, SolverStats::default()));
+                }
+                !proved
+            });
+            self.statics
+                .fetch_add(solved.len() as u64, Ordering::Relaxed);
+        }
+        let call_statics = solved.len() as u64;
+
         // Partition the unsolved goals into work units. Under incremental
-        // discharge, goals of the shape `h ⇒ c` whose hypothesis and
-        // conclusion both lie in the pure linear fragment are grouped by
-        // structurally shared hypothesis; a group of two or more is
+        // discharge, goals of the shape `h ⇒ c` whose hypothesis lies in
+        // the assertable linear fragment (see `prefilter::linear_bool`)
+        // are grouped by shared hypothesis; a group of two or more is
         // discharged through one solver session (hypothesis asserted
         // once, each conclusion refuted in its own push/pop scope).
-        // Preprocessing is the identity on that fragment, so the scoped
-        // discharge is verdict-equivalent to a fresh solver per goal.
-        // Everything else — quantified goals, array reads, division,
-        // singleton groups — keeps the fresh-solver path.
-        let mut units: Vec<Vec<usize>> = Vec::new();
+        // Preprocessing is context-free on that fragment, so asserting
+        // the hypothesis conjunct-by-conjunct is verdict-equivalent to a
+        // fresh solver. Everything else — quantified hypotheses, array
+        // reads in the hypothesis, singleton groups — keeps the
+        // fresh-solver path.
+        //
+        // With the prefilter on, the grouping key is the *normalized*
+        // hypothesis — split into conjuncts, sliced to the conclusion's
+        // free-variable cone, deduplicated, canonically sorted — and the
+        // conclusion may be arbitrary (quantified, array-reading): the
+        // scoped refutation of `¬c` is a single self-contained assert. A
+        // member is *exact* only when its hypothesis was not weakened by
+        // slicing and its conclusion also lies in the fragment; every
+        // other member accepts `Valid` directly (refutation is sound
+        // regardless of the conclusion's shape) and re-proves the full
+        // original goal on a fresh solver for any other verdict. With
+        // the prefilter off, grouping is PR 6's verbatim scheme —
+        // hypothesis *and* conclusion in the fragment, keyed on the
+        // verbatim structural hypothesis, all members exact — the
+        // baseline the bench group-rate gauges compare against.
+        enum Unit {
+            /// A goal solved on its own fresh solver.
+            Fresh(usize),
+            /// Goals sharing one session: the hypothesis conjuncts to
+            /// assert, then per member its goal index and whether the
+            /// asserted hypothesis is exact (not weakened by slicing).
+            Group {
+                conjuncts: Vec<BTerm>,
+                members: Vec<(usize, bool)>,
+            },
+        }
+        let mut units: Vec<Unit> = Vec::new();
         if self.config.incremental {
-            let mut by_hyp: HashMap<&BTerm, usize> = HashMap::new();
+            let mut by_hyp: HashMap<String, usize> = HashMap::new();
             for &gi in &work {
                 match unique_goals[gi] {
-                    BTerm::Implies(h, c) if linear_bool(h) && linear_bool(c) => {
+                    BTerm::Implies(h, c)
+                        if linear_bool(h) && (self.config.prefilter || linear_bool(c)) =>
+                    {
+                        let (key, conjuncts, exact) = if self.config.prefilter {
+                            let norm = normalize(h, c);
+                            let exact = norm.exact && linear_bool(c);
+                            (norm.key, norm.conjuncts, exact)
+                        } else {
+                            (
+                                relaxed_smt::intern::canonical_key(h),
+                                vec![(**h).clone()],
+                                true,
+                            )
+                        };
                         let next = units.len();
-                        let ui = *by_hyp.entry(h).or_insert(next);
+                        let ui = *by_hyp.entry(key).or_insert(next);
                         if ui == next {
-                            units.push(Vec::new());
+                            units.push(Unit::Group {
+                                conjuncts,
+                                members: Vec::new(),
+                            });
                         }
-                        units[ui].push(gi);
+                        let Unit::Group { members, .. } = &mut units[ui] else {
+                            unreachable!("hypothesis groups are Group units");
+                        };
+                        members.push((gi, exact));
                     }
-                    _ => units.push(vec![gi]),
+                    _ => units.push(Unit::Fresh(gi)),
                 }
             }
         } else {
-            units.extend(work.iter().map(|&gi| vec![gi]));
+            units.extend(work.iter().map(|&gi| Unit::Fresh(gi)));
         }
 
         // Solve the work units on the worker pool. Units — not goals —
@@ -761,19 +864,24 @@ impl DischargeEngine {
             let verdict = solver.check_valid(unique_goals[gi]);
             (gi, verdict, solver.stats())
         };
-        let solve_unit = |unit: &[usize]| -> Vec<(usize, Validity, SolverStats)> {
-            if let &[gi] = unit {
-                return vec![solve_fresh(gi)];
-            }
-            let BTerm::Implies(h, _) = unique_goals[unit[0]] else {
-                unreachable!("grouped goals are implications");
+        let solve_unit = |unit: &Unit| -> Vec<(usize, Validity, SolverStats)> {
+            let (conjuncts, members) = match unit {
+                Unit::Fresh(gi) => return vec![solve_fresh(*gi)],
+                // A singleton group gains nothing from a session.
+                Unit::Group { members, .. } if members.len() == 1 => {
+                    return vec![solve_fresh(members[0].0)];
+                }
+                Unit::Group { conjuncts, members } => (conjuncts, members),
             };
             let mut solver =
                 Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
             let mut session = solver.session();
-            session.assert(h);
-            unit.iter()
-                .map(|&gi| {
+            for conjunct in conjuncts {
+                session.assert(conjunct);
+            }
+            members
+                .iter()
+                .map(|&(gi, exact)| {
                     let BTerm::Implies(_, c) = unique_goals[gi] else {
                         unreachable!("grouped goals are implications");
                     };
@@ -782,12 +890,22 @@ impl DischargeEngine {
                     // per VC reconstructs the session totals exactly.
                     let before = session.stats();
                     let verdict = session.check_valid(c);
-                    (gi, verdict, session.stats().delta_since(&before))
+                    let mut stats = session.stats().delta_since(&before);
+                    if exact || matches!(verdict, Validity::Valid) {
+                        return (gi, verdict, stats);
+                    }
+                    // The sliced hypothesis is strictly weaker than the
+                    // original, so only `Valid` transfers; anything else
+                    // re-proves the full goal on a fresh solver (its
+                    // statistics fold into this goal's).
+                    let (gi, verdict, fresh) = solve_fresh(gi);
+                    stats.absorb(&fresh);
+                    (gi, verdict, stats)
                 })
                 .collect()
         };
-        let mut solved: Vec<(usize, Validity, SolverStats)> = if workers <= 1 {
-            units.iter().flat_map(|unit| solve_unit(unit)).collect()
+        let pool_solved: Vec<(usize, Validity, SolverStats)> = if workers <= 1 {
+            units.iter().flat_map(solve_unit).collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let sink: Mutex<Vec<(usize, Validity, SolverStats)>> =
@@ -804,6 +922,7 @@ impl DischargeEngine {
             });
             sink.into_inner().expect("sink lock")
         };
+        solved.extend(pool_solved);
         solved.sort_unstable_by_key(|(gi, _, _)| *gi);
 
         // Publish the new verdicts to the cross-call cache under this
@@ -885,6 +1004,7 @@ impl DischargeEngine {
             cache_misses: call_misses,
             cross_hits: call_cross,
             disk_hits: call_disk,
+            static_hits: call_statics,
             loaded: 0,
             persisted: 0,
             evicted: 0,
@@ -914,47 +1034,12 @@ impl Drop for DischargeEngine {
     }
 }
 
-/// Whether a boolean term lies in the quantifier-free pure linear
-/// fragment: no quantifiers, array reads, lengths, division or
-/// remainder, and multiplication only by a literal constant.
-///
-/// The solver's preprocessing (quantifier elimination, grounding) is the
-/// identity on this fragment — no fresh names, no definitional axioms,
-/// no Ackermann congruence instances — so asserting a conjunction into a
-/// session one conjunct at a time is exactly equivalent to asserting the
-/// conjunction into a fresh solver. That equivalence is what licenses
-/// the incremental grouped discharge; anything outside the fragment
-/// stays on the fresh-solver path.
-fn linear_bool(b: &BTerm) -> bool {
-    match b {
-        BTerm::True | BTerm::False => true,
-        BTerm::Atom(_, l, r) => linear_int(l) && linear_int(r),
-        BTerm::And(l, r) | BTerm::Or(l, r) | BTerm::Implies(l, r) => {
-            linear_bool(l) && linear_bool(r)
-        }
-        BTerm::Not(inner) => linear_bool(inner),
-        BTerm::Exists(..) | BTerm::Forall(..) => false,
-    }
-}
-
-/// The integer-term half of [`linear_bool`].
-fn linear_int(t: &ITerm) -> bool {
-    match t {
-        ITerm::Const(_) | ITerm::Var(_) => true,
-        ITerm::Add(l, r) | ITerm::Sub(l, r) => linear_int(l) && linear_int(r),
-        ITerm::Neg(inner) => linear_int(inner),
-        ITerm::Mul(l, r) => {
-            (matches!(**l, ITerm::Const(_)) || matches!(**r, ITerm::Const(_)))
-                && linear_int(l)
-                && linear_int(r)
-        }
-        ITerm::Div(..) | ITerm::Mod(..) | ITerm::Select(..) | ITerm::Len(..) => false,
-    }
-}
-
-/// Encodes one obligation with a fresh bound-name context, yielding its
-/// canonical cache key.
-fn encode_goal(vc: &Vc) -> BTerm {
+/// Encodes one obligation with a fresh bound-name context, yielding the
+/// goal term the engine deduplicates, prefilters, and solves (and whose
+/// canonical rendering is its cache key). Public so external tooling —
+/// the group-rate gauges in the benchmarks and `paper_report` — can ask
+/// [`crate::prefilter::group_keys`] about the very goals the engine sees.
+pub fn encode_goal(vc: &Vc) -> BTerm {
     let mut ctx = EncodeCtx::new();
     match &vc.body {
         VcBody::Unary(p) => encode_formula(p, &mut ctx),
@@ -1051,7 +1136,10 @@ mod tests {
             folded.absorb(&r.stats);
         }
         assert_eq!(report.stats, folded);
-        assert!(report.stats.queries >= 2);
+        // `x <= x` is statically proved (zero solver queries); `x >= 5`
+        // still reaches the solver.
+        assert!(report.stats.queries >= 1);
+        assert_eq!(report.engine.static_hits, 1);
     }
 
     #[test]
@@ -1247,6 +1335,7 @@ mod tests {
             max_conflicts: 1,
             branch_budget: 1,
             incremental: true,
+            prefilter: true,
         };
         let engine = DischargeEngine::with_config(config);
         assert_eq!(engine.config().max_conflicts, 1);
@@ -1281,13 +1370,20 @@ mod tests {
 
     #[test]
     fn incremental_discharge_matches_fresh_solvers() {
+        // Prefilter pinned off on both sides so every goal reaches a
+        // solver and the session path is what this test compares.
         let vcs = grouped_vcs();
         let fresh = DischargeEngine::with_config(DischargeConfig {
             incremental: false,
+            prefilter: false,
             ..DischargeConfig::sequential()
         })
         .discharge(vcs.clone());
-        let scoped = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs);
+        let scoped = DischargeEngine::with_config(DischargeConfig {
+            prefilter: false,
+            ..DischargeConfig::sequential()
+        })
+        .discharge(vcs);
         assert_eq!(fresh.results.len(), scoped.results.len());
         for (a, b) in fresh.results.iter().zip(&scoped.results) {
             // Status-level equivalence: an `Invalid` countermodel is a
@@ -1321,5 +1417,112 @@ mod tests {
             assert_eq!(a.stats, b.stats, "stats mismatch on {}", a.vc);
         }
         assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.engine.static_hits, par.engine.static_hits);
+    }
+
+    #[test]
+    fn prefilter_discharge_is_verdict_identical() {
+        // The full grouped corpus plus a statically provable straggler,
+        // discharged with the static analysis layer on and off: verdict
+        // statuses must be identical, and the prefiltered run must
+        // discharge at least one goal with zero solver work.
+        let mut vcs = grouped_vcs();
+        vcs.push(unary_vc("tauto", "w + 1 >= w"));
+        let on = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs.clone());
+        let off = DischargeEngine::with_config(DischargeConfig {
+            prefilter: false,
+            ..DischargeConfig::sequential()
+        })
+        .discharge(vcs);
+        assert_eq!(on.results.len(), off.results.len());
+        for (a, b) in on.results.iter().zip(&off.results) {
+            assert_eq!(
+                std::mem::discriminant(&a.verdict),
+                std::mem::discriminant(&b.verdict),
+                "verdict mismatch on {}: {:?} vs {:?}",
+                a.vc,
+                a.verdict,
+                b.verdict
+            );
+            assert_eq!(a.cached, b.cached);
+        }
+        assert!(on.engine.static_hits >= 1, "the tautology is a static hit");
+        assert!(
+            on.engine.static_hits <= on.engine.cache_misses,
+            "static hits are a subset of this call's solved goals"
+        );
+        assert_eq!(off.engine.static_hits, 0);
+        // A statically proved goal carries zero solver statistics.
+        let tauto = on.results.iter().find(|r| r.vc.name == "tauto").unwrap();
+        assert!(tauto.verdict.is_valid());
+        assert_eq!(tauto.stats, SolverStats::default());
+    }
+
+    #[test]
+    fn sliced_invalid_reproves_the_full_goal() {
+        // Both hypotheses slice to `x >= 0` (the y/z conjuncts cannot
+        // reach the conclusion), so the two goals share one session —
+        // but the first goal's *full* hypothesis is unsatisfiable
+        // (adding the two-variable conjuncts forces `y >= 1`, against
+        // `y <= 0` — a contradiction the prefilter cannot see, since it
+        // never sums difference bounds), so dropping conjuncts flips
+        // its session verdict to Invalid. The fallback must re-prove
+        // the full goal on a fresh solver and restore Valid; the second
+        // goal is genuinely invalid and must stay so.
+        let vcs = vec![
+            unary_vc(
+                "vacuous",
+                "x >= 0 && y + z >= 1 && y - z >= 1 && y <= 0 ==> x >= 5",
+            ),
+            unary_vc("invalid", "x >= 0 && y + z >= 1 ==> x >= 7"),
+        ];
+        let report = DischargeEngine::with_config(DischargeConfig::sequential()).discharge(vcs);
+        assert!(
+            report.results[0].verdict.is_valid(),
+            "unsat full hypothesis ⇒ valid, despite the sliced session disagreeing"
+        );
+        assert!(!report.results[1].verdict.is_valid());
+        assert_eq!(
+            report.engine.static_hits, 0,
+            "neither goal is interval-provable"
+        );
+        // Equivalence with plain fresh-solver discharge.
+        let vcs = vec![
+            unary_vc(
+                "vacuous",
+                "x >= 0 && y + z >= 1 && y - z >= 1 && y <= 0 ==> x >= 5",
+            ),
+            unary_vc("invalid", "x >= 0 && y + z >= 1 ==> x >= 7"),
+        ];
+        let plain = DischargeEngine::with_config(DischargeConfig {
+            incremental: false,
+            prefilter: false,
+            ..DischargeConfig::sequential()
+        })
+        .discharge(vcs);
+        assert!(plain.results[0].verdict.is_valid());
+        assert!(!plain.results[1].verdict.is_valid());
+    }
+
+    #[test]
+    fn normalized_grouping_raises_the_group_rate() {
+        // Verbatim-different hypotheses with a shared relevant core:
+        // PR 6's verbatim grouping sees three distinct hypotheses, the
+        // normalized grouping sees one.
+        let goals = [
+            "x >= 0 && x <= 9 && a >= 1 ==> x <= 20",
+            "x <= 9 && x >= 0 && b <= 4 ==> x <= 21",
+            "c == 7 && x >= 0 && x <= 9 ==> x <= 22",
+        ];
+        let mut verbatim = std::collections::HashSet::new();
+        let mut normalized = std::collections::HashSet::new();
+        for source in goals {
+            let vc = unary_vc("g", source);
+            let keys = crate::prefilter::group_keys(&encode_goal(&vc)).expect("linear goal");
+            verbatim.insert(keys.verbatim.expect("fully linear goal"));
+            normalized.insert(keys.normalized);
+        }
+        assert_eq!(verbatim.len(), 3);
+        assert_eq!(normalized.len(), 1);
     }
 }

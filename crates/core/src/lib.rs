@@ -44,9 +44,12 @@
 //!   verdict sharing between worker processes through the on-disk store;
 //! * [`encode`] — lowering of assertion-logic formulas to the
 //!   `relaxed-smt` solver;
-//! * [`analysis`] — array detection and relaxation-dependence (taint)
-//!   analysis;
+//! * [`analysis`] — array detection, relaxation-dependence (taint)
+//!   analysis, and the spec-coverage lint pass;
 //! * [`noninterference`] — automatic `x<o> == x<r>` bridging invariants;
+//! * [`prefilter`] — the goal-level static analysis layer: the
+//!   abstract-interpretation prefilter and sound hypothesis
+//!   normalization/slicing that run in front of the solver;
 //! * [`engine`] — the parallel, deduplicating VC discharge engine;
 //! * [`verify`] — the theorem-level report types (and the deprecated
 //!   free-function drivers).
@@ -84,17 +87,20 @@ mod diag;
 pub mod encode;
 pub mod engine;
 pub mod noninterference;
+pub mod prefilter;
 pub mod rules;
 pub mod shard;
 pub mod vcgen;
 pub mod verify;
 
+pub use analysis::{lint, AnalysisWarning, LintCode};
 pub use api::{
     CachePolicy, Config, CorpusEntry, CorpusError, CorpusPolicy, CorpusReport, EnvWarning, Stage,
     StageRunner, StageSet, Verifier, VerifierBuilder,
 };
 pub use cache::{CacheWarning, GoalKey};
 pub use engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
+pub use prefilter::{group_keys, normalize, GroupKeys, NormalizedHypothesis, Prefilter};
 pub use verify::{AcceptabilityReport, Report, Spec, VcResult};
 // The deprecated free-function drivers stay re-exported so existing
 // `relaxed_core::verify_acceptability`-style paths keep resolving (with a

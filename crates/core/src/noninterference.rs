@@ -16,6 +16,8 @@
 
 use crate::analysis::{array_vars, relaxation_tainted};
 use crate::vcgen::sync_vars;
+use crate::verify::Spec;
+use relaxed_lang::free::rel_formula_var_names;
 use relaxed_lang::{Formula, Program, RelFormula, Stmt, Var};
 use std::collections::BTreeSet;
 
@@ -88,6 +90,43 @@ fn rewrite(s: &Stmt, sync: &RelFormula) -> Stmt {
 /// reporting).
 pub fn tainted_vars(program: &Program) -> BTreeSet<Var> {
     relaxation_tainted(program.body())
+}
+
+/// The variables some acceptability predicate constrains: free variables
+/// of the relational postcondition, of every `relate` assertion, and of
+/// every explicit `rinvariant` in the program.
+///
+/// A tainted variable *outside* this set has no bridge from original to
+/// relaxed reasoning — the spec-coverage lint ([`crate::analysis::lint`])
+/// flags it when the postcondition depends on it.
+pub fn acceptability_constrained(program: &Program, spec: &Spec) -> BTreeSet<Var> {
+    let mut out = rel_formula_var_names(&spec.rel_post);
+    collect_rel_constraints(program.body(), &mut out);
+    out
+}
+
+fn collect_rel_constraints(s: &Stmt, out: &mut BTreeSet<Var>) {
+    match s {
+        Stmt::Relate(_, b) => {
+            out.extend(rel_formula_var_names(&RelFormula::from_rel_bool_expr(b)));
+        }
+        Stmt::While(w) => {
+            if let Some(rinv) = &w.rel_invariant {
+                out.extend(rel_formula_var_names(rinv));
+            }
+            collect_rel_constraints(&w.body, out);
+        }
+        Stmt::If(i) => {
+            collect_rel_constraints(&i.then_branch, out);
+            collect_rel_constraints(&i.else_branch, out);
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                collect_rel_constraints(s, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]

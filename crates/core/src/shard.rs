@@ -189,9 +189,11 @@ fn render_config_frame(config: &Config, per_worker: usize) -> String {
     };
     let per_program = u8::from(matches!(config.cache, CachePolicy::PerProgram));
     let incremental = u8::from(config.incremental);
+    let prefilter = u8::from(config.prefilter);
     format!(
         "{{\"type\":\"config\",\"proto\":{PROTOCOL_VERSION},\"max_conflicts\":{},\
-         \"branch_budget\":{},\"incremental\":{incremental},\"workers\":{per_worker},\
+         \"branch_budget\":{},\"incremental\":{incremental},\"prefilter\":{prefilter},\
+         \"workers\":{per_worker},\
          \"stages\":{},\"cache\":{},\
          \"cache_max\":{},\"per_program\":{per_program}}}",
         config.max_conflicts,
@@ -238,8 +240,13 @@ fn render_result_frame(id: usize, report: &AcceptabilityReport, elapsed_ms: u64)
     let mut out = format!(
         "{{\"type\":\"result\",\"id\":{id},\"elapsed_ms\":{elapsed_ms},\
          \"cache_hits\":{},\"cache_misses\":{},\"cross_hits\":{},\"disk_hits\":{},\
+         \"static_hits\":{},\
          \"stages\":[",
-        engine.cache_hits, engine.cache_misses, engine.cross_hits, engine.disk_hits,
+        engine.cache_hits,
+        engine.cache_misses,
+        engine.cross_hits,
+        engine.disk_hits,
+        engine.static_hits,
     );
     let mut first = true;
     let mut stage_out = |stage: Stage, stage_report: &Report| {
@@ -356,6 +363,9 @@ fn parse_result_frame(line: &str) -> Result<WireResult, String> {
         cache_misses: field_u64(fields, "cache_misses")?,
         cross_hits: field_u64(fields, "cross_hits")?,
         disk_hits: field_u64(fields, "disk_hits")?,
+        // Optional: a worker predating the static analysis layer simply
+        // reports no static hits.
+        static_hits: field_u64(fields, "static_hits").unwrap_or(0),
         ..EngineStats::default()
     };
     let mut stages = Vec::new();
@@ -493,10 +503,11 @@ pub fn worker_loop(
                 let mut config = Config {
                     max_conflicts: field_u64(fields, "max_conflicts").map_err(&violation)?,
                     branch_budget: field_u64(fields, "branch_budget").map_err(&violation)?,
-                    // Optional with a permissive default: the knob is
+                    // Optional with a permissive default: these knobs are
                     // verdict-equivalent, so a coordinator that predates
-                    // it just gets the worker's default behavior.
+                    // one just gets the worker's default behavior.
                     incremental: field_u64(fields, "incremental") != Ok(0),
+                    prefilter: field_u64(fields, "prefilter") != Ok(0),
                     workers: field_u64(fields, "workers").map_err(&violation)? as usize,
                     cache_max: field_u64(fields, "cache_max").map_err(&violation)? as usize,
                     stages: parse_stages(field_str(fields, "stages").map_err(&violation)?)
@@ -752,6 +763,7 @@ impl ShardPool {
         let entry = CorpusEntry {
             name: job.name.clone(),
             elapsed_ms: 0,
+            lint: Vec::new(),
             outcome: Err(CorpusError::Shard(format!(
                 "job failed after {} attempts; last error: {}",
                 job.attempts, job.last_error
@@ -827,13 +839,17 @@ fn run_job_on_worker(worker: &mut WorkerHandle, job: &ShardJob) -> Result<Corpus
         return Ok(CorpusEntry {
             name: job.name.clone(),
             elapsed_ms: wire.elapsed_ms,
+            lint: Vec::new(),
             outcome: Err(CorpusError::Shard(format!("worker reported: {error}"))),
         });
     }
     let report = rebuild_report(job, wire.stages, wire.engine)?;
+    // Lint is filled by the coordinator after the merge (it holds the
+    // programs; warnings never cross the worker wire).
     Ok(CorpusEntry {
         name: job.name.clone(),
         elapsed_ms: wire.elapsed_ms,
+        lint: Vec::new(),
         outcome: Ok(report),
     })
 }
@@ -951,6 +967,7 @@ pub(crate) fn run_corpus_sharded(
             slots[index] = Some(CorpusEntry {
                 name: name.clone(),
                 elapsed_ms: 0,
+                lint: Vec::new(),
                 outcome: Err(CorpusError::Vcgen(e)),
             });
             continue;
@@ -999,6 +1016,7 @@ pub(crate) fn run_corpus_sharded(
                     slots[job.index] = Some(CorpusEntry {
                         name: job.name,
                         elapsed_ms: 0,
+                        lint: Vec::new(),
                         outcome: Err(CorpusError::Shard(reason.clone())),
                     });
                 }
@@ -1007,14 +1025,20 @@ pub(crate) fn run_corpus_sharded(
     }
 
     for (index, slot) in slots.into_iter().enumerate() {
-        let entry = slot.unwrap_or_else(|| CorpusEntry {
+        let mut entry = slot.unwrap_or_else(|| CorpusEntry {
             // Unreachable by construction (every job completes or is
             // recorded by retry()); degrade loudly rather than panic the
             // whole corpus if a future refactor breaks that invariant.
             name: format!("program_{index}"),
             elapsed_ms: 0,
+            lint: Vec::new(),
             outcome: Err(CorpusError::Shard("job was lost by the pool".to_string())),
         });
+        // The lint pass runs coordinator-side for every entry — sharded
+        // reports carry exactly the warnings the in-process driver would.
+        if let Some((_, program, spec)) = entries.get(index) {
+            entry.lint = crate::api::rendered_lint(program, spec);
+        }
         if let Ok(program_report) = &entry.outcome {
             report.engine.absorb(&program_report.engine);
             report.stats.absorb(&program_report.original.stats);

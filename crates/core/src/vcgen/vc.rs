@@ -23,6 +23,27 @@ pub struct Vc {
     pub body: VcBody,
 }
 
+/// Splits a formula into its top-level conjuncts, flattening nested
+/// `&&` left-to-right. A non-conjunction is its own single conjunct.
+///
+/// This is the shared notion of "invariant conjunct" between the VC
+/// generators (which conjoin invariants wholesale) and the spec-coverage
+/// lint (which inspects each conjunct individually).
+pub fn formula_conjuncts(p: &Formula) -> Vec<&Formula> {
+    fn walk<'a>(p: &'a Formula, out: &mut Vec<&'a Formula>) {
+        match p {
+            Formula::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    walk(p, &mut out);
+    out
+}
+
 impl fmt::Display for Vc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {}: ", self.context, self.name)?;

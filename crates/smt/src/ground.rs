@@ -6,7 +6,7 @@
 //! | `e / d`, `d > 0` const | fresh `q` with the truncated-division axioms | exact |
 //! | `e % d`, `d > 0` const | rewritten to `e − d·q` | exact |
 //! | `a[i]` | fresh var per `(a, i)` + Ackermann congruence over pairs | exact (read-only arrays) |
-//! | `len(a)` | fresh non-negative var per `a` | exact |
+//! | `len(a)` | name-deterministic non-negative var `len!a` | exact |
 //! | `x · y` (both non-const) | fresh var per unordered pair + congruence | **weakening** |
 //! | `e / t`, `e % t` (non-const or ≤ 0 divisor) | fresh var | **weakening** |
 //!
@@ -107,7 +107,14 @@ impl Grounder {
                 if let Some(name) = self.len_cache.get(arr) {
                     return ITerm::Var(name.clone());
                 }
-                let name = fresh.fresh(&format!("len_{arr}"));
+                // Name-deterministic, not counter-fresh: `len` is a source
+                // keyword, so `len!{arr}` can never collide with a program
+                // variable or a relational rename, and two groundings of the
+                // same array's length — even in separate `assert` calls of
+                // one incremental session — agree on the variable. That
+                // agreement is what lets sessions assert a hypothesis one
+                // conjunct at a time without severing length facts.
+                let name = format!("len!{arr}");
                 self.len_cache.insert(arr.clone(), name.clone());
                 self.defs.push(ITerm::Var(name.clone()).ge(ITerm::Const(0)));
                 ITerm::Var(name)

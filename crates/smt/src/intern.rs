@@ -10,7 +10,7 @@
 //! replacing the old `format!("{goal:?}")` Debug identity (which was
 //! neither stable across Rust versions nor α-invariant).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::ast::{BTerm, ITerm, Rel};
 
@@ -53,6 +53,56 @@ enum Node {
     Implies(NodeId, NodeId),
     Not(NodeId),
     Exists(NodeId),
+    Forall(NodeId),
+}
+
+/// A borrowed, read-only view of one interned node.
+///
+/// External analyses (the core crate's static prefilter) traverse goals
+/// through this instead of re-walking `BTerm` trees, so structurally
+/// shared sub-terms are visited through one stable [`NodeId`] each.
+/// Bound variables appear as de Bruijn indices exactly as interned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TermView<'a> {
+    /// Integer literal.
+    Const(i64),
+    /// Free (unbound) variable name.
+    Free(&'a str),
+    /// Bound variable as a de Bruijn index (0 = innermost binder).
+    Bound(u32),
+    /// Integer addition.
+    Add(NodeId, NodeId),
+    /// Integer subtraction.
+    Sub(NodeId, NodeId),
+    /// Integer negation.
+    Neg(NodeId),
+    /// Integer multiplication.
+    Mul(NodeId, NodeId),
+    /// Integer division.
+    Div(NodeId, NodeId),
+    /// Integer remainder.
+    Mod(NodeId, NodeId),
+    /// Array element read: `array[index]`.
+    Select(&'a str, NodeId),
+    /// Array length of the named array.
+    Len(&'a str),
+    /// Boolean literal `true`.
+    True,
+    /// Boolean literal `false`.
+    False,
+    /// Integer comparison atom.
+    Atom(Rel, NodeId, NodeId),
+    /// Boolean conjunction.
+    And(NodeId, NodeId),
+    /// Boolean disjunction.
+    Or(NodeId, NodeId),
+    /// Boolean implication.
+    Implies(NodeId, NodeId),
+    /// Boolean negation.
+    Not(NodeId),
+    /// Existential quantifier (binder name erased to de Bruijn form).
+    Exists(NodeId),
+    /// Universal quantifier (binder name erased to de Bruijn form).
     Forall(NodeId),
 }
 
@@ -190,6 +240,100 @@ impl TermArena {
             ITerm::Len(array) => Node::Len(array.clone()),
         };
         self.node(node)
+    }
+
+    /// Returns a read-only structural view of the node behind `id`.
+    pub fn view(&self, id: NodeId) -> TermView<'_> {
+        match &self.nodes[id.index()] {
+            Node::Const(n) => TermView::Const(*n),
+            Node::Free(name) => TermView::Free(name),
+            Node::Bound(k) => TermView::Bound(*k),
+            Node::Add(a, b) => TermView::Add(*a, *b),
+            Node::Sub(a, b) => TermView::Sub(*a, *b),
+            Node::Neg(a) => TermView::Neg(*a),
+            Node::Mul(a, b) => TermView::Mul(*a, *b),
+            Node::Div(a, b) => TermView::Div(*a, *b),
+            Node::Mod(a, b) => TermView::Mod(*a, *b),
+            Node::Select(array, index) => TermView::Select(array, *index),
+            Node::Len(array) => TermView::Len(array),
+            Node::True => TermView::True,
+            Node::False => TermView::False,
+            Node::Atom(rel, a, b) => TermView::Atom(*rel, *a, *b),
+            Node::And(a, b) => TermView::And(*a, *b),
+            Node::Or(a, b) => TermView::Or(*a, *b),
+            Node::Implies(a, b) => TermView::Implies(*a, *b),
+            Node::Not(a) => TermView::Not(*a),
+            Node::Exists(body) => TermView::Exists(*body),
+            Node::Forall(body) => TermView::Forall(*body),
+        }
+    }
+
+    /// Collects every free name reachable from `id` into `out`: free
+    /// integer variables plus array names mentioned by `sel`/`len`
+    /// nodes. DAG-aware — each node is walked once regardless of how
+    /// often it is shared.
+    pub fn free_vars_into(&self, id: NodeId, out: &mut BTreeSet<String>) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            match &self.nodes[id.index()] {
+                Node::Const(_) | Node::Bound(_) | Node::True | Node::False => {}
+                Node::Free(name) => {
+                    out.insert(name.clone());
+                }
+                Node::Len(array) => {
+                    out.insert(array.clone());
+                }
+                Node::Select(array, index) => {
+                    out.insert(array.clone());
+                    stack.push(*index);
+                }
+                Node::Neg(a) | Node::Not(a) | Node::Exists(a) | Node::Forall(a) => stack.push(*a),
+                Node::Add(a, b)
+                | Node::Sub(a, b)
+                | Node::Mul(a, b)
+                | Node::Div(a, b)
+                | Node::Mod(a, b)
+                | Node::Atom(_, a, b)
+                | Node::And(a, b)
+                | Node::Or(a, b)
+                | Node::Implies(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+            }
+        }
+    }
+
+    /// The free names reachable from `id` (see [`free_vars_into`]).
+    ///
+    /// [`free_vars_into`]: TermArena::free_vars_into
+    pub fn free_vars(&self, id: NodeId) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.free_vars_into(id, &mut out);
+        out
+    }
+
+    /// Splits `id` into its top-level conjuncts: `And` nodes are
+    /// flattened recursively (left-to-right source order), anything else
+    /// is its own conjunct.
+    pub fn conjuncts(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.conjuncts_into(id, &mut out);
+        out
+    }
+
+    fn conjuncts_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        match &self.nodes[id.index()] {
+            Node::And(a, b) => {
+                self.conjuncts_into(*a, out);
+                self.conjuncts_into(*b, out);
+            }
+            _ => out.push(id),
+        }
     }
 
     /// Renders an interned node as the canonical s-expression.
@@ -379,6 +523,36 @@ mod tests {
         let le = ITerm::var("x").le(ITerm::Const(0));
         let lt = ITerm::var("x").lt(ITerm::Const(0));
         assert_ne!(canonical_key(&le), canonical_key(&lt));
+    }
+
+    #[test]
+    fn free_vars_cover_arrays_and_skip_binders() {
+        let mut arena = TermArena::new();
+        // ∀k. a[k] ≤ len(xs) ∧ y ≥ 0 — free names: a, xs, y (not k).
+        let goal = ITerm::Select("a".into(), Box::new(ITerm::var("k")))
+            .le(ITerm::Len("xs".into()))
+            .forall("k")
+            .and(ITerm::var("y").ge(ITerm::Const(0)));
+        let id = arena.intern_bool(&goal);
+        let vars: Vec<String> = arena.free_vars(id).into_iter().collect();
+        assert_eq!(vars, ["a", "xs", "y"]);
+    }
+
+    #[test]
+    fn conjunct_split_flattens_nested_ands_in_order() {
+        let mut arena = TermArena::new();
+        let a = ITerm::var("a").ge(ITerm::Const(0));
+        let b = ITerm::var("b").ge(ITerm::Const(1));
+        let c = ITerm::var("c").ge(ITerm::Const(2));
+        let id = arena.intern_bool(&a.clone().and(b.clone()).and(c.clone()));
+        let parts = arena.conjuncts(id);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], arena.intern_bool(&a));
+        assert_eq!(parts[1], arena.intern_bool(&b));
+        assert_eq!(parts[2], arena.intern_bool(&c));
+        // A non-conjunction is a single conjunct of itself.
+        let or = arena.intern_bool(&a.or(b));
+        assert_eq!(arena.conjuncts(or), vec![or]);
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub use relaxed_smt as smt;
 pub use relaxed_transforms as transforms;
 
 pub use relaxed_core::{
-    AcceptabilityReport, CachePolicy, CacheWarning, Config, CorpusEntry, CorpusError, CorpusPolicy,
-    CorpusReport, EnvWarning, GoalKey, Spec, Stage, StageSet, Verifier, VerifierBuilder,
+    AcceptabilityReport, AnalysisWarning, CachePolicy, CacheWarning, Config, CorpusEntry,
+    CorpusError, CorpusPolicy, CorpusReport, EnvWarning, GoalKey, LintCode, Spec, Stage, StageSet,
+    Verifier, VerifierBuilder,
 };
 
 pub mod casestudies;

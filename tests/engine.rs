@@ -177,9 +177,9 @@ fn report_stats_equal_per_vc_fold() {
             folded.absorb(&r.stats);
         }
         assert_eq!(report.stats, folded, "{name}: aggregate != per-VC fold");
-        assert_eq!(
-            report.stats.queries, report.engine.cache_misses,
-            "{name}: one solver query per freshly solved goal"
+        assert!(
+            report.stats.queries + report.engine.static_hits >= report.engine.cache_misses,
+            "{name}: every freshly solved goal is a solver query or a static hit"
         );
         assert!(report.stats.max_atoms <= report.stats.atoms);
         assert!(

@@ -1,0 +1,174 @@
+//! Integration tests for the goal-level static analysis layer: corpus-wide
+//! verdict equivalence with the prefilter on vs. off, static-hit
+//! accounting on real workloads, normalized-hypothesis grouping, and the
+//! spec-coverage lint's precision on the paper's case studies.
+
+use relaxed_programs::{casestudies, LintCode, Verifier};
+
+/// The tentpole soundness gate: the six-program case-study corpus must
+/// produce byte-identical verdicts with the static analysis layer on and
+/// off — on every program, every stage, every obligation.
+#[test]
+fn corpus_verdicts_identical_with_prefilter_on_and_off() {
+    let corpus = casestudies::corpus();
+    let on = Verifier::builder().prefilter(true).build();
+    let off = Verifier::builder().prefilter(false).build();
+    let report_on = on.check_corpus_named(&corpus);
+    let report_off = off.check_corpus_named(&corpus);
+    report_on
+        .verdicts_match(&report_off)
+        .expect("prefilter must be verdict-identical");
+    // The prefiltered run discharged at least one goal with zero solver
+    // work; the baseline run, by construction, none.
+    assert!(
+        report_on.engine.static_hits >= 1,
+        "corpus has statically provable goals"
+    );
+    assert_eq!(report_off.engine.static_hits, 0);
+    // Static hits never exceed the goals this run actually solved.
+    assert!(report_on.engine.static_hits <= report_on.engine.cache_misses);
+}
+
+/// The prefilter composes with the fresh-solver schedule: disabling the
+/// incremental session grouping on top of either prefilter setting still
+/// yields identical verdicts (the `DISCHARGE_INCREMENTAL=0` ×
+/// `DISCHARGE_PREFILTER=0|1` corner of the schedule matrix).
+#[test]
+fn prefilter_equivalence_holds_without_incremental_sessions() {
+    let corpus = casestudies::corpus();
+    let on = Verifier::builder()
+        .incremental(false)
+        .prefilter(true)
+        .build();
+    let off = Verifier::builder()
+        .incremental(false)
+        .prefilter(false)
+        .build();
+    on.check_corpus_named(&corpus)
+        .verdicts_match(&off.check_corpus_named(&corpus))
+        .expect("prefilter must be verdict-identical under fresh solvers too");
+}
+
+/// `static_hits` rides the corpus JSON at both granularities.
+#[test]
+fn static_hits_appear_in_corpus_json() {
+    let corpus = casestudies::corpus();
+    let report = Verifier::builder()
+        .workers(1)
+        .build()
+        .check_corpus_named(&corpus);
+    let json = report.to_json();
+    // One per successful entry plus one aggregate.
+    assert_eq!(json.matches("\"static_hits\"").count(), 7, "{json}");
+    assert!(report.engine.static_hits >= 1);
+}
+
+/// Normalized-hypothesis grouping strictly beats PR 6's verbatim-match
+/// baseline on the real corpus. The metric is discharge *units*: under
+/// a scheme, goals sharing a grouping key solve through one session and
+/// every other goal is its own fresh-solver unit, so fewer units means
+/// a higher group rate. The normalized scheme groups every goal with an
+/// assertable hypothesis (slicing away irrelevant conjuncts, refuting
+/// arbitrary conclusions in their own scope); the verbatim baseline
+/// only grouped fully linear goals under their full hypothesis.
+#[test]
+fn normalized_grouping_beats_verbatim_baseline_on_the_corpus() {
+    use std::collections::HashSet;
+    let verifier = Verifier::new();
+    let mut verbatim_groups: HashSet<String> = HashSet::new();
+    let mut normalized_groups: HashSet<String> = HashSet::new();
+    let (mut verbatim_fresh, mut normalized_fresh, mut goals) = (0usize, 0usize, 0usize);
+    for (_, program, spec) in &casestudies::corpus() {
+        for vc in verifier
+            .vcs(program, spec)
+            .expect("case studies generate VCs")
+        {
+            let goal = relaxed_programs::core::engine::encode_goal(&vc);
+            goals += 1;
+            match relaxed_programs::core::group_keys(&goal) {
+                Some(keys) => {
+                    normalized_groups.insert(keys.normalized);
+                    match keys.verbatim {
+                        Some(v) => {
+                            verbatim_groups.insert(v);
+                        }
+                        None => verbatim_fresh += 1,
+                    }
+                }
+                None => {
+                    verbatim_fresh += 1;
+                    normalized_fresh += 1;
+                }
+            }
+        }
+    }
+    let verbatim_units = verbatim_groups.len() + verbatim_fresh;
+    let normalized_units = normalized_groups.len() + normalized_fresh;
+    assert!(
+        !normalized_groups.is_empty(),
+        "the corpus has groupable goals"
+    );
+    assert!(
+        normalized_units < verbatim_units,
+        "normalization must strictly raise the group rate: \
+         {goals} goals, {verbatim_units} verbatim units vs {normalized_units} normalized units"
+    );
+}
+
+/// Lint precision golden: the paper's case studies — verified *and*
+/// broken variants — are all clean specifications (the mutations are
+/// semantic, not structural), so the spec-coverage lint must stay quiet
+/// on every one of them. Recall is covered by the `analysis` unit tests
+/// on crafted programs.
+#[test]
+fn lint_is_quiet_on_all_case_studies() {
+    let verifier = Verifier::new();
+    for (name, program, spec) in casestudies::corpus() {
+        let warnings = verifier.lint(&program, &spec);
+        assert!(
+            warnings.is_empty(),
+            "{name}: unexpected lint warnings: {warnings:?}"
+        );
+    }
+    let report = verifier.check_corpus_named(&casestudies::all_broken());
+    for entry in &report.entries {
+        assert!(entry.lint.is_empty(), "{}: {:?}", entry.name, entry.lint);
+    }
+    // Clean entries omit the "lint" field entirely.
+    assert!(!report.to_json().contains("\"lint\""));
+}
+
+/// Lint recall end to end: a deliberately sloppy spec produces all three
+/// warning categories through `Verifier::lint`, and the rendered
+/// warnings ride the corpus JSON.
+#[test]
+fn lint_warnings_ride_the_corpus_report() {
+    use relaxed_programs::lang;
+    let program = lang::parse_program(
+        "relax (x) st (0 <= seed);
+         y = x + 1;
+         while (i < n) invariant (i <= n && ghost == 0) { i = i + 1; }",
+    )
+    .unwrap();
+    let spec = relaxed_programs::Spec {
+        pre: lang::Formula::True,
+        post: lang::parse_formula("y >= 0").unwrap(),
+        rel_pre: lang::parse_rel_formula("x<o> == x<r>").unwrap(),
+        rel_post: lang::RelFormula::True,
+    };
+    let verifier = Verifier::new();
+    let warnings = verifier.lint(&program, &spec);
+    let codes: Vec<LintCode> = warnings.iter().map(|w| w.code).collect();
+    assert!(
+        codes.contains(&LintCode::UnconstrainedTaint),
+        "{warnings:?}"
+    );
+    assert!(codes.contains(&LintCode::VacuousRelax), "{warnings:?}");
+    assert!(codes.contains(&LintCode::InertInvariant), "{warnings:?}");
+
+    let report = verifier.check_corpus_named(&[("sloppy", program, spec)]);
+    assert_eq!(report.entries[0].lint.len(), warnings.len());
+    let json = report.to_json();
+    assert!(json.contains("\"lint\""), "{json}");
+    assert!(json.contains("vacuous-relax"), "{json}");
+}

@@ -43,11 +43,12 @@ const CI_LINT_BUILD_TEST: &[Step] = &[
         &["cargo", "doc", "--workspace", "--no-deps"],
         &[("RUSTDOCFLAGS", "-D warnings")],
     ),
-    // The first three of the four verification schedules (the fourth —
+    // Four of the five verification schedules (the remaining one —
     // persistent on-disk verdict cache — needs a runtime temp path and is
     // appended by `ci()`): default engine parallelism, the fully
-    // sequential discharge path, and fresh-solver-per-goal discharge with
-    // the incremental session grouping disabled.
+    // sequential discharge path, fresh-solver-per-goal discharge with
+    // the incremental session grouping disabled, and the goal-level
+    // static analysis layer disabled.
     Step(&["cargo", "test", "-q", "--workspace"], &[]),
     Step(
         &["cargo", "test", "-q", "--workspace"],
@@ -56,6 +57,10 @@ const CI_LINT_BUILD_TEST: &[Step] = &[
     Step(
         &["cargo", "test", "-q", "--workspace"],
         &[("DISCHARGE_INCREMENTAL", "0")],
+    ),
+    Step(
+        &["cargo", "test", "-q", "--workspace"],
+        &[("DISCHARGE_PREFILTER", "0")],
     ),
 ];
 
@@ -304,7 +309,7 @@ fn main() {
         _ => {
             eprintln!("usage: cargo xtask <ci|verify|bench-json>");
             eprintln!(
-                "  ci          fmt + clippy + build --release + doc + test (4 schedules) + examples + bench --no-run"
+                "  ci          fmt + clippy + build --release + doc + test (5 schedules) + examples + bench --no-run"
             );
             eprintln!("  verify      the ROADMAP tier-1 gate: build --release && test -q");
             eprintln!(
