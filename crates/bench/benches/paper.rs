@@ -24,6 +24,10 @@
 //! * `shard_corpus` — sharded multi-process corpus verification
 //!   (`relaxed-shardd` workers, 1-vs-N processes, plus warm
 //!   cross-process disk-hit metrics);
+//! * `service_throughput` — the networked verification service
+//!   (`relaxed-serviced`): cold fleet spawn vs. warm resident-store
+//!   requests, sustained requests/sec under concurrent clients, and a
+//!   queue-depth gauge;
 //! * `e5_tradeoff_perforation` — the §1 performance/accuracy sweep;
 //! * `e6_metatheory_enumeration` — bounded model checking of a corpus
 //!   program (the empirical soundness check);
@@ -413,6 +417,108 @@ fn shard_corpus(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
+fn service_throughput(c: &mut Criterion) {
+    use relaxed_core::service::{service_status, shutdown_service};
+    use relaxed_core::{Service, ServiceOptions};
+    // The networked service (`relaxed-serviced` in-process): the same
+    // six-program corpus submitted over TCP, cold (fleet spawn + solve
+    // from scratch, per iteration) vs. warm (a long-lived daemon with a
+    // resident pre-seeded verdict store), plus sustained requests/sec
+    // and a queue-depth gauge under concurrent clients.
+    let corpus = casestudies::corpus();
+    let worker = relaxed_core::shard::locate_worker()
+        .expect("relaxed-shardd must be built (cargo bench builds the workspace bins)");
+    let fleet = DischargeConfig::default()
+        .effective_parallelism()
+        .clamp(2, corpus.len());
+    let bind = |cache: Option<&std::path::Path>| {
+        let mut builder = Verifier::builder().workers(1).shard_worker(&worker);
+        if let Some(path) = cache {
+            builder = builder.cache_file(path);
+        }
+        let service = Service::bind(ServiceOptions {
+            fleet,
+            config: builder.build().config().clone(),
+            ..ServiceOptions::default()
+        })
+        .expect("failed to bind the bench service daemon");
+        let addr = service.local_addr();
+        (addr, std::thread::spawn(move || service.run()))
+    };
+    let client = |addr: &str| Verifier::builder().workers(1).service(addr).build();
+    let stop = |addr: &str, daemon: std::thread::JoinHandle<u64>| {
+        shutdown_service(addr, std::time::Duration::from_secs(60)).expect("graceful drain");
+        daemon.join().expect("daemon thread");
+    };
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.bench_function("cold_daemon_six_programs", |b| {
+        b.iter(|| {
+            let (addr, daemon) = bind(None);
+            let report = client(&addr).check_corpus_named(&corpus);
+            assert_eq!(report.len(), 6);
+            stop(&addr, daemon);
+            report
+        })
+    });
+    // Seed the store once; the warm daemon then answers every request
+    // from resident/disk verdicts without touching the solver.
+    let path = std::env::temp_dir().join(format!(
+        "relaxed-bench-service-verdicts-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let seed = Verifier::builder().workers(1).cache_file(&path).build();
+    seed.check_corpus_named(&corpus);
+    seed.persist().unwrap();
+    drop(seed);
+    let (addr, daemon) = bind(Some(&path));
+    group.bench_function("warm_resident_six_programs", |b| {
+        b.iter(|| {
+            let report = client(&addr).check_corpus_named(&corpus);
+            assert_eq!(report.engine.cache_misses, 0, "warm service must not solve");
+            report
+        })
+    });
+    group.finish();
+
+    // Sustained throughput: hammer the still-warm daemon from concurrent
+    // clients, then read the lifetime gauges back off the status frame.
+    const CLIENTS: usize = 4;
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let addr = addr.clone();
+            let corpus = &corpus;
+            scope.spawn(move || {
+                let report = client(&addr).check_corpus_named(corpus);
+                assert_eq!(report.engine.cache_misses, 0, "warm service must not solve");
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let requests = (CLIENTS * corpus.len()) as f64;
+    let status = service_status(&addr, std::time::Duration::from_secs(10)).expect("status");
+    stop(&addr, daemon);
+    eprintln!(
+        "service_throughput: {CLIENTS} warm clients sustained {:.1} requests/sec \
+         (fleet={fleet}, peak queue depth {})",
+        requests / elapsed.as_secs_f64(),
+        status.peak_active
+    );
+    c.report_metric(
+        "service_throughput/warm_requests_per_sec",
+        requests / elapsed.as_secs_f64(),
+    );
+    c.report_metric(
+        "service_throughput/peak_queue_depth",
+        status.peak_active as f64,
+    );
+    c.report_metric("service_throughput/fleet", fleet as f64);
+    let _ = std::fs::remove_file(&path);
+}
+
 fn execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("execute");
     let (swish, _) = casestudies::swish();
@@ -543,6 +649,7 @@ criterion_group!(
     corpus_batch,
     persistent_cache,
     shard_corpus,
+    service_throughput,
     execution,
     tradeoff,
     metatheory,

@@ -627,6 +627,123 @@ fn main() {
         on.engine.static_hits,
     );
 
+    // ---- E13 networked verification service ----
+    println!("\n## E13: networked verification service (`relaxed-serviced`)\n");
+    println!(
+        "The six-program corpus submitted to an in-process service daemon \
+         over TCP: a warm `relaxed-shardd` fleet behind a bounded admission \
+         queue, with the persistent verdict store resident. Every service \
+         report is asserted verdict-identical to the in-process baseline \
+         (`CorpusReport::verdicts_match`); wall-clock and requests/sec are \
+         measured, not asserted.\n"
+    );
+    let service_cache = std::env::temp_dir().join(format!(
+        "relaxed-paper-report-{}.service.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&service_cache);
+    let fleet = shards;
+    let service = relaxed_core::Service::bind(relaxed_core::ServiceOptions {
+        fleet,
+        config: Verifier::builder()
+            .workers(1)
+            .shard_worker(&worker)
+            .cache_file(&service_cache)
+            .build()
+            .config()
+            .clone(),
+        ..relaxed_core::ServiceOptions::default()
+    })
+    .expect("failed to bind the report's service daemon");
+    let service_addr = service.local_addr();
+    let daemon = std::thread::spawn(move || service.run());
+    let service_client = {
+        let addr = service_addr.clone();
+        move || Verifier::builder().workers(1).service(addr.clone()).build()
+    };
+
+    println!("| run | clients | solver runs | disk hits | time | requests/sec |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| in-process | — | {} | {} | {base_elapsed:.1?} | {:.1} |",
+        shard_baseline.engine.cache_misses,
+        shard_baseline.engine.disk_hits,
+        corpus.len() as f64 / base_elapsed.as_secs_f64()
+    );
+
+    // Cold: the daemon's store is empty, so the fleet solves everything
+    // (persisting incrementally into the resident store as it goes).
+    let t_cold_svc = Instant::now();
+    let cold_svc = service_client().check_corpus_named(&corpus);
+    let cold_svc_elapsed = t_cold_svc.elapsed();
+    println!(
+        "| service cold | 1 | {} | {} | {cold_svc_elapsed:.1?} | {:.1} |",
+        cold_svc.engine.cache_misses,
+        cold_svc.engine.disk_hits,
+        corpus.len() as f64 / cold_svc_elapsed.as_secs_f64()
+    );
+
+    // Warm: same daemon, same fleet — every verdict now comes from a
+    // worker's session cache or the shared store, with zero solver work.
+    let t_warm_svc = Instant::now();
+    let warm_svc = service_client().check_corpus_named(&corpus);
+    let warm_svc_elapsed = t_warm_svc.elapsed();
+    println!(
+        "| service warm | 1 | {} | {} | {warm_svc_elapsed:.1?} | {:.1} |",
+        warm_svc.engine.cache_misses,
+        warm_svc.engine.disk_hits,
+        corpus.len() as f64 / warm_svc_elapsed.as_secs_f64()
+    );
+
+    // N concurrent clients against the warm daemon: the thread-per-
+    // connection fan-in with admission backpressure.
+    const SERVICE_CLIENTS: usize = 4;
+    let t_conc = Instant::now();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SERVICE_CLIENTS)
+            .map(|_| scope.spawn(|| service_client().check_corpus_named(&corpus)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("service client thread"))
+            .collect()
+    });
+    let conc_elapsed = t_conc.elapsed();
+    let conc_requests = (SERVICE_CLIENTS * corpus.len()) as f64;
+    let conc_misses: u64 = concurrent.iter().map(|r| r.engine.cache_misses).sum();
+    let conc_disk: u64 = concurrent.iter().map(|r| r.engine.disk_hits).sum();
+    println!(
+        "| service warm | {SERVICE_CLIENTS} | {conc_misses} | {conc_disk} | {conc_elapsed:.1?} | {:.1} |",
+        conc_requests / conc_elapsed.as_secs_f64()
+    );
+
+    for report in std::iter::once(&cold_svc)
+        .chain(std::iter::once(&warm_svc))
+        .chain(&concurrent)
+    {
+        report
+            .verdicts_match(&shard_baseline)
+            .expect("service verdicts drifted from in-process");
+        assert_eq!(report.engine.workers, fleet, "fleet size rides the report");
+    }
+    assert_eq!(
+        warm_svc.engine.cache_misses, 0,
+        "the warm service must not re-solve"
+    );
+    assert_eq!(conc_misses, 0, "warm concurrent clients must not re-solve");
+    println!(
+        "\nwarm speedup over cold through the service: {:.2}x; sustained {:.1} requests/sec \
+         from {SERVICE_CLIENTS} concurrent clients (measured, not asserted)",
+        cold_svc_elapsed.as_secs_f64() / warm_svc_elapsed.as_secs_f64().max(1e-9),
+        conc_requests / conc_elapsed.as_secs_f64()
+    );
+    let served =
+        relaxed_core::service::shutdown_service(&service_addr, std::time::Duration::from_secs(60))
+            .expect("graceful drain");
+    daemon.join().expect("daemon thread");
+    println!("daemon served {served} requests over its lifetime, then drained gracefully");
+    let _ = std::fs::remove_file(&service_cache);
+
     // ---- E4 LoC inventory ----
     println!("\n## E4: implementation size (paper §1.6 vs this reproduction)\n");
     println!("run `paper_report --loc` from the repo root, or `tokei`; see EXPERIMENTS.md");

@@ -1,0 +1,8 @@
+//! The networked verification service daemon. See
+//! [`relaxed_core::service`] for the architecture and wire protocol.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    relaxed_core::service::service_main()
+}

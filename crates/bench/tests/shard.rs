@@ -4,11 +4,22 @@
 //! exercising verdict equivalence against the in-process driver, the
 //! crash/corruption fault-tolerance path (via the `RELAXED_SHARDD_FAULT`
 //! hook), and cache-mediated verdict sharing between worker processes.
+//!
+//! The service tests at the bottom run the same fleet behind an
+//! in-process `relaxed-serviced` daemon (`Service::bind` on an ephemeral
+//! port) and drive it with real TCP clients: concurrent clients must get
+//! verdict-identical reports served from the shared store, a worker
+//! killed mid-request must lose no programs, and a client vanishing
+//! mid-job must not wedge the fleet.
 
-use relaxed_core::{CorpusError, CorpusReport, Verifier, VerifierBuilder};
+use relaxed_core::service::{service_status, shutdown_service};
+use relaxed_core::{
+    Config, CorpusError, CorpusReport, Service, ServiceOptions, Verifier, VerifierBuilder,
+};
 use relaxed_programs::casestudies;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 const WORKER: &str = env!("CARGO_BIN_EXE_relaxed-shardd");
 
@@ -143,6 +154,164 @@ fn workers_share_verdicts_through_the_cache_file() {
     assert_eq!(follow_up.engine.cache_misses, 0);
     drop(warm);
     let _ = std::fs::remove_file(&path);
+}
+
+/// Binds an in-process service daemon (ephemeral port, fleet of real
+/// `relaxed-shardd` workers) and serves it on a background thread.
+/// Returns the bound address and the serve thread (which yields the
+/// lifetime served-count once a `shutdown` frame drains the daemon).
+fn start_service(builder: VerifierBuilder, fleet: usize) -> (String, std::thread::JoinHandle<u64>) {
+    let config = builder.build().config().clone();
+    let service = Service::bind(ServiceOptions {
+        fleet,
+        config,
+        ..ServiceOptions::default()
+    })
+    .expect("failed to bind the in-process service daemon");
+    let addr = service.local_addr();
+    (addr, std::thread::spawn(move || service.run()))
+}
+
+#[test]
+fn concurrent_service_clients_get_identical_reports_from_the_shared_store() {
+    let path = temp_cache("service");
+    let corpus = casestudies::corpus();
+
+    // Seed the store with an in-process baseline, exactly like the CI
+    // service-corpus job: every service verdict can then be answered
+    // from disk, making the cross-client reuse assertion deterministic.
+    let baseline_session = Verifier::builder().workers(2).cache_file(&path).build();
+    let baseline = baseline_session.check_corpus_named(&corpus);
+    baseline_session.persist().expect("seed the store");
+    drop(baseline_session);
+
+    temp_env::with_var("RELAXED_SHARDD_FAULT", None, || {
+        let (addr, daemon) = start_service(sharded(2).cache_file(&path), 2);
+
+        // Two concurrent clients over real TCP connections.
+        let reports: Vec<CorpusReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let corpus = &corpus;
+                    scope.spawn(move || {
+                        Verifier::builder()
+                            .workers(2)
+                            .service(addr)
+                            .build()
+                            .check_corpus_named(corpus)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("service client thread"))
+                .collect()
+        });
+        for report in &reports {
+            assert_verdicts_match(report, &baseline);
+            assert_eq!(
+                report.engine.workers, 2,
+                "corpus parallelism is the daemon's fleet"
+            );
+            assert_eq!(
+                report.engine.cache_misses, 0,
+                "a pre-seeded store must serve every verdict"
+            );
+            assert!(
+                report.engine.disk_hits > 0,
+                "cross-client reuse must be visible as disk hits: {:?}",
+                report.engine
+            );
+        }
+
+        let status = service_status(&addr, Duration::from_secs(10)).expect("status");
+        assert_eq!(status.fleet, 2);
+        assert_eq!(status.alive, 2, "no worker may have been lost");
+        assert_eq!(status.active, 0, "all jobs must have drained");
+        assert_eq!(status.served, (2 * corpus.len()) as u64);
+
+        let served = shutdown_service(&addr, Duration::from_secs(60)).expect("graceful drain");
+        assert_eq!(served, (2 * corpus.len()) as u64);
+        assert_eq!(daemon.join().expect("daemon thread"), served);
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn killed_service_worker_loses_no_programs() {
+    // Every fleet worker crashes when its second job arrives: the daemon
+    // must kill the carcass, spawn a replacement, and retry the job —
+    // the client's merged report still covers every program with
+    // verdicts identical to the in-process run.
+    let corpus = casestudies::corpus();
+    let in_process = Verifier::builder()
+        .workers(2)
+        .build()
+        .check_corpus_named(&corpus);
+    temp_env::with_var("RELAXED_SHARDD_FAULT", Some("crash:2"), || {
+        let (addr, daemon) = start_service(sharded(2), 2);
+        let report = Verifier::builder()
+            .workers(2)
+            .service(&addr)
+            .build()
+            .check_corpus_named(&corpus);
+        assert_verdicts_match(&report, &in_process);
+        shutdown_service(&addr, Duration::from_secs(60)).expect("graceful drain");
+        daemon.join().expect("daemon thread");
+    });
+}
+
+#[test]
+fn client_disconnect_mid_job_does_not_wedge_the_fleet() {
+    let corpus = casestudies::corpus();
+    let in_process = Verifier::builder()
+        .workers(2)
+        .build()
+        .check_corpus_named(&corpus);
+    temp_env::with_var("RELAXED_SHARDD_FAULT", None, || {
+        let (addr, daemon) = start_service(sharded(2), 2);
+
+        // A rude client: handshake, submit a job, vanish without reading
+        // the result. The daemon's write fails on the dead socket; the
+        // admission slot and the worker must still be released.
+        {
+            use std::io::{BufRead, Write};
+            let stream = std::net::TcpStream::connect(&addr).expect("connect");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = &stream;
+            let session = Config::default();
+            writeln!(
+                writer,
+                "{{\"type\":\"config\",\"proto\":1,\"max_conflicts\":{},\
+                 \"branch_budget\":{},\"incremental\":1,\"prefilter\":1,\"workers\":1,\
+                 \"stages\":\"original,relaxed\",\"cache\":\"\",\"cache_max\":0,\
+                 \"per_program\":0}}",
+                session.max_conflicts, session.branch_budget
+            )
+            .expect("send config");
+            let mut ready = String::new();
+            reader.read_line(&mut ready).expect("read ready");
+            assert!(ready.contains("\"ready\""), "unexpected handshake: {ready}");
+            writeln!(writer, "{{\"type\":\"job\",\"id\":7}}").expect("send job");
+            // Drop both halves mid-job.
+        }
+
+        // The fleet must still serve a full corpus for a polite client.
+        let report = Verifier::builder()
+            .workers(2)
+            .service(&addr)
+            .build()
+            .check_corpus_named(&corpus);
+        assert_verdicts_match(&report, &in_process);
+
+        let status = service_status(&addr, Duration::from_secs(10)).expect("status");
+        assert_eq!(status.alive, 2, "the fleet must survive the rude client");
+        // The graceful drain would hang forever on a wedged admission
+        // slot; completing is the real assertion here.
+        shutdown_service(&addr, Duration::from_secs(60)).expect("graceful drain");
+        daemon.join().expect("daemon thread");
+    });
 }
 
 /// Minimal stand-in for the `temp-env` crate (offline build): sets a

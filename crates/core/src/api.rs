@@ -190,7 +190,7 @@ pub enum CachePolicy {
 }
 
 /// How [`Verifier::check_corpus`] executes a corpus.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum CorpusPolicy {
     /// Fan programs across scoped threads of this process — the default.
     #[default]
@@ -206,6 +206,15 @@ pub enum CorpusPolicy {
         /// Worker processes to spawn (at least 1).
         shards: usize,
     },
+    /// Submit the corpus to a running `relaxed-serviced` daemon over TCP
+    /// (see [`crate::service`]): the daemon's warm worker fleet verifies
+    /// the programs and the client receives a merged [`CorpusReport`]
+    /// verdict-identical to an in-process run. Selected by
+    /// [`VerifierBuilder::service`] or `RELAXED_SERVICE=<host:port>`.
+    Service {
+        /// The daemon's listen address (`host:port`).
+        addr: String,
+    },
 }
 
 /// Why a [`CorpusEntry`] carries no [`AcceptabilityReport`].
@@ -219,6 +228,11 @@ pub enum CorpusError {
     /// response frames, or no worker binary could be found. Only
     /// produced under [`CorpusPolicy::Sharded`].
     Shard(String),
+    /// The networked service layer gave up on the program: the daemon
+    /// could not be reached, the connection died mid-corpus, or the
+    /// daemon reported a per-job failure. Only produced under
+    /// [`CorpusPolicy::Service`].
+    Service(String),
 }
 
 impl fmt::Display for CorpusError {
@@ -226,6 +240,7 @@ impl fmt::Display for CorpusError {
         match self {
             CorpusError::Vcgen(e) => e.fmt(f),
             CorpusError::Shard(reason) => write!(f, "sharded verification failed: {reason}"),
+            CorpusError::Service(reason) => write!(f, "service verification failed: {reason}"),
         }
     }
 }
@@ -234,7 +249,7 @@ impl std::error::Error for CorpusError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CorpusError::Vcgen(e) => Some(e),
-            CorpusError::Shard(_) => None,
+            CorpusError::Shard(_) | CorpusError::Service(_) => None,
         }
     }
 }
@@ -283,6 +298,13 @@ pub struct Config {
     /// [`CorpusPolicy::Sharded`]; `None` resolves it next to the current
     /// executable (see [`crate::shard::locate_worker`]).
     pub shard_worker: Option<PathBuf>,
+    /// Handshake patience for shard workers and service connections (see
+    /// [`DischargeConfig::ready_timeout`]).
+    pub ready_timeout: std::time::Duration,
+    /// Per-job patience for shard workers and service connections (see
+    /// [`DischargeConfig::job_timeout`]); settable via
+    /// `DISCHARGE_SHARD_TIMEOUT=<seconds>`.
+    pub job_timeout: std::time::Duration,
 }
 
 impl Default for Config {
@@ -299,6 +321,8 @@ impl Default for Config {
             stages: StageSet::default(),
             corpus: CorpusPolicy::default(),
             shard_worker: None,
+            ready_timeout: discharge.ready_timeout,
+            job_timeout: discharge.job_timeout,
         }
     }
 }
@@ -337,8 +361,11 @@ impl Config {
     /// selecting [`CachePolicy::Persistent`]), `DISCHARGE_CACHE_MAX`
     /// (persistent-store entry cap, `0` = unbounded), `DISCHARGE_SHARDS`
     /// (`0` = in-process, `n ≥ 1` = [`CorpusPolicy::Sharded`] across `n`
-    /// worker processes), and `RELAXED_SHARDD` (explicit worker-binary
-    /// path).
+    /// worker processes), `DISCHARGE_SHARD_TIMEOUT` (per-job worker
+    /// patience in seconds, see [`Config::job_timeout`]),
+    /// `RELAXED_SHARDD` (explicit worker-binary path), and
+    /// `RELAXED_SERVICE` (a `host:port` address selecting
+    /// [`CorpusPolicy::Service`]).
     ///
     /// This is the **only** place the verifier reads `DISCHARGE_*`
     /// configuration variables (the orthogonal `DISCHARGE_QUIET=1`
@@ -389,6 +416,9 @@ impl Config {
                 n => CorpusPolicy::Sharded { shards: n as usize },
             };
         }
+        if let Some(secs) = parse("DISCHARGE_SHARD_TIMEOUT") {
+            config.job_timeout = std::time::Duration::from_secs(secs);
+        }
         if let Some(raw) = lookup("DISCHARGE_INCREMENTAL") {
             match raw.trim() {
                 "0" => config.incremental = false,
@@ -437,6 +467,23 @@ impl Config {
                 config.shard_worker = Some(PathBuf::from(path));
             }
         }
+        // Processed after DISCHARGE_SHARDS on purpose: when both are set,
+        // the service address wins (the daemon's fleet already *is* the
+        // shard layer).
+        if let Some(raw) = lookup("RELAXED_SERVICE") {
+            let addr = raw.trim();
+            if addr.is_empty() {
+                warnings.push(EnvWarning {
+                    var: "RELAXED_SERVICE",
+                    value: raw,
+                    expected: "a non-empty host:port address of a relaxed-serviced daemon",
+                });
+            } else {
+                config.corpus = CorpusPolicy::Service {
+                    addr: addr.to_string(),
+                };
+            }
+        }
         (config, warnings)
     }
 
@@ -448,6 +495,8 @@ impl Config {
             branch_budget: self.branch_budget,
             incremental: self.incremental,
             prefilter: self.prefilter,
+            ready_timeout: self.ready_timeout,
+            job_timeout: self.job_timeout,
         }
     }
 }
@@ -469,6 +518,8 @@ pub struct VerifierBuilder {
     stages: Option<StageSet>,
     corpus: Option<CorpusPolicy>,
     shard_worker: Option<PathBuf>,
+    ready_timeout: Option<std::time::Duration>,
+    job_timeout: Option<std::time::Duration>,
 }
 
 impl VerifierBuilder {
@@ -556,6 +607,27 @@ impl VerifierBuilder {
         self.corpus(CorpusPolicy::Sharded { shards })
     }
 
+    /// Submits corpora to the `relaxed-serviced` daemon at `addr` —
+    /// shorthand for `.corpus(CorpusPolicy::Service { addr })`. See
+    /// [`crate::service`] for the daemon architecture.
+    pub fn service(self, addr: impl Into<String>) -> Self {
+        self.corpus(CorpusPolicy::Service { addr: addr.into() })
+    }
+
+    /// Handshake patience for shard workers and service connections (see
+    /// [`Config::ready_timeout`]). Default 60 s.
+    pub fn ready_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.ready_timeout = Some(timeout);
+        self
+    }
+
+    /// Per-job patience for shard workers and service connections (see
+    /// [`Config::job_timeout`]). Default 600 s.
+    pub fn job_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.job_timeout = Some(timeout);
+        self
+    }
+
     /// Explicit path to the `relaxed-shardd` worker binary (otherwise
     /// resolved from `RELAXED_SHARDD` under the env layer, or located
     /// next to the current executable).
@@ -577,6 +649,8 @@ impl VerifierBuilder {
         self.stages = Some(config.stages);
         self.corpus = Some(config.corpus);
         self.shard_worker = config.shard_worker;
+        self.ready_timeout = Some(config.ready_timeout);
+        self.job_timeout = Some(config.job_timeout);
         self
     }
 
@@ -598,6 +672,8 @@ impl VerifierBuilder {
             stages: self.stages.unwrap_or(base.stages),
             corpus: self.corpus.unwrap_or(base.corpus),
             shard_worker: self.shard_worker.or(base.shard_worker),
+            ready_timeout: self.ready_timeout.unwrap_or(base.ready_timeout),
+            job_timeout: self.job_timeout.unwrap_or(base.job_timeout),
         };
         let mut engine = match &config.cache {
             CachePolicy::Persistent { path } => {
@@ -828,8 +904,14 @@ impl Verifier {
         if count == 0 {
             return CorpusReport::default();
         }
-        if let CorpusPolicy::Sharded { shards } = self.config.corpus {
-            return crate::shard::run_corpus_sharded(self, entries, shards);
+        match &self.config.corpus {
+            CorpusPolicy::Sharded { shards } => {
+                return crate::shard::run_corpus_sharded(self, entries, *shards);
+            }
+            CorpusPolicy::Service { addr } => {
+                return crate::service::run_corpus_service(self, entries, addr);
+            }
+            CorpusPolicy::InProcess => {}
         }
         let started = std::time::Instant::now();
         // Fan programs (not goals) across the worker budget: program-level

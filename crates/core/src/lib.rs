@@ -40,8 +40,13 @@
 //! * [`cache`] — the persistent on-disk verdict store (structural goal
 //!   keys, config fingerprinting, corruption-tolerant JSON-lines log);
 //! * [`shard`] — sharded multi-process corpus verification: the
-//!   coordinator/worker protocol behind [`CorpusPolicy::Sharded`], with
-//!   verdict sharing between worker processes through the on-disk store;
+//!   transport-agnostic coordinator/worker protocol behind
+//!   [`CorpusPolicy::Sharded`], with verdict sharing between worker
+//!   processes through the on-disk store;
+//! * [`service`] — the networked verification service
+//!   (`relaxed-serviced`): a long-running daemon with a warm worker
+//!   fleet and a resident verdict cache, serving concurrent corpus
+//!   requests over TCP behind [`CorpusPolicy::Service`];
 //! * [`encode`] — lowering of assertion-logic formulas to the
 //!   `relaxed-smt` solver;
 //! * [`analysis`] — array detection, relaxation-dependence (taint)
@@ -89,6 +94,7 @@ pub mod engine;
 pub mod noninterference;
 pub mod prefilter;
 pub mod rules;
+pub mod service;
 pub mod shard;
 pub mod vcgen;
 pub mod verify;
@@ -101,6 +107,7 @@ pub use api::{
 pub use cache::{CacheWarning, GoalKey};
 pub use engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
 pub use prefilter::{group_keys, normalize, GroupKeys, NormalizedHypothesis, Prefilter};
+pub use service::{Service, ServiceOptions, ServiceStatus};
 pub use verify::{AcceptabilityReport, Report, Spec, VcResult};
 // The deprecated free-function drivers stay re-exported so existing
 // `relaxed_core::verify_acceptability`-style paths keep resolving (with a

@@ -17,7 +17,11 @@
 //! Frames are newline-delimited JSON objects — the same hand-rolled,
 //! dependency-free conventions as the [`crate::cache`] store (whose
 //! reader this module reuses). One frame per line; JSON string escaping
-//! guarantees a frame never spans lines.
+//! guarantees a frame never spans lines. The framing is
+//! transport-agnostic: the coordinator speaks it over child-process
+//! stdio pipes here, and the networked service layer ([`crate::service`])
+//! speaks the identical frames over TCP, both behind this module's
+//! `Transport` trait.
 //!
 //! ```text
 //! coordinator → worker        worker → coordinator
@@ -98,47 +102,80 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// executable suffix), used by [`locate_worker`].
 pub const WORKER_BINARY: &str = "relaxed-shardd";
 
+/// File name of the service daemon binary (`relaxed-serviced`, plus the
+/// platform executable suffix), used by [`locate_service`]. See
+/// [`crate::service`].
+pub const SERVICE_BINARY: &str = "relaxed-serviced";
+
 /// Attempts a job may consume before it is recorded as a per-program
 /// error: the first run plus two retries on other workers.
 pub const MAX_ATTEMPTS: u32 = 3;
-
-/// How long the coordinator waits for a worker's `ready` handshake.
-const READY_TIMEOUT: Duration = Duration::from_secs(60);
-
-/// How long the coordinator waits for one job's result frame before
-/// declaring the worker hung, killing it, and requeueing the job.
-const JOB_TIMEOUT: Duration = Duration::from_secs(600);
 
 // ---------------------------------------------------------------------
 // Worker-binary discovery
 // ---------------------------------------------------------------------
 
-/// Locates the `relaxed-shardd` worker binary next to the current
-/// executable: every ancestor directory of `std::env::current_exe()` is
-/// probed for [`WORKER_BINARY`], which finds Cargo's
-/// `target/<profile>/relaxed-shardd` from test binaries (`…/deps/…`),
-/// examples (`…/examples/…`), and sibling binaries alike. Explicit
-/// configuration (`Verifier::builder().shard_worker(..)` or the
-/// `RELAXED_SHARDD` environment knob under the env layer) takes
-/// precedence over discovery and is handled by the caller.
-pub fn locate_worker() -> Option<PathBuf> {
-    let exe = std::env::current_exe().ok()?;
-    let name = format!("{WORKER_BINARY}{}", std::env::consts::EXE_SUFFIX);
-    exe.ancestors().skip(1).find_map(|dir| {
-        let candidate = dir.join(&name);
-        candidate.is_file().then_some(candidate)
-    })
+/// Probes every ancestor directory of `std::env::current_exe()` for
+/// `name` (plus the platform executable suffix). Finds Cargo's
+/// `target/<profile>/<name>` from test binaries (`…/deps/…`), examples
+/// (`…/examples/…`), and sibling binaries alike. `Err` carries the full
+/// list of probed candidate paths, for actionable discovery-failure
+/// diagnostics.
+pub(crate) fn locate_binary(name: &str) -> Result<PathBuf, Vec<PathBuf>> {
+    let mut searched = Vec::new();
+    let Ok(exe) = std::env::current_exe() else {
+        return Err(searched);
+    };
+    let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+    for dir in exe.ancestors().skip(1) {
+        let candidate = dir.join(&file);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        searched.push(candidate);
+    }
+    Err(searched)
 }
 
-fn resolve_worker(config: &Config) -> Result<PathBuf, String> {
+/// Locates the `relaxed-shardd` worker binary by walking the ancestor
+/// directories of the current executable. Explicit configuration
+/// (`Verifier::builder().shard_worker(..)` or the `RELAXED_SHARDD`
+/// environment knob under the env layer) takes precedence over discovery
+/// and is handled by the caller.
+pub fn locate_worker() -> Option<PathBuf> {
+    locate_binary(WORKER_BINARY).ok()
+}
+
+/// Locates the `relaxed-serviced` daemon binary next to the current
+/// executable — the service-side analogue of
+/// [`locate_worker`], used by benches and `paper_report` to start a
+/// daemon without a hardcoded path.
+pub fn locate_service() -> Option<PathBuf> {
+    locate_binary(SERVICE_BINARY).ok()
+}
+
+fn render_searched(searched: &[PathBuf]) -> String {
+    if searched.is_empty() {
+        "(no current-executable path to search from)".to_string()
+    } else {
+        searched
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+pub(crate) fn resolve_worker(config: &Config) -> Result<PathBuf, String> {
     if let Some(path) = &config.shard_worker {
         return Ok(path.clone());
     }
-    locate_worker().ok_or_else(|| {
+    locate_binary(WORKER_BINARY).map_err(|searched| {
         format!(
-            "{WORKER_BINARY} worker binary not found near the current executable; \
-             build it (`cargo build -p relaxed-bench`), set RELAXED_SHARDD, or use \
-             `Verifier::builder().shard_worker(..)`"
+            "{WORKER_BINARY} worker binary not found near the current executable \
+             (searched: {}); build it (`cargo build -p relaxed-bench`), set \
+             RELAXED_SHARDD, or use `Verifier::builder().shard_worker(..)`",
+            render_searched(&searched)
         )
     })
 }
@@ -182,7 +219,7 @@ fn stage_by_name(name: &str) -> Result<Stage, String> {
     }
 }
 
-fn render_config_frame(config: &Config, per_worker: usize) -> String {
+pub(crate) fn render_config_frame(config: &Config, per_worker: usize) -> String {
     let cache = match &config.cache {
         CachePolicy::Persistent { path } => path.display().to_string(),
         CachePolicy::Shared | CachePolicy::PerProgram => String::new(),
@@ -281,7 +318,7 @@ fn render_result_frame(id: usize, report: &AcceptabilityReport, elapsed_ms: u64)
     out
 }
 
-fn render_error_frame(id: usize, error: &str) -> String {
+pub(crate) fn render_error_frame(id: usize, error: &str) -> String {
     format!(
         "{{\"type\":\"result\",\"id\":{id},\"error\":{}}}",
         json_string(error)
@@ -292,7 +329,7 @@ fn render_error_frame(id: usize, error: &str) -> String {
 // Frame parsing (coordinator side, plus the worker's request reader)
 // ---------------------------------------------------------------------
 
-fn field_str<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+pub(crate) fn field_str<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
     match get(fields, key) {
         Some(Json::Str(s)) => Ok(s),
         Some(_) => Err(format!("non-string `{key}`")),
@@ -300,7 +337,7 @@ fn field_str<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a str, Str
     }
 }
 
-fn field_u64(fields: &[(String, Json)], key: &str) -> Result<u64, String> {
+pub(crate) fn field_u64(fields: &[(String, Json)], key: &str) -> Result<u64, String> {
     match get(fields, key) {
         Some(Json::Int(n)) => u64::try_from(*n).map_err(|_| format!("`{key}` out of range")),
         Some(_) => Err(format!("non-integer `{key}`")),
@@ -327,22 +364,22 @@ fn parse_solver_stats(value: &Json) -> Result<SolverStats, String> {
 }
 
 /// One stage's slice of a result frame.
-struct WireStage {
+pub(crate) struct WireStage {
     stage: Stage,
     stats: SolverStats,
     verdicts: Vec<(Validity, bool)>,
 }
 
 /// A parsed result frame.
-struct WireResult {
-    id: usize,
-    elapsed_ms: u64,
-    engine: EngineStats,
-    stages: Vec<WireStage>,
-    error: Option<String>,
+pub(crate) struct WireResult {
+    pub(crate) id: usize,
+    pub(crate) elapsed_ms: u64,
+    pub(crate) engine: EngineStats,
+    pub(crate) stages: Vec<WireStage>,
+    pub(crate) error: Option<String>,
 }
 
-fn parse_result_frame(line: &str) -> Result<WireResult, String> {
+pub(crate) fn parse_result_frame(line: &str) -> Result<WireResult, String> {
     let record = parse_json(line)?;
     let fields = record.as_object()?;
     if field_str(fields, "type")? != "result" {
@@ -494,37 +531,7 @@ pub fn worker_loop(
         let fields = record.as_object().map_err(&violation)?;
         match field_str(fields, "type").map_err(&violation)? {
             "config" => {
-                let proto = field_u64(fields, "proto").map_err(&violation)?;
-                if proto != u64::from(PROTOCOL_VERSION) {
-                    return Err(violation(format!(
-                        "protocol mismatch: coordinator speaks {proto}, this worker {PROTOCOL_VERSION}"
-                    )));
-                }
-                let mut config = Config {
-                    max_conflicts: field_u64(fields, "max_conflicts").map_err(&violation)?,
-                    branch_budget: field_u64(fields, "branch_budget").map_err(&violation)?,
-                    // Optional with a permissive default: these knobs are
-                    // verdict-equivalent, so a coordinator that predates
-                    // one just gets the worker's default behavior.
-                    incremental: field_u64(fields, "incremental") != Ok(0),
-                    prefilter: field_u64(fields, "prefilter") != Ok(0),
-                    workers: field_u64(fields, "workers").map_err(&violation)? as usize,
-                    cache_max: field_u64(fields, "cache_max").map_err(&violation)? as usize,
-                    stages: parse_stages(field_str(fields, "stages").map_err(&violation)?)
-                        .map_err(&violation)?,
-                    ..Config::default()
-                };
-                let cache = field_str(fields, "cache").map_err(&violation)?;
-                if !cache.is_empty() {
-                    config.cache = CachePolicy::Persistent {
-                        path: PathBuf::from(cache),
-                    };
-                } else if field_u64(fields, "per_program").map_err(&violation)? != 0 {
-                    // The session's per-program isolation travels with the
-                    // job: each program gets a fresh verdict cache inside
-                    // the worker too.
-                    config.cache = CachePolicy::PerProgram;
-                }
+                let config = parse_config_frame(fields).map_err(&violation)?;
                 verifier = Some(Verifier::with_config(config));
                 writeln!(
                     output,
@@ -566,6 +573,42 @@ pub fn worker_loop(
         let _ = session.engine().append_pending();
     }
     Ok(())
+}
+
+/// Parses the session [`Config`] out of a `config` frame's fields — the
+/// worker side of the handshake, shared with the service daemon (which
+/// validates client sessions against its fleet's configuration).
+pub(crate) fn parse_config_frame(fields: &[(String, Json)]) -> Result<Config, String> {
+    let proto = field_u64(fields, "proto")?;
+    if proto != u64::from(PROTOCOL_VERSION) {
+        return Err(format!(
+            "protocol mismatch: coordinator speaks {proto}, this worker {PROTOCOL_VERSION}"
+        ));
+    }
+    let mut config = Config {
+        max_conflicts: field_u64(fields, "max_conflicts")?,
+        branch_budget: field_u64(fields, "branch_budget")?,
+        // Optional with a permissive default: these knobs are
+        // verdict-equivalent, so a coordinator that predates one just
+        // gets the worker's default behavior.
+        incremental: field_u64(fields, "incremental") != Ok(0),
+        prefilter: field_u64(fields, "prefilter") != Ok(0),
+        workers: field_u64(fields, "workers")? as usize,
+        cache_max: field_u64(fields, "cache_max")? as usize,
+        stages: parse_stages(field_str(fields, "stages")?)?,
+        ..Config::default()
+    };
+    let cache = field_str(fields, "cache")?;
+    if !cache.is_empty() {
+        config.cache = CachePolicy::Persistent {
+            path: PathBuf::from(cache),
+        };
+    } else if field_u64(fields, "per_program")? != 0 {
+        // The session's per-program isolation travels with the job: each
+        // program gets a fresh verdict cache inside the worker too.
+        config.cache = CachePolicy::PerProgram;
+    }
+    Ok(config)
 }
 
 /// Parses and verifies one job through the worker's session, persisting
@@ -614,32 +657,112 @@ fn run_job(
 // The coordinator
 // ---------------------------------------------------------------------
 
-/// One corpus program prepared for distribution.
-struct ShardJob {
+/// One corpus program prepared for distribution (to a shard worker or,
+/// via [`crate::service`], to a daemon's fleet).
+pub(crate) struct ShardJob {
     /// Index in corpus input order (doubles as the wire job id).
-    index: usize,
-    name: String,
-    frame: String,
+    pub(crate) index: usize,
+    pub(crate) name: String,
+    pub(crate) frame: String,
     /// The locally generated obligations of every selected stage, in
     /// pipeline order — zipped with the worker's verdicts to rebuild the
     /// per-program report.
-    stage_vcs: Vec<(Stage, Vec<Vc>)>,
-    vc_count: usize,
-    attempts: u32,
-    last_error: String,
+    pub(crate) stage_vcs: Vec<(Stage, Vec<Vc>)>,
+    pub(crate) vc_count: usize,
+    pub(crate) attempts: u32,
+    pub(crate) last_error: String,
 }
 
-/// A spawned worker process with its framed stdio channel. Stdout is
-/// drained by a detached reader thread into an mpsc channel so the
-/// coordinator can time out on a hung worker instead of blocking forever.
-struct WorkerHandle {
+/// Generates every program's obligations locally, up front: `VcgenError`s
+/// are recorded into `slots` exactly as the in-process driver records
+/// them (never shipped over a wire), and the VC counts order the returned
+/// job list longest-first (index-tie-broken for determinism).
+pub(crate) fn prepare_jobs(
+    stages: StageSet,
+    entries: &[(String, &Program, &Spec)],
+    slots: &mut [Option<CorpusEntry>],
+) -> Vec<ShardJob> {
+    let mut jobs: Vec<ShardJob> = Vec::new();
+    for (index, (name, program, spec)) in entries.iter().enumerate() {
+        let mut prepared = Vec::new();
+        let mut failed = None;
+        for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
+            if !stages.contains(stage) {
+                continue;
+            }
+            match stage_vcs(stage, program, spec) {
+                Ok(vcs) => prepared.push((stage, vcs)),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failed {
+            slots[index] = Some(CorpusEntry {
+                name: name.clone(),
+                elapsed_ms: 0,
+                lint: Vec::new(),
+                outcome: Err(CorpusError::Vcgen(e)),
+            });
+            continue;
+        }
+        let vc_count = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
+        jobs.push(ShardJob {
+            index,
+            name: name.clone(),
+            frame: render_job_frame(index, name, program, spec),
+            stage_vcs: prepared,
+            vc_count,
+            attempts: 0,
+            last_error: String::new(),
+        });
+    }
+    // Longest first (by VC count): the most expensive proofs start
+    // immediately, so the corpus tail is short jobs instead of one
+    // straggler.
+    jobs.sort_by_key(|job| (std::cmp::Reverse(job.vc_count), job.index));
+    jobs
+}
+
+/// A framed newline-JSON channel to a protocol peer. One frame per
+/// [`send`](Transport::send); [`recv_opt`](Transport::recv_opt) waits at
+/// most a timeout for the next frame, distinguishing "still quiet"
+/// (`Ok(None)`) from a dead channel (`Err`). The shard coordinator speaks
+/// it over child-process pipes ([`PipeTransport`]); the networked service
+/// layer ([`crate::service`]) speaks the identical protocol over TCP
+/// ([`TcpTransport`]). `Send` so a handle can migrate across handler
+/// threads.
+pub(crate) trait Transport: Send {
+    /// Writes one frame (the newline is appended here) and flushes.
+    fn send(&mut self, frame: &str) -> Result<(), String>;
+
+    /// Reads the next frame, waiting at most `timeout`. `Ok(None)` means
+    /// the timeout elapsed with the channel still healthy (a later call
+    /// may still deliver the frame — nothing is lost).
+    fn recv_opt(&mut self, timeout: Duration) -> Result<Option<String>, String>;
+
+    /// Hard stop: tear the channel down without ceremony (kill the
+    /// process / drop the socket).
+    fn abort(&mut self);
+
+    /// Graceful stop: signal end-of-jobs (stdin EOF / TCP write-half
+    /// shutdown, the peer's cue to run its final persist) and wait for
+    /// the peer to wind down.
+    fn finish(&mut self);
+}
+
+/// [`Transport`] over a spawned worker process's stdio. Stdout is drained
+/// by a detached reader thread into an mpsc channel so the coordinator
+/// can time out on a hung worker instead of blocking forever.
+pub(crate) struct PipeTransport {
     child: Child,
     stdin: Option<ChildStdin>,
     lines: Receiver<std::io::Result<String>>,
 }
 
-impl WorkerHandle {
-    fn spawn(binary: &std::path::Path, config_frame: &str) -> Result<WorkerHandle, String> {
+impl PipeTransport {
+    pub(crate) fn spawn(binary: &std::path::Path) -> Result<PipeTransport, String> {
         let mut child = Command::new(binary)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
@@ -655,39 +778,15 @@ impl WorkerHandle {
                 }
             }
         });
-        let mut handle = WorkerHandle {
+        Ok(PipeTransport {
             child,
             stdin: Some(stdin),
             lines: rx,
-        };
-        match handle.handshake(config_frame) {
-            Ok(()) => Ok(handle),
-            Err(e) => {
-                handle.kill();
-                Err(e)
-            }
-        }
+        })
     }
+}
 
-    fn handshake(&mut self, config_frame: &str) -> Result<(), String> {
-        self.send(config_frame)?;
-        let line = self.recv(READY_TIMEOUT)?;
-        let ready = parse_json(&line).map_err(|e| format!("bad ready frame: {e}"))?;
-        let fields = ready
-            .as_object()
-            .map_err(|e| format!("bad ready frame: {e}"))?;
-        if field_str(fields, "type") != Ok("ready") {
-            return Err(format!("expected ready frame, got {line:?}"));
-        }
-        let proto = field_u64(fields, "proto").map_err(|e| format!("bad ready frame: {e}"))?;
-        if proto != u64::from(PROTOCOL_VERSION) {
-            return Err(format!(
-                "protocol mismatch: worker speaks {proto}, coordinator {PROTOCOL_VERSION}"
-            ));
-        }
-        Ok(())
-    }
-
+impl Transport for PipeTransport {
     fn send(&mut self, frame: &str) -> Result<(), String> {
         let stdin = self.stdin.as_mut().expect("worker stdin open");
         stdin
@@ -697,13 +796,11 @@ impl WorkerHandle {
             .map_err(|e| format!("worker stdin closed: {e}"))
     }
 
-    fn recv(&mut self, timeout: Duration) -> Result<String, String> {
+    fn recv_opt(&mut self, timeout: Duration) -> Result<Option<String>, String> {
         match self.lines.recv_timeout(timeout) {
-            Ok(Ok(line)) => Ok(line),
+            Ok(Ok(line)) => Ok(Some(line)),
             Ok(Err(e)) => Err(format!("worker stdout read failed: {e}")),
-            Err(RecvTimeoutError::Timeout) => {
-                Err(format!("worker unresponsive for {}s", timeout.as_secs()))
-            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(match self.child.try_wait() {
                 Ok(Some(status)) => format!("worker exited unexpectedly ({status})"),
                 _ => "worker exited unexpectedly".to_string(),
@@ -711,16 +808,224 @@ impl WorkerHandle {
         }
     }
 
-    fn kill(mut self) {
+    fn abort(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
 
-    /// Graceful shutdown: close stdin (the worker's EOF signal, which
-    /// triggers its final persist) and reap the process.
-    fn shutdown(mut self) {
+    fn finish(&mut self) {
+        // Dropping stdin is the worker's EOF signal (its cue for the
+        // final incremental persist); then reap the process.
         self.stdin.take();
         let _ = self.child.wait();
+    }
+}
+
+/// [`Transport`] over a TCP stream, speaking to a `relaxed-serviced`
+/// daemon (or any peer of the same framed protocol). Reads are
+/// deadline-bounded via `set_read_timeout`; a partially received line
+/// survives in the buffer across timeouts, so slow frames are delayed,
+/// never torn.
+pub(crate) struct TcpTransport {
+    stream: std::net::TcpStream,
+    peer: String,
+    buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (`host:port`), bounding the connection attempt
+    /// by `timeout` per resolved address.
+    pub(crate) fn connect(addr: &str, timeout: Duration) -> Result<TcpTransport, String> {
+        use std::net::ToSocketAddrs;
+        let resolved: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+            .collect();
+        let mut last = format!("{addr} did not resolve to any address");
+        for sock in resolved {
+            match std::net::TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => return Ok(TcpTransport::from_stream(stream, addr.to_string())),
+                Err(e) => last = format!("cannot connect to {addr}: {e}"),
+            }
+        }
+        Err(last)
+    }
+
+    /// Wraps an already-connected stream (the daemon side of an accepted
+    /// connection uses this).
+    pub(crate) fn from_stream(stream: std::net::TcpStream, peer: String) -> TcpTransport {
+        let _ = stream.set_nodelay(true);
+        TcpTransport {
+            stream,
+            peer,
+            buf: Vec::new(),
+        }
+    }
+
+    fn take_line(&mut self) -> Option<Result<String, String>> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8(line).map_err(|_| format!("non-UTF-8 frame from {}", self.peer)))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &str) -> Result<(), String> {
+        self.stream
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .map_err(|e| format!("connection to {} lost: {e}", self.peer))
+    }
+
+    fn recv_opt(&mut self, timeout: Duration) -> Result<Option<String>, String> {
+        use std::io::Read;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(line) = self.take_line() {
+                return line.map(Some);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some(deadline - now))
+                .map_err(|e| format!("connection to {} unusable: {e}", self.peer))?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(format!("connection to {} closed", self.peer)),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("read from {} failed: {e}", self.peer)),
+            }
+        }
+    }
+
+    fn abort(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn finish(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// A live protocol peer (a spawned worker process or a TCP service
+/// connection) that has completed the config/`ready` handshake, behind a
+/// boxed [`Transport`].
+pub(crate) struct WorkerHandle {
+    transport: Box<dyn Transport>,
+    /// Fleet size advertised in the peer's `ready` frame — present when
+    /// the peer is a `relaxed-serviced` daemon fronting a worker fleet,
+    /// absent for a plain `relaxed-shardd` worker.
+    pub(crate) fleet: Option<usize>,
+}
+
+impl WorkerHandle {
+    /// Spawns a `relaxed-shardd` worker process and performs the config
+    /// handshake over its stdio pipes.
+    pub(crate) fn spawn(
+        binary: &std::path::Path,
+        config_frame: &str,
+        ready_timeout: Duration,
+    ) -> Result<WorkerHandle, String> {
+        let transport = PipeTransport::spawn(binary)?;
+        WorkerHandle::with_transport(Box::new(transport), config_frame, ready_timeout)
+    }
+
+    /// Connects to a `relaxed-serviced` daemon at `addr` and performs the
+    /// same config handshake over TCP.
+    pub(crate) fn connect(
+        addr: &str,
+        config_frame: &str,
+        ready_timeout: Duration,
+    ) -> Result<WorkerHandle, String> {
+        let transport = TcpTransport::connect(addr, ready_timeout)?;
+        WorkerHandle::with_transport(Box::new(transport), config_frame, ready_timeout)
+    }
+
+    fn with_transport(
+        transport: Box<dyn Transport>,
+        config_frame: &str,
+        ready_timeout: Duration,
+    ) -> Result<WorkerHandle, String> {
+        let mut handle = WorkerHandle {
+            transport,
+            fleet: None,
+        };
+        match handle.handshake(config_frame, ready_timeout) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                handle.transport.abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn handshake(&mut self, config_frame: &str, ready_timeout: Duration) -> Result<(), String> {
+        self.send(config_frame)?;
+        let line = self.recv(ready_timeout)?;
+        let ready = parse_json(&line).map_err(|e| format!("bad ready frame: {e}"))?;
+        let fields = ready
+            .as_object()
+            .map_err(|e| format!("bad ready frame: {e}"))?;
+        match field_str(fields, "type") {
+            Ok("ready") => {}
+            // A service daemon refuses incompatible sessions with a typed
+            // error frame instead of dying; surface its reason verbatim.
+            Ok("error") => {
+                let reason = field_str(fields, "reason").unwrap_or("unspecified");
+                return Err(format!("peer refused the session: {reason}"));
+            }
+            _ => return Err(format!("expected ready frame, got {line:?}")),
+        }
+        let proto = field_u64(fields, "proto").map_err(|e| format!("bad ready frame: {e}"))?;
+        if proto != u64::from(PROTOCOL_VERSION) {
+            return Err(format!(
+                "protocol mismatch: worker speaks {proto}, coordinator {PROTOCOL_VERSION}"
+            ));
+        }
+        if let Ok(fleet) = field_u64(fields, "fleet") {
+            self.fleet = Some(fleet as usize);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn send(&mut self, frame: &str) -> Result<(), String> {
+        self.transport.send(frame)
+    }
+
+    pub(crate) fn recv(&mut self, timeout: Duration) -> Result<String, String> {
+        match self.transport.recv_opt(timeout)? {
+            Some(line) => Ok(line),
+            None => Err(format!("worker unresponsive for {}s", timeout.as_secs())),
+        }
+    }
+
+    /// [`Transport::recv_opt`] on the underlying channel — `Ok(None)` is
+    /// a clean timeout the caller may retry.
+    pub(crate) fn recv_opt(&mut self, timeout: Duration) -> Result<Option<String>, String> {
+        self.transport.recv_opt(timeout)
+    }
+
+    pub(crate) fn kill(mut self) {
+        self.transport.abort();
+    }
+
+    /// Graceful shutdown: signal end-of-jobs (which triggers the peer's
+    /// final persist) and wait for it to wind down.
+    pub(crate) fn shutdown(mut self) {
+        self.transport.finish();
     }
 }
 
@@ -732,6 +1037,10 @@ impl WorkerHandle {
 struct ShardPool {
     binary: PathBuf,
     config_frame: String,
+    /// Handshake patience ([`Config::ready_timeout`]).
+    ready_timeout: Duration,
+    /// Per-job patience ([`Config::job_timeout`]).
+    job_timeout: Duration,
     /// Pending jobs, longest-first; idle handlers steal from the front.
     queue: Mutex<VecDeque<ShardJob>>,
     /// Completed entries, keyed by corpus index.
@@ -785,7 +1094,8 @@ impl ShardPool {
         'jobs: while let Some(mut job) = self.pop() {
             loop {
                 if worker.is_none() {
-                    match WorkerHandle::spawn(&self.binary, &self.config_frame) {
+                    match WorkerHandle::spawn(&self.binary, &self.config_frame, self.ready_timeout)
+                    {
                         Ok(handle) => worker = Some(handle),
                         Err(e) => {
                             if self.record_failure(&mut job, e) {
@@ -796,7 +1106,7 @@ impl ShardPool {
                     }
                 }
                 let handle = worker.as_mut().expect("worker spawned");
-                match run_job_on_worker(handle, &job) {
+                match run_job_on_worker(handle, &job, self.job_timeout) {
                     Ok(entry) => {
                         self.complete(job.index, entry);
                         continue 'jobs;
@@ -823,9 +1133,13 @@ impl ShardPool {
 /// Sends one job to a worker and rebuilds its [`CorpusEntry`] from the
 /// result frame. Any error here means the worker/channel is unusable and
 /// the job must be retried elsewhere.
-fn run_job_on_worker(worker: &mut WorkerHandle, job: &ShardJob) -> Result<CorpusEntry, String> {
+fn run_job_on_worker(
+    worker: &mut WorkerHandle,
+    job: &ShardJob,
+    job_timeout: Duration,
+) -> Result<CorpusEntry, String> {
     worker.send(&job.frame)?;
-    let line = worker.recv(JOB_TIMEOUT)?;
+    let line = worker.recv(job_timeout)?;
     let wire = parse_result_frame(&line).map_err(|e| format!("malformed result frame: {e}"))?;
     if wire.id != job.index {
         return Err(format!(
@@ -859,7 +1173,7 @@ fn run_job_on_worker(worker: &mut WorkerHandle, job: &ShardJob) -> Result<Corpus
 /// check would have produced (identical verdicts; per-VC solver timings
 /// stay with the process that measured them, so per-VC stats are zeroed
 /// and per-stage aggregates come off the wire).
-fn rebuild_report(
+pub(crate) fn rebuild_report(
     job: &ShardJob,
     wire_stages: Vec<WireStage>,
     engine: EngineStats,
@@ -943,51 +1257,8 @@ pub(crate) fn run_corpus_sharded(
         ..CorpusReport::default()
     };
 
-    // Generate every program's obligations locally, up front: VcgenErrors
-    // are recorded exactly as the in-process driver records them (never
-    // shipped to a worker), and the VC counts order the queue.
-    let mut jobs: Vec<ShardJob> = Vec::new();
     let mut slots: Vec<Option<CorpusEntry>> = (0..count).map(|_| None).collect();
-    for (index, (name, program, spec)) in entries.iter().enumerate() {
-        let mut prepared = Vec::new();
-        let mut failed = None;
-        for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
-            if !stages.contains(stage) {
-                continue;
-            }
-            match stage_vcs(stage, program, spec) {
-                Ok(vcs) => prepared.push((stage, vcs)),
-                Err(e) => {
-                    failed = Some(e);
-                    break;
-                }
-            }
-        }
-        if let Some(e) = failed {
-            slots[index] = Some(CorpusEntry {
-                name: name.clone(),
-                elapsed_ms: 0,
-                lint: Vec::new(),
-                outcome: Err(CorpusError::Vcgen(e)),
-            });
-            continue;
-        }
-        let vc_count = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
-        jobs.push(ShardJob {
-            index,
-            name: name.clone(),
-            frame: render_job_frame(index, name, program, spec),
-            stage_vcs: prepared,
-            vc_count,
-            attempts: 0,
-            last_error: String::new(),
-        });
-    }
-
-    // Longest first (by VC count, index-tie-broken for determinism): the
-    // most expensive proofs start immediately, so the corpus tail is
-    // short jobs instead of one straggler.
-    jobs.sort_by_key(|job| (std::cmp::Reverse(job.vc_count), job.index));
+    let jobs = prepare_jobs(stages, &entries, &mut slots);
 
     if !jobs.is_empty() {
         match resolve_worker(config) {
@@ -995,6 +1266,8 @@ pub(crate) fn run_corpus_sharded(
                 let pool = ShardPool {
                     binary,
                     config_frame: render_config_frame(config, per_worker),
+                    ready_timeout: config.ready_timeout,
+                    job_timeout: config.job_timeout,
                     queue: Mutex::new(jobs.into()),
                     done: Mutex::new(Vec::with_capacity(count)),
                 };
@@ -1024,18 +1297,39 @@ pub(crate) fn run_corpus_sharded(
         }
     }
 
+    finalize_corpus_report(&mut report, slots, &entries, &|_| {
+        CorpusError::Shard("job was lost by the pool".to_string())
+    });
+    // Corpus-level parallelism is the process fan-out.
+    report.engine.workers = shards;
+    report.elapsed_ms = elapsed_ms_since(started);
+    // Warm the coordinator's own session cache from the store the workers
+    // populated, so later in-process checks (or the next wave) reuse the
+    // corpus verdicts.
+    verifier.engine().refresh_from_disk();
+    report
+}
+
+/// Fills the report from the completed `slots`, attaching
+/// coordinator-side lint (warnings never cross a wire) and absorbing
+/// per-program engine/solver statistics — the merge tail shared by the
+/// sharded and service corpus drivers. `lost` names the error for a slot
+/// no job ever filled (unreachable by construction; degrade loudly rather
+/// than panic the whole corpus if a future refactor breaks that
+/// invariant).
+pub(crate) fn finalize_corpus_report(
+    report: &mut CorpusReport,
+    slots: Vec<Option<CorpusEntry>>,
+    entries: &[(String, &Program, &Spec)],
+    lost: &dyn Fn(usize) -> CorpusError,
+) {
     for (index, slot) in slots.into_iter().enumerate() {
         let mut entry = slot.unwrap_or_else(|| CorpusEntry {
-            // Unreachable by construction (every job completes or is
-            // recorded by retry()); degrade loudly rather than panic the
-            // whole corpus if a future refactor breaks that invariant.
             name: format!("program_{index}"),
             elapsed_ms: 0,
             lint: Vec::new(),
-            outcome: Err(CorpusError::Shard("job was lost by the pool".to_string())),
+            outcome: Err(lost(index)),
         });
-        // The lint pass runs coordinator-side for every entry — sharded
-        // reports carry exactly the warnings the in-process driver would.
         if let Some((_, program, spec)) = entries.get(index) {
             entry.lint = crate::api::rendered_lint(program, spec);
         }
@@ -1049,14 +1343,6 @@ pub(crate) fn run_corpus_sharded(
         }
         report.entries.push(entry);
     }
-    // Corpus-level parallelism is the process fan-out.
-    report.engine.workers = shards;
-    report.elapsed_ms = elapsed_ms_since(started);
-    // Warm the coordinator's own session cache from the store the workers
-    // populated, so later in-process checks (or the next wave) reuse the
-    // corpus verdicts.
-    verifier.engine().refresh_from_disk();
-    report
 }
 
 #[cfg(test)]

@@ -23,17 +23,41 @@
 //! baseline persists its verdicts first, so the sharded run must answer
 //! entirely from the shared store (≥1 cross-process disk hit, zero
 //! solver runs).
+//!
+//! With `--service <addr>` (or `RELAXED_SERVICE=<addr>`) the corpus is
+//! submitted to a running `relaxed-serviced` daemon from **two
+//! concurrent client threads**, each asserted verdict-identical to the
+//! in-process baseline — the CI `service-corpus` job's equivalence gate.
+//! The final `service: clients=.. disk_hits=.. solver_runs=..` line is
+//! its machine-readable signal (warm store ⇒ `solver_runs=0` with
+//! cross-client disk hits).
 
 use relaxed_programs::{casestudies, CorpusPolicy, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sharded_flag = std::env::args().any(|arg| arg == "--sharded");
+    let args: Vec<String> = std::env::args().collect();
+    let sharded_flag = args.iter().any(|arg| arg == "--sharded");
+    let service_flag = args.iter().position(|arg| arg == "--service");
     let verifier = Verifier::from_env();
     for warning in verifier.env_warnings() {
         eprintln!("verify_corpus: {warning}");
     }
     for warning in verifier.cache_warnings() {
         eprintln!("verify_corpus: {warning}");
+    }
+    if service_flag.is_some() || matches!(verifier.config().corpus, CorpusPolicy::Service { .. }) {
+        // `--service <addr>` wins over the env knob.
+        let addr = match service_flag.and_then(|at| args.get(at + 1).cloned()) {
+            Some(addr) => addr,
+            None => match &verifier.config().corpus {
+                CorpusPolicy::Service { addr } => addr.clone(),
+                _ => {
+                    return Err("--service needs an address (or set RELAXED_SERVICE)".into());
+                }
+            },
+        };
+        drop(verifier);
+        return service_main(addr);
     }
     if sharded_flag || matches!(verifier.config().corpus, CorpusPolicy::Sharded { .. }) {
         drop(verifier);
@@ -113,7 +137,7 @@ fn sharded_main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus = casestudies::corpus();
     let shards = match relaxed_programs::Config::from_env().0.corpus {
         CorpusPolicy::Sharded { shards } => shards,
-        CorpusPolicy::InProcess => 2,
+        _ => 2,
     };
 
     // In-process baseline under the same budgets and cache policy.
@@ -167,5 +191,88 @@ fn sharded_main() -> Result<(), Box<dyn std::error::Error>> {
             report.engine.disk_hits
         );
     }
+    Ok(())
+}
+
+/// The service mode (`--service <addr>` / `RELAXED_SERVICE`): verify the
+/// corpus in-process first (the baseline, which also seeds the persistent
+/// store when `DISCHARGE_CACHE` is set), then submit it to the running
+/// `relaxed-serviced` daemon from two concurrent client threads, and
+/// assert every client report verdict-identical to the baseline — the CI
+/// `service-corpus` equivalence gate.
+fn service_main(addr: String) -> Result<(), Box<dyn std::error::Error>> {
+    const CLIENTS: usize = 2;
+    let corpus = casestudies::corpus();
+
+    // In-process baseline under the same budgets and cache policy.
+    let baseline_session = Verifier::builder()
+        .env()
+        .corpus(CorpusPolicy::InProcess)
+        .build();
+    let baseline = baseline_session.check_corpus_named(&corpus);
+    let persistent = baseline_session.engine().cache_path().is_some();
+    if persistent {
+        // Flush before the clients submit, so the daemon's fleet can
+        // answer every verdict from the shared store — the deterministic
+        // cross-client disk-hit guarantee asserted below.
+        baseline_session.persist()?;
+    }
+
+    let started = std::time::Instant::now();
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                let corpus = &corpus;
+                scope.spawn(move || {
+                    let session = Verifier::builder().env().service(addr).build();
+                    session.check_corpus_named(corpus)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("service client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let report = &reports[0];
+    println!("{report}");
+    println!("{}", report.to_json());
+    let requests = (CLIENTS * corpus.len()) as f64;
+    println!(
+        "service: {} programs x {CLIENTS} concurrent clients against {addr} \
+         (fleet={}) in {elapsed:.1?} ({:.1} requests/sec; in-process baseline {}ms)",
+        corpus.len(),
+        report.engine.workers,
+        requests / elapsed.as_secs_f64(),
+        baseline.elapsed_ms,
+    );
+
+    // The equivalence gate: every concurrent client must agree with the
+    // in-process baseline, verdict for verdict.
+    for (client, report) in reports.iter().enumerate() {
+        report.verdicts_match(&baseline).unwrap_or_else(|e| {
+            panic!("client {client} must be verdict-identical to the in-process baseline: {e}")
+        });
+    }
+    println!("all {CLIENTS} client reports are verdict-identical to the in-process baseline");
+
+    let disk_hits: u64 = reports.iter().map(|r| r.engine.disk_hits).sum();
+    let solver_runs: u64 = reports.iter().map(|r| r.engine.cache_misses).sum();
+    if persistent {
+        assert_eq!(
+            solver_runs, 0,
+            "with a pre-seeded store the service fleet must not re-solve"
+        );
+        assert!(
+            disk_hits >= 1,
+            "the fleet must serve the baseline's verdicts across clients: {:?}",
+            report.engine
+        );
+    }
+    // The machine-readable line the CI service-corpus job gates on.
+    println!("service: clients={CLIENTS} disk_hits={disk_hits} solver_runs={solver_runs}");
     Ok(())
 }

@@ -127,6 +127,68 @@ fn shard_and_cache_knobs_parse_from_the_env() {
     assert_eq!(verifier.config().cache_max, 4);
 }
 
+/// The service and shard-timeout knobs ride the same env layer:
+/// `RELAXED_SERVICE` selects `CorpusPolicy::Service` (winning over
+/// `DISCHARGE_SHARDS` when both are set), and `DISCHARGE_SHARD_TIMEOUT`
+/// sets the per-job patience window in seconds.
+#[test]
+fn service_and_timeout_knobs_parse_from_the_env() {
+    let (config, warnings) = Config::from_lookup(|name| match name {
+        "RELAXED_SERVICE" => Some(" 127.0.0.1:7459 ".to_string()),
+        "DISCHARGE_SHARDS" => Some("3".to_string()),
+        "DISCHARGE_SHARD_TIMEOUT" => Some("90".to_string()),
+        _ => None,
+    });
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert_eq!(
+        config.corpus,
+        CorpusPolicy::Service {
+            addr: "127.0.0.1:7459".to_string()
+        },
+        "the service address wins over the shard count and is trimmed"
+    );
+    assert_eq!(config.job_timeout, std::time::Duration::from_secs(90));
+    assert_eq!(
+        config.ready_timeout,
+        Config::default().ready_timeout,
+        "the knob only moves the job patience window"
+    );
+
+    // Malformed values keep their defaults and are reported.
+    let (config, warnings) = Config::from_lookup(|name| match name {
+        "RELAXED_SERVICE" => Some("  ".to_string()),
+        "DISCHARGE_SHARD_TIMEOUT" => Some("soon".to_string()),
+        _ => None,
+    });
+    assert_eq!(config.corpus, CorpusPolicy::InProcess);
+    assert_eq!(config.job_timeout, Config::default().job_timeout);
+    let vars: Vec<&str> = warnings.iter().map(|w| w.var).collect();
+    assert_eq!(vars, ["DISCHARGE_SHARD_TIMEOUT", "RELAXED_SERVICE"]);
+
+    // Builder precedence holds: `.service(addr)` and the timeout setters
+    // override whatever the config layer chose.
+    let verifier = Verifier::builder()
+        .shards(4)
+        .service("10.0.0.1:80")
+        .job_timeout(std::time::Duration::from_secs(5))
+        .ready_timeout(std::time::Duration::from_secs(2))
+        .build();
+    assert_eq!(
+        verifier.config().corpus,
+        CorpusPolicy::Service {
+            addr: "10.0.0.1:80".to_string()
+        }
+    );
+    assert_eq!(
+        verifier.config().job_timeout,
+        std::time::Duration::from_secs(5)
+    );
+    assert_eq!(
+        verifier.config().ready_timeout,
+        std::time::Duration::from_secs(2)
+    );
+}
+
 // ---- deprecated-wrapper equivalence ----
 
 /// The legacy free functions are thin wrappers over a default session:

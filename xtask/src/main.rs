@@ -166,6 +166,80 @@ fn ci() {
         &[("DISCHARGE_SHARDS", "2"), ("DISCHARGE_CACHE", &shard_cache)],
     );
     let _ = std::fs::remove_file(&shard_cache);
+    ci_service();
+}
+
+/// The service-corpus CI job's local mirror: start a `relaxed-serviced`
+/// daemon (warm two-worker fleet, fresh shared verdict store, ephemeral
+/// port parsed from its startup line), run the two-concurrent-client
+/// `verify_corpus --service` example against it cold then warm (the
+/// example asserts verdict equivalence against its in-process baseline,
+/// zero solver runs, and ≥1 cross-client disk hit), then drain the
+/// daemon gracefully with a raw `shutdown` frame.
+fn ci_service() {
+    let cache = std::env::temp_dir().join(format!(
+        "relaxed-xtask-ci-service-{}.jsonl",
+        std::process::id()
+    ));
+    let cache = cache.to_str().expect("temp path is unicode").to_string();
+    let _ = std::fs::remove_file(&cache);
+    let daemon_bin = "target/release/relaxed-serviced";
+    eprintln!("xtask> DISCHARGE_CACHE={cache} {daemon_bin} --fleet 2 --addr 127.0.0.1:0");
+    let mut daemon = Command::new(daemon_bin)
+        .args(["--fleet", "2", "--addr", "127.0.0.1:0"])
+        .env("DISCHARGE_CACHE", &cache)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("failed to spawn {daemon_bin}: {e}"));
+    let stdout = daemon.stdout.take().expect("piped daemon stdout");
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut line)
+        .expect("read the daemon startup line");
+    let addr = line
+        .split_whitespace()
+        .skip_while(|word| *word != "on")
+        .nth(1)
+        .unwrap_or_else(|| panic!("unexpected daemon startup line: {line:?}"))
+        .to_string();
+    eprintln!("xtask: relaxed-serviced is listening on {addr}");
+    for leg in ["cold", "warm"] {
+        eprintln!("xtask: service-corpus {leg} leg");
+        run_step(
+            &[
+                "cargo",
+                "run",
+                "--release",
+                "--example",
+                "verify_corpus",
+                "--",
+                "--service",
+                &addr,
+            ],
+            &[("DISCHARGE_CACHE", &cache)],
+        );
+    }
+    let drained = (|| -> std::io::Result<String> {
+        use std::io::{BufRead, Write};
+        let mut stream = std::net::TcpStream::connect(&addr)?;
+        stream.write_all(b"{\"type\":\"shutdown\"}\n")?;
+        let mut bye = String::new();
+        std::io::BufReader::new(stream).read_line(&mut bye)?;
+        Ok(bye.trim().to_string())
+    })();
+    match drained {
+        Ok(bye) => eprintln!("xtask: daemon drained: {bye}"),
+        Err(e) => {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            panic!("failed to drain relaxed-serviced: {e}");
+        }
+    }
+    let status = daemon.wait().expect("reap relaxed-serviced");
+    if !status.success() {
+        eprintln!("xtask: relaxed-serviced exited with {status}");
+        exit(1);
+    }
+    let _ = std::fs::remove_file(&cache);
 }
 
 /// Runs the bench harness with `BENCH_JSON=1`, collects the machine
@@ -309,7 +383,7 @@ fn main() {
         _ => {
             eprintln!("usage: cargo xtask <ci|verify|bench-json>");
             eprintln!(
-                "  ci          fmt + clippy + build --release + doc + test (5 schedules) + examples + bench --no-run"
+                "  ci          fmt + clippy + build --release + doc + test (5 schedules) + examples + sharded/service corpus jobs + bench --no-run"
             );
             eprintln!("  verify      the ROADMAP tier-1 gate: build --release && test -q");
             eprintln!(
