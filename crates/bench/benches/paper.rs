@@ -21,6 +21,9 @@
 //!   case-study programs through one `Verifier` session;
 //! * `persistent_cache` — warm corpus re-verification from the on-disk
 //!   verdict store (session load + zero-solver discharge + persist);
+//! * `edit_reverify` — incremental re-verification after a one-spec
+//!   edit (goal-dependency-map replay of every untouched revision) vs a
+//!   full warm rerun that regenerates every obligation;
 //! * `shard_corpus` — sharded multi-process corpus verification
 //!   (`relaxed-shardd` workers, 1-vs-N processes, plus warm
 //!   cross-process disk-hit metrics);
@@ -34,8 +37,10 @@
 //! * `smt_*` — microbenchmarks of the solver substrate.
 
 use relaxed_bench::harness::{BenchmarkId, Criterion};
+use relaxed_bench::{
+    corpus_view, lu_state, run_pair, shared_hypothesis_vcs, spec_variant_corpus, water_state,
+};
 use relaxed_bench::{criterion_group, criterion_main};
-use relaxed_bench::{lu_state, run_pair, shared_hypothesis_vcs, water_state};
 use relaxed_core::engine::{DischargeConfig, DischargeEngine};
 use relaxed_core::Verifier;
 use relaxed_interp::{run_all, run_relaxed, EnumConfig, ExtremalOracle, Mode};
@@ -351,6 +356,91 @@ fn persistent_cache(c: &mut Criterion) {
     });
     group.finish();
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(relaxed_core::depmap::depmap_path(&path));
+}
+
+fn edit_reverify(c: &mut Criterion) {
+    use relaxed_lang::parse_formula;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mut group = c.benchmark_group("edit_reverify");
+    group.sample_size(10);
+    // A 73-revision corpus (24 spec variants of the three verified case
+    // studies plus one small knob program) seeded into a persistent
+    // store with its goal dependency map, then re-verified after a
+    // one-spec edit to the knob program. The incremental path replays
+    // every untouched revision from the store and re-proves only the
+    // goals the edit dirtied; the full warm rerun (depmap off)
+    // regenerates and re-encodes every obligation before the store
+    // answers it. Each iteration applies a *fresh* edit (a distinct
+    // conjunct), so the edited goals are never pre-cached; sessions are
+    // built outside the timed body — this measures re-verify latency
+    // against a resident store, not disk-load time.
+    let mut corpus = spec_variant_corpus(24);
+    corpus.push((
+        "knob".to_string(),
+        parse_program("x = 0; relax (x) st (0 <= x && x <= 2); relate l1 : x<o> <= x<r>;")
+            .expect("knob program parses"),
+        relaxed_core::Spec {
+            pre: parse_formula("true").unwrap(),
+            post: parse_formula("true").unwrap(),
+            rel_pre: relaxed_lang::parse_rel_formula("x<o> == x<r>").unwrap(),
+            rel_post: relaxed_lang::parse_rel_formula("true").unwrap(),
+        },
+    ));
+    let path = std::env::temp_dir().join(format!(
+        "relaxed-bench-edit-reverify-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(relaxed_core::depmap::depmap_path(&path));
+    let session = |depmap: bool| {
+        Verifier::builder()
+            .workers(1)
+            .cache_file(&path)
+            .depmap(depmap)
+            .build()
+    };
+    let seed = session(true);
+    seed.check_corpus_named(&corpus_view(&corpus));
+    seed.persist().unwrap();
+    drop(seed);
+
+    let edits = AtomicU64::new(0);
+    let knob = corpus.len() - 1;
+    // One clone pass per iteration (the borrowed-view shape the API
+    // takes), with a fresh knob precondition spliced in.
+    let edited_view = |j: u64| {
+        let mut view = corpus_view(&corpus);
+        view[knob].2.pre = parse_formula(&format!("({}) && edit{j} >= 0", corpus[knob].2.pre))
+            .expect("edited precondition parses");
+        view
+    };
+    // One resident session per leg, shared across samples: this
+    // measures steady-state re-verify latency, not store/sidecar loads
+    // (the harness re-enters the outer closure once per sample).
+    let incremental = session(true);
+    group.bench_function("one_spec_edit_incremental", |b| {
+        b.iter(|| {
+            let edited = edited_view(edits.fetch_add(1, Ordering::Relaxed));
+            let report = incremental.check_corpus_named(&edited);
+            assert!(report.engine.cache_misses >= 1, "the dirty goal is solved");
+            report
+        })
+    });
+    drop(incremental);
+    let full_warm = session(false);
+    group.bench_function("one_spec_edit_full_warm", |b| {
+        b.iter(|| {
+            let edited = edited_view(edits.fetch_add(1, Ordering::Relaxed));
+            let report = full_warm.check_corpus_named(&edited);
+            assert!(report.engine.cache_misses >= 1, "the dirty goal is solved");
+            report
+        })
+    });
+    drop(full_warm);
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(relaxed_core::depmap::depmap_path(&path));
 }
 
 fn shard_corpus(c: &mut Criterion) {
@@ -648,6 +738,7 @@ criterion_group!(
     static_prefilter,
     corpus_batch,
     persistent_cache,
+    edit_reverify,
     shard_corpus,
     service_throughput,
     execution,

@@ -744,6 +744,147 @@ fn main() {
     println!("daemon served {served} requests over its lifetime, then drained gracefully");
     let _ = std::fs::remove_file(&service_cache);
 
+    // ---- E14 edit→re-verify latency ----
+    println!("\n## E14: incremental re-verification after a one-spec edit\n");
+    println!(
+        "A {}-revision corpus (24 spec variants of the three verified case \
+         studies plus one small knob program) seeded into a persistent \
+         verdict store with its goal→fragment dependency map, then \
+         re-verified after editing only the knob program's precondition. \
+         The incremental session replays every untouched revision from the \
+         store and re-proves only the goals the edit dirtied; the full warm \
+         rerun (dependency map off) regenerates and re-encodes every \
+         obligation before the store answers it. Both re-verifications are \
+         asserted verdict-identical to a full in-process run of the edited \
+         corpus (`CorpusReport::verdicts_match`).\n",
+        24 * casestudies::all().len() + 1
+    );
+    let mut edit_corpus = relaxed_bench::spec_variant_corpus(24);
+    edit_corpus.push((
+        "knob".to_string(),
+        relaxed_lang::parse_program(
+            "x = 0; relax (x) st (0 <= x && x <= 2); relate l1 : x<o> <= x<r>;",
+        )
+        .expect("knob program parses"),
+        relaxed_core::Spec {
+            pre: relaxed_lang::parse_formula("true").unwrap(),
+            post: relaxed_lang::parse_formula("true").unwrap(),
+            rel_pre: relaxed_lang::parse_rel_formula("x<o> == x<r>").unwrap(),
+            rel_post: relaxed_lang::parse_rel_formula("true").unwrap(),
+        },
+    ));
+    let knob = edit_corpus.len() - 1;
+    let edit_cache = std::env::temp_dir().join(format!(
+        "relaxed-paper-report-{}.reverify.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&edit_cache);
+    let _ = std::fs::remove_file(relaxed_core::depmap::depmap_path(&edit_cache));
+    let edit_session = |depmap: bool| {
+        Verifier::builder()
+            .workers(1)
+            .cache_file(&edit_cache)
+            .depmap(depmap)
+            .build()
+    };
+    let seed = edit_session(true);
+    let t_seed = Instant::now();
+    seed.check_corpus_named(&relaxed_bench::corpus_view(&edit_corpus));
+    let seed_elapsed = t_seed.elapsed();
+    seed.persist().expect("seed store persists");
+    drop(seed);
+
+    // The edit: one fresh conjunct on the knob's precondition. Distinct
+    // per leg so neither leg's dirty goals are pre-cached by the other.
+    let edited = |tag: &str| {
+        let mut view = relaxed_bench::corpus_view(&edit_corpus);
+        view[knob].2.pre = relaxed_lang::parse_formula(&format!(
+            "({}) && edit_{tag} >= 0",
+            edit_corpus[knob].2.pre
+        ))
+        .expect("edited precondition parses");
+        view
+    };
+
+    // Ground truth for both legs: the edited corpus verified from
+    // scratch, in process, with no store.
+    let full_a = Verifier::builder()
+        .workers(1)
+        .build()
+        .check_corpus_named(&edited("a"));
+    let full_b = Verifier::builder()
+        .workers(1)
+        .build()
+        .check_corpus_named(&edited("b"));
+
+    let incremental = edit_session(true);
+    let t_inc = Instant::now();
+    let inc = incremental.check_corpus_named(&edited("a"));
+    let inc_elapsed = t_inc.elapsed();
+    inc.verdicts_match(&full_a)
+        .expect("incremental verdicts drifted from the full run");
+    assert!(
+        inc.engine.cache_misses >= 1,
+        "the dirty goals must be re-proved"
+    );
+    let untouched: u64 = inc
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != knob)
+        .map(|(_, e)| {
+            e.outcome
+                .as_ref()
+                .expect("verified entry")
+                .engine
+                .cache_misses
+        })
+        .sum();
+    assert_eq!(
+        untouched, 0,
+        "untouched revisions must replay, not re-prove"
+    );
+    drop(incremental);
+
+    let full_warm = edit_session(false);
+    let t_warm = Instant::now();
+    let warm = full_warm.check_corpus_named(&edited("b"));
+    let warm_elapsed = t_warm.elapsed();
+    warm.verdicts_match(&full_b)
+        .expect("warm-rerun verdicts drifted from the full run");
+    drop(full_warm);
+
+    println!("| run | solver runs | disk hits | time |");
+    println!("|---|---|---|---|");
+    println!(
+        "| cold seed ({} revisions) | {} | {} | {seed_elapsed:.1?} |",
+        edit_corpus.len(),
+        full_a.engine.cache_misses,
+        0
+    );
+    println!(
+        "| full warm rerun after the edit | {} | {} | {warm_elapsed:.1?} |",
+        warm.engine.cache_misses, warm.engine.disk_hits
+    );
+    println!(
+        "| incremental re-verify after the edit | {} | {} | {inc_elapsed:.1?} |",
+        inc.engine.cache_misses, inc.engine.disk_hits
+    );
+    let reverify_speedup = warm_elapsed.as_secs_f64() / inc_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\nedit→re-verify speedup over the full warm rerun: {reverify_speedup:.2}x \
+         ({} of {} goals re-proved; verdicts asserted identical to the full run)",
+        inc.engine.cache_misses,
+        inc.engine.cache_hits + inc.engine.cache_misses,
+    );
+    assert!(
+        reverify_speedup >= 5.0,
+        "incremental re-verification must be at least 5x faster than the \
+         full warm rerun (measured {reverify_speedup:.2}x)"
+    );
+    let _ = std::fs::remove_file(&edit_cache);
+    let _ = std::fs::remove_file(relaxed_core::depmap::depmap_path(&edit_cache));
+
     // ---- E4 LoC inventory ----
     println!("\n## E4: implementation size (paper §1.6 vs this reproduction)\n");
     println!("run `paper_report --loc` from the repo root, or `tokei`; see EXPERIMENTS.md");

@@ -11,6 +11,7 @@
 pub mod harness;
 
 use relaxed_core::vcgen::{Vc, VcBody};
+use relaxed_core::Spec;
 use relaxed_interp::oracle::{IdentityOracle, RandomOracle};
 use relaxed_interp::{run_original, run_relaxed, Outcome};
 use relaxed_lang::{parse_formula, Program, State, Var};
@@ -37,10 +38,45 @@ pub fn shared_hypothesis_vcs(families: usize, per_family: usize) -> Vec<Vc> {
                 name: format!("family-{f}-goal-{i}"),
                 context: "shared-hypothesis benchmark family".to_string(),
                 body: VcBody::Unary(parse_formula(&source).expect("benchmark formula parses")),
+                deps: Vec::new(),
             });
         }
     }
     vcs
+}
+
+/// Builds a `variants`-revision spec corpus from the verified §5 case
+/// studies: variant `k` of each program strengthens its precondition
+/// with a distinct tautological conjunct, making it a distinct revision
+/// (distinct `pre` fragment, distinct program hash) with identical
+/// verdicts. This is the edit→re-verify workload shape (`edit_reverify`
+/// bench group, `paper_report` §E14): one spec edit in a corpus this
+/// size leaves every other revision textually untouched, so an
+/// incremental re-verification replays all of them from the persistent
+/// store while a full warm rerun regenerates and re-encodes every
+/// obligation.
+pub fn spec_variant_corpus(variants: usize) -> Vec<(String, Program, Spec)> {
+    let mut corpus = Vec::new();
+    for k in 0..variants {
+        for (name, program, spec) in relaxed_programs::casestudies::all() {
+            let mut spec = spec;
+            spec.pre = parse_formula(&format!("({}) && v{k} == v{k}", spec.pre))
+                .expect("variant precondition parses");
+            corpus.push((format!("{name}_v{k}"), program, spec));
+        }
+    }
+    corpus
+}
+
+/// The borrowed view [`Verifier::check_corpus_named`] takes, from an
+/// owned-name corpus such as [`spec_variant_corpus`]'s.
+///
+/// [`Verifier::check_corpus_named`]: relaxed_core::Verifier::check_corpus_named
+pub fn corpus_view(corpus: &[(String, Program, Spec)]) -> Vec<(&str, Program, Spec)> {
+    corpus
+        .iter()
+        .map(|(name, program, spec)| (name.as_str(), program.clone(), spec.clone()))
+        .collect()
 }
 
 /// Builds the Water workload state for `n` molecules.

@@ -61,7 +61,7 @@ use relaxed_smt::SolverStats;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// One judgment of the paper's staged methodology.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -305,6 +305,21 @@ pub struct Config {
     /// [`DischargeConfig::job_timeout`]); settable via
     /// `DISCHARGE_SHARD_TIMEOUT=<seconds>`.
     pub job_timeout: std::time::Duration,
+    /// Goal-granularity work units for [`CorpusPolicy::Sharded`] and
+    /// [`CorpusPolicy::Service`] corpus runs: each program's obligation
+    /// list is split into up to this many batches, each an independent
+    /// job, so one huge program saturates the whole worker fleet instead
+    /// of serializing on a single worker. `1` (the default) keeps
+    /// whole-program jobs; values are clamped to at least 1 at use.
+    /// Verdict-neutral. Settable via `DISCHARGE_GOAL_SHARDS=<n>`.
+    pub goal_shards: usize,
+    /// Whether a [`CachePolicy::Persistent`] session records the
+    /// goal→fragment dependency map sidecar (see [`crate::depmap`]) and
+    /// uses it to *replay* unchanged programs on re-verification instead
+    /// of re-running vcgen and the solver. On by default;
+    /// verdict-equivalent either way. Settable via `DISCHARGE_DEPMAP`
+    /// (`0`/`1`).
+    pub depmap: bool,
 }
 
 impl Default for Config {
@@ -323,6 +338,8 @@ impl Default for Config {
             shard_worker: None,
             ready_timeout: discharge.ready_timeout,
             job_timeout: discharge.job_timeout,
+            goal_shards: 1,
+            depmap: true,
         }
     }
 }
@@ -363,6 +380,10 @@ impl Config {
     /// (`0` = in-process, `n ≥ 1` = [`CorpusPolicy::Sharded`] across `n`
     /// worker processes), `DISCHARGE_SHARD_TIMEOUT` (per-job worker
     /// patience in seconds, see [`Config::job_timeout`]),
+    /// `DISCHARGE_GOAL_SHARDS` (goal-granularity batches per program for
+    /// sharded/service runs, see [`Config::goal_shards`]),
+    /// `DISCHARGE_DEPMAP` (`0` disables the goal→fragment dependency map
+    /// and its replay fast path, `1` — the default — enables it),
     /// `RELAXED_SHARDD` (explicit worker-binary path), and
     /// `RELAXED_SERVICE` (a `host:port` address selecting
     /// [`CorpusPolicy::Service`]).
@@ -418,6 +439,20 @@ impl Config {
         }
         if let Some(secs) = parse("DISCHARGE_SHARD_TIMEOUT") {
             config.job_timeout = std::time::Duration::from_secs(secs);
+        }
+        if let Some(goal_shards) = parse("DISCHARGE_GOAL_SHARDS") {
+            config.goal_shards = (goal_shards as usize).max(1);
+        }
+        if let Some(raw) = lookup("DISCHARGE_DEPMAP") {
+            match raw.trim() {
+                "0" => config.depmap = false,
+                "1" => config.depmap = true,
+                _ => warnings.push(EnvWarning {
+                    var: "DISCHARGE_DEPMAP",
+                    value: raw,
+                    expected: "0 or 1",
+                }),
+            }
         }
         if let Some(raw) = lookup("DISCHARGE_INCREMENTAL") {
             match raw.trim() {
@@ -520,6 +555,8 @@ pub struct VerifierBuilder {
     shard_worker: Option<PathBuf>,
     ready_timeout: Option<std::time::Duration>,
     job_timeout: Option<std::time::Duration>,
+    goal_shards: Option<usize>,
+    depmap: Option<bool>,
 }
 
 impl VerifierBuilder {
@@ -636,6 +673,23 @@ impl VerifierBuilder {
         self
     }
 
+    /// Goal-granularity batches per program for sharded/service corpus
+    /// runs (see [`Config::goal_shards`]). Default 1 (whole-program
+    /// jobs); clamped to at least 1.
+    pub fn goal_shards(mut self, goal_shards: usize) -> Self {
+        self.goal_shards = Some(goal_shards.max(1));
+        self
+    }
+
+    /// Toggles the goal→fragment dependency map and its incremental
+    /// replay fast path for persistent sessions (see
+    /// [`Config::depmap`]). On by default; verdicts are identical either
+    /// way.
+    pub fn depmap(mut self, depmap: bool) -> Self {
+        self.depmap = Some(depmap);
+        self
+    }
+
     /// Sets every field at once from a [`Config`] (each counts as
     /// builder-set for precedence; later per-field calls still override).
     pub fn config(mut self, config: Config) -> Self {
@@ -651,6 +705,8 @@ impl VerifierBuilder {
         self.shard_worker = config.shard_worker;
         self.ready_timeout = Some(config.ready_timeout);
         self.job_timeout = Some(config.job_timeout);
+        self.goal_shards = Some(config.goal_shards);
+        self.depmap = Some(config.depmap);
         self
     }
 
@@ -674,6 +730,8 @@ impl VerifierBuilder {
             shard_worker: self.shard_worker.or(base.shard_worker),
             ready_timeout: self.ready_timeout.unwrap_or(base.ready_timeout),
             job_timeout: self.job_timeout.unwrap_or(base.job_timeout),
+            goal_shards: self.goal_shards.unwrap_or(base.goal_shards).max(1),
+            depmap: self.depmap.unwrap_or(base.depmap),
         };
         let mut engine = match &config.cache {
             CachePolicy::Persistent { path } => {
@@ -684,14 +742,39 @@ impl VerifierBuilder {
             }
         };
         engine.set_cache_max(config.cache_max);
-        Verifier {
+        let verifier = Verifier {
             engine,
             config,
             env_warnings,
             folded: Mutex::new(EngineStats::default()),
             next_owner: AtomicU64::new(1),
-        }
+            cost_history: Mutex::new(std::collections::HashMap::new()),
+            depmap: OnceLock::new(),
+            lint_memo: Mutex::new(std::collections::HashMap::new()),
+        };
+        // Load the dependency-map sidecar alongside the verdict store:
+        // session build is where a persistent session pays its disk
+        // reads, keeping the first corpus check as fast as later ones.
+        let _ = verifier.depmap_resident();
+        verifier
     }
+}
+
+/// The session-resident goal→fragment dependency map: loaded from the
+/// sidecar once (first corpus run), mutated in memory after every live
+/// run, written back on [`Verifier::persist`] or drop — the same
+/// lifecycle as the verdict store it rides along with, so an
+/// incremental re-verification pays no sidecar I/O per call.
+#[derive(Debug)]
+struct ResidentDepmap {
+    /// The sidecar path (`<cache path>.depmap`).
+    path: PathBuf,
+    /// The engine-configuration fingerprint gating loads and stamping
+    /// persists (see [`crate::depmap`]).
+    fingerprint: String,
+    map: crate::depmap::DepMap,
+    /// Whether the in-memory map has diverged from the sidecar on disk.
+    dirty: bool,
 }
 
 /// A verification session: typed configuration plus an owned
@@ -713,11 +796,34 @@ pub struct Verifier {
     /// session-unique so cross-program accounting survives repeated
     /// `check_corpus` calls.
     next_owner: AtomicU64,
+    /// Observed per-program verification wall time (`name →
+    /// elapsed_ms`), recorded after every corpus run this session
+    /// performs. The sharded/service schedulers consume it as measured
+    /// cost for longest-first ordering in place of VC-count estimates
+    /// (see [`Verifier::observe_costs`]).
+    cost_history: Mutex<std::collections::HashMap<String, u64>>,
+    /// Lazily-loaded resident dependency map (`None` once initialized
+    /// means the session is not persistent or the map is disabled).
+    depmap: OnceLock<Option<Mutex<ResidentDepmap>>>,
+    /// Rendered lint memoized by revision hash: a replayed corpus entry
+    /// reuses the lint of its (unchanged) revision instead of re-running
+    /// the static analysis on every incremental re-verification.
+    lint_memo: Mutex<std::collections::HashMap<String, Vec<String>>>,
 }
 
 impl Default for Verifier {
     fn default() -> Self {
         Verifier::builder().build()
+    }
+}
+
+impl Drop for Verifier {
+    /// Best-effort write-back of the dependency-map sidecar (the engine
+    /// persists the verdict store in its own drop).
+    fn drop(&mut self) {
+        if let Err(e) = self.persist_depmap() {
+            crate::diag::warn(format_args!("could not persist depmap: {e}"));
+        }
     }
 }
 
@@ -768,16 +874,20 @@ impl Verifier {
         self.engine.cache_warnings()
     }
 
-    /// Writes the session's verdict cache back to its on-disk store (a
-    /// no-op returning `Ok(0)` unless the session uses
-    /// [`CachePolicy::Persistent`]). Dropping the session also persists,
-    /// best-effort; call this to observe I/O errors and the entry count.
+    /// Writes the session's verdict cache back to its on-disk store,
+    /// along with the goal→fragment dependency map sidecar when the
+    /// resident map has new revisions (a no-op returning `Ok(0)` unless
+    /// the session uses [`CachePolicy::Persistent`]). Dropping the
+    /// session also persists, best-effort; call this to observe I/O
+    /// errors and the entry count.
     ///
     /// # Errors
     ///
     /// Propagates the underlying filesystem error.
     pub fn persist(&self) -> std::io::Result<u64> {
-        self.engine.persist()
+        let written = self.engine.persist()?;
+        self.persist_depmap()?;
+        Ok(written)
     }
 
     /// Cumulative engine statistics over everything this session has
@@ -904,6 +1014,252 @@ impl Verifier {
         if count == 0 {
             return CorpusReport::default();
         }
+        let started = std::time::Instant::now();
+
+        // Incremental fast path (see `crate::depmap`): under a
+        // persistent cache with the dependency map enabled, a program
+        // whose revision hash matches its stored record has no changed
+        // fragment — every stored goal key is current, and the whole
+        // program replays from the verdict cache without vcgen, encoding,
+        // or solver work. Everything else runs live below.
+        let depmap = self.depmap_resident();
+        let mut slots: Vec<Option<CorpusEntry>> = (0..count).map(|_| None).collect();
+        let mut replayed_engine = EngineStats::default();
+        let mut live_idx: Vec<usize> = Vec::new();
+        match depmap {
+            Some(resident) => {
+                let resident = resident.lock().expect("depmap lock");
+                for (i, (name, program, spec)) in entries.iter().enumerate() {
+                    let entry = resident.map.program(name).and_then(|stored| {
+                        if stored.hash != crate::depmap::program_hash(program, spec) {
+                            return None;
+                        }
+                        self.replay_entry(name, program, spec, stored)
+                    });
+                    match entry {
+                        Some(entry) => {
+                            if let Ok(report) = &entry.outcome {
+                                replayed_engine.absorb(&report.engine);
+                            }
+                            slots[i] = Some(entry);
+                        }
+                        None => live_idx.push(i),
+                    }
+                }
+            }
+            None => live_idx = (0..count).collect(),
+        }
+
+        let live: Vec<(String, &Program, &Spec)> = live_idx
+            .iter()
+            .map(|&i| (entries[i].0.clone(), entries[i].1, entries[i].2))
+            .collect();
+        let mut report = if live.is_empty() {
+            CorpusReport {
+                stages: self.config.stages,
+                ..CorpusReport::default()
+            }
+        } else {
+            self.run_corpus_live(live)
+        };
+
+        // Stitch replayed entries back into input order, and fold their
+        // (hit-only) engine activity into the aggregate.
+        if live_idx.len() != count {
+            let live_entries: Vec<CorpusEntry> = std::mem::take(&mut report.entries);
+            for (&i, entry) in live_idx.iter().zip(live_entries) {
+                slots[i] = Some(entry);
+            }
+            report.entries = slots
+                .into_iter()
+                .map(|slot| slot.expect("every corpus slot is either replayed or live"))
+                .collect();
+            report.engine.absorb(&replayed_engine);
+        }
+
+        // Record the fresh revisions of everything that ran live (a
+        // vcgen failure drops the program's record: a stale map must
+        // never replay a now-broken program). The sidecar itself is
+        // written back on [`Verifier::persist`] or drop — per-call
+        // fsyncs here would dominate an incremental re-verification.
+        if let Some(resident) = depmap {
+            if !live_idx.is_empty() {
+                let mut resident = resident.lock().expect("depmap lock");
+                for &i in &live_idx {
+                    let (name, program, spec) = &entries[i];
+                    match &report.entries[i].outcome {
+                        Ok(_) => {
+                            if let Some(deps) = program_deps(self.config.stages, program, spec) {
+                                resident.map.record(name, deps);
+                            }
+                        }
+                        Err(_) => {
+                            resident.map.programs.remove(name.as_str());
+                        }
+                    }
+                }
+                resident.dirty = true;
+            }
+        }
+
+        // Observed-cost history: live entries only — a replayed entry's
+        // near-zero wall time is not a measurement of verification cost,
+        // and must not displace the last real one.
+        {
+            let mut history = self.cost_history.lock().expect("cost-history lock");
+            for &i in &live_idx {
+                let entry = &report.entries[i];
+                history.insert(entry.name.clone(), entry.elapsed_ms);
+            }
+        }
+
+        report.elapsed_ms = elapsed_ms_since(started);
+        report
+    }
+
+    /// Replays one program's stored goal set from the verdict cache:
+    /// `None` (fall back to a live run) when the stored stage spectrum
+    /// does not match the session's selection or any goal key is not
+    /// resident. The rebuilt entry carries placeholder formula bodies
+    /// (the stored provenance — stage, name, context, deps — is real;
+    /// the formulas were never rebuilt, which is the point).
+    fn replay_entry(
+        &self,
+        name: &str,
+        program: &Program,
+        spec: &Spec,
+        stored: &crate::depmap::ProgramDeps,
+    ) -> Option<CorpusEntry> {
+        let stages = self.config.stages;
+        let has = |stage| stored.goals.iter().any(|g| g.stage == stage);
+        // Every selected stage generates at least an entry obligation, so
+        // a stage-spectrum mismatch means the record predates a stage
+        // reconfiguration and cannot stand in for this run.
+        if has(Stage::Original) != stages.original
+            || has(Stage::Intermediate) != stages.intermediate
+            || has(Stage::Relaxed) != stages.relaxed
+        {
+            return None;
+        }
+        let program_started = std::time::Instant::now();
+        let keys: Vec<crate::cache::GoalKey> = stored.goals.iter().map(|g| g.key.clone()).collect();
+        let (verdicts, disk_hits) = self.engine.replay(&keys)?;
+        let mut original = Report::default();
+        let mut intermediate = Report::default();
+        let mut relaxed = Report::default();
+        for (goal, verdict) in stored.goals.iter().zip(verdicts) {
+            let result = crate::verify::VcResult {
+                vc: Vc {
+                    name: goal.name.clone(),
+                    context: goal.context.clone(),
+                    body: crate::vcgen::VcBody::Unary(relaxed_lang::Formula::True),
+                    deps: goal.deps.clone(),
+                },
+                verdict,
+                stats: SolverStats::default(),
+                cached: true,
+            };
+            match goal.stage {
+                Stage::Original => original.results.push(result),
+                Stage::Intermediate => intermediate.results.push(result),
+                Stage::Relaxed => relaxed.results.push(result),
+            }
+        }
+        let engine = EngineStats {
+            cache_hits: stored.goals.len() as u64,
+            disk_hits,
+            ..EngineStats::default()
+        };
+        Some(CorpusEntry {
+            name: name.to_string(),
+            elapsed_ms: elapsed_ms_since(program_started),
+            lint: self.memoized_lint(&stored.hash, program, spec),
+            outcome: Ok(AcceptabilityReport {
+                stages,
+                original,
+                intermediate: stages.intermediate.then_some(intermediate),
+                relaxed,
+                engine,
+            }),
+        })
+    }
+
+    /// The rendered lint of a revision, memoized by its hash: replay is
+    /// only reached when the revision is unchanged, so its lint — a
+    /// whole-program static analysis — is too.
+    fn memoized_lint(&self, hash: &str, program: &Program, spec: &Spec) -> Vec<String> {
+        let mut memo = self.lint_memo.lock().expect("lint-memo lock");
+        if let Some(lint) = memo.get(hash) {
+            return lint.clone();
+        }
+        let lint = rendered_lint(program, spec);
+        memo.insert(hash.to_string(), lint.clone());
+        lint
+    }
+
+    /// The session-resident dependency map, loading the sidecar on
+    /// first use. `None` unless the session is persistent and the map
+    /// is enabled.
+    fn depmap_resident(&self) -> Option<&Mutex<ResidentDepmap>> {
+        self.depmap
+            .get_or_init(|| {
+                if !self.config.depmap {
+                    return None;
+                }
+                let CachePolicy::Persistent { path } = &self.config.cache else {
+                    return None;
+                };
+                let sidecar = crate::depmap::depmap_path(path);
+                let fingerprint = crate::cache::fingerprint(&self.config.discharge_config());
+                let (map, warnings) = crate::depmap::load(&sidecar, &fingerprint);
+                for warning in &warnings {
+                    crate::diag::warn(format_args!("{warning}"));
+                }
+                Some(Mutex::new(ResidentDepmap {
+                    path: sidecar,
+                    fingerprint,
+                    map,
+                    dirty: false,
+                }))
+            })
+            .as_ref()
+    }
+
+    /// Writes the resident dependency map back to its sidecar if it has
+    /// diverged from disk (a no-op otherwise).
+    fn persist_depmap(&self) -> std::io::Result<()> {
+        let Some(Some(resident)) = self.depmap.get() else {
+            return Ok(());
+        };
+        let mut resident = resident.lock().expect("depmap lock");
+        if !resident.dirty {
+            return Ok(());
+        }
+        crate::depmap::persist(&resident.path, &resident.fingerprint, &resident.map)?;
+        resident.dirty = false;
+        Ok(())
+    }
+
+    /// Records every entry of `report` into the observed-cost history
+    /// consumed by the sharded/service schedulers (measured `elapsed_ms`
+    /// replaces VC-count estimates once every job's program has an
+    /// observation). `check_corpus` records its live entries
+    /// automatically; call this to feed in a report obtained elsewhere —
+    /// e.g. an earlier session's run.
+    pub fn observe_costs(&self, report: &CorpusReport) {
+        let mut history = self.cost_history.lock().expect("cost-history lock");
+        for entry in &report.entries {
+            history.insert(entry.name.clone(), entry.elapsed_ms);
+        }
+    }
+
+    /// A snapshot of the observed-cost history for the schedulers.
+    pub(crate) fn cost_snapshot(&self) -> std::collections::HashMap<String, u64> {
+        self.cost_history.lock().expect("cost-history lock").clone()
+    }
+
+    fn run_corpus_live(&self, entries: Vec<(String, &Program, &Spec)>) -> CorpusReport {
+        let count = entries.len();
         match &self.config.corpus {
             CorpusPolicy::Sharded { shards } => {
                 return crate::shard::run_corpus_sharded(self, entries, *shards);
@@ -995,6 +1351,28 @@ impl Verifier {
 /// speedups are measurable from the report JSON alone.
 pub(crate) fn elapsed_ms_since(started: std::time::Instant) -> u64 {
     u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Regenerates a program's staged obligations and packages them as the
+/// depmap record of its current revision (goal keys re-encoded through
+/// the same [`encode_goal`](crate::engine::encode_goal) the engine
+/// keys its cache with, so a later replay is key-exact). `None` when
+/// vcgen fails — the caller drops the record instead of storing one.
+fn program_deps(
+    stages: StageSet,
+    program: &Program,
+    spec: &Spec,
+) -> Option<crate::depmap::ProgramDeps> {
+    let mut staged: Vec<(Stage, Vec<Vc>)> = Vec::new();
+    for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
+        if stages.contains(stage) {
+            staged.push((stage, stage_vcs(stage, program, spec).ok()?));
+        }
+    }
+    Some(crate::depmap::ProgramDeps {
+        hash: crate::depmap::program_hash(program, spec),
+        goals: crate::depmap::goal_deps(&staged),
+    })
 }
 
 /// [`crate::analysis::lint`] rendered to the strings a [`CorpusEntry`]

@@ -105,6 +105,15 @@ impl GoalKey {
         &self.0
     }
 
+    /// Rebuilds a key from its on-disk rendering ([`GoalKey::render`]) —
+    /// the crate-internal inverse the cache loader and the depmap loader
+    /// share. Never exposed publicly: outside this crate the only way to
+    /// obtain a key is [`GoalKey::of`], so foreign text can never pose as
+    /// a canonical key.
+    pub(crate) fn parse(rendered: &str) -> GoalKey {
+        GoalKey(rendered.to_string())
+    }
+
     /// The explicit on-disk rendering of this key.
     ///
     /// Currently identical to [`GoalKey::as_str`]; it exists as a

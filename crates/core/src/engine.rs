@@ -711,6 +711,41 @@ impl DischargeEngine {
         }
     }
 
+    /// Replays a set of goals from the verdict cache without encoding or
+    /// solving anything: all-or-none under one cache lock. Returns the
+    /// verdicts in `keys` order iff *every* key is resident; a single
+    /// miss returns `None` and leaves the counters untouched, so callers
+    /// fall back to a full [`discharge`](DischargeEngine::discharge).
+    ///
+    /// This is the incremental re-verification fast path (see
+    /// [`crate::depmap`]): a program none of whose goal keys changed is
+    /// re-verified by replaying its stored keys. Each replayed goal
+    /// counts as a cache hit (and a disk hit when the resident verdict
+    /// was loaded from the store), keeping the stats truthful about
+    /// where the verdicts came from.
+    pub(crate) fn replay(&self, keys: &[GoalKey]) -> Option<(Vec<Validity>, u64)> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut cache = self.cache.lock().expect("cache lock");
+        // Probe before mutating: a miss anywhere must not bump recency
+        // or counters for the keys probed so far.
+        if !keys.iter().all(|key| cache.contains_key(key)) {
+            return None;
+        }
+        let mut verdicts = Vec::with_capacity(keys.len());
+        let mut disk = 0u64;
+        for key in keys {
+            let slot = cache.get_mut(key).expect("probed above");
+            slot.last_hit = now;
+            if slot.from_disk {
+                disk += 1;
+            }
+            verdicts.push(slot.verdict.clone());
+        }
+        self.hits.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.disk.fetch_add(disk, Ordering::Relaxed);
+        Some((verdicts, disk))
+    }
+
     /// Discharges `vcs`, reusing cached verdicts and solving the rest in
     /// parallel. Results are reported in generation order with per-VC
     /// solver statistics; the aggregate [`Report::stats`] counts only the
@@ -1080,6 +1115,7 @@ mod tests {
             name: name.to_string(),
             context: "test".to_string(),
             body: VcBody::Unary(parse_formula(source).unwrap()),
+            deps: Vec::new(),
         }
     }
 

@@ -39,6 +39,9 @@
 //!   a rule-by-rule checker (the analogue of the paper's Coq artifact);
 //! * [`cache`] — the persistent on-disk verdict store (structural goal
 //!   keys, config fingerprinting, corruption-tolerant JSON-lines log);
+//! * [`depmap`] — the goal→program-fragment dependency map recorded at
+//!   vcgen time, the basis of incremental re-verification: after an
+//!   edit, only goals whose supporting fragments changed are re-proved;
 //! * [`shard`] — sharded multi-process corpus verification: the
 //!   transport-agnostic coordinator/worker protocol behind
 //!   [`CorpusPolicy::Sharded`], with verdict sharing between worker
@@ -88,6 +91,7 @@
 pub mod analysis;
 pub mod api;
 pub mod cache;
+pub mod depmap;
 mod diag;
 pub mod encode;
 pub mod engine;

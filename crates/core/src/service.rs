@@ -61,9 +61,10 @@
 use crate::api::{elapsed_ms_since, Config, CorpusEntry, CorpusError, CorpusReport, Verifier};
 use crate::cache::{parse_json, Json};
 use crate::shard::{
-    field_str, field_u64, parse_config_frame, parse_result_frame, prepare_jobs, rebuild_report,
-    render_config_frame, render_error_frame, resolve_worker, ShardJob, TcpTransport, Transport,
-    WorkerHandle, MAX_ATTEMPTS, PROTOCOL_VERSION, SERVICE_BINARY,
+    field_str, field_u64, merge_batch_entries, parse_config_frame, parse_result_frame,
+    prepare_jobs, rebuild_report, render_config_frame, render_error_frame, resolve_worker,
+    ShardJob, TcpTransport, Transport, WorkerHandle, MAX_ATTEMPTS, PROTOCOL_VERSION,
+    SERVICE_BINARY,
 };
 use crate::verify::Spec;
 use relaxed_lang::Program;
@@ -556,7 +557,13 @@ pub(crate) fn run_corpus_service(
         ..CorpusReport::default()
     };
     let mut slots: Vec<Option<CorpusEntry>> = (0..count).map(|_| None).collect();
-    let jobs = prepare_jobs(config.stages, &entries, &mut slots);
+    let jobs = prepare_jobs(
+        config.stages,
+        &entries,
+        &mut slots,
+        config.goal_shards,
+        &verifier.cost_snapshot(),
+    );
     let fleet = if jobs.is_empty() {
         1
     } else {
@@ -584,22 +591,51 @@ fn run_jobs_over_service(
     jobs: Vec<ShardJob>,
     slots: &mut [Option<CorpusEntry>],
 ) -> usize {
-    let fail_all = |slots: &mut [Option<CorpusEntry>], pending: Vec<ShardJob>, reason: &str| {
-        for job in pending {
-            slots[job.index] = Some(CorpusEntry {
-                name: job.name,
-                elapsed_ms: 0,
-                lint: Vec::new(),
-                outcome: Err(CorpusError::Service(reason.to_string())),
-            });
-        }
-    };
+    // Results (and per-job failures) accumulate as batch partials; the
+    // merge resolves each program's batches into one entry — a failed
+    // batch fails its program, exactly like the shard coordinator.
+    let mut done: Vec<(usize, usize, CorpusEntry)> = Vec::new();
+    let fleet = drive_service_jobs(config, addr, jobs, &mut done);
+    let mut parts: HashMap<usize, Vec<(usize, CorpusEntry)>> = HashMap::new();
+    for (slot, batch, entry) in done {
+        parts.entry(slot).or_default().push((batch, entry));
+    }
+    for (slot, list) in parts {
+        slots[slot] = Some(merge_batch_entries(list));
+    }
+    fleet
+}
+
+/// The connection-driving half of [`run_jobs_over_service`]: pipelines
+/// the jobs, rides out `busy` backpressure, and pushes one completed (or
+/// failed) partial per job into `done`.
+fn drive_service_jobs(
+    config: &Config,
+    addr: &str,
+    jobs: Vec<ShardJob>,
+    done: &mut Vec<(usize, usize, CorpusEntry)>,
+) -> usize {
+    let fail_all =
+        |done: &mut Vec<(usize, usize, CorpusEntry)>, pending: Vec<ShardJob>, reason: &str| {
+            for job in pending {
+                done.push((
+                    job.slot,
+                    job.batch,
+                    CorpusEntry {
+                        name: job.name,
+                        elapsed_ms: 0,
+                        lint: Vec::new(),
+                        outcome: Err(CorpusError::Service(reason.to_string())),
+                    },
+                ));
+            }
+        };
     let config_frame = render_config_frame(config, config.workers);
     let mut handle = match WorkerHandle::connect(addr, &config_frame, config.ready_timeout) {
         Ok(handle) => handle,
         Err(e) => {
             let reason = format!("cannot reach the service at {addr}: {e}");
-            fail_all(slots, jobs, &reason);
+            fail_all(done, jobs, &reason);
             return 1;
         }
     };
@@ -613,10 +649,10 @@ fn run_jobs_over_service(
         if let Err(e) = handle.send(&job.frame) {
             let mut lost: Vec<ShardJob> = pending.into_values().collect();
             lost.push(job);
-            fail_all(slots, lost, &format!("connection to {addr} failed: {e}"));
+            fail_all(done, lost, &format!("connection to {addr} failed: {e}"));
             return fleet;
         }
-        pending.insert(job.index, job);
+        pending.insert(job.id, job);
     }
 
     // Collect out-of-order results, riding out `busy` backpressure. The
@@ -635,7 +671,7 @@ fn run_jobs_over_service(
                 if let Some(job) = pending.get(&id) {
                     if let Err(e) = handle.send(&job.frame) {
                         let lost: Vec<ShardJob> = pending.into_values().collect();
-                        fail_all(slots, lost, &format!("connection to {addr} failed: {e}"));
+                        fail_all(done, lost, &format!("connection to {addr} failed: {e}"));
                         return fleet;
                     }
                 }
@@ -649,7 +685,7 @@ fn run_jobs_over_service(
         if window.is_zero() {
             let lost: Vec<ShardJob> = pending.into_values().collect();
             fail_all(
-                slots,
+                done,
                 lost,
                 &format!(
                     "service at {addr} made no progress for {}s",
@@ -670,7 +706,7 @@ fn run_jobs_over_service(
             Ok(None) => continue, // a retry came due or the window shrank
             Err(e) => {
                 let lost: Vec<ShardJob> = pending.into_values().collect();
-                fail_all(slots, lost, &format!("connection to {addr} failed: {e}"));
+                fail_all(done, lost, &format!("connection to {addr} failed: {e}"));
                 return fleet;
             }
         };
@@ -689,7 +725,7 @@ fn run_jobs_over_service(
             Ok(parsed) => parsed,
             Err(reason) => {
                 let lost: Vec<ShardJob> = pending.into_values().collect();
-                fail_all(slots, lost, &reason);
+                fail_all(done, lost, &reason);
                 return fleet;
             }
         };
@@ -700,7 +736,7 @@ fn run_jobs_over_service(
                     continue; // duplicate/stale result; ignore
                 };
                 busy_since.remove(&id);
-                slots[job.index] = Some(entry_from_result(&job, &line));
+                done.push((job.slot, job.batch, entry_from_result(&job, &line)));
             }
             "busy" => {
                 // Saturation backpressure: honor the daemon's
@@ -709,15 +745,19 @@ fn run_jobs_over_service(
                 let first = *busy_since.entry(id).or_insert_with(Instant::now);
                 if first.elapsed() >= config.job_timeout {
                     if let Some(job) = pending.remove(&id) {
-                        slots[job.index] = Some(CorpusEntry {
-                            name: job.name,
-                            elapsed_ms: 0,
-                            lint: Vec::new(),
-                            outcome: Err(CorpusError::Service(format!(
-                                "service at {addr} stayed saturated for {}s",
-                                config.job_timeout.as_secs()
-                            ))),
-                        });
+                        done.push((
+                            job.slot,
+                            job.batch,
+                            CorpusEntry {
+                                name: job.name,
+                                elapsed_ms: 0,
+                                lint: Vec::new(),
+                                outcome: Err(CorpusError::Service(format!(
+                                    "service at {addr} stayed saturated for {}s",
+                                    config.job_timeout.as_secs()
+                                ))),
+                            },
+                        ));
                     }
                     continue;
                 }
@@ -734,7 +774,7 @@ fn run_jobs_over_service(
             other => {
                 let lost: Vec<ShardJob> = pending.into_values().collect();
                 fail_all(
-                    slots,
+                    done,
                     lost,
                     &format!("unexpected frame type {other:?} from {addr}"),
                 );

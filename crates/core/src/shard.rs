@@ -42,17 +42,40 @@
 //! expensive part) and zips them with the returned verdicts, so the
 //! merged report is structurally identical to an in-process run's.
 //!
+//! # Work units: goal batches
+//!
+//! The unit of distribution is a **goal batch**, not a whole program.
+//! Under [`Config::goal_shards`] > 1 each program's concatenated
+//! obligation list (every selected stage, pipeline order) is split into
+//! up to that many balanced contiguous batches, each shipped as its own
+//! job frame (`"batch":k,"batches":n`); the worker re-generates the
+//! stage VCs (generation is deterministic and cheap), computes the same
+//! split, and discharges only its slice. The coordinator merges the
+//! batch partials back into one per-program entry, so a corpus of one
+//! huge program still saturates the whole fleet. The default
+//! (`goal_shards = 1`) keeps whole-program jobs, and a frame without
+//! batch fields means `batches = 1` — older coordinators and workers
+//! interoperate unchanged.
+//!
 //! # Scheduling and fault tolerance
 //!
 //! Jobs are distributed by **work-stealing**: a shared queue ordered
-//! longest-first (by VC count) that idle workers pull from, so one slow
-//! program cannot serialize the tail of the corpus. A worker crash, a
-//! malformed response frame, or a response timeout kills that worker and
-//! requeues the job onto a freshly spawned replacement worker (a new
-//! process, so accumulated worker state can never fail the same job
-//! twice); after [`MAX_ATTEMPTS`] failed attempts the job is recorded as
-//! a per-program [`CorpusError::Shard`] — never a lost program, never a
-//! hung coordinator.
+//! longest-first that idle workers pull from, so one slow program cannot
+//! serialize the tail of the corpus. "Longest" is *measured* when
+//! possible: once the session's observed-cost history (per-program
+//! `elapsed_ms` from earlier [`CorpusReport`]s, see
+//! [`Verifier::observe_costs`](crate::api::Verifier::observe_costs))
+//! covers every scheduled program, jobs are ordered by observed
+//! milliseconds (divided across a program's batches) instead of the
+//! VC-count estimate. A worker crash, a malformed response frame, or a
+//! response timeout kills that worker and requeues the job onto a
+//! freshly spawned replacement worker (a new process, so accumulated
+//! worker state can never fail the same job twice); after
+//! [`MAX_ATTEMPTS`] failed attempts the job is recorded as a per-program
+//! [`CorpusError::Shard`] — never a lost program, never a hung
+//! coordinator.
+//!
+//! [`Config::goal_shards`]: crate::api::Config::goal_shards
 //!
 //! # Cache-mediated verdict sharing
 //!
@@ -241,9 +264,17 @@ pub(crate) fn render_config_frame(config: &Config, per_worker: usize) -> String 
     )
 }
 
-fn render_job_frame(id: usize, name: &str, program: &Program, spec: &Spec) -> String {
+fn render_job_frame(
+    id: usize,
+    name: &str,
+    program: &Program,
+    spec: &Spec,
+    batch: usize,
+    batches: usize,
+) -> String {
     format!(
-        "{{\"type\":\"job\",\"id\":{id},\"name\":{},\"program\":{},\"pre\":{},\
+        "{{\"type\":\"job\",\"id\":{id},\"name\":{},\"batch\":{batch},\"batches\":{batches},\
+         \"program\":{},\"pre\":{},\
          \"post\":{},\"rel_pre\":{},\"rel_post\":{}}}",
         json_string(name),
         json_string(&program.to_string()),
@@ -613,7 +644,10 @@ pub(crate) fn parse_config_frame(fields: &[(String, Json)]) -> Result<Config, St
 
 /// Parses and verifies one job through the worker's session, persisting
 /// incrementally around the check so sibling workers can reuse the
-/// verdicts.
+/// verdicts. A whole-program job (`batches <= 1`, the default for frames
+/// without batch fields) runs the full staged check; a goal-batch job
+/// re-generates the stage VCs, computes the same balanced contiguous
+/// split as the coordinator, and discharges only its slice.
 fn run_job(
     session: &Verifier,
     fields: &[(String, Json)],
@@ -629,19 +663,27 @@ fn run_job(
         rel_post: parse_rel_formula(field_str(fields, "rel_post")?)
             .map_err(|e| format!("rel_post: {e}"))?,
     };
+    // Optional with a permissive default: a coordinator that predates
+    // goal batching simply ships whole programs.
+    let batch = field_u64(fields, "batch").unwrap_or(0) as usize;
+    let batches = (field_u64(fields, "batches").unwrap_or(1) as usize).max(1);
     // Pick up verdicts sibling workers persisted since the last job: they
     // answer shared goals as disk hits, the cross-process payoff.
     session.engine().refresh_from_disk();
     let started = Instant::now();
-    let report = session
-        .check_corpus_named(&[(name, program, spec)])
-        .entries
-        .remove(0);
-    let elapsed_ms = elapsed_ms_since(started);
-    let outcome = match report.outcome {
-        Ok(outcome) => outcome,
-        Err(e) => return Err(e.to_string()),
+    let outcome = if batches <= 1 {
+        let report = session
+            .check_corpus_named(&[(name, program, spec)])
+            .entries
+            .remove(0);
+        match report.outcome {
+            Ok(outcome) => outcome,
+            Err(e) => return Err(e.to_string()),
+        }
+    } else {
+        run_batch_job(session, &program, &spec, batch, batches)?
     };
+    let elapsed_ms = elapsed_ms_since(started);
     // Publish this job's fresh verdicts incrementally, by *appending* to
     // the shared store: an append can never drop entries a sibling worker
     // persisted concurrently (duplicate keys resolve later-wins at load).
@@ -653,37 +695,146 @@ fn run_job(
     Ok((outcome, elapsed_ms))
 }
 
+/// Discharges one goal batch of `program`: the same VC generation and
+/// the same [`batch_bounds`] split as the coordinator, so the returned
+/// per-stage verdict lists zip exactly with the coordinator's
+/// [`ShardJob::stage_vcs`] slice. Every selected stage appears in the
+/// report (possibly with an empty slice), keeping the result frame's
+/// stage spectrum identical to the scheduled one.
+fn run_batch_job(
+    session: &Verifier,
+    program: &Program,
+    spec: &Spec,
+    batch: usize,
+    batches: usize,
+) -> Result<AcceptabilityReport, String> {
+    let stages = session.config().stages;
+    let mut prepared = Vec::new();
+    for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
+        if !stages.contains(stage) {
+            continue;
+        }
+        prepared.push((
+            stage,
+            stage_vcs(stage, program, spec).map_err(|e| e.to_string())?,
+        ));
+    }
+    let total: usize = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
+    if batch >= batches || batches > total.max(1) {
+        return Err(format!(
+            "batch {batch}/{batches} is inconsistent with {total} obligations"
+        ));
+    }
+    let (start, end) = batch_bounds(total, batches, batch);
+    let mut report_stages = StageSet::none();
+    let mut original = Report::default();
+    let mut intermediate = None;
+    let mut relaxed = Report::default();
+    let mut engine = EngineStats::default();
+    for (stage, vcs) in batch_stage_slice(&prepared, start, end) {
+        let stage_report = session.engine().discharge(vcs);
+        engine.absorb(&stage_report.engine);
+        report_stages = report_stages.with(stage);
+        match stage {
+            Stage::Original => original = stage_report,
+            Stage::Intermediate => intermediate = Some(stage_report),
+            Stage::Relaxed => relaxed = stage_report,
+        }
+    }
+    Ok(AcceptabilityReport {
+        stages: report_stages,
+        original,
+        intermediate,
+        relaxed,
+        engine,
+    })
+}
+
 // ---------------------------------------------------------------------
 // The coordinator
 // ---------------------------------------------------------------------
 
-/// One corpus program prepared for distribution (to a shard worker or,
-/// via [`crate::service`], to a daemon's fleet).
+/// One goal batch prepared for distribution (to a shard worker or, via
+/// [`crate::service`], to a daemon's fleet). Under the default
+/// `goal_shards = 1` a job is a whole program; otherwise a program fans
+/// out into up to `goal_shards` jobs over contiguous slices of its
+/// concatenated obligation list.
 pub(crate) struct ShardJob {
-    /// Index in corpus input order (doubles as the wire job id).
-    pub(crate) index: usize,
+    /// Corpus-unique wire job id (one per batch, not per program).
+    pub(crate) id: usize,
+    /// Index of the program in corpus input order — the result slot this
+    /// job's (partial) entry merges into.
+    pub(crate) slot: usize,
+    /// This job's batch index within the program's split.
+    pub(crate) batch: usize,
+    /// Total batches the program was split into (1 = whole program).
+    pub(crate) batches: usize,
     pub(crate) name: String,
     pub(crate) frame: String,
     /// The locally generated obligations of every selected stage, in
-    /// pipeline order — zipped with the worker's verdicts to rebuild the
-    /// per-program report.
+    /// pipeline order, restricted to this batch's contiguous slice —
+    /// zipped with the worker's verdicts to rebuild the batch's partial
+    /// report. Stages whose goals fall entirely outside the slice stay
+    /// present with an empty list, so the stage spectrum is stable.
     pub(crate) stage_vcs: Vec<(Stage, Vec<Vc>)>,
     pub(crate) vc_count: usize,
+    /// Measured scheduling cost: the program's observed `elapsed_ms`
+    /// divided across its batches, when the session has an observation.
+    pub(crate) cost: u64,
     pub(crate) attempts: u32,
     pub(crate) last_error: String,
 }
 
+/// The balanced contiguous split: half-open bounds of batch `batch` of
+/// `batches` over a `total`-element sequence. Batches differ in size by
+/// at most one, cover the sequence exactly, and are computed identically
+/// by the coordinator and the worker (the protocol ships only
+/// `batch`/`batches`, never the bounds).
+pub(crate) fn batch_bounds(total: usize, batches: usize, batch: usize) -> (usize, usize) {
+    let base = total / batches;
+    let rem = total % batches;
+    let start = batch * base + batch.min(rem);
+    (start, start + base + usize::from(batch < rem))
+}
+
+/// Restricts per-stage obligation lists to the global goal range
+/// `[start, end)` over their concatenation. Every stage stays present
+/// (possibly empty), so both protocol sides agree on the stage spectrum
+/// of every batch.
+pub(crate) fn batch_stage_slice(
+    prepared: &[(Stage, Vec<Vc>)],
+    start: usize,
+    end: usize,
+) -> Vec<(Stage, Vec<Vc>)> {
+    let mut out = Vec::with_capacity(prepared.len());
+    let mut offset = 0usize;
+    for (stage, vcs) in prepared {
+        let lo = start.clamp(offset, offset + vcs.len()) - offset;
+        let hi = end.clamp(offset, offset + vcs.len()) - offset;
+        out.push((*stage, vcs[lo..hi].to_vec()));
+        offset += vcs.len();
+    }
+    out
+}
+
 /// Generates every program's obligations locally, up front: `VcgenError`s
 /// are recorded into `slots` exactly as the in-process driver records
-/// them (never shipped over a wire), and the VC counts order the returned
-/// job list longest-first (index-tie-broken for determinism).
+/// them (never shipped over a wire), each program fans out into up to
+/// `goal_shards` goal-batch jobs, and the returned job list is ordered
+/// longest-first (id-tie-broken for determinism) — by *observed* cost
+/// when the session's cost history covers every scheduled program, by VC
+/// count otherwise.
 pub(crate) fn prepare_jobs(
     stages: StageSet,
     entries: &[(String, &Program, &Spec)],
     slots: &mut [Option<CorpusEntry>],
+    goal_shards: usize,
+    costs: &std::collections::HashMap<String, u64>,
 ) -> Vec<ShardJob> {
     let mut jobs: Vec<ShardJob> = Vec::new();
-    for (index, (name, program, spec)) in entries.iter().enumerate() {
+    let mut next_id = 0usize;
+    let mut all_observed = true;
+    for (slot, (name, program, spec)) in entries.iter().enumerate() {
         let mut prepared = Vec::new();
         let mut failed = None;
         for stage in [Stage::Original, Stage::Intermediate, Stage::Relaxed] {
@@ -699,7 +850,7 @@ pub(crate) fn prepare_jobs(
             }
         }
         if let Some(e) = failed {
-            slots[index] = Some(CorpusEntry {
+            slots[slot] = Some(CorpusEntry {
                 name: name.clone(),
                 elapsed_ms: 0,
                 lint: Vec::new(),
@@ -707,21 +858,37 @@ pub(crate) fn prepare_jobs(
             });
             continue;
         }
-        let vc_count = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
-        jobs.push(ShardJob {
-            index,
-            name: name.clone(),
-            frame: render_job_frame(index, name, program, spec),
-            stage_vcs: prepared,
-            vc_count,
-            attempts: 0,
-            last_error: String::new(),
-        });
+        let total: usize = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
+        let batches = goal_shards.max(1).min(total.max(1));
+        let observed = costs.get(name.as_str()).copied();
+        all_observed &= observed.is_some();
+        for batch in 0..batches {
+            let (start, end) = batch_bounds(total, batches, batch);
+            jobs.push(ShardJob {
+                id: next_id,
+                slot,
+                batch,
+                batches,
+                name: name.clone(),
+                frame: render_job_frame(next_id, name, program, spec, batch, batches),
+                stage_vcs: batch_stage_slice(&prepared, start, end),
+                vc_count: end - start,
+                cost: observed.unwrap_or(0) / batches as u64,
+                attempts: 0,
+                last_error: String::new(),
+            });
+            next_id += 1;
+        }
     }
-    // Longest first (by VC count): the most expensive proofs start
-    // immediately, so the corpus tail is short jobs instead of one
-    // straggler.
-    jobs.sort_by_key(|job| (std::cmp::Reverse(job.vc_count), job.index));
+    // Longest first: the most expensive proofs start immediately, so the
+    // corpus tail is short jobs instead of one straggler. Measured wall
+    // time beats the VC-count estimate, but only once every program has
+    // an observation — a mixed ordering would starve the unmeasured.
+    if all_observed {
+        jobs.sort_by_key(|job| (std::cmp::Reverse(job.cost), job.id));
+    } else {
+        jobs.sort_by_key(|job| (std::cmp::Reverse(job.vc_count), job.id));
+    }
     jobs
 }
 
@@ -1043,8 +1210,9 @@ struct ShardPool {
     job_timeout: Duration,
     /// Pending jobs, longest-first; idle handlers steal from the front.
     queue: Mutex<VecDeque<ShardJob>>,
-    /// Completed entries, keyed by corpus index.
-    done: Mutex<Vec<(usize, CorpusEntry)>>,
+    /// Completed (partial) entries, keyed by corpus slot and batch index;
+    /// the coordinator merges a slot's batches after the run.
+    done: Mutex<Vec<(usize, usize, CorpusEntry)>>,
 }
 
 impl ShardPool {
@@ -1052,11 +1220,11 @@ impl ShardPool {
         self.queue.lock().expect("shard queue").pop_front()
     }
 
-    fn complete(&self, index: usize, entry: CorpusEntry) {
+    fn complete(&self, slot: usize, batch: usize, entry: CorpusEntry) {
         self.done
             .lock()
             .expect("shard results")
-            .push((index, entry));
+            .push((slot, batch, entry));
     }
 
     /// Charges one failed attempt against `job`. Returns `true` once the
@@ -1078,7 +1246,7 @@ impl ShardPool {
                 job.attempts, job.last_error
             ))),
         };
-        self.complete(job.index, entry);
+        self.complete(job.slot, job.batch, entry);
         true
     }
 
@@ -1108,7 +1276,7 @@ impl ShardPool {
                 let handle = worker.as_mut().expect("worker spawned");
                 match run_job_on_worker(handle, &job, self.job_timeout) {
                     Ok(entry) => {
-                        self.complete(job.index, entry);
+                        self.complete(job.slot, job.batch, entry);
                         continue 'jobs;
                     }
                     Err(e) => {
@@ -1141,10 +1309,10 @@ fn run_job_on_worker(
     worker.send(&job.frame)?;
     let line = worker.recv(job_timeout)?;
     let wire = parse_result_frame(&line).map_err(|e| format!("malformed result frame: {e}"))?;
-    if wire.id != job.index {
+    if wire.id != job.id {
         return Err(format!(
             "result frame for job {} while awaiting job {}",
-            wire.id, job.index
+            wire.id, job.id
         ));
     }
     if let Some(error) = wire.error {
@@ -1233,6 +1401,61 @@ pub(crate) fn rebuild_report(
     })
 }
 
+/// Merges a program's completed batch partials (in any arrival order)
+/// into the single [`CorpusEntry`] a whole-program job would have
+/// produced: per-stage results concatenate in batch order (batches are
+/// contiguous slices of the generation order), statistics sum, and
+/// `elapsed_ms` is the *maximum* across batches (they ran in parallel).
+/// Any failed batch fails the program with that batch's error. Shared by
+/// the shard coordinator and the service client.
+pub(crate) fn merge_batch_entries(mut parts: Vec<(usize, CorpusEntry)>) -> CorpusEntry {
+    parts.sort_by_key(|(batch, _)| *batch);
+    if parts.len() == 1 {
+        return parts.pop().expect("one part").1;
+    }
+    if let Some(pos) = parts.iter().position(|(_, part)| part.outcome.is_err()) {
+        return parts.swap_remove(pos).1;
+    }
+    let name = parts[0].1.name.clone();
+    let mut elapsed_ms = 0u64;
+    let mut stages = StageSet::none();
+    let mut original = Report::default();
+    let mut intermediate: Option<Report> = None;
+    let mut relaxed = Report::default();
+    let mut engine = EngineStats::default();
+    for (_, part) in parts {
+        elapsed_ms = elapsed_ms.max(part.elapsed_ms);
+        let report = part.outcome.expect("errors handled above");
+        engine.absorb(&report.engine);
+        if report.stages.original {
+            stages = stages.with(Stage::Original);
+        }
+        if report.stages.relaxed {
+            stages = stages.with(Stage::Relaxed);
+        }
+        original.merge(report.original);
+        if let Some(part_intermediate) = report.intermediate {
+            stages = stages.with(Stage::Intermediate);
+            intermediate
+                .get_or_insert_with(Report::default)
+                .merge(part_intermediate);
+        }
+        relaxed.merge(report.relaxed);
+    }
+    CorpusEntry {
+        name,
+        elapsed_ms,
+        lint: Vec::new(),
+        outcome: Ok(AcceptabilityReport {
+            stages,
+            original,
+            intermediate,
+            relaxed,
+            engine,
+        }),
+    }
+}
+
 /// Runs a corpus across worker processes — the implementation behind
 /// [`CorpusPolicy::Sharded`](crate::api::CorpusPolicy::Sharded). See the
 /// [module docs](self) for the architecture.
@@ -1245,12 +1468,6 @@ pub(crate) fn run_corpus_sharded(
     let config = verifier.config();
     let stages = config.stages;
     let count = entries.len();
-    let shards = shards.clamp(1, count.max(1));
-
-    // Per-worker thread budget: the leftover parallelism once programs
-    // fan out across processes (mirrors the in-process corpus driver).
-    let budget = config.discharge_config().effective_parallelism();
-    let per_worker = (budget / shards).max(1);
 
     let mut report = CorpusReport {
         stages,
@@ -1258,26 +1475,71 @@ pub(crate) fn run_corpus_sharded(
     };
 
     let mut slots: Vec<Option<CorpusEntry>> = (0..count).map(|_| None).collect();
-    let jobs = prepare_jobs(stages, &entries, &mut slots);
+    let jobs = prepare_jobs(
+        stages,
+        &entries,
+        &mut slots,
+        config.goal_shards,
+        &verifier.cost_snapshot(),
+    );
+    // Goal batching can yield more jobs than programs, so the process
+    // fan-out clamps to the *job* count: one huge program split into
+    // batches still saturates every worker.
+    let shards = shards.clamp(1, jobs.len().max(1));
+
+    // Per-worker thread budget: the leftover parallelism once jobs fan
+    // out across processes (mirrors the in-process corpus driver).
+    let budget = config.discharge_config().effective_parallelism();
+    let per_worker = (budget / shards).max(1);
 
     if !jobs.is_empty() {
         match resolve_worker(config) {
             Ok(binary) => {
+                let job_count = jobs.len();
+                // Batches scheduled per slot, to verify merge completeness.
+                let mut expected = vec![0usize; count];
+                for job in &jobs {
+                    expected[job.slot] = job.batches;
+                }
                 let pool = ShardPool {
                     binary,
                     config_frame: render_config_frame(config, per_worker),
                     ready_timeout: config.ready_timeout,
                     job_timeout: config.job_timeout,
                     queue: Mutex::new(jobs.into()),
-                    done: Mutex::new(Vec::with_capacity(count)),
+                    done: Mutex::new(Vec::with_capacity(job_count)),
                 };
                 std::thread::scope(|scope| {
                     for _ in 0..shards {
                         scope.spawn(|| pool.handler());
                     }
                 });
-                for (index, entry) in pool.done.into_inner().expect("shard results") {
-                    slots[index] = Some(entry);
+                let mut parts: Vec<Vec<(usize, CorpusEntry)>> =
+                    (0..count).map(|_| Vec::new()).collect();
+                for (slot, batch, entry) in pool.done.into_inner().expect("shard results") {
+                    parts[slot].push((batch, entry));
+                }
+                for (slot, list) in parts.into_iter().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    if list.len() != expected[slot] {
+                        // Unreachable by construction (every queued job
+                        // completes or errors); degrade loudly rather
+                        // than merge a partial program.
+                        slots[slot] = Some(CorpusEntry {
+                            name: list[0].1.name.clone(),
+                            elapsed_ms: 0,
+                            lint: Vec::new(),
+                            outcome: Err(CorpusError::Shard(format!(
+                                "{} of {} goal batches were lost by the pool",
+                                expected[slot] - list.len().min(expected[slot]),
+                                expected[slot]
+                            ))),
+                        });
+                        continue;
+                    }
+                    slots[slot] = Some(merge_batch_entries(list));
                 }
             }
             Err(reason) => {
@@ -1286,7 +1548,7 @@ pub(crate) fn run_corpus_sharded(
                 // fallback — a sharded run that was not sharded would
                 // corrupt benchmark conclusions).
                 for job in jobs {
-                    slots[job.index] = Some(CorpusEntry {
+                    slots[job.slot] = Some(CorpusEntry {
                         name: job.name,
                         elapsed_ms: 0,
                         lint: Vec::new(),
@@ -1378,7 +1640,7 @@ mod tests {
         format!(
             "{}\n{}\n",
             render_config_frame(&config, 1),
-            render_job_frame(0, "toy", &program, &spec)
+            render_job_frame(0, "toy", &program, &spec, 0, 1)
         )
     }
 
@@ -1432,8 +1694,8 @@ mod tests {
             format!(
                 "{}\n{}\n{}\n",
                 render_config_frame(config, 1),
-                render_job_frame(0, "first", &program, &spec),
-                render_job_frame(1, "second", &program, &spec)
+                render_job_frame(0, "first", &program, &spec, 0, 1),
+                render_job_frame(1, "second", &program, &spec, 0, 1)
             )
         };
         let shared = Config {
@@ -1546,6 +1808,255 @@ mod tests {
             spec.rel_pre,
             parse_rel_formula(&spec.rel_pre.to_string()).unwrap()
         );
+    }
+
+    #[test]
+    fn batch_bounds_are_balanced_contiguous_and_covering() {
+        for total in [0usize, 1, 5, 7, 16, 100] {
+            for batches in [1usize, 2, 3, 5, 16] {
+                let batches = batches.min(total.max(1));
+                let mut cursor = 0;
+                let mut sizes = Vec::new();
+                for batch in 0..batches {
+                    let (start, end) = batch_bounds(total, batches, batch);
+                    assert_eq!(start, cursor, "total={total} batches={batches}");
+                    assert!(end >= start);
+                    sizes.push(end - start);
+                    cursor = end;
+                }
+                assert_eq!(cursor, total, "batches must cover the sequence");
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stage_slice_partitions_every_stage() {
+        let (program, spec) = toy();
+        let mut prepared = Vec::new();
+        for stage in [Stage::Original, Stage::Relaxed] {
+            prepared.push((stage, stage_vcs(stage, &program, &spec).unwrap()));
+        }
+        let total: usize = prepared.iter().map(|(_, vcs)| vcs.len()).sum();
+        assert!(total >= 2, "toy program should have several obligations");
+        let batches = 2.min(total);
+        let mut rebuilt: Vec<Vec<Vc>> = vec![Vec::new(); prepared.len()];
+        for batch in 0..batches {
+            let (start, end) = batch_bounds(total, batches, batch);
+            let slices = batch_stage_slice(&prepared, start, end);
+            // Every stage stays present, even when its slice is empty.
+            assert_eq!(slices.len(), prepared.len());
+            for (i, (stage, vcs)) in slices.into_iter().enumerate() {
+                assert_eq!(stage, prepared[i].0);
+                rebuilt[i].extend(vcs);
+            }
+        }
+        for (rebuilt_stage, (_, vcs)) in rebuilt.iter().zip(&prepared) {
+            assert_eq!(rebuilt_stage.len(), vcs.len());
+            for (got, want) in rebuilt_stage.iter().zip(vcs) {
+                assert_eq!(got.name, want.name);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_batch_jobs_reassemble_to_the_whole_program_verdicts() {
+        let (program, spec) = toy();
+        let config = Config {
+            workers: 1,
+            ..Config::default()
+        };
+        let direct = Verifier::builder()
+            .workers(1)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
+        let total = direct.original.results.len() + direct.relaxed.results.len();
+        assert!(total >= 2);
+        let batches = 2;
+        let frames = format!(
+            "{}\n{}\n{}\n",
+            render_config_frame(&config, 1),
+            render_job_frame(0, "toy", &program, &spec, 0, batches),
+            render_job_frame(1, "toy", &program, &spec, 1, batches),
+        );
+        let (result, output) = drive_worker(&frames, Fault::None);
+        result.unwrap();
+        let mut wire_verdicts: Vec<Vec<(Validity, bool)>> = Vec::new();
+        for line in output.lines().skip(1) {
+            let wire = parse_result_frame(line).unwrap();
+            assert!(wire.error.is_none(), "{:?}", wire.error);
+            // Both batches report the full stage spectrum.
+            assert_eq!(wire.stages.len(), 2);
+            for (i, stage) in wire.stages.into_iter().enumerate() {
+                if wire_verdicts.len() <= i {
+                    wire_verdicts.push(Vec::new());
+                }
+                wire_verdicts[i].extend(stage.verdicts);
+            }
+        }
+        let direct_stages = [&direct.original, &direct.relaxed];
+        for (rebuilt, direct_report) in wire_verdicts.iter().zip(direct_stages) {
+            assert_eq!(rebuilt.len(), direct_report.results.len());
+            for ((verdict, _), expected) in rebuilt.iter().zip(&direct_report.results) {
+                assert_eq!(verdict, &expected.verdict);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_rejects_inconsistent_batch_coordinates() {
+        let (program, spec) = toy();
+        let config = Config {
+            workers: 1,
+            ..Config::default()
+        };
+        // Far more batches than the toy program has obligations.
+        let frames = format!(
+            "{}\n{}\n",
+            render_config_frame(&config, 1),
+            render_job_frame(0, "toy", &program, &spec, 0, 10_000),
+        );
+        let (result, output) = drive_worker(&frames, Fault::None);
+        result.unwrap();
+        let wire = parse_result_frame(output.lines().nth(1).unwrap()).unwrap();
+        assert!(wire.error.unwrap().contains("inconsistent"));
+    }
+
+    #[test]
+    fn prepare_jobs_splits_programs_into_goal_batches() {
+        let (program, spec) = toy();
+        let entries = vec![("toy".to_string(), &program, &spec)];
+        let mut slots: Vec<Option<CorpusEntry>> = vec![None];
+        let costs = std::collections::HashMap::new();
+        let whole = prepare_jobs(StageSet::default(), &entries, &mut slots, 1, &costs);
+        assert_eq!(whole.len(), 1);
+        assert_eq!((whole[0].batch, whole[0].batches), (0, 1));
+        let total = whole[0].vc_count;
+        assert!(total >= 2);
+
+        let mut slots: Vec<Option<CorpusEntry>> = vec![None];
+        let split = prepare_jobs(StageSet::default(), &entries, &mut slots, 2, &costs);
+        assert_eq!(split.len(), 2, "one program fans out into two jobs");
+        let mut ids: Vec<usize> = split.iter().map(|job| job.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1], "wire ids are corpus-unique");
+        assert!(split.iter().all(|job| job.slot == 0));
+        assert_eq!(split.iter().map(|job| job.vc_count).sum::<usize>(), total);
+
+        // More shards than goals clamps to one goal per batch.
+        let mut slots: Vec<Option<CorpusEntry>> = vec![None];
+        let fine = prepare_jobs(StageSet::default(), &entries, &mut slots, 10_000, &costs);
+        assert_eq!(fine.len(), total);
+        assert!(fine.iter().all(|job| job.vc_count == 1));
+    }
+
+    #[test]
+    fn prepare_jobs_orders_by_observed_cost_once_history_is_complete() {
+        let (program, spec) = toy();
+        // Two copies of the same program: identical VC counts, so the
+        // estimate cannot distinguish them — the measured history must.
+        let entries = vec![
+            ("fast".to_string(), &program, &spec),
+            ("slow".to_string(), &program, &spec),
+        ];
+        let mut slots: Vec<Option<CorpusEntry>> = vec![None, None];
+        let mut costs = std::collections::HashMap::new();
+        costs.insert("fast".to_string(), 5u64);
+        costs.insert("slow".to_string(), 500u64);
+        let jobs = prepare_jobs(StageSet::default(), &entries, &mut slots, 1, &costs);
+        assert_eq!(jobs[0].name, "slow", "measured longest-first");
+        assert_eq!(jobs[1].name, "fast");
+
+        // Incomplete history falls back to the VC-count estimate with
+        // id (corpus-order) tie-breaking.
+        costs.remove("fast");
+        let mut slots: Vec<Option<CorpusEntry>> = vec![None, None];
+        let jobs = prepare_jobs(StageSet::default(), &entries, &mut slots, 1, &costs);
+        assert_eq!(jobs[0].name, "fast", "estimate ties break by id");
+    }
+
+    #[test]
+    fn merge_batch_entries_reassembles_partial_reports() {
+        let (program, spec) = toy();
+        let entries = vec![("toy".to_string(), &program, &spec)];
+        let mut slots: Vec<Option<CorpusEntry>> = vec![None];
+        let costs = std::collections::HashMap::new();
+        let jobs = prepare_jobs(StageSet::default(), &entries, &mut slots, 2, &costs);
+        assert_eq!(jobs.len(), 2);
+        let session = Verifier::builder().workers(1).build();
+        // Simulate each batch worker-side and rebuild the partial
+        // entries exactly as the coordinator does, deliberately merging
+        // in reverse arrival order.
+        let mut parts = Vec::new();
+        for job in jobs.iter().rev() {
+            let report = run_batch_job(&session, &program, &spec, job.batch, job.batches).unwrap();
+            let frame = render_result_frame(job.id, &report, 7);
+            let wire = parse_result_frame(&frame).unwrap();
+            let rebuilt = rebuild_report(job, wire.stages, wire.engine).unwrap();
+            parts.push((
+                job.batch,
+                CorpusEntry {
+                    name: job.name.clone(),
+                    elapsed_ms: wire.elapsed_ms,
+                    lint: Vec::new(),
+                    outcome: Ok(rebuilt),
+                },
+            ));
+        }
+        let merged = merge_batch_entries(parts);
+        let direct = Verifier::builder()
+            .workers(1)
+            .build()
+            .check(&program, &spec)
+            .unwrap();
+        let report = merged.outcome.unwrap();
+        assert_eq!(merged.elapsed_ms, 7, "elapsed is the max across batches");
+        assert_eq!(report.original.results.len(), direct.original.results.len());
+        assert_eq!(report.relaxed.results.len(), direct.relaxed.results.len());
+        for (got, want) in report
+            .original
+            .results
+            .iter()
+            .chain(&report.relaxed.results)
+            .zip(
+                direct
+                    .original
+                    .results
+                    .iter()
+                    .chain(&direct.relaxed.results),
+            )
+        {
+            assert_eq!(got.vc.name, want.vc.name, "generation order survives");
+            assert_eq!(got.verdict, want.verdict);
+        }
+    }
+
+    #[test]
+    fn merge_batch_entries_fails_the_program_on_a_failed_batch() {
+        let ok = CorpusEntry {
+            name: "p".to_string(),
+            elapsed_ms: 3,
+            lint: Vec::new(),
+            outcome: Ok(AcceptabilityReport {
+                stages: StageSet::default(),
+                original: Report::default(),
+                intermediate: None,
+                relaxed: Report::default(),
+                engine: EngineStats::default(),
+            }),
+        };
+        let failed = CorpusEntry {
+            name: "p".to_string(),
+            elapsed_ms: 0,
+            lint: Vec::new(),
+            outcome: Err(CorpusError::Shard("batch 1 died".to_string())),
+        };
+        let merged = merge_batch_entries(vec![(0, ok), (1, failed)]);
+        let err = merged.outcome.unwrap_err();
+        assert!(err.to_string().contains("batch 1 died"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct Vc {
     pub context: String,
     /// The formula to prove valid.
     pub body: VcBody,
+    /// Fragment ids (see [`crate::depmap::fragment_id`]) of every program
+    /// statement and spec formula whose text this obligation's formula was
+    /// built from — the goal→fragment dependency map recorded at vcgen
+    /// time. Sorted and deduplicated; an edit to any listed fragment may
+    /// change the obligation, an edit to none of them cannot.
+    pub deps: Vec<String>,
 }
 
 /// Splits a formula into its top-level conjuncts, flattening nested

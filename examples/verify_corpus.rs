@@ -31,11 +31,23 @@
 //! The final `service: clients=.. disk_hits=.. solver_runs=..` line is
 //! its machine-readable signal (warm store ⇒ `solver_runs=0` with
 //! cross-client disk hits).
+//!
+//! With `--edit-reverify` the example becomes the goal-dependency-map
+//! gate: verify the corpus cold into a scratch persistent store, patch
+//! one case-study spec, re-verify, and assert the solver ran **exactly
+//! once per goal the edit dirtied** — with an untouched sibling program
+//! replayed from the store without any solver work — before checking
+//! the incremental report verdict-identical to a full in-process run.
+//! The final `edit-reverify: ..` line is the CI `edit-reverify` job's
+//! machine-readable signal.
 
 use relaxed_programs::{casestudies, CorpusPolicy, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|arg| arg == "--edit-reverify") {
+        return edit_reverify_main();
+    }
     let sharded_flag = args.iter().any(|arg| arg == "--sharded");
     let service_flag = args.iter().position(|arg| arg == "--service");
     let verifier = Verifier::from_env();
@@ -100,15 +112,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let warm = verifier.check_corpus_named(&corpus);
     assert_eq!(warm.engine.cache_misses, 0, "warm pass must not re-solve");
-    assert!(
-        warm.cross_program_hits() > 0,
-        "expected cross-program cache hits, got stats {:?}",
-        warm.engine
-    );
-    println!(
-        "warm revalidation: {} verdicts, all served across programs from the session cache",
-        warm.engine.cache_hits
-    );
+    if std::env::var_os("DISCHARGE_CACHE").is_some() && verifier.config().depmap {
+        // Under a persistent store the goal dependency map replays whole
+        // unchanged programs without regenerating their VCs, so reuse
+        // surfaces as per-goal replay hits rather than cross-program
+        // hits (the `--edit-reverify` mode gates that path precisely).
+        assert!(
+            warm.engine.cache_hits > 0,
+            "expected replayed verdicts, got stats {:?}",
+            warm.engine
+        );
+        println!(
+            "warm revalidation: {} verdicts replayed through the goal dependency map",
+            warm.engine.cache_hits
+        );
+    } else {
+        assert!(
+            warm.cross_program_hits() > 0,
+            "expected cross-program cache hits, got stats {:?}",
+            warm.engine
+        );
+        println!(
+            "warm revalidation: {} verdicts, all served across programs from the session cache",
+            warm.engine.cache_hits
+        );
+    }
 
     // With DISCHARGE_CACHE set, the session cache outlives the process:
     // report the disk-level numbers (and flush explicitly so an I/O
@@ -154,7 +182,15 @@ fn sharded_main() -> Result<(), Box<dyn std::error::Error>> {
         baseline_session.persist()?;
     }
 
-    let sharded_session = Verifier::builder().env().shards(shards).build();
+    // Replay off for the sharded session: with the baseline's depmap
+    // sidecar on disk the whole corpus would replay in-process before
+    // any job shipped, and this gate exists to exercise cross-process
+    // verification (`--edit-reverify` covers the replay path).
+    let sharded_session = Verifier::builder()
+        .env()
+        .shards(shards)
+        .depmap(false)
+        .build();
     let report = sharded_session.check_corpus_named(&corpus);
     println!("{report}");
     println!("{}", report.to_json());
@@ -225,7 +261,14 @@ fn service_main(addr: String) -> Result<(), Box<dyn std::error::Error>> {
                 let addr = addr.clone();
                 let corpus = &corpus;
                 scope.spawn(move || {
-                    let session = Verifier::builder().env().service(addr).build();
+                    // Replay off: a client that replays the baseline's
+                    // depmap locally never contacts the daemon, and this
+                    // gate exists to exercise the service protocol.
+                    let session = Verifier::builder()
+                        .env()
+                        .service(addr)
+                        .depmap(false)
+                        .build();
                     session.check_corpus_named(corpus)
                 })
             })
@@ -274,5 +317,143 @@ fn service_main(addr: String) -> Result<(), Box<dyn std::error::Error>> {
     }
     // The machine-readable line the CI service-corpus job gates on.
     println!("service: clients={CLIENTS} disk_hits={disk_hits} solver_runs={solver_runs}");
+    Ok(())
+}
+
+/// The edit→re-verify mode (`--edit-reverify`): the CI gate for the goal
+/// dependency map. Always runs against its own scratch store (ignoring
+/// `DISCHARGE_CACHE`) so reruns start from a known-cold state.
+fn edit_reverify_main() -> Result<(), Box<dyn std::error::Error>> {
+    use relaxed_programs::core::depmap::{dirty_goals, goal_deps, program_hash, ProgramDeps};
+    use relaxed_programs::core::vcgen::Vc;
+    use relaxed_programs::core::EngineStats;
+    use relaxed_programs::lang::{parse_formula, Program};
+    use relaxed_programs::{CachePolicy, CorpusReport, Spec, Stage};
+
+    // A scratch persistent store (the depmap is its sidecar). Recreated
+    // from scratch on every run: the assertions below count the solver
+    // work of one specific edit, so a store warmed by a *previous*
+    // edit-reverify run would make them vacuous.
+    let dir = std::env::temp_dir().join(format!("edit-reverify-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let cache_path = dir.join("corpus.verdicts.jsonl");
+    let session = |depmap: bool| {
+        Verifier::builder()
+            .env()
+            .corpus(CorpusPolicy::InProcess)
+            .cache(CachePolicy::Persistent {
+                path: cache_path.clone(),
+            })
+            .depmap(depmap)
+            .build()
+    };
+
+    // Cold pass: prove the whole corpus, persist verdicts + depmap.
+    let corpus = casestudies::corpus();
+    let cold_session = session(true);
+    let cold = cold_session.check_corpus_named(&corpus);
+    cold_session.persist()?;
+    println!(
+        "cold pass: {} programs, {} solver runs in {}ms",
+        cold.len(),
+        cold.engine.cache_misses,
+        cold.elapsed_ms
+    );
+
+    // The edit: strengthen swish's precondition. Every goal whose
+    // formula embeds the precondition text changes key; everything else
+    // — including the five other programs — is textually untouched.
+    const EDITED: &str = "swish";
+    const SIBLING: &str = "water";
+    let mut edited = corpus.clone();
+    let slot = edited
+        .iter()
+        .position(|(name, _, _)| *name == EDITED)
+        .expect("edited program is in the corpus");
+    edited[slot].2.pre = parse_formula("max_r >= 1 && N >= 0").expect("edited pre parses");
+
+    // Expected re-proof count, from the dependency map's own arithmetic:
+    // goals of the edited revision whose keys the stored revision does
+    // not already hold (everything else replays from the verdict cache).
+    let stages: Vec<Stage> = [Stage::Original, Stage::Intermediate, Stage::Relaxed]
+        .into_iter()
+        .filter(|stage| cold_session.config().stages.contains(*stage))
+        .collect();
+    let staged = |program: &Program, spec: &Spec| -> Vec<(Stage, Vec<Vc>)> {
+        stages
+            .iter()
+            .map(|&stage| {
+                let vcs = cold_session
+                    .stage(stage)
+                    .vcs(program, spec)
+                    .expect("case study generates VCs");
+                (stage, vcs)
+            })
+            .collect()
+    };
+    let old = ProgramDeps {
+        hash: program_hash(&corpus[slot].1, &corpus[slot].2),
+        goals: goal_deps(&staged(&corpus[slot].1, &corpus[slot].2)),
+    };
+    let fresh = goal_deps(&staged(&edited[slot].1, &edited[slot].2));
+    let dirty = dirty_goals(&old, &fresh).len() as u64;
+    assert!(dirty > 0, "the spec edit must dirty at least one goal");
+
+    // Re-verify the edited corpus in a fresh session — a new process in
+    // CI terms: everything it knows comes from the store and its
+    // sidecar.
+    let reverify_session = session(true);
+    let started = std::time::Instant::now();
+    let report = reverify_session.check_corpus_named(&edited);
+    let reverify_ms = started.elapsed().as_secs_f64() * 1e3;
+    reverify_session.persist()?;
+
+    let entry_stats = |report: &CorpusReport, name: &str| -> EngineStats {
+        report
+            .entries
+            .iter()
+            .find(|entry| entry.name == name)
+            .and_then(|entry| entry.outcome.as_ref().ok())
+            .unwrap_or_else(|| panic!("{name} must have a staged report"))
+            .engine
+    };
+    let edited_stats = entry_stats(&report, EDITED);
+    assert_eq!(
+        edited_stats.cache_misses, dirty,
+        "solver runs for {EDITED} must equal the goals the edit dirtied"
+    );
+    let sibling_stats = entry_stats(&report, SIBLING);
+    assert_eq!(
+        sibling_stats.cache_misses, 0,
+        "untouched sibling {SIBLING} must replay without solver work"
+    );
+    assert_eq!(
+        report.engine.cache_misses, dirty,
+        "corpus-wide solver work must be exactly the dirtied goals"
+    );
+
+    // The equivalence gate: the incremental report must agree verdict
+    // for verdict with a full in-process run that regenerates and checks
+    // every goal (replay off; the warm store still answers verdicts).
+    let full_session = session(false);
+    let started = std::time::Instant::now();
+    let full = full_session.check_corpus_named(&edited);
+    let full_warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    report
+        .verdicts_match(&full)
+        .expect("incremental report must be verdict-identical to the full in-process run");
+    println!("incremental report is verdict-identical to the full in-process run");
+
+    // The machine-readable line the CI edit-reverify job gates on.
+    println!(
+        "edit-reverify: edited={EDITED} dirty_goals={dirty} of {} solver_runs={} \
+         sibling={SIBLING} sibling_solver_runs={} reverify_ms={reverify_ms:.1} \
+         full_warm_ms={full_warm_ms:.1}",
+        fresh.len(),
+        edited_stats.cache_misses,
+        sibling_stats.cache_misses
+    );
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

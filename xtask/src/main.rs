@@ -4,7 +4,11 @@
 //! local verification and CI cannot drift. `verify` runs only the ROADMAP
 //! tier-1 gate (`cargo build --release && cargo test -q`). `bench-json`
 //! runs the benchmark harness with machine-readable output enabled and
-//! writes the `BENCH_<date>.json` perf-trajectory artifact CI uploads.
+//! writes the `BENCH_<date>.json` perf-trajectory artifact CI uploads
+//! (`BENCH_DATE=YYYY-MM-DD` overrides the date stamp). `bench-check`
+//! compares a fresh `BENCH_<date>.json` against the committed
+//! `BENCH_BASELINE.json` and fails on a >25% mean regression in any
+//! regression-gated group.
 
 use std::env;
 use std::path::PathBuf;
@@ -95,6 +99,23 @@ const CI_EXAMPLES_BENCH: &[Step] = &[
     // and assert cross-program cache reuse.
     Step(
         &["cargo", "run", "--release", "--example", "verify_corpus"],
+        &[],
+    ),
+    // The edit-reverify job: patch one case-study spec against a warm
+    // store and assert the solver re-ran exactly once per goal the edit
+    // dirtied, with an untouched sibling replayed verbatim (the example
+    // asserts all of this internally, plus verdict equivalence against
+    // a full in-process run).
+    Step(
+        &[
+            "cargo",
+            "run",
+            "--release",
+            "--example",
+            "verify_corpus",
+            "--",
+            "--edit-reverify",
+        ],
         &[],
     ),
     Step(&["cargo", "bench", "--no-run", "--workspace"], &[]),
@@ -295,7 +316,7 @@ fn bench_json() {
         }
     }
 
-    let date = utc_date();
+    let date = bench_date();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"date\": \"{date}\",\n"));
     out.push_str("  \"groups\": [\n");
@@ -352,6 +373,36 @@ fn extract_u128(record: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+/// The date stamp for `BENCH_<date>.json`: the `BENCH_DATE` environment
+/// override when it is a plausible `YYYY-MM-DD`, else today's UTC date.
+/// A malformed override warns and falls back — a bench artifact with a
+/// system date beats no artifact at all.
+fn bench_date() -> String {
+    match env::var("BENCH_DATE") {
+        Ok(date) if !date.is_empty() => {
+            if is_iso_date(&date) {
+                date
+            } else {
+                eprintln!(
+                    "xtask: warning: BENCH_DATE {date:?} is not YYYY-MM-DD; using the system date"
+                );
+                utc_date()
+            }
+        }
+        _ => utc_date(),
+    }
+}
+
+/// Shape check for `YYYY-MM-DD` (digits and dashes in the right places —
+/// calendar validity is the caller's business, filename hygiene is ours).
+fn is_iso_date(s: &str) -> bool {
+    s.len() == 10
+        && s.char_indices().all(|(i, c)| match i {
+            4 | 7 => c == '-',
+            _ => c.is_ascii_digit(),
+        })
+}
+
 /// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono in
 /// an offline build): days-since-epoch to civil date via the standard
 /// Gregorian conversion.
@@ -374,22 +425,251 @@ fn utc_date() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+// ---------------------------------------------------------------------
+// bench-check: the regression gate over the bench trajectory
+// ---------------------------------------------------------------------
+
+/// The regression-gated groups: a >[`BENCH_CHECK_TOLERANCE_PCT`]% mean
+/// slowdown in any of these fails `bench-check`. Other groups appear in
+/// the trajectory table for information only (they cover workloads whose
+/// wall time is dominated by process spawns or the sampling floor).
+const BENCH_CHECK_GROUPS: &[&str] = &[
+    "check_corpus",
+    "shard_corpus",
+    "service_throughput",
+    "persistent_cache",
+];
+
+/// Mean-regression tolerance, in percent over the baseline mean.
+const BENCH_CHECK_TOLERANCE_PCT: u128 = 25;
+
+/// Reads the `"groups"` section of a `BENCH_*.json` /
+/// `BENCH_BASELINE.json` artifact as `(group, mean_ns)` pairs. The files
+/// are written by `bench_json`, one group object per line.
+fn read_bench_groups(path: &str) -> Vec<(String, u128)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-check: failed to read {path}: {e}"));
+    let mut groups = Vec::new();
+    for line in text.lines() {
+        let Some(start) = line.find("{\"group\": \"") else {
+            continue;
+        };
+        let rest = &line[start + "{\"group\": \"".len()..];
+        let Some(end) = rest.find('"') else { continue };
+        let group = rest[..end].to_string();
+        let Some(mean_at) = rest.find("\"mean_ns\": ") else {
+            continue;
+        };
+        let digits: String = rest[mean_at + "\"mean_ns\": ".len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(mean_ns) = digits.parse() {
+            groups.push((group, mean_ns));
+        }
+    }
+    if groups.is_empty() {
+        panic!("bench-check: no group records in {path}");
+    }
+    groups
+}
+
+/// The pure core of `bench-check`: renders the trajectory table rows and
+/// collects the failures. A group in `required` fails when its fresh
+/// mean exceeds the baseline mean by more than `tolerance_pct` percent,
+/// or when either side lacks it; every other group is informational.
+fn compare_bench_groups(
+    baseline: &[(String, u128)],
+    fresh: &[(String, u128)],
+    required: &[&str],
+    tolerance_pct: u128,
+) -> (Vec<String>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (group, base_mean) in baseline {
+        let gated = required.contains(&group.as_str());
+        let Some((_, fresh_mean)) = fresh.iter().find(|(g, _)| g == group) else {
+            if gated {
+                failures.push(format!("{group}: missing from the fresh run"));
+            }
+            rows.push(format!("| {group} | {base_mean} | — | — | missing |"));
+            continue;
+        };
+        let delta_pct =
+            (*fresh_mean as f64 - *base_mean as f64) / (*base_mean as f64).max(1.0) * 100.0;
+        let regressed = *fresh_mean * 100 > *base_mean * (100 + tolerance_pct);
+        let status = match (gated, regressed) {
+            (true, true) => "FAIL",
+            (true, false) => "ok",
+            (false, _) => "info",
+        };
+        rows.push(format!(
+            "| {group} | {base_mean} | {fresh_mean} | {delta_pct:+.1}% | {status} |"
+        ));
+        if gated && regressed {
+            failures.push(format!(
+                "{group}: mean {fresh_mean}ns vs baseline {base_mean}ns \
+                 ({delta_pct:+.1}% > +{tolerance_pct}%)"
+            ));
+        }
+    }
+    for group in required {
+        if !baseline.iter().any(|(g, _)| g == group) {
+            failures.push(format!("{group}: missing from the baseline"));
+            rows.push(format!("| {group} | — | — | — | missing |"));
+        }
+    }
+    (rows, failures)
+}
+
+/// Compares a fresh bench artifact (the argument, or the newest
+/// `BENCH_*.json` in the workspace root) against `BENCH_BASELINE.json`,
+/// prints the trajectory table (and appends it to the GitHub job summary
+/// when `GITHUB_STEP_SUMMARY` is set), and exits nonzero on any gated
+/// regression.
+fn bench_check(fresh_path: Option<String>) {
+    let fresh_path = fresh_path.unwrap_or_else(|| {
+        let mut candidates: Vec<String> = std::fs::read_dir(".")
+            .expect("read workspace root")
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|name| {
+                name.starts_with("BENCH_")
+                    && name.ends_with(".json")
+                    && name != "BENCH_BASELINE.json"
+            })
+            .collect();
+        candidates.sort();
+        candidates.pop().unwrap_or_else(|| {
+            eprintln!(
+                "bench-check: no BENCH_<date>.json found (run `cargo xtask bench-json` first)"
+            );
+            exit(2);
+        })
+    });
+    eprintln!("xtask> bench-check {fresh_path} vs BENCH_BASELINE.json");
+    let baseline = read_bench_groups("BENCH_BASELINE.json");
+    let fresh = read_bench_groups(&fresh_path);
+    let (rows, failures) = compare_bench_groups(
+        &baseline,
+        &fresh,
+        BENCH_CHECK_GROUPS,
+        BENCH_CHECK_TOLERANCE_PCT,
+    );
+
+    let mut table = String::from("## Bench trajectory\n\n");
+    table.push_str(&format!(
+        "Baseline `BENCH_BASELINE.json` vs `{fresh_path}` \
+         (gate: >{BENCH_CHECK_TOLERANCE_PCT}% mean regression in {})\n\n",
+        BENCH_CHECK_GROUPS.join(", ")
+    ));
+    table.push_str("| group | baseline mean_ns | fresh mean_ns | delta | status |\n");
+    table.push_str("|---|---:|---:|---:|---|\n");
+    for row in &rows {
+        table.push_str(row);
+        table.push('\n');
+    }
+    println!("{table}");
+    if let Ok(summary) = env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().append(true).open(&summary) {
+            let _ = writeln!(file, "{table}");
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("bench-check: all gated groups within tolerance");
+    } else {
+        for failure in &failures {
+            eprintln!("bench-check: REGRESSION {failure}");
+        }
+        exit(1);
+    }
+}
+
 fn main() {
     let task = env::args().nth(1).unwrap_or_default();
     match task.as_str() {
         "ci" => ci(),
         "verify" => run(VERIFY),
         "bench-json" => bench_json(),
+        "bench-check" => bench_check(env::args().nth(2)),
         _ => {
-            eprintln!("usage: cargo xtask <ci|verify|bench-json>");
+            eprintln!("usage: cargo xtask <ci|verify|bench-json|bench-check>");
             eprintln!(
-                "  ci          fmt + clippy + build --release + doc + test (5 schedules) + examples + sharded/service corpus jobs + bench --no-run"
+                "  ci          fmt + clippy + build --release + doc + test (5 schedules) + examples + sharded/service corpus + edit-reverify jobs + bench --no-run"
             );
             eprintln!("  verify      the ROADMAP tier-1 gate: build --release && test -q");
             eprintln!(
-                "  bench-json  run the bench harness and write BENCH_<date>.json (perf trajectory)"
+                "  bench-json  run the bench harness and write BENCH_<date>.json (perf trajectory; BENCH_DATE=YYYY-MM-DD overrides the stamp)"
+            );
+            eprintln!(
+                "  bench-check compare BENCH_<date>.json (arg or newest) against BENCH_BASELINE.json; fail on >25% gated mean regression"
             );
             exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(pairs: &[(&str, u128)]) -> Vec<(String, u128)> {
+        pairs.iter().map(|(g, m)| (g.to_string(), *m)).collect()
+    }
+
+    /// The red path the gate exists for: a 2x slowdown in a gated group
+    /// must fail, and the table row must say so.
+    #[test]
+    fn doubled_mean_in_a_gated_group_fails() {
+        let baseline = groups(&[("check_corpus", 1_000_000), ("smt", 500)]);
+        let fresh = groups(&[("check_corpus", 2_000_000), ("smt", 500)]);
+        let (rows, failures) = compare_bench_groups(&baseline, &fresh, &["check_corpus"], 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("check_corpus"), "{failures:?}");
+        assert!(failures[0].contains("+100.0%"), "{failures:?}");
+        assert!(rows.iter().any(|r| r.contains("FAIL")), "{rows:?}");
+    }
+
+    /// Within tolerance (and any drift in ungated groups) passes.
+    #[test]
+    fn tolerated_drift_and_ungated_groups_pass() {
+        let baseline = groups(&[("check_corpus", 1_000_000), ("smt", 500)]);
+        // +20% gated (under the 25% gate), 10x ungated.
+        let fresh = groups(&[("check_corpus", 1_200_000), ("smt", 5_000)]);
+        let (rows, failures) = compare_bench_groups(&baseline, &fresh, &["check_corpus"], 25);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(rows.iter().any(|r| r.contains("| ok |")), "{rows:?}");
+        assert!(rows.iter().any(|r| r.contains("| info |")), "{rows:?}");
+    }
+
+    /// A gated group missing from either artifact is a failure, never a
+    /// silent pass.
+    #[test]
+    fn missing_gated_groups_fail() {
+        let both = groups(&[("check_corpus", 1_000)]);
+        let empty = groups(&[("smt", 1)]);
+        let (_, failures) = compare_bench_groups(&both, &empty, &["check_corpus"], 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        let (_, failures) = compare_bench_groups(&empty, &both, &["check_corpus"], 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    /// Exactly-at-threshold is not a regression (the gate is strict-`>`).
+    #[test]
+    fn exactly_at_threshold_passes() {
+        let baseline = groups(&[("check_corpus", 100)]);
+        let fresh = groups(&[("check_corpus", 125)]);
+        let (_, failures) = compare_bench_groups(&baseline, &fresh, &["check_corpus"], 25);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn bench_date_shape_check() {
+        assert!(is_iso_date("2026-08-08"));
+        assert!(!is_iso_date("2026-8-8"));
+        assert!(!is_iso_date("yesterday"));
+        assert!(!is_iso_date("2026-08-08T00:00:00Z"));
     }
 }
