@@ -19,6 +19,9 @@
 //!   construction), with static-hit and group-rate gauges;
 //! * `check_corpus` — corpus-scale batch verification of all six
 //!   case-study programs through one `Verifier` session;
+//! * `telemetry_overhead` — the same cold corpus untraced (telemetry's
+//!   disabled fast path, bench-check-gated) vs traced into a Chrome
+//!   trace file, with a spans-per-corpus gauge;
 //! * `persistent_cache` — warm corpus re-verification from the on-disk
 //!   verdict store (session load + zero-solver discharge + persist);
 //! * `edit_reverify` — incremental re-verification after a one-spec
@@ -328,6 +331,47 @@ fn corpus_batch(c: &mut Criterion) {
         "check_corpus/cross_program_hits",
         report.engine.cross_hits as f64,
     );
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let corpus = casestudies::corpus();
+    // The disabled fast path: no trace file configured, so every
+    // instrumentation point is one relaxed atomic load. This benchmark
+    // is in the bench-check gate, pinning the disabled-path cost of the
+    // telemetry layer against the committed baseline.
+    group.bench_function("untraced_corpus", |b| {
+        b.iter(|| {
+            let verifier = Verifier::builder().workers(1).build();
+            let report = verifier.check_corpus_named(&corpus);
+            assert_eq!(report.len(), 6);
+            report
+        })
+    });
+    // The same cold workload with span collection on: each iteration's
+    // session owns the trace file, so its drop writes and resets the
+    // sink (the write is part of the measured traced cost).
+    let path =
+        std::env::temp_dir().join(format!("relaxed-bench-trace-{}.json", std::process::id()));
+    group.bench_function("traced_corpus", |b| {
+        b.iter(|| {
+            let verifier = Verifier::builder().workers(1).trace_file(&path).build();
+            let report = verifier.check_corpus_named(&corpus);
+            assert_eq!(report.len(), 6);
+            report
+        })
+    });
+    group.finish();
+    // Span-count gauge: how many events one cold traced corpus run
+    // records (a collapsing count flags instrumentation silently lost).
+    let session = Verifier::builder().workers(1).trace_file(&path).build();
+    session.check_corpus_named(&corpus);
+    let spans = relaxed_core::telemetry::snapshot().len();
+    drop(session);
+    let _ = std::fs::remove_file(&path);
+    eprintln!("telemetry_overhead: {spans} spans per cold corpus run");
+    c.report_metric("telemetry_overhead/spans_per_corpus", spans as f64);
 }
 
 fn persistent_cache(c: &mut Criterion) {
@@ -737,6 +781,7 @@ criterion_group!(
     discharge_incremental,
     static_prefilter,
     corpus_batch,
+    telemetry_overhead,
     persistent_cache,
     edit_reverify,
     shard_corpus,

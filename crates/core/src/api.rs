@@ -320,6 +320,12 @@ pub struct Config {
     /// verdict-equivalent either way. Settable via `DISCHARGE_DEPMAP`
     /// (`0`/`1`).
     pub depmap: bool,
+    /// Chrome trace-event output path (see [`crate::telemetry`]):
+    /// `Some(path)` enables span collection for the session's lifetime
+    /// and writes the trace when the last tracing session drops. `None`
+    /// (the default) keeps telemetry off — the instrumented hot paths
+    /// cost one atomic load. Settable via `DISCHARGE_TRACE=<path>`.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -340,6 +346,7 @@ impl Default for Config {
             job_timeout: discharge.job_timeout,
             goal_shards: 1,
             depmap: true,
+            trace: None,
         }
     }
 }
@@ -384,6 +391,8 @@ impl Config {
     /// sharded/service runs, see [`Config::goal_shards`]),
     /// `DISCHARGE_DEPMAP` (`0` disables the goal→fragment dependency map
     /// and its replay fast path, `1` — the default — enables it),
+    /// `DISCHARGE_TRACE` (a file path enabling telemetry and selecting
+    /// the Chrome trace-event output, see [`crate::telemetry`]),
     /// `RELAXED_SHARDD` (explicit worker-binary path), and
     /// `RELAXED_SERVICE` (a `host:port` address selecting
     /// [`CorpusPolicy::Service`]).
@@ -490,6 +499,18 @@ impl Config {
                 };
             }
         }
+        if let Some(raw) = lookup("DISCHARGE_TRACE") {
+            let path = raw.trim();
+            if path.is_empty() {
+                warnings.push(EnvWarning {
+                    var: "DISCHARGE_TRACE",
+                    value: raw,
+                    expected: "a non-empty trace-output file path",
+                });
+            } else {
+                config.trace = Some(PathBuf::from(path));
+            }
+        }
         if let Some(raw) = lookup("RELAXED_SHARDD") {
             let path = raw.trim();
             if path.is_empty() {
@@ -557,6 +578,7 @@ pub struct VerifierBuilder {
     job_timeout: Option<std::time::Duration>,
     goal_shards: Option<usize>,
     depmap: Option<bool>,
+    trace: Option<PathBuf>,
 }
 
 impl VerifierBuilder {
@@ -690,6 +712,17 @@ impl VerifierBuilder {
         self
     }
 
+    /// Enables telemetry for the built session and writes the Chrome
+    /// trace-event JSON to `path` when the last tracing session drops
+    /// (see [`crate::telemetry`]; `DISCHARGE_TRACE=<path>` under the env
+    /// layer). Spans cover vcgen, encoding, cache traffic, per-goal
+    /// solves (with solver-stats deltas), shard jobs, and service
+    /// admission — load the file in `about://tracing` or Perfetto.
+    pub fn trace_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Sets every field at once from a [`Config`] (each counts as
     /// builder-set for precedence; later per-field calls still override).
     pub fn config(mut self, config: Config) -> Self {
@@ -707,6 +740,7 @@ impl VerifierBuilder {
         self.job_timeout = Some(config.job_timeout);
         self.goal_shards = Some(config.goal_shards);
         self.depmap = Some(config.depmap);
+        self.trace = config.trace;
         self
     }
 
@@ -732,7 +766,14 @@ impl VerifierBuilder {
             job_timeout: self.job_timeout.unwrap_or(base.job_timeout),
             goal_shards: self.goal_shards.unwrap_or(base.goal_shards).max(1),
             depmap: self.depmap.unwrap_or(base.depmap),
+            trace: self.trace.or(base.trace),
         };
+        // Acquire the trace before the engine exists so the cache-load
+        // span of a persistent session lands in the timeline.
+        let owns_trace = config.trace.is_some();
+        if let Some(path) = &config.trace {
+            crate::telemetry::acquire_file(path);
+        }
         let mut engine = match &config.cache {
             CachePolicy::Persistent { path } => {
                 DischargeEngine::with_cache_file(config.discharge_config(), path.clone())
@@ -751,6 +792,7 @@ impl VerifierBuilder {
             cost_history: Mutex::new(std::collections::HashMap::new()),
             depmap: OnceLock::new(),
             lint_memo: Mutex::new(std::collections::HashMap::new()),
+            owns_trace,
         };
         // Load the dependency-map sidecar alongside the verdict store:
         // session build is where a persistent session pays its disk
@@ -809,6 +851,9 @@ pub struct Verifier {
     /// reuses the lint of its (unchanged) revision instead of re-running
     /// the static analysis on every incremental re-verification.
     lint_memo: Mutex<std::collections::HashMap<String, Vec<String>>>,
+    /// Whether this session holds a telemetry trace-file ownership
+    /// (released on drop; the last release writes the trace).
+    owns_trace: bool,
 }
 
 impl Default for Verifier {
@@ -819,10 +864,15 @@ impl Default for Verifier {
 
 impl Drop for Verifier {
     /// Best-effort write-back of the dependency-map sidecar (the engine
-    /// persists the verdict store in its own drop).
+    /// persists the verdict store in its own drop) and release of the
+    /// session's telemetry trace ownership (the last tracing session's
+    /// release writes the trace file).
     fn drop(&mut self) {
         if let Err(e) = self.persist_depmap() {
             crate::diag::warn(format_args!("could not persist depmap: {e}"));
+        }
+        if self.owns_trace {
+            crate::telemetry::release();
         }
     }
 }
@@ -1030,12 +1080,18 @@ impl Verifier {
             Some(resident) => {
                 let resident = resident.lock().expect("depmap lock");
                 for (i, (name, program, spec)) in entries.iter().enumerate() {
+                    let mut replay_span = crate::telemetry::span("depmap", "replay_decision");
+                    if replay_span.is_active() {
+                        replay_span.arg("program", name.as_str());
+                    }
                     let entry = resident.map.program(name).and_then(|stored| {
                         if stored.hash != crate::depmap::program_hash(program, spec) {
                             return None;
                         }
                         self.replay_entry(name, program, spec, stored)
                     });
+                    replay_span.arg("replayed", u64::from(entry.is_some()));
+                    drop(replay_span);
                     match entry {
                         Some(entry) => {
                             if let Ok(report) = &entry.outcome {
@@ -1307,13 +1363,19 @@ impl Verifier {
             let sink: Mutex<Vec<(usize, CorpusEntry)>> = Mutex::new(Vec::with_capacity(count));
             std::thread::scope(|scope| {
                 for _ in 0..fanout {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some((name, program, spec)) = entries.get(i) else {
-                            break;
-                        };
-                        let entry = run_one(name, program, spec);
-                        sink.lock().expect("sink lock").push((i, entry));
+                    scope.spawn(|| {
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((name, program, spec)) = entries.get(i) else {
+                                break;
+                            };
+                            let entry = run_one(name, program, spec);
+                            sink.lock().expect("sink lock").push((i, entry));
+                        }
+                        // Scoped threads signal completion before their
+                        // thread-local destructors run: flush this lane's
+                        // spans before the scope joins, not after.
+                        crate::telemetry::drain_thread();
                     });
                 }
             });
@@ -1373,6 +1435,20 @@ fn program_deps(
         hash: crate::depmap::program_hash(program, spec),
         goals: crate::depmap::goal_deps(&staged),
     })
+}
+
+/// Renders the phase wall-time breakdown of `stats` as a JSON object —
+/// the `phase_ms` field of corpus-report entries and aggregates, so
+/// "where did the time go" survives in the report even with telemetry
+/// off.
+fn render_phase_ms(stats: &EngineStats) -> String {
+    format!(
+        "{{\"vcgen\": {}, \"encode\": {}, \"solve\": {}, \"cache\": {}}}",
+        stats.elapsed_vcgen_ms,
+        stats.elapsed_encode_ms,
+        stats.elapsed_solve_ms,
+        stats.elapsed_cache_ms
+    )
 }
 
 /// [`crate::analysis::lint`] rendered to the strings a [`CorpusEntry`]
@@ -1672,6 +1748,8 @@ impl CorpusReport {
                         "static_hits",
                         &report.engine.static_hits.to_string(),
                     );
+                    out.push_str(", ");
+                    json_field(&mut out, "phase_ms", &render_phase_ms(&report.engine));
                 }
                 Err(error) => {
                     out.push_str(", ");
@@ -1759,6 +1837,8 @@ impl CorpusReport {
         );
         out.push_str(", ");
         json_field(&mut out, "workers", &self.engine.workers.to_string());
+        out.push_str(", ");
+        json_field(&mut out, "phase_ms", &render_phase_ms(&self.engine));
         out.push_str(", ");
         json_field(&mut out, "elapsed_ms", &self.elapsed_ms.to_string());
         out.push_str(", ");

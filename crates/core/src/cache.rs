@@ -559,23 +559,39 @@ pub(crate) fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Jso
 // same conventions) stays dependency-free. Anything else on a line is a
 // parse error, which the loader treats as corruption (skip + warn).
 
+/// A parsed value of the crate's minimal JSON dialect (see
+/// [`parse_json`]).
 #[derive(Debug)]
-pub(crate) enum Json {
+pub enum Json {
+    /// A string literal.
     Str(String),
+    /// An integer (the dialect has no floats).
     Int(i128),
+    /// An object, fields in input order.
     Obj(Vec<(String, Json)>),
+    /// An array.
     Arr(Vec<Json>),
 }
 
 impl Json {
-    pub(crate) fn as_object(&self) -> Result<&[(String, Json)], String> {
+    /// The value's fields, or an error when it is not an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the value is not an object.
+    pub fn as_object(&self) -> Result<&[(String, Json)], String> {
         match self {
             Json::Obj(fields) => Ok(fields),
             _ => Err("record is not an object".to_string()),
         }
     }
 
-    pub(crate) fn as_array(&self) -> Result<&[Json], String> {
+    /// The value's items, or an error when it is not an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the value is not an array.
+    pub fn as_array(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(items) => Ok(items),
             _ => Err("value is not an array".to_string()),
@@ -583,7 +599,16 @@ impl Json {
     }
 }
 
-pub(crate) fn parse_json(line: &str) -> Result<Json, String> {
+/// Parses one value of the minimal JSON dialect this crate writes —
+/// objects, arrays, strings, integers; no floats, booleans, or nulls.
+/// Public so consumers (tests, the `verify_corpus --trace` validator)
+/// can check the crate's own JSON artifacts without a serde
+/// dependency.
+///
+/// # Errors
+///
+/// Returns a position-annotated description of the first syntax error.
+pub fn parse_json(line: &str) -> Result<Json, String> {
     let chars: Vec<char> = line.chars().collect();
     let mut at = 0usize;
     let value = parse_value(&chars, &mut at)?;

@@ -15,6 +15,8 @@ pub(crate) fn quiet() -> bool {
 }
 
 /// Writes one `relaxed-core:`-prefixed warning to stderr unless quieted.
+// The one sanctioned library print site: every other module routes here.
+#[allow(clippy::print_stderr)]
 pub(crate) fn warn(message: fmt::Arguments<'_>) {
     if !quiet() {
         eprintln!("relaxed-core: {message}");

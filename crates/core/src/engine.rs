@@ -219,6 +219,17 @@ pub struct EngineStats {
     /// engine-level stats, the thread count actually used for
     /// report-level stats (capped by the number of unsolved goals).
     pub workers: usize,
+    /// Wall milliseconds spent generating obligations (vcgen), folded
+    /// in by the staged pipeline — the engine itself never runs vcgen.
+    pub elapsed_vcgen_ms: u64,
+    /// Wall milliseconds spent lowering goals to solver terms.
+    pub elapsed_encode_ms: u64,
+    /// Wall milliseconds spent in solver sessions (including prefilter
+    /// work that avoided them), summed across worker threads.
+    pub elapsed_solve_ms: u64,
+    /// Wall milliseconds spent probing, loading, refreshing, and
+    /// persisting the verdict cache.
+    pub elapsed_cache_ms: u64,
 }
 
 impl EngineStats {
@@ -239,6 +250,10 @@ impl EngineStats {
         self.evicted += other.evicted;
         self.unique_goals += other.unique_goals;
         self.workers = self.workers.max(other.workers);
+        self.elapsed_vcgen_ms += other.elapsed_vcgen_ms;
+        self.elapsed_encode_ms += other.elapsed_encode_ms;
+        self.elapsed_solve_ms += other.elapsed_solve_ms;
+        self.elapsed_cache_ms += other.elapsed_cache_ms;
     }
 }
 
@@ -290,6 +305,13 @@ pub struct DischargeEngine {
     /// appends to the store. Only populated for persistent engines.
     pending: Mutex<Vec<GoalKey>>,
     store: Option<DiskStore>,
+    /// Cumulative phase clocks, in µs (reported in ms via
+    /// [`EngineStats`]): vcgen (folded in by the staged pipeline),
+    /// goal encoding, solver sessions, and cache I/O.
+    vcgen_us: AtomicU64,
+    encode_us: AtomicU64,
+    solve_us: AtomicU64,
+    cache_us: AtomicU64,
 }
 
 /// The on-disk backing of a persistent engine (see
@@ -367,6 +389,32 @@ const _: () = {
     assert_sync::<DischargeEngine>();
 };
 
+/// Whole microseconds since `started`, saturated into `u64`.
+fn elapsed_us(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// RAII phase clock: adds the guarded scope's wall time (µs) to a
+/// cumulative counter on drop, so early returns are counted too.
+struct PhaseTimer<'a> {
+    clock: &'a AtomicU64,
+    started: std::time::Instant,
+}
+
+fn phase(clock: &AtomicU64) -> PhaseTimer<'_> {
+    PhaseTimer {
+        clock,
+        started: std::time::Instant::now(),
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.clock
+            .fetch_add(elapsed_us(self.started), Ordering::Relaxed);
+    }
+}
+
 impl DischargeEngine {
     /// An engine with default configuration and an empty cache.
     pub fn new() -> Self {
@@ -389,6 +437,10 @@ impl DischargeEngine {
             dirty: std::sync::atomic::AtomicBool::new(false),
             pending: Mutex::new(Vec::new()),
             store: None,
+            vcgen_us: AtomicU64::new(0),
+            encode_us: AtomicU64::new(0),
+            solve_us: AtomicU64::new(0),
+            cache_us: AtomicU64::new(0),
         }
     }
 
@@ -412,6 +464,8 @@ impl DischargeEngine {
     /// written back by [`persist`](DischargeEngine::persist) and,
     /// best-effort, when the engine is dropped.
     pub fn with_cache_file(config: DischargeConfig, path: impl Into<PathBuf>) -> Self {
+        let started = std::time::Instant::now();
+        let mut load_span = crate::telemetry::span("cache", "cache_load");
         let path = path.into();
         let fingerprint = cache::fingerprint(&config);
         // Stat before reading: records appended concurrently with the
@@ -450,8 +504,16 @@ impl DischargeEngine {
             last_seen: Mutex::new(stamp),
             tail_ok: std::sync::atomic::AtomicBool::new(loaded.compatible),
         });
+        load_span.arg(
+            "loaded",
+            engine
+                .store
+                .as_ref()
+                .map_or(0u64, |s| s.loaded.load(Ordering::Relaxed)),
+        );
         engine.cache = Mutex::new(entries);
         engine.tick = AtomicU64::new(1);
+        engine.cache_us = AtomicU64::new(elapsed_us(started));
         engine
     }
 
@@ -489,6 +551,8 @@ impl DischargeEngine {
         let Some(store) = &self.store else {
             return 0;
         };
+        let _clock = phase(&self.cache_us);
+        let _span = crate::telemetry::span("cache", "cache_refresh");
         let now = FileStamp::of(&store.path);
         let seen = *store.last_seen.lock().expect("store stamp lock");
         let loaded = match (now, seen) {
@@ -568,6 +632,8 @@ impl DischargeEngine {
         let Some(store) = &self.store else {
             return Ok(0);
         };
+        let _clock = phase(&self.cache_us);
+        let _span = crate::telemetry::span("cache", "cache_persist");
         // Snapshot (and compact) under the lock, write without it: the
         // rendering, the file write, and the fsync must not stall
         // concurrent discharge threads waiting on cache lookups. The
@@ -647,6 +713,8 @@ impl DischargeEngine {
         let Some(store) = &self.store else {
             return Ok(0);
         };
+        let _clock = phase(&self.cache_us);
+        let _span = crate::telemetry::span("cache", "cache_append");
         let batch: Vec<GoalKey> = std::mem::take(&mut *self.pending.lock().expect("pending lock"));
         if batch.is_empty() {
             return Ok(0);
@@ -708,7 +776,18 @@ impl DischargeEngine {
             evicted: self.evicted.load(Ordering::Relaxed),
             unique_goals: self.cache.lock().expect("cache lock").len() as u64,
             workers: self.config.effective_parallelism(),
+            elapsed_vcgen_ms: self.vcgen_us.load(Ordering::Relaxed) / 1000,
+            elapsed_encode_ms: self.encode_us.load(Ordering::Relaxed) / 1000,
+            elapsed_solve_ms: self.solve_us.load(Ordering::Relaxed) / 1000,
+            elapsed_cache_ms: self.cache_us.load(Ordering::Relaxed) / 1000,
         }
+    }
+
+    /// Folds vcgen wall time into the engine's phase clocks — called by
+    /// the staged pipeline ([`crate::verify`]), which runs vcgen before
+    /// handing the obligations to the engine.
+    pub(crate) fn note_vcgen_us(&self, us: u64) {
+        self.vcgen_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Replays a set of goals from the verdict cache without encoding or
@@ -758,6 +837,10 @@ impl DischargeEngine {
     /// a worker-count override and an owner tag for cross-owner hit
     /// accounting (see [`DischargeOptions`]).
     pub fn discharge_with(&self, vcs: Vec<Vc>, opts: DischargeOptions) -> Report {
+        let mut call_span = crate::telemetry::span("engine", "discharge");
+        call_span.arg("vcs", vcs.len());
+        let encode_started = std::time::Instant::now();
+        let mut encode_span = crate::telemetry::span("engine", "encode");
         // Encode with a fresh context per VC: bound-variable numbering
         // restarts per goal, so the encoded BTerm is a canonical key.
         let goals: Vec<BTerm> = vcs.iter().map(encode_goal).collect();
@@ -781,6 +864,13 @@ impl DischargeEngine {
         // rendering per unique goal serves both the in-memory map and the
         // persistent store.
         let keys: Vec<GoalKey> = unique_goals.iter().map(|goal| GoalKey::of(goal)).collect();
+        encode_span.arg("unique_goals", unique_goals.len());
+        drop(encode_span);
+        let call_encode_us = elapsed_us(encode_started);
+        self.encode_us.fetch_add(call_encode_us, Ordering::Relaxed);
+
+        let cache_started = std::time::Instant::now();
+        let mut probe_span = crate::telemetry::span("engine", "cache_probe");
         let mut verdicts: Vec<Option<Validity>> = vec![None; unique_goals.len()];
         let mut from_cache: Vec<bool> = vec![false; unique_goals.len()];
         let mut cross_owner: Vec<bool> = vec![false; unique_goals.len()];
@@ -801,7 +891,12 @@ impl DischargeEngine {
                 }
             }
         }
+        probe_span.arg("hits", unique_goals.len() - work.len());
+        probe_span.arg("misses", work.len());
+        drop(probe_span);
+        let mut call_cache_us = elapsed_us(cache_started);
 
+        let solve_started = std::time::Instant::now();
         // Static prefilter: before any solver is built, an interval /
         // constant-propagation evaluation over the interned goal DAG
         // discharges trivially-valid goals — tautologies, conclusions
@@ -814,6 +909,7 @@ impl DischargeEngine {
         // in the cache under the same key).
         let mut solved: Vec<(usize, Validity, SolverStats)> = Vec::new();
         if self.config.prefilter && !work.is_empty() {
+            let mut prefilter_span = crate::telemetry::span("engine", "prefilter");
             let mut pre = Prefilter::new();
             work.retain(|&gi| {
                 let proved = pre.proves(unique_goals[gi]);
@@ -824,6 +920,7 @@ impl DischargeEngine {
             });
             self.statics
                 .fetch_add(solved.len() as u64, Ordering::Relaxed);
+            prefilter_span.arg("static_hits", solved.len());
         }
         let call_statics = solved.len() as u64;
 
@@ -915,11 +1012,38 @@ impl DischargeEngine {
             .effective_workers(work.len()),
             None => self.config.effective_workers(work.len()),
         };
+        // Solve-span labels: the goal's cache key, bounded so one huge
+        // formula cannot bloat the trace.
+        let goal_label = |gi: usize| -> String {
+            let key = keys[gi].render();
+            if key.len() > 96 {
+                key.chars().take(96).collect()
+            } else {
+                key
+            }
+        };
+        // Attaches the solver-stats delta of one goal to its solve span.
+        let span_stats = |span: &mut crate::telemetry::SpanGuard, stats: &SolverStats| {
+            span.arg("conflicts", stats.sat.conflicts);
+            span.arg("pivots", stats.pivots);
+            span.arg("restarts", stats.sat.restarts);
+        };
         let solve_fresh = |gi: usize| {
+            let mut span = crate::telemetry::span("engine", "solve");
+            if span.is_active() {
+                span.arg("goal", goal_label(gi));
+            }
             let mut solver =
                 Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
-            let verdict = solver.check_valid(unique_goals[gi]);
-            (gi, verdict, solver.stats())
+            let verdict = {
+                let _check = crate::telemetry::span("solver", "check");
+                solver.check_valid(unique_goals[gi])
+            };
+            let stats = solver.stats();
+            if span.is_active() {
+                span_stats(&mut span, &stats);
+            }
+            (gi, verdict, stats)
         };
         let solve_unit = |unit: &Unit| -> Vec<(usize, Validity, SolverStats)> {
             let (conjuncts, members) = match unit {
@@ -930,6 +1054,11 @@ impl DischargeEngine {
                 }
                 Unit::Group { conjuncts, members } => (conjuncts, members),
             };
+            let mut session_span = crate::telemetry::span("solver", "session");
+            if session_span.is_active() {
+                session_span.arg("members", members.len());
+                session_span.arg("conjuncts", conjuncts.len());
+            }
             let mut solver =
                 Solver::with_budgets(self.config.max_conflicts, self.config.branch_budget);
             let mut session = solver.session();
@@ -942,13 +1071,23 @@ impl DischargeEngine {
                     let BTerm::Implies(_, c) = unique_goals[gi] else {
                         unreachable!("grouped goals are implications");
                     };
+                    let mut span = crate::telemetry::span("engine", "solve");
+                    if span.is_active() {
+                        span.arg("goal", goal_label(gi));
+                    }
                     // Per-goal statistics are the session counters'
                     // advance over this one scoped check, so folding them
                     // per VC reconstructs the session totals exactly.
                     let before = session.stats();
-                    let verdict = session.check_valid(c);
+                    let verdict = {
+                        let _check = crate::telemetry::span("solver", "check");
+                        session.check_valid(c)
+                    };
                     let mut stats = session.stats().delta_since(&before);
                     if exact || matches!(verdict, Validity::Valid) {
+                        if span.is_active() {
+                            span_stats(&mut span, &stats);
+                        }
                         return (gi, verdict, stats);
                     }
                     // The sliced hypothesis is strictly weaker than the
@@ -957,6 +1096,9 @@ impl DischargeEngine {
                     // statistics fold into this goal's).
                     let (gi, verdict, fresh) = solve_fresh(gi);
                     stats.absorb(&fresh);
+                    if span.is_active() {
+                        span_stats(&mut span, &stats);
+                    }
                     (gi, verdict, stats)
                 })
                 .collect()
@@ -969,11 +1111,17 @@ impl DischargeEngine {
                 Mutex::new(Vec::with_capacity(work.len()));
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(unit) = units.get(k) else { break };
-                        let outcome = solve_unit(unit);
-                        sink.lock().expect("sink lock").extend(outcome);
+                    scope.spawn(|| {
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(unit) = units.get(k) else { break };
+                            let outcome = solve_unit(unit);
+                            sink.lock().expect("sink lock").extend(outcome);
+                        }
+                        // Scoped threads signal completion before their
+                        // thread-local destructors run: flush this lane's
+                        // spans before the scope joins, not after.
+                        crate::telemetry::drain_thread();
                     });
                 }
             });
@@ -981,9 +1129,12 @@ impl DischargeEngine {
         };
         solved.extend(pool_solved);
         solved.sort_unstable_by_key(|(gi, _, _)| *gi);
+        let call_solve_us = elapsed_us(solve_started);
+        self.solve_us.fetch_add(call_solve_us, Ordering::Relaxed);
 
         // Publish the new verdicts to the cross-call cache under this
         // call's owner tag.
+        let publish_started = std::time::Instant::now();
         {
             let mut cache = self.cache.lock().expect("cache lock");
             for (gi, verdict, _) in &solved {
@@ -1010,6 +1161,8 @@ impl DischargeEngine {
                 self.dirty.store(true, std::sync::atomic::Ordering::Relaxed);
             }
         }
+        call_cache_us += elapsed_us(publish_started);
+        self.cache_us.fetch_add(call_cache_us, Ordering::Relaxed);
         let mut solved_stats: Vec<Option<SolverStats>> = vec![None; unique_goals.len()];
         for (gi, verdict, stats) in solved {
             verdicts[gi] = Some(verdict);
@@ -1067,7 +1220,15 @@ impl DischargeEngine {
             evicted: 0,
             unique_goals: call_misses,
             workers,
+            // Vcgen happens upstream of the engine; the staged pipeline
+            // fills this in on the stage report.
+            elapsed_vcgen_ms: 0,
+            elapsed_encode_ms: call_encode_us / 1000,
+            elapsed_solve_ms: call_solve_us / 1000,
+            elapsed_cache_ms: call_cache_us / 1000,
         };
+        call_span.arg("solved", call_misses);
+        drop(call_span);
         report
     }
 }

@@ -50,6 +50,9 @@
 //!   (`relaxed-serviced`): a long-running daemon with a warm worker
 //!   fleet and a resident verdict cache, serving concurrent corpus
 //!   requests over TCP behind [`CorpusPolicy::Service`];
+//! * [`telemetry`] — zero-dependency tracing and metrics: RAII spans
+//!   drained to Chrome trace-event JSON (`DISCHARGE_TRACE=path.json`)
+//!   and a Prometheus-rendered [`MetricsRegistry`];
 //! * [`encode`] — lowering of assertion-logic formulas to the
 //!   `relaxed-smt` solver;
 //! * [`analysis`] — array detection, relaxation-dependence (taint)
@@ -87,6 +90,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not print: route diagnostics through `relaxed_core::diag`
+// (see README "Observability"). Bin entry points opt out locally.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod analysis;
 pub mod api;
@@ -100,6 +106,7 @@ pub mod prefilter;
 pub mod rules;
 pub mod service;
 pub mod shard;
+pub mod telemetry;
 pub mod vcgen;
 pub mod verify;
 
@@ -112,6 +119,7 @@ pub use cache::{CacheWarning, GoalKey};
 pub use engine::{DischargeConfig, DischargeEngine, DischargeOptions, EngineStats};
 pub use prefilter::{group_keys, normalize, GroupKeys, NormalizedHypothesis, Prefilter};
 pub use service::{Service, ServiceOptions, ServiceStatus};
+pub use telemetry::MetricsRegistry;
 pub use verify::{AcceptabilityReport, Report, Spec, VcResult};
 // The deprecated free-function drivers stay re-exported so existing
 // `relaxed_core::verify_acceptability`-style paths keep resolving (with a

@@ -35,6 +35,7 @@
 //! {"type":"job","id":7,...}     {"type":"result","id":7,...}
 //!                               {"type":"busy","id":7,"retry_after_ms":25}
 //! {"type":"status"}             {"type":"status","fleet":N,...}
+//! {"type":"metrics"}            {"type":"metrics","text":"…Prometheus…"}
 //! {"type":"shutdown"}           {"type":"bye","served":S}
 //! ```
 //!
@@ -136,6 +137,10 @@ struct Daemon {
     served: AtomicU64,
     rejected: AtomicU64,
     draining: AtomicBool,
+    /// Session-resident metrics, served as Prometheus text over the
+    /// `metrics` control frame: request counters, queue/fleet gauges
+    /// (set at scrape time), and the request-latency histogram.
+    metrics: crate::telemetry::MetricsRegistry,
     /// The resident session: holds the persistent verdict cache warm in
     /// daemon memory (loaded at startup, refreshed after every job) so
     /// status introspection and post-drain persistence never wait on a
@@ -150,6 +155,8 @@ impl Daemon {
         let mut state = self.state.lock().expect("service state");
         if state.active >= self.queue_cap {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .counter_add("relaxed_requests_rejected_total", 1);
             return false;
         }
         state.active += 1;
@@ -167,9 +174,15 @@ impl Daemon {
     /// Checks a worker out of the idle fleet, waiting while all workers
     /// are busy elsewhere. Fails only when the whole fleet is dead.
     fn checkout(&self) -> Result<WorkerHandle, String> {
+        // The admission-queue wait: how long an admitted job sat between
+        // its `admit` and a worker becoming free.
+        let mut wait_span = crate::telemetry::span("service", "admit_wait");
         let mut state = self.state.lock().expect("service state");
         loop {
             if let Some(worker) = state.idle.pop() {
+                if wait_span.is_active() {
+                    wait_span.arg("worker", worker.lane);
+                }
                 return Ok(worker);
             }
             if state.alive == 0 {
@@ -208,6 +221,7 @@ impl Daemon {
     /// the raw response line to forward (a result frame, or an error
     /// frame when the attempts are exhausted).
     fn run_job_line(&self, id: usize, line: &str) -> String {
+        let job_started = Instant::now();
         let mut attempts = 0u32;
         let mut last_error = String::new();
         while attempts < MAX_ATTEMPTS {
@@ -220,6 +234,9 @@ impl Daemon {
                 Ok(response) => {
                     self.checkin(worker);
                     self.served.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.counter_add("relaxed_requests_served_total", 1);
+                    self.metrics
+                        .observe_ms("relaxed_request_latency_ms", elapsed_ms_since(job_started));
                     // Keep the resident cache warm with whatever verdicts
                     // the worker just appended to the shared store.
                     self.resident.engine().refresh_from_disk();
@@ -254,6 +271,28 @@ impl Daemon {
             self.served.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.resident.stats().loaded,
+        )
+    }
+
+    /// The `metrics` control frame: queue/fleet gauges stamped at scrape
+    /// time, then the registry as Prometheus text inside one JSON frame.
+    fn metrics_frame(&self) -> String {
+        {
+            let state = self.state.lock().expect("service state");
+            self.metrics
+                .gauge_set("relaxed_queue_depth", state.active as i64);
+            self.metrics
+                .gauge_set("relaxed_queue_depth_peak", state.peak_active as i64);
+            self.metrics.gauge_set(
+                "relaxed_fleet_busy",
+                state.alive.saturating_sub(state.idle.len()) as i64,
+            );
+            self.metrics
+                .gauge_set("relaxed_fleet_alive", state.alive as i64);
+        }
+        format!(
+            "{{\"type\":\"metrics\",\"proto\":{PROTOCOL_VERSION},\"text\":{}}}",
+            crate::cache::json_string(&self.metrics.render_prometheus())
         )
     }
 
@@ -360,6 +399,7 @@ impl Service {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            metrics: crate::telemetry::MetricsRegistry::new(),
             resident,
             config,
         });
@@ -497,9 +537,13 @@ fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream, local_addr: &str) 
                             .and_then(|()| w.write_all(b"\n"));
                     }
                     daemon.release();
+                    // Detached job threads may outlive a trace write:
+                    // flush this thread's spans while the job is hot.
+                    crate::telemetry::drain_thread();
                 });
             }
             Ok("status") => reply(&daemon.status_frame()),
+            Ok("metrics") => reply(&daemon.metrics_frame()),
             Ok("shutdown") => {
                 daemon.drain();
                 reply(&format!(
@@ -879,6 +923,27 @@ pub fn service_status(addr: &str, timeout: Duration) -> Result<ServiceStatus, St
     })
 }
 
+/// Fetches a running daemon's metrics as Prometheus text exposition
+/// (the payload of its `metrics` control frame): request counters,
+/// queue-depth / fleet-busy gauges, and the fixed-bucket request-latency
+/// histogram.
+///
+/// # Errors
+///
+/// Fails when the daemon is unreachable or replies with something other
+/// than a metrics frame.
+pub fn service_metrics(addr: &str, timeout: Duration) -> Result<String, String> {
+    let line = control_frame(addr, "{\"type\":\"metrics\"}", timeout)?;
+    let record = parse_json(&line).map_err(|e| format!("bad metrics frame: {e}"))?;
+    let fields = record
+        .as_object()
+        .map_err(|e| format!("bad metrics frame: {e}"))?;
+    if field_str(fields, "type") != Ok("metrics") {
+        return Err(format!("expected a metrics frame, got {line:?}"));
+    }
+    field_str(fields, "text").map(ToString::to_string)
+}
+
 /// Asks a running daemon to drain and exit gracefully (in-flight jobs
 /// finish, the fleet persists its verdicts, then the daemon stops
 /// accepting). Returns the total jobs served over the daemon's lifetime.
@@ -902,6 +967,8 @@ pub fn shutdown_service(addr: &str, timeout: Duration) -> Result<u64, String> {
 // The binary entry point
 // ---------------------------------------------------------------------
 
+// Bin-only helper: stderr here is `relaxed-serviced`'s own surface.
+#[allow(clippy::print_stderr)]
 fn env_usize(var: &str) -> Option<usize> {
     let raw = std::env::var(var).ok()?;
     match raw.trim().parse() {
@@ -918,6 +985,8 @@ fn env_usize(var: &str) -> Option<usize> {
 /// (`DISCHARGE_*` for the session config, `RELAXED_SERVICE_FLEET` /
 /// `RELAXED_SERVICE_QUEUE` as flag fallbacks), then serve until a
 /// `shutdown` frame drains the daemon.
+// Bin entry point: stdout/stderr are the process's own surface.
+#[allow(clippy::print_stderr)]
 pub fn service_main() -> std::process::ExitCode {
     let mut options = ServiceOptions::default();
     let (config, warnings) = Config::from_env();

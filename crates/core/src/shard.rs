@@ -250,10 +250,13 @@ pub(crate) fn render_config_frame(config: &Config, per_worker: usize) -> String 
     let per_program = u8::from(matches!(config.cache, CachePolicy::PerProgram));
     let incremental = u8::from(config.incremental);
     let prefilter = u8::from(config.prefilter);
+    // Coordinator-side tracing travels with the session: workers capture
+    // spans in memory and ship them back inside result frames.
+    let trace = u8::from(crate::telemetry::enabled());
     format!(
         "{{\"type\":\"config\",\"proto\":{PROTOCOL_VERSION},\"max_conflicts\":{},\
          \"branch_budget\":{},\"incremental\":{incremental},\"prefilter\":{prefilter},\
-         \"workers\":{per_worker},\
+         \"workers\":{per_worker},\"trace\":{trace},\
          \"stages\":{},\"cache\":{},\
          \"cache_max\":{},\"per_program\":{per_program}}}",
         config.max_conflicts,
@@ -303,18 +306,34 @@ fn render_solver_stats(out: &mut String, stats: &SolverStats) {
     ));
 }
 
-fn render_result_frame(id: usize, report: &AcceptabilityReport, elapsed_ms: u64) -> String {
+/// Span budget per result frame: a worker ships at most this many spans
+/// back, so a pathological job cannot balloon the frame (the dropped
+/// tail is the deepest-nested spans; the coarse phase picture survives).
+const MAX_FRAME_SPANS: usize = 4096;
+
+fn render_result_frame(
+    id: usize,
+    report: &AcceptabilityReport,
+    elapsed_ms: u64,
+    spans: &[crate::telemetry::Event],
+    mark_us: u64,
+) -> String {
     let engine = &report.engine;
     let mut out = format!(
         "{{\"type\":\"result\",\"id\":{id},\"elapsed_ms\":{elapsed_ms},\
          \"cache_hits\":{},\"cache_misses\":{},\"cross_hits\":{},\"disk_hits\":{},\
          \"static_hits\":{},\
+         \"vcgen_ms\":{},\"encode_ms\":{},\"solve_ms\":{},\"cache_ms\":{},\
          \"stages\":[",
         engine.cache_hits,
         engine.cache_misses,
         engine.cross_hits,
         engine.disk_hits,
         engine.static_hits,
+        engine.elapsed_vcgen_ms,
+        engine.elapsed_encode_ms,
+        engine.elapsed_solve_ms,
+        engine.elapsed_cache_ms,
     );
     let mut first = true;
     let mut stage_out = |stage: Stage, stage_report: &Report| {
@@ -345,7 +364,40 @@ fn render_result_frame(id: usize, report: &AcceptabilityReport, elapsed_ms: u64)
     if report.stages.relaxed {
         stage_out(Stage::Relaxed, &report.relaxed);
     }
-    out.push_str("]}");
+    out.push(']');
+    if !spans.is_empty() {
+        // Worker spans ride back as timestamps *relative to the job
+        // dispatch mark*: the coordinator re-anchors them into its own
+        // timeline (see `run_job_on_worker`), so the two processes never
+        // need a shared clock.
+        out.push_str(",\"spans\":[");
+        for (i, event) in spans.iter().take(MAX_FRAME_SPANS).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":{},\"rel_ts_us\":{},\"dur_us\":{},\"tid\":{}",
+                json_string(&event.name),
+                json_string(&event.cat),
+                event.ts_us.saturating_sub(mark_us),
+                event.dur_us,
+                event.tid,
+            ));
+            if !event.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (key, value)) in event.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json_string(key), value.render()));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
     out
 }
 
@@ -407,6 +459,10 @@ pub(crate) struct WireResult {
     pub(crate) elapsed_ms: u64,
     pub(crate) engine: EngineStats,
     pub(crate) stages: Vec<WireStage>,
+    /// Worker-side telemetry spans, `ts_us` still *relative* to the job
+    /// dispatch mark (`pid` is a placeholder until the coordinator
+    /// re-anchors them into its timeline).
+    pub(crate) spans: Vec<crate::telemetry::Event>,
     pub(crate) error: Option<String>,
 }
 
@@ -423,6 +479,7 @@ pub(crate) fn parse_result_frame(line: &str) -> Result<WireResult, String> {
             elapsed_ms: 0,
             engine: EngineStats::default(),
             stages: Vec::new(),
+            spans: Vec::new(),
             error: Some(error.clone()),
         });
     }
@@ -434,6 +491,12 @@ pub(crate) fn parse_result_frame(line: &str) -> Result<WireResult, String> {
         // Optional: a worker predating the static analysis layer simply
         // reports no static hits.
         static_hits: field_u64(fields, "static_hits").unwrap_or(0),
+        // Optional: phase timings from a worker predating the telemetry
+        // layer default to zero.
+        elapsed_vcgen_ms: field_u64(fields, "vcgen_ms").unwrap_or(0),
+        elapsed_encode_ms: field_u64(fields, "encode_ms").unwrap_or(0),
+        elapsed_solve_ms: field_u64(fields, "solve_ms").unwrap_or(0),
+        elapsed_cache_ms: field_u64(fields, "cache_ms").unwrap_or(0),
         ..EngineStats::default()
     };
     let mut stages = Vec::new();
@@ -460,11 +523,49 @@ pub(crate) fn parse_result_frame(line: &str) -> Result<WireResult, String> {
             verdicts,
         });
     }
+    // Optional: only present when the coordinator asked for tracing. A
+    // malformed span argument degrades to skipping that argument, never
+    // the frame — telemetry must not fail a verdict-bearing result.
+    let mut spans = Vec::new();
+    if let Some(items) = get(fields, "spans") {
+        for item in items.as_array()? {
+            let span_fields = item.as_object()?;
+            let mut args = Vec::new();
+            if let Some(arg_items) = get(span_fields, "args") {
+                for (key, value) in arg_items.as_object()? {
+                    let value = match value {
+                        Json::Int(n) => {
+                            if let Ok(unsigned) = u64::try_from(*n) {
+                                crate::telemetry::ArgValue::U64(unsigned)
+                            } else if let Ok(signed) = i64::try_from(*n) {
+                                crate::telemetry::ArgValue::I64(signed)
+                            } else {
+                                crate::telemetry::ArgValue::Str(n.to_string())
+                            }
+                        }
+                        Json::Str(s) => crate::telemetry::ArgValue::Str(s.clone()),
+                        _ => continue,
+                    };
+                    args.push((std::borrow::Cow::Owned(key.clone()), value));
+                }
+            }
+            spans.push(crate::telemetry::Event {
+                name: std::borrow::Cow::Owned(field_str(span_fields, "name")?.to_string()),
+                cat: std::borrow::Cow::Owned(field_str(span_fields, "cat")?.to_string()),
+                ts_us: field_u64(span_fields, "rel_ts_us")?,
+                dur_us: field_u64(span_fields, "dur_us")?,
+                pid: 0, // assigned when the coordinator re-anchors
+                tid: field_u64(span_fields, "tid")?,
+                args,
+            });
+        }
+    }
     Ok(WireResult {
         id,
         elapsed_ms: field_u64(fields, "elapsed_ms")?,
         engine,
         stages,
+        spans,
         error: None,
     })
 }
@@ -523,6 +624,8 @@ impl Fault {
 /// process's stdin/stdout with the [`Fault`] hook from the environment.
 /// The worker binary is a one-line `main` calling this, so the entire
 /// protocol implementation lives (and is unit-tested) in this module.
+// Bin entry point: stderr is the process's own surface, not a library's.
+#[allow(clippy::print_stderr)]
 pub fn worker_main() -> std::process::ExitCode {
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout().lock();
@@ -564,6 +667,13 @@ pub fn worker_loop(
             "config" => {
                 let config = parse_config_frame(fields).map_err(&violation)?;
                 verifier = Some(Verifier::with_config(config));
+                // Capture is enabled here — NOT in `parse_config_frame`,
+                // which the service daemon shares for validating *client*
+                // sessions (a client frame must never switch the daemon
+                // into capture mode).
+                if field_u64(fields, "trace").unwrap_or(0) != 0 {
+                    crate::telemetry::capture_start();
+                }
                 writeln!(
                     output,
                     "{{\"type\":\"ready\",\"proto\":{PROTOCOL_VERSION}}}"
@@ -587,9 +697,20 @@ pub fn worker_loop(
                     output.flush()?;
                     continue;
                 };
+                // Everything captured after this mark belongs to this
+                // job: span timestamps ship relative to it.
+                let mark_us = crate::telemetry::now_us();
                 let frame = match run_job(session, fields) {
-                    Ok((report, elapsed_ms)) => render_result_frame(id, &report, elapsed_ms),
-                    Err(reason) => render_error_frame(id, &reason),
+                    Ok((report, elapsed_ms)) => {
+                        let spans = crate::telemetry::capture_take();
+                        render_result_frame(id, &report, elapsed_ms, &spans, mark_us)
+                    }
+                    Err(reason) => {
+                        // Discard the failed job's partial capture so it
+                        // cannot bleed into the next job's frame.
+                        drop(crate::telemetry::capture_take());
+                        render_error_frame(id, &reason)
+                    }
                 };
                 writeln!(output, "{frame}")?;
                 output.flush()?;
@@ -1092,6 +1213,10 @@ impl Transport for TcpTransport {
 /// boxed [`Transport`].
 pub(crate) struct WorkerHandle {
     transport: Box<dyn Transport>,
+    /// Coordinator-assigned peer lane (1-based, process-global): names
+    /// this worker's process group when its spans are re-anchored into
+    /// the coordinator's trace.
+    pub(crate) lane: u64,
     /// Fleet size advertised in the peer's `ready` frame — present when
     /// the peer is a `relaxed-serviced` daemon fronting a worker fleet,
     /// absent for a plain `relaxed-shardd` worker.
@@ -1126,8 +1251,10 @@ impl WorkerHandle {
         config_frame: &str,
         ready_timeout: Duration,
     ) -> Result<WorkerHandle, String> {
+        static NEXT_LANE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         let mut handle = WorkerHandle {
             transport,
+            lane: NEXT_LANE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             fleet: None,
         };
         match handle.handshake(config_frame, ready_timeout) {
@@ -1295,6 +1422,10 @@ impl ShardPool {
         if let Some(handle) = worker {
             handle.shutdown();
         }
+        // Scoped threads signal completion before their thread-local
+        // destructors run: flush this handler's spans (the `shard`/`job`
+        // dispatch spans) before the pool's scope joins.
+        crate::telemetry::drain_thread();
     }
 }
 
@@ -1306,6 +1437,16 @@ fn run_job_on_worker(
     job: &ShardJob,
     job_timeout: Duration,
 ) -> Result<CorpusEntry, String> {
+    let mut job_span = crate::telemetry::span("shard", "job");
+    if job_span.is_active() {
+        job_span.arg("id", job.id as u64);
+        job_span.arg("name", job.name.as_str());
+        job_span.arg("worker", worker.lane);
+    }
+    // The dispatch mark anchors the worker's job-relative timestamps:
+    // its clock starts (to within channel latency) when the job frame
+    // leaves the coordinator.
+    let dispatch_us = crate::telemetry::now_us();
     worker.send(&job.frame)?;
     let line = worker.recv(job_timeout)?;
     let wire = parse_result_frame(&line).map_err(|e| format!("malformed result frame: {e}"))?;
@@ -1314,6 +1455,22 @@ fn run_job_on_worker(
             "result frame for job {} while awaiting job {}",
             wire.id, job.id
         ));
+    }
+    if !wire.spans.is_empty() {
+        // Re-anchor the worker's spans into the coordinator timeline:
+        // one process lane per worker (pids ≥ 1000 stay clear of the
+        // coordinator's LOCAL_PID), worker tids inside it.
+        let pid = 1000 + worker.lane;
+        let events: Vec<crate::telemetry::Event> = wire
+            .spans
+            .into_iter()
+            .map(|mut event| {
+                event.ts_us = dispatch_us.saturating_add(event.ts_us);
+                event.pid = pid;
+                event
+            })
+            .collect();
+        crate::telemetry::inject(&format!("shard-worker-{}", worker.lane), pid, events);
     }
     if let Some(error) = wire.error {
         // A worker-side deterministic failure (e.g. the program did not
@@ -1780,7 +1937,7 @@ mod tests {
             .build()
             .check(&program, &spec)
             .unwrap();
-        let frame = render_result_frame(9, &report, 123);
+        let frame = render_result_frame(9, &report, 123, &[], 0);
         let wire = parse_result_frame(&frame).unwrap();
         assert_eq!(wire.id, 9);
         assert_eq!(wire.elapsed_ms, 123);
@@ -1993,7 +2150,7 @@ mod tests {
         let mut parts = Vec::new();
         for job in jobs.iter().rev() {
             let report = run_batch_job(&session, &program, &spec, job.batch, job.batches).unwrap();
-            let frame = render_result_frame(job.id, &report, 7);
+            let frame = render_result_frame(job.id, &report, 7, &[], 0);
             let wire = parse_result_frame(&frame).unwrap();
             let rebuilt = rebuild_report(job, wire.stages, wire.engine).unwrap();
             parts.push((

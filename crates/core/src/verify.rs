@@ -526,7 +526,29 @@ pub(crate) fn staged_check(
     opts: DischargeOptions,
 ) -> Result<AcceptabilityReport, VcgenError> {
     let run = |stage| -> Result<Report, VcgenError> {
-        Ok(engine.discharge_with(stage_vcs(stage, program, spec)?, opts))
+        let vcgen_started = std::time::Instant::now();
+        let vcs = {
+            let mut span = crate::telemetry::span("vcgen", "vcgen");
+            if span.is_active() {
+                span.arg(
+                    "stage",
+                    match stage {
+                        Stage::Original => "original",
+                        Stage::Intermediate => "intermediate",
+                        Stage::Relaxed => "relaxed",
+                    },
+                );
+            }
+            stage_vcs(stage, program, spec)?
+        };
+        let vcgen_us = u64::try_from(vcgen_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        engine.note_vcgen_us(vcgen_us);
+        let mut report = engine.discharge_with(vcs, opts);
+        // Phase breakdowns survive with telemetry off: vcgen wall time
+        // rides the stage report's engine stats (satellite of the
+        // trace-file spans above).
+        report.engine.elapsed_vcgen_ms = vcgen_us / 1000;
+        Ok(report)
     };
     let original = if stages.original {
         run(Stage::Original)?

@@ -53,6 +53,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must not print: route diagnostics through `relaxed_core::diag`
+// (see README "Observability"). Bin entry points opt out locally.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod builder;
 pub mod eval;

@@ -48,6 +48,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not print: route diagnostics through `relaxed_core::diag`
+// (see README "Observability"). Bin entry points opt out locally.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ast;
 pub mod cnf;

@@ -22,6 +22,9 @@
 //! predicates rather than ignoring them.
 
 #![warn(missing_docs)]
+// Library code must not print: route diagnostics through `relaxed_core::diag`
+// (see README "Observability"). Bin entry points opt out locally.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 use relaxed_lang::builder::{assign, relax, seq, v};
 use relaxed_lang::{BoolExpr, IntExpr, Stmt, Var};

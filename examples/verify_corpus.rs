@@ -32,6 +32,14 @@
 //! its machine-readable signal (warm store ⇒ `solver_runs=0` with
 //! cross-client disk hits).
 //!
+//! With `--trace <out.json>` the in-process run records telemetry spans
+//! and writes a Chrome trace-event file (load it in Perfetto /
+//! `about://tracing`), then validates it with the crate's own JSON
+//! parser and prints the machine-readable
+//! `trace: path=.. events=.. solve_spans=..` line the CI `trace-smoke`
+//! job gates on. `--slow <N>` additionally prints the N slowest solve
+//! spans as a goal table.
+//!
 //! With `--edit-reverify` the example becomes the goal-dependency-map
 //! gate: verify the corpus cold into a scratch persistent store, patch
 //! one case-study spec, re-verify, and assert the solver ran **exactly
@@ -50,7 +58,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let sharded_flag = args.iter().any(|arg| arg == "--sharded");
     let service_flag = args.iter().position(|arg| arg == "--service");
-    let verifier = Verifier::from_env();
+    let trace_path = args
+        .iter()
+        .position(|arg| arg == "--trace")
+        .map(|at| match args.get(at + 1) {
+            Some(path) => Ok(path.clone()),
+            None => Err("--trace needs an output file path"),
+        })
+        .transpose()?;
+    let slow_n: usize = args
+        .iter()
+        .position(|arg| arg == "--slow")
+        .map(|at| match args.get(at + 1).map(|raw| raw.parse()) {
+            Some(Ok(n)) => Ok(n),
+            _ => Err("--slow needs an unsigned integer"),
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let verifier = {
+        // `Verifier::from_env()` plus the trace flag (which wins over
+        // `DISCHARGE_TRACE`).
+        let mut builder = Verifier::builder().env();
+        if let Some(path) = &trace_path {
+            builder = builder.trace_file(path);
+        }
+        builder.build()
+    };
     for warning in verifier.env_warnings() {
         eprintln!("verify_corpus: {warning}");
     }
@@ -153,6 +186,96 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "persistent cache: loaded={} disk_hits={} persisted={persisted}",
             stats.loaded, stats.disk_hits
         );
+    }
+
+    if trace_path.is_some() {
+        // A cold run must have produced at least one real solve span; a
+        // store-warmed run legitimately answers everything from cache.
+        let expect_solves = report.engine.cache_misses > 0;
+        report_trace(expect_solves, slow_n)?;
+    }
+    Ok(())
+}
+
+/// Flushes the session's telemetry to its trace file, validates the
+/// trace with the crate's own JSON parser (the file is Chrome
+/// trace-event JSON restricted to integers and strings for exactly this
+/// reason), prints the machine-readable `trace:` line, and — with
+/// `--slow N` — the N slowest solve spans.
+fn report_trace(expect_solves: bool, slow_n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    use relaxed_programs::core::cache::{parse_json, Json};
+    use relaxed_programs::core::telemetry;
+
+    let path = telemetry::flush()?.ok_or("--trace was given but no trace file is configured")?;
+    let text = std::fs::read_to_string(&path)?;
+    let record = parse_json(&text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let fields = record
+        .as_object()
+        .map_err(|e| format!("trace is not a JSON object: {e}"))?;
+    let events = fields
+        .iter()
+        .find(|(key, _)| key == "traceEvents")
+        .ok_or("trace has no traceEvents array")?
+        .1
+        .as_array()
+        .map_err(|e| format!("traceEvents is not an array: {e}"))?;
+    let field = |item: &[(String, Json)], key: &str| -> Option<String> {
+        item.iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                Json::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+    };
+    let mut spans = 0usize;
+    let mut solve_spans = 0usize;
+    for item in events {
+        let item = item
+            .as_object()
+            .map_err(|e| format!("trace event is not an object: {e}"))?;
+        if field(item, "ph").as_deref() != Some("X") {
+            continue; // metadata records (process/thread names)
+        }
+        spans += 1;
+        if field(item, "name").as_deref() == Some("solve") {
+            solve_spans += 1;
+        }
+    }
+    if expect_solves {
+        assert!(
+            solve_spans >= 1,
+            "a cold traced run must record at least one solve span"
+        );
+    }
+    // The machine-readable line the CI trace-smoke job gates on.
+    println!(
+        "trace: path={} events={spans} solve_spans={solve_spans}",
+        path.display()
+    );
+
+    if slow_n > 0 {
+        let mut solves: Vec<telemetry::Event> = telemetry::snapshot()
+            .into_iter()
+            .filter(|event| event.name == "solve")
+            .collect();
+        solves.sort_by_key(|span| std::cmp::Reverse(span.dur_us));
+        println!("slowest goals:");
+        println!("{:>12}  {:>4}  goal", "solve_ms", "lane");
+        for event in solves.iter().take(slow_n) {
+            let goal = event
+                .args
+                .iter()
+                .find_map(|(key, value)| match (key.as_ref(), value) {
+                    ("goal", telemetry::ArgValue::Str(s)) => Some(s.as_str()),
+                    _ => None,
+                })
+                .unwrap_or("<unlabelled>");
+            println!(
+                "{:>12.3}  {:>4}  {goal}",
+                event.dur_us as f64 / 1e3,
+                event.tid
+            );
+        }
     }
     Ok(())
 }

@@ -37,6 +37,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not print: route diagnostics through `relaxed_core::diag`
+// (see README "Observability"). Bin entry points opt out locally.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub use relaxed_core as core;
 pub use relaxed_interp as interp;
@@ -46,8 +49,8 @@ pub use relaxed_transforms as transforms;
 
 pub use relaxed_core::{
     AcceptabilityReport, AnalysisWarning, CachePolicy, CacheWarning, Config, CorpusEntry,
-    CorpusError, CorpusPolicy, CorpusReport, EnvWarning, GoalKey, LintCode, Spec, Stage, StageSet,
-    Verifier, VerifierBuilder,
+    CorpusError, CorpusPolicy, CorpusReport, EnvWarning, GoalKey, LintCode, MetricsRegistry, Spec,
+    Stage, StageSet, Verifier, VerifierBuilder,
 };
 
 pub mod casestudies;

@@ -47,12 +47,13 @@ const CI_LINT_BUILD_TEST: &[Step] = &[
         &["cargo", "doc", "--workspace", "--no-deps"],
         &[("RUSTDOCFLAGS", "-D warnings")],
     ),
-    // Four of the five verification schedules (the remaining one —
-    // persistent on-disk verdict cache — needs a runtime temp path and is
-    // appended by `ci()`): default engine parallelism, the fully
-    // sequential discharge path, fresh-solver-per-goal discharge with
-    // the incremental session grouping disabled, and the goal-level
-    // static analysis layer disabled.
+    // Four of the six verification schedules (the remaining two —
+    // persistent on-disk verdict cache and the traced engine suite —
+    // need runtime temp paths and are appended by `ci()`): default
+    // engine parallelism, the fully sequential discharge path,
+    // fresh-solver-per-goal discharge with the incremental session
+    // grouping disabled, and the goal-level static analysis layer
+    // disabled.
     Step(&["cargo", "test", "-q", "--workspace"], &[]),
     Step(
         &["cargo", "test", "-q", "--workspace"],
@@ -170,7 +171,48 @@ fn ci() {
         &[("DISCHARGE_CACHE", &cache)],
     );
     let _ = std::fs::remove_file(&cache);
+    // The traced schedule: the engine suite re-runs with every
+    // env-opt-in session tracing into one shared Chrome trace file, so
+    // the instrumented paths stay verdict-identical under concurrent
+    // span collection.
+    let trace = std::env::temp_dir().join(format!(
+        "relaxed-xtask-ci-trace-{}.json",
+        std::process::id()
+    ));
+    let trace = trace.to_str().expect("temp path is unicode").to_string();
+    run_step(
+        &["cargo", "test", "-q", "--test", "engine"],
+        &[("DISCHARGE_TRACE", &trace)],
+    );
+    let _ = std::fs::remove_file(&trace);
     run(CI_EXAMPLES_BENCH);
+    // The trace-smoke job: a cold traced corpus run — the example
+    // itself gates on ≥1 solve span landing in the written trace and
+    // prints the machine-readable `trace:` counts.
+    let smoke_trace = std::env::temp_dir().join(format!(
+        "relaxed-xtask-ci-trace-smoke-{}.json",
+        std::process::id()
+    ));
+    let smoke_trace = smoke_trace
+        .to_str()
+        .expect("temp path is unicode")
+        .to_string();
+    run_step(
+        &[
+            "cargo",
+            "run",
+            "--release",
+            "--example",
+            "verify_corpus",
+            "--",
+            "--trace",
+            &smoke_trace,
+            "--slow",
+            "5",
+        ],
+        &[],
+    );
+    let _ = std::fs::remove_file(&smoke_trace);
     // The sharded-corpus job: equivalence gate across ≥2 worker
     // processes, seeded through a fresh shared verdict store (the
     // release build above produced the relaxed-shardd binary).
@@ -238,6 +280,37 @@ fn ci_service() {
             ],
             &[("DISCHARGE_CACHE", &cache)],
         );
+    }
+    // The trace-smoke job's metrics half: the daemon's `metrics`
+    // control frame must carry the served counter and the latency
+    // histogram after the two client legs above.
+    let probed = (|| -> std::io::Result<String> {
+        use std::io::{BufRead, Write};
+        let mut stream = std::net::TcpStream::connect(&addr)?;
+        stream.write_all(b"{\"type\":\"metrics\"}\n")?;
+        let mut frame = String::new();
+        std::io::BufReader::new(stream).read_line(&mut frame)?;
+        Ok(frame.trim().to_string())
+    })();
+    match probed {
+        Ok(frame)
+            if frame.contains("relaxed_requests_served_total")
+                && frame.contains("relaxed_request_latency_ms_bucket") =>
+        {
+            eprintln!(
+                "xtask: service metrics frame carries the served counter and latency histogram"
+            );
+        }
+        Ok(frame) => {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            panic!("incomplete metrics frame from relaxed-serviced: {frame}");
+        }
+        Err(e) => {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            panic!("failed to probe relaxed-serviced metrics: {e}");
+        }
     }
     let drained = (|| -> std::io::Result<String> {
         use std::io::{BufRead, Write};
@@ -438,6 +511,7 @@ const BENCH_CHECK_GROUPS: &[&str] = &[
     "shard_corpus",
     "service_throughput",
     "persistent_cache",
+    "telemetry_overhead",
 ];
 
 /// Mean-regression tolerance, in percent over the baseline mean.
@@ -597,7 +671,7 @@ fn main() {
         _ => {
             eprintln!("usage: cargo xtask <ci|verify|bench-json|bench-check>");
             eprintln!(
-                "  ci          fmt + clippy + build --release + doc + test (5 schedules) + examples + sharded/service corpus + edit-reverify jobs + bench --no-run"
+                "  ci          fmt + clippy + build --release + doc + test (6 schedules) + examples + sharded/service corpus + edit-reverify + trace-smoke jobs + bench --no-run"
             );
             eprintln!("  verify      the ROADMAP tier-1 gate: build --release && test -q");
             eprintln!(
